@@ -1,0 +1,329 @@
+//! Optimal priority assignment (Audsley's algorithm).
+//!
+//! Response-time analysis answers "does this priority order work?";
+//! Audsley's Optimal Priority Assignment (OPA) answers "is there *any*
+//! priority order that works?" — in `O(n²)` analysis calls instead of
+//! `n!`. It assigns the lowest priority level first: any task whose
+//! response time at the lowest level (all others interfering) meets its
+//! deadline may take that level; recurse on the rest. If at some level
+//! no task fits, **no** static priority order is feasible (for analyses
+//! where a task's response depends only on the *set* of higher-priority
+//! tasks, which holds for both SPP and SPNP busy windows).
+
+use hem_event_models::ModelRef;
+use hem_time::Time;
+
+use crate::{spnp, spp, AnalysisConfig, AnalysisError, AnalysisTask, Priority};
+
+/// A task with a deadline but no priority — the input to priority
+/// assignment.
+#[derive(Debug, Clone)]
+pub struct DeadlineTask {
+    /// Task name.
+    pub name: String,
+    /// Best-case execution time.
+    pub bcet: Time,
+    /// Worst-case execution time.
+    pub wcet: Time,
+    /// Relative deadline the response time must meet.
+    pub deadline: Time,
+    /// Activating event stream.
+    pub input: ModelRef,
+}
+
+impl DeadlineTask {
+    /// Creates a deadline task.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`AnalysisTask::new`], or if
+    /// `deadline < 1`.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        bcet: Time,
+        wcet: Time,
+        deadline: Time,
+        input: ModelRef,
+    ) -> Self {
+        assert!(deadline >= Time::ONE, "deadline must be at least one tick");
+        DeadlineTask {
+            name: name.into(),
+            bcet,
+            wcet,
+            deadline,
+            input,
+        }
+    }
+
+    fn with_priority(&self, priority: Priority) -> AnalysisTask {
+        AnalysisTask::new(
+            self.name.clone(),
+            self.bcet,
+            self.wcet,
+            priority,
+            self.input.clone(),
+        )
+    }
+}
+
+/// Which local analysis the assignment should be optimal for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheduling {
+    /// Static-priority preemptive (CPU).
+    Preemptive,
+    /// Static-priority non-preemptive (CAN-style arbitration).
+    NonPreemptive,
+}
+
+/// Runs Audsley's OPA. On success, returns the task names ordered from
+/// highest to lowest priority; returns `None` when no static priority
+/// assignment meets all deadlines.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] only for analysis breakdowns unrelated to
+/// schedulability verdicts (iteration caps on pathological inputs); a
+/// diverging busy window at some level simply means "this task does not
+/// fit at this level" and is handled internally.
+pub fn audsley(
+    tasks: &[DeadlineTask],
+    scheduling: Scheduling,
+    config: &AnalysisConfig,
+) -> Result<Option<Vec<String>>, AnalysisError> {
+    let n = tasks.len();
+    let mut order: Vec<Option<&DeadlineTask>> = vec![None; n]; // index = level, 0 = highest
+    let mut unassigned: Vec<&DeadlineTask> = tasks.iter().collect();
+
+    // Assign levels from lowest (n−1) upwards.
+    for level in (0..n).rev() {
+        let mut placed = None;
+        for (i, cand) in unassigned.iter().enumerate() {
+            if fits_at_lowest(cand, &unassigned, &order[level + 1..], scheduling, config) {
+                placed = Some(i);
+                break;
+            }
+        }
+        match placed {
+            Some(i) => order[level] = Some(unassigned.swap_remove(i)),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(
+        order
+            .into_iter()
+            .map(|t| t.expect("all levels filled").name.clone())
+            .collect(),
+    ))
+}
+
+/// Checks whether `cand` meets its deadline at the lowest open level:
+/// all other `unassigned` tasks interfere from above, all already
+/// `assigned_below` tasks sit below (relevant only for non-preemptive
+/// blocking).
+fn fits_at_lowest(
+    cand: &DeadlineTask,
+    unassigned: &[&DeadlineTask],
+    assigned_below: &[Option<&DeadlineTask>],
+    scheduling: Scheduling,
+    config: &AnalysisConfig,
+) -> bool {
+    // Synthetic unique priorities: interferers above the candidate at
+    // 0..m, the candidate at m, already-assigned lower levels below it.
+    let interferers: Vec<&DeadlineTask> = unassigned
+        .iter()
+        .filter(|t| t.name != cand.name)
+        .copied()
+        .collect();
+    let m = interferers.len() as u32;
+    let candidate = cand.with_priority(Priority::new(m));
+    let mut others: Vec<AnalysisTask> = interferers
+        .iter()
+        .enumerate()
+        .map(|(k, t)| t.with_priority(Priority::new(k as u32)))
+        .collect();
+    let result = match scheduling {
+        Scheduling::Preemptive => {
+            // Lower levels are irrelevant under preemption.
+            spp::response_time(&candidate, &others, Time::ZERO, config)
+        }
+        Scheduling::NonPreemptive => {
+            // Lower levels contribute blocking.
+            for (k, below) in assigned_below.iter().flatten().enumerate() {
+                others.push(below.with_priority(Priority::new(m + 1 + k as u32)));
+            }
+            spnp::response_time(&candidate, &others, config)
+        }
+    };
+    match result {
+        Ok(r) => r.response.r_plus <= cand.deadline,
+        Err(_) => false, // diverging busy window ⇒ does not fit here
+    }
+}
+
+/// Deadline-monotonic assignment (shorter deadline = higher priority) —
+/// the classic heuristic, provided for comparison. Returns names from
+/// highest to lowest priority.
+#[must_use]
+pub fn deadline_monotonic(tasks: &[DeadlineTask]) -> Vec<String> {
+    let mut sorted: Vec<&DeadlineTask> = tasks.iter().collect();
+    sorted.sort_by_key(|t| t.deadline);
+    sorted.into_iter().map(|t| t.name.clone()).collect()
+}
+
+/// Verifies that a priority order (highest first) meets every deadline
+/// under the given scheduling.
+///
+/// # Errors
+///
+/// Propagates analysis errors (a diverging busy window means the order
+/// is infeasible and is reported as `Ok(false)`).
+pub fn order_is_feasible(
+    tasks: &[DeadlineTask],
+    order: &[String],
+    scheduling: Scheduling,
+    config: &AnalysisConfig,
+) -> Result<bool, AnalysisError> {
+    let prioritized: Vec<AnalysisTask> = order
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let t = tasks
+                .iter()
+                .find(|t| &t.name == name)
+                .expect("order names a known task");
+            t.with_priority(Priority::new(i as u32))
+        })
+        .collect();
+    let results = match scheduling {
+        Scheduling::Preemptive => spp::analyze(&prioritized, config),
+        Scheduling::NonPreemptive => spnp::analyze(&prioritized, config),
+    };
+    match results {
+        Ok(results) => Ok(results.iter().zip(order).all(|(r, name)| {
+            let t = tasks.iter().find(|t| &t.name == name).expect("known task");
+            r.response.r_plus <= t.deadline
+        })),
+        Err(AnalysisError::NoConvergence { .. }) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    fn dt(name: &str, c: i64, d: i64, p: i64) -> DeadlineTask {
+        DeadlineTask::new(
+            name,
+            Time::new(c),
+            Time::new(c),
+            Time::new(d),
+            StandardEventModel::periodic(Time::new(p)).unwrap().shared(),
+        )
+    }
+
+    fn dt_jitter(name: &str, c: i64, d: i64, p: i64, j: i64) -> DeadlineTask {
+        DeadlineTask::new(
+            name,
+            Time::new(c),
+            Time::new(c),
+            Time::new(d),
+            StandardEventModel::periodic_with_jitter(Time::new(p), Time::new(j))
+                .unwrap()
+                .shared(),
+        )
+    }
+
+    #[test]
+    fn finds_rate_monotonic_order_for_harmonic_set() {
+        let tasks = vec![dt("slow", 10, 100, 100), dt("fast", 2, 10, 10)];
+        let order = audsley(&tasks, Scheduling::Preemptive, &AnalysisConfig::default())
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(order, vec!["fast".to_string(), "slow".to_string()]);
+        assert!(order_is_feasible(
+            &tasks,
+            &order,
+            Scheduling::Preemptive,
+            &AnalysisConfig::default()
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn infeasible_set_returns_none() {
+        // Both need the processor more than half the time with tight
+        // deadlines: no order works.
+        let tasks = vec![dt("a", 6, 8, 10), dt("b", 6, 8, 10)];
+        let r = audsley(
+            &tasks,
+            Scheduling::Preemptive,
+            &AnalysisConfig::with_max_busy_window(Time::new(100_000)),
+        )
+        .unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn opa_succeeds_where_deadline_monotonic_fails() {
+        // The classic arbitrary-deadline (D > P) configuration where DM
+        // is non-optimal (Lehoczky): with τ1 = (C 52, T 100, D 110) and
+        // τ2 = (C 52, T 140, D 154), DM puts τ1 on top and τ2 misses
+        // (R = 156 > 154); the reverse order meets both deadlines.
+        let tasks = vec![dt("t1", 52, 110, 100), dt("t2", 52, 154, 140)];
+        let cfg = AnalysisConfig::default();
+        let dm = deadline_monotonic(&tasks);
+        assert_eq!(dm, vec!["t1".to_string(), "t2".to_string()]);
+        assert!(
+            !order_is_feasible(&tasks, &dm, Scheduling::Preemptive, &cfg).unwrap(),
+            "DM should fail on this arbitrary-deadline set"
+        );
+        let opa = audsley(&tasks, Scheduling::Preemptive, &cfg)
+            .unwrap()
+            .expect("OPA finds the reverse order");
+        assert_eq!(opa, vec!["t2".to_string(), "t1".to_string()]);
+        assert!(order_is_feasible(&tasks, &opa, Scheduling::Preemptive, &cfg).unwrap());
+    }
+
+    #[test]
+    fn opa_handles_bursty_inputs() {
+        // Jittered (bursty) streams work through the same machinery.
+        let tasks = vec![
+            dt_jitter("bursty", 10, 90, 50, 100),
+            dt("plain", 10, 70, 50),
+        ];
+        let cfg = AnalysisConfig::default();
+        let order = audsley(&tasks, Scheduling::Preemptive, &cfg)
+            .unwrap()
+            .expect("feasible");
+        assert!(order_is_feasible(&tasks, &order, Scheduling::Preemptive, &cfg).unwrap());
+    }
+
+    #[test]
+    fn non_preemptive_assignment_accounts_for_blocking() {
+        // A long low-priority frame blocks everything; deadlines must
+        // absorb it.
+        let tasks = vec![
+            dt("short", 10, 45, 200),
+            dt("long", 35, 300, 400),
+        ];
+        let cfg = AnalysisConfig::default();
+        let order = audsley(&tasks, Scheduling::NonPreemptive, &cfg)
+            .unwrap()
+            .expect("feasible");
+        assert!(order_is_feasible(&tasks, &order, Scheduling::NonPreemptive, &cfg).unwrap());
+        // Tighten `short`'s deadline below the blocking + own time: now
+        // nothing works non-preemptively.
+        let tasks = vec![dt("short", 10, 30, 200), dt("long", 35, 300, 400)];
+        let r = audsley(&tasks, Scheduling::NonPreemptive, &cfg).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn empty_set_is_trivially_assignable() {
+        let r = audsley(&[], Scheduling::Preemptive, &AnalysisConfig::default()).unwrap();
+        assert_eq!(r, Some(vec![]));
+    }
+}

@@ -1,0 +1,110 @@
+//! Generic monotone fixed-point iteration for busy windows.
+
+use hem_time::Time;
+
+use crate::{AnalysisConfig, AnalysisError};
+
+/// Computes the least fixed point of a monotone window function.
+///
+/// Busy-window analyses all reduce to solving `w = f(w)` for the smallest
+/// `w ≥ init` where `f` is monotone non-decreasing (a sum of
+/// load terms `η⁺(w)·C`). Iterating `w ← f(w)` from `init` converges to
+/// the least fixed point above `init` or diverges; divergence is cut off
+/// by the limits in [`AnalysisConfig`].
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::NoConvergence`] if the window exceeds
+/// `config.max_busy_window` or the iteration count exceeds
+/// `config.max_iterations`.
+///
+/// # Examples
+///
+/// ```
+/// use hem_analysis::{fixed_point, AnalysisConfig};
+/// use hem_time::Time;
+///
+/// // w = 10 + w/2 has fixed point 20 (integer division converges to 19..20).
+/// let w = fixed_point("demo", Time::new(10), |w| Time::new(10) + w / 2,
+///     &AnalysisConfig::default())?;
+/// assert!(w >= Time::new(19) && w <= Time::new(20));
+/// # Ok::<(), hem_analysis::AnalysisError>(())
+/// ```
+pub fn fixed_point(
+    task_name: &str,
+    init: Time,
+    mut f: impl FnMut(Time) -> Time,
+    config: &AnalysisConfig,
+) -> Result<Time, AnalysisError> {
+    let mut w = init;
+    for _ in 0..config.max_iterations {
+        let next = f(w);
+        debug_assert!(
+            next >= w || next >= init,
+            "window function must be monotone from init"
+        );
+        if next > config.max_busy_window {
+            return Err(AnalysisError::no_convergence(
+                task_name,
+                format!(
+                    "busy window exceeded the configured maximum of {}",
+                    config.max_busy_window
+                ),
+            ));
+        }
+        if next == w {
+            return Ok(w);
+        }
+        w = next;
+    }
+    Err(AnalysisError::no_convergence(
+        task_name,
+        format!(
+            "fixed point not reached within {} iterations",
+            config.max_iterations
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_least_fixed_point() {
+        // w = 6 + 2·⌈w/10⌉·2 — a typical interference shape.
+        let f = |w: Time| Time::new(6) + Time::new(2) * ((w.ticks() + 9) / 10) * 2;
+        let w = fixed_point("t", Time::new(6), f, &AnalysisConfig::default()).unwrap();
+        assert_eq!(w, f(w));
+        // Verify minimality: no smaller fixed point at or above init.
+        for cand in 6..w.ticks() {
+            assert_ne!(Time::new(cand), f(Time::new(cand)));
+        }
+    }
+
+    #[test]
+    fn detects_divergence_via_window_cap() {
+        let cfg = AnalysisConfig::with_max_busy_window(Time::new(1000));
+        // w = w + 1 never stabilizes.
+        let err = fixed_point("t", Time::ONE, |w| w + Time::ONE, &cfg).unwrap_err();
+        assert!(matches!(err, AnalysisError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn detects_divergence_via_iteration_cap() {
+        let cfg = AnalysisConfig {
+            max_iterations: 10,
+            ..AnalysisConfig::default()
+        };
+        let err = fixed_point("t", Time::ONE, |w| w + Time::ONE, &cfg).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("10 iterations"), "got: {msg}");
+    }
+
+    #[test]
+    fn immediate_fixed_point() {
+        let w = fixed_point("t", Time::new(42), |_| Time::new(42), &AnalysisConfig::default())
+            .unwrap();
+        assert_eq!(w, Time::new(42));
+    }
+}

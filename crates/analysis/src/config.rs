@@ -1,0 +1,62 @@
+//! Analysis iteration limits.
+
+use hem_time::Time;
+
+/// Safety limits for busy-window fixed-point iterations.
+///
+/// Busy-window analysis converges only for schedulable (utilization < 1)
+/// configurations; for overloaded ones the window grows without bound.
+/// These limits turn divergence into a clean
+/// [`AnalysisError::NoConvergence`](crate::AnalysisError) instead of an
+/// endless loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Abort when a busy window exceeds this length.
+    pub max_busy_window: Time,
+    /// Abort after this many activations within one busy period.
+    pub max_activations: u64,
+    /// Abort a single fixed-point computation after this many iterations.
+    pub max_iterations: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            max_busy_window: Time::new(10_000_000),
+            max_activations: 100_000,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A configuration with a custom busy-window cap (other limits
+    /// default).
+    #[must_use]
+    pub fn with_max_busy_window(max_busy_window: Time) -> Self {
+        AnalysisConfig {
+            max_busy_window,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_limits_are_generous() {
+        let c = AnalysisConfig::default();
+        assert!(c.max_busy_window >= Time::new(1_000_000));
+        assert!(c.max_activations >= 1000);
+        assert!(c.max_iterations >= 1000);
+    }
+
+    #[test]
+    fn custom_window_cap() {
+        let c = AnalysisConfig::with_max_busy_window(Time::new(500));
+        assert_eq!(c.max_busy_window, Time::new(500));
+        assert_eq!(c.max_activations, AnalysisConfig::default().max_activations);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for local scheduling analyses.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the local scheduling analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A busy-window iteration exceeded its configured limits — the task
+    /// set is overloaded or the limits are too tight.
+    NoConvergence {
+        /// The task whose analysis diverged.
+        task: String,
+        /// What limit was hit.
+        detail: String,
+    },
+    /// The task set is malformed (e.g. duplicate priorities where unique
+    /// ones are required).
+    InvalidTaskSet(String),
+}
+
+impl AnalysisError {
+    /// Creates a [`AnalysisError::NoConvergence`].
+    pub fn no_convergence(task: impl Into<String>, detail: impl Into<String>) -> Self {
+        AnalysisError::NoConvergence {
+            task: task.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates an [`AnalysisError::InvalidTaskSet`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        AnalysisError::InvalidTaskSet(msg.into())
+    }
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoConvergence { task, detail } => {
+                write!(f, "analysis of task `{task}` did not converge: {detail}")
+            }
+            AnalysisError::InvalidTaskSet(msg) => write!(f, "invalid task set: {msg}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = AnalysisError::no_convergence("T1", "busy window exceeded 100");
+        assert_eq!(
+            e.to_string(),
+            "analysis of task `T1` did not converge: busy window exceeded 100"
+        );
+        let e = AnalysisError::invalid("duplicate priority");
+        assert_eq!(e.to_string(), "invalid task set: duplicate priority");
+    }
+}

@@ -1,0 +1,323 @@
+//! The periodic resource model for hierarchical scheduling (Shin/Lee,
+//! RTSS 2003 — cited as \[8\] by the paper).
+//!
+//! A component scheduled inside a larger system receives processor time
+//! as a *partition* `Γ = (Π, Θ)`: at least `Θ` units of execution in
+//! every period of `Π`. The worst-case supply within a window of length
+//! `t` is the **supply bound function**
+//!
+//! ```text
+//! sbf(t) = y·Θ + max(0, t − 2(Π − Θ) − y·Π),
+//!          y = ⌊(t − (Π − Θ)) / Π⌋     (0 for t < Π − Θ)
+//! ```
+//!
+//! (the supply may be back-loaded in one period and front-loaded in the
+//! next, creating a blackout of `2(Π − Θ)`). Local analyses then replace
+//! "demand ≤ window" by "demand ≤ sbf(window)": this module provides the
+//! SPP busy-window analysis on a partition — the combination of
+//! *hierarchical local scheduling* with the paper's *hierarchical event
+//! streams*.
+
+use hem_event_models::EventModel;
+use hem_time::{div_ceil, Time};
+
+use crate::{fixed_point, AnalysisConfig, AnalysisError, AnalysisTask, ResponseTime, TaskResult};
+
+/// A periodic resource partition `Γ = (Π, Θ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeriodicResource {
+    period: Time,
+    allocation: Time,
+}
+
+impl PeriodicResource {
+    /// Creates a partition supplying `allocation` units every `period`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidTaskSet`] unless
+    /// `1 ≤ allocation ≤ period`.
+    pub fn new(period: Time, allocation: Time) -> Result<Self, AnalysisError> {
+        if period < Time::ONE || allocation < Time::ONE || allocation > period {
+            return Err(AnalysisError::invalid(format!(
+                "periodic resource needs 1 ≤ Θ ≤ Π, got Θ = {allocation}, Π = {period}"
+            )));
+        }
+        Ok(PeriodicResource { period, allocation })
+    }
+
+    /// The replenishment period `Π`.
+    #[must_use]
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The guaranteed allocation `Θ` per period.
+    #[must_use]
+    pub fn allocation(&self) -> Time {
+        self.allocation
+    }
+
+    /// The long-run fraction of the processor this partition provides.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.allocation.ticks() as f64 / self.period.ticks() as f64
+    }
+
+    /// The supply bound function `sbf(t)`: minimum guaranteed execution
+    /// within any window of length `t`.
+    #[must_use]
+    pub fn sbf(&self, t: Time) -> Time {
+        let gap = self.period - self.allocation;
+        if t <= gap {
+            return Time::ZERO;
+        }
+        let y = (t - gap).ticks() / self.period.ticks();
+        let full = self.allocation * y;
+        let partial = (t - gap * 2 - self.period * y).clamp_non_negative();
+        full + partial.min(self.allocation)
+    }
+
+    /// The pseudo-inverse of `sbf`: the smallest window guaranteeing
+    /// `demand` units of supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative.
+    #[must_use]
+    pub fn sbf_inverse(&self, demand: Time) -> Time {
+        assert!(!demand.is_negative(), "demand must be non-negative");
+        if demand.is_zero() {
+            return Time::ZERO;
+        }
+        let gap = self.period - self.allocation;
+        // k full allocations are needed; the last may be partial.
+        let k = div_ceil(demand.ticks(), self.allocation.ticks());
+        let partial = demand - self.allocation * (k - 1);
+        gap * 2 + self.period * (k - 1) + partial
+    }
+}
+
+/// SPP busy-window analysis on a periodic resource partition.
+///
+/// Identical to [`crate::spp::response_time`] except that the busy
+/// window must also *receive* enough supply: the completion window of
+/// the `q`-th activation is the least `w` with
+///
+/// ```text
+/// sbf(w) ≥ q·C_i + B_i + Σ_{j ∈ hp(i)} η_j⁺(w)·C_j
+/// ```
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::NoConvergence`] on partition overload.
+pub fn response_time_on(
+    task: &AnalysisTask,
+    interferers: &[AnalysisTask],
+    blocking: Time,
+    resource: &PeriodicResource,
+    config: &AnalysisConfig,
+) -> Result<TaskResult, AnalysisError> {
+    let hp: Vec<&AnalysisTask> = interferers
+        .iter()
+        .filter(|t| !task.priority.is_higher_than(t.priority))
+        .collect();
+    let mut worst = Time::ZERO;
+    let mut q = 1u64;
+    loop {
+        let base = task.wcet * q as i64 + blocking;
+        let w = fixed_point(
+            &task.name,
+            resource.sbf_inverse(base),
+            |w| {
+                let demand: Time = base
+                    + hp.iter()
+                        .map(|j| j.wcet * j.input.eta_plus(w) as i64)
+                        .sum::<Time>();
+                resource.sbf_inverse(demand)
+            },
+            config,
+        )?;
+        let response = w - task.input.delta_min(q);
+        worst = worst.max(response);
+        if task.input.delta_min(q + 1) >= w {
+            return Ok(TaskResult {
+                name: task.name.clone(),
+                response: ResponseTime::new(task.bcet.min(worst), worst),
+                busy_activations: q,
+            });
+        }
+        q += 1;
+        if q > config.max_activations {
+            return Err(AnalysisError::no_convergence(
+                &task.name,
+                format!(
+                    "busy period did not close within {} activations",
+                    config.max_activations
+                ),
+            ));
+        }
+    }
+}
+
+/// Analyses a complete SPP task set on a partition; results in input
+/// order.
+///
+/// # Errors
+///
+/// Propagates the first [`AnalysisError`] encountered.
+pub fn analyze_on(
+    tasks: &[AnalysisTask],
+    resource: &PeriodicResource,
+    config: &AnalysisConfig,
+) -> Result<Vec<TaskResult>, AnalysisError> {
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| {
+            let others: Vec<AnalysisTask> = tasks
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, t)| t.clone())
+                .collect();
+            response_time_on(task, &others, Time::ZERO, resource, config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spp, Priority};
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    fn task(name: &str, c: i64, prio: u32, p: i64) -> AnalysisTask {
+        AnalysisTask::new(
+            name,
+            Time::new(c),
+            Time::new(c),
+            Priority::new(prio),
+            StandardEventModel::periodic(Time::new(p)).unwrap().shared(),
+        )
+    }
+
+    #[test]
+    fn sbf_shape() {
+        // Π = 10, Θ = 4: blackout 2(Π−Θ) = 12, then 4 per 10.
+        let r = PeriodicResource::new(Time::new(10), Time::new(4)).unwrap();
+        assert_eq!(r.sbf(Time::ZERO), Time::ZERO);
+        assert_eq!(r.sbf(Time::new(12)), Time::ZERO);
+        assert_eq!(r.sbf(Time::new(13)), Time::new(1));
+        assert_eq!(r.sbf(Time::new(16)), Time::new(4));
+        assert_eq!(r.sbf(Time::new(20)), Time::new(4)); // next blackout
+        assert_eq!(r.sbf(Time::new(23)), Time::new(5));
+        assert_eq!(r.sbf(Time::new(26)), Time::new(8));
+        assert!((r.utilization() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sbf_full_allocation_resource_is_identity_like() {
+        // Θ = Π: the partition is the whole processor, sbf(t) = t.
+        let r = PeriodicResource::new(Time::new(10), Time::new(10)).unwrap();
+        for t in 0..50 {
+            assert_eq!(r.sbf(Time::new(t)), Time::new(t));
+        }
+    }
+
+    #[test]
+    fn sbf_inverse_roundtrip() {
+        let r = PeriodicResource::new(Time::new(10), Time::new(4)).unwrap();
+        for demand in 1..40 {
+            let d = Time::new(demand);
+            let t = r.sbf_inverse(d);
+            assert!(r.sbf(t) >= d, "demand {d}: sbf({t}) = {}", r.sbf(t));
+            assert!(r.sbf(t - Time::ONE) < d, "t not minimal for demand {d}");
+        }
+        assert_eq!(r.sbf_inverse(Time::ZERO), Time::ZERO);
+    }
+
+    #[test]
+    fn partition_analysis_matches_dedicated_for_full_supply() {
+        let full = PeriodicResource::new(Time::new(5), Time::new(5)).unwrap();
+        let tasks = vec![task("a", 2, 1, 20), task("b", 5, 2, 30)];
+        let on_partition = analyze_on(&tasks, &full, &AnalysisConfig::default()).unwrap();
+        let dedicated = spp::analyze(&tasks, &AnalysisConfig::default()).unwrap();
+        assert_eq!(on_partition, dedicated);
+    }
+
+    #[test]
+    fn partition_stretches_responses() {
+        let half = PeriodicResource::new(Time::new(10), Time::new(5)).unwrap();
+        let tasks = vec![task("a", 2, 1, 50), task("b", 5, 2, 60)];
+        let on_partition = analyze_on(&tasks, &half, &AnalysisConfig::default()).unwrap();
+        let dedicated = spp::analyze(&tasks, &AnalysisConfig::default()).unwrap();
+        for (p, d) in on_partition.iter().zip(&dedicated) {
+            assert!(
+                p.response.r_plus > d.response.r_plus,
+                "{}: partition {} vs dedicated {}",
+                p.name,
+                p.response.r_plus,
+                d.response.r_plus
+            );
+        }
+        // a: demand 2 → sbf⁻¹(2) = 2·5 + 0·10 + 2 = 12.
+        assert_eq!(on_partition[0].response.r_plus, Time::new(12));
+    }
+
+    #[test]
+    fn partition_overload_detected() {
+        // Partition supplies 2/10; task needs 5/20 > 0.2.
+        let thin = PeriodicResource::new(Time::new(10), Time::new(2)).unwrap();
+        let tasks = vec![task("a", 5, 1, 20)];
+        let err = analyze_on(
+            &tasks,
+            &thin,
+            &AnalysisConfig::with_max_busy_window(Time::new(100_000)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_partitions() {
+        assert!(PeriodicResource::new(Time::new(10), Time::ZERO).is_err());
+        assert!(PeriodicResource::new(Time::new(10), Time::new(11)).is_err());
+        assert!(PeriodicResource::new(Time::ZERO, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn edf_on_partition_via_supply_hook() {
+        use crate::dbf::{edf_schedulable_with_supply, EdfTask};
+        let r = PeriodicResource::new(Time::new(10), Time::new(6)).unwrap();
+        let tasks = vec![EdfTask::new(
+            "t",
+            Time::new(4),
+            Time::new(30),
+            StandardEventModel::periodic(Time::new(40)).unwrap().shared(),
+        )];
+        let v = edf_schedulable_with_supply(
+            &tasks,
+            |dt| r.sbf(dt),
+            "partition",
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
+        assert!(v.is_schedulable(), "{v:?}");
+        // Deadline shorter than the blackout + service: unschedulable.
+        let tight = vec![EdfTask::new(
+            "t",
+            Time::new(4),
+            Time::new(9),
+            StandardEventModel::periodic(Time::new(40)).unwrap().shared(),
+        )];
+        let v = edf_schedulable_with_supply(
+            &tight,
+            |dt| r.sbf(dt),
+            "partition",
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
+        assert!(!v.is_schedulable());
+    }
+}

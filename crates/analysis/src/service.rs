@@ -1,0 +1,425 @@
+//! Service curves: supply-based local analysis in the style of
+//! Real-Time Calculus (Thiele et al., cited as \[11\] by the paper).
+//!
+//! Where the busy-window analyses assume a dedicated processor minus
+//! explicitly enumerated interferers, the service-curve view abstracts
+//! *whatever* is left of a resource into a lower **service bound**
+//! `β(Δ)`: at least `β(Δ)` execution units are available in any window
+//! of length `Δ`. Response times follow from the same multi-activation
+//! argument as the busy window:
+//!
+//! ```text
+//! R = max_q [ min{ w : β(w) ≥ q·C } − δ⁻(q) ]
+//! ```
+//!
+//! and static-priority composition chains resources: the service left
+//! for the next-lower priority is
+//!
+//! ```text
+//! β'(Δ) = max_{0 ≤ λ ≤ Δ} ( β(λ) − C·η⁺(λ) ) clamped at 0.
+//! ```
+//!
+//! Both constructions are validated against the exact SPP busy window in
+//! the tests: equal for a sole task on a full resource, never tighter in
+//! general (the remaining-service abstraction loses the information that
+//! interference and service align).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use hem_event_models::{EventModel, ModelRef};
+use hem_time::Time;
+
+use crate::resource::PeriodicResource;
+use crate::{AnalysisConfig, AnalysisError, AnalysisTask, ResponseTime, TaskResult};
+
+/// A lower service bound `β(Δ)`: guaranteed execution units in any
+/// window of length `Δ`.
+///
+/// # Contract
+///
+/// `β(0) = 0`, non-decreasing, and `β(Δ) → ∞` (the resource has a
+/// positive long-run rate).
+pub trait ServiceCurve: std::fmt::Debug + Send + Sync {
+    /// Guaranteed service in any window of length `dt`.
+    fn provide(&self, dt: Time) -> Time;
+
+    /// Smallest window guaranteeing `demand` units (pseudo-inverse).
+    ///
+    /// The default implementation binary-searches [`ServiceCurve::provide`];
+    /// override when a closed form exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative, or if the curve violates its
+    /// rate contract (never reaches `demand`).
+    fn provide_inverse(&self, demand: Time) -> Time {
+        assert!(!demand.is_negative(), "demand must be non-negative");
+        if demand.is_zero() {
+            return Time::ZERO;
+        }
+        let mut hi = Time::ONE;
+        while self.provide(hi) < demand {
+            hi = hi * 2;
+            assert!(
+                hi.ticks() < 1 << 60,
+                "service curve never provides {demand}: no positive rate"
+            );
+        }
+        let mut lo = Time::ZERO;
+        while (hi - lo).ticks() > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.provide(mid) >= demand {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
+/// Shared handle to a service curve.
+pub type ServiceRef = Arc<dyn ServiceCurve>;
+
+/// The full, dedicated resource: `β(Δ) = Δ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FullService;
+
+impl ServiceCurve for FullService {
+    fn provide(&self, dt: Time) -> Time {
+        dt.clamp_non_negative()
+    }
+
+    fn provide_inverse(&self, demand: Time) -> Time {
+        demand.clamp_non_negative()
+    }
+}
+
+/// A rate-latency curve `β(Δ) = max(0, ⌊num·(Δ − latency) / den⌋)` — the
+/// standard abstraction of a shaped or arbitrated resource providing a
+/// long-run fraction `num/den` of the processor after an initial
+/// latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLatency {
+    latency: Time,
+    num: i64,
+    den: i64,
+}
+
+impl RateLatency {
+    /// Creates a rate-latency service curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidTaskSet`] unless `latency ≥ 0` and
+    /// `0 < num ≤ den`.
+    pub fn new(latency: Time, num: i64, den: i64) -> Result<Self, AnalysisError> {
+        if latency.is_negative() || num < 1 || den < num {
+            return Err(AnalysisError::invalid(format!(
+                "rate-latency needs latency ≥ 0 and 0 < num ≤ den, got ({latency}, {num}/{den})"
+            )));
+        }
+        Ok(RateLatency { latency, num, den })
+    }
+
+    /// The initial latency `T`.
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+
+    /// The long-run rate as `(numerator, denominator)`.
+    #[must_use]
+    pub fn rate(&self) -> (i64, i64) {
+        (self.num, self.den)
+    }
+}
+
+impl ServiceCurve for RateLatency {
+    fn provide(&self, dt: Time) -> Time {
+        let active = (dt - self.latency).clamp_non_negative();
+        Time::new(active.ticks() * self.num / self.den)
+    }
+}
+
+impl ServiceCurve for PeriodicResource {
+    fn provide(&self, dt: Time) -> Time {
+        self.sbf(dt)
+    }
+
+    fn provide_inverse(&self, demand: Time) -> Time {
+        self.sbf_inverse(demand)
+    }
+}
+
+/// The service remaining after a stream `(input, wcet)` is served with
+/// static priority on top of `inner`:
+/// `β'(Δ) = max_{0 ≤ λ ≤ Δ} (β(λ) − C·η⁺(λ))⁺`.
+///
+/// Used to chain static-priority tasks: analyse the highest priority
+/// against the raw resource, wrap, analyse the next one against the
+/// remainder, and so on ([`fp_analyze`] does exactly that).
+#[derive(Debug)]
+pub struct RemainingService {
+    inner: ServiceRef,
+    input: ModelRef,
+    wcet: Time,
+    /// Chained remainders re-query the same window lengths thousands of
+    /// times (each level walks the breakpoints of its consumer); without
+    /// memoization the recursion multiplies out.
+    cache: Mutex<HashMap<i64, Time>>,
+}
+
+impl RemainingService {
+    /// Creates the remaining-service curve after serving
+    /// `(input, wcet)`.
+    #[must_use]
+    pub fn new(inner: ServiceRef, input: ModelRef, wcet: Time) -> Self {
+        RemainingService {
+            inner,
+            input,
+            wcet,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn provide_uncached(&self, dt: Time) -> Time {
+        // max over λ ∈ [0, Δ] of β(λ) − C·η⁺(λ). The expression only
+        // changes value at λ = Δ (β grows) and at arrival breakpoints
+        // (η⁺ jumps); evaluating at Δ and just before each breakpoint
+        // within [0, Δ] is exact. Breakpoints are δ⁻(n) + 1.
+        let mut best = self.inner.provide(dt) - self.wcet * self.input.eta_plus(dt) as i64;
+        let mut n = 1u64;
+        loop {
+            let breakpoint = self.input.delta_min(n) + Time::ONE;
+            if breakpoint > dt {
+                // λ just before the breakpoint, capped at Δ.
+                let lambda = (breakpoint - Time::ONE).min(dt);
+                let v = self.inner.provide(lambda)
+                    - self.wcet * self.input.eta_plus(lambda) as i64;
+                best = best.max(v);
+                break;
+            }
+            let lambda = breakpoint - Time::ONE;
+            let v =
+                self.inner.provide(lambda) - self.wcet * self.input.eta_plus(lambda) as i64;
+            best = best.max(v);
+            n += 1;
+        }
+        best.clamp_non_negative()
+    }
+}
+
+impl ServiceCurve for RemainingService {
+    fn provide(&self, dt: Time) -> Time {
+        if let Some(&v) = self.cache.lock().expect("poisoned").get(&dt.ticks()) {
+            return v;
+        }
+        let v = self.provide_uncached(dt);
+        self.cache.lock().expect("poisoned").insert(dt.ticks(), v);
+        v
+    }
+}
+
+/// Response time of one task served by an arbitrary service curve.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::NoConvergence`] if the busy period never
+/// closes within the configured limits.
+pub fn response_time_with(
+    task: &AnalysisTask,
+    service: &dyn ServiceCurve,
+    config: &AnalysisConfig,
+) -> Result<TaskResult, AnalysisError> {
+    let mut worst = Time::ZERO;
+    let mut q = 1u64;
+    loop {
+        let w = service.provide_inverse(task.wcet * q as i64);
+        if w > config.max_busy_window {
+            return Err(AnalysisError::no_convergence(
+                &task.name,
+                format!("service window exceeded {}", config.max_busy_window),
+            ));
+        }
+        worst = worst.max(w - task.input.delta_min(q));
+        if task.input.delta_min(q + 1) >= w {
+            return Ok(TaskResult {
+                name: task.name.clone(),
+                response: ResponseTime::new(task.bcet.min(worst), worst),
+                busy_activations: q,
+            });
+        }
+        q += 1;
+        if q > config.max_activations {
+            return Err(AnalysisError::no_convergence(
+                &task.name,
+                format!(
+                    "busy period did not close within {} activations",
+                    config.max_activations
+                ),
+            ));
+        }
+    }
+}
+
+/// Static-priority analysis by service-curve chaining: tasks must be
+/// sorted highest priority first; each consumes from the remainder left
+/// by its predecessors.
+///
+/// More abstract (and never tighter) than [`crate::spp::analyze`]; its
+/// value is compositionality — the final remainder describes what a
+/// *further* component could still use, without knowing these tasks.
+/// Returns per-task results and the final remaining service.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from any level.
+pub fn fp_analyze(
+    tasks: &[AnalysisTask],
+    resource: ServiceRef,
+    config: &AnalysisConfig,
+) -> Result<(Vec<TaskResult>, ServiceRef), AnalysisError> {
+    let mut service = resource;
+    let mut results = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        results.push(response_time_with(task, service.as_ref(), config)?);
+        service = Arc::new(RemainingService::new(
+            service,
+            task.input.clone(),
+            task.wcet,
+        ));
+    }
+    Ok((results, service))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spp, Priority};
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    fn task(name: &str, c: i64, prio: u32, p: i64) -> AnalysisTask {
+        AnalysisTask::new(
+            name,
+            Time::new(c),
+            Time::new(c),
+            Priority::new(prio),
+            StandardEventModel::periodic(Time::new(p)).unwrap().shared(),
+        )
+    }
+
+    #[test]
+    fn full_service_matches_dedicated_busy_window() {
+        let t = task("solo", 7, 1, 50);
+        let via_service =
+            response_time_with(&t, &FullService, &AnalysisConfig::default()).unwrap();
+        let via_spp = spp::response_time(&t, &[], Time::ZERO, &AnalysisConfig::default()).unwrap();
+        assert_eq!(via_service.response, via_spp.response);
+        assert_eq!(via_service.response.r_plus, Time::new(7));
+    }
+
+    #[test]
+    fn periodic_resource_is_a_service_curve() {
+        let partition = PeriodicResource::new(Time::new(10), Time::new(4)).unwrap();
+        let t = task("t", 3, 1, 100);
+        let via_service =
+            response_time_with(&t, &partition, &AnalysisConfig::default()).unwrap();
+        let via_resource = crate::resource::response_time_on(
+            &t,
+            &[],
+            Time::ZERO,
+            &partition,
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(via_service.response, via_resource.response);
+    }
+
+    #[test]
+    fn rate_latency_shapes() {
+        // Half rate after latency 5: β(15) = (15−5)/2 = 5.
+        let rl = RateLatency::new(Time::new(5), 1, 2).unwrap();
+        assert_eq!(rl.provide(Time::new(5)), Time::ZERO);
+        assert_eq!(rl.provide(Time::new(15)), Time::new(5));
+        // Inverse round trip: smallest window providing each demand.
+        for d in 1..30 {
+            let d = Time::new(d);
+            let w = rl.provide_inverse(d);
+            assert!(rl.provide(w) >= d);
+            assert!(rl.provide(w - Time::ONE) < d, "w not minimal for {d}");
+        }
+        assert_eq!(rl.latency(), Time::new(5));
+        assert_eq!(rl.rate(), (1, 2));
+        assert!(RateLatency::new(Time::new(-1), 1, 2).is_err());
+        assert!(RateLatency::new(Time::ZERO, 3, 2).is_err());
+        assert!(RateLatency::new(Time::ZERO, 0, 2).is_err());
+    }
+
+    #[test]
+    fn remaining_service_is_conservative() {
+        // β'(Δ) after a periodic consumer never exceeds β(Δ) and never
+        // under-reports the long-run remainder.
+        let consumer = StandardEventModel::periodic(Time::new(10)).unwrap().shared();
+        let rem = RemainingService::new(Arc::new(FullService), consumer, Time::new(4));
+        let mut prev = Time::ZERO;
+        for dt in 0..200 {
+            let dt = Time::new(dt);
+            let v = rem.provide(dt);
+            assert!(v <= FullService.provide(dt));
+            assert!(v >= prev, "β' must be non-decreasing at {dt}");
+            prev = v;
+        }
+        // Long-run remainder: 6 of every 10 ticks.
+        assert!(rem.provide(Time::new(1_000)) >= Time::new(570));
+    }
+
+    #[test]
+    fn fp_chain_bounds_spp_from_above() {
+        // Service-curve chaining is valid but more abstract than the
+        // exact busy window: R_service ≥ R_spp for every task, with
+        // equality for the top-priority task.
+        let tasks = vec![
+            task("t1", 1, 1, 4),
+            task("t2", 2, 2, 6),
+            task("t3", 3, 3, 12),
+        ];
+        let (via_service, remainder) = fp_analyze(
+            &tasks,
+            Arc::new(FullService),
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
+        let via_spp = spp::analyze(&tasks, &AnalysisConfig::default()).unwrap();
+        assert_eq!(via_service[0].response.r_plus, via_spp[0].response.r_plus);
+        for (s, e) in via_service.iter().zip(&via_spp) {
+            assert!(
+                s.response.r_plus >= e.response.r_plus,
+                "{}: service {} < exact {}",
+                s.name,
+                s.response.r_plus,
+                e.response.r_plus
+            );
+        }
+        // The final remainder still provides the unused fraction:
+        // U = 1/4 + 2/6 + 3/12 = 5/6 → about 1/6 of a long window.
+        let left = remainder.provide(Time::new(12_000));
+        assert!(left >= Time::new(1_500), "left = {left}");
+        assert!(left <= Time::new(2_100), "left = {left}");
+    }
+
+    #[test]
+    fn overloaded_service_reports_divergence() {
+        // Demand 6/10 against a 4/10 partition.
+        let partition = PeriodicResource::new(Time::new(10), Time::new(4)).unwrap();
+        let t = task("hot", 6, 1, 10);
+        let err = response_time_with(
+            &t,
+            &partition,
+            &AnalysisConfig::with_max_busy_window(Time::new(100_000)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::NoConvergence { .. }));
+    }
+}

@@ -1,0 +1,186 @@
+//! Task descriptions and analysis results.
+
+use std::fmt;
+
+use hem_event_models::ModelRef;
+use hem_time::Time;
+
+/// A scheduling priority. **Smaller values mean higher priority**,
+/// matching CAN identifier semantics (and common RTOS conventions).
+///
+/// # Examples
+///
+/// ```
+/// use hem_analysis::Priority;
+///
+/// let high = Priority::new(1);
+/// let low = Priority::new(7);
+/// assert!(high.is_higher_than(low));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(u32);
+
+impl Priority {
+    /// Creates a priority level (smaller = higher).
+    #[must_use]
+    pub const fn new(level: u32) -> Self {
+        Priority(level)
+    }
+
+    /// The raw priority level.
+    #[must_use]
+    pub const fn level(self) -> u32 {
+        self.0
+    }
+
+    /// Whether `self` preempts / wins arbitration against `other`.
+    #[must_use]
+    pub fn is_higher_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A schedulable entity on one resource: a task on a CPU or a frame on a
+/// bus.
+///
+/// Carries the core execution (or transmission) time interval
+/// `[bcet, wcet]`, a [`Priority`], and the activating event stream.
+#[derive(Debug, Clone)]
+pub struct AnalysisTask {
+    /// Human-readable identifier used in results and error messages.
+    pub name: String,
+    /// Worst-case execution time `C⁺` (must be ≥ 1 tick).
+    pub wcet: Time,
+    /// Best-case execution time `C⁻` (`0 ≤ C⁻ ≤ C⁺`).
+    pub bcet: Time,
+    /// Scheduling priority on the shared resource.
+    pub priority: Priority,
+    /// Activating event stream.
+    pub input: ModelRef,
+}
+
+impl AnalysisTask {
+    /// Creates a task description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bcet < 0`, `wcet < bcet`, or `wcet < 1` — these are
+    /// programming errors in the system description, caught eagerly.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        bcet: Time,
+        wcet: Time,
+        priority: Priority,
+        input: ModelRef,
+    ) -> Self {
+        assert!(!bcet.is_negative(), "bcet must be non-negative");
+        assert!(wcet >= bcet, "wcet must be at least bcet");
+        assert!(wcet >= Time::ONE, "wcet must be at least one tick");
+        AnalysisTask {
+            name: name.into(),
+            wcet,
+            bcet,
+            priority,
+            input,
+        }
+    }
+}
+
+/// A best/worst-case response-time interval `[r⁻, r⁺]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResponseTime {
+    /// Minimum (best-case) response time.
+    pub r_minus: Time,
+    /// Maximum (worst-case) response time.
+    pub r_plus: Time,
+}
+
+impl ResponseTime {
+    /// Creates a response-time interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_minus > r_plus` or `r_minus < 0`.
+    #[must_use]
+    pub fn new(r_minus: Time, r_plus: Time) -> Self {
+        assert!(!r_minus.is_negative(), "r⁻ must be non-negative");
+        assert!(r_minus <= r_plus, "r⁻ must not exceed r⁺");
+        ResponseTime { r_minus, r_plus }
+    }
+
+    /// The response-time jitter `r⁺ − r⁻` this processing step adds to the
+    /// stream.
+    #[must_use]
+    pub fn jitter(self) -> Time {
+        self.r_plus - self.r_minus
+    }
+}
+
+impl fmt::Display for ResponseTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.r_minus, self.r_plus)
+    }
+}
+
+/// The outcome of a local analysis for one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskResult {
+    /// Name of the analysed task.
+    pub name: String,
+    /// The computed response-time interval.
+    pub response: ResponseTime,
+    /// Number of activations examined in the longest busy window
+    /// (diagnostic: > 1 signals carry-in interference / bursts).
+    pub busy_activations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::new(0).is_higher_than(Priority::new(1)));
+        assert!(!Priority::new(1).is_higher_than(Priority::new(1)));
+        assert!(!Priority::new(2).is_higher_than(Priority::new(1)));
+        assert_eq!(Priority::new(3).level(), 3);
+        assert_eq!(Priority::new(3).to_string(), "P3");
+    }
+
+    #[test]
+    fn response_time_jitter() {
+        let r = ResponseTime::new(Time::new(10), Time::new(60));
+        assert_eq!(r.jitter(), Time::new(50));
+        assert_eq!(r.to_string(), "[10, 60]");
+    }
+
+    #[test]
+    #[should_panic(expected = "r⁻ must not exceed r⁺")]
+    fn response_time_rejects_inverted_interval() {
+        let _ = ResponseTime::new(Time::new(60), Time::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "wcet must be at least bcet")]
+    fn task_rejects_inverted_cet() {
+        let m = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let _ = AnalysisTask::new("t", Time::new(10), Time::new(5), Priority::new(1), m);
+    }
+
+    #[test]
+    fn task_construction() {
+        let m = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let t = AnalysisTask::new("t", Time::new(5), Time::new(10), Priority::new(1), m);
+        assert_eq!(t.name, "t");
+        assert_eq!(t.bcet, Time::new(5));
+        assert_eq!(t.wcet, Time::new(10));
+    }
+}

@@ -1,0 +1,176 @@
+//! TDMA (time-division multiple access) analysis.
+//!
+//! A TDMA arbiter divides a fixed cycle of length `T` into static slots;
+//! each task/stream owns one slot of length `sᵢ` and executes *only*
+//! inside it. Unlike round-robin there is no work-conserving reuse of
+//! idle slots, so each task is perfectly isolated: its service is
+//! exactly the periodic resource `Γ = (T, sᵢ)` of
+//! [`crate::resource::PeriodicResource`], and the analysis reduces to a
+//! per-task busy window against the slot's supply bound function.
+
+use hem_time::Time;
+
+use crate::resource::{response_time_on, PeriodicResource};
+use crate::{AnalysisConfig, AnalysisError, AnalysisTask, TaskResult};
+
+/// A task bound to a TDMA slot.
+#[derive(Debug, Clone)]
+pub struct TdmaTask {
+    /// The task description (priority is ignored — slots isolate).
+    pub task: AnalysisTask,
+    /// The task's slot length within each cycle (≥ 1).
+    pub slot: Time,
+}
+
+impl TdmaTask {
+    /// Binds a task to a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot < 1`.
+    #[must_use]
+    pub fn new(task: AnalysisTask, slot: Time) -> Self {
+        assert!(slot >= Time::ONE, "TDMA slot must be at least one tick");
+        TdmaTask { task, slot }
+    }
+}
+
+/// Analyses a TDMA-arbitrated resource with cycle length `cycle`.
+///
+/// Results are returned in input order. Tasks are mutually isolated;
+/// each task's worst case assumes its slot is positioned adversarially
+/// within the cycle (the periodic-resource blackout bound).
+///
+/// # Errors
+///
+/// * [`AnalysisError::InvalidTaskSet`] if the slots oversubscribe the
+///   cycle (`Σ sᵢ > T`) or a slot exceeds the cycle,
+/// * [`AnalysisError::NoConvergence`] when a task's demand exceeds its
+///   slot's long-run supply.
+pub fn analyze(
+    tasks: &[TdmaTask],
+    cycle: Time,
+    config: &AnalysisConfig,
+) -> Result<Vec<TaskResult>, AnalysisError> {
+    if cycle < Time::ONE {
+        return Err(AnalysisError::invalid("TDMA cycle must be positive"));
+    }
+    let total: Time = tasks.iter().map(|t| t.slot).sum();
+    if total > cycle {
+        return Err(AnalysisError::invalid(format!(
+            "TDMA slots sum to {total}, exceeding the cycle {cycle}"
+        )));
+    }
+    tasks
+        .iter()
+        .map(|t| {
+            let partition = PeriodicResource::new(cycle, t.slot)?;
+            response_time_on(&t.task, &[], Time::ZERO, &partition, config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rr, Priority};
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    fn task(name: &str, c: i64, p: i64) -> AnalysisTask {
+        AnalysisTask::new(
+            name,
+            Time::new(c),
+            Time::new(c),
+            Priority::new(0),
+            StandardEventModel::periodic(Time::new(p)).unwrap().shared(),
+        )
+    }
+
+    #[test]
+    fn isolated_slots_bound_each_task() {
+        // Cycle 100, two slots of 20: each task sees Γ = (100, 20).
+        let tasks = vec![
+            TdmaTask::new(task("a", 10, 500), Time::new(20)),
+            TdmaTask::new(task("b", 30, 600), Time::new(20)),
+        ];
+        let r = analyze(&tasks, Time::new(100), &AnalysisConfig::default()).unwrap();
+        // a: sbf⁻¹(10) = 2·80 + 10 = 170.
+        assert_eq!(r[0].response.r_plus, Time::new(170));
+        // b: 30 needs 2 slots: 2·80 + 100 + 10 = 270.
+        assert_eq!(r[1].response.r_plus, Time::new(270));
+    }
+
+    #[test]
+    fn interferer_load_is_irrelevant() {
+        // b's demand does not change a's bound at all (full isolation).
+        let light = vec![
+            TdmaTask::new(task("a", 10, 500), Time::new(20)),
+            TdmaTask::new(task("b", 1, 10_000), Time::new(20)),
+        ];
+        let heavy = vec![
+            TdmaTask::new(task("a", 10, 500), Time::new(20)),
+            TdmaTask::new(task("b", 19, 110), Time::new(20)),
+        ];
+        let r_light = analyze(&light, Time::new(100), &AnalysisConfig::default()).unwrap();
+        let r_heavy = analyze(&heavy, Time::new(100), &AnalysisConfig::default()).unwrap();
+        assert_eq!(r_light[0], r_heavy[0]);
+    }
+
+    #[test]
+    fn tdma_is_never_tighter_than_round_robin() {
+        // Round-robin reuses idle slots; with identical slot sizes its
+        // bound is at most the TDMA bound for every task.
+        let mk = |name: &str, c: i64, p: i64| task(name, c, p);
+        let slot = Time::new(25);
+        let cycle = Time::new(75);
+        let defs = [("a", 10i64, 400i64), ("b", 20, 500), ("c", 15, 600)];
+        let tdma_tasks: Vec<TdmaTask> = defs
+            .iter()
+            .map(|(n, c, p)| TdmaTask::new(mk(n, *c, *p), slot))
+            .collect();
+        let rr_tasks: Vec<rr::RrTask> = defs
+            .iter()
+            .map(|(n, c, p)| rr::RrTask::new(mk(n, *c, *p), slot))
+            .collect();
+        let tdma_r = analyze(&tdma_tasks, cycle, &AnalysisConfig::default()).unwrap();
+        let rr_r = rr::analyze(&rr_tasks, &AnalysisConfig::default()).unwrap();
+        for (t, r) in tdma_r.iter().zip(&rr_r) {
+            assert!(
+                r.response.r_plus <= t.response.r_plus,
+                "{}: RR {} vs TDMA {}",
+                t.name,
+                r.response.r_plus,
+                t.response.r_plus
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscription_rejected() {
+        let tasks = vec![
+            TdmaTask::new(task("a", 1, 100), Time::new(60)),
+            TdmaTask::new(task("b", 1, 100), Time::new(60)),
+        ];
+        let err = analyze(&tasks, Time::new(100), &AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(err, AnalysisError::InvalidTaskSet(_)));
+    }
+
+    #[test]
+    fn slot_overload_detected() {
+        // 30 per 100 demanded, slot supplies 20 per 100.
+        let tasks = vec![TdmaTask::new(task("a", 30, 100), Time::new(20))];
+        let err = analyze(
+            &tasks,
+            Time::new(100),
+            &AnalysisConfig::with_max_busy_window(Time::new(200_000)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::NoConvergence { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot must be at least one tick")]
+    fn zero_slot_panics() {
+        let _ = TdmaTask::new(task("a", 1, 100), Time::ZERO);
+    }
+}

@@ -1,0 +1,89 @@
+//! Long-run utilization estimation for task sets.
+//!
+//! Busy-window analysis converges iff the long-run demand of the task set
+//! stays below the resource capacity. For arbitrary event models the
+//! utilization is estimated empirically as `Σᵢ ηᵢ⁺(H)·Cᵢ⁺ / H` over a
+//! large horizon `H`; for standard event models this converges to the
+//! familiar `Σ Cᵢ/Pᵢ` as `H → ∞`.
+
+use hem_event_models::EventModel;
+use hem_time::Time;
+
+use crate::AnalysisTask;
+
+/// Upper bound on the long-run utilization over the given horizon.
+///
+/// The bound is conservative (≥ the true long-run rate) because `η⁺`
+/// front-loads jitter and bursts; larger horizons tighten it.
+///
+/// # Panics
+///
+/// Panics if `horizon < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use hem_analysis::{utilization, AnalysisTask, Priority};
+/// use hem_event_models::{EventModelExt, StandardEventModel};
+/// use hem_time::Time;
+///
+/// let t = AnalysisTask::new("t", Time::new(25), Time::new(25), Priority::new(1),
+///     StandardEventModel::periodic(Time::new(100))?.shared());
+/// let u = utilization::utilization_bound(&[t], Time::new(1_000_000));
+/// assert!((u - 0.25).abs() < 0.001);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn utilization_bound(tasks: &[AnalysisTask], horizon: Time) -> f64 {
+    assert!(horizon >= Time::ONE, "horizon must be at least one tick");
+    let demand: i64 = tasks
+        .iter()
+        .map(|t| (t.wcet * t.input.eta_plus(horizon) as i64).ticks())
+        .sum();
+    demand as f64 / horizon.ticks() as f64
+}
+
+/// Whether the task set's demand bound exceeds the resource capacity over
+/// the horizon — a sufficient condition for busy-window divergence.
+#[must_use]
+pub fn is_overloaded(tasks: &[AnalysisTask], horizon: Time) -> bool {
+    utilization_bound(tasks, horizon) > 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Priority;
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    fn task(cet: i64, period: i64) -> AnalysisTask {
+        AnalysisTask::new(
+            "t",
+            Time::new(cet),
+            Time::new(cet),
+            Priority::new(0),
+            StandardEventModel::periodic(Time::new(period)).unwrap().shared(),
+        )
+    }
+
+    #[test]
+    fn periodic_utilization_converges() {
+        let tasks = vec![task(25, 100), task(30, 200)];
+        let u = utilization_bound(&tasks, Time::new(1_000_000));
+        assert!((u - 0.40).abs() < 0.01, "u = {u}");
+    }
+
+    #[test]
+    fn short_horizon_is_conservative() {
+        let tasks = vec![task(25, 100)];
+        let short = utilization_bound(&tasks, Time::new(100));
+        let long = utilization_bound(&tasks, Time::new(1_000_000));
+        assert!(short >= long);
+    }
+
+    #[test]
+    fn overload_detection() {
+        assert!(is_overloaded(&[task(60, 100), task(60, 100)], Time::new(100_000)));
+        assert!(!is_overloaded(&[task(40, 100)], Time::new(100_000)));
+    }
+}

@@ -1,0 +1,320 @@
+//! COM frames and their hierarchical packing.
+
+use std::error::Error;
+use std::fmt;
+
+use hem_core::{HierarchicalEventModel, HierarchicalStreamConstructor, PackConstructor,
+    PackInput, StreamRole};
+use hem_event_models::{EventModelExt, ModelError, StandardEventModel};
+use hem_time::Time;
+
+use crate::signal::{Signal, TransferProperty};
+
+/// Suffix of the synthetic timer stream's inner-stream name:
+/// `"<frame name>/timer"`.
+pub const TIMER_SIGNAL_SUFFIX: &str = "/timer";
+
+/// When the COM layer transmits a frame (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Sent strictly periodically; signal arrivals never trigger it.
+    Periodic(Time),
+    /// Sent whenever a triggering signal arrives.
+    Direct,
+    /// Sent periodically *and* on each triggering signal arrival.
+    Mixed(Time),
+}
+
+/// Error for invalid COM frame configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComError {
+    /// A direct frame has no triggering signal — it would never be sent.
+    NoTrigger(String),
+    /// A frame has no signals at all.
+    Empty(String),
+    /// Signal names within the frame collide.
+    DuplicateSignal(String),
+    /// Construction of the underlying event models failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for ComError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComError::NoTrigger(frame) => write!(
+                f,
+                "direct frame `{frame}` has no triggering signal and would never be sent"
+            ),
+            ComError::Empty(frame) => write!(f, "frame `{frame}` carries no signals"),
+            ComError::DuplicateSignal(name) => {
+                write!(f, "duplicate signal name `{name}` within one frame")
+            }
+            ComError::Model(e) => write!(f, "event model construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for ComError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ComError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ComError {
+    fn from(e: ModelError) -> Self {
+        ComError::Model(e)
+    }
+}
+
+/// A COM-layer frame: transmission rule, payload size and the signals
+/// packed into it.
+#[derive(Debug, Clone)]
+pub struct ComFrame {
+    name: String,
+    frame_type: FrameType,
+    payload_bytes: u8,
+    signals: Vec<Signal>,
+}
+
+impl ComFrame {
+    /// Creates a frame description.
+    ///
+    /// # Errors
+    ///
+    /// * [`ComError::Empty`] if `signals` is empty,
+    /// * [`ComError::DuplicateSignal`] on name collisions,
+    /// * [`ComError::NoTrigger`] for a [`FrameType::Direct`] frame without
+    ///   any [`TransferProperty::Triggering`] signal.
+    pub fn new(
+        name: impl Into<String>,
+        frame_type: FrameType,
+        payload_bytes: u8,
+        signals: Vec<Signal>,
+    ) -> Result<Self, ComError> {
+        let name = name.into();
+        if signals.is_empty() {
+            return Err(ComError::Empty(name));
+        }
+        for (i, a) in signals.iter().enumerate() {
+            if signals[i + 1..].iter().any(|b| b.name == a.name) {
+                return Err(ComError::DuplicateSignal(a.name.clone()));
+            }
+        }
+        if frame_type == FrameType::Direct
+            && !signals
+                .iter()
+                .any(|s| s.transfer == TransferProperty::Triggering)
+        {
+            return Err(ComError::NoTrigger(name));
+        }
+        Ok(ComFrame {
+            name,
+            frame_type,
+            payload_bytes,
+            signals,
+        })
+    }
+
+    /// The frame name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The transmission rule.
+    #[must_use]
+    pub fn frame_type(&self) -> FrameType {
+        self.frame_type
+    }
+
+    /// Payload size in bytes (used by the bus timing model).
+    #[must_use]
+    pub fn payload_bytes(&self) -> u8 {
+        self.payload_bytes
+    }
+
+    /// The packed signals.
+    #[must_use]
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Builds the hierarchical event model of this frame's transmission
+    /// stream via the pack constructor `Ω_pa`.
+    ///
+    /// The mapping from COM semantics to pack roles:
+    ///
+    /// * **Direct** frame — triggering signals trigger; pending signals
+    ///   ride along.
+    /// * **Periodic** frame — only the synthetic timer triggers; *every*
+    ///   signal is treated as pending (signal arrivals do not influence
+    ///   transmission), regardless of its declared transfer property.
+    /// * **Mixed** frame — timer and triggering signals trigger; pending
+    ///   signals ride along.
+    ///
+    /// The timer appears as an additional inner stream named
+    /// `"<frame>/timer"` (the paper treats the timer as "an additional
+    /// triggering signal").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComError::Model`] if the underlying constructors reject
+    /// the configuration.
+    pub fn packed(&self) -> Result<HierarchicalEventModel, ComError> {
+        let mut inputs: Vec<PackInput> = Vec::with_capacity(self.signals.len() + 1);
+        let timer_period = match self.frame_type {
+            FrameType::Periodic(p) | FrameType::Mixed(p) => Some(p),
+            FrameType::Direct => None,
+        };
+        for s in &self.signals {
+            let role = match (self.frame_type, s.transfer) {
+                // Periodic frames ignore transfer properties entirely.
+                (FrameType::Periodic(_), _) => StreamRole::Pending,
+                (_, TransferProperty::Triggering) => StreamRole::Triggering,
+                (_, TransferProperty::Pending) => StreamRole::Pending,
+            };
+            inputs.push(PackInput::new(s.name.clone(), s.model.clone(), role));
+        }
+        if let Some(p) = timer_period {
+            let timer = StandardEventModel::periodic(p)?.shared();
+            inputs.push(PackInput::triggering(
+                format!("{}{TIMER_SIGNAL_SUFFIX}", self.name),
+                timer,
+            ));
+        }
+        Ok(PackConstructor::new(inputs)?.construct()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_event_models::{EventModel, ModelRef};
+    use hem_time::TimeBound;
+
+    fn periodic(p: i64) -> ModelRef {
+        StandardEventModel::periodic(Time::new(p)).unwrap().shared()
+    }
+
+    fn three_signals() -> Vec<Signal> {
+        vec![
+            Signal::triggering("s1", periodic(250)),
+            Signal::triggering("s2", periodic(450)),
+            Signal::pending("s3", periodic(600)),
+        ]
+    }
+
+    #[test]
+    fn direct_frame_triggers_on_signals() {
+        let f = ComFrame::new("F1", FrameType::Direct, 4, three_signals()).unwrap();
+        let hem = f.packed().unwrap();
+        // Outer = OR(s1, s2): 3 + 2 arrivals within 601 ticks.
+        assert_eq!(hem.outer().eta_plus(Time::new(601)), 3 + 2);
+        // No timer inner stream.
+        assert!(hem.unpack_by_name("F1/timer").is_none());
+        // Triggering inner keeps its timing; pending is resampled.
+        assert_eq!(
+            hem.unpack_by_name("s1").unwrap().delta_min(2),
+            Time::new(250)
+        );
+        assert_eq!(
+            hem.unpack_by_name("s3").unwrap().delta_plus(2),
+            TimeBound::Infinite
+        );
+    }
+
+    #[test]
+    fn periodic_frame_ignores_transfer_properties() {
+        let f = ComFrame::new("F", FrameType::Periodic(Time::new(100)), 4, three_signals())
+            .unwrap();
+        let hem = f.packed().unwrap();
+        // Outer is exactly the timer.
+        assert_eq!(hem.outer().delta_min(2), Time::new(100));
+        assert_eq!(hem.outer().delta_plus(2), TimeBound::finite(100));
+        // Even the "triggering" s1 is pending here: resampled by frames.
+        let s1 = hem.unpack_by_name("s1").unwrap();
+        assert_eq!(s1.delta_plus(2), TimeBound::Infinite);
+        // δ'⁻(2) = max(250 − 100, 100) = 150.
+        assert_eq!(s1.delta_min(2), Time::new(150));
+        // Timer is exposed as an inner stream.
+        assert!(hem.unpack_by_name("F/timer").is_some());
+    }
+
+    #[test]
+    fn mixed_frame_combines_timer_and_triggers() {
+        let f = ComFrame::new(
+            "M",
+            FrameType::Mixed(Time::new(500)),
+            2,
+            vec![
+                Signal::triggering("a", periodic(300)),
+                Signal::pending("b", periodic(900)),
+            ],
+        )
+        .unwrap();
+        let hem = f.packed().unwrap();
+        // Outer = OR(a, timer): ⌈Δt/300⌉ + ⌈Δt/500⌉ within 901 ticks = 4 + 2.
+        assert_eq!(hem.outer().eta_plus(Time::new(901)), 4 + 2);
+        // The pending signal sees a max frame gap δ_out⁺(2) = 300 … wait:
+        // OR of periodic 300 and 500 has δ⁺(2) = 300 (the faster stream
+        // guarantees a frame at least every 300).
+        let b = hem.unpack_by_name("b").unwrap();
+        assert_eq!(b.delta_min(2), Time::new(900 - 300));
+    }
+
+    #[test]
+    fn direct_frame_without_trigger_rejected() {
+        let err = ComFrame::new(
+            "bad",
+            FrameType::Direct,
+            1,
+            vec![Signal::pending("p", periodic(100))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ComError::NoTrigger(_)));
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn periodic_frame_with_only_pending_is_fine() {
+        let f = ComFrame::new(
+            "ok",
+            FrameType::Periodic(Time::new(200)),
+            1,
+            vec![Signal::pending("p", periodic(100))],
+        )
+        .unwrap();
+        let hem = f.packed().unwrap();
+        assert_eq!(hem.outer().delta_min(2), Time::new(200));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            ComFrame::new("e", FrameType::Direct, 1, vec![]).unwrap_err(),
+            ComError::Empty(_)
+        ));
+        let dup = ComFrame::new(
+            "d",
+            FrameType::Direct,
+            1,
+            vec![
+                Signal::triggering("x", periodic(100)),
+                Signal::pending("x", periodic(200)),
+            ],
+        );
+        assert!(matches!(dup.unwrap_err(), ComError::DuplicateSignal(_)));
+    }
+
+    #[test]
+    fn accessors() {
+        let f = ComFrame::new("F1", FrameType::Direct, 4, three_signals()).unwrap();
+        assert_eq!(f.name(), "F1");
+        assert_eq!(f.frame_type(), FrameType::Direct);
+        assert_eq!(f.payload_bytes(), 4);
+        assert_eq!(f.signals().len(), 3);
+    }
+}

@@ -1,0 +1,56 @@
+//! AUTOSAR COM-layer model (paper §4).
+//!
+//! In an AUTOSAR communication stack, application tasks do not send bus
+//! messages directly. They write their output data into **registers**
+//! provided by the COM layer (overwriting previous values); each register
+//! has a fixed position inside a **frame**. The COM layer decides when a
+//! frame is transmitted:
+//!
+//! * a **periodic** frame is sent on a timer, unaffected by signal
+//!   arrivals,
+//! * a **direct** frame is sent whenever one of its *triggering* signals
+//!   arrives,
+//! * a **mixed** frame is both: timer *and* triggering signals.
+//!
+//! Independently, each signal has a *transfer property*: **triggering**
+//! signals cause transmission (for direct/mixed frames), **pending**
+//! signals only update their register and ride along with the next frame
+//! — possibly being overwritten before ever reaching the bus.
+//!
+//! [`ComFrame::packed`] turns such a frame into a
+//! [`HierarchicalEventModel`](hem_core::HierarchicalEventModel) via the
+//! pack constructor `Ω_pa`: the frame-activation (outer) stream is the
+//! OR-combination of timer + triggering signals (paper eqs. (3),(4) reused
+//! for frames), and per-signal inner streams follow eqs. (5)–(8).
+//!
+//! # Examples
+//!
+//! ```
+//! use hem_autosar_com::{ComFrame, FrameType, Signal, TransferProperty};
+//! use hem_event_models::{EventModel, EventModelExt, StandardEventModel};
+//! use hem_time::Time;
+//!
+//! // The paper's frame F1: three signals, two triggering, one pending.
+//! let f1 = ComFrame::new("F1", FrameType::Direct, 4, vec![
+//!     Signal::new("s1", StandardEventModel::periodic(Time::new(250))?.shared(),
+//!                 TransferProperty::Triggering),
+//!     Signal::new("s2", StandardEventModel::periodic(Time::new(450))?.shared(),
+//!                 TransferProperty::Triggering),
+//!     Signal::new("s3", StandardEventModel::periodic(Time::new(600))?.shared(),
+//!                 TransferProperty::Pending),
+//! ])?;
+//! let hem = f1.packed()?;
+//! // Frames are triggered by s1 and s2 only: within a 501-tick window at
+//! // most 3 s1-frames and 2 s2-frames.
+//! assert_eq!(hem.outer().eta_plus(Time::new(501)), 3 + 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod com_frame;
+mod signal;
+
+pub use com_frame::{ComError, ComFrame, FrameType, TIMER_SIGNAL_SUFFIX};
+pub use signal::{ReceptionMode, Signal, TransferProperty};

@@ -1,0 +1,145 @@
+//! Signals and their COM transfer properties.
+
+use hem_event_models::{EventModelExt, ModelError, ModelRef, StandardEventModel};
+use hem_time::Time;
+
+/// The AUTOSAR COM transfer property of a signal (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferProperty {
+    /// Each signal write triggers transmission of its frame (for direct
+    /// and mixed frames).
+    Triggering,
+    /// Writes only update the register; the value is transported by the
+    /// next frame transmission and may be overwritten before that.
+    Pending,
+}
+
+/// A COM signal: a named event stream with a transfer property.
+#[derive(Debug, Clone)]
+pub struct Signal {
+    /// Signal name (unique within its frame).
+    pub name: String,
+    /// The stream of write events produced by the sending task.
+    pub model: ModelRef,
+    /// Transfer property.
+    pub transfer: TransferProperty,
+}
+
+impl Signal {
+    /// Creates a signal.
+    #[must_use]
+    pub fn new(name: impl Into<String>, model: ModelRef, transfer: TransferProperty) -> Self {
+        Signal {
+            name: name.into(),
+            model,
+            transfer,
+        }
+    }
+
+    /// Convenience constructor for a triggering signal.
+    #[must_use]
+    pub fn triggering(name: impl Into<String>, model: ModelRef) -> Self {
+        Self::new(name, model, TransferProperty::Triggering)
+    }
+
+    /// Convenience constructor for a pending signal.
+    #[must_use]
+    pub fn pending(name: impl Into<String>, model: ModelRef) -> Self {
+        Self::new(name, model, TransferProperty::Pending)
+    }
+}
+
+/// How a receiving task consumes a signal from its reception register
+/// (paper §4: "either the receiving task fetches the register value from
+/// time to time or each time new data is written the process is
+/// activated").
+///
+/// The choice between [`ReceptionMode::Interrupt`] and
+/// [`ReceptionMode::EveryFrame`] is exactly the AUTOSAR *update bit*
+/// configuration: with update bits the COM layer can tell which signals
+/// of a received frame are fresh and notify only their consumers (the
+/// unpacked inner stream); without them every frame reception notifies
+/// every consumer (the total frame stream) — which is precisely the flat
+/// activation model the paper's Table 3 shows to be so pessimistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReceptionMode {
+    /// The task is activated per *fresh value* of its signal (update
+    /// bits present): its activation stream is the unpacked inner signal
+    /// stream.
+    Interrupt,
+    /// The task is activated on *every* reception of the transporting
+    /// frame (no update bits): its activation stream is the total frame
+    /// stream.
+    EveryFrame,
+    /// The task polls the register periodically with the given period:
+    /// its activation stream is a plain periodic model, independent of
+    /// the signal timing.
+    Polling(Time),
+}
+
+impl ReceptionMode {
+    /// The activation event model of a receiving task, given the
+    /// (already unpacked) signal stream and the total frame stream after
+    /// transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for a polling period < 1.
+    pub fn activation_model(
+        self,
+        unpacked_signal: &ModelRef,
+        frame_stream: &ModelRef,
+    ) -> Result<ModelRef, ModelError> {
+        match self {
+            ReceptionMode::Interrupt => Ok(unpacked_signal.clone()),
+            ReceptionMode::EveryFrame => Ok(frame_stream.clone()),
+            ReceptionMode::Polling(period) => {
+                Ok(StandardEventModel::periodic(period)?.shared())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_event_models::EventModel;
+
+    fn periodic(p: i64) -> ModelRef {
+        StandardEventModel::periodic(Time::new(p)).unwrap().shared()
+    }
+
+    #[test]
+    fn constructors_set_transfer() {
+        let t = Signal::triggering("a", periodic(100));
+        assert_eq!(t.transfer, TransferProperty::Triggering);
+        let p = Signal::pending("b", periodic(100));
+        assert_eq!(p.transfer, TransferProperty::Pending);
+        assert_eq!(p.name, "b");
+    }
+
+    #[test]
+    fn interrupt_reception_passes_signal_through() {
+        let s = periodic(150);
+        let f = periodic(50);
+        let m = ReceptionMode::Interrupt.activation_model(&s, &f).unwrap();
+        assert_eq!(m.delta_min(2), Time::new(150));
+    }
+
+    #[test]
+    fn every_frame_reception_uses_frame_stream() {
+        let s = periodic(150);
+        let f = periodic(50);
+        let m = ReceptionMode::EveryFrame.activation_model(&s, &f).unwrap();
+        assert_eq!(m.delta_min(2), Time::new(50));
+    }
+
+    #[test]
+    fn polling_reception_is_periodic() {
+        let s = periodic(150);
+        let f = periodic(50);
+        let m = ReceptionMode::Polling(Time::new(40)).activation_model(&s, &f).unwrap();
+        assert_eq!(m.delta_min(2), Time::new(40));
+        assert!(ReceptionMode::Polling(Time::ZERO).activation_model(&s, &f).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the analysis building blocks: event-model
+//! queries, OR-combination, busy-window analysis, and the full
+//! pack → transport → unpack pipeline.
+//!
+//! Run with `cargo bench -p hem-bench --bench analysis_perf`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hem_analysis::{spp, AnalysisConfig, AnalysisTask, Priority};
+use hem_core::{HierarchicalStreamConstructor, PackConstructor, PackInput};
+use hem_event_models::ops::OrJoin;
+use hem_event_models::{convert, EventModel, EventModelExt, ModelRef, StandardEventModel};
+use hem_time::Time;
+
+fn sem(p: i64, j: i64) -> StandardEventModel {
+    StandardEventModel::periodic_with_jitter(Time::new(p), Time::new(j)).expect("valid")
+}
+
+fn bench_eta(c: &mut Criterion) {
+    let m = sem(250, 80);
+    let mut group = c.benchmark_group("eta_plus");
+    group.bench_function("closed_form", |b| {
+        b.iter(|| black_box(&m).eta_plus(black_box(Time::new(12_345))))
+    });
+    group.bench_function("generic_search", |b| {
+        b.iter(|| {
+            convert::eta_plus_from_delta_min(&|n| m.delta_min(n), black_box(Time::new(12_345)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_or_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("or_join_delta_min");
+    for k in [2usize, 4, 8] {
+        let inputs: Vec<ModelRef> = (0..k)
+            .map(|i| sem(200 + 37 * i as i64, 25).shared())
+            .collect();
+        let or = OrJoin::new(inputs).expect("non-empty");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &or, |b, or| {
+            b.iter(|| black_box(or).delta_min(black_box(20)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spp_analysis");
+    for n in [3usize, 6, 12] {
+        let tasks: Vec<AnalysisTask> = (0..n)
+            .map(|i| {
+                AnalysisTask::new(
+                    format!("t{i}"),
+                    Time::new(5),
+                    Time::new(5),
+                    Priority::new(i as u32),
+                    sem(100 + 30 * i as i64, 10).shared(),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| {
+                spp::analyze(black_box(tasks), &AnalysisConfig::default()).expect("converges")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pack_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hem_pipeline");
+    group.bench_function("pack_process_unpack", |b| {
+        b.iter(|| {
+            let hem = PackConstructor::new(vec![
+                PackInput::triggering("a", sem(250, 0).shared()),
+                PackInput::triggering("b", sem(450, 0).shared()),
+                PackInput::pending("c", sem(600, 0).shared()),
+            ])
+            .expect("has trigger")
+            .construct()
+            .expect("constructs");
+            let after = hem
+                .process(Time::new(79), Time::new(170))
+                .expect("valid rt");
+            black_box(after.unpack_by_name("c").expect("present").delta_min(5))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eta,
+    bench_or_join,
+    bench_spp,
+    bench_pack_pipeline
+);
+criterion_main!(benches);

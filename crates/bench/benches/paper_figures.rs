@@ -1,0 +1,50 @@
+//! Criterion bench regenerating the paper's Figure 4 (and timing the
+//! η⁺-staircase extraction).
+//!
+//! Run with `cargo bench -p hem-bench --bench paper_figures`. The figure
+//! series are printed once at startup (breakpoints of all four curves);
+//! the benchmark then measures curve extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hem_bench::paper_system::{figure4, PaperParams};
+use hem_time::Time;
+
+fn print_figure_once(dt_max: Time) {
+    let fig = figure4(&PaperParams::default(), dt_max).expect("paper system analyses");
+    eprintln!();
+    eprintln!("Figure 4 — η⁺ staircases up to Δt = {dt_max} (breakpoints: Δt→count)");
+    for (label, steps) in [
+        ("F1 frames", &fig.frame_f1),
+        ("T1 input ", &fig.t1_input),
+        ("T2 input ", &fig.t2_input),
+        ("T3 input ", &fig.t3_input),
+    ] {
+        let pts: Vec<String> = steps
+            .iter()
+            .take(12)
+            .map(|s| format!("{}→{}", s.at, s.count))
+            .collect();
+        eprintln!(
+            "  {label}: {}{}",
+            pts.join(" "),
+            if steps.len() > 12 { " …" } else { "" }
+        );
+    }
+    eprintln!();
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    let params = PaperParams::default();
+    let dt_max = Time::new(2000 * params.cpu_scale);
+    print_figure_once(dt_max);
+    let mut group = c.benchmark_group("figure4");
+    group.bench_function("staircase_extraction", |b| {
+        b.iter(|| figure4(black_box(&params), black_box(dt_max)).expect("converges"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

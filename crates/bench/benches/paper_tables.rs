@@ -1,0 +1,55 @@
+//! Criterion bench regenerating the paper's Table 3 (and timing the
+//! analyses that produce it).
+//!
+//! Run with `cargo bench -p hem-bench --bench paper_tables`. The table
+//! itself is printed once at startup; the benchmark then measures the
+//! flat and hierarchical global analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hem_bench::paper_system::{analyze_mode, table3, PaperParams};
+use hem_system::AnalysisMode;
+
+fn print_table_once() {
+    let params = PaperParams::default();
+    let rows = table3(&params).expect("paper system analyses");
+    eprintln!();
+    eprintln!(
+        "Table 3 — WCRT flat vs. HEM (S3 = {}, scale = {})",
+        params.s3_period, params.cpu_scale
+    );
+    for row in &rows {
+        eprintln!(
+            "  {}  CET {:>4}  {:<4}  R+flat {:>6}  R+HEM {:>6}  red {:>5.1}%",
+            row.task,
+            row.cet,
+            row.priority,
+            row.r_flat,
+            row.r_hem,
+            row.reduction_percent()
+        );
+    }
+    eprintln!();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    print_table_once();
+    let params = PaperParams::default();
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("flat_analysis", |b| {
+        b.iter(|| analyze_mode(black_box(&params), AnalysisMode::Flat).expect("converges"))
+    });
+    group.bench_function("hierarchical_analysis", |b| {
+        b.iter(|| {
+            analyze_mode(black_box(&params), AnalysisMode::Hierarchical).expect("converges")
+        })
+    });
+    group.bench_function("full_table", |b| {
+        b.iter(|| table3(black_box(&params)).expect("converges"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

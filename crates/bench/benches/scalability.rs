@@ -1,0 +1,112 @@
+//! Scalability of the global analysis: runtime vs. system size.
+//!
+//! Generates synthetic systems with `k` frames (three signals each, one
+//! receiver task per signal) on one bus/CPU pair and measures the full
+//! global fixed-point analysis in both modes.
+//!
+//! Run with `cargo bench -p hem-bench --bench scalability`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hem_analysis::Priority;
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_can::{CanBusConfig, FrameFormat};
+use hem_event_models::{EventModelExt, StandardEventModel};
+use hem_system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_time::Time;
+
+/// `k` frames × 3 signals × 1 receiver each; periods staggered to avoid
+/// harmonic artifacts, utilizations kept low so every size converges.
+fn synthetic_system(k: usize) -> SystemSpec {
+    let mut spec = SystemSpec::new()
+        .cpu("cpu")
+        .bus("can", CanBusConfig::new(Time::new(1)));
+    let mut prio = 0u32;
+    for f in 0..k {
+        let signals = (0..3)
+            .map(|s| SignalSpec {
+                name: format!("s{s}"),
+                transfer: if s == 2 {
+                    TransferProperty::Pending
+                } else {
+                    TransferProperty::Triggering
+                },
+                source: ActivationSpec::External(
+                    StandardEventModel::periodic(Time::new(20_000 + 1_700 * (3 * f + s) as i64))
+                        .expect("positive period")
+                        .shared(),
+                ),
+            })
+            .collect();
+        spec = spec.frame(FrameSpec {
+            name: format!("F{f}"),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 8,
+            format: FrameFormat::Standard,
+            priority: Priority::new(f as u32 + 1),
+            signals,
+        });
+        for s in 0..3 {
+            spec = spec.task(TaskSpec {
+                name: format!("rx_{f}_{s}"),
+                cpu: "cpu".into(),
+                bcet: Time::new(120),
+                wcet: Time::new(120),
+                priority: Priority::new(prio),
+                activation: ActivationSpec::Signal {
+                    frame: format!("F{f}"),
+                    signal: format!("s{s}"),
+                },
+            });
+            prio += 1;
+        }
+    }
+    spec
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_analysis");
+    for k in [2usize, 4, 8] {
+        let spec = synthetic_system(k);
+        // Sanity: both modes converge at this size.
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("hier converges");
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).expect("flat converges");
+        group.bench_with_input(BenchmarkId::new("hierarchical", k), &spec, |b, spec| {
+            b.iter(|| {
+                analyze(black_box(spec), &SystemConfig::new(AnalysisMode::Hierarchical))
+                    .expect("converges")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat", k), &spec, |b, spec| {
+            b.iter(|| {
+                analyze(black_box(spec), &SystemConfig::new(AnalysisMode::Flat))
+                    .expect("converges")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    use hem_bench::paper_system::{simulation, PaperParams};
+    let params = PaperParams::default();
+    let mut group = c.benchmark_group("simulation");
+    for horizon in [100_000i64, 500_000] {
+        let horizon = Time::new(horizon);
+        let sys = simulation(&params, horizon, 7);
+        group.bench_with_input(
+            BenchmarkId::new("paper_system", horizon.ticks()),
+            &sys,
+            |b, sys| b.iter(|| hem_sim::system::run(black_box(sys), horizon)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability, bench_simulation);
+criterion_main!(benches);

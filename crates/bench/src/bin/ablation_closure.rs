@@ -1,0 +1,58 @@
+//! Ext-I ablation: additive-closure refinement of the inner update.
+//!
+//! Def. 9's inner update is conservative but not super-additive; the
+//! additive closure (`AdditiveClosure`) recovers the slack without
+//! touching soundness. This bin measures how much that is worth on the
+//! paper system across relative bus speeds.
+//!
+//! Run with `cargo run -p hem-bench --bin ablation_closure`.
+
+use hem_bench::paper_system::{spec, PaperParams};
+use hem_system::{analyze, AnalysisMode, SystemConfig};
+
+fn main() {
+    println!("Additive-closure refinement of unpacked inner streams (Def. 9 + closure)");
+    println!();
+    println!(
+        "{:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "cpu_scale", "T1 Def.9", "T1 +cl", "T2 Def.9", "T2 +cl", "T3 Def.9", "T3 +cl"
+    );
+    for cpu_scale in [1i64, 2, 5, 10, 20] {
+        let params = PaperParams {
+            cpu_scale,
+            ..PaperParams::default()
+        };
+        let system = spec(&params);
+        let plain = analyze(&system, &SystemConfig::new(AnalysisMode::Hierarchical));
+        let tightened = analyze(
+            &system,
+            &SystemConfig {
+                tighten_inner: true,
+                ..SystemConfig::new(AnalysisMode::Hierarchical)
+            },
+        );
+        let cell = |r: &Result<hem_system::SystemResults, _>, task: &str| -> String {
+            r.as_ref()
+                .map(|r| r.task(task).expect("analysed").response.r_plus.to_string())
+                .unwrap_or_else(|_| "div".into())
+        };
+        print!("{cpu_scale:>9} |");
+        for task in ["T1", "T2", "T3"] {
+            let a = cell(&plain, task);
+            let b = cell(&tightened, task);
+            let marker = if a != b { "*" } else { " " };
+            print!(" {a:>9} {b:>8}{marker} |");
+        }
+        println!();
+        // Soundness cross-check: tightening must never increase a bound.
+        if let (Ok(p), Ok(t)) = (&plain, &tightened) {
+            for task in ["T1", "T2", "T3"] {
+                let rp = p.task(task).expect("analysed").response.r_plus;
+                let rt = t.task(task).expect("analysed").response.r_plus;
+                assert!(rt <= rp, "{task} at scale {cpu_scale}: closure loosened the bound");
+            }
+        }
+    }
+    println!();
+    println!("(* = the closure changed the bound)");
+}

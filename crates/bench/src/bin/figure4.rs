@@ -1,0 +1,37 @@
+//! Regenerates Figure 4 of the paper: the `η⁺(Δt)` staircases of frame
+//! F1's output stream (total frame arrivals) and of the three unpacked
+//! signal streams activating T1–T3.
+//!
+//! Prints the exact staircase breakpoints; pipe into a plotting tool of
+//! your choice. Run with `cargo run -p hem-bench --bin figure4`.
+
+use hem_bench::paper_system::{figure4, PaperParams};
+use hem_event_models::sampling::EtaStep;
+use hem_time::Time;
+
+fn print_series(label: &str, steps: &[EtaStep]) {
+    println!("# {label}");
+    println!("# dt eta_plus");
+    for s in steps {
+        println!("{} {}", s.at, s.count);
+    }
+    println!();
+}
+
+fn main() {
+    let params = PaperParams::default();
+    // The paper's x-axis spans 2000 of its time units.
+    let dt_max = Time::new(2000 * params.cpu_scale);
+    let fig = match figure4(&params, dt_max) {
+        Ok(fig) => fig,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("# Figure 4 — η⁺ staircases, Δt ∈ (0, {dt_max}]");
+    print_series("F1 total frame arrivals (black dots)", &fig.frame_f1);
+    print_series("T1 input: unpacked s1 (red squares)", &fig.t1_input);
+    print_series("T2 input: unpacked s2 (blue squares)", &fig.t2_input);
+    print_series("T3 input: unpacked s3 (green triangles)", &fig.t3_input);
+}

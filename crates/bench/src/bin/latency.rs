@@ -1,0 +1,48 @@
+//! Ext-F: end-to-end signal latencies of the paper system — the "signal
+//! latency requirements" (paper §4) that the COM-layer design trades
+//! off. Triggering signals pay no sampling delay but load the bus;
+//! pending signals save bus load but wait for the next frame (and may
+//! lose values to register overwrites).
+//!
+//! Run with `cargo run -p hem-bench --bin latency`.
+
+use hem_bench::paper_system::{spec, PaperParams};
+use hem_system::path::{analyze_path, signal_paths};
+use hem_system::{analyze, AnalysisMode, SystemConfig};
+
+fn main() {
+    let params = PaperParams::default();
+    let system = spec(&params);
+    let results = match analyze(&system, &SystemConfig::new(AnalysisMode::Hierarchical)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("End-to-end signal latencies (hierarchical analysis, scale = {})", params.cpu_scale);
+    println!();
+    println!(
+        "{:<14} {:>9} {:>10} {:>9} {:>9} {:>10}",
+        "path", "sampling", "transport", "reaction", "total", "delivery"
+    );
+    for path in signal_paths(&system) {
+        match analyze_path(&system, &results, &path) {
+            Ok(lat) => println!(
+                "{:<14} {:>9} {:>10} {:>9} {:>9} {:>10}",
+                format!("{}/{}→{}", path.frame, path.signal, path.task),
+                lat.sampling,
+                lat.transport,
+                lat.reaction,
+                lat.total(),
+                if lat.guaranteed_delivery { "all" } else { "freshest" },
+            ),
+            Err(e) => println!("{:<14} {e}", format!("{}/{}", path.frame, path.signal)),
+        }
+    }
+    println!();
+    println!(
+        "delivery = \"all\": every write arrives; \"freshest\": pending register \
+         may be overwritten, the bound covers delivered values only."
+    );
+}

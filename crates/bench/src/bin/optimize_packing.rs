@@ -1,0 +1,180 @@
+//! Ext-H: design-space exploration — which signals should share a frame?
+//!
+//! Enumerates every partition of the paper's four signals into frames
+//! (15 set partitions), analyses each configuration hierarchically, and
+//! prints the trade-off between bus load, per-task WCRTs and end-to-end
+//! latencies. This exercises the library as the design tool the paper
+//! positions CPA to be.
+//!
+//! Run with `cargo run -p hem-bench --bin optimize_packing --release`.
+
+use hem_analysis::Priority;
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_can::{CanBusConfig, FrameFormat};
+use hem_event_models::{EventModelExt, StandardEventModel};
+use hem_system::path::{analyze_path, signal_paths};
+use hem_system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_time::Time;
+
+/// Signal table: (name, period in ticks, pending?, receiver CET or 0).
+const SIGNALS: [(&str, i64, bool, i64); 4] = [
+    ("s1", 2500, false, 240),
+    ("s2", 4500, false, 320),
+    ("s3", 6000, true, 400),
+    ("s4", 4000, false, 0),
+];
+
+/// All partitions of `n` items (restricted-growth strings).
+fn partitions(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut rgs = vec![0usize; n];
+    loop {
+        out.push(rgs.clone());
+        // Next restricted-growth string.
+        let mut i = n;
+        loop {
+            if i == 1 {
+                return out;
+            }
+            i -= 1;
+            let max_prev = rgs[..i].iter().copied().max().unwrap_or(0);
+            if rgs[i] <= max_prev {
+                rgs[i] += 1;
+                for r in rgs.iter_mut().skip(i + 1) {
+                    *r = 0;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn build_spec(assignment: &[usize]) -> Option<SystemSpec> {
+    let groups = assignment.iter().copied().max().unwrap_or(0) + 1;
+    let mut spec = SystemSpec::new()
+        .cpu("cpu1")
+        .bus("can", CanBusConfig::new(Time::new(1)));
+    for g in 0..groups {
+        let members: Vec<usize> = (0..SIGNALS.len()).filter(|&i| assignment[i] == g).collect();
+        // A direct frame needs a triggering member.
+        if members.iter().all(|&i| SIGNALS[i].2) {
+            return None;
+        }
+        let signals = members
+            .iter()
+            .map(|&i| {
+                let (name, period, pending, _) = SIGNALS[i];
+                SignalSpec {
+                    name: name.into(),
+                    transfer: if pending {
+                        TransferProperty::Pending
+                    } else {
+                        TransferProperty::Triggering
+                    },
+                    source: ActivationSpec::External(
+                        StandardEventModel::periodic(Time::new(period))
+                            .expect("positive period")
+                            .shared(),
+                    ),
+                }
+            })
+            .collect();
+        spec = spec.frame(FrameSpec {
+            name: format!("F{g}"),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: members.len() as u8,
+            format: FrameFormat::Standard,
+            priority: Priority::new(g as u32 + 1),
+            signals,
+        });
+    }
+    for (i, (name, _, _, cet)) in SIGNALS.iter().enumerate() {
+        if *cet == 0 {
+            continue;
+        }
+        spec = spec.task(TaskSpec {
+            name: format!("rx_{name}"),
+            cpu: "cpu1".into(),
+            bcet: Time::new(*cet),
+            wcet: Time::new(*cet),
+            priority: Priority::new(i as u32 + 1),
+            activation: ActivationSpec::Signal {
+                frame: format!("F{}", assignment[i]),
+                signal: (*name).into(),
+            },
+        });
+    }
+    Some(spec)
+}
+
+fn label(assignment: &[usize]) -> String {
+    let groups = assignment.iter().copied().max().unwrap_or(0) + 1;
+    (0..groups)
+        .map(|g| {
+            let names: Vec<&str> = (0..SIGNALS.len())
+                .filter(|&i| assignment[i] == g)
+                .map(|i| SIGNALS[i].0)
+                .collect();
+            format!("{{{}}}", names.join(","))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    println!("Packing exploration — all partitions of {{s1, s2, s3, s4}} into direct frames");
+    println!();
+    println!(
+        "{:<28} {:>7} {:>9} {:>11} {:>12}",
+        "frames", "#frames", "worst R+", "worst lat.", "verdict"
+    );
+    let mut best: Option<(Time, String)> = None;
+    for assignment in partitions(SIGNALS.len()) {
+        let Some(spec) = build_spec(&assignment) else {
+            println!("{:<28} {:>7} — pending-only frame never sends", label(&assignment), "-");
+            continue;
+        };
+        let frames = assignment.iter().copied().max().unwrap_or(0) + 1;
+        match analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)) {
+            Ok(results) => {
+                let worst_r = results
+                    .tasks()
+                    .map(|(_, r)| r.response.r_plus)
+                    .max()
+                    .unwrap_or(Time::ZERO);
+                let worst_lat = signal_paths(&spec)
+                    .iter()
+                    .filter_map(|p| analyze_path(&spec, &results, p).ok())
+                    .map(|l| l.total())
+                    .max()
+                    .unwrap_or(Time::ZERO);
+                let line = label(&assignment);
+                if best.as_ref().is_none_or(|(b, _)| worst_lat < *b) {
+                    best = Some((worst_lat, line.clone()));
+                }
+                println!(
+                    "{:<28} {:>7} {:>9} {:>11} {:>12}",
+                    line, frames, worst_r, worst_lat, "ok"
+                );
+            }
+            Err(_) => {
+                println!(
+                    "{:<28} {:>7} {:>9} {:>11} {:>12}",
+                    label(&assignment),
+                    frames,
+                    "-",
+                    "-",
+                    "diverges"
+                );
+            }
+        }
+    }
+    if let Some((lat, line)) = best {
+        println!();
+        println!("lowest worst-case latency: {lat} with {line}");
+    }
+}

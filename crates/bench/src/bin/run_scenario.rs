@@ -1,0 +1,50 @@
+//! Analyse a textual scenario file (see `hem_system::dsl` for the
+//! format; examples in `crates/bench/scenarios/`).
+//!
+//! ```sh
+//! cargo run -p hem-bench --bin run_scenario -- crates/bench/scenarios/paper.hem
+//! cargo run -p hem-bench --bin run_scenario -- crates/bench/scenarios/gateway.hem flat
+//! ```
+//!
+//! The optional second argument selects the analysis mode
+//! (`hierarchical` default, `flat`, `flatsem`).
+
+use hem_system::{analyze, dsl, report, AnalysisMode, SystemConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: run_scenario <scenario file> [hierarchical|flat|flatsem]");
+        std::process::exit(2);
+    };
+    let mode = match args.next().as_deref() {
+        None | Some("hierarchical") => AnalysisMode::Hierarchical,
+        Some("flat") => AnalysisMode::Flat,
+        Some("flatsem") => AnalysisMode::FlatSem,
+        Some(other) => {
+            eprintln!("unknown mode `{other}` (hierarchical|flat|flatsem)");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let spec = match dsl::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            std::process::exit(1);
+        }
+    };
+    match analyze(&spec, &SystemConfig::new(mode)) {
+        Ok(results) => print!("{}", report::render(&spec, &results)),
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Ext-B ablation: relative bus speed. `cpu_scale` is the number of bus
+//! bit-time ticks per paper time unit — large values mean a fast bus
+//! relative to the CPU work. The flat analysis loses the most when
+//! frames arrive much faster than tasks execute; when the bus is slow
+//! (`cpu_scale = 1`), frame serialization already spaces activations and
+//! only the pending low-priority task benefits from HEMs.
+//!
+//! Run with `cargo run -p hem-bench --bin sweep_bus`.
+
+use hem_bench::paper_system::{table3, PaperParams};
+
+fn main() {
+    println!("Relative bus-speed sweep — cpu_scale (ticks per paper unit) vs. reduction");
+    println!();
+    println!(
+        "{:>9} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6}",
+        "cpu_scale", "T1 flat", "T1 HEM", "red%", "T2 flat", "T2 HEM", "red%", "T3 flat",
+        "T3 HEM", "red%"
+    );
+    for cpu_scale in [1i64, 2, 3, 5, 8, 10, 15, 20, 30, 50] {
+        let params = PaperParams {
+            cpu_scale,
+            ..PaperParams::default()
+        };
+        match table3(&params) {
+            Ok(rows) => {
+                print!("{cpu_scale:>9} |");
+                for row in &rows {
+                    print!(
+                        " {:>8} {:>8} {:>5.1}% |",
+                        row.r_flat,
+                        row.r_hem,
+                        row.reduction_percent()
+                    );
+                }
+                println!();
+            }
+            Err(e) => println!("{cpu_scale:>9} | analysis failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Ext-C ablation: packing density. A frame carrying `k` triggering
+//! signals is transmitted at the sum of the signal rates; under flat
+//! analysis every receiver sees all of them, so the over-estimation — and
+//! the HEM reduction — grows with `k`.
+//!
+//! Run with `cargo run -p hem-bench --bin sweep_packing`.
+
+use hem_analysis::Priority;
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_can::{CanBusConfig, FrameFormat};
+use hem_event_models::{EventModelExt, StandardEventModel};
+use hem_system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_time::Time;
+
+/// Builds a frame packing `k` triggering signals with staggered periods;
+/// one receiver task per signal.
+fn dense_system(k: usize) -> SystemSpec {
+    let mut spec = SystemSpec::new()
+        .cpu("cpu")
+        .bus("can", CanBusConfig::new(Time::new(1)));
+    let signals: Vec<SignalSpec> = (0..k)
+        .map(|i| SignalSpec {
+            name: format!("s{i}"),
+            transfer: TransferProperty::Triggering,
+            source: ActivationSpec::External(
+                StandardEventModel::periodic(Time::new(900 + 150 * i as i64))
+                    .expect("positive period")
+                    .shared(),
+            ),
+        })
+        .collect();
+    spec = spec.frame(FrameSpec {
+        name: "F".into(),
+        bus: "can".into(),
+        frame_type: FrameType::Direct,
+        payload_bytes: 8,
+        format: FrameFormat::Standard,
+        priority: Priority::new(1),
+        signals,
+    });
+    for i in 0..k {
+        spec = spec.task(TaskSpec {
+            name: format!("rx{i}"),
+            cpu: "cpu".into(),
+            bcet: Time::new(30),
+            wcet: Time::new(30),
+            priority: Priority::new(i as u32 + 1),
+            activation: ActivationSpec::Signal {
+                frame: "F".into(),
+                signal: format!("s{i}"),
+            },
+        });
+    }
+    spec
+}
+
+fn main() {
+    println!("Packing-density sweep — k signals per frame, WCRT of the lowest-priority receiver");
+    println!();
+    println!(
+        "{:>3} | {:>10} {:>10} {:>8}",
+        "k", "flat", "HEM", "red%"
+    );
+    for k in 2..=8 {
+        let spec = dense_system(k);
+        let low = format!("rx{}", k - 1);
+        let wcrt = |mode: AnalysisMode| -> String {
+            match analyze(&spec, &SystemConfig::new(mode)) {
+                Ok(r) => r
+                    .task(&low)
+                    .expect("receiver analysed")
+                    .response
+                    .r_plus
+                    .to_string(),
+                Err(_) => "diverges".into(),
+            }
+        };
+        let flat = wcrt(AnalysisMode::Flat);
+        let hem = wcrt(AnalysisMode::Hierarchical);
+        let red = match (flat.parse::<i64>(), hem.parse::<i64>()) {
+            (Ok(f), Ok(h)) => format!("{:>7.1}%", 100.0 * (f - h) as f64 / f as f64),
+            _ => "   —".into(),
+        };
+        println!("{k:>3} | {flat:>10} {hem:>10} {red}");
+    }
+}

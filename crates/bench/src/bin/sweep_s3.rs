@@ -1,0 +1,39 @@
+//! Ext-A ablation: sweeps the period of the pending source S3 — the one
+//! parameter the available scan of the paper lost — and shows that the
+//! Table 3 *shape* (HEM dominates flat, biggest win for the pending
+//! low-priority task) is robust to the choice.
+//!
+//! Run with `cargo run -p hem-bench --bin sweep_s3`.
+
+use hem_bench::paper_system::{table3, PaperParams};
+
+fn main() {
+    println!("S3-period sweep — WCRT flat vs. HEM (reduction %)");
+    println!();
+    println!(
+        "{:>6} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7}",
+        "P(S3)", "T1 flat", "T1 HEM", "red%", "T2 flat", "T2 HEM", "red%", "T3 flat", "T3 HEM",
+        "red%"
+    );
+    for s3_period in (300..=1200).step_by(100) {
+        let params = PaperParams {
+            s3_period,
+            ..PaperParams::default()
+        };
+        match table3(&params) {
+            Ok(rows) => {
+                print!("{s3_period:>6} |");
+                for row in &rows {
+                    print!(
+                        " {:>8} {:>8} {:>6.1}% |",
+                        row.r_flat,
+                        row.r_hem,
+                        row.reduction_percent()
+                    );
+                }
+                println!();
+            }
+            Err(e) => println!("{s3_period:>6} | analysis failed: {e}"),
+        }
+    }
+}

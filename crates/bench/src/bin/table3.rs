@@ -1,0 +1,31 @@
+//! Regenerates Table 3 of the paper: WCRT of T1–T3 on CPU1 with flat
+//! event streams vs. hierarchical event models.
+//!
+//! Run with `cargo run -p hem-bench --bin table3 [--release]`.
+
+use hem_bench::paper_system::{table3, PaperParams};
+
+fn main() {
+    let params = PaperParams::default();
+    let rows = match table3(&params) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("Table 3 — CPU (SPP-scheduled): WCRT flat vs. HEM");
+    println!("(S3 period assumed {} — see DESIGN.md)", params.s3_period);
+    println!();
+    println!(
+        "{:<6} {:<10} {:<6} {:>8} {:>8} {:>8}",
+        "Task", "CET", "Prio", "R+ flat", "R+ HEM", "Red."
+    );
+    for row in &rows {
+        println!(
+            "{:<6} [{}:{}]{:<3} {:<6} {:>8} {:>8} {:>7.1}%",
+            row.task, row.cet, row.cet, "", row.priority, row.r_flat, row.r_hem,
+            row.reduction_percent()
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Ext-D validation: runs the behavioural simulation of the paper system
+//! across many seeds and checks every observation against the analytic
+//! bounds — observed worst responses must never exceed the computed
+//! `R⁺`, and the HEM bound must stay above what the system actually does.
+//!
+//! Run with `cargo run -p hem-bench --bin validate_sim --release`.
+
+use hem_bench::paper_system::{analyze_mode, simulate, PaperParams};
+use hem_system::AnalysisMode;
+use hem_time::Time;
+
+fn main() {
+    let params = PaperParams::default();
+    let hem = match analyze_mode(&params, AnalysisMode::Hierarchical) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let horizon = Time::new(500_000);
+    let seeds = 25u64;
+    let mut worst_observed: std::collections::BTreeMap<String, Time> = Default::default();
+    let mut violations = 0u32;
+    for seed in 0..seeds {
+        let report = simulate(&params, horizon, seed);
+        for (name, &obs) in report
+            .task_worst_response
+            .iter()
+            .chain(report.frame_worst_response.iter())
+        {
+            let entry = worst_observed.entry(name.clone()).or_insert(Time::ZERO);
+            *entry = (*entry).max(obs);
+            let bound = hem
+                .task(name)
+                .or_else(|| hem.frame(name))
+                .expect("analysed entity")
+                .response
+                .r_plus;
+            if obs > bound {
+                println!("VIOLATION seed {seed}: {name} observed {obs} > bound {bound}");
+                violations += 1;
+            }
+        }
+    }
+    println!(
+        "Simulation validation — {seeds} seeds × horizon {horizon} ticks (HEM bounds)"
+    );
+    println!();
+    println!("{:<6} {:>10} {:>10} {:>8}", "Entity", "observed", "bound R+", "slack");
+    for (name, obs) in &worst_observed {
+        let bound = hem
+            .task(name)
+            .or_else(|| hem.frame(name))
+            .expect("analysed entity")
+            .response
+            .r_plus;
+        println!(
+            "{:<6} {:>10} {:>10} {:>8}",
+            name,
+            obs,
+            bound,
+            bound - *obs
+        );
+    }
+    println!();
+    if violations == 0 {
+        println!("OK: all observations within analytic bounds");
+    } else {
+        println!("FAILED: {violations} bound violations");
+        std::process::exit(1);
+    }
+}

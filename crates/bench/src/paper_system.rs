@@ -1,0 +1,481 @@
+//! The paper's evaluation system (Fig. 2, Tables 1–3).
+//!
+//! Four sources on sender ECUs write signals into two CAN frames; a
+//! receiver CPU runs three tasks activated by the signals of frame F1:
+//!
+//! ```text
+//! S1 (P=250, triggering) ─┐
+//! S2 (P=450, triggering) ─┼─ F1 (payload 4, high prio) ─┐
+//! S3 (P=600, pending)    ─┘                             ├─ CAN ── CPU1: T1 (24, hi)
+//! S4 (P=400, triggering) ─── F2 (payload 2, low prio) ──┘         T2 (32, med)
+//!                                                                 T3 (40, lo)
+//! ```
+//!
+//! S3's period is garbled in the available scan of the paper; 600 is our
+//! documented assumption (see `DESIGN.md`), and [`PaperParams::s3_period`]
+//! makes it sweepable (`sweep_s3` binary).
+
+use hem_analysis::Priority;
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_can::{CanBusConfig, CanFrameConfig, FrameFormat};
+use hem_event_models::sampling::{eta_plus_steps, EtaStep};
+use hem_event_models::{EventModelExt, ModelRef, StandardEventModel};
+use hem_sim::com::ComSignal;
+use hem_sim::system::{SimActivation, SimCpuTask, SimFrame, SimReport, SimSystem};
+use hem_sim::trace;
+use hem_system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemError,
+    SystemResults, SystemSpec, TaskSpec,
+};
+use hem_time::Time;
+
+/// Parameters of the paper system, all sweepable.
+///
+/// Periods and execution times are given in the paper's own units; the
+/// analysis runs in ticks of one CAN bit time. `cpu_scale` converts:
+/// one paper unit = `cpu_scale` ticks. The paper does not state its time
+/// base; `cpu_scale = 10` puts a full frame transmission (95 bits) at
+/// roughly 40 % of T1's execution time, the regime in which the paper's
+/// Table 3 reports reductions for *all* tasks (a slower relative bus —
+/// `cpu_scale = 1` — moves all benefit to the pending low-priority task;
+/// see the `sweep_bus` binary and `EXPERIMENTS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperParams {
+    /// Period of source S1 (triggering, → T1), paper units. Paper: 250.
+    pub s1_period: i64,
+    /// Period of source S2 (triggering, → T2), paper units. Paper: 450.
+    pub s2_period: i64,
+    /// Period of source S3 (pending, → T3), paper units. OCR-lost;
+    /// assumed 600.
+    pub s3_period: i64,
+    /// Period of source S4 (triggering, on F2), paper units. Paper: 400.
+    pub s4_period: i64,
+    /// Ticks per paper unit (relative CPU/bus speed).
+    pub cpu_scale: i64,
+    /// CAN bit time in ticks.
+    pub bit_time: i64,
+    /// Core execution times of T1–T3, paper units. Paper: 24, 32, 40.
+    pub cet: [i64; 3],
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            s1_period: 250,
+            s2_period: 450,
+            s3_period: 600,
+            s4_period: 400,
+            cpu_scale: 10,
+            bit_time: 1,
+            cet: [24, 32, 40],
+        }
+    }
+}
+
+impl PaperParams {
+    /// The literal reading of the paper's tables: one tick per paper
+    /// unit and per CAN bit.
+    #[must_use]
+    pub fn literal() -> Self {
+        PaperParams {
+            cpu_scale: 1,
+            ..Self::default()
+        }
+    }
+
+    /// A source period in ticks.
+    #[must_use]
+    pub fn period_ticks(&self, paper_units: i64) -> Time {
+        Time::new(paper_units * self.cpu_scale)
+    }
+
+    /// An execution time in ticks.
+    #[must_use]
+    pub fn cet_ticks(&self, index: usize) -> Time {
+        Time::new(self.cet[index] * self.cpu_scale)
+    }
+
+    fn source(&self, period: i64) -> ModelRef {
+        StandardEventModel::periodic(self.period_ticks(period))
+            .expect("positive period")
+            .shared()
+    }
+}
+
+/// Builds the [`SystemSpec`] of the paper system.
+#[must_use]
+pub fn spec(p: &PaperParams) -> SystemSpec {
+    SystemSpec::new()
+        .cpu("cpu1")
+        .bus("can", CanBusConfig::new(Time::new(p.bit_time)))
+        .frame(FrameSpec {
+            name: "F1".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 4,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![
+                SignalSpec {
+                    name: "s1".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: ActivationSpec::External(p.source(p.s1_period)),
+                },
+                SignalSpec {
+                    name: "s2".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: ActivationSpec::External(p.source(p.s2_period)),
+                },
+                SignalSpec {
+                    name: "s3".into(),
+                    transfer: TransferProperty::Pending,
+                    source: ActivationSpec::External(p.source(p.s3_period)),
+                },
+            ],
+        })
+        .frame(FrameSpec {
+            name: "F2".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 2,
+            format: FrameFormat::Standard,
+            priority: Priority::new(2),
+            signals: vec![SignalSpec {
+                name: "s4".into(),
+                transfer: TransferProperty::Triggering,
+                source: ActivationSpec::External(p.source(p.s4_period)),
+            }],
+        })
+        .task(TaskSpec {
+            name: "T1".into(),
+            cpu: "cpu1".into(),
+            bcet: p.cet_ticks(0),
+            wcet: p.cet_ticks(0),
+            priority: Priority::new(1),
+            activation: ActivationSpec::Signal {
+                frame: "F1".into(),
+                signal: "s1".into(),
+            },
+        })
+        .task(TaskSpec {
+            name: "T2".into(),
+            cpu: "cpu1".into(),
+            bcet: p.cet_ticks(1),
+            wcet: p.cet_ticks(1),
+            priority: Priority::new(2),
+            activation: ActivationSpec::Signal {
+                frame: "F1".into(),
+                signal: "s2".into(),
+            },
+        })
+        .task(TaskSpec {
+            name: "T3".into(),
+            cpu: "cpu1".into(),
+            bcet: p.cet_ticks(2),
+            wcet: p.cet_ticks(2),
+            priority: Priority::new(3),
+            activation: ActivationSpec::Signal {
+                frame: "F1".into(),
+                signal: "s3".into(),
+            },
+        })
+}
+
+/// Runs the global analysis in the given mode.
+///
+/// # Errors
+///
+/// Propagates [`SystemError`] from the engine.
+pub fn analyze_mode(p: &PaperParams, mode: AnalysisMode) -> Result<SystemResults, SystemError> {
+    analyze(&spec(p), &SystemConfig::new(mode))
+}
+
+/// One row of the reproduced Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table3Row {
+    /// Task name (T1–T3).
+    pub task: String,
+    /// Core execution time.
+    pub cet: Time,
+    /// Priority label as in the paper (High / Med / Low).
+    pub priority: &'static str,
+    /// Worst-case response time with flat event streams.
+    pub r_flat: Time,
+    /// Worst-case response time with hierarchical event models.
+    pub r_hem: Time,
+}
+
+impl Table3Row {
+    /// The WCRT reduction in percent (the paper's last column).
+    #[must_use]
+    pub fn reduction_percent(&self) -> f64 {
+        100.0 * (self.r_flat - self.r_hem).ticks() as f64 / self.r_flat.ticks() as f64
+    }
+}
+
+/// Reproduces Table 3: WCRTs of T1–T3 under flat vs. hierarchical
+/// analysis.
+///
+/// # Errors
+///
+/// Propagates [`SystemError`] from either analysis run.
+pub fn table3(p: &PaperParams) -> Result<Vec<Table3Row>, SystemError> {
+    let flat = analyze_mode(p, AnalysisMode::Flat)?;
+    let hem = analyze_mode(p, AnalysisMode::Hierarchical)?;
+    let prio = ["High", "Med", "Low"];
+    Ok(["T1", "T2", "T3"]
+        .iter()
+        .zip(prio)
+        .zip(p.cet)
+        .map(|((task, priority), cet)| Table3Row {
+            task: (*task).to_string(),
+            cet: Time::new(cet),
+            priority,
+            r_flat: flat.task(task).expect("task analysed").response.r_plus,
+            r_hem: hem.task(task).expect("task analysed").response.r_plus,
+        })
+        .collect())
+}
+
+/// The four `η⁺` staircases of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Figure4 {
+    /// Total frame arrivals of F1 after the bus (black dots in the
+    /// paper).
+    pub frame_f1: Vec<EtaStep>,
+    /// Unpacked s1 stream activating T1 (red squares).
+    pub t1_input: Vec<EtaStep>,
+    /// Unpacked s2 stream activating T2 (blue squares).
+    pub t2_input: Vec<EtaStep>,
+    /// Unpacked s3 stream activating T3 (green triangles).
+    pub t3_input: Vec<EtaStep>,
+}
+
+/// Reproduces Figure 4: `η⁺(Δt)` for `Δt ∈ (0, dt_max]` of F1's output
+/// stream and the three unpacked signal streams.
+///
+/// # Errors
+///
+/// Propagates [`SystemError`] from the hierarchical analysis.
+pub fn figure4(p: &PaperParams, dt_max: Time) -> Result<Figure4, SystemError> {
+    let hem = analyze_mode(p, AnalysisMode::Hierarchical)?;
+    let f1 = hem.frame_output("F1").expect("frame analysed");
+    let s = |sig: &str| hem.unpacked_signal("F1", sig).expect("signal present").clone();
+    Ok(Figure4 {
+        frame_f1: eta_plus_steps(f1.as_ref(), dt_max),
+        t1_input: eta_plus_steps(s("s1").as_ref(), dt_max),
+        t2_input: eta_plus_steps(s("s2").as_ref(), dt_max),
+        t3_input: eta_plus_steps(s("s3").as_ref(), dt_max),
+    })
+}
+
+/// Builds the behavioural simulation counterpart of the paper system.
+///
+/// Sources fire periodically from phase 0 (the synchronous critical
+/// instant); frames transmit at their worst-case length.
+#[must_use]
+pub fn simulation(p: &PaperParams, horizon: Time, seed: u64) -> SimSystem {
+    let bus = CanBusConfig::new(Time::new(p.bit_time));
+    let c = |payload| {
+        bus.transmission_time(
+            &CanFrameConfig::new(FrameFormat::Standard, payload).expect("payload within CAN"),
+        )
+        .r_plus
+    };
+    // Jitter seeds make multi-run validation campaigns possible while
+    // keeping runs reproducible.
+    let phase_jitter = |period: i64, salt: u64| {
+        trace::periodic_with_jitter(p.period_ticks(period), Time::ZERO, horizon, seed ^ salt)
+    };
+    SimSystem {
+        frames: vec![
+            SimFrame {
+                name: "F1".into(),
+                priority: Priority::new(1),
+                transmission_time: c(4),
+                frame_type: FrameType::Direct,
+                signals: vec![
+                    ComSignal {
+                        name: "s1".into(),
+                        transfer: TransferProperty::Triggering,
+                        writes: phase_jitter(p.s1_period, 1),
+                    },
+                    ComSignal {
+                        name: "s2".into(),
+                        transfer: TransferProperty::Triggering,
+                        writes: phase_jitter(p.s2_period, 2),
+                    },
+                    ComSignal {
+                        name: "s3".into(),
+                        transfer: TransferProperty::Pending,
+                        writes: phase_jitter(p.s3_period, 3),
+                    },
+                ],
+            },
+            SimFrame {
+                name: "F2".into(),
+                priority: Priority::new(2),
+                transmission_time: c(2),
+                frame_type: FrameType::Direct,
+                signals: vec![ComSignal {
+                    name: "s4".into(),
+                    transfer: TransferProperty::Triggering,
+                    writes: phase_jitter(p.s4_period, 4),
+                }],
+            },
+        ],
+        tasks: vec![
+            SimCpuTask {
+                name: "T1".into(),
+                priority: Priority::new(1),
+                execution_time: p.cet_ticks(0),
+                activation: SimActivation::Delivery {
+                    frame: "F1".into(),
+                    signal: "s1".into(),
+                },
+            },
+            SimCpuTask {
+                name: "T2".into(),
+                priority: Priority::new(2),
+                execution_time: p.cet_ticks(1),
+                activation: SimActivation::Delivery {
+                    frame: "F1".into(),
+                    signal: "s2".into(),
+                },
+            },
+            SimCpuTask {
+                name: "T3".into(),
+                priority: Priority::new(3),
+                execution_time: p.cet_ticks(2),
+                activation: SimActivation::Delivery {
+                    frame: "F1".into(),
+                    signal: "s3".into(),
+                },
+            },
+        ],
+    }
+}
+
+/// Runs the behavioural simulation.
+#[must_use]
+pub fn simulate(p: &PaperParams, horizon: Time, seed: u64) -> SimReport {
+    hem_sim::system::run(&simulation(p, horizon, seed), horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_helpers() {
+        let p = PaperParams::default();
+        assert_eq!(p.period_ticks(250), Time::new(2_500));
+        assert_eq!(p.cet_ticks(0), Time::new(240));
+        let lit = PaperParams::literal();
+        assert_eq!(lit.cpu_scale, 1);
+        assert_eq!(lit.period_ticks(250), Time::new(250));
+        assert_eq!(lit.cet_ticks(2), Time::new(40));
+        // Literal and default share every other parameter.
+        assert_eq!(lit.s3_period, p.s3_period);
+        assert_eq!(lit.bit_time, p.bit_time);
+    }
+
+    #[test]
+    fn simulation_structure_mirrors_spec() {
+        let p = PaperParams::default();
+        let sys = simulation(&p, Time::new(50_000), 0);
+        assert_eq!(sys.frames.len(), 2);
+        assert_eq!(sys.frames[0].signals.len(), 3);
+        assert_eq!(sys.tasks.len(), 3);
+        // Frame wire times match the CAN model: 95 and 75 bits.
+        assert_eq!(sys.frames[0].transmission_time, Time::new(95));
+        assert_eq!(sys.frames[1].transmission_time, Time::new(75));
+        // Source traces are scaled paper periods.
+        assert_eq!(sys.frames[0].signals[0].writes[1], Time::new(2_500));
+    }
+
+    #[test]
+    fn table3_hem_dominates_flat() {
+        let rows = table3(&PaperParams::default()).unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.r_hem <= row.r_flat,
+                "{}: HEM {} must not exceed flat {}",
+                row.task,
+                row.r_hem,
+                row.r_flat
+            );
+        }
+        // The paper reports growing reductions toward lower priorities.
+        assert!(rows[2].reduction_percent() >= rows[0].reduction_percent());
+        // The improvement is substantial for at least the low-prio task.
+        assert!(rows[2].reduction_percent() > 5.0);
+    }
+
+    #[test]
+    fn figure4_unpacked_below_total() {
+        let p = PaperParams::default();
+        let dt_max = Time::new(2000 * p.cpu_scale);
+        let fig = figure4(&p, dt_max).unwrap();
+        // At every breakpoint, each unpacked stream admits at most as
+        // many events as the total frame stream.
+        let count_at = |steps: &[EtaStep], dt: Time| {
+            steps.iter().rev().find(|s| s.at <= dt).map_or(0, |s| s.count)
+        };
+        for dt in (1..=dt_max.ticks()).step_by(50 * p.cpu_scale as usize).map(Time::new) {
+            let total = count_at(&fig.frame_f1, dt);
+            for inner in [&fig.t1_input, &fig.t2_input, &fig.t3_input] {
+                assert!(count_at(inner, dt) <= total, "Δt = {dt}");
+            }
+        }
+        // The fast s1 stream clearly out-arrives the slow pending s3
+        // stream over a long window (sanity that the curves differ).
+        assert!(count_at(&fig.t1_input, dt_max) > count_at(&fig.t3_input, dt_max));
+    }
+
+    #[test]
+    fn simulated_latencies_within_path_bounds() {
+        use hem_system::path::{analyze_path, signal_paths};
+        let p = PaperParams::default();
+        let system = spec(&p);
+        let hem = analyze_mode(&p, AnalysisMode::Hierarchical).unwrap();
+        for seed in 0..3 {
+            let report = simulate(&p, Time::new(200_000), seed);
+            for path in signal_paths(&system) {
+                let bound = analyze_path(&system, &hem, &path).unwrap().total();
+                let observed = report.task_worst_latency[&path.task];
+                assert!(
+                    observed <= bound,
+                    "seed {seed}: {}/{}→{} observed {observed} > bound {bound}",
+                    path.frame, path.signal, path.task
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_within_analysis_bounds() {
+        let p = PaperParams::default();
+        let hem = analyze_mode(&p, AnalysisMode::Hierarchical).unwrap();
+        for seed in 0..5 {
+            let report = simulate(&p, Time::new(200_000), seed);
+            for task in ["T1", "T2", "T3"] {
+                let bound = hem.task(task).unwrap().response.r_plus;
+                let observed = report.task_worst_response[task];
+                assert!(
+                    observed <= bound,
+                    "seed {seed}: {task} observed {observed} > bound {bound}"
+                );
+            }
+            for frame in ["F1", "F2"] {
+                let bound = hem.frame(frame).unwrap().response.r_plus;
+                let observed = report.frame_worst_response[frame];
+                assert!(
+                    observed <= bound,
+                    "seed {seed}: {frame} observed {observed} > bound {bound}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! CAN frame formats and wire lengths.
+
+use std::error::Error;
+use std::fmt;
+
+/// CAN identifier format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameFormat {
+    /// Classic 11-bit identifier (CAN 2.0A).
+    Standard,
+    /// Extended 29-bit identifier (CAN 2.0B).
+    Extended,
+}
+
+impl FrameFormat {
+    /// Number of frame bits *exposed to bit stuffing* apart from the data
+    /// field: 34 for standard frames, 54 for extended frames (SOF,
+    /// identifier(s), control bits and the 15-bit CRC).
+    #[must_use]
+    pub const fn stuffable_overhead_bits(self) -> u64 {
+        match self {
+            FrameFormat::Standard => 34,
+            FrameFormat::Extended => 54,
+        }
+    }
+}
+
+/// Error for invalid CAN frame configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanError {
+    /// Payload length exceeds the classic-CAN maximum of 8 bytes.
+    PayloadTooLarge(u8),
+    /// Identifier out of range for its format (11 / 29 bits).
+    InvalidIdentifier(u32),
+}
+
+impl fmt::Display for CanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanError::PayloadTooLarge(n) => {
+                write!(f, "payload of {n} bytes exceeds the CAN maximum of 8")
+            }
+            CanError::InvalidIdentifier(id) => {
+                write!(f, "identifier {id:#x} out of range for its format")
+            }
+        }
+    }
+}
+
+impl Error for CanError {}
+
+/// Static description of one CAN frame's wire format.
+///
+/// Wire lengths follow the classic worst-case formula (Tindell/Davis):
+/// with `s` data bytes and `g` stuffable overhead bits, the frame
+/// occupies at most
+///
+/// ```text
+/// g + 8s + 13 + ⌊(g + 8s − 1) / 4⌋   bits
+/// ```
+///
+/// (13 bits — CRC delimiter, ACK, EOF and interframe space — are exempt
+/// from stuffing), and at least `g + 8s + 13` bits when no stuff bits are
+/// needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CanFrameConfig {
+    format: FrameFormat,
+    payload_bytes: u8,
+}
+
+impl CanFrameConfig {
+    /// Creates a frame configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::PayloadTooLarge`] if `payload_bytes > 8`.
+    pub fn new(format: FrameFormat, payload_bytes: u8) -> Result<Self, CanError> {
+        if payload_bytes > 8 {
+            return Err(CanError::PayloadTooLarge(payload_bytes));
+        }
+        Ok(CanFrameConfig {
+            format,
+            payload_bytes,
+        })
+    }
+
+    /// The identifier format.
+    #[must_use]
+    pub fn format(&self) -> FrameFormat {
+        self.format
+    }
+
+    /// Number of data bytes.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u8 {
+        self.payload_bytes
+    }
+
+    /// Maximum wire length in bits (worst-case bit stuffing).
+    #[must_use]
+    pub fn worst_case_bits(&self) -> u64 {
+        let g = self.format.stuffable_overhead_bits();
+        let data = 8 * self.payload_bytes as u64;
+        g + data + 13 + (g + data - 1) / 4
+    }
+
+    /// Minimum wire length in bits (no stuff bits).
+    #[must_use]
+    pub fn best_case_bits(&self) -> u64 {
+        let g = self.format.stuffable_overhead_bits();
+        g + 8 * self.payload_bytes as u64 + 13
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_frame_lengths_match_literature() {
+        // Known values: 0-byte standard frame 55 bits worst case, 8-byte
+        // frame 135 bits; best cases 47 and 111.
+        let empty = CanFrameConfig::new(FrameFormat::Standard, 0).unwrap();
+        assert_eq!(empty.worst_case_bits(), 55);
+        assert_eq!(empty.best_case_bits(), 47);
+        let full = CanFrameConfig::new(FrameFormat::Standard, 8).unwrap();
+        assert_eq!(full.worst_case_bits(), 135);
+        assert_eq!(full.best_case_bits(), 111);
+    }
+
+    #[test]
+    fn extended_frame_lengths_match_literature() {
+        // 8-byte extended frame: 54 + 64 + 13 + ⌊117/4⌋ = 131 + 29 = 160.
+        let full = CanFrameConfig::new(FrameFormat::Extended, 8).unwrap();
+        assert_eq!(full.worst_case_bits(), 160);
+        assert_eq!(full.best_case_bits(), 131);
+    }
+
+    #[test]
+    fn paper_payloads() {
+        // Table 2 of the paper: F1 carries 4 bytes, F2 carries 2 bytes.
+        let f1 = CanFrameConfig::new(FrameFormat::Standard, 4).unwrap();
+        let f2 = CanFrameConfig::new(FrameFormat::Standard, 2).unwrap();
+        assert_eq!(f1.worst_case_bits(), 34 + 32 + 13 + 16); // 95
+        assert_eq!(f2.worst_case_bits(), 34 + 16 + 13 + 12); // 75
+        assert!(f1.worst_case_bits() > f2.worst_case_bits());
+    }
+
+    #[test]
+    fn monotone_in_payload() {
+        let mut prev = 0;
+        for s in 0..=8u8 {
+            let c = CanFrameConfig::new(FrameFormat::Standard, s).unwrap();
+            assert!(c.worst_case_bits() > prev);
+            assert!(c.best_case_bits() <= c.worst_case_bits());
+            prev = c.worst_case_bits();
+        }
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let err = CanFrameConfig::new(FrameFormat::Standard, 9).unwrap_err();
+        assert_eq!(err, CanError::PayloadTooLarge(9));
+        assert!(err.to_string().contains("9 bytes"));
+    }
+
+    #[test]
+    fn accessors() {
+        let c = CanFrameConfig::new(FrameFormat::Extended, 3).unwrap();
+        assert_eq!(c.format(), FrameFormat::Extended);
+        assert_eq!(c.payload_bytes(), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! CAN identifiers and their arbitration priority.
+
+use std::fmt;
+
+use hem_analysis::Priority;
+
+use crate::frame::{CanError, FrameFormat};
+
+/// A validated CAN identifier.
+///
+/// On the wire, arbitration is decided bit-by-bit: the numerically
+/// *smaller* identifier wins, and a standard (11-bit) identifier beats
+/// an extended (29-bit) identifier with the same leading bits. This type
+/// captures both ranges and maps into the analysis [`Priority`] space so
+/// that bus models can be specified with real message IDs.
+///
+/// # Examples
+///
+/// ```
+/// use hem_can::{CanId, FrameFormat};
+///
+/// let engine = CanId::standard(0x0C0)?;
+/// let diag = CanId::extended(0x18DA_F110)?;
+/// assert!(engine.priority().is_higher_than(diag.priority()));
+/// assert_eq!(engine.format(), FrameFormat::Standard);
+/// assert_eq!(format!("{engine}"), "0x0C0");
+/// # Ok::<(), hem_can::CanError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CanId {
+    /// An 11-bit identifier (CAN 2.0A).
+    Standard(u16),
+    /// A 29-bit identifier (CAN 2.0B).
+    Extended(u32),
+}
+
+impl CanId {
+    /// Largest valid standard identifier.
+    pub const MAX_STANDARD: u16 = 0x7FF;
+    /// Largest valid extended identifier.
+    pub const MAX_EXTENDED: u32 = 0x1FFF_FFFF;
+
+    /// Creates a standard (11-bit) identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::InvalidIdentifier`] if `id > 0x7FF`.
+    pub fn standard(id: u16) -> Result<Self, CanError> {
+        if id > Self::MAX_STANDARD {
+            return Err(CanError::InvalidIdentifier(u32::from(id)));
+        }
+        Ok(CanId::Standard(id))
+    }
+
+    /// Creates an extended (29-bit) identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::InvalidIdentifier`] if `id > 0x1FFF_FFFF`.
+    pub fn extended(id: u32) -> Result<Self, CanError> {
+        if id > Self::MAX_EXTENDED {
+            return Err(CanError::InvalidIdentifier(id));
+        }
+        Ok(CanId::Extended(id))
+    }
+
+    /// The identifier's frame format.
+    #[must_use]
+    pub fn format(self) -> FrameFormat {
+        match self {
+            CanId::Standard(_) => FrameFormat::Standard,
+            CanId::Extended(_) => FrameFormat::Extended,
+        }
+    }
+
+    /// The raw identifier value.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        match self {
+            CanId::Standard(id) => u32::from(id),
+            CanId::Extended(id) => id,
+        }
+    }
+
+    /// The arbitration priority of this identifier.
+    ///
+    /// Encodes wire arbitration order: identifiers compare by their
+    /// leading 11 bits first; on a tie, the standard frame wins (its RTR
+    /// bit is dominant where the extended frame sends the recessive SRR),
+    /// and extended frames then compare by their remaining 18 bits. The
+    /// mapping is order-preserving into the `u32` priority space:
+    /// `base-11 bits · 2¹⁹ + (0 for standard | 1 + low-18 bits)`.
+    #[must_use]
+    pub fn priority(self) -> Priority {
+        match self {
+            CanId::Standard(id) => Priority::new(u32::from(id) << 19),
+            CanId::Extended(id) => {
+                let base = id >> 18; // leading 11 bits
+                let rest = id & 0x3_FFFF; // trailing 18 bits
+                Priority::new((base << 19) + 1 + rest)
+            }
+        }
+    }
+}
+
+impl fmt::Display for CanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanId::Standard(id) => f.pad(&format!("0x{id:03X}")),
+            CanId::Extended(id) => f.pad(&format!("0x{id:08X}x")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_validated() {
+        assert!(CanId::standard(0x7FF).is_ok());
+        assert!(CanId::standard(0x800).is_err());
+        assert!(CanId::extended(0x1FFF_FFFF).is_ok());
+        assert!(CanId::extended(0x2000_0000).is_err());
+    }
+
+    #[test]
+    fn arbitration_order_lower_id_wins() {
+        let a = CanId::standard(0x100).unwrap();
+        let b = CanId::standard(0x101).unwrap();
+        assert!(a.priority().is_higher_than(b.priority()));
+    }
+
+    #[test]
+    fn standard_beats_extended_with_same_leading_bits() {
+        // Extended ID whose leading 11 bits equal the standard ID.
+        let std_id = CanId::standard(0x123).unwrap();
+        let ext_id = CanId::extended(0x123 << 18).unwrap();
+        assert!(std_id.priority().is_higher_than(ext_id.priority()));
+        // But a numerically smaller leading part still wins overall.
+        let smaller_ext = CanId::extended(0x122 << 18 | 0x3_FFFF).unwrap();
+        assert!(smaller_ext.priority().is_higher_than(std_id.priority()));
+    }
+
+    #[test]
+    fn extended_ids_order_by_full_value() {
+        let a = CanId::extended(0x18DA_F110).unwrap();
+        let b = CanId::extended(0x18DA_F111).unwrap();
+        assert!(a.priority().is_higher_than(b.priority()));
+    }
+
+    #[test]
+    fn priority_mapping_is_injective_on_samples() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for id in (0..0x7FFu16).step_by(13) {
+            assert!(seen.insert(CanId::standard(id).unwrap().priority()));
+        }
+        for id in (0..0x1FFF_FFFFu32).step_by(7_777_777) {
+            assert!(seen.insert(CanId::extended(id).unwrap().priority()));
+        }
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let s = CanId::standard(0x0C0).unwrap();
+        assert_eq!(s.raw(), 0xC0);
+        assert_eq!(s.format(), FrameFormat::Standard);
+        assert_eq!(s.to_string(), "0x0C0");
+        let e = CanId::extended(0x18DAF110).unwrap();
+        assert_eq!(e.format(), FrameFormat::Extended);
+        assert_eq!(e.to_string(), "0x18DAF110x");
+    }
+}

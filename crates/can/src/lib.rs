@@ -1,0 +1,42 @@
+//! CAN bus timing substrate.
+//!
+//! The DATE'08 HEM paper's evaluation runs its frames over a CAN bus
+//! (Table 2). The analysis needs two things from the bus model, both
+//! provided here:
+//!
+//! * **per-frame transmission-time intervals** `[C⁻, C⁺]` — computed from
+//!   the payload length and the CAN frame format, including worst-case
+//!   bit stuffing ([`frame`]),
+//! * **arbitration** — CAN is exactly static-priority non-preemptive
+//!   scheduling by identifier, so the bus analysis ([`bus`]) delegates to
+//!   [`hem_analysis::spnp`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hem_can::{CanBusConfig, CanFrameConfig, FrameFormat};
+//! use hem_time::Time;
+//!
+//! // A standard-ID frame with 8 data bytes is at most 135 bits on the wire.
+//! let cfg = CanFrameConfig::new(FrameFormat::Standard, 8)?;
+//! assert_eq!(cfg.worst_case_bits(), 135);
+//! assert_eq!(cfg.best_case_bits(), 111);
+//!
+//! // At 500 kbit/s with 2 µs ticks, one bit is one tick.
+//! let bus = CanBusConfig::new(Time::new(1));
+//! assert_eq!(bus.transmission_time(&cfg).r_plus, Time::new(135));
+//! # Ok::<(), hem_can::CanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod frame;
+pub mod identifier;
+pub mod load;
+
+pub use bus::{BusFrame, CanBusConfig};
+pub use frame::{CanError, CanFrameConfig, FrameFormat};
+pub use identifier::CanId;
+pub use load::{bus_load, BusLoad, FrameLoad};

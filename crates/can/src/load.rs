@@ -1,0 +1,140 @@
+//! Bus-load accounting.
+//!
+//! Before (or instead of) a full response-time analysis, integrators
+//! check the *bus load*: the fraction of wire time the frame set can
+//! demand. This module reports per-frame and total load bounds derived
+//! from the activation models' `η⁺` over a horizon — conservative in the
+//! same direction as the busy-window analysis (bursts are front-loaded).
+
+use hem_analysis::utilization;
+use hem_event_models::EventModel;
+use hem_time::Time;
+
+use crate::bus::{BusFrame, CanBusConfig};
+
+/// Load contribution of one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameLoad {
+    /// Frame name.
+    pub name: String,
+    /// Worst-case transmissions within the horizon.
+    pub transmissions: u64,
+    /// Wire time consumed by those transmissions (worst-case lengths).
+    pub wire_time: Time,
+    /// Fraction of the horizon (0.0–…; may exceed 1 for overload).
+    pub fraction: f64,
+}
+
+/// Bus-load report over a horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusLoad {
+    /// Per-frame breakdown, in input order.
+    pub frames: Vec<FrameLoad>,
+    /// Total load fraction (Σ frame fractions).
+    pub total: f64,
+}
+
+impl BusLoad {
+    /// Whether the bound certifies the demand fits the wire
+    /// (`total ≤ 1`). A total above 1 over a long horizon implies the
+    /// response-time analysis will diverge.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.total <= 1.0
+    }
+}
+
+/// Computes the worst-case bus load of a frame set over `horizon`.
+///
+/// # Panics
+///
+/// Panics if `horizon < 1`.
+#[must_use]
+pub fn bus_load(frames: &[BusFrame], bus: &CanBusConfig, horizon: Time) -> BusLoad {
+    assert!(horizon >= Time::ONE, "horizon must be at least one tick");
+    let mut out = Vec::with_capacity(frames.len());
+    let mut total = 0.0;
+    for f in frames {
+        let transmissions = f.input.eta_plus(horizon);
+        let wire_time = bus.transmission_time(&f.config).r_plus * transmissions as i64;
+        let fraction = wire_time.ticks() as f64 / horizon.ticks() as f64;
+        total += fraction;
+        out.push(FrameLoad {
+            name: f.name.clone(),
+            transmissions,
+            wire_time,
+            fraction,
+        });
+    }
+    BusLoad { frames: out, total }
+}
+
+/// Cross-check helper: the same total computed through the generic
+/// analysis-task utilization bound (must agree).
+#[must_use]
+pub fn bus_load_via_utilization(
+    frames: &[BusFrame],
+    bus: &CanBusConfig,
+    horizon: Time,
+) -> f64 {
+    let tasks: Vec<_> = frames.iter().map(|f| f.to_analysis_task(bus)).collect();
+    utilization::utilization_bound(&tasks, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{CanFrameConfig, FrameFormat};
+    use hem_analysis::Priority;
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    fn frame(name: &str, payload: u8, prio: u32, period: i64) -> BusFrame {
+        BusFrame::new(
+            name,
+            CanFrameConfig::new(FrameFormat::Standard, payload).unwrap(),
+            Priority::new(prio),
+            StandardEventModel::periodic(Time::new(period)).unwrap().shared(),
+        )
+    }
+
+    #[test]
+    fn paper_bus_load() {
+        let bus = CanBusConfig::new(Time::new(1));
+        let frames = vec![frame("F1", 4, 1, 2500), frame("F2", 2, 2, 4000)];
+        let load = bus_load(&frames, &bus, Time::new(1_000_000));
+        // F1: 95 bits / 2500 = 3.8 %; F2: 75 / 4000 = 1.875 %.
+        assert!((load.frames[0].fraction - 0.038).abs() < 0.001);
+        assert!((load.frames[1].fraction - 0.01875).abs() < 0.001);
+        assert!((load.total - 0.0568).abs() < 0.001);
+        assert!(load.fits());
+    }
+
+    #[test]
+    fn overload_detected() {
+        let bus = CanBusConfig::new(Time::new(1));
+        // A 95-bit frame every 80 ticks cannot fit.
+        let frames = vec![frame("hot", 4, 1, 80)];
+        let load = bus_load(&frames, &bus, Time::new(100_000));
+        assert!(load.total > 1.0);
+        assert!(!load.fits());
+    }
+
+    #[test]
+    fn matches_generic_utilization_bound() {
+        let bus = CanBusConfig::new(Time::new(2));
+        let frames = vec![frame("a", 8, 1, 1_000), frame("b", 1, 2, 700)];
+        let horizon = Time::new(700_000);
+        let direct = bus_load(&frames, &bus, horizon).total;
+        let via_tasks = bus_load_via_utilization(&frames, &bus, horizon);
+        assert!((direct - via_tasks).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmission_counts_reported() {
+        let bus = CanBusConfig::new(Time::new(1));
+        let frames = vec![frame("f", 0, 1, 100)];
+        let load = bus_load(&frames, &bus, Time::new(1_000));
+        assert_eq!(load.frames[0].transmissions, 10);
+        assert_eq!(load.frames[0].wire_time, Time::new(550));
+    }
+}

@@ -1,0 +1,160 @@
+//! The hierarchical OR constructor `Ω_or`.
+//!
+//! The paper notes (after Def. 5) that *"for each event stream
+//! constructor generating the output stream `F_sc` a corresponding
+//! hierarchical event stream constructor can be defined that generates a
+//! hierarchical event stream with an outer event stream modeled by
+//! `F_out = F_sc`"*. This module provides that counterpart for the
+//! OR-combination: the outer stream is the flat OR-join (eqs. (3),(4))
+//! and every input survives as an inner stream with its own timing —
+//! equivalent to [`PackConstructor`](crate::PackConstructor) with all
+//! inputs triggering, but without the COM-layer framing vocabulary.
+
+use hem_event_models::ops::OrJoin;
+use hem_event_models::{EventModelExt, ModelError, ModelRef};
+
+use crate::hem::{
+    Constructor, HierarchicalEventModel, HierarchicalStreamConstructor, InnerStream,
+};
+
+/// The hierarchical OR constructor: combines named streams into a
+/// hierarchy whose outer stream is their OR-join.
+///
+/// Useful whenever several logical flows share one processing entity
+/// (an interrupt line, a worker task, a DMA channel) and per-flow timing
+/// must survive the shared processing — the same pattern as frame
+/// packing, without a communication stack.
+///
+/// # Examples
+///
+/// ```
+/// use hem_core::{HierarchicalStreamConstructor, OrConstructor};
+/// use hem_event_models::{EventModel, EventModelExt, StandardEventModel};
+/// use hem_time::Time;
+///
+/// let hem = OrConstructor::new(vec![
+///     ("irq_net".into(), StandardEventModel::periodic(Time::new(400))?.shared()),
+///     ("irq_disk".into(), StandardEventModel::periodic(Time::new(700))?.shared()),
+/// ])?.construct()?;
+/// // The shared handler sees both flows…
+/// assert_eq!(hem.outer().eta_plus(Time::new(1_500)), 4 + 3);
+/// // …but each flow keeps its identity for downstream consumers.
+/// assert_eq!(hem.unpack_by_name("irq_disk").expect("present").delta_min(2),
+///            Time::new(700));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrConstructor {
+    inputs: Vec<(String, ModelRef)>,
+}
+
+impl OrConstructor {
+    /// Creates the constructor for the given named input streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `inputs` is empty.
+    pub fn new(inputs: Vec<(String, ModelRef)>) -> Result<Self, ModelError> {
+        if inputs.is_empty() {
+            return Err(ModelError::invalid(
+                "OR-construction requires at least one input stream",
+            ));
+        }
+        Ok(OrConstructor { inputs })
+    }
+
+    /// The named input streams.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, ModelRef)] {
+        &self.inputs
+    }
+}
+
+impl HierarchicalStreamConstructor for OrConstructor {
+    fn construct(&self) -> Result<HierarchicalEventModel, ModelError> {
+        let outer =
+            OrJoin::new(self.inputs.iter().map(|(_, m)| m.clone()).collect())?.shared();
+        let inners = self
+            .inputs
+            .iter()
+            .map(|(name, model)| InnerStream::new(name.clone(), model.clone()))
+            .collect();
+        HierarchicalEventModel::from_parts(outer, inners, Constructor::Or)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_event_models::{EventModel, StandardEventModel};
+    use hem_time::Time;
+
+    fn periodic(p: i64) -> ModelRef {
+        StandardEventModel::periodic(Time::new(p)).unwrap().shared()
+    }
+
+    fn two_flow() -> HierarchicalEventModel {
+        OrConstructor::new(vec![
+            ("a".into(), periodic(400)),
+            ("b".into(), periodic(700)),
+        ])
+        .unwrap()
+        .construct()
+        .unwrap()
+    }
+
+    #[test]
+    fn outer_is_or_join() {
+        let hem = two_flow();
+        assert_eq!(hem.constructor(), Constructor::Or);
+        assert_eq!(hem.outer().eta_plus(Time::new(1_401)), 4 + 3);
+        assert_eq!(hem.outer().delta_min(2), Time::ZERO); // may coincide
+    }
+
+    #[test]
+    fn inners_keep_identity() {
+        let hem = two_flow();
+        assert_eq!(hem.unpack_by_name("a").unwrap().delta_min(2), Time::new(400));
+        assert_eq!(hem.unpack_by_name("b").unwrap().delta_min(2), Time::new(700));
+    }
+
+    #[test]
+    fn matches_all_triggering_pack() {
+        use crate::pack::{PackConstructor, PackInput};
+        let or_hem = two_flow();
+        let pack_hem = PackConstructor::new(vec![
+            PackInput::triggering("a", periodic(400)),
+            PackInput::triggering("b", periodic(700)),
+        ])
+        .unwrap()
+        .construct()
+        .unwrap();
+        for n in 2..=10u64 {
+            assert_eq!(or_hem.outer().delta_min(n), pack_hem.outer().delta_min(n));
+            assert_eq!(
+                or_hem.unpack(0).unwrap().delta_min(n),
+                pack_hem.unpack(0).unwrap().delta_min(n)
+            );
+        }
+    }
+
+    #[test]
+    fn processing_applies_inner_update() {
+        let hem = two_flow();
+        let after = hem.process(Time::new(10), Time::new(50)).unwrap();
+        // k = 2 (simultaneous arrivals possible): shift = 40 + 10 = 50.
+        assert_eq!(after.unpack_by_name("a").unwrap().delta_min(2), Time::new(350));
+        assert_eq!(after.constructor(), Constructor::Or);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(OrConstructor::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn inputs_accessor() {
+        let c = OrConstructor::new(vec![("x".into(), periodic(100))]).unwrap();
+        assert_eq!(c.inputs().len(), 1);
+    }
+}

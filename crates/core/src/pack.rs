@@ -1,0 +1,304 @@
+//! The pack constructor `Ω_pa` (paper Def. 8).
+
+use hem_event_models::ops::OrJoin;
+use hem_event_models::{EventModel, EventModelExt, ModelError, ModelRef};
+use hem_time::{Time, TimeBound};
+
+use crate::hem::{
+    Constructor, HierarchicalEventModel, HierarchicalStreamConstructor, InnerStream,
+};
+
+/// How a signal stream participates in frame transmission (paper §4,
+/// AUTOSAR COM transfer properties).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamRole {
+    /// Every event immediately triggers a frame transmission. The frame
+    /// carries the signal with no sampling loss (eqs. (5),(6)).
+    Triggering,
+    /// Events only update a register; the value rides along with the next
+    /// frame triggered by someone else. Values may be overwritten
+    /// (eqs. (7),(8)).
+    Pending,
+}
+
+/// One input to the pack constructor: a named signal stream plus its
+/// transfer role.
+#[derive(Debug, Clone)]
+pub struct PackInput {
+    /// Signal identity, preserved as the inner-stream name.
+    pub name: String,
+    /// The signal's event model.
+    pub model: ModelRef,
+    /// Whether the signal triggers frames or is pending.
+    pub role: StreamRole,
+}
+
+impl PackInput {
+    /// Creates a pack input.
+    #[must_use]
+    pub fn new(name: impl Into<String>, model: ModelRef, role: StreamRole) -> Self {
+        PackInput {
+            name: name.into(),
+            model,
+            role,
+        }
+    }
+
+    /// Convenience constructor for a triggering signal.
+    #[must_use]
+    pub fn triggering(name: impl Into<String>, model: ModelRef) -> Self {
+        Self::new(name, model, StreamRole::Triggering)
+    }
+
+    /// Convenience constructor for a pending signal.
+    #[must_use]
+    pub fn pending(name: impl Into<String>, model: ModelRef) -> Self {
+        Self::new(name, model, StreamRole::Pending)
+    }
+}
+
+/// The pack hierarchical stream constructor `Ω_pa` (paper Def. 8).
+///
+/// Builds a [`HierarchicalEventModel`] for a frame that transports the
+/// given signals:
+///
+/// * **outer stream** — the OR-combination (eqs. (3),(4)) of all
+///   *triggering* inputs: every triggering signal sends a frame. A frame
+///   timer (for periodic or mixed frames) is just another triggering
+///   input.
+/// * **inner streams** — triggering signals keep their own timing
+///   (`δ'ᵢ = δᵢ`, eqs. (5),(6)); pending signals are resampled by the
+///   frame stream (eqs. (7),(8)): a pending value that *just misses* a
+///   frame waits up to `δ_out⁺(2)` for the next one, and each frame
+///   carries at most one value per signal, so
+///
+///   ```text
+///   δ'ᵢ⁻(n) = max( δᵢ⁻(n) − δ_out⁺(2),  δ_out⁻(n) )
+///   δ'ᵢ⁺(n) = ∞
+///   ```
+///
+/// # Examples
+///
+/// ```
+/// use hem_core::{HierarchicalStreamConstructor, PackConstructor, PackInput};
+/// use hem_event_models::{EventModel, EventModelExt, StandardEventModel};
+/// use hem_time::Time;
+///
+/// let hem = PackConstructor::new(vec![
+///     PackInput::triggering("fast", StandardEventModel::periodic(Time::new(100))?.shared()),
+///     PackInput::pending("slow", StandardEventModel::periodic(Time::new(500))?.shared()),
+/// ])?.construct()?;
+/// // Frames go out at the fast signal's rate.
+/// assert_eq!(hem.outer().delta_min(2), Time::new(100));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackConstructor {
+    inputs: Vec<PackInput>,
+}
+
+impl PackConstructor {
+    /// Creates the constructor for the given signal inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if no input is
+    /// [`StreamRole::Triggering`] — a frame with only pending signals is
+    /// never sent (a periodic frame must include its timer as a
+    /// triggering input).
+    pub fn new(inputs: Vec<PackInput>) -> Result<Self, ModelError> {
+        if !inputs.iter().any(|i| i.role == StreamRole::Triggering) {
+            return Err(ModelError::invalid(
+                "pack requires at least one triggering stream (add the frame timer)",
+            ));
+        }
+        Ok(PackConstructor { inputs })
+    }
+
+    /// The signal inputs.
+    #[must_use]
+    pub fn inputs(&self) -> &[PackInput] {
+        &self.inputs
+    }
+}
+
+impl HierarchicalStreamConstructor for PackConstructor {
+    fn construct(&self) -> Result<HierarchicalEventModel, ModelError> {
+        let triggering: Vec<ModelRef> = self
+            .inputs
+            .iter()
+            .filter(|i| i.role == StreamRole::Triggering)
+            .map(|i| i.model.clone())
+            .collect();
+        let outer = OrJoin::new(triggering)?.shared();
+        let inners = self
+            .inputs
+            .iter()
+            .map(|i| {
+                let model = match i.role {
+                    StreamRole::Triggering => i.model.clone(),
+                    StreamRole::Pending => {
+                        PendingInner::new(i.model.clone(), outer.clone()).shared()
+                    }
+                };
+                InnerStream::new(i.name.clone(), model)
+            })
+            .collect();
+        HierarchicalEventModel::from_parts(outer, inners, Constructor::Pack)
+    }
+}
+
+/// The inner event model of a *pending* signal after packing
+/// (eqs. (7),(8) of the paper).
+///
+/// The minimum distance between frames carrying `n` fresh values of the
+/// signal is bounded below both by the signal's own spacing minus one
+/// full frame gap (`δ_out⁺(2)`, the worst "just missed a frame" penalty)
+/// and by the frame spacing itself (each frame carries at most one value
+/// of the signal). No maximum distance exists: values can be overwritten
+/// before ever being transmitted.
+#[derive(Debug, Clone)]
+pub struct PendingInner {
+    signal: ModelRef,
+    frames: ModelRef,
+}
+
+impl PendingInner {
+    /// Wraps a pending `signal` resampled by the `frames` stream.
+    #[must_use]
+    pub fn new(signal: ModelRef, frames: ModelRef) -> Self {
+        PendingInner { signal, frames }
+    }
+}
+
+impl EventModel for PendingInner {
+    fn delta_min(&self, n: u64) -> Time {
+        if n <= 1 {
+            return Time::ZERO;
+        }
+        let frame_gap = match self.frames.delta_plus(2) {
+            // An unbounded frame gap removes the signal-spacing bound
+            // entirely (δᵢ⁻(n) − ∞ → −∞); only the frame spacing remains.
+            TimeBound::Infinite => Time::ZERO,
+            TimeBound::Finite(g) => (self.signal.delta_min(n) - g).clamp_non_negative(),
+        };
+        frame_gap.max(self.frames.delta_min(n))
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        if n <= 1 {
+            TimeBound::ZERO
+        } else {
+            TimeBound::Infinite
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_event_models::StandardEventModel;
+
+    fn periodic(p: i64) -> ModelRef {
+        StandardEventModel::periodic(Time::new(p)).unwrap().shared()
+    }
+
+    #[test]
+    fn outer_is_or_of_triggering_only() {
+        let hem = PackConstructor::new(vec![
+            PackInput::triggering("a", periodic(200)),
+            PackInput::triggering("b", periodic(300)),
+            PackInput::pending("c", periodic(50)), // fast but pending
+        ])
+        .unwrap()
+        .construct()
+        .unwrap();
+        // The pending stream does not generate frames: within 601 ticks at
+        // most ⌈601/200⌉ + ⌈601/300⌉ = 4 + 3 frames.
+        assert_eq!(hem.outer().eta_plus(Time::new(601)), 7);
+        assert_eq!(hem.constructor(), Constructor::Pack);
+    }
+
+    #[test]
+    fn triggering_inner_keeps_own_timing() {
+        let hem = PackConstructor::new(vec![
+            PackInput::triggering("a", periodic(200)),
+            PackInput::triggering("b", periodic(300)),
+        ])
+        .unwrap()
+        .construct()
+        .unwrap();
+        let a = hem.unpack_by_name("a").unwrap();
+        assert_eq!(a.delta_min(3), Time::new(400));
+        assert_eq!(a.delta_plus(3), TimeBound::finite(400));
+    }
+
+    #[test]
+    fn pending_inner_eq7_both_bounds() {
+        // Frames strictly periodic 100 (single trigger), pending signal
+        // periodic 450.
+        let hem = PackConstructor::new(vec![
+            PackInput::triggering("timer", periodic(100)),
+            PackInput::pending("s", periodic(450)),
+        ])
+        .unwrap()
+        .construct()
+        .unwrap();
+        let s = hem.unpack_by_name("s").unwrap();
+        // δ_out⁺(2) = 100. Signal bound: 450 − 100 = 350; frame bound: 100.
+        assert_eq!(s.delta_min(2), Time::new(350));
+        // n = 3: signal 900 − 100 = 800 vs frames 200 → 800.
+        assert_eq!(s.delta_min(3), Time::new(800));
+        // δ⁺ is unbounded (eq. (8)).
+        assert_eq!(s.delta_plus(2), TimeBound::Infinite);
+        assert_eq!(s.eta_minus(Time::new(100_000)), 0);
+    }
+
+    #[test]
+    fn pending_faster_than_frames_is_frame_limited() {
+        // Pending signal updates every 30 ticks but frames only go every
+        // 100: consecutive fresh values are at least a frame apart.
+        let hem = PackConstructor::new(vec![
+            PackInput::triggering("timer", periodic(100)),
+            PackInput::pending("fast", periodic(30)),
+        ])
+        .unwrap()
+        .construct()
+        .unwrap();
+        let fast = hem.unpack_by_name("fast").unwrap();
+        // Signal bound: 30 − 100 < 0 → 0; frame bound: 100.
+        assert_eq!(fast.delta_min(2), Time::new(100));
+        assert_eq!(fast.delta_min(4), Time::new(300));
+    }
+
+    #[test]
+    fn pending_only_pack_rejected() {
+        let err = PackConstructor::new(vec![PackInput::pending("s", periodic(100))]).unwrap_err();
+        assert!(err.to_string().contains("triggering"));
+    }
+
+    #[test]
+    fn inputs_accessor_and_roles() {
+        let pc = PackConstructor::new(vec![
+            PackInput::new("x", periodic(10), StreamRole::Triggering),
+            PackInput::pending("y", periodic(20)),
+        ])
+        .unwrap();
+        assert_eq!(pc.inputs().len(), 2);
+        assert_eq!(pc.inputs()[0].role, StreamRole::Triggering);
+        assert_eq!(pc.inputs()[1].role, StreamRole::Pending);
+    }
+
+    #[test]
+    fn pending_with_sporadic_frames_only_frame_bound() {
+        use hem_event_models::SporadicModel;
+        let frames = SporadicModel::new(Time::new(50)).unwrap().shared();
+        let signal = periodic(450);
+        let p = PendingInner::new(signal, frames);
+        // δ_out⁺(2) = ∞ wipes the signal-spacing bound; frame spacing
+        // remains.
+        assert_eq!(p.delta_min(2), Time::new(50));
+        assert_eq!(p.delta_min(3), Time::new(100));
+        assert_eq!(p.delta_plus(5), TimeBound::Infinite);
+    }
+}

@@ -1,0 +1,166 @@
+//! The inner update function `B_Θτ,C_pa` (paper Def. 9).
+
+use hem_event_models::{EventModel, ModelError, ModelRef};
+use hem_time::{Time, TimeBound};
+
+/// An inner stream adapted after the outer stream was processed by `Θ_τ`
+/// with response times `[r⁻, r⁺]` (paper Def. 9).
+///
+/// Two effects must be reflected into the embedded streams:
+///
+/// 1. the response-time jitter `r⁺ − r⁻` compresses minimum / stretches
+///    maximum distances, exactly as for a flat stream;
+/// 2. frames that arrived *simultaneously* at the resource serialize:
+///    with up to `k` simultaneous outer events, a frame — and the signal
+///    it carries — can be delayed by an extra `(k−1)·r⁻` behind its
+///    peers. Conversely, consecutive outputs are separated by at least
+///    `r⁻` each, flooring `δ''⁻(n)` at `(n−1)·r⁻`:
+///
+/// ```text
+/// δ''ᵢ⁻(n) = max( δ'ᵢ⁻(n) − (r⁺−r⁻) − (k−1)·r⁻,  (n−1)·r⁻ )
+/// δ''ᵢ⁺(n) = δ'ᵢ⁺(n) + (r⁺−r⁻) + (k−1)·r⁻
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use hem_core::InnerUpdated;
+/// use hem_event_models::{EventModel, EventModelExt, StandardEventModel};
+/// use hem_time::Time;
+///
+/// let inner = StandardEventModel::periodic(Time::new(250))?.shared();
+/// // Frame response [8, 40], two frames can be queued simultaneously.
+/// let updated = InnerUpdated::new(inner, Time::new(8), Time::new(40), 2)?;
+/// // 250 − 32 (jitter) − 8 (serialization behind one peer) = 210.
+/// assert_eq!(updated.delta_min(2), Time::new(210));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InnerUpdated {
+    inner: ModelRef,
+    r_minus: Time,
+    r_plus: Time,
+    simultaneous: u64,
+}
+
+impl InnerUpdated {
+    /// Adapts `inner` for an outer stream processed with response times
+    /// `[r_minus, r_plus]`, where `simultaneous` is the maximum number of
+    /// outer events that could arrive at once *before* the operation
+    /// (`k` in Def. 9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless
+    /// `0 ≤ r_minus ≤ r_plus` and `simultaneous ≥ 1`.
+    pub fn new(
+        inner: ModelRef,
+        r_minus: Time,
+        r_plus: Time,
+        simultaneous: u64,
+    ) -> Result<Self, ModelError> {
+        if r_minus.is_negative() || r_minus > r_plus {
+            return Err(ModelError::invalid(format!(
+                "response interval must satisfy 0 ≤ r⁻ ≤ r⁺, got [{r_minus}, {r_plus}]"
+            )));
+        }
+        if simultaneous == 0 {
+            return Err(ModelError::invalid(
+                "simultaneous outer arrivals must be at least 1",
+            ));
+        }
+        Ok(InnerUpdated {
+            inner,
+            r_minus,
+            r_plus,
+            simultaneous,
+        })
+    }
+
+    /// The total shift applied to distances:
+    /// `(r⁺ − r⁻) + (k − 1)·r⁻`.
+    #[must_use]
+    pub fn shift(&self) -> Time {
+        (self.r_plus - self.r_minus) + self.r_minus * (self.simultaneous as i64 - 1)
+    }
+}
+
+impl EventModel for InnerUpdated {
+    fn delta_min(&self, n: u64) -> Time {
+        if n <= 1 {
+            return Time::ZERO;
+        }
+        let shifted = self.inner.delta_min(n) - self.shift();
+        let floor = self.r_minus * (n as i64 - 1);
+        shifted.max(floor).clamp_non_negative()
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        if n <= 1 {
+            return TimeBound::ZERO;
+        }
+        // Keep δ⁺ ≥ δ⁻ even when the serialization floor dominates (see
+        // the analogous guard in `OutputModel::delta_plus`).
+        (self.inner.delta_plus(n) + self.shift()).max(self.delta_min(n).into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_event_models::{EventModelExt, SporadicModel, StandardEventModel};
+
+    fn periodic(p: i64) -> ModelRef {
+        StandardEventModel::periodic(Time::new(p)).unwrap().shared()
+    }
+
+    #[test]
+    fn k1_reduces_to_plain_jitter_shift() {
+        let u = InnerUpdated::new(periodic(250), Time::new(8), Time::new(40), 1).unwrap();
+        assert_eq!(u.shift(), Time::new(32));
+        assert_eq!(u.delta_min(2), Time::new(218));
+        assert_eq!(u.delta_plus(2), TimeBound::finite(282));
+    }
+
+    #[test]
+    fn serialization_penalty_grows_with_k() {
+        let k1 = InnerUpdated::new(periodic(250), Time::new(8), Time::new(40), 1).unwrap();
+        let k3 = InnerUpdated::new(periodic(250), Time::new(8), Time::new(40), 3).unwrap();
+        assert_eq!(k3.shift(), Time::new(32 + 16));
+        assert!(k3.delta_min(2) < k1.delta_min(2));
+        assert!(k3.delta_plus(2) > k1.delta_plus(2));
+    }
+
+    #[test]
+    fn floor_at_minimum_service_separation() {
+        // A dense inner stream cannot be compressed below (n−1)·r⁻.
+        let u = InnerUpdated::new(periodic(10), Time::new(15), Time::new(60), 1).unwrap();
+        assert_eq!(u.delta_min(2), Time::new(15));
+        assert_eq!(u.delta_min(5), Time::new(60));
+    }
+
+    #[test]
+    fn infinite_delta_plus_preserved() {
+        let sp = SporadicModel::new(Time::new(100)).unwrap().shared();
+        let u = InnerUpdated::new(sp, Time::new(5), Time::new(20), 2).unwrap();
+        assert_eq!(u.delta_plus(2), TimeBound::Infinite);
+        assert!(u.delta_min(2) >= Time::new(5));
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(InnerUpdated::new(periodic(100), Time::new(5), Time::new(1), 1).is_err());
+        assert!(InnerUpdated::new(periodic(100), Time::new(-1), Time::new(1), 1).is_err());
+        assert!(InnerUpdated::new(periodic(100), Time::ZERO, Time::new(1), 0).is_err());
+    }
+
+    #[test]
+    fn zero_response_jitter_and_k1_is_identity_above_floor() {
+        let inner = periodic(100);
+        let u = InnerUpdated::new(inner.clone(), Time::new(20), Time::new(20), 1).unwrap();
+        for n in 2..=8u64 {
+            assert_eq!(u.delta_min(n), inner.delta_min(n));
+            assert_eq!(u.delta_plus(n), inner.delta_plus(n));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Conservative standard-event-model approximation of arbitrary models.
+//!
+//! SymTA/S-style tools represent every stream by a parameterized
+//! standard event model `(P, J, d_min)` (paper §2: SEMs "can lack in
+//! precision when it comes to approximating arbitrary event streams").
+//! This module fits a conservative SEM around any [`EventModel`]: the
+//! approximation admits **at least** every event sequence of the
+//! original (`η⁺` never smaller, `η⁻` never larger), so analyses using
+//! it remain sound — just more pessimistic. That pessimism is exactly
+//! what the `FlatSem` baseline mode quantifies.
+
+use hem_time::{div_ceil, Time};
+
+use crate::{EventModel, ModelError, StandardEventModel};
+
+/// Fits a SEM around `model` that is conservative for the **upper**
+/// arrival curves: `δ⁻` never larger, `η⁺` never smaller than the
+/// original — the direction used by all interference computations.
+///
+/// The fit:
+///
+/// * `P = ⌊δ⁻(h) / (h − 1)⌋` for the horizon `h` — a lower bound on the
+///   sustainable period. For super-additive `δ⁻` (every exact model),
+///   Fekete's lemma gives `δ⁻(h)/(h−1) ≤` the long-run slope, so the
+///   bound holds for *all* `n`, not just the horizon,
+/// * `d_min = δ⁻(2)` (capped at `P`),
+/// * `J = max_{n ≤ h} ((n−1)·P − δ⁻(n))` — the smallest jitter putting
+///   the SEM's `δ⁻` below the model's on the horizon; super-additivity
+///   extends the bound beyond it.
+///
+/// # Caveat — lower curves are NOT preserved
+///
+/// A single rational rate cannot conservatively bound both curves of,
+/// say, an OR-join of incommensurate periods: this fit may
+/// *under*-estimate maximum distances (`δ⁺`) and hence over-promise
+/// guaranteed arrivals (`η⁻`). Use it only where upper curves matter —
+/// e.g. the `FlatSem` baseline's interference terms — never to derive
+/// arrival guarantees or pending-signal bounds.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] if `horizon < 2` or the
+/// model admits no sustainable period within the horizon.
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::ops::OrJoin;
+/// use hem_event_models::{approx, EventModel, EventModelExt, StandardEventModel};
+/// use hem_time::Time;
+///
+/// let a = StandardEventModel::periodic(Time::new(250))?.shared();
+/// let b = StandardEventModel::periodic(Time::new(450))?.shared();
+/// let or = OrJoin::new(vec![a, b])?;
+/// let sem = approx::sem_approximation(&or, 50)?;
+/// // Conservative: the SEM admits at least as many events per window.
+/// for dt in [100, 500, 2_000].map(Time::new) {
+///     assert!(sem.eta_plus(dt) >= or.eta_plus(dt));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sem_approximation(
+    model: &dyn EventModel,
+    horizon: u64,
+) -> Result<StandardEventModel, ModelError> {
+    if horizon < 2 {
+        return Err(ModelError::invalid(
+            "SEM approximation needs a horizon of at least two events",
+        ));
+    }
+    // Sustainable period estimate from the densest long window.
+    let span = model.delta_min(horizon);
+    let period = Time::new(span.ticks() / (horizon as i64 - 1));
+    if period < Time::ONE {
+        return Err(ModelError::invalid(format!(
+            "model admits {horizon} events within {span} ticks: no sustainable period ≥ 1"
+        )));
+    }
+    let dmin = model.delta_min(2).min(period);
+    // Smallest jitter putting the SEM's δ⁻ at or below the model's.
+    let mut jitter = Time::ZERO;
+    for n in 2..=horizon {
+        let nominal = period * (n as i64 - 1);
+        jitter = jitter.max(nominal - model.delta_min(n));
+    }
+    StandardEventModel::new(period, jitter.clamp_non_negative(), dmin)
+}
+
+/// The smallest horizon (event count) at which the rate estimate of
+/// [`sem_approximation`] stabilizes for an eventually-periodic model:
+/// one full hyperperiod worth of events, `⌈hyperperiod / min_period⌉ + 1`.
+///
+/// Convenience for callers that know the component periods.
+///
+/// # Panics
+///
+/// Panics if any period is < 1.
+#[must_use]
+pub fn suggested_horizon(periods: &[Time]) -> u64 {
+    assert!(
+        periods.iter().all(|p| *p >= Time::ONE),
+        "periods must be positive"
+    );
+    let min_p = periods.iter().copied().min().unwrap_or(Time::ONE);
+    let hyper = periods
+        .iter()
+        .fold(1i64, |acc, p| lcm(acc, p.ticks()).min(1 << 40));
+    div_ceil(hyper, min_p.ticks()) as u64 + 1
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: i64, b: i64) -> i64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OrJoin;
+    use crate::{EventModelExt, SporadicModel};
+
+    #[test]
+    fn sem_refit_is_tight_and_conservative() {
+        // Approximating a SEM recovers a near-identical conservative fit:
+        // the floor-based rate estimate may shave one tick off P, which
+        // the jitter then compensates.
+        let m = StandardEventModel::new(Time::new(100), Time::new(30), Time::new(10)).unwrap();
+        let fit = sem_approximation(&m, 64).unwrap();
+        assert!(fit.period() >= Time::new(99) && fit.period() <= Time::new(100));
+        for n in 2..=200u64 {
+            assert!(fit.delta_min(n) <= m.delta_min(n), "δ⁻({n})");
+        }
+        for dt in (1..30_000).step_by(101).map(Time::new) {
+            assert!(fit.eta_plus(dt) >= m.eta_plus(dt), "η⁺({dt})");
+        }
+        // d_min of the fit is the model's tightest pair distance δ⁻(2)
+        // = max(10, 100 − 30) = 70 — tighter than the declared d_min
+        // and still conservative.
+        assert_eq!(fit.dmin(), Time::new(70));
+    }
+
+    #[test]
+    fn or_join_approximation_is_conservative() {
+        let a = StandardEventModel::periodic(Time::new(250)).unwrap().shared();
+        let b = StandardEventModel::periodic(Time::new(450)).unwrap().shared();
+        let or = OrJoin::new(vec![a, b]).unwrap();
+        let horizon = suggested_horizon(&[Time::new(250), Time::new(450)]);
+        let sem = sem_approximation(&or, horizon).unwrap();
+        // Upper-curve conservatism well beyond the fitting horizon
+        // (guaranteed by super-additivity of the exact OR curve).
+        for n in 2..=120u64 {
+            assert!(sem.delta_min(n) <= or.delta_min(n), "δ⁻({n})");
+        }
+        for dt in (1..20_000).step_by(73).map(Time::new) {
+            assert!(sem.eta_plus(dt) >= or.eta_plus(dt), "η⁺({dt})");
+        }
+    }
+
+    #[test]
+    fn approximation_is_strictly_pessimistic_for_or() {
+        // The OR of incommensurate periods is not SEM-representable:
+        // somewhere the SEM admits strictly more events.
+        let a = StandardEventModel::periodic(Time::new(250)).unwrap().shared();
+        let b = StandardEventModel::periodic(Time::new(450)).unwrap().shared();
+        let or = OrJoin::new(vec![a, b]).unwrap();
+        let sem = sem_approximation(&or, 38).unwrap();
+        let mut strictly = false;
+        for dt in (1..20_000).step_by(97).map(Time::new) {
+            assert!(sem.eta_plus(dt) >= or.eta_plus(dt));
+            strictly |= sem.eta_plus(dt) > or.eta_plus(dt);
+        }
+        assert!(strictly, "SEM fit should over-approximate somewhere");
+    }
+
+    #[test]
+    fn sporadic_fit_keeps_upper_curve() {
+        let sp = SporadicModel::new(Time::new(70)).unwrap();
+        let sem = sem_approximation(&sp, 32).unwrap();
+        assert_eq!(sem.period(), Time::new(70));
+        assert_eq!(sem.dmin(), Time::new(70));
+        // η⁺ is matched; η⁻ is over-promised (the documented caveat).
+        for dt in (1..2_000).step_by(41).map(Time::new) {
+            assert!(sem.eta_plus(dt) >= sp.eta_plus(dt));
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let m = StandardEventModel::periodic(Time::new(100)).unwrap();
+        assert!(sem_approximation(&m, 1).is_err());
+        // A model with unbounded simultaneity within the horizon has no
+        // sustainable period.
+        let bursty =
+            StandardEventModel::periodic_with_jitter(Time::new(10), Time::new(1_000)).unwrap();
+        assert!(sem_approximation(&bursty, 5).is_err());
+        assert!(sem_approximation(&bursty, 200).is_ok());
+    }
+
+    #[test]
+    fn suggested_horizon_covers_hyperperiod() {
+        let h = suggested_horizon(&[Time::new(250), Time::new(450)]);
+        // lcm = 2250, min period 250 → 9 + 1.
+        assert_eq!(h, 10);
+    }
+}

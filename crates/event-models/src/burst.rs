@@ -1,0 +1,198 @@
+//! Periodic burst event model.
+
+use hem_time::{Time, TimeBound};
+
+use crate::{EventModel, ModelError};
+
+/// A deterministic periodic burst pattern: every `period`, a burst of
+/// `burst` events spaced `inner_distance` apart.
+///
+/// Bursts are how packetized producers (DMA transfers, fragmented
+/// messages, multi-sample sensor reads) appear at a resource. The
+/// pattern is deterministic up to phase, so `δ⁻` and `δ⁺` are the
+/// min/max over the burst offset at which a window may start:
+///
+/// ```text
+/// span(o, n) = ⌊(o+n−1)/b⌋·P + ((o+n−1) mod b − o)·d
+/// δ⁻(n) = min_{o<b} span(o, n),   δ⁺(n) = max_{o<b} span(o, n)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::{EventModel, PeriodicBurstModel};
+/// use hem_time::{Time, TimeBound};
+///
+/// // Pairs of events 1 tick apart, every 100 ticks.
+/// let m = PeriodicBurstModel::new(Time::new(100), 2, Time::new(1))?;
+/// assert_eq!(m.delta_min(2), Time::new(1));    // within a burst
+/// assert_eq!(m.delta_plus(2), TimeBound::finite(99)); // across bursts
+/// assert_eq!(m.eta_plus(Time::new(102)), 4);   // two full bursts
+/// # Ok::<(), hem_event_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeriodicBurstModel {
+    period: Time,
+    burst: u64,
+    inner_distance: Time,
+}
+
+impl PeriodicBurstModel {
+    /// Creates a burst model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless `period ≥ 1`,
+    /// `burst ≥ 1`, `inner_distance ≥ 0`, and the burst fits into one
+    /// period (`(burst − 1) · inner_distance < period`).
+    pub fn new(period: Time, burst: u64, inner_distance: Time) -> Result<Self, ModelError> {
+        if period < Time::ONE {
+            return Err(ModelError::invalid("burst period must be positive"));
+        }
+        if burst == 0 {
+            return Err(ModelError::invalid("burst size must be at least one"));
+        }
+        if inner_distance.is_negative() {
+            return Err(ModelError::invalid("inner distance must be non-negative"));
+        }
+        if inner_distance * (burst as i64 - 1) >= period {
+            return Err(ModelError::invalid(format!(
+                "burst of {burst} events spaced {inner_distance} does not fit into period {period}"
+            )));
+        }
+        Ok(PeriodicBurstModel {
+            period,
+            burst,
+            inner_distance,
+        })
+    }
+
+    /// The outer burst period `P`.
+    #[must_use]
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// Events per burst `b`.
+    #[must_use]
+    pub fn burst(&self) -> u64 {
+        self.burst
+    }
+
+    /// Distance between events within a burst `d`.
+    #[must_use]
+    pub fn inner_distance(&self) -> Time {
+        self.inner_distance
+    }
+
+    /// Span of `n` consecutive events starting at burst offset `o`.
+    fn span(&self, o: u64, n: u64) -> Time {
+        let end = o + n - 1;
+        let periods = (end / self.burst) as i64;
+        let end_offset = (end % self.burst) as i64;
+        self.period * periods + self.inner_distance * (end_offset - o as i64)
+    }
+
+    fn extremal_span(&self, n: u64, max: bool) -> Time {
+        let spans = (0..self.burst).map(|o| self.span(o, n));
+        if max {
+            spans.max().expect("burst ≥ 1")
+        } else {
+            spans.min().expect("burst ≥ 1")
+        }
+    }
+}
+
+impl EventModel for PeriodicBurstModel {
+    fn delta_min(&self, n: u64) -> Time {
+        if n <= 1 {
+            Time::ZERO
+        } else {
+            self.extremal_span(n, false)
+        }
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        if n <= 1 {
+            TimeBound::ZERO
+        } else {
+            TimeBound::Finite(self.extremal_span(n, true))
+        }
+    }
+
+    fn max_simultaneous(&self) -> u64 {
+        if self.inner_distance.is_zero() {
+            self.burst
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_consistency, check_super_additivity, CurveBuilder};
+
+    #[test]
+    fn degenerates_to_periodic_for_burst_one() {
+        let m = PeriodicBurstModel::new(Time::new(250), 1, Time::ZERO).unwrap();
+        for n in 2..=10u64 {
+            assert_eq!(m.delta_min(n), Time::new(250) * (n as i64 - 1));
+            assert_eq!(m.delta_plus(n), TimeBound::finite(250 * (n as i64 - 1)));
+        }
+        assert_eq!(m.max_simultaneous(), 1);
+    }
+
+    #[test]
+    fn matches_hand_built_curve() {
+        // Same pattern as the curve-model example: pairs 1 tick apart
+        // every 100.
+        let m = PeriodicBurstModel::new(Time::new(100), 2, Time::new(1)).unwrap();
+        let curve = CurveBuilder::new()
+            .delta_min_ticks([1, 100, 101])
+            .delta_plus_ticks([99, 100, 199])
+            .extension(2, Time::new(100))
+            .build()
+            .unwrap();
+        for n in 0..=12u64 {
+            assert_eq!(m.delta_min(n), curve.delta_min(n), "δ⁻({n})");
+            assert_eq!(m.delta_plus(n), curve.delta_plus(n), "δ⁺({n})");
+        }
+    }
+
+    #[test]
+    fn simultaneous_burst() {
+        let m = PeriodicBurstModel::new(Time::new(500), 3, Time::ZERO).unwrap();
+        assert_eq!(m.delta_min(3), Time::ZERO);
+        assert_eq!(m.delta_min(4), Time::new(500));
+        assert_eq!(m.max_simultaneous(), 3);
+        assert_eq!(m.eta_plus(Time::new(1)), 3);
+    }
+
+    #[test]
+    fn is_consistent_and_super_additive() {
+        for (p, b, d) in [(100, 2, 1), (500, 3, 0), (1000, 4, 50), (70, 7, 9)] {
+            let m = PeriodicBurstModel::new(Time::new(p), b, Time::new(d)).unwrap();
+            check_consistency(&m, 30).unwrap();
+            check_super_additivity(&m, 30).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PeriodicBurstModel::new(Time::ZERO, 1, Time::ZERO).is_err());
+        assert!(PeriodicBurstModel::new(Time::new(100), 0, Time::ZERO).is_err());
+        assert!(PeriodicBurstModel::new(Time::new(100), 2, Time::new(-1)).is_err());
+        // Burst spills over the period.
+        assert!(PeriodicBurstModel::new(Time::new(100), 3, Time::new(50)).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let m = PeriodicBurstModel::new(Time::new(100), 2, Time::new(5)).unwrap();
+        assert_eq!(m.period(), Time::new(100));
+        assert_eq!(m.burst(), 2);
+        assert_eq!(m.inner_distance(), Time::new(5));
+    }
+}

@@ -1,0 +1,166 @@
+//! Memoizing wrapper for expensive derived models.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use hem_time::{Time, TimeBound};
+
+use crate::{EventModel, ModelRef};
+
+/// A memoizing wrapper around any event model.
+///
+/// Derived models — OR-joins, packed hierarchies, inner updates — answer
+/// each query by recursing into their children; inside a busy-window
+/// fixed point the same `δ±(n)`/`η±(Δt)` values are requested thousands
+/// of times. `CachedModel` memoizes all four functions, turning repeated
+/// queries into hash lookups while remaining a drop-in [`EventModel`].
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::ops::OrJoin;
+/// use hem_event_models::{CachedModel, EventModel, EventModelExt, StandardEventModel};
+/// use hem_time::Time;
+///
+/// let or = OrJoin::new(vec![
+///     StandardEventModel::periodic(Time::new(250))?.shared(),
+///     StandardEventModel::periodic(Time::new(450))?.shared(),
+/// ])?;
+/// let cached = CachedModel::new(or.shared());
+/// assert_eq!(cached.delta_min(5), cached.delta_min(5)); // second hit is O(1)
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CachedModel {
+    inner: ModelRef,
+    delta_min: Mutex<HashMap<u64, Time>>,
+    delta_plus: Mutex<HashMap<u64, TimeBound>>,
+    eta_plus: Mutex<HashMap<Time, u64>>,
+    eta_minus: Mutex<HashMap<Time, u64>>,
+}
+
+impl CachedModel {
+    /// Wraps a model with memoization.
+    #[must_use]
+    pub fn new(inner: ModelRef) -> Self {
+        CachedModel {
+            inner,
+            delta_min: Mutex::new(HashMap::new()),
+            delta_plus: Mutex::new(HashMap::new()),
+            eta_plus: Mutex::new(HashMap::new()),
+            eta_minus: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn inner(&self) -> &ModelRef {
+        &self.inner
+    }
+
+    /// Total number of memoized entries across all four caches
+    /// (diagnostic).
+    #[must_use]
+    pub fn cached_entries(&self) -> usize {
+        self.delta_min.lock().expect("poisoned").len()
+            + self.delta_plus.lock().expect("poisoned").len()
+            + self.eta_plus.lock().expect("poisoned").len()
+            + self.eta_minus.lock().expect("poisoned").len()
+    }
+}
+
+impl EventModel for CachedModel {
+    fn delta_min(&self, n: u64) -> Time {
+        *self
+            .delta_min
+            .lock()
+            .expect("poisoned")
+            .entry(n)
+            .or_insert_with(|| self.inner.delta_min(n))
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        *self
+            .delta_plus
+            .lock()
+            .expect("poisoned")
+            .entry(n)
+            .or_insert_with(|| self.inner.delta_plus(n))
+    }
+
+    fn eta_plus(&self, dt: Time) -> u64 {
+        *self
+            .eta_plus
+            .lock()
+            .expect("poisoned")
+            .entry(dt)
+            .or_insert_with(|| self.inner.eta_plus(dt))
+    }
+
+    fn eta_minus(&self, dt: Time) -> u64 {
+        *self
+            .eta_minus
+            .lock()
+            .expect("poisoned")
+            .entry(dt)
+            .or_insert_with(|| self.inner.eta_minus(dt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OrJoin;
+    use crate::{EventModelExt, StandardEventModel};
+
+    fn or_model() -> ModelRef {
+        OrJoin::new(vec![
+            StandardEventModel::periodic(Time::new(250)).unwrap().shared(),
+            StandardEventModel::periodic_with_jitter(Time::new(450), Time::new(40))
+                .unwrap()
+                .shared(),
+        ])
+        .unwrap()
+        .shared()
+    }
+
+    #[test]
+    fn transparent_equivalence() {
+        let raw = or_model();
+        let cached = CachedModel::new(raw.clone());
+        for n in 0..=20u64 {
+            assert_eq!(cached.delta_min(n), raw.delta_min(n));
+            assert_eq!(cached.delta_plus(n), raw.delta_plus(n));
+        }
+        for dt in (0..1500).step_by(31).map(Time::new) {
+            assert_eq!(cached.eta_plus(dt), raw.eta_plus(dt));
+            assert_eq!(cached.eta_minus(dt), raw.eta_minus(dt));
+        }
+    }
+
+    #[test]
+    fn caches_fill_and_repeat_hits_are_stable() {
+        let cached = CachedModel::new(or_model());
+        assert_eq!(cached.cached_entries(), 0);
+        let first = cached.delta_min(7);
+        let entries_after_one = cached.cached_entries();
+        assert!(entries_after_one >= 1);
+        assert_eq!(cached.delta_min(7), first);
+        assert_eq!(cached.cached_entries(), entries_after_one);
+        let _ = cached.eta_plus(Time::new(999));
+        assert!(cached.cached_entries() > entries_after_one);
+    }
+
+    #[test]
+    fn inner_accessor() {
+        let raw = or_model();
+        let cached = CachedModel::new(raw.clone());
+        assert_eq!(cached.inner().delta_min(3), raw.delta_min(3));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CachedModel>();
+    }
+}

@@ -1,0 +1,312 @@
+//! Conversions between the distance functions `δ±(n)` and the arrival
+//! functions `η±(Δt)`.
+//!
+//! These implement eqs. (1) and (2) of the DATE'08 paper,
+//!
+//! ```text
+//! η⁺(Δt) = max { n ≥ 2 : δ⁻(n) < Δt } ∪ { 1 }          (1)
+//! η⁻(Δt) = min { n ≥ 0 : δ⁺(n + 2) > Δt }              (2)
+//! ```
+//!
+//! together with the pseudo-inverses used by the OR-combination
+//! (eqs. (3),(4)): the paper's proof observes that the minimum over all
+//! contribution vectors equals the smallest window containing
+//! `n = Σᵢ ηᵢ⁺(Δt)` events, so `δ⁻` of a combined stream is recovered by
+//! inverting the summed `η⁺` (and dually for `δ⁺` from `η⁻`).
+//!
+//! All functions operate on closures so they apply to any model or
+//! combination of models without trait-object ceremony.
+
+use hem_time::{Time, TimeBound};
+
+/// Hard cap on event-count searches.
+///
+/// Reaching it means the queried model has no positive long-run rate
+/// (e.g. `δ⁻(n) = 0` for all `n`), which violates the
+/// [`EventModel`](crate::EventModel) contract.
+pub const MAX_EVENT_SEARCH: u64 = 1 << 40;
+
+/// Horizon for window-size searches when inverting `η⁻`.
+///
+/// If the minimum-arrival count has not reached the target within a window
+/// of this length, the corresponding `δ⁺` is reported as
+/// [`TimeBound::Infinite`]. The value is far beyond any system horizon
+/// (harmlessly conservative).
+pub const DT_HORIZON: i64 = 1 << 46;
+
+/// `η⁺(Δt)` from `δ⁻(n)` — paper eq. (1).
+///
+/// Returns 0 for `Δt ≤ 0`; otherwise the largest `n` with `δ⁻(n) < Δt`.
+///
+/// # Panics
+///
+/// Panics if the search exceeds [`MAX_EVENT_SEARCH`] events, i.e. the
+/// model has no positive long-run event rate.
+pub fn eta_plus_from_delta_min(delta_min: &dyn Fn(u64) -> Time, dt: Time) -> u64 {
+    if dt <= Time::ZERO {
+        return 0;
+    }
+    // δ⁻(1) = 0 < Δt, so at least one event fits.
+    let mut lo = 1u64; // invariant: δ⁻(lo) < Δt
+    let mut hi = 2u64;
+    while delta_min(hi) < dt {
+        lo = hi;
+        hi = hi.saturating_mul(2);
+        assert!(
+            hi <= MAX_EVENT_SEARCH,
+            "η⁺ search exceeded {MAX_EVENT_SEARCH} events: model has no positive rate"
+        );
+    }
+    // Now δ⁻(lo) < Δt ≤ δ⁻(hi); binary-search the boundary.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if delta_min(mid) < dt {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// `η⁻(Δt)` from `δ⁺(n)` — paper eq. (2).
+///
+/// Returns 0 for `Δt ≤ 0` and whenever `δ⁺(2)` already exceeds `Δt`
+/// (in particular for streams with unbounded `δ⁺`).
+pub fn eta_minus_from_delta_plus(delta_plus: &dyn Fn(u64) -> TimeBound, dt: Time) -> u64 {
+    if dt <= Time::ZERO {
+        return 0;
+    }
+    let dt = TimeBound::from(dt);
+    if delta_plus(2) > dt {
+        return 0;
+    }
+    // Find the smallest n with δ⁺(n + 2) > Δt. Invariant: δ⁺(lo + 2) ≤ Δt.
+    let mut lo = 0u64;
+    let mut hi = 1u64;
+    while delta_plus(hi + 2) <= dt {
+        lo = hi;
+        hi = hi.saturating_mul(2);
+        assert!(
+            hi <= MAX_EVENT_SEARCH,
+            "η⁻ search exceeded {MAX_EVENT_SEARCH} events: δ⁺ does not grow"
+        );
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if delta_plus(mid + 2) <= dt {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Pseudo-inverse of `η⁺`: recovers `δ⁻(n)` as
+/// `min { Δt ≥ 1 : η⁺(Δt) ≥ n } − 1`.
+///
+/// `upper_bound` must be a window length already known to satisfy
+/// `η⁺(upper_bound) ≥ n` (for an OR-combination, `minᵢ δᵢ⁻(n) + 1` works:
+/// putting all `n` events on the single stream with the smallest spread
+/// achieves it).
+///
+/// # Panics
+///
+/// Panics (debug assertion) if `upper_bound` does not actually admit `n`
+/// events.
+pub fn delta_min_from_eta_plus(eta_plus: &dyn Fn(Time) -> u64, n: u64, upper_bound: Time) -> Time {
+    if n <= 1 {
+        return Time::ZERO;
+    }
+    debug_assert!(
+        eta_plus(upper_bound) >= n,
+        "upper_bound {upper_bound} does not admit {n} events"
+    );
+    // Binary search the smallest Δt ∈ [1, upper_bound] with η⁺(Δt) ≥ n.
+    let mut lo = Time::ZERO; // invariant: η⁺(lo) < n
+    let mut hi = upper_bound; // invariant: η⁺(hi) ≥ n
+    while (hi - lo).ticks() > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if eta_plus(mid) >= n {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi - Time::ONE
+}
+
+/// Pseudo-inverse of `η⁻`: recovers `δ⁺(n)` as
+/// `min { Δt : η⁻(Δt) ≥ n − 1 }`, or [`TimeBound::Infinite`] when the
+/// minimum arrival count never reaches `n − 1` within [`DT_HORIZON`].
+///
+/// The identity follows from eq. (2): `η⁻(Δt) ≥ m ⟺ δ⁺(m + 1) ≤ Δt`,
+/// hence the smallest window guaranteeing `n − 1` events is exactly
+/// `δ⁺(n)`.
+pub fn delta_plus_from_eta_minus(eta_minus: &dyn Fn(Time) -> u64, n: u64) -> TimeBound {
+    if n <= 1 {
+        return TimeBound::ZERO;
+    }
+    let target = n - 1;
+    let mut hi = Time::ONE;
+    while eta_minus(hi) < target {
+        if hi.ticks() > DT_HORIZON {
+            return TimeBound::Infinite;
+        }
+        hi = hi * 2;
+    }
+    let mut lo = Time::ZERO; // invariant: η⁻(lo) < target
+    while (hi - lo).ticks() > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if eta_minus(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    TimeBound::Finite(hi)
+}
+
+/// The largest `k ≥ 1` with `δ⁻(k) = 0`: the maximum number of events that
+/// can arrive simultaneously.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_EVENT_SEARCH`] simultaneous events are
+/// possible (an invalid model).
+pub fn max_simultaneous_from_delta_min(delta_min: &dyn Fn(u64) -> Time) -> u64 {
+    let mut lo = 1u64; // δ⁻(1) = 0 by contract
+    let mut hi = 2u64;
+    while delta_min(hi) == Time::ZERO {
+        lo = hi;
+        hi = hi.saturating_mul(2);
+        assert!(
+            hi <= MAX_EVENT_SEARCH,
+            "unbounded simultaneous events: model has no positive rate"
+        );
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if delta_min(mid) == Time::ZERO {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// δ⁻ of a strictly periodic stream with period `p`.
+    fn periodic_delta_min(p: i64) -> impl Fn(u64) -> Time {
+        move |n| {
+            if n <= 1 {
+                Time::ZERO
+            } else {
+                Time::new(p * (n as i64 - 1))
+            }
+        }
+    }
+
+    fn periodic_delta_plus(p: i64) -> impl Fn(u64) -> TimeBound {
+        move |n| {
+            if n <= 1 {
+                TimeBound::ZERO
+            } else {
+                TimeBound::finite(p * (n as i64 - 1))
+            }
+        }
+    }
+
+    #[test]
+    fn eta_plus_periodic() {
+        let d = periodic_delta_min(10);
+        // Window of 1 tick: one event. Window of 10: still one (second event
+        // is exactly 10 away, and δ⁻(2) = 10 is not < 10). Window of 11: two.
+        assert_eq!(eta_plus_from_delta_min(&d, Time::ZERO), 0);
+        assert_eq!(eta_plus_from_delta_min(&d, Time::new(1)), 1);
+        assert_eq!(eta_plus_from_delta_min(&d, Time::new(10)), 1);
+        assert_eq!(eta_plus_from_delta_min(&d, Time::new(11)), 2);
+        assert_eq!(eta_plus_from_delta_min(&d, Time::new(100)), 10);
+        assert_eq!(eta_plus_from_delta_min(&d, Time::new(101)), 11);
+    }
+
+    #[test]
+    fn eta_minus_periodic() {
+        let d = periodic_delta_plus(10);
+        // Eq. (2): η⁻(Δt) = min { n : δ⁺(n+2) > Δt }. For a strict period
+        // of 10: η⁻(9) = 0 (δ⁺(2) = 10 > 9), η⁻(10) = 1 (δ⁺(2) = 10 is not
+        // > 10, δ⁺(3) = 20 is), η⁻(19) = 1, η⁻(20) = 2.
+        assert_eq!(eta_minus_from_delta_plus(&d, Time::ZERO), 0);
+        assert_eq!(eta_minus_from_delta_plus(&d, Time::new(9)), 0);
+        assert_eq!(eta_minus_from_delta_plus(&d, Time::new(10)), 1);
+        assert_eq!(eta_minus_from_delta_plus(&d, Time::new(19)), 1);
+        assert_eq!(eta_minus_from_delta_plus(&d, Time::new(20)), 2);
+    }
+
+    #[test]
+    fn eta_minus_unbounded_delta_plus_is_zero() {
+        let d = |n: u64| {
+            if n <= 1 {
+                TimeBound::ZERO
+            } else {
+                TimeBound::Infinite
+            }
+        };
+        assert_eq!(eta_minus_from_delta_plus(&d, Time::new(1_000_000)), 0);
+    }
+
+    #[test]
+    fn delta_min_roundtrip() {
+        let d = periodic_delta_min(10);
+        let eta = |dt: Time| eta_plus_from_delta_min(&d, dt);
+        for n in 2..=20u64 {
+            let recovered = delta_min_from_eta_plus(&eta, n, Time::new(1000));
+            assert_eq!(recovered, d(n), "n = {n}");
+        }
+        assert_eq!(delta_min_from_eta_plus(&eta, 0, Time::new(10)), Time::ZERO);
+        assert_eq!(delta_min_from_eta_plus(&eta, 1, Time::new(10)), Time::ZERO);
+    }
+
+    #[test]
+    fn delta_plus_roundtrip() {
+        let d = periodic_delta_plus(10);
+        let eta = |dt: Time| eta_minus_from_delta_plus(&d, dt);
+        for n in 2..=20u64 {
+            let recovered = delta_plus_from_eta_minus(&eta, n);
+            assert_eq!(recovered, d(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn delta_plus_inverse_detects_infinity() {
+        let eta = |_dt: Time| 0u64; // no minimum arrivals ever
+        assert_eq!(delta_plus_from_eta_minus(&eta, 2), TimeBound::Infinite);
+    }
+
+    #[test]
+    fn max_simultaneous_bursts() {
+        // Bursts of 3 simultaneous events every 100 ticks.
+        let d = |n: u64| {
+            if n <= 3 {
+                Time::ZERO
+            } else {
+                Time::new(100) * ((n as i64 - 1) / 3)
+            }
+        };
+        assert_eq!(max_simultaneous_from_delta_min(&d), 3);
+        let single = periodic_delta_min(10);
+        assert_eq!(max_simultaneous_from_delta_min(&single), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive rate")]
+    fn eta_plus_panics_on_rateless_model() {
+        let d = |_n: u64| Time::ZERO;
+        let _ = eta_plus_from_delta_min(&d, Time::new(5));
+    }
+}

@@ -1,0 +1,465 @@
+//! Explicit δ-curve models with periodic extension.
+
+use hem_time::{Time, TimeBound};
+
+use crate::{EventModel, ModelError};
+
+/// An event model given by explicit δ-curve prefixes plus a periodic
+/// extension.
+///
+/// `CurveModel` is the general-purpose representation for streams that no
+/// parameterized model captures: OR-combinations, packed frame streams,
+/// streams extracted from traces. It stores
+///
+/// * `δ⁻(n)` for `n ∈ [2, 1 + len(δ⁻ prefix)]`,
+/// * `δ⁺(n)` for `n ∈ [2, 1 + len(δ⁺ prefix)]`,
+/// * an extension rule `(e, Π)`: beyond its prefix, each curve repeats
+///   with `e` additional events costing `Π` additional ticks,
+///   `δ(n) = δ(n − k·e) + k·Π`.
+///
+/// The extension preserves monotonicity and super-additivity as long as
+/// the prefix itself is consistent with the long-run rate `Π / e`, which
+/// the builder verifies.
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::{CurveBuilder, EventModel};
+/// use hem_time::{Time, TimeBound};
+///
+/// // Bursts of 2 events (1 tick apart) every 100 ticks.
+/// let m = CurveBuilder::new()
+///     .delta_min_ticks([1, 100, 101])
+///     .delta_plus_ticks([99, 100, 199])
+///     .extension(2, Time::new(100))
+///     .build()?;
+/// assert_eq!(m.delta_min(2), Time::new(1));
+/// assert_eq!(m.delta_min(6), Time::new(201));   // 101 + 100
+/// assert_eq!(m.delta_plus(6), TimeBound::finite(299));
+/// assert_eq!(m.eta_plus(Time::new(102)), 4);
+/// # Ok::<(), hem_event_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CurveModel {
+    /// `dmin_prefix[i]` is `δ⁻(i + 2)`.
+    dmin_prefix: Vec<Time>,
+    /// `dplus_prefix[i]` is `δ⁺(i + 2)`.
+    dplus_prefix: Vec<TimeBound>,
+    /// Smallest `n` for which `δ⁺(n)` is infinite (monotonicity then makes
+    /// every larger `n` infinite too), if any.
+    first_infinite_plus: Option<u64>,
+    /// Events per extension period.
+    events_per_period: u64,
+    /// Ticks per extension period.
+    period: Time,
+}
+
+impl CurveModel {
+    /// Snapshot another model into an explicit curve.
+    ///
+    /// Materializes `δ±(n)` for `n ∈ [2, prefix_events + 1]` and extends
+    /// with the given `(events_per_period, period)` rate. Useful to freeze
+    /// a lazily-evaluated combination (e.g. an OR-join) so later queries
+    /// are O(1).
+    ///
+    /// The extension is verified against the source model on two full
+    /// extension strides past the prefix: the curve's `δ⁻` must not
+    /// exceed and its `δ⁺` must not undercut the model's there. This
+    /// catches the common mistake of ending the prefix inside a model's
+    /// irregular head (e.g. the jitter-clamped region of a standard
+    /// event model), where a periodic extension would silently
+    /// over-promise separation. For eventually-periodic models whose
+    /// tail matches `(events_per_period, period)`, passing this check
+    /// makes the snapshot exact everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sampled prefix combined with the extension
+    /// violates curve consistency, or if the extension disagrees with the
+    /// model within the verified strides (sample with a longer prefix).
+    pub fn sample(
+        model: &dyn EventModel,
+        prefix_events: u64,
+        events_per_period: u64,
+        period: Time,
+    ) -> Result<Self, ModelError> {
+        let mut b = CurveBuilder::new().extension(events_per_period, period);
+        let prefix_end = prefix_events.max(2) + 1;
+        for n in 2..=prefix_end {
+            b = b
+                .push_delta_min(model.delta_min(n))
+                .push_delta_plus(model.delta_plus(n));
+        }
+        let curve = b.build()?;
+        for n in (prefix_end + 1)..=(prefix_end + 2 * events_per_period + 2) {
+            if curve.delta_min(n) > model.delta_min(n) {
+                return Err(ModelError::inconsistent(format!(
+                    "extension over-estimates δ⁻({n}): prefix ends inside the model's \
+                     irregular head — sample with a longer prefix"
+                )));
+            }
+            if curve.delta_plus(n) < model.delta_plus(n) {
+                return Err(ModelError::inconsistent(format!(
+                    "extension under-estimates δ⁺({n}): sample with a longer prefix"
+                )));
+            }
+        }
+        Ok(curve)
+    }
+
+    /// The stored `δ⁻` prefix (values for `n = 2, 3, …`).
+    #[must_use]
+    pub fn delta_min_prefix(&self) -> &[Time] {
+        &self.dmin_prefix
+    }
+
+    /// The stored `δ⁺` prefix (values for `n = 2, 3, …`).
+    #[must_use]
+    pub fn delta_plus_prefix(&self) -> &[TimeBound] {
+        &self.dplus_prefix
+    }
+
+    /// The extension rate as `(events, ticks)`.
+    #[must_use]
+    pub fn extension(&self) -> (u64, Time) {
+        (self.events_per_period, self.period)
+    }
+}
+
+/// Looks up a prefix value with periodic extension.
+///
+/// `prefix[i]` holds the value for `n = i + 2`; for `n` beyond the prefix
+/// the value is `value(n − k·e) + k·Π` for the smallest `k` that lands in
+/// the prefix.
+fn extended<T, A>(prefix: &[T], e: u64, period: Time, n: u64, add: A) -> T
+where
+    T: Copy,
+    A: Fn(T, Time) -> T,
+{
+    let last_n = prefix.len() as u64 + 1; // prefix covers n ∈ [2, last_n]
+    if n <= last_n {
+        return prefix[(n - 2) as usize];
+    }
+    // Smallest k with n − k·e ≤ last_n  ⇒  k = ⌈(n − last_n) / e⌉.
+    let k = (n - last_n).div_ceil(e);
+    let idx = n - k * e; // ∈ [last_n − e + 1, last_n], ≥ 2 by construction
+    add(prefix[(idx - 2) as usize], period.saturating_mul(k as i64))
+}
+
+impl EventModel for CurveModel {
+    fn delta_min(&self, n: u64) -> Time {
+        if n <= 1 {
+            return Time::ZERO;
+        }
+        extended(
+            &self.dmin_prefix,
+            self.events_per_period,
+            self.period,
+            n,
+            Time::saturating_add,
+        )
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        if n <= 1 {
+            return TimeBound::ZERO;
+        }
+        if matches!(self.first_infinite_plus, Some(fi) if n >= fi) {
+            return TimeBound::Infinite;
+        }
+        extended(
+            &self.dplus_prefix,
+            self.events_per_period,
+            self.period,
+            n,
+            TimeBound::saturating_add,
+        )
+    }
+}
+
+/// Incremental builder for [`CurveModel`].
+///
+/// Values are appended per `n` starting at `n = 2`; [`CurveBuilder::build`]
+/// validates the result.
+#[derive(Debug, Clone, Default)]
+pub struct CurveBuilder {
+    dmin: Vec<Time>,
+    dplus: Vec<TimeBound>,
+    events_per_period: Option<u64>,
+    period: Option<Time>,
+}
+
+impl CurveBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one `δ⁻` value (for the next `n`).
+    #[must_use]
+    pub fn push_delta_min(mut self, v: Time) -> Self {
+        self.dmin.push(v);
+        self
+    }
+
+    /// Appends one `δ⁺` value (for the next `n`).
+    #[must_use]
+    pub fn push_delta_plus(mut self, v: TimeBound) -> Self {
+        self.dplus.push(v);
+        self
+    }
+
+    /// Sets the whole `δ⁻` prefix from raw tick values (`n = 2, 3, …`).
+    #[must_use]
+    pub fn delta_min_ticks(mut self, ticks: impl IntoIterator<Item = i64>) -> Self {
+        self.dmin = ticks.into_iter().map(Time::new).collect();
+        self
+    }
+
+    /// Sets the whole `δ⁺` prefix from raw tick values (`n = 2, 3, …`).
+    #[must_use]
+    pub fn delta_plus_ticks(mut self, ticks: impl IntoIterator<Item = i64>) -> Self {
+        self.dplus = ticks.into_iter().map(TimeBound::finite).collect();
+        self
+    }
+
+    /// Sets the whole `δ⁺` prefix from bounds (`n = 2, 3, …`).
+    #[must_use]
+    pub fn delta_plus_bounds(mut self, bounds: impl IntoIterator<Item = TimeBound>) -> Self {
+        self.dplus = bounds.into_iter().collect();
+        self
+    }
+
+    /// Sets the periodic extension: `events` extra events per `period`
+    /// extra ticks.
+    #[must_use]
+    pub fn extension(mut self, events: u64, period: Time) -> Self {
+        self.events_per_period = Some(events);
+        self.period = Some(period);
+        self
+    }
+
+    /// Validates and builds the [`CurveModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if
+    ///
+    /// * either prefix is empty, or the extension is missing / has
+    ///   `events = 0` or `period < 1`,
+    /// * a prefix is shorter than the extension stride (the extension
+    ///   would index before `n = 2`),
+    /// * a curve is non-monotone, negative, or `δ⁻ > δ⁺` on the shared
+    ///   prefix,
+    /// * the first extended value falls below the last prefix value
+    ///   (the extension rate contradicts the prefix tail).
+    pub fn build(self) -> Result<CurveModel, ModelError> {
+        let e = self
+            .events_per_period
+            .ok_or_else(|| ModelError::invalid("curve extension not set"))?;
+        let period = self.period.expect("period set together with events");
+        if e == 0 {
+            return Err(ModelError::invalid("extension events must be positive"));
+        }
+        if period < Time::ONE {
+            return Err(ModelError::invalid("extension period must be positive"));
+        }
+        if self.dmin.is_empty() || self.dplus.is_empty() {
+            return Err(ModelError::invalid("curve prefixes must be non-empty"));
+        }
+        if (self.dmin.len() as u64) < e || (self.dplus.len() as u64) < e {
+            return Err(ModelError::invalid(format!(
+                "curve prefixes must cover at least one extension stride ({e} events)"
+            )));
+        }
+        // Monotone, non-negative.
+        let mut prev = Time::ZERO;
+        for (i, &v) in self.dmin.iter().enumerate() {
+            if v < prev {
+                return Err(ModelError::inconsistent(format!(
+                    "δ⁻ decreases at n = {}",
+                    i + 2
+                )));
+            }
+            if v.is_negative() {
+                return Err(ModelError::inconsistent("δ⁻ has a negative value"));
+            }
+            prev = v;
+        }
+        let mut prev = TimeBound::ZERO;
+        for (i, &v) in self.dplus.iter().enumerate() {
+            if v < prev {
+                return Err(ModelError::inconsistent(format!(
+                    "δ⁺ decreases at n = {}",
+                    i + 2
+                )));
+            }
+            prev = v;
+        }
+        // δ⁻ ≤ δ⁺ on the shared prefix.
+        for (i, (&lo, &hi)) in self.dmin.iter().zip(self.dplus.iter()).enumerate() {
+            if TimeBound::from(lo) > hi {
+                return Err(ModelError::inconsistent(format!(
+                    "δ⁻ exceeds δ⁺ at n = {}",
+                    i + 2
+                )));
+            }
+        }
+        let first_infinite_plus = self
+            .dplus
+            .iter()
+            .position(|v| v.is_infinite())
+            .map(|i| i as u64 + 2);
+        let model = CurveModel {
+            dmin_prefix: self.dmin,
+            dplus_prefix: self.dplus,
+            first_infinite_plus,
+            events_per_period: e,
+            period,
+        };
+        // Extension continues monotonically past each prefix. For δ⁺ the
+        // check is skipped when the prefix tail is already infinite — the
+        // extension is then never consulted.
+        let first_ext_min = model.delta_min(model.dmin_prefix.len() as u64 + 2);
+        if first_ext_min < *model.dmin_prefix.last().expect("non-empty") {
+            return Err(ModelError::inconsistent(
+                "δ⁻ extension falls below the prefix tail",
+            ));
+        }
+        if model.first_infinite_plus.is_none() {
+            let first_ext_plus = model.delta_plus(model.dplus_prefix.len() as u64 + 2);
+            if first_ext_plus < *model.dplus_prefix.last().expect("non-empty") {
+                return Err(ModelError::inconsistent(
+                    "δ⁺ extension falls below the prefix tail",
+                ));
+            }
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StandardEventModel;
+
+    fn burst_model() -> CurveModel {
+        // Bursts of 2 events 1 tick apart, burst starts every 100 ticks.
+        CurveBuilder::new()
+            .delta_min_ticks([1, 100, 101])
+            .delta_plus_ticks([99, 100, 199])
+            .extension(2, Time::new(100))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prefix_and_extension_values() {
+        let m = burst_model();
+        assert_eq!(m.delta_min(0), Time::ZERO);
+        assert_eq!(m.delta_min(1), Time::ZERO);
+        assert_eq!(m.delta_min(2), Time::new(1));
+        assert_eq!(m.delta_min(3), Time::new(100));
+        assert_eq!(m.delta_min(4), Time::new(101));
+        assert_eq!(m.delta_min(5), Time::new(200)); // 100 + 100
+        assert_eq!(m.delta_min(6), Time::new(201)); // 101 + 100
+        assert_eq!(m.delta_min(8), Time::new(301)); // 101 + 2·100
+        assert_eq!(m.delta_plus(5), TimeBound::finite(200));
+        assert_eq!(m.delta_plus(6), TimeBound::finite(299));
+    }
+
+    #[test]
+    fn eta_from_curve() {
+        let m = burst_model();
+        assert_eq!(m.eta_plus(Time::new(2)), 2); // one burst
+        assert_eq!(m.eta_plus(Time::new(101)), 3);
+        assert_eq!(m.eta_plus(Time::new(102)), 4); // two full bursts
+        assert_eq!(m.max_simultaneous(), 1);
+    }
+
+    #[test]
+    fn infinite_delta_plus_extends_infinite() {
+        let m = CurveBuilder::new()
+            .delta_min_ticks([10, 20])
+            .delta_plus_bounds([TimeBound::finite(30), TimeBound::Infinite])
+            .extension(1, Time::new(10))
+            .build()
+            .unwrap();
+        assert_eq!(m.delta_plus(3), TimeBound::Infinite);
+        assert_eq!(m.delta_plus(10), TimeBound::Infinite);
+        assert_eq!(m.eta_minus(Time::new(31)), 1);
+        assert_eq!(m.eta_minus(Time::new(1_000_000)), 1);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistency() {
+        // Decreasing δ⁻.
+        assert!(CurveBuilder::new()
+            .delta_min_ticks([10, 5])
+            .delta_plus_ticks([20, 30])
+            .extension(1, Time::new(10))
+            .build()
+            .is_err());
+        // δ⁻ above δ⁺.
+        assert!(CurveBuilder::new()
+            .delta_min_ticks([10])
+            .delta_plus_ticks([5])
+            .extension(1, Time::new(10))
+            .build()
+            .is_err());
+        // Missing extension.
+        assert!(CurveBuilder::new()
+            .delta_min_ticks([10])
+            .delta_plus_ticks([20])
+            .build()
+            .is_err());
+        // Extension stride longer than prefix.
+        assert!(CurveBuilder::new()
+            .delta_min_ticks([10])
+            .delta_plus_ticks([20])
+            .extension(2, Time::new(10))
+            .build()
+            .is_err());
+        // Extension rate contradicting the prefix tail.
+        assert!(CurveBuilder::new()
+            .delta_min_ticks([0, 1000])
+            .delta_plus_ticks([1000, 2000])
+            .extension(2, Time::new(10))
+            .build()
+            .is_err());
+        // Zero-event extension.
+        assert!(CurveBuilder::new()
+            .delta_min_ticks([10])
+            .delta_plus_ticks([20])
+            .extension(0, Time::new(10))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn sample_reproduces_standard_model() {
+        let sem =
+            StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(30)).unwrap();
+        let curve = CurveModel::sample(&sem, 20, 1, Time::new(100)).unwrap();
+        for n in 0..=60u64 {
+            assert_eq!(curve.delta_min(n), sem.delta_min(n), "δ⁻({n})");
+            assert_eq!(curve.delta_plus(n), sem.delta_plus(n), "δ⁺({n})");
+        }
+        for dt in 0..=2000i64 {
+            assert_eq!(
+                curve.eta_plus(Time::new(dt)),
+                sem.eta_plus(Time::new(dt)),
+                "η⁺({dt})"
+            );
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let m = burst_model();
+        assert_eq!(m.delta_min_prefix().len(), 3);
+        assert_eq!(m.delta_plus_prefix().len(), 3);
+        assert_eq!(m.extension(), (2, Time::new(100)));
+    }
+}

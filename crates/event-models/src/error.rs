@@ -1,0 +1,70 @@
+//! Error type for event-model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing or validating an event model.
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::StandardEventModel;
+/// use hem_time::Time;
+///
+/// // A zero period is rejected.
+/// let err = StandardEventModel::periodic(Time::ZERO).unwrap_err();
+/// assert!(err.to_string().contains("period"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A constructor argument is out of range.
+    InvalidParameter(String),
+    /// A model violates the `EventModel` contract.
+    Inconsistent(String),
+}
+
+impl ModelError {
+    /// Creates an [`ModelError::InvalidParameter`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        ModelError::InvalidParameter(msg.into())
+    }
+
+    /// Creates an [`ModelError::Inconsistent`].
+    pub fn inconsistent(msg: impl Into<String>) -> Self {
+        ModelError::Inconsistent(msg.into())
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ModelError::Inconsistent(msg) => write!(f, "inconsistent model: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ModelError::invalid("period must be positive").to_string(),
+            "invalid parameter: period must be positive"
+        );
+        assert_eq!(
+            ModelError::inconsistent("δ⁻ not monotone").to_string(),
+            "inconsistent model: δ⁻ not monotone"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(ModelError::invalid("x"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! AND-activation combination of event streams.
+
+use hem_time::{Time, TimeBound};
+
+use crate::{EventModel, ModelError, ModelRef};
+
+/// The AND-combination of several event streams.
+///
+/// A task with AND-activation waits for one event on *every* input before
+/// it activates (Jersak's semantics, cited by the paper in §3). Assuming
+/// adequate buffering, the i-th activation is produced by the i-th event
+/// of each input, so the activation distances are bounded by the slowest
+/// input:
+///
+/// ```text
+/// δ_and⁻(n) = maxᵢ δᵢ⁻(n)
+/// δ_and⁺(n) = maxᵢ δᵢ⁺(n)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::{EventModel, EventModelExt, StandardEventModel};
+/// use hem_event_models::ops::AndJoin;
+/// use hem_time::Time;
+///
+/// let fast = StandardEventModel::periodic(Time::new(100))?.shared();
+/// let slow = StandardEventModel::periodic(Time::new(300))?.shared();
+/// let and = AndJoin::new(vec![fast, slow])?;
+/// // Activation rate is limited by the slow input.
+/// assert_eq!(and.delta_min(2), Time::new(300));
+/// # Ok::<(), hem_event_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AndJoin {
+    inputs: Vec<ModelRef>,
+}
+
+impl AndJoin {
+    /// Combines the given input streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `inputs` is empty.
+    pub fn new(inputs: Vec<ModelRef>) -> Result<Self, ModelError> {
+        if inputs.is_empty() {
+            return Err(ModelError::invalid(
+                "AND-combination requires at least one input stream",
+            ));
+        }
+        Ok(AndJoin { inputs })
+    }
+
+    /// The combined input streams.
+    #[must_use]
+    pub fn inputs(&self) -> &[ModelRef] {
+        &self.inputs
+    }
+}
+
+impl EventModel for AndJoin {
+    fn delta_min(&self, n: u64) -> Time {
+        self.inputs
+            .iter()
+            .map(|m| m.delta_min(n))
+            .max()
+            .expect("non-empty inputs")
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        self.inputs
+            .iter()
+            .map(|m| m.delta_plus(n))
+            .max()
+            .expect("non-empty inputs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventModelExt, SporadicModel, StandardEventModel};
+
+    #[test]
+    fn slowest_input_dominates() {
+        let fast = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let slow = StandardEventModel::periodic(Time::new(300)).unwrap().shared();
+        let and = AndJoin::new(vec![fast, slow]).unwrap();
+        assert_eq!(and.delta_min(4), Time::new(900));
+        assert_eq!(and.delta_plus(4), TimeBound::finite(900));
+        assert_eq!(and.eta_plus(Time::new(301)), 2);
+    }
+
+    #[test]
+    fn sporadic_input_removes_guarantees() {
+        let p = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let s = SporadicModel::new(Time::new(50)).unwrap().shared();
+        let and = AndJoin::new(vec![p, s]).unwrap();
+        // δ⁻ is still bounded by the periodic input…
+        assert_eq!(and.delta_min(2), Time::new(100));
+        // …but δ⁺ is unbounded: the sporadic input may never fire.
+        assert_eq!(and.delta_plus(2), TimeBound::Infinite);
+        assert_eq!(and.eta_minus(Time::new(10_000)), 0);
+    }
+
+    #[test]
+    fn single_input_is_identity() {
+        let a = StandardEventModel::periodic_with_jitter(Time::new(120), Time::new(40)).unwrap();
+        let and = AndJoin::new(vec![a.shared()]).unwrap();
+        for n in 0..=8u64 {
+            assert_eq!(and.delta_min(n), a.delta_min(n));
+            assert_eq!(and.delta_plus(n), a.delta_plus(n));
+        }
+        assert_eq!(and.inputs().len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(AndJoin::new(vec![]).is_err());
+    }
+}

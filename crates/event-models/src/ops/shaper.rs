@@ -1,0 +1,123 @@
+//! Greedy minimum-distance shaper.
+
+use hem_time::{Time, TimeBound};
+
+use crate::{EventModel, ModelError, ModelRef};
+
+/// A greedy shaper that enforces a minimum distance `d` between events.
+///
+/// Shapers are used to decouple interference (paper §3 mentions them as
+/// another stream operation alongside `Θ_τ`): a burst at the input is
+/// spread out so consecutive output events are at least `d` apart, while
+/// events already spaced wider pass through unchanged:
+///
+/// ```text
+/// δ'⁻(n) = max( δ_in⁻(n), (n−1)·d )
+/// δ'⁺(n) = max( δ_in⁺(n), (n−1)·d )
+/// ```
+///
+/// (a delayed burst may also *stretch* maximum distances up to the shaping
+/// grid, hence the `max` in `δ'⁺`).
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::{EventModel, EventModelExt, StandardEventModel};
+/// use hem_event_models::ops::DminShaper;
+/// use hem_time::Time;
+///
+/// let bursty = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(500))?.shared();
+/// let shaped = DminShaper::new(bursty, Time::new(20))?;
+/// assert_eq!(shaped.delta_min(2), Time::new(20));
+/// # Ok::<(), hem_event_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DminShaper {
+    input: ModelRef,
+    dmin: Time,
+}
+
+impl DminShaper {
+    /// Creates a shaper enforcing minimum distance `dmin` on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `dmin < 0`.
+    pub fn new(input: ModelRef, dmin: Time) -> Result<Self, ModelError> {
+        if dmin.is_negative() {
+            return Err(ModelError::invalid(format!(
+                "shaper distance must be non-negative, got {dmin}"
+            )));
+        }
+        Ok(DminShaper { input, dmin })
+    }
+
+    /// The enforced minimum distance.
+    #[must_use]
+    pub fn dmin(&self) -> Time {
+        self.dmin
+    }
+}
+
+impl EventModel for DminShaper {
+    fn delta_min(&self, n: u64) -> Time {
+        if n <= 1 {
+            return Time::ZERO;
+        }
+        self.input.delta_min(n).max(self.dmin * (n as i64 - 1))
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        if n <= 1 {
+            return TimeBound::ZERO;
+        }
+        self.input
+            .delta_plus(n)
+            .max(TimeBound::Finite(self.dmin * (n as i64 - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventModelExt, StandardEventModel};
+
+    #[test]
+    fn spreads_bursts() {
+        let bursty = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(500))
+            .unwrap()
+            .shared();
+        let shaped = DminShaper::new(bursty.clone(), Time::new(20)).unwrap();
+        assert_eq!(bursty.delta_min(2), Time::ZERO);
+        assert_eq!(shaped.delta_min(2), Time::new(20));
+        assert_eq!(shaped.delta_min(4), Time::new(60));
+        assert_eq!(shaped.max_simultaneous(), 1);
+        assert_eq!(shaped.dmin(), Time::new(20));
+    }
+
+    #[test]
+    fn wide_streams_pass_through() {
+        let slow = StandardEventModel::periodic(Time::new(1000)).unwrap().shared();
+        let shaped = DminShaper::new(slow.clone(), Time::new(20)).unwrap();
+        for n in 2..=6u64 {
+            assert_eq!(shaped.delta_min(n), slow.delta_min(n));
+            assert_eq!(shaped.delta_plus(n), slow.delta_plus(n));
+        }
+    }
+
+    #[test]
+    fn eta_plus_capped_by_shaping() {
+        let bursty = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(500))
+            .unwrap()
+            .shared();
+        let shaped = DminShaper::new(bursty, Time::new(20)).unwrap();
+        // Within a 41-tick window at most 3 events survive the shaper.
+        assert_eq!(shaped.eta_plus(Time::new(41)), 3);
+    }
+
+    #[test]
+    fn rejects_negative_distance() {
+        let m = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        assert!(DminShaper::new(m, Time::new(-1)).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Helpers for tabulating event-model functions (used by the figure
+//! harnesses and by validation tests).
+
+use hem_time::{Time, TimeBound};
+
+use crate::EventModel;
+
+/// One step of an `η⁺` staircase: for windows `Δt ≥ at`, at least `count`
+/// events are admitted (until the next step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EtaStep {
+    /// Smallest window length at which the staircase reaches `count`.
+    pub at: Time,
+    /// The `η⁺` value from `at` (inclusive) onwards.
+    pub count: u64,
+}
+
+/// The exact breakpoints of `η⁺(Δt)` for `Δt ∈ (0, up_to]`.
+///
+/// `η⁺` is a right-continuous staircase; it jumps to value `n` at
+/// `Δt = δ⁻(n) + 1`. This enumerates the jumps directly from `δ⁻` instead
+/// of scanning every window length — exactly what's needed to plot the
+/// paper's Figure 4.
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::{sampling, StandardEventModel};
+/// use hem_time::Time;
+///
+/// let m = StandardEventModel::periodic(Time::new(100))?;
+/// let steps = sampling::eta_plus_steps(&m, Time::new(250));
+/// let pts: Vec<(i64, u64)> = steps.iter().map(|s| (s.at.ticks(), s.count)).collect();
+/// assert_eq!(pts, vec![(1, 1), (101, 2), (201, 3)]);
+/// # Ok::<(), hem_event_models::ModelError>(())
+/// ```
+#[must_use]
+pub fn eta_plus_steps(model: &dyn EventModel, up_to: Time) -> Vec<EtaStep> {
+    let mut steps = Vec::new();
+    if up_to < Time::ONE {
+        return steps;
+    }
+    let mut n = 1u64;
+    loop {
+        let at = model.delta_min(n) + Time::ONE;
+        if at > up_to {
+            break;
+        }
+        // Simultaneous arrivals share a breakpoint: keep the largest count.
+        let count = {
+            // Advance n while the next δ⁻ is identical.
+            let mut top = n;
+            while model.delta_min(top + 1) + Time::ONE == at {
+                top += 1;
+            }
+            top
+        };
+        steps.push(EtaStep { at, count });
+        n = count + 1;
+    }
+    steps
+}
+
+/// The exact breakpoints of `η⁻(Δt)` for `Δt ∈ (0, up_to]`.
+///
+/// `η⁻` jumps to value `n` at `Δt = δ⁺(n + 1)` (eq. (2) pseudo-inverse);
+/// streams without arrival guarantees (`δ⁺(2) = ∞`) yield an empty
+/// staircase.
+#[must_use]
+pub fn eta_minus_steps(model: &dyn EventModel, up_to: Time) -> Vec<EtaStep> {
+    let mut steps = Vec::new();
+    if up_to < Time::ONE {
+        return steps;
+    }
+    let mut n = 1u64;
+    loop {
+        let at = match model.delta_plus(n + 1) {
+            TimeBound::Finite(t) => t,
+            TimeBound::Infinite => break,
+        };
+        if at > up_to {
+            break;
+        }
+        // Simultaneous guarantee jumps share a breakpoint.
+        let count = {
+            let mut top = n;
+            while model.delta_plus(top + 2) == TimeBound::Finite(at) {
+                top += 1;
+            }
+            top
+        };
+        if at >= Time::ONE {
+            steps.push(EtaStep { at, count });
+        }
+        n = count + 1;
+    }
+    steps
+}
+
+/// Samples `η⁺(Δt)` on a regular grid `Δt = step, 2·step, …, up_to`.
+///
+/// # Panics
+///
+/// Panics if `step < 1`.
+#[must_use]
+pub fn eta_plus_series(model: &dyn EventModel, up_to: Time, step: Time) -> Vec<(Time, u64)> {
+    assert!(step >= Time::ONE, "sampling step must be at least one tick");
+    let mut out = Vec::new();
+    let mut dt = step;
+    while dt <= up_to {
+        out.push((dt, model.eta_plus(dt)));
+        dt += step;
+    }
+    out
+}
+
+/// Tabulates `δ⁻(n)` and `δ⁺(n)` for `n ∈ [2, n_max]`.
+#[must_use]
+pub fn delta_table(model: &dyn EventModel, n_max: u64) -> Vec<(u64, Time, TimeBound)> {
+    (2..=n_max)
+        .map(|n| (n, model.delta_min(n), model.delta_plus(n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventModelExt, StandardEventModel};
+    use crate::ops::OrJoin;
+
+    #[test]
+    fn steps_match_pointwise_eta() {
+        let m = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(30)).unwrap();
+        let steps = eta_plus_steps(&m, Time::new(1000));
+        // Reconstruct η⁺ from the staircase and compare pointwise.
+        for dt in 1..=1000i64 {
+            let dt = Time::new(dt);
+            let from_steps = steps
+                .iter()
+                .rev()
+                .find(|s| s.at <= dt)
+                .map_or(0, |s| s.count);
+            assert_eq!(from_steps, m.eta_plus(dt), "Δt = {dt}");
+        }
+    }
+
+    #[test]
+    fn simultaneous_arrivals_merge_into_one_step() {
+        let a = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let b = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let or = OrJoin::new(vec![a, b]).unwrap();
+        let steps = eta_plus_steps(&or, Time::new(150));
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0], EtaStep { at: Time::new(1), count: 2 });
+        assert_eq!(
+            steps[1],
+            EtaStep {
+                at: Time::new(101),
+                count: 4
+            }
+        );
+    }
+
+    #[test]
+    fn eta_minus_steps_match_pointwise() {
+        let m = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(30)).unwrap();
+        let steps = eta_minus_steps(&m, Time::new(1_000));
+        for dt in 1..=1_000i64 {
+            let dt = Time::new(dt);
+            let from_steps = steps
+                .iter()
+                .rev()
+                .find(|s| s.at <= dt)
+                .map_or(0, |s| s.count);
+            assert_eq!(from_steps, m.eta_minus(dt), "Δt = {dt}");
+        }
+    }
+
+    #[test]
+    fn eta_minus_steps_empty_for_sporadic() {
+        use crate::SporadicModel;
+        let sp = SporadicModel::new(Time::new(50)).unwrap();
+        assert!(eta_minus_steps(&sp, Time::new(100_000)).is_empty());
+    }
+
+    #[test]
+    fn series_grid() {
+        let m = StandardEventModel::periodic(Time::new(100)).unwrap();
+        let series = eta_plus_series(&m, Time::new(300), Time::new(100));
+        assert_eq!(
+            series,
+            vec![
+                (Time::new(100), 1),
+                (Time::new(200), 2),
+                (Time::new(300), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn delta_table_contents() {
+        let m = StandardEventModel::periodic(Time::new(50)).unwrap();
+        let t = delta_table(&m, 4);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].0, 2);
+        assert_eq!(t[0].1, Time::new(50));
+        assert_eq!(t[2].2, TimeBound::finite(150));
+    }
+
+    #[test]
+    fn empty_ranges() {
+        let m = StandardEventModel::periodic(Time::new(50)).unwrap();
+        assert!(eta_plus_steps(&m, Time::ZERO).is_empty());
+        assert!(eta_plus_series(&m, Time::ZERO, Time::ONE).is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! The standard event model `(P, J, d_min)` and the sporadic model.
+
+use hem_time::{div_ceil, div_floor, Time, TimeBound};
+
+use crate::{EventModel, ModelError};
+
+/// The classic *standard event model* (SEM) of SymTA/S-style CPA.
+///
+/// Parameterized by a period `P`, a jitter `J` and a minimum distance
+/// `d_min`, the SEM describes every event sequence whose `i`-th event
+/// arrives within `[i·P − J, i·P + J]` of a nominal periodic grid while
+/// keeping at least `d_min` between consecutive events. Its distance
+/// functions are
+///
+/// ```text
+/// δ⁻(n) = max( (n−1)·d_min, (n−1)·P − J )
+/// δ⁺(n) = (n−1)·P + J
+/// ```
+///
+/// and the arrival functions have exact closed forms (overridden below),
+/// which is what makes SEMs "very efficient" for the analysis (paper §2).
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::{EventModel, StandardEventModel};
+/// use hem_time::{Time, TimeBound};
+///
+/// let m = StandardEventModel::new(Time::new(100), Time::new(250), Time::new(10))?;
+/// // Heavy jitter (J > P) produces bursts limited by d_min.
+/// assert_eq!(m.delta_min(2), Time::new(10));
+/// assert_eq!(m.delta_plus(2), TimeBound::finite(350));
+/// assert_eq!(m.eta_plus(Time::new(1)), 1);
+/// # Ok::<(), hem_event_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StandardEventModel {
+    period: Time,
+    jitter: Time,
+    dmin: Time,
+}
+
+impl StandardEventModel {
+    /// Creates a standard event model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] unless `period ≥ 1`,
+    /// `jitter ≥ 0` and `0 ≤ dmin ≤ period`. A minimum distance above
+    /// the period would make `δ⁻(n)` outgrow `δ⁺(n)` — no event sequence
+    /// can sustain a spacing wider than its long-run period.
+    pub fn new(period: Time, jitter: Time, dmin: Time) -> Result<Self, ModelError> {
+        if period < Time::ONE {
+            return Err(ModelError::invalid(format!(
+                "period must be at least one tick, got {period}"
+            )));
+        }
+        if jitter.is_negative() {
+            return Err(ModelError::invalid(format!(
+                "jitter must be non-negative, got {jitter}"
+            )));
+        }
+        if dmin.is_negative() {
+            return Err(ModelError::invalid(format!(
+                "dmin must be non-negative, got {dmin}"
+            )));
+        }
+        if dmin > period {
+            return Err(ModelError::invalid(format!(
+                "dmin ({dmin}) must not exceed the period ({period})"
+            )));
+        }
+        Ok(StandardEventModel {
+            period,
+            jitter,
+            dmin,
+        })
+    }
+
+    /// A strictly periodic stream: `J = 0`, `d_min = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `period < 1`.
+    pub fn periodic(period: Time) -> Result<Self, ModelError> {
+        Self::new(period, Time::ZERO, Time::ZERO)
+    }
+
+    /// A periodic stream with jitter: `d_min = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `period < 1` or `jitter < 0`.
+    pub fn periodic_with_jitter(period: Time, jitter: Time) -> Result<Self, ModelError> {
+        Self::new(period, jitter, Time::ZERO)
+    }
+
+    /// The period `P`.
+    #[must_use]
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The jitter `J`.
+    #[must_use]
+    pub fn jitter(&self) -> Time {
+        self.jitter
+    }
+
+    /// The minimum distance `d_min`.
+    #[must_use]
+    pub fn dmin(&self) -> Time {
+        self.dmin
+    }
+
+    /// The SEM closed form of the output-model calculation `Θ_τ`:
+    /// processing by a task with response times `[r⁻, r⁺]` yields
+    /// `P' = P`, `J' = J + (r⁺ − r⁻)`,
+    /// `d' = max(r⁻, d_min − (r⁺ − r⁻))`.
+    ///
+    /// The `d'` term is the conservative SEM approximation: consecutive
+    /// outputs are separated at least by the back-to-back completion gap
+    /// `r⁻`, and an input separation of `d_min` can shrink by at most the
+    /// response jitter. (Using `max(d_min, r⁻)` instead would be unsound
+    /// for jittery tasks processing sparse streams.)
+    ///
+    /// The generic δ-recursion ([`crate::ops::OutputModel`]) applied to a
+    /// SEM produces curves at least as tight as this closed form and
+    /// coincides with it at `n = 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `r_minus < 0` or `r_minus > r_plus`.
+    pub fn propagated(&self, r_minus: Time, r_plus: Time) -> Result<Self, ModelError> {
+        if r_minus.is_negative() || r_minus > r_plus {
+            return Err(ModelError::invalid(format!(
+                "response interval must satisfy 0 ≤ r⁻ ≤ r⁺, got [{r_minus}, {r_plus}]"
+            )));
+        }
+        let response_jitter = r_plus - r_minus;
+        Self::new(
+            self.period,
+            self.jitter + response_jitter,
+            r_minus.max((self.dmin - response_jitter).clamp_non_negative()),
+        )
+    }
+}
+
+impl EventModel for StandardEventModel {
+    fn delta_min(&self, n: u64) -> Time {
+        if n <= 1 {
+            return Time::ZERO;
+        }
+        let n1 = n as i64 - 1;
+        let spaced = self.dmin * n1;
+        let periodic = self.period * n1 - self.jitter;
+        spaced.max(periodic).clamp_non_negative()
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        if n <= 1 {
+            return TimeBound::ZERO;
+        }
+        let n1 = n as i64 - 1;
+        TimeBound::Finite(self.period * n1 + self.jitter)
+    }
+
+    fn eta_plus(&self, dt: Time) -> u64 {
+        if dt <= Time::ZERO {
+            return 0;
+        }
+        // max { n : (n−1)·P − J < Δt } = ⌊(Δt − 1 + J) / P⌋ + 1
+        let from_period = div_floor((dt - Time::ONE + self.jitter).ticks(), self.period.ticks())
+            as u64
+            + 1;
+        if self.dmin >= Time::ONE {
+            // max { n : (n−1)·d_min < Δt } = ⌊(Δt − 1) / d_min⌋ + 1
+            let from_dmin = div_floor((dt - Time::ONE).ticks(), self.dmin.ticks()) as u64 + 1;
+            from_period.min(from_dmin)
+        } else {
+            from_period
+        }
+    }
+
+    fn eta_minus(&self, dt: Time) -> u64 {
+        if dt <= Time::ZERO {
+            return 0;
+        }
+        // min { n : (n+1)·P + J > Δt } = max(0, ⌈(Δt + 1 − J) / P⌉ − 1)
+        let x = (dt + Time::ONE - self.jitter).ticks();
+        if x <= 0 {
+            return 0;
+        }
+        (div_ceil(x, self.period.ticks()) - 1).max(0) as u64
+    }
+
+    fn max_simultaneous(&self) -> u64 {
+        if self.dmin >= Time::ONE {
+            1
+        } else {
+            // Events may coincide while (n−1)·P − J ≤ 0.
+            div_floor(self.jitter.ticks(), self.period.ticks()) as u64 + 1
+        }
+    }
+}
+
+/// A sporadic stream: a minimum inter-arrival distance and no arrival
+/// guarantee (`δ⁺ = ∞` for `n ≥ 2`).
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::{EventModel, SporadicModel};
+/// use hem_time::{Time, TimeBound};
+///
+/// let m = SporadicModel::new(Time::new(50))?;
+/// assert_eq!(m.delta_min(3), Time::new(100));
+/// assert_eq!(m.delta_plus(3), TimeBound::INFINITE);
+/// assert_eq!(m.eta_minus(Time::new(1_000)), 0); // nothing is guaranteed
+/// # Ok::<(), hem_event_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SporadicModel {
+    dmin: Time,
+}
+
+impl SporadicModel {
+    /// Creates a sporadic model with the given minimum inter-arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dmin < 1` (a rate-less sporadic stream would
+    /// allow unbounded bursts, violating the `EventModel` contract).
+    pub fn new(dmin: Time) -> Result<Self, ModelError> {
+        if dmin < Time::ONE {
+            return Err(ModelError::invalid(format!(
+                "sporadic dmin must be at least one tick, got {dmin}"
+            )));
+        }
+        Ok(SporadicModel { dmin })
+    }
+
+    /// The minimum inter-arrival distance.
+    #[must_use]
+    pub fn dmin(&self) -> Time {
+        self.dmin
+    }
+}
+
+impl EventModel for SporadicModel {
+    fn delta_min(&self, n: u64) -> Time {
+        if n <= 1 {
+            Time::ZERO
+        } else {
+            self.dmin * (n as i64 - 1)
+        }
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        if n <= 1 {
+            TimeBound::ZERO
+        } else {
+            TimeBound::Infinite
+        }
+    }
+
+    fn eta_plus(&self, dt: Time) -> u64 {
+        if dt <= Time::ZERO {
+            0
+        } else {
+            div_floor((dt - Time::ONE).ticks(), self.dmin.ticks()) as u64 + 1
+        }
+    }
+
+    fn eta_minus(&self, _dt: Time) -> u64 {
+        0
+    }
+
+    fn max_simultaneous(&self) -> u64 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(StandardEventModel::new(Time::ZERO, Time::ZERO, Time::ZERO).is_err());
+        assert!(StandardEventModel::new(Time::new(10), Time::new(-1), Time::ZERO).is_err());
+        assert!(StandardEventModel::new(Time::new(10), Time::ZERO, Time::new(-1)).is_err());
+        assert!(SporadicModel::new(Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn periodic_distances() {
+        let m = StandardEventModel::periodic(Time::new(250)).unwrap();
+        assert_eq!(m.delta_min(1), Time::ZERO);
+        assert_eq!(m.delta_min(2), Time::new(250));
+        assert_eq!(m.delta_min(5), Time::new(1000));
+        assert_eq!(m.delta_plus(5), TimeBound::finite(1000));
+    }
+
+    #[test]
+    fn jitter_distances() {
+        let m =
+            StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(30)).unwrap();
+        assert_eq!(m.delta_min(2), Time::new(70));
+        assert_eq!(m.delta_plus(2), TimeBound::finite(130));
+        // Large jitter clamps δ⁻ at zero.
+        let b = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(250)).unwrap();
+        assert_eq!(b.delta_min(2), Time::ZERO);
+        assert_eq!(b.delta_min(3), Time::ZERO);
+        assert_eq!(b.delta_min(4), Time::new(50));
+    }
+
+    #[test]
+    fn closed_form_eta_matches_generic_conversion() {
+        for (p, j, d) in [
+            (250, 0, 0),
+            (100, 30, 0),
+            (100, 250, 10),
+            (7, 13, 3),
+            (1, 0, 0),
+            (400, 399, 1),
+        ] {
+            let m = StandardEventModel::new(Time::new(p), Time::new(j), Time::new(d)).unwrap();
+            for dt in 0..=1200i64 {
+                let dt = Time::new(dt);
+                assert_eq!(
+                    m.eta_plus(dt),
+                    convert::eta_plus_from_delta_min(&|n| m.delta_min(n), dt),
+                    "η⁺ mismatch for P={p} J={j} d={d} Δt={dt}"
+                );
+                assert_eq!(
+                    m.eta_minus(dt),
+                    convert::eta_minus_from_delta_plus(&|n| m.delta_plus(n), dt),
+                    "η⁻ mismatch for P={p} J={j} d={d} Δt={dt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_simultaneous_with_jitter_bursts() {
+        // J = 250, P = 100: up to ⌊250/100⌋ + 1 = 3 simultaneous events.
+        let m = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(250)).unwrap();
+        assert_eq!(m.max_simultaneous(), 3);
+        assert_eq!(
+            m.max_simultaneous(),
+            convert::max_simultaneous_from_delta_min(&|n| m.delta_min(n))
+        );
+        // d_min ≥ 1 separates events again.
+        let s = StandardEventModel::new(Time::new(100), Time::new(250), Time::new(1)).unwrap();
+        assert_eq!(s.max_simultaneous(), 1);
+    }
+
+    #[test]
+    fn propagation_closed_form() {
+        let m = StandardEventModel::periodic(Time::new(250)).unwrap();
+        let out = m.propagated(Time::new(10), Time::new(60)).unwrap();
+        assert_eq!(out.period(), Time::new(250));
+        assert_eq!(out.jitter(), Time::new(50));
+        assert_eq!(out.dmin(), Time::new(10));
+        assert!(m.propagated(Time::new(20), Time::new(10)).is_err());
+        assert!(m.propagated(Time::new(-1), Time::new(10)).is_err());
+    }
+
+    #[test]
+    fn sporadic_behaviour() {
+        let m = SporadicModel::new(Time::new(50)).unwrap();
+        assert_eq!(m.dmin(), Time::new(50));
+        assert_eq!(m.eta_plus(Time::new(101)), 3);
+        assert_eq!(m.eta_plus(Time::new(100)), 2);
+        assert_eq!(m.eta_minus(Time::new(10_000)), 0);
+        assert_eq!(m.max_simultaneous(), 1);
+        assert_eq!(m.delta_plus(2), TimeBound::Infinite);
+    }
+
+    #[test]
+    fn getters() {
+        let m = StandardEventModel::new(Time::new(10), Time::new(2), Time::new(1)).unwrap();
+        assert_eq!(m.period(), Time::new(10));
+        assert_eq!(m.jitter(), Time::new(2));
+        assert_eq!(m.dmin(), Time::new(1));
+    }
+}

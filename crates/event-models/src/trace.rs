@@ -1,0 +1,193 @@
+//! Event models extracted from recorded timestamp traces.
+
+use hem_time::{Time, TimeBound};
+
+use crate::{CurveBuilder, CurveModel, EventModel, ModelError};
+
+/// An event model derived conservatively from a finite timestamp trace.
+///
+/// For a trace of `m` events the model's curves are, for `n ≤ m`,
+///
+/// * `δ⁻(n)` — the smallest span of any `n` consecutive trace events,
+/// * `δ⁺(n)` — the largest such span,
+///
+/// and beyond the trace length:
+///
+/// * `δ⁻` is extended super-additively with stride `(m − 1, δ⁻(m))` —
+///   i.e. any `n > m` events are assumed to repeat the densest full-trace
+///   packing, a conservative lower bound,
+/// * `δ⁺` is [`TimeBound::Infinite`] — the trace gives no evidence of a
+///   minimum rate beyond its own length.
+///
+/// `TraceModel` therefore over-approximates every stream whose windows of
+/// up to `m` events behave like some window of the trace, which is the
+/// property the validation experiments need (analysis bounds computed from
+/// a `TraceModel` must cover the trace that produced it).
+///
+/// # Examples
+///
+/// ```
+/// use hem_event_models::{EventModel, TraceModel};
+/// use hem_time::{Time, TimeBound};
+///
+/// let trace = [0, 95, 210, 300, 395].map(Time::new);
+/// let m = TraceModel::from_timestamps(trace)?;
+/// assert_eq!(m.delta_min(2), Time::new(90));   // 300 − 210
+/// assert_eq!(m.delta_plus(2), TimeBound::finite(115)); // 210 − 95
+/// assert_eq!(m.event_count(), 5);
+/// # Ok::<(), hem_event_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceModel {
+    curve: CurveModel,
+    event_count: u64,
+    span: Time,
+}
+
+impl TraceModel {
+    /// Builds a trace model from event timestamps (any order; duplicates
+    /// allowed, representing simultaneous events).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the trace has fewer than two events or spans
+    /// zero time (no rate can be inferred).
+    pub fn from_timestamps(
+        timestamps: impl IntoIterator<Item = Time>,
+    ) -> Result<Self, ModelError> {
+        let mut ts: Vec<Time> = timestamps.into_iter().collect();
+        ts.sort_unstable();
+        let m = ts.len() as u64;
+        if m < 2 {
+            return Err(ModelError::invalid(
+                "trace must contain at least two events",
+            ));
+        }
+        let span = *ts.last().expect("non-empty") - ts[0];
+        if span < Time::ONE {
+            return Err(ModelError::invalid(
+                "trace must span at least one tick to infer a rate",
+            ));
+        }
+        let mut builder = CurveBuilder::new().extension(m - 1, span);
+        for n in 2..=m as usize {
+            let mut dmin = Time::MAX;
+            let mut dplus = Time::ZERO;
+            for w in ts.windows(n) {
+                let d = w[n - 1] - w[0];
+                dmin = dmin.min(d);
+                dplus = dplus.max(d);
+            }
+            builder = builder.push_delta_min(dmin);
+            // The trace provides no maximum-distance evidence at its own
+            // length: the stream may simply stop. Only spans that are
+            // strictly inside the trace yield a finite δ⁺.
+            builder = builder.push_delta_plus(if (n as u64) < m {
+                TimeBound::Finite(dplus)
+            } else {
+                TimeBound::Infinite
+            });
+        }
+        Ok(TraceModel {
+            curve: builder.build()?,
+            event_count: m,
+            span,
+        })
+    }
+
+    /// Number of events in the originating trace.
+    #[must_use]
+    pub fn event_count(&self) -> u64 {
+        self.event_count
+    }
+
+    /// Time spanned by the originating trace.
+    #[must_use]
+    pub fn span(&self) -> Time {
+        self.span
+    }
+
+    /// The underlying δ-curve representation.
+    #[must_use]
+    pub fn as_curve(&self) -> &CurveModel {
+        &self.curve
+    }
+}
+
+impl EventModel for TraceModel {
+    fn delta_min(&self, n: u64) -> Time {
+        self.curve.delta_min(n)
+    }
+
+    fn delta_plus(&self, n: u64) -> TimeBound {
+        self.curve.delta_plus(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_trace_recovers_period() {
+        let ts: Vec<Time> = (0..10).map(|i| Time::new(i * 100)).collect();
+        let m = TraceModel::from_timestamps(ts).unwrap();
+        assert_eq!(m.event_count(), 10);
+        assert_eq!(m.span(), Time::new(900));
+        for n in 2..=10u64 {
+            assert_eq!(m.delta_min(n), Time::new(100) * (n as i64 - 1));
+        }
+        // Extension: δ⁻(19) = δ⁻(10) + 900 = 1800.
+        assert_eq!(m.delta_min(19), Time::new(1800));
+        // δ⁺ beyond the trace is unbounded.
+        assert_eq!(m.delta_plus(10), TimeBound::Infinite);
+        assert_eq!(m.delta_plus(11), TimeBound::Infinite);
+        assert_eq!(m.delta_plus(9), TimeBound::finite(800));
+    }
+
+    #[test]
+    fn jittery_trace_bounds_hold() {
+        let ts = [0, 95, 210, 300, 395, 505].map(Time::new);
+        let m = TraceModel::from_timestamps(ts).unwrap();
+        // δ⁻(2): min adjacent gap = 90; δ⁺(2): max adjacent gap = 115.
+        assert_eq!(m.delta_min(2), Time::new(90));
+        assert_eq!(m.delta_plus(2), TimeBound::finite(115));
+        // Every window of the trace is within the model bounds.
+        let sorted = [0i64, 95, 210, 300, 395, 505];
+        for n in 2..=6usize {
+            for w in sorted.windows(n) {
+                let d = Time::new(w[n - 1] - w[0]);
+                assert!(m.delta_min(n as u64) <= d);
+                assert!(TimeBound::from(d) <= m.delta_plus(n as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_events_supported() {
+        let ts = [0, 0, 100, 100, 200].map(Time::new);
+        let m = TraceModel::from_timestamps(ts).unwrap();
+        assert_eq!(m.delta_min(2), Time::ZERO);
+        assert_eq!(m.max_simultaneous(), 2);
+    }
+
+    #[test]
+    fn unordered_input_is_sorted() {
+        let a = TraceModel::from_timestamps([300, 0, 100, 200].map(Time::new)).unwrap();
+        let b = TraceModel::from_timestamps([0, 100, 200, 300].map(Time::new)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_degenerate_traces() {
+        assert!(TraceModel::from_timestamps([Time::ZERO]).is_err());
+        assert!(TraceModel::from_timestamps([]).is_err());
+        assert!(TraceModel::from_timestamps([Time::ZERO, Time::ZERO]).is_err());
+    }
+
+    #[test]
+    fn curve_accessor() {
+        let m = TraceModel::from_timestamps([0, 100, 200].map(Time::new)).unwrap();
+        assert_eq!(m.as_curve().extension(), (2, Time::new(200)));
+    }
+}

@@ -1,0 +1,215 @@
+//! Non-preemptive priority arbitration of a CAN bus.
+
+use std::collections::VecDeque;
+
+use hem_analysis::Priority;
+use hem_time::Time;
+
+/// A frame's queue of transmission requests for the bus simulation.
+#[derive(Debug, Clone)]
+pub struct QueuedFrame {
+    /// Frame name (for reporting).
+    pub name: String,
+    /// Arbitration priority (lower wins).
+    pub priority: Priority,
+    /// Transmission time of one instance on the wire.
+    pub transmission_time: Time,
+    /// Sorted queue times of the instances to transmit.
+    pub queued_at: Vec<Time>,
+}
+
+/// One completed transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// Index of the frame in the input slice.
+    pub frame: usize,
+    /// Index of the instance within its frame's queue.
+    pub instance: usize,
+    /// When the instance was queued.
+    pub queued_at: Time,
+    /// When transmission started (arbitration won).
+    pub started_at: Time,
+    /// When the last bit left the wire.
+    pub completed_at: Time,
+}
+
+impl Transmission {
+    /// The instance's response time: completion minus queueing.
+    #[must_use]
+    pub fn response(&self) -> Time {
+        self.completed_at - self.queued_at
+    }
+}
+
+/// Simulates CAN arbitration: whenever the bus goes idle, the
+/// highest-priority queued instance is transmitted without preemption;
+/// instances of the same frame transmit in FIFO order.
+///
+/// Returns all transmissions in completion order.
+///
+/// # Panics
+///
+/// Panics if two frames share a priority (arbitration would be
+/// undefined), a queue is unsorted, or a transmission time is < 1.
+#[must_use]
+pub fn simulate(frames: &[QueuedFrame]) -> Vec<Transmission> {
+    simulate_with_times(frames, |frame, _instance| frames[frame].transmission_time)
+}
+
+/// Like [`simulate`], but with a per-instance wire time supplied by
+/// `time(frame_index, instance_index)` — e.g. sampled from the
+/// unstuffed/stuffed length interval for randomized validation runs.
+/// Each frame's `transmission_time` field is ignored.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate`], plus `time` returning < 1.
+#[must_use]
+pub fn simulate_with_times(
+    frames: &[QueuedFrame],
+    mut time: impl FnMut(usize, usize) -> Time,
+) -> Vec<Transmission> {
+    for (i, f) in frames.iter().enumerate() {
+        assert!(
+            f.transmission_time >= Time::ONE,
+            "transmission time of `{}` must be positive",
+            f.name
+        );
+        assert!(
+            f.queued_at.windows(2).all(|w| w[0] <= w[1]),
+            "queue of `{}` must be sorted",
+            f.name
+        );
+        assert!(
+            frames[i + 1..].iter().all(|g| g.priority != f.priority),
+            "duplicate priority {} on the bus",
+            f.priority
+        );
+    }
+    let mut queues: Vec<VecDeque<(usize, Time)>> = frames
+        .iter()
+        .map(|f| f.queued_at.iter().copied().enumerate().collect())
+        .collect();
+    let total: usize = queues.iter().map(VecDeque::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut now = Time::ZERO;
+    while out.len() < total {
+        // Highest-priority instance already queued at `now`.
+        let ready = (0..frames.len())
+            .filter(|&i| queues[i].front().is_some_and(|&(_, t)| t <= now))
+            .min_by_key(|&i| frames[i].priority);
+        match ready {
+            Some(i) => {
+                let (instance, queued_at) = queues[i].pop_front().expect("non-empty");
+                let started_at = now;
+                let c = time(i, instance);
+                assert!(c >= Time::ONE, "time({i}, {instance}) must be positive");
+                let completed_at = now + c;
+                out.push(Transmission {
+                    frame: i,
+                    instance,
+                    queued_at,
+                    started_at,
+                    completed_at,
+                });
+                now = completed_at;
+            }
+            None => {
+                // Idle: jump to the earliest pending queue time.
+                now = queues
+                    .iter()
+                    .filter_map(|q| q.front().map(|&(_, t)| t))
+                    .min()
+                    .expect("instances remain");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(name: &str, prio: u32, c: i64, queued: &[i64]) -> QueuedFrame {
+        QueuedFrame {
+            name: name.into(),
+            priority: Priority::new(prio),
+            transmission_time: Time::new(c),
+            queued_at: queued.iter().map(|&t| Time::new(t)).collect(),
+        }
+    }
+
+    #[test]
+    fn priority_wins_arbitration() {
+        // Both queued at 0: high goes first.
+        let t = simulate(&[frame("hi", 1, 10, &[0]), frame("lo", 2, 20, &[0])]);
+        assert_eq!(t[0].frame, 0);
+        assert_eq!(t[0].completed_at, Time::new(10));
+        assert_eq!(t[1].frame, 1);
+        assert_eq!(t[1].started_at, Time::new(10));
+        assert_eq!(t[1].completed_at, Time::new(30));
+    }
+
+    #[test]
+    fn no_preemption_once_started() {
+        // lo starts at 0; hi arrives at 1 but must wait until 20.
+        let t = simulate(&[frame("hi", 1, 10, &[1]), frame("lo", 2, 20, &[0])]);
+        assert_eq!(t[0].frame, 1);
+        assert_eq!(t[1].frame, 0);
+        assert_eq!(t[1].started_at, Time::new(20));
+        assert_eq!(t[1].response(), Time::new(29));
+    }
+
+    #[test]
+    fn same_frame_fifo() {
+        let t = simulate(&[frame("f", 1, 10, &[0, 0, 5])]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].instance, 0);
+        assert_eq!(t[1].instance, 1);
+        assert_eq!(t[2].instance, 2);
+        assert_eq!(t[2].completed_at, Time::new(30));
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped() {
+        let t = simulate(&[frame("f", 1, 10, &[100])]);
+        assert_eq!(t[0].started_at, Time::new(100));
+        assert_eq!(t[0].completed_at, Time::new(110));
+        assert_eq!(t[0].response(), Time::new(10));
+    }
+
+    #[test]
+    fn burst_of_high_priority_starves_low() {
+        let t = simulate(&[
+            frame("hi", 1, 10, &[0, 5, 15, 25]),
+            frame("lo", 2, 10, &[0]),
+        ]);
+        // hi transmits back-to-back 0-40; lo waits until 40.
+        let lo = t.iter().find(|x| x.frame == 1).unwrap();
+        assert_eq!(lo.started_at, Time::new(40));
+        assert_eq!(lo.response(), Time::new(50));
+    }
+
+    #[test]
+    fn variable_transmission_times_respected() {
+        let t = simulate_with_times(
+            &[frame("f", 1, 10, &[0, 0])],
+            |_, instance| Time::new(10 + 5 * instance as i64),
+        );
+        assert_eq!(t[0].completed_at, Time::new(10));
+        assert_eq!(t[1].completed_at, Time::new(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate priority")]
+    fn duplicate_priorities_panic() {
+        let _ = simulate(&[frame("a", 1, 10, &[0]), frame("b", 1, 10, &[0])]);
+    }
+
+    #[test]
+    fn empty_queues_produce_no_transmissions() {
+        let t = simulate(&[frame("f", 1, 10, &[])]);
+        assert!(t.is_empty());
+    }
+}

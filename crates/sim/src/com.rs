@@ -1,0 +1,279 @@
+//! Behavioural simulation of the AUTOSAR COM layer (paper §4).
+//!
+//! Tasks write signal values into registers (overwriting old values);
+//! the COM layer emits frame transmission requests according to the
+//! frame type and the signals' transfer properties. Each emitted
+//! [`FrameInstance`] records which signals it carries a *fresh* (not yet
+//! transmitted) value of — that is what turns into a per-signal delivery
+//! event at the receiver.
+
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_time::Time;
+
+/// A signal feeding the simulated COM layer.
+#[derive(Debug, Clone)]
+pub struct ComSignal {
+    /// Signal name.
+    pub name: String,
+    /// Transfer property (triggering writes emit frames for direct and
+    /// mixed frame types).
+    pub transfer: TransferProperty,
+    /// Sorted write times.
+    pub writes: Vec<Time>,
+}
+
+/// One frame transmission request emitted by the COM layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameInstance {
+    /// When the frame was handed to the bus queue.
+    pub queued_at: Time,
+    /// Per fresh signal: `(signal index, time the carried value was
+    /// written)`. For a pending signal the carried value is the *latest*
+    /// write (earlier unsent values were overwritten).
+    pub fresh: Vec<(usize, Time)>,
+}
+
+impl FrameInstance {
+    /// Whether this instance carries a fresh value of signal `i`.
+    #[must_use]
+    pub fn carries(&self, i: usize) -> bool {
+        self.fresh.iter().any(|&(s, _)| s == i)
+    }
+}
+
+/// Result of simulating one frame's COM layer over a horizon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComTrace {
+    /// Emitted transmission requests, in time order.
+    pub instances: Vec<FrameInstance>,
+    /// Per-signal count of values lost to register overwrites before
+    /// transmission (only pending signals can lose values).
+    pub overwritten: Vec<u64>,
+}
+
+/// Simulates the COM layer of one frame.
+///
+/// Semantics (paper §4):
+///
+/// * every signal write overwrites the signal's register; a previous
+///   value that was never transmitted is lost (counted in
+///   [`ComTrace::overwritten`]),
+/// * a **triggering** write on a [`FrameType::Direct`] or
+///   [`FrameType::Mixed`] frame immediately emits a frame carrying every
+///   register with untransmitted data,
+/// * [`FrameType::Periodic`] and [`FrameType::Mixed`] frames are also
+///   emitted by a timer at `0, P, 2P, …` (phase 0); periodic frames are
+///   sent even when no register is fresh,
+/// * ties at the same tick are processed writes-first, so a timer frame
+///   carries values written at the same instant.
+///
+/// # Panics
+///
+/// Panics if any write trace is unsorted.
+#[must_use]
+pub fn simulate(frame_type: FrameType, signals: &[ComSignal], horizon: Time) -> ComTrace {
+    for s in signals {
+        assert!(
+            s.writes.windows(2).all(|w| w[0] <= w[1]),
+            "write trace of `{}` must be sorted",
+            s.name
+        );
+    }
+    // Merge all events: (time, order-class, signal index). Writes sort
+    // before timer ticks at the same tick (order-class 0 vs 1).
+    let mut events: Vec<(Time, u8, usize)> = Vec::new();
+    for (i, s) in signals.iter().enumerate() {
+        for &t in &s.writes {
+            if t < horizon {
+                events.push((t, 0, i));
+            }
+        }
+    }
+    let timer_period = match frame_type {
+        FrameType::Periodic(p) | FrameType::Mixed(p) => Some(p),
+        FrameType::Direct => None,
+    };
+    if let Some(p) = timer_period {
+        let mut t = Time::ZERO;
+        while t < horizon {
+            events.push((t, 1, usize::MAX));
+            t += p;
+        }
+    }
+    events.sort_unstable_by_key(|&(t, class, idx)| (t, class, idx));
+
+    // Per signal: the write time of the current unsent register value.
+    let mut unsent: Vec<Option<Time>> = vec![None; signals.len()];
+    let mut overwritten = vec![0u64; signals.len()];
+    let mut instances = Vec::new();
+    let mut emit = |at: Time, unsent: &mut [Option<Time>]| {
+        let fresh: Vec<(usize, Time)> = unsent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.map(|written| (i, written)))
+            .collect();
+        for slot in unsent.iter_mut() {
+            *slot = None;
+        }
+        instances.push(FrameInstance {
+            queued_at: at,
+            fresh,
+        });
+    };
+
+    for (t, class, idx) in events {
+        if class == 0 {
+            // Signal write (overwriting any unsent value).
+            if unsent[idx].is_some() {
+                overwritten[idx] += 1;
+            }
+            unsent[idx] = Some(t);
+            let triggers = matches!(frame_type, FrameType::Direct | FrameType::Mixed(_))
+                && signals[idx].transfer == TransferProperty::Triggering;
+            if triggers {
+                emit(t, &mut unsent);
+            }
+        } else {
+            // Timer tick: periodic frames always transmit.
+            emit(t, &mut unsent);
+        }
+    }
+    ComTrace {
+        instances,
+        overwritten,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(name: &str, transfer: TransferProperty, writes: &[i64]) -> ComSignal {
+        ComSignal {
+            name: name.into(),
+            transfer,
+            writes: writes.iter().map(|&t| Time::new(t)).collect(),
+        }
+    }
+
+    #[test]
+    fn direct_frame_one_per_triggering_write() {
+        let trace = simulate(
+            FrameType::Direct,
+            &[sig("a", TransferProperty::Triggering, &[0, 100, 200])],
+            Time::new(1000),
+        );
+        assert_eq!(trace.instances.len(), 3);
+        assert!(trace.instances.iter().all(|i| i.carries(0))); // own write
+        assert_eq!(trace.instances[1].fresh, vec![(0, Time::new(100))]);
+        assert_eq!(trace.overwritten, vec![0]);
+    }
+
+    #[test]
+    fn pending_rides_with_next_trigger() {
+        let trace = simulate(
+            FrameType::Direct,
+            &[
+                sig("trig", TransferProperty::Triggering, &[100, 200]),
+                sig("pend", TransferProperty::Pending, &[50, 150]),
+            ],
+            Time::new(1000),
+        );
+        // Frame at 100 carries trig + the pending value written at 50;
+        // frame at 200 carries trig + pending written at 150.
+        assert_eq!(trace.instances.len(), 2);
+        assert_eq!(trace.instances[0].queued_at, Time::new(100));
+        // The frame at 100 carries the trig write (100) and the pending
+        // value written at 50.
+        assert_eq!(
+            trace.instances[0].fresh,
+            vec![(0, Time::new(100)), (1, Time::new(50))]
+        );
+        assert_eq!(
+            trace.instances[1].fresh,
+            vec![(0, Time::new(200)), (1, Time::new(150))]
+        );
+        assert_eq!(trace.overwritten, vec![0, 0]);
+    }
+
+    #[test]
+    fn pending_overwrites_are_counted_and_lost() {
+        let trace = simulate(
+            FrameType::Direct,
+            &[
+                sig("trig", TransferProperty::Triggering, &[1000]),
+                sig("pend", TransferProperty::Pending, &[10, 20, 30]),
+            ],
+            Time::new(2000),
+        );
+        // Three writes, one transmission: two values lost.
+        assert_eq!(trace.instances.len(), 1);
+        // The delivered pending value is the latest write (30).
+        assert_eq!(
+            trace.instances[0].fresh,
+            vec![(0, Time::new(1000)), (1, Time::new(30))]
+        );
+        assert_eq!(trace.overwritten, vec![0, 2]);
+    }
+
+    #[test]
+    fn periodic_frame_ignores_triggering_writes() {
+        let trace = simulate(
+            FrameType::Periodic(Time::new(100)),
+            &[sig("a", TransferProperty::Triggering, &[10, 20, 30])],
+            Time::new(250),
+        );
+        // Timer at 0, 100, 200 — writes do not emit frames.
+        assert_eq!(trace.instances.len(), 3);
+        assert_eq!(trace.instances[0].queued_at, Time::ZERO);
+        assert!(trace.instances[0].fresh.is_empty()); // nothing written yet
+        assert_eq!(trace.instances[1].fresh, vec![(0, Time::new(30))]); // 10,20 overwritten
+        assert_eq!(trace.overwritten, vec![2]);
+    }
+
+    #[test]
+    fn mixed_frame_timer_and_trigger() {
+        let trace = simulate(
+            FrameType::Mixed(Time::new(100)),
+            &[sig("a", TransferProperty::Triggering, &[50])],
+            Time::new(200),
+        );
+        // Timer at 0 (empty), trigger at 50, timer at 100 (empty again).
+        assert_eq!(trace.instances.len(), 3);
+        assert_eq!(trace.instances[1].queued_at, Time::new(50));
+        assert_eq!(trace.instances[1].fresh, vec![(0, Time::new(50))]);
+        assert!(trace.instances[2].fresh.is_empty());
+    }
+
+    #[test]
+    fn same_tick_write_rides_timer_frame() {
+        let trace = simulate(
+            FrameType::Periodic(Time::new(100)),
+            &[sig("p", TransferProperty::Pending, &[100])],
+            Time::new(150),
+        );
+        // Write at 100 is processed before the timer tick at 100.
+        assert_eq!(trace.instances.len(), 2);
+        assert_eq!(trace.instances[1].fresh, vec![(0, Time::new(100))]);
+    }
+
+    #[test]
+    fn horizon_cuts_events() {
+        let trace = simulate(
+            FrameType::Direct,
+            &[sig("a", TransferProperty::Triggering, &[10, 990, 1500])],
+            Time::new(1000),
+        );
+        assert_eq!(trace.instances.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn unsorted_writes_rejected() {
+        let _ = simulate(
+            FrameType::Direct,
+            &[sig("a", TransferProperty::Triggering, &[100, 10])],
+            Time::new(1000),
+        );
+    }
+}

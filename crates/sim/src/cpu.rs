@@ -1,0 +1,264 @@
+//! Preemptive static-priority CPU scheduling simulation.
+
+use hem_analysis::Priority;
+use hem_time::Time;
+
+/// A task on the simulated CPU.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    /// Task name (for reporting).
+    pub name: String,
+    /// Priority (lower wins; equal priorities run FIFO by activation).
+    pub priority: Priority,
+    /// Execution time of each job (constant per task; use the WCET for
+    /// worst-case-oriented validation runs).
+    pub execution_time: Time,
+    /// Sorted activation times.
+    pub activations: Vec<Time>,
+}
+
+/// One completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Index of the task in the input slice.
+    pub task: usize,
+    /// Index of the activation within the task.
+    pub instance: usize,
+    /// Activation time.
+    pub activated_at: Time,
+    /// Completion time.
+    pub completed_at: Time,
+}
+
+impl Job {
+    /// The job's response time.
+    #[must_use]
+    pub fn response(&self) -> Time {
+        self.completed_at - self.activated_at
+    }
+}
+
+/// Simulates preemptive static-priority scheduling of the given tasks.
+///
+/// Jobs of the same task execute in activation order; between tasks the
+/// lowest priority level runs, preempting instantly on higher-priority
+/// arrivals. Returns all jobs in completion order.
+///
+/// # Panics
+///
+/// Panics if an activation list is unsorted or an execution time is < 1.
+#[must_use]
+pub fn simulate(tasks: &[SimTask]) -> Vec<Job> {
+    simulate_with_exec(tasks, |task, _instance| tasks[task].execution_time)
+}
+
+/// Like [`simulate`], but with a per-job execution time supplied by
+/// `exec(task_index, instance_index)` — e.g. sampled uniformly from
+/// `[bcet, wcet]` for randomized validation runs. Each task's
+/// `execution_time` field is ignored.
+///
+/// # Panics
+///
+/// Panics if an activation list is unsorted or `exec` returns < 1.
+#[must_use]
+pub fn simulate_with_exec(
+    tasks: &[SimTask],
+    mut exec: impl FnMut(usize, usize) -> Time,
+) -> Vec<Job> {
+    for t in tasks {
+        assert!(
+            t.execution_time >= Time::ONE,
+            "execution time of `{}` must be positive",
+            t.name
+        );
+        assert!(
+            t.activations.windows(2).all(|w| w[0] <= w[1]),
+            "activations of `{}` must be sorted",
+            t.name
+        );
+    }
+    // All arrivals in time order: (time, task, instance).
+    let mut arrivals: Vec<(Time, usize, usize)> = tasks
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, t)| {
+            t.activations
+                .iter()
+                .enumerate()
+                .map(move |(ii, &at)| (at, ti, ii))
+        })
+        .collect();
+    arrivals.sort_unstable();
+
+    // Ready jobs: (priority, activation time, task, instance, remaining).
+    let mut ready: Vec<(Priority, Time, usize, usize, Time)> = Vec::new();
+    let mut out = Vec::with_capacity(arrivals.len());
+    let mut now = Time::ZERO;
+    let mut next_arrival = 0usize;
+
+    loop {
+        // Admit everything that has arrived by `now`.
+        while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= now {
+            let (at, ti, ii) = arrivals[next_arrival];
+            let e = exec(ti, ii);
+            assert!(e >= Time::ONE, "exec({ti}, {ii}) must be positive");
+            ready.push((tasks[ti].priority, at, ti, ii, e));
+            next_arrival += 1;
+        }
+        if ready.is_empty() {
+            if next_arrival >= arrivals.len() {
+                break;
+            }
+            now = arrivals[next_arrival].0;
+            continue;
+        }
+        // Highest priority, FIFO tie-break by activation then task index.
+        let best = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(p, at, ti, ii, _))| (p, at, ti, ii))
+            .map(|(i, _)| i)
+            .expect("non-empty ready queue");
+        let horizon = if next_arrival < arrivals.len() {
+            arrivals[next_arrival].0
+        } else {
+            Time::MAX
+        };
+        let (_, at, ti, ii, remaining) = ready[best];
+        let slice = remaining.min(horizon - now);
+        if slice == remaining {
+            // Job completes before (or exactly at) the next arrival.
+            now += remaining;
+            ready.swap_remove(best);
+            out.push(Job {
+                task: ti,
+                instance: ii,
+                activated_at: at,
+                completed_at: now,
+            });
+        } else {
+            // Run until the next arrival, then re-evaluate (possible
+            // preemption).
+            ready[best].4 = remaining - slice;
+            now = horizon;
+        }
+    }
+    out.sort_unstable_by_key(|j| (j.completed_at, j.task, j.instance));
+    out
+}
+
+/// The worst observed response time per task, in task order.
+#[must_use]
+pub fn worst_responses(tasks: &[SimTask], jobs: &[Job]) -> Vec<Time> {
+    let mut worst = vec![Time::ZERO; tasks.len()];
+    for j in jobs {
+        worst[j.task] = worst[j.task].max(j.response());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str, prio: u32, c: i64, activations: &[i64]) -> SimTask {
+        SimTask {
+            name: name.into(),
+            priority: Priority::new(prio),
+            execution_time: Time::new(c),
+            activations: activations.iter().map(|&t| Time::new(t)).collect(),
+        }
+    }
+
+    #[test]
+    fn preemption_happens_immediately() {
+        // lo starts at 0, hi arrives at 5 and preempts for 10.
+        let jobs = simulate(&[task("hi", 1, 10, &[5]), task("lo", 2, 20, &[0])]);
+        let hi = jobs.iter().find(|j| j.task == 0).unwrap();
+        let lo = jobs.iter().find(|j| j.task == 1).unwrap();
+        assert_eq!(hi.completed_at, Time::new(15));
+        assert_eq!(lo.completed_at, Time::new(30)); // 20 own + 10 preempted
+        assert_eq!(lo.response(), Time::new(30));
+    }
+
+    #[test]
+    fn simultaneous_arrivals_run_by_priority() {
+        let jobs = simulate(&[
+            task("a", 1, 5, &[0]),
+            task("b", 2, 5, &[0]),
+            task("c", 3, 5, &[0]),
+        ]);
+        assert_eq!(jobs[0].task, 0);
+        assert_eq!(jobs[1].task, 1);
+        assert_eq!(jobs[2].task, 2);
+        assert_eq!(jobs[2].completed_at, Time::new(15));
+    }
+
+    #[test]
+    fn equal_priority_fifo() {
+        let jobs = simulate(&[task("a", 1, 10, &[5]), task("b", 1, 10, &[0])]);
+        // b activated first, runs first despite equal priority.
+        assert_eq!(jobs[0].task, 1);
+        assert_eq!(jobs[0].completed_at, Time::new(10));
+        assert_eq!(jobs[1].completed_at, Time::new(20));
+    }
+
+    #[test]
+    fn same_task_jobs_fifo_and_queue() {
+        let jobs = simulate(&[task("a", 1, 10, &[0, 2, 4])]);
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].instance, 0);
+        assert_eq!(jobs[2].completed_at, Time::new(30));
+        assert_eq!(jobs[2].response(), Time::new(26));
+    }
+
+    #[test]
+    fn idle_time_is_skipped() {
+        let jobs = simulate(&[task("a", 1, 5, &[0, 100])]);
+        assert_eq!(jobs[1].completed_at, Time::new(105));
+    }
+
+    #[test]
+    fn worst_responses_aggregates() {
+        let tasks = [task("a", 1, 10, &[0, 2])];
+        let jobs = simulate(&tasks);
+        let w = worst_responses(&tasks, &jobs);
+        assert_eq!(w, vec![Time::new(18)]); // second job: 20 − 2
+    }
+
+    #[test]
+    fn variable_execution_times_respected() {
+        let tasks = [task("a", 1, 10, &[0, 20, 40])];
+        // Instance i runs for 5 + i ticks.
+        let jobs = simulate_with_exec(&tasks, |_, i| Time::new(5 + i as i64));
+        assert_eq!(jobs[0].completed_at, Time::new(5));
+        assert_eq!(jobs[1].completed_at, Time::new(26));
+        assert_eq!(jobs[2].completed_at, Time::new(47));
+    }
+
+    #[test]
+    fn shorter_execution_never_worsens_uncontended_response() {
+        let tasks = [task("a", 1, 10, &[0, 100])];
+        let worst = simulate(&tasks);
+        let best = simulate_with_exec(&tasks, |_, _| Time::new(3));
+        for (w, b) in worst.iter().zip(&best) {
+            assert!(b.response() <= w.response());
+        }
+    }
+
+    #[test]
+    fn matches_analysis_on_textbook_set() {
+        // Same set as the SPP analysis test: C = (1,2,3), P = (4,6,12).
+        // Simulated worst responses must be ≤ the analytic bounds (1,3,10)
+        // and, with synchronous release, should reach them exactly.
+        let make = |p: i64| -> Vec<i64> { (0..200).map(|i| i * p).take_while(|&t| t < 2400).collect() };
+        let tasks = [
+            task("t1", 1, 1, &make(4)),
+            task("t2", 2, 2, &make(6)),
+            task("t3", 3, 3, &make(12)),
+        ];
+        let jobs = simulate(&tasks);
+        let w = worst_responses(&tasks, &jobs);
+        assert_eq!(w, vec![Time::new(1), Time::new(3), Time::new(10)]);
+    }
+}

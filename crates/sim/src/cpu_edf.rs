@@ -1,0 +1,236 @@
+//! Preemptive earliest-deadline-first CPU scheduling simulation.
+
+use hem_time::Time;
+
+/// A deadline-scheduled task on the simulated CPU.
+#[derive(Debug, Clone)]
+pub struct EdfSimTask {
+    /// Task name (for reporting).
+    pub name: String,
+    /// Execution time of each job.
+    pub execution_time: Time,
+    /// Relative deadline (absolute deadline = activation + deadline).
+    pub deadline: Time,
+    /// Sorted activation times.
+    pub activations: Vec<Time>,
+}
+
+/// One completed EDF job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdfJob {
+    /// Index of the task in the input slice.
+    pub task: usize,
+    /// Index of the activation within the task.
+    pub instance: usize,
+    /// Activation time.
+    pub activated_at: Time,
+    /// Absolute deadline.
+    pub deadline_at: Time,
+    /// Completion time.
+    pub completed_at: Time,
+}
+
+impl EdfJob {
+    /// The job's response time.
+    #[must_use]
+    pub fn response(&self) -> Time {
+        self.completed_at - self.activated_at
+    }
+
+    /// Whether the job finished by its absolute deadline.
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        self.completed_at <= self.deadline_at
+    }
+}
+
+/// Simulates preemptive EDF: at every instant the pending job with the
+/// earliest absolute deadline runs (ties broken by activation time, then
+/// task index). Returns all jobs in completion order.
+///
+/// # Panics
+///
+/// Panics if an activation list is unsorted or an execution time or
+/// deadline is < 1.
+#[must_use]
+pub fn simulate(tasks: &[EdfSimTask]) -> Vec<EdfJob> {
+    for t in tasks {
+        assert!(
+            t.execution_time >= Time::ONE,
+            "execution time of `{}` must be positive",
+            t.name
+        );
+        assert!(
+            t.deadline >= Time::ONE,
+            "deadline of `{}` must be positive",
+            t.name
+        );
+        assert!(
+            t.activations.windows(2).all(|w| w[0] <= w[1]),
+            "activations of `{}` must be sorted",
+            t.name
+        );
+    }
+    let mut arrivals: Vec<(Time, usize, usize)> = tasks
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, t)| {
+            t.activations
+                .iter()
+                .enumerate()
+                .map(move |(ii, &at)| (at, ti, ii))
+        })
+        .collect();
+    arrivals.sort_unstable();
+
+    // Ready jobs: (absolute deadline, activation, task, instance, remaining).
+    let mut ready: Vec<(Time, Time, usize, usize, Time)> = Vec::new();
+    let mut out = Vec::with_capacity(arrivals.len());
+    let mut now = Time::ZERO;
+    let mut next_arrival = 0usize;
+
+    loop {
+        while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= now {
+            let (at, ti, ii) = arrivals[next_arrival];
+            ready.push((
+                at + tasks[ti].deadline,
+                at,
+                ti,
+                ii,
+                tasks[ti].execution_time,
+            ));
+            next_arrival += 1;
+        }
+        if ready.is_empty() {
+            if next_arrival >= arrivals.len() {
+                break;
+            }
+            now = arrivals[next_arrival].0;
+            continue;
+        }
+        let best = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(dl, at, ti, ii, _))| (dl, at, ti, ii))
+            .map(|(i, _)| i)
+            .expect("non-empty ready queue");
+        let horizon = if next_arrival < arrivals.len() {
+            arrivals[next_arrival].0
+        } else {
+            Time::MAX
+        };
+        let (dl, at, ti, ii, remaining) = ready[best];
+        let slice = remaining.min(horizon - now);
+        if slice == remaining {
+            now += remaining;
+            ready.swap_remove(best);
+            out.push(EdfJob {
+                task: ti,
+                instance: ii,
+                activated_at: at,
+                deadline_at: dl,
+                completed_at: now,
+            });
+        } else {
+            ready[best].4 = remaining - slice;
+            now = horizon;
+        }
+    }
+    out.sort_unstable_by_key(|j| (j.completed_at, j.task, j.instance));
+    out
+}
+
+/// Whether every job in the run met its deadline; on failure returns the
+/// first missing job.
+#[must_use]
+pub fn first_deadline_miss(jobs: &[EdfJob]) -> Option<EdfJob> {
+    jobs.iter().find(|j| !j.met_deadline()).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace;
+
+    fn task(name: &str, c: i64, d: i64, activations: &[i64]) -> EdfSimTask {
+        EdfSimTask {
+            name: name.into(),
+            execution_time: Time::new(c),
+            deadline: Time::new(d),
+            activations: activations.iter().map(|&t| Time::new(t)).collect(),
+        }
+    }
+
+    #[test]
+    fn earliest_deadline_runs_first() {
+        // Both arrive at 0; b's deadline is earlier despite arriving as
+        // the second task in the list.
+        let jobs = simulate(&[task("a", 5, 100, &[0]), task("b", 5, 20, &[0])]);
+        assert_eq!(jobs[0].task, 1);
+        assert_eq!(jobs[0].completed_at, Time::new(5));
+        assert_eq!(jobs[1].completed_at, Time::new(10));
+        assert!(jobs.iter().all(EdfJob::met_deadline));
+    }
+
+    #[test]
+    fn preemption_on_earlier_deadline_arrival() {
+        // a (D=100) starts; b (D=10) arrives at 2 and preempts.
+        let jobs = simulate(&[task("a", 10, 100, &[0]), task("b", 3, 10, &[2])]);
+        let b = jobs.iter().find(|j| j.task == 1).unwrap();
+        assert_eq!(b.completed_at, Time::new(5));
+        let a = jobs.iter().find(|j| j.task == 0).unwrap();
+        assert_eq!(a.completed_at, Time::new(13));
+    }
+
+    #[test]
+    fn no_preemption_for_later_deadline() {
+        // a (absolute deadline 8) keeps running when b (deadline 2+20)
+        // arrives.
+        let jobs = simulate(&[task("a", 6, 8, &[0]), task("b", 2, 20, &[2])]);
+        assert_eq!(jobs[0].task, 0);
+        assert_eq!(jobs[0].completed_at, Time::new(6));
+    }
+
+    #[test]
+    fn full_utilization_meets_implicit_deadlines() {
+        // U = 1 with implicit deadlines: EDF schedules it (C/P = 2/4 + 3/6).
+        let horizon = Time::new(6_000);
+        let tasks = [
+            EdfSimTask {
+                name: "a".into(),
+                execution_time: Time::new(2),
+                deadline: Time::new(4),
+                activations: trace::periodic(Time::new(4), horizon),
+            },
+            EdfSimTask {
+                name: "b".into(),
+                execution_time: Time::new(3),
+                deadline: Time::new(6),
+                activations: trace::periodic(Time::new(6), horizon),
+            },
+        ];
+        let jobs = simulate(&tasks);
+        assert_eq!(first_deadline_miss(&jobs), None);
+    }
+
+    #[test]
+    fn overload_misses_deadlines() {
+        let horizon = Time::new(600);
+        let tasks = [
+            EdfSimTask {
+                name: "a".into(),
+                execution_time: Time::new(3),
+                deadline: Time::new(4),
+                activations: trace::periodic(Time::new(4), horizon),
+            },
+            EdfSimTask {
+                name: "b".into(),
+                execution_time: Time::new(3),
+                deadline: Time::new(6),
+                activations: trace::periodic(Time::new(6), horizon),
+            },
+        ];
+        let jobs = simulate(&tasks);
+        assert!(first_deadline_miss(&jobs).is_some());
+    }
+}

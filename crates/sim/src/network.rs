@@ -1,0 +1,593 @@
+//! Multi-hop network simulation: several buses and CPUs coupled by
+//! gateway tasks.
+//!
+//! The single-bus harness in [`crate::system`] covers the paper's
+//! evaluation; real integrations chain hops — a signal crosses one bus,
+//! a gateway task re-publishes it onto another. This module simulates
+//! such feed-forward networks by evaluating resources in dependency
+//! *waves*: a bus is simulated once the write traces of all its frames'
+//! signals are known (external traces or completions of already
+//! simulated tasks); a CPU once all its tasks' activations are known.
+//! Cyclic dependencies are rejected.
+
+use std::collections::BTreeMap;
+
+use hem_analysis::Priority;
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_time::Time;
+
+use crate::canbus::{self, QueuedFrame};
+use crate::com::{self, ComSignal};
+use crate::cpu::{self, SimTask};
+
+/// Where a signal's write events come from.
+#[derive(Debug, Clone)]
+pub enum NetSource {
+    /// An external, pre-computed write trace.
+    Trace(Vec<Time>),
+    /// Each completion of the named task writes the signal (gateway
+    /// forwarding).
+    TaskCompletions(String),
+}
+
+/// A signal carried by a network frame.
+#[derive(Debug, Clone)]
+pub struct NetSignal {
+    /// Signal name (unique within its frame).
+    pub name: String,
+    /// COM transfer property.
+    pub transfer: TransferProperty,
+    /// Write-event source.
+    pub source: NetSource,
+}
+
+/// A frame on one of the network's buses.
+#[derive(Debug, Clone)]
+pub struct NetFrame {
+    /// Frame name (globally unique).
+    pub name: String,
+    /// Hosting bus.
+    pub bus: String,
+    /// Arbitration priority (unique per bus).
+    pub priority: Priority,
+    /// Wire time of one instance.
+    pub transmission_time: Time,
+    /// COM transmission rule.
+    pub frame_type: FrameType,
+    /// Packed signals.
+    pub signals: Vec<NetSignal>,
+}
+
+/// What activates a network task.
+#[derive(Debug, Clone)]
+pub enum NetActivation {
+    /// A fixed activation trace.
+    Trace(Vec<Time>),
+    /// One activation per delivery of a frame's signal (interrupt
+    /// reception with update bits).
+    Delivery {
+        /// Transporting frame.
+        frame: String,
+        /// Signal within the frame.
+        signal: String,
+    },
+    /// One activation per transmission of the frame, fresh or not
+    /// (interrupt reception *without* update bits — the flat baseline's
+    /// behaviour).
+    FrameTransmissions(String),
+    /// One activation per completion of another task (a CPU-to-CPU
+    /// chain). The producing task must live on a *different* CPU —
+    /// same-CPU chains make the CPU depend on itself and are rejected as
+    /// a dependency cycle.
+    TaskCompletions(String),
+}
+
+/// A task on one of the network's CPUs.
+#[derive(Debug, Clone)]
+pub struct NetTask {
+    /// Task name (globally unique).
+    pub name: String,
+    /// Hosting CPU.
+    pub cpu: String,
+    /// SPP priority on that CPU.
+    pub priority: Priority,
+    /// Execution time per job.
+    pub execution_time: Time,
+    /// Activation source.
+    pub activation: NetActivation,
+}
+
+/// A feed-forward network of buses and CPUs.
+#[derive(Debug, Clone, Default)]
+pub struct NetSystem {
+    /// All frames, across all buses.
+    pub frames: Vec<NetFrame>,
+    /// All tasks, across all CPUs.
+    pub tasks: Vec<NetTask>,
+}
+
+/// Observations from a network run.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Per-frame worst observed response.
+    pub frame_worst_response: BTreeMap<String, Time>,
+    /// Per-frame transmission completion times.
+    pub frame_transmissions: BTreeMap<String, Vec<Time>>,
+    /// Per-task worst observed response.
+    pub task_worst_response: BTreeMap<String, Time>,
+    /// Per-`"frame/signal"` delivery times.
+    pub deliveries: BTreeMap<String, Vec<Time>>,
+    /// Per-task completion times (what forwarding writes downstream).
+    pub task_completions: BTreeMap<String, Vec<Time>>,
+    /// Per-`"frame/signal"` values lost to register overwrite.
+    pub overwritten: BTreeMap<String, u64>,
+}
+
+/// Runs the network over the given horizon.
+///
+/// # Panics
+///
+/// Panics on malformed input: unknown references, duplicate priorities
+/// on one bus, unsorted traces, or a cyclic dependency between resources
+/// (a gateway loop without an external source).
+#[must_use]
+pub fn run(system: &NetSystem, horizon: Time) -> NetReport {
+    let buses: Vec<String> = unique(system.frames.iter().map(|f| f.bus.clone()));
+    let cpus: Vec<String> = unique(system.tasks.iter().map(|t| t.cpu.clone()));
+
+    let mut deliveries: BTreeMap<String, Vec<Time>> = BTreeMap::new();
+    let mut frame_transmissions: BTreeMap<String, Vec<Time>> = BTreeMap::new();
+    let mut overwritten: BTreeMap<String, u64> = BTreeMap::new();
+    let mut task_completions: BTreeMap<String, Vec<Time>> = BTreeMap::new();
+    let mut frame_worst_response: BTreeMap<String, Time> = BTreeMap::new();
+    let mut task_worst_response: BTreeMap<String, Time> = BTreeMap::new();
+    let mut done_buses: Vec<String> = Vec::new();
+    let mut done_cpus: Vec<String> = Vec::new();
+
+    while done_buses.len() < buses.len() || done_cpus.len() < cpus.len() {
+        let mut progressed = false;
+
+        // Buses whose every signal source is available.
+        for bus in &buses {
+            if done_buses.contains(bus) {
+                continue;
+            }
+            let frames: Vec<&NetFrame> =
+                system.frames.iter().filter(|f| &f.bus == bus).collect();
+            let ready = frames.iter().all(|f| {
+                f.signals.iter().all(|s| match &s.source {
+                    NetSource::Trace(_) => true,
+                    NetSource::TaskCompletions(t) => task_completions.contains_key(t),
+                })
+            });
+            if !ready {
+                continue;
+            }
+            simulate_bus(
+                &frames,
+                &task_completions,
+                horizon,
+                &mut deliveries,
+                &mut frame_transmissions,
+                &mut overwritten,
+                &mut frame_worst_response,
+            );
+            done_buses.push(bus.clone());
+            progressed = true;
+        }
+
+        // CPUs whose every activation is available.
+        for cpu_name in &cpus {
+            if done_cpus.contains(cpu_name) {
+                continue;
+            }
+            let tasks: Vec<&NetTask> =
+                system.tasks.iter().filter(|t| &t.cpu == cpu_name).collect();
+            let ready = tasks.iter().all(|t| match &t.activation {
+                NetActivation::Trace(_) => true,
+                NetActivation::Delivery { frame, signal } => {
+                    deliveries.contains_key(&format!("{frame}/{signal}"))
+                }
+                NetActivation::FrameTransmissions(frame) => {
+                    frame_transmissions.contains_key(frame)
+                }
+                NetActivation::TaskCompletions(task) => task_completions.contains_key(task),
+            });
+            if !ready {
+                continue;
+            }
+            simulate_cpu(
+                &tasks,
+                &deliveries,
+                &frame_transmissions,
+                horizon,
+                &mut task_completions,
+                &mut task_worst_response,
+            );
+            done_cpus.push(cpu_name.clone());
+            progressed = true;
+        }
+
+        assert!(
+            progressed,
+            "network contains a dependency cycle (or an unknown reference): \
+             remaining buses {:?}, cpus {:?}",
+            buses.iter().filter(|b| !done_buses.contains(b)).collect::<Vec<_>>(),
+            cpus.iter().filter(|c| !done_cpus.contains(c)).collect::<Vec<_>>(),
+        );
+    }
+
+    NetReport {
+        frame_worst_response,
+        frame_transmissions,
+        task_worst_response,
+        deliveries,
+        task_completions,
+        overwritten,
+    }
+}
+
+fn unique(items: impl Iterator<Item = String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for i in items {
+        if !out.contains(&i) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+fn simulate_bus(
+    frames: &[&NetFrame],
+    task_completions: &BTreeMap<String, Vec<Time>>,
+    horizon: Time,
+    deliveries: &mut BTreeMap<String, Vec<Time>>,
+    frame_transmissions: &mut BTreeMap<String, Vec<Time>>,
+    overwritten: &mut BTreeMap<String, u64>,
+    frame_worst_response: &mut BTreeMap<String, Time>,
+) {
+    let com_traces: Vec<com::ComTrace> = frames
+        .iter()
+        .map(|f| {
+            let com_signals: Vec<ComSignal> = f
+                .signals
+                .iter()
+                .map(|s| ComSignal {
+                    name: s.name.clone(),
+                    transfer: s.transfer,
+                    writes: match &s.source {
+                        NetSource::Trace(t) => t.clone(),
+                        NetSource::TaskCompletions(task) => task_completions
+                            .get(task)
+                            .unwrap_or_else(|| panic!("unknown task `{task}`"))
+                            .iter()
+                            .copied()
+                            .filter(|&t| t < horizon)
+                            .collect(),
+                    },
+                })
+                .collect();
+            com::simulate(f.frame_type, &com_signals, horizon)
+        })
+        .collect();
+    let queued: Vec<QueuedFrame> = frames
+        .iter()
+        .zip(&com_traces)
+        .map(|(f, trace)| QueuedFrame {
+            name: f.name.clone(),
+            priority: f.priority,
+            transmission_time: f.transmission_time,
+            queued_at: trace.instances.iter().map(|i| i.queued_at).collect(),
+        })
+        .collect();
+    for (fi, f) in frames.iter().enumerate() {
+        for (si, s) in f.signals.iter().enumerate() {
+            deliveries.insert(format!("{}/{}", f.name, s.name), Vec::new());
+            overwritten.insert(
+                format!("{}/{}", f.name, s.name),
+                com_traces[fi].overwritten[si],
+            );
+        }
+        frame_worst_response.insert(f.name.clone(), Time::ZERO);
+        frame_transmissions.insert(f.name.clone(), Vec::new());
+    }
+    for tx in canbus::simulate(&queued) {
+        let f = frames[tx.frame];
+        let worst = frame_worst_response.get_mut(&f.name).expect("inserted");
+        *worst = (*worst).max(tx.response());
+        frame_transmissions
+            .get_mut(&f.name)
+            .expect("inserted")
+            .push(tx.completed_at);
+        for &(si, _written) in &com_traces[tx.frame].instances[tx.instance].fresh {
+            deliveries
+                .get_mut(&format!("{}/{}", f.name, f.signals[si].name))
+                .expect("inserted")
+                .push(tx.completed_at);
+        }
+    }
+}
+
+fn simulate_cpu(
+    tasks: &[&NetTask],
+    deliveries: &BTreeMap<String, Vec<Time>>,
+    frame_transmissions: &BTreeMap<String, Vec<Time>>,
+    horizon: Time,
+    task_completions: &mut BTreeMap<String, Vec<Time>>,
+    task_worst_response: &mut BTreeMap<String, Time>,
+) {
+    let sim_tasks: Vec<SimTask> = tasks
+        .iter()
+        .map(|t| SimTask {
+            name: t.name.clone(),
+            priority: t.priority,
+            execution_time: t.execution_time,
+            activations: match &t.activation {
+                NetActivation::Trace(trace) => {
+                    trace.iter().copied().filter(|&a| a < horizon).collect()
+                }
+                NetActivation::Delivery { frame, signal } => {
+                    deliveries[&format!("{frame}/{signal}")].clone()
+                }
+                NetActivation::FrameTransmissions(frame) => {
+                    frame_transmissions[frame].clone()
+                }
+                NetActivation::TaskCompletions(task) => task_completions[task].clone(),
+            },
+        })
+        .collect();
+    let jobs = cpu::simulate(&sim_tasks);
+    let worst = cpu::worst_responses(&sim_tasks, &jobs);
+    for (t, w) in tasks.iter().zip(worst) {
+        task_worst_response.insert(t.name.clone(), w);
+    }
+    for t in tasks {
+        task_completions.insert(t.name.clone(), Vec::new());
+    }
+    for job in &jobs {
+        task_completions
+            .get_mut(&tasks[job.task].name)
+            .expect("inserted")
+            .push(job.completed_at);
+    }
+    // Completion order may differ from activation order across tasks;
+    // each per-task list must be sorted for downstream COM input.
+    for v in task_completions.values_mut() {
+        v.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace;
+
+    fn gateway_chain() -> NetSystem {
+        NetSystem {
+            frames: vec![
+                NetFrame {
+                    name: "F_in".into(),
+                    bus: "bus0".into(),
+                    priority: Priority::new(1),
+                    transmission_time: Time::new(95),
+                    frame_type: FrameType::Direct,
+                    signals: vec![NetSignal {
+                        name: "s".into(),
+                        transfer: TransferProperty::Triggering,
+                        source: NetSource::Trace(trace::periodic(
+                            Time::new(5_000),
+                            Time::new(50_000),
+                        )),
+                    }],
+                },
+                NetFrame {
+                    name: "F_out".into(),
+                    bus: "bus1".into(),
+                    priority: Priority::new(1),
+                    transmission_time: Time::new(95),
+                    frame_type: FrameType::Direct,
+                    signals: vec![NetSignal {
+                        name: "s".into(),
+                        transfer: TransferProperty::Triggering,
+                        source: NetSource::TaskCompletions("gateway".into()),
+                    }],
+                },
+            ],
+            tasks: vec![
+                NetTask {
+                    name: "gateway".into(),
+                    cpu: "cpu_gw".into(),
+                    priority: Priority::new(1),
+                    execution_time: Time::new(120),
+                    activation: NetActivation::Delivery {
+                        frame: "F_in".into(),
+                        signal: "s".into(),
+                    },
+                },
+                NetTask {
+                    name: "receiver".into(),
+                    cpu: "cpu_rx".into(),
+                    priority: Priority::new(1),
+                    execution_time: Time::new(80),
+                    activation: NetActivation::Delivery {
+                        frame: "F_out".into(),
+                        signal: "s".into(),
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn gateway_chain_simulates_in_waves() {
+        let report = run(&gateway_chain(), Time::new(50_000));
+        // Ten writes propagate through both hops unchanged (uncontended).
+        assert_eq!(report.deliveries["F_in/s"].len(), 10);
+        assert_eq!(report.task_completions["gateway"].len(), 10);
+        assert_eq!(report.deliveries["F_out/s"].len(), 10);
+        assert_eq!(report.frame_worst_response["F_in"], Time::new(95));
+        assert_eq!(report.frame_worst_response["F_out"], Time::new(95));
+        assert_eq!(report.task_worst_response["gateway"], Time::new(120));
+        assert_eq!(report.task_worst_response["receiver"], Time::new(80));
+        // End-to-end: write 0 → F_in done 95 → gateway done 215 →
+        // F_out done 310 → receiver done 390.
+        assert_eq!(report.deliveries["F_out/s"][0], Time::new(310));
+    }
+
+    #[test]
+    fn cross_cpu_task_chain() {
+        let sys = NetSystem {
+            frames: vec![],
+            tasks: vec![
+                NetTask {
+                    name: "producer".into(),
+                    cpu: "cpu0".into(),
+                    priority: Priority::new(1),
+                    execution_time: Time::new(50),
+                    activation: NetActivation::Trace(trace::periodic(
+                        Time::new(1_000),
+                        Time::new(10_000),
+                    )),
+                },
+                NetTask {
+                    name: "consumer".into(),
+                    cpu: "cpu1".into(),
+                    priority: Priority::new(1),
+                    execution_time: Time::new(30),
+                    activation: NetActivation::TaskCompletions("producer".into()),
+                },
+            ],
+        };
+        let report = run(&sys, Time::new(10_000));
+        assert_eq!(report.task_completions["producer"].len(), 10);
+        assert_eq!(report.task_completions["consumer"].len(), 10);
+        // First chain: activation 0 → producer done 50 → consumer done 80.
+        assert_eq!(report.task_completions["consumer"][0], Time::new(80));
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn same_cpu_task_chain_rejected() {
+        let sys = NetSystem {
+            frames: vec![],
+            tasks: vec![
+                NetTask {
+                    name: "producer".into(),
+                    cpu: "cpu0".into(),
+                    priority: Priority::new(1),
+                    execution_time: Time::new(50),
+                    activation: NetActivation::Trace(trace::periodic(
+                        Time::new(1_000),
+                        Time::new(10_000),
+                    )),
+                },
+                NetTask {
+                    name: "consumer".into(),
+                    cpu: "cpu0".into(), // same CPU: unresolvable wave
+                    priority: Priority::new(2),
+                    execution_time: Time::new(30),
+                    activation: NetActivation::TaskCompletions("producer".into()),
+                },
+            ],
+        };
+        let _ = run(&sys, Time::new(10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn gateway_loop_rejected() {
+        let mut sys = gateway_chain();
+        // Make the first frame depend on the receiver: a loop.
+        sys.frames[0].signals[0].source = NetSource::TaskCompletions("receiver".into());
+        let _ = run(&sys, Time::new(10_000));
+    }
+
+    #[test]
+    fn single_hop_matches_system_harness() {
+        use crate::system::{run as run_single, SimActivation, SimCpuTask, SimFrame, SimSystem};
+        let horizon = Time::new(50_000);
+        let writes = trace::periodic(Time::new(3_000), horizon);
+        let net = NetSystem {
+            frames: vec![NetFrame {
+                name: "F".into(),
+                bus: "can".into(),
+                priority: Priority::new(1),
+                transmission_time: Time::new(75),
+                frame_type: FrameType::Direct,
+                signals: vec![NetSignal {
+                    name: "s".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: NetSource::Trace(writes.clone()),
+                }],
+            }],
+            tasks: vec![NetTask {
+                name: "rx".into(),
+                cpu: "cpu".into(),
+                priority: Priority::new(1),
+                execution_time: Time::new(200),
+                activation: NetActivation::Delivery {
+                    frame: "F".into(),
+                    signal: "s".into(),
+                },
+            }],
+        };
+        let single = SimSystem {
+            frames: vec![SimFrame {
+                name: "F".into(),
+                priority: Priority::new(1),
+                transmission_time: Time::new(75),
+                frame_type: FrameType::Direct,
+                signals: vec![ComSignal {
+                    name: "s".into(),
+                    transfer: TransferProperty::Triggering,
+                    writes,
+                }],
+            }],
+            tasks: vec![SimCpuTask {
+                name: "rx".into(),
+                priority: Priority::new(1),
+                execution_time: Time::new(200),
+                activation: SimActivation::Delivery {
+                    frame: "F".into(),
+                    signal: "s".into(),
+                },
+            }],
+        };
+        let net_report = run(&net, horizon);
+        let single_report = run_single(&single, horizon);
+        assert_eq!(
+            net_report.frame_worst_response["F"],
+            single_report.frame_worst_response["F"]
+        );
+        assert_eq!(
+            net_report.task_worst_response["rx"],
+            single_report.task_worst_response["rx"]
+        );
+        assert_eq!(net_report.deliveries["F/s"], single_report.deliveries["F/s"]);
+    }
+
+    #[test]
+    fn pending_forwarding_loses_values() {
+        // A fast gateway output rides as pending on a slow timer frame.
+        let horizon = Time::new(100_000);
+        let sys = NetSystem {
+            frames: vec![NetFrame {
+                name: "slowF".into(),
+                bus: "b".into(),
+                priority: Priority::new(1),
+                transmission_time: Time::new(50),
+                frame_type: FrameType::Periodic(Time::new(10_000)),
+                signals: vec![NetSignal {
+                    name: "v".into(),
+                    transfer: TransferProperty::Pending,
+                    source: NetSource::Trace(trace::periodic(Time::new(1_000), horizon)),
+                }],
+            }],
+            tasks: vec![],
+        };
+        let report = run(&sys, horizon);
+        // 100 writes, 10 frames: roughly 90 values overwritten.
+        assert!(report.overwritten["slowF/v"] >= 89);
+        assert_eq!(report.deliveries["slowF/v"].len(), 10);
+    }
+}

@@ -1,0 +1,167 @@
+//! Generation of admissible activation traces.
+//!
+//! Every generator produces a sorted list of event times within
+//! `[0, horizon)` that is *admissible* for the corresponding event model:
+//! all window counts and distances stay within the model's `η±`/`δ±`
+//! bounds. Tests assert this property (see `observed_within_model`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hem_event_models::{EventModel, TraceModel};
+use hem_time::Time;
+
+/// A strictly periodic trace: events at `0, P, 2P, …` below `horizon`.
+///
+/// # Panics
+///
+/// Panics if `period < 1` or `horizon < 1`.
+#[must_use]
+pub fn periodic(period: Time, horizon: Time) -> Vec<Time> {
+    assert!(period >= Time::ONE, "period must be positive");
+    assert!(horizon >= Time::ONE, "horizon must be positive");
+    let mut out = Vec::new();
+    let mut t = Time::ZERO;
+    while t < horizon {
+        out.push(t);
+        t += period;
+    }
+    out
+}
+
+/// A periodic trace with uniformly random jitter: the `i`-th event lands
+/// at `i·P + U[0, J]`, then the trace is sorted (large jitter may reorder
+/// events, which the standard event model admits).
+///
+/// # Panics
+///
+/// Panics if `period < 1`, `jitter < 0` or `horizon < 1`.
+#[must_use]
+pub fn periodic_with_jitter(period: Time, jitter: Time, horizon: Time, seed: u64) -> Vec<Time> {
+    assert!(period >= Time::ONE, "period must be positive");
+    assert!(!jitter.is_negative(), "jitter must be non-negative");
+    assert!(horizon >= Time::ONE, "horizon must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut nominal = Time::ZERO;
+    while nominal < horizon {
+        let j = if jitter.is_zero() {
+            0
+        } else {
+            rng.gen_range(0..=jitter.ticks())
+        };
+        out.push(nominal + Time::new(j));
+        nominal += period;
+    }
+    out.sort_unstable();
+    out.retain(|&t| t < horizon);
+    out
+}
+
+/// A sporadic trace: inter-arrival gaps of `dmin + Geometric`-ish random
+/// slack (up to `3·dmin` extra), respecting the minimum distance.
+///
+/// # Panics
+///
+/// Panics if `dmin < 1` or `horizon < 1`.
+#[must_use]
+pub fn sporadic(dmin: Time, horizon: Time, seed: u64) -> Vec<Time> {
+    assert!(dmin >= Time::ONE, "dmin must be positive");
+    assert!(horizon >= Time::ONE, "horizon must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = Time::new(rng.gen_range(0..dmin.ticks().max(1)));
+    while t < horizon {
+        out.push(t);
+        let slack = rng.gen_range(0..=3 * dmin.ticks());
+        t += dmin + Time::new(slack);
+    }
+    out
+}
+
+/// Checks that a trace is admissible for an event model: every window of
+/// `n` consecutive events spans at least `δ⁻(n)` and at most `δ⁺(n)`
+/// (when finite and when the trace keeps producing events; the δ⁺ check
+/// is skipped at the trace boundary where the stream may simply have been
+/// cut off by the horizon).
+///
+/// Returns the first violation as `(n, window_start_index)`.
+#[must_use]
+pub fn check_admissible(trace: &[Time], model: &dyn EventModel) -> Option<(u64, usize)> {
+    for n in 2..=trace.len() {
+        for (i, w) in trace.windows(n).enumerate() {
+            let span = w[n - 1] - w[0];
+            if span < model.delta_min(n as u64) {
+                return Some((n as u64, i));
+            }
+        }
+    }
+    None
+}
+
+/// Builds a [`TraceModel`] from a simulated delivery trace (convenience
+/// re-export for observers).
+///
+/// # Errors
+///
+/// See [`TraceModel::from_timestamps`].
+pub fn to_model(trace: &[Time]) -> Result<TraceModel, hem_event_models::ModelError> {
+    TraceModel::from_timestamps(trace.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_event_models::StandardEventModel;
+
+    #[test]
+    fn periodic_trace_is_exact() {
+        let t = periodic(Time::new(100), Time::new(450));
+        assert_eq!(t, [0, 100, 200, 300, 400].map(Time::new));
+        let m = StandardEventModel::periodic(Time::new(100)).unwrap();
+        assert_eq!(check_admissible(&t, &m), None);
+    }
+
+    #[test]
+    fn jittered_trace_is_admissible() {
+        let m = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(60)).unwrap();
+        for seed in 0..20 {
+            let t = periodic_with_jitter(Time::new(100), Time::new(60), Time::new(20_000), seed);
+            assert_eq!(check_admissible(&t, &m), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn heavy_jitter_reorders_but_stays_admissible() {
+        let m = StandardEventModel::periodic_with_jitter(Time::new(50), Time::new(400)).unwrap();
+        for seed in 0..10 {
+            let t = periodic_with_jitter(Time::new(50), Time::new(400), Time::new(10_000), seed);
+            assert!(t.windows(2).all(|w| w[0] <= w[1]), "sorted");
+            assert_eq!(check_admissible(&t, &m), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sporadic_trace_respects_dmin() {
+        let m = hem_event_models::SporadicModel::new(Time::new(70)).unwrap();
+        for seed in 0..10 {
+            let t = sporadic(Time::new(70), Time::new(50_000), seed);
+            assert!(!t.is_empty());
+            assert_eq!(check_admissible(&t, &m), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn check_admissible_detects_violation() {
+        let m = StandardEventModel::periodic(Time::new(100)).unwrap();
+        let bad = [0, 50, 200].map(Time::new);
+        assert_eq!(check_admissible(&bad, &m), Some((2, 0)));
+    }
+
+    #[test]
+    fn to_model_roundtrip() {
+        let t = periodic(Time::new(100), Time::new(1000));
+        let m = to_model(&t).unwrap();
+        assert_eq!(m.event_count(), 10);
+    }
+}

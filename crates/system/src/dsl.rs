@@ -1,0 +1,702 @@
+//! A small textual scenario language for system descriptions.
+//!
+//! Lets users describe a system in a plain text file and analyse it
+//! without writing Rust — the moral equivalent of pyCPA's loaders. The
+//! format is line-based:
+//!
+//! ```text
+//! # The paper's Fig. 2 system (scale 10).
+//! cpu cpu1
+//! bus can bit_time=1
+//!
+//! frame F1 bus=can type=direct payload=4 prio=1
+//!   signal s1 triggering periodic:2500
+//!   signal s2 triggering periodic:4500
+//!   signal s3 pending periodic:6000
+//!
+//! frame F2 bus=can type=direct payload=2 prio=2
+//!   signal s4 triggering periodic:4000
+//!
+//! task T1 cpu=cpu1 cet=240 prio=1 activation=F1/s1
+//! task T2 cpu=cpu1 cet=320 prio=2 activation=F1/s2
+//! task T3 cpu=cpu1 cet=400 prio=3 activation=F1/s3
+//! ```
+//!
+//! Grammar summary:
+//!
+//! * `cpu <name>`
+//! * `bus <name> bit_time=<ticks>`
+//! * `frame <name> bus=<bus> type=direct|periodic:<P>|mixed:<P>
+//!   payload=<bytes> [format=standard|extended] prio=<n>` followed by
+//!   indented `signal` lines:
+//!   `signal <name> triggering|pending <source>`
+//! * `task <name> cpu=<cpu> cet=<c>` (or `bcet=<c> wcet=<c>`)
+//!   `prio=<n> activation=<source>`
+//! * sources: `periodic:<P>` / `periodic:<P>:<J>` (external, with
+//!   optional jitter), `output:<task>` (a task's output stream),
+//!   `<frame>/<signal>` (a transported signal; tasks only),
+//!   `frame:<name>` (every frame arrival; tasks only)
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! Parsing yields a [`Scenario`] AST, which converts to a
+//! [`SystemSpec`] (`Scenario::to_spec`) and renders back to canonical
+//! text (`Scenario::render`) — `parse ∘ render` is the identity, so
+//! scenarios are a faithful storage format.
+
+use hem_analysis::Priority;
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_can::{CanBusConfig, FrameFormat};
+use hem_event_models::{EventModelExt, StandardEventModel};
+use hem_time::Time;
+
+use crate::spec::{ActivationSpec, FrameSpec, SignalSpec, SystemSpec, TaskSpec};
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// An event source as written in a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceDecl {
+    /// An external periodic(+jitter) source.
+    Periodic {
+        /// Period in ticks (≥ 1).
+        period: i64,
+        /// Jitter in ticks (≥ 0).
+        jitter: i64,
+    },
+    /// The output stream of a task.
+    TaskOutput(String),
+    /// A signal transported by a frame (task activations only).
+    Signal {
+        /// Transporting frame.
+        frame: String,
+        /// Signal name.
+        signal: String,
+    },
+    /// Every arrival of a frame (task activations only).
+    FrameArrivals(String),
+}
+
+/// A signal declaration inside a frame block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalDecl {
+    /// Signal name.
+    pub name: String,
+    /// Transfer property.
+    pub transfer: TransferProperty,
+    /// Write-event source.
+    pub source: SourceDecl,
+}
+
+/// A frame declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDecl {
+    /// Frame name.
+    pub name: String,
+    /// Hosting bus name.
+    pub bus: String,
+    /// Transmission rule.
+    pub frame_type: FrameType,
+    /// Payload bytes.
+    pub payload: u8,
+    /// Identifier format.
+    pub format: FrameFormat,
+    /// Arbitration priority.
+    pub prio: u32,
+    /// Packed signals.
+    pub signals: Vec<SignalDecl>,
+}
+
+/// A task declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDecl {
+    /// Task name.
+    pub name: String,
+    /// Hosting CPU name.
+    pub cpu: String,
+    /// Best-case execution time.
+    pub bcet: i64,
+    /// Worst-case execution time.
+    pub wcet: i64,
+    /// Priority on the CPU.
+    pub prio: u32,
+    /// Activation source.
+    pub activation: SourceDecl,
+}
+
+/// A bus declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusDecl {
+    /// Bus name.
+    pub name: String,
+    /// Bit time in ticks.
+    pub bit_time: i64,
+}
+
+/// A parsed scenario: the AST of a scenario file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Scenario {
+    /// Declared CPUs.
+    pub cpus: Vec<String>,
+    /// Declared buses.
+    pub buses: Vec<BusDecl>,
+    /// Declared frames (with their signals).
+    pub frames: Vec<FrameDecl>,
+    /// Declared tasks.
+    pub tasks: Vec<TaskDecl>,
+}
+
+impl Scenario {
+    /// Converts the AST into a [`SystemSpec`] ready for analysis.
+    #[must_use]
+    pub fn to_spec(&self) -> SystemSpec {
+        let mut spec = SystemSpec::new();
+        for c in &self.cpus {
+            spec = spec.cpu(c.clone());
+        }
+        for b in &self.buses {
+            spec = spec.bus(b.name.clone(), CanBusConfig::new(Time::new(b.bit_time)));
+        }
+        for f in &self.frames {
+            spec = spec.frame(FrameSpec {
+                name: f.name.clone(),
+                bus: f.bus.clone(),
+                frame_type: f.frame_type,
+                payload_bytes: f.payload,
+                format: f.format,
+                priority: Priority::new(f.prio),
+                signals: f
+                    .signals
+                    .iter()
+                    .map(|s| SignalSpec {
+                        name: s.name.clone(),
+                        transfer: s.transfer,
+                        source: s.source.to_activation(),
+                    })
+                    .collect(),
+            });
+        }
+        for t in &self.tasks {
+            spec = spec.task(TaskSpec {
+                name: t.name.clone(),
+                cpu: t.cpu.clone(),
+                bcet: Time::new(t.bcet),
+                wcet: Time::new(t.wcet),
+                priority: Priority::new(t.prio),
+                activation: t.activation.to_activation(),
+            });
+        }
+        spec
+    }
+
+    /// Renders the scenario in canonical textual form;
+    /// `parse(&s.render())` reproduces `s` exactly.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.cpus {
+            let _ = writeln!(out, "cpu {c}");
+        }
+        for b in &self.buses {
+            let _ = writeln!(out, "bus {} bit_time={}", b.name, b.bit_time);
+        }
+        for f in &self.frames {
+            let ftype = match f.frame_type {
+                FrameType::Direct => "direct".to_string(),
+                FrameType::Periodic(p) => format!("periodic:{p}"),
+                FrameType::Mixed(p) => format!("mixed:{p}"),
+            };
+            let format = match f.format {
+                FrameFormat::Standard => "standard",
+                FrameFormat::Extended => "extended",
+            };
+            let _ = writeln!(
+                out,
+                "\nframe {} bus={} type={ftype} payload={} format={format} prio={}",
+                f.name, f.bus, f.payload, f.prio
+            );
+            for s in &f.signals {
+                let transfer = match s.transfer {
+                    TransferProperty::Triggering => "triggering",
+                    TransferProperty::Pending => "pending",
+                };
+                let _ = writeln!(out, "  signal {} {transfer} {}", s.name, s.source.render());
+            }
+        }
+        if !self.tasks.is_empty() {
+            let _ = writeln!(out);
+        }
+        for t in &self.tasks {
+            let _ = writeln!(
+                out,
+                "task {} cpu={} bcet={} wcet={} prio={} activation={}",
+                t.name,
+                t.cpu,
+                t.bcet,
+                t.wcet,
+                t.prio,
+                t.activation.render()
+            );
+        }
+        out
+    }
+}
+
+impl SourceDecl {
+    fn to_activation(&self) -> ActivationSpec {
+        match self {
+            SourceDecl::Periodic { period, jitter } => ActivationSpec::External(
+                StandardEventModel::periodic_with_jitter(Time::new(*period), Time::new(*jitter))
+                    .expect("validated at parse time")
+                    .shared(),
+            ),
+            SourceDecl::TaskOutput(t) => ActivationSpec::TaskOutput(t.clone()),
+            SourceDecl::Signal { frame, signal } => ActivationSpec::Signal {
+                frame: frame.clone(),
+                signal: signal.clone(),
+            },
+            SourceDecl::FrameArrivals(f) => ActivationSpec::FrameArrivals(f.clone()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            SourceDecl::Periodic { period, jitter } => {
+                if *jitter == 0 {
+                    format!("periodic:{period}")
+                } else {
+                    format!("periodic:{period}:{jitter}")
+                }
+            }
+            SourceDecl::TaskOutput(t) => format!("output:{t}"),
+            SourceDecl::Signal { frame, signal } => format!("{frame}/{signal}"),
+            SourceDecl::FrameArrivals(f) => format!("frame:{f}"),
+        }
+    }
+}
+
+/// Parses a scenario into its AST.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] (unknown directive, malformed
+/// key=value, signal outside a frame, …). Semantic errors (dangling
+/// references, duplicate names) are left to the analysis engine's
+/// validation.
+pub fn parse_scenario(input: &str) -> Result<Scenario, ParseError> {
+    let mut scenario = Scenario::default();
+    let mut current_frame: Option<FrameDecl> = None;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let indented = line.starts_with(' ') || line.starts_with('\t');
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let directive = words.next().expect("non-empty line");
+        let rest: Vec<&str> = words.collect();
+
+        if directive == "signal" {
+            let frame = current_frame
+                .as_mut()
+                .ok_or_else(|| err(line_no, "`signal` outside a `frame` block"))?;
+            frame.signals.push(parse_signal(&rest, line_no)?);
+            continue;
+        }
+        // Any other directive ends a frame block.
+        if let Some(f) = current_frame.take() {
+            scenario.frames.push(f);
+        }
+        if indented {
+            return Err(err(line_no, format!("unexpected indented `{directive}`")));
+        }
+        match directive {
+            "cpu" => {
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "`cpu` needs a name"))?;
+                scenario.cpus.push((*name).into());
+            }
+            "bus" => {
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err(line_no, "`bus` needs a name"))?;
+                let kv = parse_kv(&rest[1..], line_no)?;
+                let bit_time = get_int(&kv, "bit_time", line_no)?;
+                if bit_time < 1 {
+                    return Err(err(line_no, "`bit_time` must be at least 1"));
+                }
+                scenario.buses.push(BusDecl {
+                    name: (*name).into(),
+                    bit_time,
+                });
+            }
+            "frame" => {
+                current_frame = Some(parse_frame(&rest, line_no)?);
+            }
+            "task" => {
+                scenario.tasks.push(parse_task(&rest, line_no)?);
+            }
+            other => {
+                return Err(err(line_no, format!("unknown directive `{other}`")));
+            }
+        }
+    }
+    if let Some(f) = current_frame.take() {
+        scenario.frames.push(f);
+    }
+    Ok(scenario)
+}
+
+/// Parses a scenario directly into a [`SystemSpec`] (convenience for
+/// callers that do not need the AST).
+///
+/// # Errors
+///
+/// See [`parse_scenario`].
+pub fn parse(input: &str) -> Result<SystemSpec, ParseError> {
+    Ok(parse_scenario(input)?.to_spec())
+}
+
+type Kv<'a> = Vec<(&'a str, &'a str)>;
+
+fn parse_kv<'a>(words: &[&'a str], line: usize) -> Result<Kv<'a>, ParseError> {
+    words
+        .iter()
+        .map(|w| {
+            w.split_once('=')
+                .ok_or_else(|| err(line, format!("expected key=value, got `{w}`")))
+        })
+        .collect()
+}
+
+fn lookup<'a>(kv: &Kv<'a>, key: &str) -> Option<&'a str> {
+    kv.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn get<'a>(kv: &Kv<'a>, key: &str, line: usize) -> Result<&'a str, ParseError> {
+    lookup(kv, key).ok_or_else(|| err(line, format!("missing `{key}=`")))
+}
+
+fn get_int(kv: &Kv<'_>, key: &str, line: usize) -> Result<i64, ParseError> {
+    get(kv, key, line)?
+        .parse()
+        .map_err(|_| err(line, format!("`{key}` must be an integer")))
+}
+
+fn parse_frame(rest: &[&str], line: usize) -> Result<FrameDecl, ParseError> {
+    let name = rest
+        .first()
+        .ok_or_else(|| err(line, "`frame` needs a name"))?;
+    let kv = parse_kv(&rest[1..], line)?;
+    let frame_type = match get(&kv, "type", line)? {
+        "direct" => FrameType::Direct,
+        t if t.starts_with("periodic:") => FrameType::Periodic(parse_time_suffix(t, line)?),
+        t if t.starts_with("mixed:") => FrameType::Mixed(parse_time_suffix(t, line)?),
+        other => {
+            return Err(err(
+                line,
+                format!("frame type must be direct, periodic:<P> or mixed:<P>, got `{other}`"),
+            ));
+        }
+    };
+    let format = match lookup(&kv, "format") {
+        None | Some("standard") => FrameFormat::Standard,
+        Some("extended") => FrameFormat::Extended,
+        Some(other) => {
+            return Err(err(line, format!("unknown frame format `{other}`")));
+        }
+    };
+    let payload = get_int(&kv, "payload", line)?;
+    let payload =
+        u8::try_from(payload).map_err(|_| err(line, "payload must fit into a byte count"))?;
+    let prio = get_int(&kv, "prio", line)?;
+    Ok(FrameDecl {
+        name: (*name).into(),
+        bus: get(&kv, "bus", line)?.into(),
+        frame_type,
+        payload,
+        format,
+        prio: u32::try_from(prio).map_err(|_| err(line, "prio must be non-negative"))?,
+        signals: Vec::new(),
+    })
+}
+
+fn parse_time_suffix(word: &str, line: usize) -> Result<Time, ParseError> {
+    let (_, v) = word.split_once(':').expect("caller checked prefix");
+    let v: i64 = v
+        .parse()
+        .map_err(|_| err(line, format!("expected an integer after `:` in `{word}`")))?;
+    if v < 1 {
+        return Err(err(line, "frame timer period must be at least 1"));
+    }
+    Ok(Time::new(v))
+}
+
+fn parse_signal(rest: &[&str], line: usize) -> Result<SignalDecl, ParseError> {
+    let name = rest
+        .first()
+        .ok_or_else(|| err(line, "`signal` needs a name"))?;
+    let transfer = match rest.get(1) {
+        Some(&"triggering") => TransferProperty::Triggering,
+        Some(&"pending") => TransferProperty::Pending,
+        other => {
+            return Err(err(
+                line,
+                format!("signal needs `triggering` or `pending`, got {other:?}"),
+            ));
+        }
+    };
+    let source = parse_source(&rest[2..], line, false)?;
+    Ok(SignalDecl {
+        name: (*name).into(),
+        transfer,
+        source,
+    })
+}
+
+fn parse_task(rest: &[&str], line: usize) -> Result<TaskDecl, ParseError> {
+    let name = rest
+        .first()
+        .ok_or_else(|| err(line, "`task` needs a name"))?;
+    let kv = parse_kv(&rest[1..], line)?;
+    let (bcet, wcet) = if let Some(c) = lookup(&kv, "cet") {
+        let c: i64 = c
+            .parse()
+            .map_err(|_| err(line, "`cet` must be an integer"))?;
+        (c, c)
+    } else {
+        (
+            get_int(&kv, "bcet", line)?,
+            get_int(&kv, "wcet", line)?,
+        )
+    };
+    if wcet < 1 || bcet < 0 || bcet > wcet {
+        return Err(err(line, "need 0 ≤ bcet ≤ wcet and wcet ≥ 1"));
+    }
+    let activation_word = get(&kv, "activation", line)?;
+    let activation = parse_source(&[activation_word], line, true)?;
+    let prio = get_int(&kv, "prio", line)?;
+    Ok(TaskDecl {
+        name: (*name).into(),
+        cpu: get(&kv, "cpu", line)?.into(),
+        bcet,
+        wcet,
+        prio: u32::try_from(prio).map_err(|_| err(line, "prio must be non-negative"))?,
+        activation,
+    })
+}
+
+/// Parses a source: `periodic=P [jitter=J]`, `output:<task>`,
+/// `frame:<name>` (tasks only) or `<frame>/<signal>` (tasks only).
+fn parse_source(
+    words: &[&str],
+    line: usize,
+    allow_transport: bool,
+) -> Result<SourceDecl, ParseError> {
+    let first = words
+        .first()
+        .ok_or_else(|| err(line, "missing event source"))?;
+    if let Some(task) = first.strip_prefix("output:") {
+        return Ok(SourceDecl::TaskOutput(task.into()));
+    }
+    if let Some(frame) = first.strip_prefix("frame:") {
+        if !allow_transport {
+            return Err(err(line, "a signal cannot be sourced from a frame"));
+        }
+        return Ok(SourceDecl::FrameArrivals(frame.into()));
+    }
+    if let Some(params) = first.strip_prefix("periodic:") {
+        let mut parts = params.split(':');
+        let period: i64 = parts
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| err(line, "`periodic:` needs an integer period"))?;
+        let jitter: i64 = match parts.next() {
+            Some(j) => j
+                .parse()
+                .map_err(|_| err(line, "jitter after `periodic:<P>:` must be an integer"))?,
+            None => 0,
+        };
+        if parts.next().is_some() {
+            return Err(err(line, "too many `:` components in periodic source"));
+        }
+        if period < 1 || jitter < 0 {
+            return Err(err(line, "need period ≥ 1 and jitter ≥ 0"));
+        }
+        return Ok(SourceDecl::Periodic { period, jitter });
+    }
+    if let Some((frame, signal)) = first.split_once('/') {
+        if !allow_transport {
+            return Err(err(line, "a signal cannot be sourced from a frame"));
+        }
+        return Ok(SourceDecl::Signal {
+            frame: frame.into(),
+            signal: signal.into(),
+        });
+    }
+    Err(err(
+        line,
+        format!(
+            "unrecognized event source `{first}` (expected periodic:, output:, frame:, or frame/signal)"
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze;
+    use crate::result::SystemConfig;
+    use crate::spec::AnalysisMode;
+
+    const PAPER: &str = r"
+# The paper's Fig. 2 system, scale 10.
+cpu cpu1
+bus can bit_time=1
+
+frame F1 bus=can type=direct payload=4 prio=1
+  signal s1 triggering periodic:2500
+  signal s2 triggering periodic:4500
+  signal s3 pending periodic:6000
+
+frame F2 bus=can type=direct payload=2 prio=2
+  signal s4 triggering periodic:4000
+
+task T1 cpu=cpu1 cet=240 prio=1 activation=F1/s1
+task T2 cpu=cpu1 cet=320 prio=2 activation=F1/s2
+task T3 cpu=cpu1 cet=400 prio=3 activation=F1/s3
+";
+
+    #[test]
+    fn parses_and_reproduces_table3() {
+        let spec = parse(PAPER).unwrap();
+        assert_eq!(spec.cpus.len(), 1);
+        assert_eq!(spec.buses.len(), 1);
+        assert_eq!(spec.frames.len(), 2);
+        assert_eq!(spec.frames[0].signals.len(), 3);
+        assert_eq!(spec.tasks.len(), 3);
+        let hier = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        // The golden Table 3 HEM numbers.
+        assert_eq!(hier.task("T1").unwrap().response.r_plus, Time::new(240));
+        assert_eq!(hier.task("T2").unwrap().response.r_plus, Time::new(560));
+        assert_eq!(hier.task("T3").unwrap().response.r_plus, Time::new(960));
+    }
+
+    #[test]
+    fn parses_all_source_forms() {
+        let text = r"
+cpu c
+bus b bit_time=2
+
+frame F bus=b type=mixed:5000 payload=8 format=extended prio=1
+  signal s triggering periodic:1000:50
+  signal fwd pending output:producer
+
+task producer cpu=c bcet=10 wcet=20 prio=1 activation=periodic:700
+task rx cpu=c cet=30 prio=2 activation=F/s
+task all cpu=c cet=5 prio=3 activation=frame:F
+";
+        let scenario = parse_scenario(text).unwrap();
+        assert_eq!(scenario.frames[0].frame_type, FrameType::Mixed(Time::new(5000)));
+        assert_eq!(scenario.frames[0].format, FrameFormat::Extended);
+        assert_eq!(
+            scenario.frames[0].signals[1].source,
+            SourceDecl::TaskOutput("producer".into())
+        );
+        assert_eq!(
+            scenario.tasks[1].activation,
+            SourceDecl::Signal {
+                frame: "F".into(),
+                signal: "s".into()
+            }
+        );
+        assert_eq!(
+            scenario.tasks[2].activation,
+            SourceDecl::FrameArrivals("F".into())
+        );
+        assert_eq!(scenario.tasks[0].bcet, 10);
+        assert_eq!(scenario.tasks[0].wcet, 20);
+        // The whole thing analyses.
+        analyze(&scenario.to_spec(), &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let scenario = parse_scenario(PAPER).unwrap();
+        let rendered = scenario.render();
+        let reparsed = parse_scenario(&rendered).unwrap();
+        assert_eq!(scenario, reparsed);
+        // And twice-rendered text is stable.
+        assert_eq!(rendered, reparsed.render());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("cpu a\nwhatever x").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown directive"));
+
+        let e = parse("  signal s triggering periodic:10").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("outside a `frame`"));
+
+        let e = parse("bus b").unwrap_err();
+        assert!(e.message.contains("bit_time"));
+
+        let e = parse("frame F bus=b type=direct payload=4 prio=1\n  signal s triggering nope=1")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = parse("task t cpu=c cet=1 prio=1 activation=gibberish").unwrap_err();
+        assert!(e.message.contains("unrecognized event source"));
+
+        let e = parse("task t cpu=c bcet=5 wcet=3 prio=1 activation=periodic:10").unwrap_err();
+        assert!(e.message.contains("bcet ≤ wcet"));
+
+        let e = parse("task t cpu=c cet=1 prio=1 activation=periodic:0").unwrap_err();
+        assert!(e.message.contains("period ≥ 1"));
+    }
+
+    #[test]
+    fn signals_cannot_source_from_frames() {
+        let e = parse(
+            "frame F bus=b type=direct payload=1 prio=1\n  signal s triggering frame:F",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("cannot be sourced from a frame"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse("# hello\n\ncpu a # trailing\n").unwrap();
+        assert_eq!(spec.cpus.len(), 1);
+        assert_eq!(spec.cpus[0].name, "a");
+    }
+}

@@ -1,0 +1,888 @@
+//! The global fixed-point iteration engine.
+//!
+//! Implements the compositional methodology described in §1 of the
+//! paper: in each global iteration, local analysis is performed for each
+//! component to derive response times and output event streams, which
+//! are then propagated to connected components for the next iteration,
+//! until the response times stop changing.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use hem_analysis::{spp, AnalysisTask, ResponseTime, TaskResult};
+use hem_autosar_com::{ComFrame, Signal};
+use hem_can::{BusFrame, CanFrameConfig};
+use hem_core::HierarchicalEventModel;
+use hem_event_models::ops::OutputModel;
+use hem_event_models::{approx, CachedModel, EventModelExt, ModelRef};
+use hem_time::Time;
+
+use crate::result::{signal_key, SystemConfig, SystemResults};
+use crate::spec::{ActivationSpec, AnalysisMode, FrameSpec, SystemSpec, TaskSpec};
+use crate::SystemError;
+
+/// Runs the global compositional analysis of a system.
+///
+/// Iterates local analyses and output-stream propagation until all
+/// response times reach a fixed point, then returns the per-task and
+/// per-frame results together with the final event models.
+///
+/// # Errors
+///
+/// * [`SystemError::Duplicate`] / [`SystemError::UnknownReference`] /
+///   [`SystemError::UnsupportedSpec`] for malformed descriptions,
+/// * [`SystemError::DependencyCycle`] for unresolvable activation cycles,
+/// * [`SystemError::Analysis`] when a local analysis diverges,
+/// * [`SystemError::NoGlobalConvergence`] when response times keep
+///   growing (the system is not schedulable).
+pub fn analyze(spec: &SystemSpec, config: &SystemConfig) -> Result<SystemResults, SystemError> {
+    validate(spec)?;
+    let mut task_rt: BTreeMap<String, ResponseTime> = BTreeMap::new();
+    let mut frame_rt: BTreeMap<String, ResponseTime> = BTreeMap::new();
+
+    for iteration in 1..=config.max_global_iterations {
+        let mut resolver = Resolver::new(spec, config, &task_rt);
+
+        // Bus analyses (lazily triggered per frame).
+        let mut new_frame_results: BTreeMap<String, TaskResult> = BTreeMap::new();
+        for frame in &spec.frames {
+            let result = resolver.frame_result(&frame.name)?;
+            new_frame_results.insert(frame.name.clone(), result);
+        }
+
+        // CPU analyses.
+        let mut new_task_results: BTreeMap<String, TaskResult> = BTreeMap::new();
+        for cpu in &spec.cpus {
+            let on_cpu: Vec<&TaskSpec> =
+                spec.tasks.iter().filter(|t| t.cpu == cpu.name).collect();
+            let analysis_tasks: Vec<AnalysisTask> = on_cpu
+                .iter()
+                .map(|t| {
+                    let input = resolver.task_activation(&t.name)?;
+                    Ok(AnalysisTask::new(
+                        t.name.clone(),
+                        t.bcet,
+                        t.wcet,
+                        t.priority,
+                        input,
+                    ))
+                })
+                .collect::<Result<_, SystemError>>()?;
+            for result in spp::analyze(&analysis_tasks, &config.local)? {
+                new_task_results.insert(result.name.clone(), result);
+            }
+        }
+
+        let new_task_rt: BTreeMap<String, ResponseTime> = new_task_results
+            .iter()
+            .map(|(k, v)| (k.clone(), v.response))
+            .collect();
+        let new_frame_rt: BTreeMap<String, ResponseTime> = new_frame_results
+            .iter()
+            .map(|(k, v)| (k.clone(), v.response))
+            .collect();
+
+        if new_task_rt == task_rt && new_frame_rt == frame_rt {
+            // Fixed point: assemble results from the final resolver state.
+            let mut task_activations = BTreeMap::new();
+            for t in &spec.tasks {
+                task_activations.insert(t.name.clone(), resolver.task_activation(&t.name)?);
+            }
+            let mut frame_inputs = BTreeMap::new();
+            let mut frame_outputs = BTreeMap::new();
+            let mut unpacked_signals = BTreeMap::new();
+            for f in &spec.frames {
+                frame_inputs.insert(f.name.clone(), resolver.analysis_outer(&f.name)?);
+                frame_outputs.insert(f.name.clone(), resolver.frame_output(&f.name)?);
+                if config.mode == AnalysisMode::Hierarchical {
+                    let processed = resolver.processed_hem(&f.name)?;
+                    for s in &f.signals {
+                        if let Some(m) = processed.unpack_by_name(&s.name) {
+                            unpacked_signals.insert(signal_key(&f.name, &s.name), m);
+                        }
+                    }
+                }
+            }
+            return Ok(SystemResults {
+                mode: config.mode,
+                iterations: iteration,
+                task_results: new_task_results,
+                frame_results: new_frame_results,
+                task_activations,
+                frame_inputs,
+                frame_outputs,
+                unpacked_signals,
+            });
+        }
+        task_rt = new_task_rt;
+        frame_rt = new_frame_rt;
+    }
+    Err(SystemError::NoGlobalConvergence {
+        iterations: config.max_global_iterations,
+    })
+}
+
+/// Per-iteration lazy evaluator with memoization and cycle detection.
+struct Resolver<'a> {
+    spec: &'a SystemSpec,
+    config: &'a SystemConfig,
+    prev_task_rt: &'a BTreeMap<String, ResponseTime>,
+    tasks: HashMap<&'a str, &'a TaskSpec>,
+    frames: HashMap<&'a str, &'a FrameSpec>,
+    task_activation: HashMap<String, ModelRef>,
+    packed: HashMap<String, HierarchicalEventModel>,
+    analysis_outer: HashMap<String, ModelRef>,
+    processed: HashMap<String, HierarchicalEventModel>,
+    bus_results: HashMap<String, BTreeMap<String, TaskResult>>,
+    visiting: HashSet<String>,
+}
+
+impl<'a> Resolver<'a> {
+    fn new(
+        spec: &'a SystemSpec,
+        config: &'a SystemConfig,
+        prev_task_rt: &'a BTreeMap<String, ResponseTime>,
+    ) -> Self {
+        Resolver {
+            spec,
+            config,
+            prev_task_rt,
+            tasks: spec.tasks.iter().map(|t| (t.name.as_str(), t)).collect(),
+            frames: spec.frames.iter().map(|f| (f.name.as_str(), f)).collect(),
+            task_activation: HashMap::new(),
+            packed: HashMap::new(),
+            analysis_outer: HashMap::new(),
+            processed: HashMap::new(),
+            bus_results: HashMap::new(),
+            visiting: HashSet::new(),
+        }
+    }
+
+    /// The frame-activation stream as the bus analysis sees it: the
+    /// packed outer stream, SEM-fitted under [`AnalysisMode::FlatSem`].
+    fn analysis_outer(&mut self, name: &str) -> Result<ModelRef, SystemError> {
+        if let Some(m) = self.analysis_outer.get(name) {
+            return Ok(m.clone());
+        }
+        let outer = self.packed_hem(name)?.flatten();
+        let model = match self.config.mode {
+            // Busy-window iterations hammer the same η⁺/δ⁻ queries on the
+            // lazy OR-join: memoize.
+            AnalysisMode::Flat | AnalysisMode::Hierarchical => {
+                CachedModel::new(outer).shared()
+            }
+            AnalysisMode::FlatSem => {
+                approx::sem_approximation(outer.as_ref(), self.config.sem_fit_horizon)?.shared()
+            }
+        };
+        self.analysis_outer.insert(name.to_string(), model.clone());
+        Ok(model)
+    }
+
+    fn prev_rt(&self, task: &str) -> ResponseTime {
+        self.prev_task_rt
+            .get(task)
+            .copied()
+            .unwrap_or(ResponseTime::new(Time::ZERO, Time::ZERO))
+    }
+
+    fn enter(&mut self, key: String) -> Result<String, SystemError> {
+        if !self.visiting.insert(key.clone()) {
+            return Err(SystemError::DependencyCycle {
+                name: key.split_once(':').map(|(_, n)| n.to_string()).unwrap_or(key),
+            });
+        }
+        Ok(key)
+    }
+
+    fn resolve_source(&mut self, source: &ActivationSpec) -> Result<ModelRef, SystemError> {
+        match source {
+            ActivationSpec::External(model) => Ok(model.clone()),
+            ActivationSpec::TaskOutput(task) => {
+                let input = self.task_activation(task)?;
+                let rt = self.prev_rt(task);
+                Ok(OutputModel::new(input, rt.r_minus, rt.r_plus)?.shared())
+            }
+            ActivationSpec::Signal { frame, signal } => match self.config.mode {
+                AnalysisMode::Hierarchical => {
+                    let processed = self.processed_hem(frame)?;
+                    let unpacked = processed.unpack_by_name(signal).ok_or_else(|| {
+                        SystemError::UnknownReference {
+                            kind: "signal",
+                            name: signal_key(frame, signal),
+                        }
+                    })?;
+                    Ok(if self.config.tighten_inner {
+                        hem_event_models::ops::AdditiveClosure::new(unpacked).shared()
+                    } else {
+                        unpacked
+                    })
+                }
+                AnalysisMode::Flat | AnalysisMode::FlatSem => self.frame_output(frame),
+            },
+            ActivationSpec::FrameArrivals(frame) => self.frame_output(frame),
+            ActivationSpec::AnyOf(sources) => {
+                let models = sources
+                    .iter()
+                    .map(|s| self.resolve_source(s))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(hem_event_models::ops::OrJoin::new(models)?.shared())
+            }
+            ActivationSpec::AllOf(sources) => {
+                let models = sources
+                    .iter()
+                    .map(|s| self.resolve_source(s))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(hem_event_models::ops::AndJoin::new(models)?.shared())
+            }
+        }
+    }
+
+    fn task_activation(&mut self, name: &str) -> Result<ModelRef, SystemError> {
+        if let Some(m) = self.task_activation.get(name) {
+            return Ok(m.clone());
+        }
+        let task = *self.tasks.get(name).ok_or(SystemError::UnknownReference {
+            kind: "task",
+            name: name.to_string(),
+        })?;
+        let key = self.enter(format!("task:{name}"))?;
+        let activation = task.activation.clone();
+        // Memoized: CPU busy windows evaluate the activation stream many
+        // times per fixed-point iteration.
+        let model = CachedModel::new(self.resolve_source(&activation)?).shared();
+        self.visiting.remove(&key);
+        self.task_activation.insert(name.to_string(), model.clone());
+        Ok(model)
+    }
+
+    fn packed_hem(&mut self, name: &str) -> Result<HierarchicalEventModel, SystemError> {
+        if let Some(h) = self.packed.get(name) {
+            return Ok(h.clone());
+        }
+        let frame = *self.frames.get(name).ok_or(SystemError::UnknownReference {
+            kind: "frame",
+            name: name.to_string(),
+        })?;
+        let key = self.enter(format!("frame:{name}"))?;
+        let mut signals = Vec::with_capacity(frame.signals.len());
+        for s in &frame.signals {
+            let model = self.resolve_source(&s.source)?;
+            signals.push(Signal::new(s.name.clone(), model, s.transfer));
+        }
+        let com = ComFrame::new(
+            frame.name.clone(),
+            frame.frame_type,
+            frame.payload_bytes,
+            signals,
+        )?;
+        let hem = com.packed()?;
+        self.visiting.remove(&key);
+        self.packed.insert(name.to_string(), hem.clone());
+        Ok(hem)
+    }
+
+    fn frame_result(&mut self, name: &str) -> Result<TaskResult, SystemError> {
+        let frame = *self.frames.get(name).ok_or(SystemError::UnknownReference {
+            kind: "frame",
+            name: name.to_string(),
+        })?;
+        if !self.bus_results.contains_key(&frame.bus) {
+            let bus_spec = self
+                .spec
+                .buses
+                .iter()
+                .find(|b| b.name == frame.bus)
+                .ok_or_else(|| SystemError::UnknownReference {
+                    kind: "bus",
+                    name: frame.bus.clone(),
+                })?;
+            let on_bus: Vec<&FrameSpec> = self
+                .spec
+                .frames
+                .iter()
+                .filter(|f| f.bus == frame.bus)
+                .collect();
+            let mut bus_frames = Vec::with_capacity(on_bus.len());
+            for f in &on_bus {
+                let outer = self.analysis_outer(&f.name)?;
+                bus_frames.push(BusFrame::new(
+                    f.name.clone(),
+                    CanFrameConfig::new(f.format, f.payload_bytes)?,
+                    f.priority,
+                    outer,
+                ));
+            }
+            let results = hem_can::bus::analyze(&bus_frames, &bus_spec.config, &self.config.local)?;
+            let map: BTreeMap<String, TaskResult> = results
+                .into_iter()
+                .map(|r| (r.name.clone(), r))
+                .collect();
+            self.bus_results.insert(frame.bus.clone(), map);
+        }
+        Ok(self.bus_results[&frame.bus][name].clone())
+    }
+
+    fn processed_hem(&mut self, name: &str) -> Result<HierarchicalEventModel, SystemError> {
+        if let Some(h) = self.processed.get(name) {
+            return Ok(h.clone());
+        }
+        let rt = self.frame_result(name)?.response;
+        let hem = self.packed_hem(name)?;
+        let processed = hem.process(rt.r_minus, rt.r_plus)?;
+        self.processed.insert(name.to_string(), processed.clone());
+        Ok(processed)
+    }
+
+    fn frame_output(&mut self, name: &str) -> Result<ModelRef, SystemError> {
+        match self.config.mode {
+            AnalysisMode::Flat | AnalysisMode::Hierarchical => {
+                Ok(self.processed_hem(name)?.flatten())
+            }
+            AnalysisMode::FlatSem => {
+                // Propagate the SEM-fitted outer stream through the bus.
+                let rt = self.frame_result(name)?.response;
+                let outer = self.analysis_outer(name)?;
+                Ok(OutputModel::new(outer, rt.r_minus, rt.r_plus)?.shared())
+            }
+        }
+    }
+}
+
+fn validate(spec: &SystemSpec) -> Result<(), SystemError> {
+    fn check_unique<'n>(
+        kind: &'static str,
+        names: impl Iterator<Item = &'n str>,
+    ) -> Result<(), SystemError> {
+        let mut seen = HashSet::new();
+        for n in names {
+            if !seen.insert(n) {
+                return Err(SystemError::Duplicate {
+                    kind,
+                    name: n.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+    check_unique("cpu", spec.cpus.iter().map(|c| c.name.as_str()))?;
+    check_unique("bus", spec.buses.iter().map(|b| b.name.as_str()))?;
+    check_unique("task", spec.tasks.iter().map(|t| t.name.as_str()))?;
+    check_unique("frame", spec.frames.iter().map(|f| f.name.as_str()))?;
+
+    let cpus: HashSet<&str> = spec.cpus.iter().map(|c| c.name.as_str()).collect();
+    let buses: HashSet<&str> = spec.buses.iter().map(|b| b.name.as_str()).collect();
+    let tasks: HashSet<&str> = spec.tasks.iter().map(|t| t.name.as_str()).collect();
+    let frames: HashMap<&str, &FrameSpec> =
+        spec.frames.iter().map(|f| (f.name.as_str(), f)).collect();
+
+    fn check_ref_impl(
+        source: &ActivationSpec,
+        tasks: &HashSet<&str>,
+        frames: &HashMap<&str, &FrameSpec>,
+    ) -> Result<(), SystemError> {
+        match source {
+            ActivationSpec::External(_) => Ok(()),
+            ActivationSpec::TaskOutput(t) => {
+                if tasks.contains(t.as_str()) {
+                    Ok(())
+                } else {
+                    Err(SystemError::UnknownReference {
+                        kind: "task",
+                        name: t.clone(),
+                    })
+                }
+            }
+            ActivationSpec::Signal { frame, signal } => {
+                let f = frames.get(frame.as_str()).ok_or_else(|| {
+                    SystemError::UnknownReference {
+                        kind: "frame",
+                        name: frame.clone(),
+                    }
+                })?;
+                if f.signals.iter().any(|s| &s.name == signal) {
+                    Ok(())
+                } else {
+                    Err(SystemError::UnknownReference {
+                        kind: "signal",
+                        name: signal_key(frame, signal),
+                    })
+                }
+            }
+            ActivationSpec::FrameArrivals(frame) => {
+                if frames.contains_key(frame.as_str()) {
+                    Ok(())
+                } else {
+                    Err(SystemError::UnknownReference {
+                        kind: "frame",
+                        name: frame.clone(),
+                    })
+                }
+            }
+            ActivationSpec::AnyOf(sources) | ActivationSpec::AllOf(sources) => {
+                if sources.is_empty() {
+                    return Err(SystemError::UnsupportedSpec(
+                        "composite activation with no sources".into(),
+                    ));
+                }
+                sources
+                    .iter()
+                    .try_for_each(|s| check_ref_impl(s, tasks, frames))
+            }
+        }
+    }
+    let check_ref =
+        |source: &ActivationSpec| -> Result<(), SystemError> { check_ref_impl(source, &tasks, &frames) };
+
+    for t in &spec.tasks {
+        if !cpus.contains(t.cpu.as_str()) {
+            return Err(SystemError::UnknownReference {
+                kind: "cpu",
+                name: t.cpu.clone(),
+            });
+        }
+        check_ref(&t.activation)?;
+    }
+    for f in &spec.frames {
+        if !buses.contains(f.bus.as_str()) {
+            return Err(SystemError::UnknownReference {
+                kind: "bus",
+                name: f.bus.clone(),
+            });
+        }
+        // Frames must not be packed from other frames directly: route such
+        // gateway traffic through a task.
+        fn check_signal_source(
+            source: &ActivationSpec,
+            signal: &str,
+            frame: &str,
+            tasks: &HashSet<&str>,
+        ) -> Result<(), SystemError> {
+            match source {
+                ActivationSpec::External(_) => Ok(()),
+                ActivationSpec::TaskOutput(t) => {
+                    if tasks.contains(t.as_str()) {
+                        Ok(())
+                    } else {
+                        Err(SystemError::UnknownReference {
+                            kind: "task",
+                            name: t.clone(),
+                        })
+                    }
+                }
+                ActivationSpec::Signal { .. } | ActivationSpec::FrameArrivals(_) => {
+                    Err(SystemError::UnsupportedSpec(format!(
+                        "signal `{signal}` of frame `{frame}` is sourced from a frame; \
+                         route it through a gateway task"
+                    )))
+                }
+                ActivationSpec::AnyOf(sources) | ActivationSpec::AllOf(sources) => sources
+                    .iter()
+                    .try_for_each(|s| check_signal_source(s, signal, frame, tasks)),
+            }
+        }
+        for s in &f.signals {
+            check_signal_source(&s.source, &s.name, &f.name, &tasks)?;
+        }
+        // Eagerly validate the wire format.
+        CanFrameConfig::new(f.format, f.payload_bytes)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_analysis::Priority;
+    use hem_autosar_com::{FrameType, TransferProperty};
+    use hem_can::{CanBusConfig, FrameFormat};
+    use hem_event_models::{EventModel, StandardEventModel};
+    use crate::spec::{SignalSpec, SystemSpec, TaskSpec};
+
+    fn periodic(p: i64) -> ModelRef {
+        StandardEventModel::periodic(Time::new(p)).unwrap().shared()
+    }
+
+    fn simple_task(name: &str, cpu: &str, cet: i64, prio: u32, act: ActivationSpec) -> TaskSpec {
+        TaskSpec {
+            name: name.into(),
+            cpu: cpu.into(),
+            bcet: Time::new(cet),
+            wcet: Time::new(cet),
+            priority: Priority::new(prio),
+            activation: act,
+        }
+    }
+
+    /// A minimal distributed system: one source → frame → bus → task.
+    fn mini_system() -> SystemSpec {
+        SystemSpec::new()
+            .cpu("cpu0")
+            .bus("can0", CanBusConfig::new(Time::new(1)))
+            .frame(FrameSpec {
+                name: "F".into(),
+                bus: "can0".into(),
+                frame_type: FrameType::Direct,
+                payload_bytes: 4,
+                format: FrameFormat::Standard,
+                priority: Priority::new(1),
+                signals: vec![SignalSpec {
+                    name: "s".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: ActivationSpec::External(periodic(500)),
+                }],
+            })
+            .task(simple_task(
+                "rx",
+                "cpu0",
+                30,
+                1,
+                ActivationSpec::Signal {
+                    frame: "F".into(),
+                    signal: "s".into(),
+                },
+            ))
+    }
+
+    #[test]
+    fn mini_system_converges() {
+        let r = analyze(&mini_system(), &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        // Frame: sole frame on the bus, 95 bits, no blocking.
+        assert_eq!(r.frame("F").unwrap().response.r_plus, Time::new(95));
+        assert_eq!(r.frame("F").unwrap().response.r_minus, Time::new(79));
+        // Task: single task on the CPU.
+        assert_eq!(r.task("rx").unwrap().response.r_plus, Time::new(30));
+        assert!(r.iterations() >= 2);
+        // The unpacked signal reflects bus jitter: 500 − (95 − 79) = 484.
+        let s = r.unpacked_signal("F", "s").unwrap();
+        assert_eq!(s.delta_min(2), Time::new(484));
+        // Frame output accessor present.
+        assert!(r.frame_output("F").is_some());
+        assert!(r.task_activation("rx").is_some());
+        assert_eq!(r.mode(), AnalysisMode::Hierarchical);
+    }
+
+    #[test]
+    fn flat_mode_uses_frame_arrivals() {
+        let spec = SystemSpec::new()
+            .cpu("cpu0")
+            .bus("can0", CanBusConfig::new(Time::new(1)))
+            .frame(FrameSpec {
+                name: "F".into(),
+                bus: "can0".into(),
+                frame_type: FrameType::Direct,
+                payload_bytes: 4,
+                format: FrameFormat::Standard,
+                priority: Priority::new(1),
+                signals: vec![
+                    SignalSpec {
+                        name: "a".into(),
+                        transfer: TransferProperty::Triggering,
+                        source: ActivationSpec::External(periodic(500)),
+                    },
+                    SignalSpec {
+                        name: "b".into(),
+                        transfer: TransferProperty::Triggering,
+                        source: ActivationSpec::External(periodic(700)),
+                    },
+                ],
+            })
+            .task(simple_task(
+                "rx_a",
+                "cpu0",
+                30,
+                1,
+                ActivationSpec::Signal {
+                    frame: "F".into(),
+                    signal: "a".into(),
+                },
+            ));
+        let flat = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).unwrap();
+        let hier = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        // Under flat analysis rx_a sees both a- and b-triggered frames.
+        let flat_act = flat.task_activation("rx_a").unwrap();
+        let hier_act = hier.task_activation("rx_a").unwrap();
+        assert!(flat_act.eta_plus(Time::new(3000)) > hier_act.eta_plus(Time::new(3000)));
+        // No unpacked signals stored in flat mode.
+        assert!(flat.unpacked_signal("F", "a").is_none());
+    }
+
+    #[test]
+    fn flatsem_is_most_pessimistic_mode() {
+        // Two triggering signals of incommensurate periods: the SEM fit
+        // of the frame stream must over-approximate, ordering the three
+        // modes Hierarchical ≤ Flat ≤ FlatSem for the receiver.
+        let spec = SystemSpec::new()
+            .cpu("cpu0")
+            .bus("can0", CanBusConfig::new(Time::new(1)))
+            .frame(FrameSpec {
+                name: "F".into(),
+                bus: "can0".into(),
+                frame_type: FrameType::Direct,
+                payload_bytes: 4,
+                format: FrameFormat::Standard,
+                priority: Priority::new(1),
+                signals: vec![
+                    SignalSpec {
+                        name: "a".into(),
+                        transfer: TransferProperty::Triggering,
+                        source: ActivationSpec::External(periodic(2500)),
+                    },
+                    SignalSpec {
+                        name: "b".into(),
+                        transfer: TransferProperty::Triggering,
+                        source: ActivationSpec::External(periodic(4500)),
+                    },
+                ],
+            })
+            .task(simple_task(
+                "rx",
+                "cpu0",
+                300,
+                1,
+                ActivationSpec::Signal {
+                    frame: "F".into(),
+                    signal: "a".into(),
+                },
+            ))
+            .task(simple_task(
+                "bg",
+                "cpu0",
+                400,
+                2,
+                ActivationSpec::External(periodic(3000)),
+            ));
+        let r = |mode: AnalysisMode| {
+            analyze(&spec, &SystemConfig::new(mode))
+                .expect("converges")
+                .task("bg")
+                .expect("present")
+                .response
+                .r_plus
+        };
+        let hier = r(AnalysisMode::Hierarchical);
+        let flat = r(AnalysisMode::Flat);
+        let flatsem = r(AnalysisMode::FlatSem);
+        assert!(hier <= flat, "hier {hier} ≤ flat {flat}");
+        assert!(flat <= flatsem, "flat {flat} ≤ flatsem {flatsem}");
+    }
+
+    #[test]
+    fn flatsem_stores_no_unpacked_signals_and_sem_outputs() {
+        let spec = mini_system();
+        let r = analyze(&spec, &SystemConfig::new(AnalysisMode::FlatSem)).expect("converges");
+        assert!(r.unpacked_signal("F", "s").is_none());
+        // Frame activation and output exist and behave like streams.
+        let act = r.frame_activation("F").expect("stored");
+        let out = r.frame_output("F").expect("stored");
+        assert!(act.delta_min(2) > Time::ZERO);
+        assert!(out.delta_min(2) <= act.delta_min(2));
+    }
+
+    #[test]
+    fn tighten_inner_never_loosens() {
+        let spec = mini_system();
+        let plain = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        let tight = analyze(
+            &spec,
+            &SystemConfig {
+                tighten_inner: true,
+                ..SystemConfig::new(AnalysisMode::Hierarchical)
+            },
+        )
+        .unwrap();
+        assert!(
+            tight.task("rx").unwrap().response.r_plus
+                <= plain.task("rx").unwrap().response.r_plus
+        );
+    }
+
+    #[test]
+    fn task_output_chain_propagates_jitter() {
+        // src → t1 (adds jitter) → t2 activated by t1's output.
+        let spec = SystemSpec::new()
+            .cpu("cpu0")
+            .cpu("cpu1")
+            .task(simple_task(
+                "t1",
+                "cpu0",
+                10,
+                1,
+                ActivationSpec::External(periodic(100)),
+            ))
+            .task(TaskSpec {
+                name: "t2".into(),
+                cpu: "cpu1".into(),
+                bcet: Time::new(5),
+                wcet: Time::new(20),
+                priority: Priority::new(1),
+                activation: ActivationSpec::TaskOutput("t1".into()),
+            });
+        let r = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        assert_eq!(r.task("t1").unwrap().response.r_plus, Time::new(10));
+        assert_eq!(r.task("t2").unwrap().response.r_plus, Time::new(20));
+        // t2's activation carries t1's response jitter 0 (bcet = wcet).
+        let act = r.task_activation("t2").unwrap();
+        assert_eq!(act.delta_min(2), Time::new(100));
+    }
+
+    #[test]
+    fn validation_catches_dangling_references() {
+        let spec = SystemSpec::new().cpu("cpu0").task(simple_task(
+            "t",
+            "cpu0",
+            10,
+            1,
+            ActivationSpec::TaskOutput("ghost".into()),
+        ));
+        assert!(matches!(
+            analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).unwrap_err(),
+            SystemError::UnknownReference { kind: "task", .. }
+        ));
+
+        let spec = SystemSpec::new().task(simple_task(
+            "t",
+            "nocpu",
+            10,
+            1,
+            ActivationSpec::External(periodic(100)),
+        ));
+        assert!(matches!(
+            analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).unwrap_err(),
+            SystemError::UnknownReference { kind: "cpu", .. }
+        ));
+    }
+
+    #[test]
+    fn validation_catches_duplicates() {
+        let spec = SystemSpec::new().cpu("x").cpu("x");
+        assert!(matches!(
+            analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).unwrap_err(),
+            SystemError::Duplicate { kind: "cpu", .. }
+        ));
+    }
+
+    #[test]
+    fn dependency_cycle_detected() {
+        let spec = SystemSpec::new()
+            .cpu("cpu0")
+            .task(simple_task(
+                "a",
+                "cpu0",
+                10,
+                1,
+                ActivationSpec::TaskOutput("b".into()),
+            ))
+            .task(simple_task(
+                "b",
+                "cpu0",
+                10,
+                2,
+                ActivationSpec::TaskOutput("a".into()),
+            ));
+        assert!(matches!(
+            analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).unwrap_err(),
+            SystemError::DependencyCycle { .. }
+        ));
+    }
+
+    #[test]
+    fn composite_activations_resolve() {
+        // A task OR-activated by two signals of one frame, and another
+        // AND-activated by a signal plus a local timer.
+        let spec = SystemSpec::new()
+            .cpu("cpu0")
+            .bus("can0", CanBusConfig::new(Time::new(1)))
+            .frame(FrameSpec {
+                name: "F".into(),
+                bus: "can0".into(),
+                frame_type: FrameType::Direct,
+                payload_bytes: 4,
+                format: FrameFormat::Standard,
+                priority: Priority::new(1),
+                signals: vec![
+                    SignalSpec {
+                        name: "a".into(),
+                        transfer: TransferProperty::Triggering,
+                        source: ActivationSpec::External(periodic(3_000)),
+                    },
+                    SignalSpec {
+                        name: "b".into(),
+                        transfer: TransferProperty::Triggering,
+                        source: ActivationSpec::External(periodic(4_000)),
+                    },
+                ],
+            })
+            .task(simple_task(
+                "either",
+                "cpu0",
+                100,
+                1,
+                ActivationSpec::AnyOf(vec![
+                    ActivationSpec::Signal {
+                        frame: "F".into(),
+                        signal: "a".into(),
+                    },
+                    ActivationSpec::Signal {
+                        frame: "F".into(),
+                        signal: "b".into(),
+                    },
+                ]),
+            ))
+            .task(simple_task(
+                "both",
+                "cpu0",
+                100,
+                2,
+                ActivationSpec::AllOf(vec![
+                    ActivationSpec::Signal {
+                        frame: "F".into(),
+                        signal: "a".into(),
+                    },
+                    ActivationSpec::External(periodic(10_000)),
+                ]),
+            ));
+        let r = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical))
+            .expect("composite system converges");
+        // OR sees both signal rates.
+        let either = r.task_activation("either").unwrap();
+        assert_eq!(either.eta_plus(Time::new(12_001)), 5 + 4);
+        // AND is limited by the slow timer.
+        let both = r.task_activation("both").unwrap();
+        assert!(both.delta_min(2) >= Time::new(10_000));
+        // Empty composite rejected.
+        let bad = SystemSpec::new().cpu("c").task(simple_task(
+            "t",
+            "c",
+            10,
+            1,
+            ActivationSpec::AnyOf(vec![]),
+        ));
+        assert!(matches!(
+            analyze(&bad, &SystemConfig::new(AnalysisMode::Flat)).unwrap_err(),
+            SystemError::UnsupportedSpec(_)
+        ));
+    }
+
+    #[test]
+    fn frame_sourced_signal_rejected() {
+        let spec = SystemSpec::new()
+            .bus("can0", CanBusConfig::new(Time::new(1)))
+            .frame(FrameSpec {
+                name: "F".into(),
+                bus: "can0".into(),
+                frame_type: FrameType::Direct,
+                payload_bytes: 1,
+                format: FrameFormat::Standard,
+                priority: Priority::new(1),
+                signals: vec![SignalSpec {
+                    name: "s".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: ActivationSpec::FrameArrivals("F".into()),
+                }],
+            });
+        assert!(matches!(
+            analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).unwrap_err(),
+            SystemError::UnsupportedSpec(_)
+        ));
+    }
+}

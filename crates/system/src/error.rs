@@ -1,0 +1,142 @@
+//! Error type for system-level analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use hem_analysis::AnalysisError;
+use hem_autosar_com::ComError;
+use hem_can::CanError;
+use hem_event_models::ModelError;
+
+/// Error returned by the global system analysis.
+#[derive(Debug)]
+pub enum SystemError {
+    /// The system description references an unknown entity.
+    UnknownReference {
+        /// What kind of entity (task, frame, signal, cpu, bus).
+        kind: &'static str,
+        /// The dangling name.
+        name: String,
+    },
+    /// Duplicate entity names in the description.
+    Duplicate {
+        /// What kind of entity.
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// The global iteration did not reach a fixed point.
+    NoGlobalConvergence {
+        /// Iterations performed before giving up.
+        iterations: u64,
+    },
+    /// Activation wiring forms a dependency cycle that the engine cannot
+    /// resolve (e.g. a task activated — possibly through frames — by its
+    /// own output).
+    DependencyCycle {
+        /// An entity on the cycle.
+        name: String,
+    },
+    /// The system description uses a combination the engine does not
+    /// support (e.g. a signal sourced directly from another frame's
+    /// signal — route it through a gateway task instead).
+    UnsupportedSpec(String),
+    /// A local analysis failed.
+    Analysis(AnalysisError),
+    /// COM-frame construction failed.
+    Com(ComError),
+    /// CAN configuration is invalid.
+    Can(CanError),
+    /// Event-model construction failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::UnknownReference { kind, name } => {
+                write!(f, "unknown {kind} `{name}` referenced by the system")
+            }
+            SystemError::Duplicate { kind, name } => {
+                write!(f, "duplicate {kind} name `{name}`")
+            }
+            SystemError::NoGlobalConvergence { iterations } => write!(
+                f,
+                "global analysis did not converge within {iterations} iterations"
+            ),
+            SystemError::DependencyCycle { name } => {
+                write!(f, "activation dependency cycle involving `{name}`")
+            }
+            SystemError::UnsupportedSpec(msg) => write!(f, "unsupported system spec: {msg}"),
+            SystemError::Analysis(e) => write!(f, "local analysis failed: {e}"),
+            SystemError::Com(e) => write!(f, "COM layer error: {e}"),
+            SystemError::Can(e) => write!(f, "CAN configuration error: {e}"),
+            SystemError::Model(e) => write!(f, "event model error: {e}"),
+        }
+    }
+}
+
+impl Error for SystemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SystemError::Analysis(e) => Some(e),
+            SystemError::Com(e) => Some(e),
+            SystemError::Can(e) => Some(e),
+            SystemError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for SystemError {
+    fn from(e: AnalysisError) -> Self {
+        SystemError::Analysis(e)
+    }
+}
+
+impl From<ComError> for SystemError {
+    fn from(e: ComError) -> Self {
+        SystemError::Com(e)
+    }
+}
+
+impl From<CanError> for SystemError {
+    fn from(e: CanError) -> Self {
+        SystemError::Can(e)
+    }
+}
+
+impl From<ModelError> for SystemError {
+    fn from(e: ModelError) -> Self {
+        SystemError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SystemError::UnknownReference {
+            kind: "frame",
+            name: "F9".into(),
+        };
+        assert_eq!(e.to_string(), "unknown frame `F9` referenced by the system");
+        let e = SystemError::Duplicate {
+            kind: "task",
+            name: "T1".into(),
+        };
+        assert!(e.to_string().contains("duplicate task"));
+        let e = SystemError::NoGlobalConvergence { iterations: 64 };
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: SystemError = AnalysisError::invalid("x").into();
+        assert!(e.source().is_some());
+        let e: SystemError = ModelError::invalid("y").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end path latency analysis.
+//!
+//! The AUTOSAR COM layer exists to "handle different signal latency
+//! requirements" (paper §4): what ultimately matters to the integrator
+//! is how long a *signal* takes from the moment its producer writes it
+//! until the consumer task finishes reacting. A [`SignalPath`] names
+//! that route — source signal, transporting frame, receiving task — and
+//! [`analyze_path`] bounds its worst-case latency from a converged
+//! [`SystemResults`]:
+//!
+//! ```text
+//! latency ≤ sampling + R⁺(frame) + R⁺(task)
+//! ```
+//!
+//! where `sampling` is zero for a *triggering* signal (its write is the
+//! frame activation) and, for a *pending* signal, the worst wait for the
+//! next frame transmission — the maximum frame distance `δ_F⁺(2)` of the
+//! frame-activation stream (the value may also be overwritten and never
+//! arrive: pending paths bound only the freshness of *delivered* values;
+//! see [`PathLatency::guaranteed_delivery`]).
+
+use hem_autosar_com::TransferProperty;
+use hem_event_models::EventModel;
+use hem_time::{Time, TimeBound};
+
+use crate::result::SystemResults;
+use crate::spec::{ActivationSpec, SystemSpec};
+use crate::SystemError;
+
+/// A named signal route through the system: producer write → frame →
+/// receiving task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalPath {
+    /// The transporting frame.
+    pub frame: String,
+    /// The signal within the frame.
+    pub signal: String,
+    /// The receiving task (must be activated by this signal or by the
+    /// frame's arrivals).
+    pub task: String,
+}
+
+/// The latency decomposition of one signal path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathLatency {
+    /// Worst-case wait from the signal write until its frame is queued
+    /// (zero for triggering signals).
+    pub sampling: Time,
+    /// Worst-case frame response on the bus.
+    pub transport: Time,
+    /// Worst-case response of the receiving task.
+    pub reaction: Time,
+    /// Whether every written value is guaranteed to be delivered
+    /// (`false` for pending signals, whose register may be overwritten).
+    pub guaranteed_delivery: bool,
+}
+
+impl PathLatency {
+    /// The total worst-case end-to-end latency bound.
+    #[must_use]
+    pub fn total(&self) -> Time {
+        self.sampling + self.transport + self.reaction
+    }
+}
+
+/// Bounds the worst-case end-to-end latency of a signal path.
+///
+/// Must be called with the [`SystemResults`] of a converged analysis of
+/// `spec` (any mode; the frame/task response times of that mode are
+/// used).
+///
+/// # Errors
+///
+/// Returns [`SystemError::UnknownReference`] when the path names a
+/// frame, signal or task that does not exist in `spec` or was not
+/// analysed in `results`.
+pub fn analyze_path(
+    spec: &SystemSpec,
+    results: &SystemResults,
+    path: &SignalPath,
+) -> Result<PathLatency, SystemError> {
+    let frame = spec
+        .frames
+        .iter()
+        .find(|f| f.name == path.frame)
+        .ok_or_else(|| SystemError::UnknownReference {
+            kind: "frame",
+            name: path.frame.clone(),
+        })?;
+    let signal = frame
+        .signals
+        .iter()
+        .find(|s| s.name == path.signal)
+        .ok_or_else(|| SystemError::UnknownReference {
+            kind: "signal",
+            name: format!("{}/{}", path.frame, path.signal),
+        })?;
+    let frame_result = results
+        .frame(&path.frame)
+        .ok_or_else(|| SystemError::UnknownReference {
+            kind: "frame",
+            name: path.frame.clone(),
+        })?;
+    let task_result = results
+        .task(&path.task)
+        .ok_or_else(|| SystemError::UnknownReference {
+            kind: "task",
+            name: path.task.clone(),
+        })?;
+
+    // Sampling delay: a pending value written right after a frame left
+    // waits up to the maximum frame distance for the next one. The frame
+    // *output* stream's δ⁺(2) conservatively includes the bus jitter.
+    let (sampling, guaranteed_delivery) = match signal.transfer {
+        TransferProperty::Triggering => (Time::ZERO, true),
+        TransferProperty::Pending => {
+            let frame_stream = results.frame_output(&path.frame).ok_or_else(|| {
+                SystemError::UnknownReference {
+                    kind: "frame",
+                    name: path.frame.clone(),
+                }
+            })?;
+            let gap = match frame_stream.delta_plus(2) {
+                TimeBound::Finite(g) => g,
+                // A frame with no minimum rate gives a pending value no
+                // latency bound at all; report the (infinite) situation
+                // as an unsupported path rather than inventing a number.
+                TimeBound::Infinite => {
+                    return Err(SystemError::UnsupportedSpec(format!(
+                        "pending signal `{}` rides frame `{}` with unbounded distance: \
+                         no finite latency exists",
+                        path.signal, path.frame
+                    )));
+                }
+            };
+            (gap, false)
+        }
+    };
+    Ok(PathLatency {
+        sampling,
+        transport: frame_result.response.r_plus,
+        reaction: task_result.response.r_plus,
+        guaranteed_delivery,
+    })
+}
+
+/// Enumerates the natural signal paths of a system: every task activated
+/// by a signal yields one path.
+#[must_use]
+pub fn signal_paths(spec: &SystemSpec) -> Vec<SignalPath> {
+    spec.tasks
+        .iter()
+        .filter_map(|t| match &t.activation {
+            ActivationSpec::Signal { frame, signal } => Some(SignalPath {
+                frame: frame.clone(),
+                signal: signal.clone(),
+                task: t.name.clone(),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze;
+    use crate::result::SystemConfig;
+    use crate::spec::{AnalysisMode, FrameSpec, SignalSpec, TaskSpec};
+    use hem_analysis::Priority;
+    use hem_autosar_com::FrameType;
+    use hem_can::{CanBusConfig, FrameFormat};
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    fn two_signal_spec() -> SystemSpec {
+        let src = |p: i64| {
+            ActivationSpec::External(
+                StandardEventModel::periodic(Time::new(p)).expect("valid").shared(),
+            )
+        };
+        SystemSpec::new()
+            .cpu("cpu")
+            .bus("can", CanBusConfig::new(Time::new(1)))
+            .frame(FrameSpec {
+                name: "F".into(),
+                bus: "can".into(),
+                frame_type: FrameType::Direct,
+                payload_bytes: 4,
+                format: FrameFormat::Standard,
+                priority: Priority::new(1),
+                signals: vec![
+                    SignalSpec {
+                        name: "trig".into(),
+                        transfer: TransferProperty::Triggering,
+                        source: src(2_000),
+                    },
+                    SignalSpec {
+                        name: "pend".into(),
+                        transfer: TransferProperty::Pending,
+                        source: src(5_000),
+                    },
+                ],
+            })
+            .task(TaskSpec {
+                name: "rx_trig".into(),
+                cpu: "cpu".into(),
+                bcet: Time::new(100),
+                wcet: Time::new(100),
+                priority: Priority::new(1),
+                activation: ActivationSpec::Signal {
+                    frame: "F".into(),
+                    signal: "trig".into(),
+                },
+            })
+            .task(TaskSpec {
+                name: "rx_pend".into(),
+                cpu: "cpu".into(),
+                bcet: Time::new(200),
+                wcet: Time::new(200),
+                priority: Priority::new(2),
+                activation: ActivationSpec::Signal {
+                    frame: "F".into(),
+                    signal: "pend".into(),
+                },
+            })
+    }
+
+    #[test]
+    fn triggering_path_has_no_sampling_delay() {
+        let spec = two_signal_spec();
+        let results = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        let lat = analyze_path(
+            &spec,
+            &results,
+            &SignalPath {
+                frame: "F".into(),
+                signal: "trig".into(),
+                task: "rx_trig".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(lat.sampling, Time::ZERO);
+        assert!(lat.guaranteed_delivery);
+        // Uncontended: 95-bit frame + 100-tick task.
+        assert_eq!(lat.transport, Time::new(95));
+        assert_eq!(lat.reaction, Time::new(100));
+        assert_eq!(lat.total(), Time::new(195));
+    }
+
+    #[test]
+    fn pending_path_pays_a_frame_gap() {
+        let spec = two_signal_spec();
+        let results = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        let lat = analyze_path(
+            &spec,
+            &results,
+            &SignalPath {
+                frame: "F".into(),
+                signal: "pend".into(),
+                task: "rx_pend".into(),
+            },
+        )
+        .unwrap();
+        assert!(!lat.guaranteed_delivery);
+        // Sampling: the trig stream is periodic 2000, frame output δ⁺(2)
+        // includes bus jitter 95 − 79 = 16.
+        assert_eq!(lat.sampling, Time::new(2_016));
+        assert_eq!(lat.total(), Time::new(2_016 + 95 + 200 + 100));
+    }
+
+    #[test]
+    fn paths_enumeration() {
+        let spec = two_signal_spec();
+        let paths = signal_paths(&spec);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].task, "rx_trig");
+        assert_eq!(paths[1].signal, "pend");
+    }
+
+    #[test]
+    fn dangling_path_rejected() {
+        let spec = two_signal_spec();
+        let results = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        let bad = analyze_path(
+            &spec,
+            &results,
+            &SignalPath {
+                frame: "F".into(),
+                signal: "ghost".into(),
+                task: "rx_trig".into(),
+            },
+        );
+        assert!(matches!(
+            bad.unwrap_err(),
+            SystemError::UnknownReference { kind: "signal", .. }
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! Global analysis configuration and results.
+
+use std::collections::BTreeMap;
+
+use hem_analysis::{AnalysisConfig, TaskResult};
+use hem_event_models::ModelRef;
+
+use crate::spec::AnalysisMode;
+
+/// Configuration of the global system analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Flat baseline or hierarchical event models.
+    pub mode: AnalysisMode,
+    /// Limits for each local busy-window analysis.
+    pub local: AnalysisConfig,
+    /// Maximum number of global fixed-point iterations.
+    pub max_global_iterations: u64,
+    /// Event-count horizon for the SEM fit used by
+    /// [`AnalysisMode::FlatSem`] (larger = tighter baseline).
+    pub sem_fit_horizon: u64,
+    /// Apply the additive-closure refinement
+    /// ([`AdditiveClosure`](hem_event_models::ops::AdditiveClosure)) to
+    /// unpacked inner streams before they activate receivers. Off by
+    /// default (paper-faithful Def. 9); switching it on can only tighten
+    /// results.
+    pub tighten_inner: bool,
+}
+
+impl SystemConfig {
+    /// A configuration with default limits for the given mode.
+    #[must_use]
+    pub fn new(mode: AnalysisMode) -> Self {
+        SystemConfig {
+            mode,
+            local: AnalysisConfig::default(),
+            max_global_iterations: 64,
+            sem_fit_horizon: 64,
+            tighten_inner: false,
+        }
+    }
+}
+
+/// The outcome of a converged global analysis.
+///
+/// Besides the response times that the paper's Table 3 reports, the
+/// result keeps the final event models — frame output streams and
+/// unpacked per-signal streams — which is what Figure 4 plots.
+#[derive(Debug)]
+pub struct SystemResults {
+    pub(crate) mode: AnalysisMode,
+    pub(crate) iterations: u64,
+    pub(crate) task_results: BTreeMap<String, TaskResult>,
+    pub(crate) frame_results: BTreeMap<String, TaskResult>,
+    pub(crate) task_activations: BTreeMap<String, ModelRef>,
+    pub(crate) frame_inputs: BTreeMap<String, ModelRef>,
+    pub(crate) frame_outputs: BTreeMap<String, ModelRef>,
+    pub(crate) unpacked_signals: BTreeMap<String, ModelRef>,
+}
+
+impl SystemResults {
+    /// The analysis mode these results were computed under.
+    #[must_use]
+    pub fn mode(&self) -> AnalysisMode {
+        self.mode
+    }
+
+    /// Number of global iterations until the fixed point.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Response-time result of a task, if it exists.
+    #[must_use]
+    pub fn task(&self, name: &str) -> Option<&TaskResult> {
+        self.task_results.get(name)
+    }
+
+    /// Response-time result of a frame, if it exists.
+    #[must_use]
+    pub fn frame(&self, name: &str) -> Option<&TaskResult> {
+        self.frame_results.get(name)
+    }
+
+    /// All task results, ordered by name.
+    pub fn tasks(&self) -> impl Iterator<Item = (&str, &TaskResult)> {
+        self.task_results.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All frame results, ordered by name.
+    pub fn frames(&self) -> impl Iterator<Item = (&str, &TaskResult)> {
+        self.frame_results.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The final activation event model of a task (what its local
+    /// analysis saw in the last iteration).
+    #[must_use]
+    pub fn task_activation(&self, name: &str) -> Option<&ModelRef> {
+        self.task_activations.get(name)
+    }
+
+    /// The frame-activation stream the bus analysis consumed (the outer
+    /// stream before transport; the SEM fit under `FlatSem`).
+    #[must_use]
+    pub fn frame_activation(&self, name: &str) -> Option<&ModelRef> {
+        self.frame_inputs.get(name)
+    }
+
+    /// The output stream of a frame after bus transport (the flat /
+    /// outer view) — the black-dotted curve of the paper's Figure 4.
+    #[must_use]
+    pub fn frame_output(&self, name: &str) -> Option<&ModelRef> {
+        self.frame_outputs.get(name)
+    }
+
+    /// The unpacked stream of `signal` transported by `frame` after bus
+    /// transport — the per-task curves of Figure 4. Present only under
+    /// [`AnalysisMode::Hierarchical`].
+    #[must_use]
+    pub fn unpacked_signal(&self, frame: &str, signal: &str) -> Option<&ModelRef> {
+        self.unpacked_signals.get(&signal_key(frame, signal))
+    }
+}
+
+pub(crate) fn signal_key(frame: &str, signal: &str) -> String {
+    format!("{frame}/{signal}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let c = SystemConfig::new(AnalysisMode::Hierarchical);
+        assert_eq!(c.mode, AnalysisMode::Hierarchical);
+        assert!(c.max_global_iterations >= 8);
+    }
+
+    #[test]
+    fn key_format() {
+        assert_eq!(signal_key("F1", "s2"), "F1/s2");
+    }
+}

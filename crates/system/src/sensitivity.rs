@@ -1,0 +1,272 @@
+//! Sensitivity analysis: how far can a parameter degrade before the
+//! system stops being analysable?
+//!
+//! Integrators use CPA not only for verification but for dimensioning:
+//! *how much execution-time budget is left for task X?* — *how slow may
+//! the bus clock run?* This module answers both by exploiting the
+//! monotonicity of busy-window analysis (increasing a WCET or a bit time
+//! only increases demand, so feasibility is a monotone predicate and
+//! binary search applies).
+
+use hem_time::Time;
+
+use crate::engine::analyze;
+use crate::result::SystemConfig;
+use crate::spec::SystemSpec;
+use crate::SystemError;
+
+/// Upper limit for sensitivity searches (beyond this the parameter is
+/// considered unbounded for practical purposes).
+const SEARCH_CAP: i64 = 1 << 32;
+
+/// The largest WCET the named task can have while the whole system still
+/// converges under `config`, or `None` if even doubling up to the search
+/// cap stays feasible (the task is not the bottleneck).
+///
+/// The task's BCET is clamped to the probed WCET where necessary.
+///
+/// # Errors
+///
+/// * [`SystemError::UnknownReference`] if the task does not exist,
+/// * any validation error of the base system,
+/// * the base system itself not being schedulable is reported as the
+///   underlying analysis error.
+pub fn max_wcet(
+    spec: &SystemSpec,
+    task: &str,
+    config: &SystemConfig,
+) -> Result<Option<Time>, SystemError> {
+    if !spec.tasks.iter().any(|t| t.name == task) {
+        return Err(SystemError::UnknownReference {
+            kind: "task",
+            name: task.to_string(),
+        });
+    }
+    // The base system must be feasible to begin with.
+    analyze(spec, config)?;
+    let current = spec
+        .tasks
+        .iter()
+        .find(|t| t.name == task)
+        .expect("checked above")
+        .wcet;
+    let feasible = |wcet: Time| -> bool {
+        let mut probe = spec.clone();
+        let t = probe
+            .tasks
+            .iter_mut()
+            .find(|t| t.name == task)
+            .expect("checked above");
+        t.wcet = wcet;
+        t.bcet = t.bcet.min(wcet);
+        analyze(&probe, config).is_ok()
+    };
+    binary_search_max(current, feasible)
+}
+
+/// The remaining execution-time budget of a task: `max_wcet − wcet`, or
+/// `None` when the budget is unbounded within the search cap.
+///
+/// # Errors
+///
+/// See [`max_wcet`].
+pub fn wcet_slack(
+    spec: &SystemSpec,
+    task: &str,
+    config: &SystemConfig,
+) -> Result<Option<Time>, SystemError> {
+    let current = spec
+        .tasks
+        .iter()
+        .find(|t| t.name == task)
+        .map(|t| t.wcet)
+        .ok_or_else(|| SystemError::UnknownReference {
+            kind: "task",
+            name: task.to_string(),
+        })?;
+    Ok(max_wcet(spec, task, config)?.map(|m| m - current))
+}
+
+/// The largest bit time (slowest clock) the named bus can run at while
+/// the system still converges, or `None` if unbounded within the cap.
+///
+/// # Errors
+///
+/// * [`SystemError::UnknownReference`] if the bus does not exist,
+/// * the base system's own analysis error if it is infeasible already.
+pub fn max_bit_time(
+    spec: &SystemSpec,
+    bus: &str,
+    config: &SystemConfig,
+) -> Result<Option<Time>, SystemError> {
+    if !spec.buses.iter().any(|b| b.name == bus) {
+        return Err(SystemError::UnknownReference {
+            kind: "bus",
+            name: bus.to_string(),
+        });
+    }
+    analyze(spec, config)?;
+    let current = spec
+        .buses
+        .iter()
+        .find(|b| b.name == bus)
+        .expect("checked above")
+        .config
+        .bit_time;
+    let feasible = |bit_time: Time| -> bool {
+        let mut probe = spec.clone();
+        probe
+            .buses
+            .iter_mut()
+            .find(|b| b.name == bus)
+            .expect("checked above")
+            .config = hem_can::CanBusConfig::new(bit_time);
+        analyze(&probe, config).is_ok()
+    };
+    binary_search_max(current, feasible)
+}
+
+/// Largest feasible value ≥ `known_good` of a monotone predicate, or
+/// `None` if the predicate holds all the way to [`SEARCH_CAP`].
+fn binary_search_max(
+    known_good: Time,
+    feasible: impl Fn(Time) -> bool,
+) -> Result<Option<Time>, SystemError> {
+    debug_assert!(feasible(known_good), "base value must be feasible");
+    // Exponential climb to bracket the boundary.
+    let mut lo = known_good;
+    let mut hi = (known_good * 2).max(Time::ONE);
+    while feasible(hi) {
+        lo = hi;
+        hi = hi * 2;
+        if hi.ticks() > SEARCH_CAP {
+            return Ok(None);
+        }
+    }
+    // Invariant: feasible(lo), !feasible(hi).
+    while (hi - lo).ticks() > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ActivationSpec, AnalysisMode, TaskSpec};
+    use hem_analysis::Priority;
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    fn cpu_only_spec(cets: &[i64], periods: &[i64]) -> SystemSpec {
+        let mut spec = SystemSpec::new().cpu("cpu");
+        for (i, (&c, &p)) in cets.iter().zip(periods).enumerate() {
+            spec = spec.task(TaskSpec {
+                name: format!("t{i}"),
+                cpu: "cpu".into(),
+                bcet: Time::new(c),
+                wcet: Time::new(c),
+                priority: Priority::new(i as u32),
+                activation: ActivationSpec::External(
+                    StandardEventModel::periodic(Time::new(p)).expect("valid").shared(),
+                ),
+            });
+        }
+        spec
+    }
+
+    #[test]
+    fn wcet_slack_of_low_priority_task() {
+        // t0: 20/100, t1: 10/100 → t1 can grow until utilization hits 1
+        // (minus busy-window integrality).
+        let spec = cpu_only_spec(&[20, 10], &[100, 100]);
+        let cfg = SystemConfig {
+            local: hem_analysis::AnalysisConfig::with_max_busy_window(Time::new(200_000)),
+            ..SystemConfig::new(AnalysisMode::Hierarchical)
+        };
+        let max = max_wcet(&spec, "t1", &cfg).unwrap().expect("bounded");
+        // At wcet = 80 utilization is exactly 1 (schedulable boundary);
+        // beyond that the busy window diverges.
+        assert_eq!(max, Time::new(80));
+        let slack = wcet_slack(&spec, "t1", &cfg).unwrap().expect("bounded");
+        assert_eq!(slack, Time::new(70));
+    }
+
+    #[test]
+    fn higher_priority_tasks_constrain_nothing_below_them() {
+        // A single task alone can grow to its own period.
+        let spec = cpu_only_spec(&[10], &[500]);
+        let cfg = SystemConfig {
+            local: hem_analysis::AnalysisConfig::with_max_busy_window(Time::new(500_000)),
+            ..SystemConfig::new(AnalysisMode::Flat)
+        };
+        let max = max_wcet(&spec, "t0", &cfg).unwrap().expect("bounded");
+        assert_eq!(max, Time::new(500));
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let spec = cpu_only_spec(&[10], &[100]);
+        let cfg = SystemConfig::new(AnalysisMode::Flat);
+        assert!(matches!(
+            max_wcet(&spec, "ghost", &cfg).unwrap_err(),
+            SystemError::UnknownReference { kind: "task", .. }
+        ));
+    }
+
+    #[test]
+    fn bus_bit_time_sensitivity() {
+        use crate::spec::{FrameSpec, SignalSpec};
+        use hem_autosar_com::{FrameType, TransferProperty};
+        use hem_can::{CanBusConfig, FrameFormat};
+        // One frame every 2000 ticks; 95 bits at bit time b occupy 95·b.
+        // The receiver (CET 100, period ample) stays schedulable; the bus
+        // saturates when 95·b approaches the frame period.
+        let spec = SystemSpec::new()
+            .cpu("cpu")
+            .bus("can", CanBusConfig::new(Time::new(1)))
+            .frame(FrameSpec {
+                name: "F".into(),
+                bus: "can".into(),
+                frame_type: FrameType::Direct,
+                payload_bytes: 4,
+                format: FrameFormat::Standard,
+                priority: Priority::new(1),
+                signals: vec![SignalSpec {
+                    name: "s".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: ActivationSpec::External(
+                        StandardEventModel::periodic(Time::new(2_000))
+                            .expect("valid")
+                            .shared(),
+                    ),
+                }],
+            })
+            .task(TaskSpec {
+                name: "rx".into(),
+                cpu: "cpu".into(),
+                bcet: Time::new(100),
+                wcet: Time::new(100),
+                priority: Priority::new(1),
+                activation: ActivationSpec::Signal {
+                    frame: "F".into(),
+                    signal: "s".into(),
+                },
+            });
+        let cfg = SystemConfig {
+            local: hem_analysis::AnalysisConfig::with_max_busy_window(Time::new(2_000_000)),
+            ..SystemConfig::new(AnalysisMode::Hierarchical)
+        };
+        let max = max_bit_time(&spec, "can", &cfg).unwrap().expect("bounded");
+        // 95 bits · 21 = 1995 ≤ 2000 < 95 · 22.
+        assert_eq!(max, Time::new(21));
+        assert!(matches!(
+            max_bit_time(&spec, "nope", &cfg).unwrap_err(),
+            SystemError::UnknownReference { kind: "bus", .. }
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! System description types.
+
+use hem_analysis::Priority;
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_can::{CanBusConfig, FrameFormat};
+use hem_event_models::ModelRef;
+use hem_time::Time;
+
+/// Whether frame-borne activations keep the stream hierarchy.
+///
+/// This is the comparison axis of the paper's Table 3 (plus the
+/// fully-parameterized historical baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisMode {
+    /// Flat event streams with exact curves: a signal receiver is
+    /// activated by the total frame-arrival stream, but the combined
+    /// frame stream itself is represented exactly.
+    Flat,
+    /// Flat event streams with standard-event-model parameterization
+    /// everywhere, as in classic SymTA/S: the frame-activation stream is
+    /// conservatively fitted into a `(P, J, d_min)` model before bus
+    /// analysis, and receivers are activated by the (SEM) total frame
+    /// stream. Strictly more pessimistic than [`AnalysisMode::Flat`].
+    FlatSem,
+    /// Hierarchical event models: receivers are activated by unpacked
+    /// per-signal streams (pack → inner update → unpack).
+    Hierarchical,
+}
+
+/// Where an event stream comes from.
+#[derive(Debug, Clone)]
+pub enum ActivationSpec {
+    /// An external source with a fixed event model (the paper's S1–S4).
+    External(ModelRef),
+    /// The output stream of another task (after its response-time
+    /// jitter).
+    TaskOutput(String),
+    /// A signal transported by a frame: the receiver is activated per
+    /// reception. Under [`AnalysisMode::Hierarchical`] this resolves to
+    /// the unpacked inner stream; under [`AnalysisMode::Flat`] to the
+    /// frame's total output stream.
+    Signal {
+        /// Name of the transporting frame.
+        frame: String,
+        /// Name of the signal within the frame.
+        signal: String,
+    },
+    /// Every arrival of the given frame, regardless of content
+    /// (explicitly flat, in both analysis modes).
+    FrameArrivals(String),
+    /// OR-activation by several sources: any event activates the task
+    /// (paper §3, eqs. (3),(4); the stream-constructor decomposition of
+    /// multi-input tasks).
+    AnyOf(Vec<ActivationSpec>),
+    /// AND-activation by several sources: the task waits for one event
+    /// on every source before activating.
+    AllOf(Vec<ActivationSpec>),
+}
+
+/// A task on a CPU.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Unique task name.
+    pub name: String,
+    /// Hosting CPU (must match a [`CpuSpec`]).
+    pub cpu: String,
+    /// Best-case execution time.
+    pub bcet: Time,
+    /// Worst-case execution time.
+    pub wcet: Time,
+    /// Priority on the CPU (smaller = higher).
+    pub priority: Priority,
+    /// What activates the task.
+    pub activation: ActivationSpec,
+}
+
+/// One signal carried by a frame.
+#[derive(Debug, Clone)]
+pub struct SignalSpec {
+    /// Signal name (unique within the frame).
+    pub name: String,
+    /// COM transfer property.
+    pub transfer: TransferProperty,
+    /// The stream of writes into the signal's register: an external
+    /// source or a task output.
+    pub source: ActivationSpec,
+}
+
+/// A COM frame on a bus.
+#[derive(Debug, Clone)]
+pub struct FrameSpec {
+    /// Unique frame name.
+    pub name: String,
+    /// Hosting bus (must match a [`BusSpec`]).
+    pub bus: String,
+    /// Transmission rule (periodic / direct / mixed).
+    pub frame_type: FrameType,
+    /// Payload size in bytes (≤ 8 for classic CAN).
+    pub payload_bytes: u8,
+    /// CAN identifier format (standard or extended).
+    pub format: FrameFormat,
+    /// Arbitration priority (unique per bus).
+    pub priority: Priority,
+    /// The signals packed into the frame.
+    pub signals: Vec<SignalSpec>,
+}
+
+/// A CPU resource (SPP-scheduled).
+#[derive(Debug, Clone)]
+pub struct CpuSpec {
+    /// Unique CPU name.
+    pub name: String,
+}
+
+/// A CAN bus resource (SPNP arbitration).
+#[derive(Debug, Clone)]
+pub struct BusSpec {
+    /// Unique bus name.
+    pub name: String,
+    /// Wire timing.
+    pub config: CanBusConfig,
+}
+
+/// A complete distributed system description.
+#[derive(Debug, Clone, Default)]
+pub struct SystemSpec {
+    /// CPU resources.
+    pub cpus: Vec<CpuSpec>,
+    /// Bus resources.
+    pub buses: Vec<BusSpec>,
+    /// Tasks, across all CPUs.
+    pub tasks: Vec<TaskSpec>,
+    /// Frames, across all buses.
+    pub frames: Vec<FrameSpec>,
+}
+
+impl SystemSpec {
+    /// Creates an empty system.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a CPU; returns `self` for chaining.
+    #[must_use]
+    pub fn cpu(mut self, name: impl Into<String>) -> Self {
+        self.cpus.push(CpuSpec { name: name.into() });
+        self
+    }
+
+    /// Adds a CAN bus; returns `self` for chaining.
+    #[must_use]
+    pub fn bus(mut self, name: impl Into<String>, config: CanBusConfig) -> Self {
+        self.buses.push(BusSpec {
+            name: name.into(),
+            config,
+        });
+        self
+    }
+
+    /// Adds a task; returns `self` for chaining.
+    #[must_use]
+    pub fn task(mut self, task: TaskSpec) -> Self {
+        self.tasks.push(task);
+        self
+    }
+
+    /// Adds a frame; returns `self` for chaining.
+    #[must_use]
+    pub fn frame(mut self, frame: FrameSpec) -> Self {
+        self.frames.push(frame);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    #[test]
+    fn builder_chains() {
+        let src = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let spec = SystemSpec::new()
+            .cpu("cpu0")
+            .bus("can0", CanBusConfig::new(Time::new(1)))
+            .task(TaskSpec {
+                name: "t".into(),
+                cpu: "cpu0".into(),
+                bcet: Time::new(5),
+                wcet: Time::new(10),
+                priority: Priority::new(1),
+                activation: ActivationSpec::External(src),
+            });
+        assert_eq!(spec.cpus.len(), 1);
+        assert_eq!(spec.buses.len(), 1);
+        assert_eq!(spec.tasks.len(), 1);
+        assert!(spec.frames.is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! [`TimeBound`]: a finite time or positive infinity.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+use crate::Time;
+
+/// A time value extended with positive infinity.
+///
+/// The maximum-distance functions `δ⁺(n)` of an event stream may be
+/// unbounded: a stream with no minimum arrival rate (e.g. a sporadic
+/// stream, or a *pending* AUTOSAR signal whose value can be overwritten
+/// before transmission) admits arbitrarily long gaps. `TimeBound` makes
+/// that case explicit instead of abusing a sentinel tick value.
+///
+/// Ordering places [`TimeBound::INFINITE`] above every finite value;
+/// addition and subtraction of finite times absorb into infinity.
+///
+/// # Examples
+///
+/// ```
+/// use hem_time::{Time, TimeBound};
+///
+/// let f = TimeBound::finite(100);
+/// assert_eq!(f + Time::new(20), TimeBound::finite(120));
+/// assert_eq!(TimeBound::INFINITE - Time::new(20), TimeBound::INFINITE);
+/// assert!(f < TimeBound::INFINITE);
+/// assert_eq!(f.as_finite(), Some(Time::new(100)));
+/// assert_eq!(TimeBound::INFINITE.as_finite(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeBound {
+    /// A finite bound.
+    Finite(Time),
+    /// No finite bound exists (`+∞`).
+    Infinite,
+}
+
+impl TimeBound {
+    /// Positive infinity.
+    pub const INFINITE: TimeBound = TimeBound::Infinite;
+
+    /// Creates a finite bound from raw ticks.
+    #[must_use]
+    pub const fn finite(ticks: i64) -> Self {
+        TimeBound::Finite(Time::new(ticks))
+    }
+
+    /// The zero bound.
+    pub const ZERO: TimeBound = TimeBound::Finite(Time::ZERO);
+
+    /// Returns the finite value, or `None` if infinite.
+    #[must_use]
+    pub const fn as_finite(self) -> Option<Time> {
+        match self {
+            TimeBound::Finite(t) => Some(t),
+            TimeBound::Infinite => None,
+        }
+    }
+
+    /// Returns `true` if the bound is infinite.
+    #[must_use]
+    pub const fn is_infinite(self) -> bool {
+        matches!(self, TimeBound::Infinite)
+    }
+
+    /// Returns `true` if the bound is finite.
+    #[must_use]
+    pub const fn is_finite(self) -> bool {
+        matches!(self, TimeBound::Finite(_))
+    }
+
+    /// Returns the finite value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound is infinite.
+    #[must_use]
+    pub fn expect_finite(self, msg: &str) -> Time {
+        match self {
+            TimeBound::Finite(t) => t,
+            TimeBound::Infinite => panic!("expected finite time bound: {msg}"),
+        }
+    }
+
+    /// Clamps a finite negative bound to zero; infinity is unchanged.
+    #[must_use]
+    pub fn clamp_non_negative(self) -> Self {
+        match self {
+            TimeBound::Finite(t) => TimeBound::Finite(t.clamp_non_negative()),
+            TimeBound::Infinite => TimeBound::Infinite,
+        }
+    }
+
+    /// The smaller of two bounds (infinity loses to anything finite).
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two bounds (infinity wins).
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating finite addition; infinity absorbs.
+    #[must_use]
+    pub fn saturating_add(self, rhs: Time) -> Self {
+        match self {
+            TimeBound::Finite(t) => TimeBound::Finite(t.saturating_add(rhs)),
+            TimeBound::Infinite => TimeBound::Infinite,
+        }
+    }
+}
+
+impl fmt::Display for TimeBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Respect width/alignment flags (f.pad), so `{:>8}` works.
+        match self {
+            TimeBound::Finite(t) => f.pad(&t.ticks().to_string()),
+            TimeBound::Infinite => f.pad("inf"),
+        }
+    }
+}
+
+impl From<Time> for TimeBound {
+    fn from(t: Time) -> Self {
+        TimeBound::Finite(t)
+    }
+}
+
+impl PartialOrd for TimeBound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeBound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (TimeBound::Finite(a), TimeBound::Finite(b)) => a.cmp(b),
+            (TimeBound::Finite(_), TimeBound::Infinite) => Ordering::Less,
+            (TimeBound::Infinite, TimeBound::Finite(_)) => Ordering::Greater,
+            (TimeBound::Infinite, TimeBound::Infinite) => Ordering::Equal,
+        }
+    }
+}
+
+impl Add<Time> for TimeBound {
+    type Output = TimeBound;
+    fn add(self, rhs: Time) -> TimeBound {
+        match self {
+            TimeBound::Finite(t) => TimeBound::Finite(t + rhs),
+            TimeBound::Infinite => TimeBound::Infinite,
+        }
+    }
+}
+
+impl Add for TimeBound {
+    type Output = TimeBound;
+    fn add(self, rhs: TimeBound) -> TimeBound {
+        match (self, rhs) {
+            (TimeBound::Finite(a), TimeBound::Finite(b)) => TimeBound::Finite(a + b),
+            _ => TimeBound::Infinite,
+        }
+    }
+}
+
+impl Sub<Time> for TimeBound {
+    type Output = TimeBound;
+    fn sub(self, rhs: Time) -> TimeBound {
+        match self {
+            TimeBound::Finite(t) => TimeBound::Finite(t - rhs),
+            TimeBound::Infinite => TimeBound::Infinite,
+        }
+    }
+}
+
+impl Mul<i64> for TimeBound {
+    type Output = TimeBound;
+    fn mul(self, rhs: i64) -> TimeBound {
+        match self {
+            TimeBound::Finite(t) => TimeBound::Finite(t * rhs),
+            TimeBound::Infinite => TimeBound::Infinite,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_places_infinity_last() {
+        assert!(TimeBound::finite(i64::MAX) < TimeBound::INFINITE);
+        assert!(TimeBound::finite(1) < TimeBound::finite(2));
+        assert_eq!(TimeBound::INFINITE.cmp(&TimeBound::INFINITE), Ordering::Equal);
+        assert!(TimeBound::INFINITE > TimeBound::finite(0));
+    }
+
+    #[test]
+    fn arithmetic_absorbs_infinity() {
+        assert_eq!(TimeBound::INFINITE + Time::new(7), TimeBound::INFINITE);
+        assert_eq!(TimeBound::INFINITE - Time::new(7), TimeBound::INFINITE);
+        assert_eq!(TimeBound::INFINITE * 3, TimeBound::INFINITE);
+        assert_eq!(TimeBound::INFINITE + TimeBound::finite(3), TimeBound::INFINITE);
+        assert_eq!(
+            TimeBound::finite(3) + TimeBound::finite(4),
+            TimeBound::finite(7)
+        );
+    }
+
+    #[test]
+    fn finite_arithmetic() {
+        assert_eq!(TimeBound::finite(10) + Time::new(5), TimeBound::finite(15));
+        assert_eq!(TimeBound::finite(10) - Time::new(5), TimeBound::finite(5));
+        assert_eq!(TimeBound::finite(10) * 2, TimeBound::finite(20));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(TimeBound::finite(4).as_finite(), Some(Time::new(4)));
+        assert_eq!(TimeBound::INFINITE.as_finite(), None);
+        assert!(TimeBound::INFINITE.is_infinite());
+        assert!(!TimeBound::INFINITE.is_finite());
+        assert!(TimeBound::finite(0).is_finite());
+        assert_eq!(TimeBound::from(Time::new(9)), TimeBound::finite(9));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(
+            TimeBound::finite(3).min(TimeBound::INFINITE),
+            TimeBound::finite(3)
+        );
+        assert_eq!(
+            TimeBound::finite(3).max(TimeBound::INFINITE),
+            TimeBound::INFINITE
+        );
+        assert_eq!(
+            TimeBound::finite(3).max(TimeBound::finite(5)),
+            TimeBound::finite(5)
+        );
+    }
+
+    #[test]
+    fn clamp() {
+        assert_eq!(
+            TimeBound::finite(-4).clamp_non_negative(),
+            TimeBound::finite(0)
+        );
+        assert_eq!(
+            TimeBound::INFINITE.clamp_non_negative(),
+            TimeBound::INFINITE
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TimeBound::finite(5).to_string(), "5");
+        assert_eq!(TimeBound::INFINITE.to_string(), "inf");
+        assert_eq!(format!("{:>6}", TimeBound::finite(5)), "     5");
+        assert_eq!(format!("{:>6}", TimeBound::INFINITE), "   inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected finite")]
+    fn expect_finite_panics_on_infinity() {
+        let _ = TimeBound::INFINITE.expect_finite("test");
+    }
+}

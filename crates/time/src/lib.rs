@@ -1,0 +1,79 @@
+//! Discrete time arithmetic for compositional scheduling analysis.
+//!
+//! Timing analysis in the CPA framework manipulates two kinds of values:
+//!
+//! * [`Time`] — a finite, signed number of discrete ticks. Used for
+//!   periods, jitters, execution times, response times, and the minimum
+//!   distance functions `δ⁻(n)`, which are always finite.
+//! * [`TimeBound`] — a [`Time`] or positive infinity. The maximum distance
+//!   functions `δ⁺(n)` can be unbounded (e.g. a *pending* AUTOSAR signal may
+//!   be overwritten and never transported, so no finite upper distance
+//!   bound exists — eq. (8) of the DATE'08 paper).
+//!
+//! All arithmetic is integer and panics on overflow in debug builds; the
+//! magnitudes used in scheduling analysis (periods, response times) are far
+//! below `i64` range, and fixed-point iterations are bounded by explicit
+//! horizons, so saturating variants are provided only where derived models
+//! may legitimately grow large ([`Time::saturating_add`] and friends).
+//!
+//! # Examples
+//!
+//! ```
+//! use hem_time::{Time, TimeBound};
+//!
+//! let period = Time::new(250);
+//! let jitter = Time::new(40);
+//! assert_eq!(period - jitter, Time::new(210));
+//!
+//! let unbounded = TimeBound::INFINITE;
+//! assert!(TimeBound::finite(1_000_000) < unbounded);
+//! assert_eq!(unbounded + Time::new(5), TimeBound::INFINITE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bound;
+mod time;
+
+pub use bound::TimeBound;
+pub use time::Time;
+
+/// Ceiling division for non-negative integers: `⌈a / b⌉`.
+///
+/// Helper used throughout the event-model closed forms.
+///
+/// # Panics
+///
+/// Panics if `b == 0` or if either argument is negative.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hem_time::div_ceil(7, 3), 3);
+/// assert_eq!(hem_time::div_ceil(6, 3), 2);
+/// assert_eq!(hem_time::div_ceil(0, 3), 0);
+/// ```
+#[must_use]
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    assert!(a >= 0 && b > 0, "div_ceil requires a >= 0 and b > 0");
+    (a + b - 1) / b
+}
+
+/// Floor division for non-negative integers: `⌊a / b⌋`.
+///
+/// # Panics
+///
+/// Panics if `b == 0` or if either argument is negative.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hem_time::div_floor(7, 3), 2);
+/// assert_eq!(hem_time::div_floor(6, 3), 2);
+/// ```
+#[must_use]
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    assert!(a >= 0 && b > 0, "div_floor requires a >= 0 and b > 0");
+    a / b
+}

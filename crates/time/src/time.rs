@@ -1,0 +1,272 @@
+//! The finite [`Time`] newtype.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+/// A finite point in (or span of) discrete time, measured in ticks.
+///
+/// `Time` deliberately does not distinguish instants from durations: the
+/// CPA literature freely mixes window sizes `Δt`, distances `δ(n)` and
+/// absolute activation times, and all of them are plain tick counts here.
+/// The value is signed so that intermediate expressions such as
+/// `(n-1)·P − J` (the standard-event-model `δ⁻`) may dip below zero before
+/// being clamped.
+///
+/// # Examples
+///
+/// ```
+/// use hem_time::Time;
+///
+/// let p = Time::new(250);
+/// assert_eq!(p * 3, Time::new(750));
+/// assert_eq!(p.max(Time::ZERO), p);
+/// assert_eq!((Time::new(-5)).clamp_non_negative(), Time::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+impl Time {
+    /// The zero tick.
+    pub const ZERO: Time = Time(0);
+    /// One tick.
+    pub const ONE: Time = Time(1);
+    /// Largest representable finite time.
+    pub const MAX: Time = Time(i64::MAX);
+
+    /// Creates a time value from a raw tick count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let t = hem_time::Time::new(42);
+    /// assert_eq!(t.ticks(), 42);
+    /// ```
+    #[must_use]
+    pub const fn new(ticks: i64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// Returns `true` if this is exactly zero ticks.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if this value is strictly negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Clamps negative values to [`Time::ZERO`].
+    ///
+    /// Distance functions are non-negative by definition; intermediate
+    /// arithmetic such as `(n−1)·P − J` may go negative and is clamped at
+    /// the boundary of every public δ-function.
+    #[must_use]
+    pub fn clamp_non_negative(self) -> Self {
+        Time(self.0.max(0))
+    }
+
+    /// Saturating addition (stays finite, clamps at `i64` bounds).
+    #[must_use]
+    pub fn saturating_add(self, rhs: Time) -> Self {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Time) -> Self {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication by a scalar.
+    #[must_use]
+    pub fn saturating_mul(self, rhs: i64) -> Self {
+        Time(self.0.saturating_mul(rhs))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, rhs: Time) -> Option<Self> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    #[must_use]
+    pub fn checked_mul(self, rhs: i64) -> Option<Self> {
+        self.0.checked_mul(rhs).map(Time)
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Time(self.0.abs())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Respect width/alignment flags (f.pad), so `{:>8}` works.
+        f.pad(&self.0.to_string())
+    }
+}
+
+impl From<i64> for Time {
+    fn from(ticks: i64) -> Self {
+        Time(ticks)
+    }
+}
+
+impl From<Time> for i64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: i64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for i64 {
+    type Output = Time;
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<i64> for Time {
+    type Output = Time;
+    fn div(self, rhs: i64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Rem<i64> for Time {
+    type Output = Time;
+    fn rem(self, rhs: i64) -> Time {
+        Time(self.0 % rhs)
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Time::new(5).ticks(), 5);
+        assert_eq!(Time::from(7i64), Time::new(7));
+        assert_eq!(i64::from(Time::new(7)), 7);
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::ONE.is_zero());
+        assert!(Time::new(-1).is_negative());
+        assert!(!Time::ZERO.is_negative());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::new(10);
+        let b = Time::new(3);
+        assert_eq!(a + b, Time::new(13));
+        assert_eq!(a - b, Time::new(7));
+        assert_eq!(a * 2, Time::new(20));
+        assert_eq!(3 * b, Time::new(9));
+        assert_eq!(a / 3, Time::new(3));
+        assert_eq!(a % 3, Time::new(1));
+        assert_eq!(-a, Time::new(-10));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::new(13));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Time::new(-3).clamp_non_negative(), Time::ZERO);
+        assert_eq!(Time::new(3).clamp_non_negative(), Time::new(3));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time::MAX.saturating_add(Time::ONE), Time::MAX);
+        assert_eq!(Time::new(i64::MIN).saturating_sub(Time::ONE), Time::new(i64::MIN));
+        assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
+        assert_eq!(Time::new(4).saturating_mul(2), Time::new(8));
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(Time::MAX.checked_add(Time::ONE), None);
+        assert_eq!(Time::new(2).checked_add(Time::new(3)), Some(Time::new(5)));
+        assert_eq!(Time::MAX.checked_mul(2), None);
+        assert_eq!(Time::new(2).checked_mul(3), Some(Time::new(6)));
+    }
+
+    #[test]
+    fn ordering_and_sum() {
+        let mut v = vec![Time::new(3), Time::new(1), Time::new(2)];
+        v.sort();
+        assert_eq!(v, vec![Time::new(1), Time::new(2), Time::new(3)]);
+        let s: Time = v.into_iter().sum();
+        assert_eq!(s, Time::new(6));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::new(42).to_string(), "42");
+        assert_eq!(Time::new(-7).to_string(), "-7");
+        assert_eq!(format!("{:>6}", Time::new(42)), "    42");
+        assert_eq!(format!("{:<6}|", Time::new(42)), "42    |");
+    }
+}

@@ -1,0 +1,126 @@
+//! The paper's Fig. 2 system end to end: four sources, an AUTOSAR COM
+//! layer packing them into two CAN frames, and a receiver CPU with three
+//! tasks — analysed once with flat event streams and once with
+//! hierarchical event models.
+//!
+//! Run with `cargo run --example autosar_gateway`.
+
+use hem_repro::analysis::Priority;
+use hem_repro::autosar_com::{FrameType, TransferProperty};
+use hem_repro::can::{CanBusConfig, FrameFormat};
+use hem_repro::event_models::{EventModelExt, StandardEventModel};
+use hem_repro::system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_repro::time::Time;
+
+fn paper_spec() -> Result<SystemSpec, Box<dyn std::error::Error>> {
+    // One paper time unit = 10 CAN bit times (see DESIGN.md).
+    let scale = 10;
+    let source = |period: i64| -> Result<ActivationSpec, Box<dyn std::error::Error>> {
+        Ok(ActivationSpec::External(
+            StandardEventModel::periodic(Time::new(period * scale))?.shared(),
+        ))
+    };
+    Ok(SystemSpec::new()
+        .cpu("cpu1")
+        .bus("can", CanBusConfig::new(Time::new(1)))
+        .frame(FrameSpec {
+            name: "F1".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 4,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![
+                SignalSpec {
+                    name: "s1".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: source(250)?,
+                },
+                SignalSpec {
+                    name: "s2".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: source(450)?,
+                },
+                SignalSpec {
+                    name: "s3".into(),
+                    transfer: TransferProperty::Pending,
+                    source: source(600)?,
+                },
+            ],
+        })
+        .frame(FrameSpec {
+            name: "F2".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 2,
+            format: FrameFormat::Standard,
+            priority: Priority::new(2),
+            signals: vec![SignalSpec {
+                name: "s4".into(),
+                transfer: TransferProperty::Triggering,
+                source: source(400)?,
+            }],
+        })
+        .task(TaskSpec {
+            name: "T1".into(),
+            cpu: "cpu1".into(),
+            bcet: Time::new(24 * scale),
+            wcet: Time::new(24 * scale),
+            priority: Priority::new(1),
+            activation: ActivationSpec::Signal {
+                frame: "F1".into(),
+                signal: "s1".into(),
+            },
+        })
+        .task(TaskSpec {
+            name: "T2".into(),
+            cpu: "cpu1".into(),
+            bcet: Time::new(32 * scale),
+            wcet: Time::new(32 * scale),
+            priority: Priority::new(2),
+            activation: ActivationSpec::Signal {
+                frame: "F1".into(),
+                signal: "s2".into(),
+            },
+        })
+        .task(TaskSpec {
+            name: "T3".into(),
+            cpu: "cpu1".into(),
+            bcet: Time::new(40 * scale),
+            wcet: Time::new(40 * scale),
+            priority: Priority::new(3),
+            activation: ActivationSpec::Signal {
+                frame: "F1".into(),
+                signal: "s3".into(),
+            },
+        }))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = paper_spec()?;
+    let flat = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat))?;
+    let hier = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical))?;
+
+    println!("CAN frames (SPNP arbitration):");
+    for (name, r) in hier.frames() {
+        println!("  {name}: response {}", r.response);
+    }
+    println!();
+    println!("CPU1 tasks (SPP):  flat R+  vs  HEM R+");
+    for task in ["T1", "T2", "T3"] {
+        let rf = flat.task(task).expect("analysed").response.r_plus;
+        let rh = hier.task(task).expect("analysed").response.r_plus;
+        let red = 100.0 * (rf - rh).ticks() as f64 / rf.ticks() as f64;
+        println!("  {task}: {rf:>6}  vs  {rh:>6}   ({red:.1}% reduction)");
+    }
+    println!();
+    println!(
+        "Flat analysis activates every task on every frame arrival; the \
+         hierarchical model unpacks per-signal streams after the bus, \
+         removing that over-estimation (paper Table 3)."
+    );
+    Ok(())
+}

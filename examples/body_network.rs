@@ -1,0 +1,153 @@
+//! A larger case study: an automotive body network with two CAN buses,
+//! a gateway ECU, six frames and nine tasks — the kind of integration
+//! scenario the paper's introduction motivates. Shows the analysis
+//! scaling beyond the paper's minimal example and prints a full system
+//! report: frame responses, task responses flat vs. HEM, end-to-end
+//! latencies.
+//!
+//! Run with `cargo run --example body_network --release`.
+
+use hem_repro::analysis::Priority;
+use hem_repro::autosar_com::{FrameType, TransferProperty};
+use hem_repro::can::{CanBusConfig, FrameFormat};
+use hem_repro::event_models::{EventModelExt, StandardEventModel};
+use hem_repro::system::path::{analyze_path, signal_paths};
+use hem_repro::system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_repro::time::Time;
+
+fn external(period: i64) -> ActivationSpec {
+    ActivationSpec::External(
+        StandardEventModel::periodic(Time::new(period))
+            .expect("positive period")
+            .shared(),
+    )
+}
+
+fn signal(name: &str, transfer: TransferProperty, source: ActivationSpec) -> SignalSpec {
+    SignalSpec {
+        name: name.into(),
+        transfer,
+        source,
+    }
+}
+
+fn frame(
+    name: &str,
+    bus: &str,
+    payload: u8,
+    prio: u32,
+    signals: Vec<SignalSpec>,
+) -> FrameSpec {
+    FrameSpec {
+        name: name.into(),
+        bus: bus.into(),
+        frame_type: FrameType::Direct,
+        payload_bytes: payload,
+        format: FrameFormat::Standard,
+        priority: Priority::new(prio),
+        signals,
+    }
+}
+
+fn task(name: &str, cpu: &str, cet: i64, prio: u32, activation: ActivationSpec) -> TaskSpec {
+    TaskSpec {
+        name: name.into(),
+        cpu: cpu.into(),
+        bcet: Time::new(cet),
+        wcet: Time::new(cet),
+        priority: Priority::new(prio),
+        activation,
+    }
+}
+
+fn sig(frame: &str, signal: &str) -> ActivationSpec {
+    ActivationSpec::Signal {
+        frame: frame.into(),
+        signal: signal.into(),
+    }
+}
+
+fn body_network() -> SystemSpec {
+    use TransferProperty::{Pending, Triggering};
+    SystemSpec::new()
+        .cpu("gateway")
+        .cpu("body")
+        .cpu("dash")
+        .bus("powertrain_can", CanBusConfig::new(Time::new(1)))
+        .bus("body_can", CanBusConfig::new(Time::new(2))) // slower body bus
+        // --- powertrain bus ------------------------------------------
+        .frame(frame("engine", "powertrain_can", 8, 1, vec![
+            signal("rpm", Triggering, external(1_000)),
+            signal("coolant", Pending, external(10_000)),
+        ]))
+        .frame(frame("vehicle", "powertrain_can", 4, 2, vec![
+            signal("speed", Triggering, external(2_000)),
+            signal("odometer", Pending, external(20_000)),
+        ]))
+        .frame(frame("brakes", "powertrain_can", 2, 3, vec![
+            signal("pedal", Triggering, external(5_000)),
+        ]))
+        // --- gateway ECU ----------------------------------------------
+        .task(task("gw_speed", "gateway", 150, 1, sig("vehicle", "speed")))
+        .task(task("gw_rpm", "gateway", 120, 2, sig("engine", "rpm")))
+        .task(task(
+            "gw_diag",
+            "gateway",
+            400,
+            3,
+            ActivationSpec::AnyOf(vec![sig("engine", "coolant"), sig("vehicle", "odometer")]),
+        ))
+        // --- body bus (gateway re-publishes a packed cluster frame) ----
+        .frame(frame("dash_cluster", "body_can", 4, 1, vec![
+            signal("speed", Triggering, ActivationSpec::TaskOutput("gw_speed".into())),
+            signal("rpm", Triggering, ActivationSpec::TaskOutput("gw_rpm".into())),
+        ]))
+        .frame(frame("body_misc", "body_can", 6, 3, vec![
+            signal("doors", Triggering, external(15_000)),
+            signal("lights", Pending, external(30_000)),
+        ]))
+        // --- consumers -------------------------------------------------
+        .task(task("speedo", "dash", 300, 1, sig("dash_cluster", "speed")))
+        .task(task("tacho", "dash", 250, 2, sig("dash_cluster", "rpm")))
+        .task(task("warnings", "dash", 500, 3, sig("body_misc", "lights")))
+        .task(task("door_ctrl", "body", 800, 1, sig("body_misc", "doors")))
+        .task(task("light_ctrl", "body", 600, 2, sig("body_misc", "lights")))
+        .task(task("brake_log", "body", 350, 3, sig("brakes", "pedal")))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = body_network();
+    let hier = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical))?;
+    let flat = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat))?;
+
+    println!("== Frames ({} global iterations) ==", hier.iterations());
+    for (name, r) in hier.frames() {
+        println!("  {name:<12} response {}", r.response);
+    }
+    println!();
+    println!("== Tasks: flat vs. hierarchical ==");
+    for (name, r) in hier.tasks() {
+        let rf = flat.task(name).expect("present").response.r_plus;
+        let rh = r.response.r_plus;
+        let red = 100.0 * (rf - rh).ticks() as f64 / rf.ticks().max(1) as f64;
+        println!("  {name:<12} flat {rf:>6}   HEM {rh:>6}   ({red:>5.1}% reduction)");
+    }
+    println!();
+    println!("== End-to-end signal latencies (HEM) ==");
+    for p in signal_paths(&spec) {
+        if let Ok(lat) = analyze_path(&spec, &hier, &p) {
+            println!(
+                "  {:<24} total {:>6}  (sampling {} + transport {} + reaction {})",
+                format!("{}/{}→{}", p.frame, p.signal, p.task),
+                lat.total(),
+                lat.sampling,
+                lat.transport,
+                lat.reaction
+            );
+        }
+    }
+    Ok(())
+}

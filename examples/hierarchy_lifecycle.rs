@@ -1,0 +1,72 @@
+//! The full life of a hierarchical event model, step by step:
+//! pack (Ω_pa, Def. 8) → transport (Θ_τ + inner update B, Def. 9) →
+//! unpack (Ψ_pa, Def. 10), printing the δ/η functions at each stage.
+//!
+//! Run with `cargo run --example hierarchy_lifecycle`.
+
+use hem_repro::core::{HierarchicalStreamConstructor, PackConstructor, PackInput};
+use hem_repro::event_models::{EventModel, EventModelExt, ModelRef, StandardEventModel};
+use hem_repro::time::Time;
+
+fn describe(label: &str, m: &ModelRef) {
+    let eta: Vec<u64> = (1..=5)
+        .map(|k| m.eta_plus(Time::new(500 * k)))
+        .collect();
+    println!(
+        "  {label:<12} δ⁻(2) = {:>5}  δ⁻(3) = {:>5}  δ⁺(2) = {:>6}  η⁺(500·k) = {eta:?}",
+        m.delta_min(2),
+        m.delta_min(3),
+        m.delta_plus(2),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three signals share one frame: two trigger transmission, one is a
+    // pending value that rides along (AUTOSAR COM semantics, paper §4).
+    let s1 = StandardEventModel::periodic(Time::new(2500))?.shared();
+    let s2 = StandardEventModel::periodic(Time::new(4500))?.shared();
+    let s3 = StandardEventModel::periodic(Time::new(6000))?.shared();
+
+    println!("1. Signal streams written into the COM registers:");
+    describe("s1 (trig)", &s1);
+    describe("s2 (trig)", &s2);
+    describe("s3 (pend)", &s3);
+
+    // Pack: the outer stream is the OR-combination of the triggering
+    // signals; the pending signal is resampled by the frame stream.
+    let hem = PackConstructor::new(vec![
+        PackInput::triggering("s1", s1),
+        PackInput::triggering("s2", s2),
+        PackInput::pending("s3", s3),
+    ])?
+    .construct()?;
+    println!("\n2. After packing (Ω_pa): the bus sees the outer stream");
+    describe("outer", hem.outer());
+    for inner in hem.inners() {
+        describe(&inner.name, &inner.model);
+    }
+
+    // Transport: the bus analysis yields the frame's response-time
+    // interval; processing shifts the outer stream and adapts every
+    // inner stream via the inner update function.
+    let (r_minus, r_plus) = (Time::new(79), Time::new(170));
+    let after = hem.process(r_minus, r_plus)?;
+    println!("\n3. After bus transport (Θ_τ with r = [{r_minus}, {r_plus}], inner update B):");
+    describe("outer", after.outer());
+    for inner in after.inners() {
+        describe(&inner.name, &inner.model);
+    }
+
+    // Unpack: each receiver task is activated by its own signal stream,
+    // not by the total frame stream.
+    println!("\n4. Unpacked activation streams for the receiver tasks (Ψ_pa):");
+    let s1_rx = after.unpack_by_name("s1").expect("s1 present");
+    let total = after.flatten();
+    println!(
+        "  total frame arrivals in 10000 ticks: {}   unpacked s1 arrivals: {}",
+        total.eta_plus(Time::new(10_000)),
+        s1_rx.eta_plus(Time::new(10_000)),
+    );
+    println!("  → activating the receiver by its signal instead of all frames removes the gap.");
+    Ok(())
+}

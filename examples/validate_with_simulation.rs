@@ -1,0 +1,159 @@
+//! Analysis vs. behaviour: builds a two-frame CAN system, computes
+//! response-time bounds with hierarchical event models, then runs the
+//! discrete-event simulator on concrete traces and checks that every
+//! observation stays within the analytic bounds.
+//!
+//! Run with `cargo run --example validate_with_simulation`.
+
+use hem_repro::analysis::Priority;
+use hem_repro::autosar_com::{FrameType, TransferProperty};
+use hem_repro::can::{CanBusConfig, CanFrameConfig, FrameFormat};
+use hem_repro::event_models::{EventModelExt, StandardEventModel};
+use hem_repro::sim::com::ComSignal;
+use hem_repro::sim::system::{run, SimActivation, SimCpuTask, SimFrame, SimSystem};
+use hem_repro::sim::trace;
+use hem_repro::system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_repro::time::Time;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (period_a, period_b) = (3000i64, 5000i64);
+    let bus = CanBusConfig::new(Time::new(1));
+
+    // --- Analysis side -------------------------------------------------
+    let spec = SystemSpec::new()
+        .cpu("rx")
+        .bus("can", bus)
+        .frame(FrameSpec {
+            name: "FA".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 8,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![SignalSpec {
+                name: "a".into(),
+                transfer: TransferProperty::Triggering,
+                source: ActivationSpec::External(
+                    StandardEventModel::periodic(Time::new(period_a))?.shared(),
+                ),
+            }],
+        })
+        .frame(FrameSpec {
+            name: "FB".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 2,
+            format: FrameFormat::Standard,
+            priority: Priority::new(2),
+            signals: vec![SignalSpec {
+                name: "b".into(),
+                transfer: TransferProperty::Triggering,
+                source: ActivationSpec::External(
+                    StandardEventModel::periodic(Time::new(period_b))?.shared(),
+                ),
+            }],
+        })
+        .task(TaskSpec {
+            name: "handler_a".into(),
+            cpu: "rx".into(),
+            bcet: Time::new(200),
+            wcet: Time::new(200),
+            priority: Priority::new(1),
+            activation: ActivationSpec::Signal {
+                frame: "FA".into(),
+                signal: "a".into(),
+            },
+        })
+        .task(TaskSpec {
+            name: "handler_b".into(),
+            cpu: "rx".into(),
+            bcet: Time::new(700),
+            wcet: Time::new(700),
+            priority: Priority::new(2),
+            activation: ActivationSpec::Signal {
+                frame: "FB".into(),
+                signal: "b".into(),
+            },
+        });
+    let bounds = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical))?;
+
+    // --- Behaviour side -------------------------------------------------
+    let horizon = Time::new(1_000_000);
+    let c = |payload| {
+        bus.transmission_time(&CanFrameConfig::new(FrameFormat::Standard, payload).expect("≤ 8"))
+            .r_plus
+    };
+    let sim = SimSystem {
+        frames: vec![
+            SimFrame {
+                name: "FA".into(),
+                priority: Priority::new(1),
+                transmission_time: c(8),
+                frame_type: FrameType::Direct,
+                signals: vec![ComSignal {
+                    name: "a".into(),
+                    transfer: TransferProperty::Triggering,
+                    writes: trace::periodic(Time::new(period_a), horizon),
+                }],
+            },
+            SimFrame {
+                name: "FB".into(),
+                priority: Priority::new(2),
+                transmission_time: c(2),
+                frame_type: FrameType::Direct,
+                signals: vec![ComSignal {
+                    name: "b".into(),
+                    transfer: TransferProperty::Triggering,
+                    writes: trace::periodic(Time::new(period_b), horizon),
+                }],
+            },
+        ],
+        tasks: vec![
+            SimCpuTask {
+                name: "handler_a".into(),
+                priority: Priority::new(1),
+                execution_time: Time::new(200),
+                activation: SimActivation::Delivery {
+                    frame: "FA".into(),
+                    signal: "a".into(),
+                },
+            },
+            SimCpuTask {
+                name: "handler_b".into(),
+                priority: Priority::new(2),
+                execution_time: Time::new(700),
+                activation: SimActivation::Delivery {
+                    frame: "FB".into(),
+                    signal: "b".into(),
+                },
+            },
+        ],
+    };
+    let report = run(&sim, horizon);
+
+    // --- Comparison ------------------------------------------------------
+    println!("{:<10} {:>12} {:>12} {:>8}", "entity", "observed R", "bound R+", "slack");
+    let mut ok = true;
+    for name in ["FA", "FB"] {
+        let observed = report.frame_worst_response[name];
+        let bound = bounds.frame(name).expect("analysed").response.r_plus;
+        ok &= observed <= bound;
+        println!("{name:<10} {observed:>12} {bound:>12} {:>8}", bound - observed);
+    }
+    for name in ["handler_a", "handler_b"] {
+        let observed = report.task_worst_response[name];
+        let bound = bounds.task(name).expect("analysed").response.r_plus;
+        ok &= observed <= bound;
+        println!("{name:<10} {observed:>12} {bound:>12} {:>8}", bound - observed);
+    }
+    println!();
+    if ok {
+        println!("OK: every observation is within its analytic bound.");
+        Ok(())
+    } else {
+        Err("bound violated — analysis would be unsound".into())
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the HEM reproduction workspace.
+//!
+//! This crate re-exports the workspace members so the root-level
+//! `examples/` and `tests/` can use a single dependency. Library users
+//! should depend on the individual crates (`hem-core`, `hem-analysis`, …)
+//! directly.
+
+pub use hem_analysis as analysis;
+pub use hem_autosar_com as autosar_com;
+pub use hem_can as can;
+pub use hem_core as core;
+pub use hem_event_models as event_models;
+pub use hem_sim as sim;
+pub use hem_system as system;
+pub use hem_time as time;

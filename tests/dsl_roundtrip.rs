@@ -1,0 +1,122 @@
+//! Property: rendering a scenario AST and parsing it back is the
+//! identity — scenario files are a faithful storage format.
+
+use proptest::prelude::*;
+
+use hem_repro::autosar_com::{FrameType, TransferProperty};
+use hem_repro::can::FrameFormat;
+use hem_repro::system::dsl::{
+    parse_scenario, BusDecl, FrameDecl, Scenario, SignalDecl, SourceDecl, TaskDecl,
+};
+use hem_repro::time::Time;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn source(for_task: bool) -> BoxedStrategy<SourceDecl> {
+    let periodic = (1i64..100_000, 0i64..5_000)
+        .prop_map(|(period, jitter)| SourceDecl::Periodic { period, jitter });
+    let output = ident().prop_map(SourceDecl::TaskOutput);
+    if for_task {
+        prop_oneof![
+            periodic,
+            output,
+            (ident(), ident()).prop_map(|(frame, signal)| SourceDecl::Signal { frame, signal }),
+            ident().prop_map(SourceDecl::FrameArrivals),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![periodic, output].boxed()
+    }
+}
+
+fn frame_type() -> impl Strategy<Value = FrameType> {
+    prop_oneof![
+        Just(FrameType::Direct),
+        (1i64..50_000).prop_map(|p| FrameType::Periodic(Time::new(p))),
+        (1i64..50_000).prop_map(|p| FrameType::Mixed(Time::new(p))),
+    ]
+}
+
+fn signal_decl() -> impl Strategy<Value = SignalDecl> {
+    (
+        ident(),
+        prop_oneof![
+            Just(TransferProperty::Triggering),
+            Just(TransferProperty::Pending)
+        ],
+        source(false),
+    )
+        .prop_map(|(name, transfer, source)| SignalDecl {
+            name,
+            transfer,
+            source,
+        })
+}
+
+fn frame_decl() -> impl Strategy<Value = FrameDecl> {
+    (
+        ident(),
+        ident(),
+        frame_type(),
+        0u8..=8,
+        prop_oneof![Just(FrameFormat::Standard), Just(FrameFormat::Extended)],
+        0u32..1000,
+        prop::collection::vec(signal_decl(), 1..=4),
+    )
+        .prop_map(|(name, bus, frame_type, payload, format, prio, signals)| FrameDecl {
+            name,
+            bus,
+            frame_type,
+            payload,
+            format,
+            prio,
+            signals,
+        })
+}
+
+fn task_decl() -> impl Strategy<Value = TaskDecl> {
+    (ident(), ident(), 0i64..1_000, 1i64..1_000, 0u32..1000, source(true)).prop_map(
+        |(name, cpu, b, extra, prio, activation)| TaskDecl {
+            name,
+            cpu,
+            bcet: b.min(b + extra),
+            wcet: b + extra,
+            prio,
+            activation,
+        },
+    )
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop::collection::vec(ident(), 0..3),
+        prop::collection::vec(
+            (ident(), 1i64..100).prop_map(|(name, bit_time)| BusDecl { name, bit_time }),
+            0..3,
+        ),
+        prop::collection::vec(frame_decl(), 0..4),
+        prop::collection::vec(task_decl(), 0..4),
+    )
+        .prop_map(|(cpus, buses, frames, tasks)| Scenario {
+            cpus,
+            buses,
+            frames,
+            tasks,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn render_then_parse_is_identity(s in scenario()) {
+        let text = s.render();
+        let reparsed = parse_scenario(&text)
+            .map_err(|e| TestCaseError::fail(format!("render output failed to parse: {e}\n{text}")))?;
+        prop_assert_eq!(&s, &reparsed, "round-trip mismatch; rendered:\n{}", text);
+        // Rendering is canonical: a second round trip is textually stable.
+        prop_assert_eq!(text, reparsed.render());
+    }
+}

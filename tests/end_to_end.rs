@@ -1,0 +1,274 @@
+//! Cross-crate integration tests: full systems through the global
+//! analysis engine, comparing flat and hierarchical modes.
+
+use hem_repro::analysis::Priority;
+use hem_repro::autosar_com::{FrameType, TransferProperty};
+use hem_repro::can::{CanBusConfig, FrameFormat};
+use hem_repro::event_models::{EventModel, EventModelExt, StandardEventModel};
+use hem_repro::system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_repro::time::Time;
+
+/// The paper's Fig. 2 system at scale 10 (see DESIGN.md).
+fn paper_spec() -> SystemSpec {
+    let scale = 10;
+    let source = |period: i64| {
+        ActivationSpec::External(
+            StandardEventModel::periodic(Time::new(period * scale))
+                .expect("positive period")
+                .shared(),
+        )
+    };
+    let task = |name: &str, cet: i64, prio: u32, signal: &str| TaskSpec {
+        name: name.into(),
+        cpu: "cpu1".into(),
+        bcet: Time::new(cet * scale),
+        wcet: Time::new(cet * scale),
+        priority: Priority::new(prio),
+        activation: ActivationSpec::Signal {
+            frame: "F1".into(),
+            signal: signal.into(),
+        },
+    };
+    SystemSpec::new()
+        .cpu("cpu1")
+        .bus("can", CanBusConfig::new(Time::new(1)))
+        .frame(FrameSpec {
+            name: "F1".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 4,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![
+                SignalSpec {
+                    name: "s1".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: source(250),
+                },
+                SignalSpec {
+                    name: "s2".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: source(450),
+                },
+                SignalSpec {
+                    name: "s3".into(),
+                    transfer: TransferProperty::Pending,
+                    source: source(600),
+                },
+            ],
+        })
+        .frame(FrameSpec {
+            name: "F2".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 2,
+            format: FrameFormat::Standard,
+            priority: Priority::new(2),
+            signals: vec![SignalSpec {
+                name: "s4".into(),
+                transfer: TransferProperty::Triggering,
+                source: source(400),
+            }],
+        })
+        .task(task("T1", 24, 1, "s1"))
+        .task(task("T2", 32, 2, "s2"))
+        .task(task("T3", 40, 3, "s3"))
+}
+
+#[test]
+fn paper_system_hem_dominates_flat_for_every_task() {
+    let spec = paper_spec();
+    let flat = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).expect("flat converges");
+    let hier =
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("hier converges");
+    for task in ["T1", "T2", "T3"] {
+        let rf = flat.task(task).expect("present").response.r_plus;
+        let rh = hier.task(task).expect("present").response.r_plus;
+        assert!(rh <= rf, "{task}: HEM {rh} must not exceed flat {rf}");
+        assert!(rh < rf, "{task}: HEM should strictly improve here");
+    }
+}
+
+#[test]
+fn frame_results_are_mode_independent() {
+    // Both modes analyse the same outer streams on the bus, so frame
+    // response times must agree exactly.
+    let spec = paper_spec();
+    let flat = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).expect("flat converges");
+    let hier =
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("hier converges");
+    for frame in ["F1", "F2"] {
+        assert_eq!(
+            flat.frame(frame).expect("present").response,
+            hier.frame(frame).expect("present").response,
+            "{frame}"
+        );
+    }
+}
+
+#[test]
+fn unpacked_streams_are_bounded_by_frame_stream() {
+    let spec = paper_spec();
+    let hier =
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("hier converges");
+    let total = hier.frame_output("F1").expect("present");
+    for signal in ["s1", "s2", "s3"] {
+        let inner = hier.unpacked_signal("F1", signal).expect("present");
+        for dt in (100..=30_000).step_by(700) {
+            let dt = Time::new(dt);
+            assert!(
+                inner.eta_plus(dt) <= total.eta_plus(dt),
+                "{signal} at Δt = {dt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pending_signal_has_no_arrival_guarantee() {
+    let spec = paper_spec();
+    let hier =
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("hier converges");
+    let s3 = hier.unpacked_signal("F1", "s3").expect("present");
+    assert_eq!(s3.eta_minus(Time::new(1_000_000)), 0);
+    // Triggering signals keep a finite guarantee.
+    let s1 = hier.unpacked_signal("F1", "s1").expect("present");
+    assert!(s1.eta_minus(Time::new(1_000_000)) > 0);
+}
+
+#[test]
+fn results_iterators_cover_all_entities() {
+    let spec = paper_spec();
+    let hier =
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("hier converges");
+    let tasks: Vec<&str> = hier.tasks().map(|(n, _)| n).collect();
+    assert_eq!(tasks, vec!["T1", "T2", "T3"]);
+    let frames: Vec<&str> = hier.frames().map(|(n, _)| n).collect();
+    assert_eq!(frames, vec!["F1", "F2"]);
+    assert!(hier.iterations() >= 2);
+}
+
+#[test]
+fn periodic_frame_variant_analyses() {
+    // Same system but F1 sent periodically: the bus load decouples from
+    // the signal rates, and every signal becomes effectively pending.
+    let mut spec = paper_spec();
+    spec.frames[0].frame_type = FrameType::Periodic(Time::new(1500));
+    let hier =
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("hier converges");
+    let s1 = hier.unpacked_signal("F1", "s1").expect("present");
+    assert_eq!(s1.eta_minus(Time::new(1_000_000)), 0, "s1 pending now");
+    // The frame stream is exactly periodic with bus jitter.
+    let f1 = hier.frame_output("F1").expect("present");
+    assert!(f1.delta_min(2) > Time::ZERO);
+}
+
+#[test]
+fn mixed_frame_variant_analyses() {
+    let mut spec = paper_spec();
+    spec.frames[0].frame_type = FrameType::Mixed(Time::new(2000));
+    let hier =
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("hier converges");
+    // The timer adds extra frames: more arrivals than the direct variant.
+    let direct = analyze(&paper_spec(), &SystemConfig::new(AnalysisMode::Hierarchical))
+        .expect("hier converges");
+    let mixed_f1 = hier.frame_output("F1").expect("present");
+    let direct_f1 = direct.frame_output("F1").expect("present");
+    assert!(
+        mixed_f1.eta_plus(Time::new(100_000)) > direct_f1.eta_plus(Time::new(100_000)),
+        "timer adds frames"
+    );
+}
+
+#[test]
+fn overload_reports_no_convergence_cleanly() {
+    let mut spec = paper_spec();
+    // Crank T3's execution time into overload under flat analysis.
+    spec.tasks[2].wcet = Time::new(1500);
+    spec.tasks[2].bcet = Time::new(1500);
+    let err = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("did not converge") || msg.contains("busy"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn gateway_couples_two_buses_through_a_task() {
+    // source → F_in on bus0 → gateway task on cpu_gw → signal into F_out
+    // on bus1 → receiver on cpu_rx. Exercises lazy cross-bus resolution.
+    let source = ActivationSpec::External(
+        StandardEventModel::periodic(Time::new(5_000))
+            .expect("valid")
+            .shared(),
+    );
+    let spec = SystemSpec::new()
+        .cpu("cpu_gw")
+        .cpu("cpu_rx")
+        .bus("bus0", CanBusConfig::new(Time::new(1)))
+        .bus("bus1", CanBusConfig::new(Time::new(1)))
+        .frame(FrameSpec {
+            name: "F_in".into(),
+            bus: "bus0".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 4,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![SignalSpec {
+                name: "s".into(),
+                transfer: TransferProperty::Triggering,
+                source,
+            }],
+        })
+        .task(TaskSpec {
+            name: "gateway".into(),
+            cpu: "cpu_gw".into(),
+            bcet: Time::new(50),
+            wcet: Time::new(120),
+            priority: Priority::new(1),
+            activation: ActivationSpec::Signal {
+                frame: "F_in".into(),
+                signal: "s".into(),
+            },
+        })
+        .frame(FrameSpec {
+            name: "F_out".into(),
+            bus: "bus1".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 4,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![SignalSpec {
+                name: "s".into(),
+                transfer: TransferProperty::Triggering,
+                source: ActivationSpec::TaskOutput("gateway".into()),
+            }],
+        })
+        .task(TaskSpec {
+            name: "receiver".into(),
+            cpu: "cpu_rx".into(),
+            bcet: Time::new(80),
+            wcet: Time::new(80),
+            priority: Priority::new(1),
+            activation: ActivationSpec::Signal {
+                frame: "F_out".into(),
+                signal: "s".into(),
+            },
+        });
+    let r = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical))
+        .expect("gateway system converges");
+    // Each hop is uncontended: frame responses are the plain 95-bit
+    // transmissions, tasks their own CETs.
+    assert_eq!(r.frame("F_in").unwrap().response.r_plus, Time::new(95));
+    assert_eq!(r.frame("F_out").unwrap().response.r_plus, Time::new(95));
+    assert_eq!(r.task("gateway").unwrap().response.r_plus, Time::new(120));
+    assert_eq!(r.task("receiver").unwrap().response.r_plus, Time::new(80));
+    // The receiver's activation accumulates the jitter of the whole path:
+    // bus0 (95−79) + gateway (120−50) + bus1 (95−79) = 102.
+    let act = r.task_activation("receiver").unwrap();
+    assert_eq!(act.delta_min(2), Time::new(5_000 - 102));
+}

@@ -1,0 +1,171 @@
+//! Multi-hop validation: a gateway topology analysed by the global
+//! engine and executed by the network simulator — every observation must
+//! stay within the analytic bounds, across both buses and both CPUs.
+
+use hem_repro::analysis::Priority;
+use hem_repro::autosar_com::{FrameType, TransferProperty};
+use hem_repro::can::{CanBusConfig, FrameFormat};
+use hem_repro::event_models::{EventModelExt, StandardEventModel};
+use hem_repro::sim::network::run;
+use hem_repro::sim::trace;
+use hem_repro::system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_repro::time::Time;
+
+const SRC_PERIOD: i64 = 4_000;
+const BG_PERIOD: i64 = 3_000;
+const GW_CET: i64 = 150;
+const BG_CET: i64 = 400;
+const RX_CET: i64 = 250;
+
+/// Analysis-side description: source → F_in (bus0) → gateway (cpu_gw,
+/// sharing the CPU with a background task) → F_out (bus1, competing with
+/// a periodic frame) → receiver (cpu_rx).
+fn analysis_spec() -> SystemSpec {
+    let src = |p: i64| {
+        ActivationSpec::External(
+            StandardEventModel::periodic(Time::new(p)).expect("valid").shared(),
+        )
+    };
+    SystemSpec::new()
+        .cpu("cpu_gw")
+        .cpu("cpu_rx")
+        .bus("bus0", CanBusConfig::new(Time::new(1)))
+        .bus("bus1", CanBusConfig::new(Time::new(1)))
+        .frame(FrameSpec {
+            name: "F_in".into(),
+            bus: "bus0".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 4,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![SignalSpec {
+                name: "s".into(),
+                transfer: TransferProperty::Triggering,
+                source: src(SRC_PERIOD),
+            }],
+        })
+        .task(TaskSpec {
+            name: "gateway".into(),
+            cpu: "cpu_gw".into(),
+            bcet: Time::new(GW_CET),
+            wcet: Time::new(GW_CET),
+            priority: Priority::new(1),
+            activation: ActivationSpec::Signal {
+                frame: "F_in".into(),
+                signal: "s".into(),
+            },
+        })
+        .task(TaskSpec {
+            name: "background".into(),
+            cpu: "cpu_gw".into(),
+            bcet: Time::new(BG_CET),
+            wcet: Time::new(BG_CET),
+            priority: Priority::new(2),
+            activation: src(BG_PERIOD),
+        })
+        .frame(FrameSpec {
+            name: "F_out".into(),
+            bus: "bus1".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 4,
+            format: FrameFormat::Standard,
+            priority: Priority::new(2),
+            signals: vec![SignalSpec {
+                name: "s".into(),
+                transfer: TransferProperty::Triggering,
+                source: ActivationSpec::TaskOutput("gateway".into()),
+            }],
+        })
+        .frame(FrameSpec {
+            name: "F_noise".into(),
+            bus: "bus1".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 8,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![SignalSpec {
+                name: "n".into(),
+                transfer: TransferProperty::Triggering,
+                source: src(2_500),
+            }],
+        })
+        .task(TaskSpec {
+            name: "receiver".into(),
+            cpu: "cpu_rx".into(),
+            bcet: Time::new(RX_CET),
+            wcet: Time::new(RX_CET),
+            priority: Priority::new(1),
+            activation: ActivationSpec::Signal {
+                frame: "F_out".into(),
+                signal: "s".into(),
+            },
+        })
+}
+
+/// Behaviour side, derived mechanically from the same spec (only the
+/// external traces are supplied).
+fn net_system(horizon: Time) -> hem_repro::sim::network::NetSystem {
+    use std::collections::BTreeMap;
+    let mut traces: BTreeMap<String, Vec<Time>> = BTreeMap::new();
+    traces.insert(
+        "F_in/s".into(),
+        trace::periodic(Time::new(SRC_PERIOD), horizon),
+    );
+    traces.insert(
+        "F_noise/n".into(),
+        trace::periodic(Time::new(2_500), horizon),
+    );
+    traces.insert(
+        "task:background".into(),
+        trace::periodic(Time::new(BG_PERIOD), horizon),
+    );
+    hem_repro::sim::from_spec::net_system_from_spec(&analysis_spec(), &traces)
+        .expect("spec translates")
+}
+
+#[test]
+fn observations_within_bounds_on_every_hop() {
+    let results = analyze(&analysis_spec(), &SystemConfig::new(AnalysisMode::Hierarchical))
+        .expect("gateway system converges");
+    let horizon = Time::new(400_000);
+    let report = run(&net_system(horizon), horizon);
+
+    for frame in ["F_in", "F_out", "F_noise"] {
+        let bound = results.frame(frame).expect("analysed").response.r_plus;
+        let observed = report.frame_worst_response[frame];
+        assert!(
+            observed <= bound,
+            "{frame}: observed {observed} > bound {bound}"
+        );
+    }
+    for task in ["gateway", "background", "receiver"] {
+        let bound = results.task(task).expect("analysed").response.r_plus;
+        let observed = report.task_worst_response[task];
+        assert!(
+            observed <= bound,
+            "{task}: observed {observed} > bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn downstream_deliveries_respect_propagated_model() {
+    let results = analyze(&analysis_spec(), &SystemConfig::new(AnalysisMode::Hierarchical))
+        .expect("converges");
+    let horizon = Time::new(400_000);
+    let report = run(&net_system(horizon), horizon);
+    // The unpacked second-hop stream must cover the simulated deliveries.
+    let model = results
+        .unpacked_signal("F_out", "s")
+        .expect("hierarchical mode stores signals");
+    let deliveries = &report.deliveries["F_out/s"];
+    assert!(deliveries.len() > 50, "enough samples");
+    assert_eq!(
+        trace::check_admissible(deliveries, model.as_ref()),
+        None,
+        "second-hop deliveries violate the propagated model"
+    );
+}

@@ -1,0 +1,255 @@
+//! Property-based tests of the flat event-model layer: every model and
+//! combinator must uphold the `EventModel` contract and the η/δ duality
+//! of paper eqs. (1),(2).
+
+use proptest::prelude::*;
+
+use hem_repro::event_models::ops::{AndJoin, DminShaper, OrJoin, OutputModel};
+use hem_repro::event_models::{
+    check_consistency, check_super_additivity, convert, EventModel, EventModelExt, ModelRef,
+    SporadicModel, StandardEventModel,
+};
+use hem_repro::time::Time;
+
+fn sem_strategy() -> impl Strategy<Value = StandardEventModel> {
+    (1i64..500, 0i64..800).prop_flat_map(|(p, j)| {
+        (0i64..=p.min(60)).prop_map(move |d| {
+            StandardEventModel::new(Time::new(p), Time::new(j), Time::new(d))
+                .expect("valid params")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sem_satisfies_model_contract(m in sem_strategy()) {
+        check_consistency(&m, 40).expect("consistent");
+        // SEMs are exact distance functions: super-additive too.
+        check_super_additivity(&m, 40).expect("super-additive");
+    }
+
+    #[test]
+    fn sem_eta_delta_duality(m in sem_strategy(), dt in 0i64..5_000) {
+        let dt = Time::new(dt);
+        // Closed forms must equal the generic eq. (1)/(2) conversions.
+        prop_assert_eq!(
+            m.eta_plus(dt),
+            convert::eta_plus_from_delta_min(&|n| m.delta_min(n), dt)
+        );
+        prop_assert_eq!(
+            m.eta_minus(dt),
+            convert::eta_minus_from_delta_plus(&|n| m.delta_plus(n), dt)
+        );
+        // η⁻ never exceeds η⁺.
+        prop_assert!(m.eta_minus(dt) <= m.eta_plus(dt));
+    }
+
+    #[test]
+    fn sem_delta_inversion_roundtrip(m in sem_strategy(), n in 2u64..30) {
+        let eta_plus = |dt: Time| m.eta_plus(dt);
+        let ub = m.delta_min(n) + Time::ONE;
+        prop_assert_eq!(
+            convert::delta_min_from_eta_plus(&eta_plus, n, ub),
+            m.delta_min(n)
+        );
+        let eta_minus = |dt: Time| m.eta_minus(dt);
+        prop_assert_eq!(
+            convert::delta_plus_from_eta_minus(&eta_minus, n),
+            m.delta_plus(n)
+        );
+    }
+
+    #[test]
+    fn or_join_matches_contribution_vectors(
+        a in sem_strategy(),
+        b in sem_strategy(),
+        n in 2u64..10,
+    ) {
+        let or = OrJoin::new(vec![a.shared(), b.shared()]).expect("non-empty");
+        // Reference: direct minimization over contribution vectors (3).
+        let reference_min = (0..=n)
+            .map(|ka| a.delta_min(ka).max(b.delta_min(n - ka)))
+            .min()
+            .expect("non-empty");
+        prop_assert_eq!(or.delta_min(n), reference_min);
+        // Reference for eq. (4).
+        let reference_plus = (0..=(n - 2))
+            .map(|ka| a.delta_plus(ka + 2).min(b.delta_plus(n - ka)))
+            .max()
+            .expect("non-empty");
+        prop_assert_eq!(or.delta_plus(n), reference_plus);
+    }
+
+    #[test]
+    fn or_join_is_consistent_model(a in sem_strategy(), b in sem_strategy()) {
+        let or = OrJoin::new(vec![a.shared(), b.shared()]).expect("non-empty");
+        check_consistency(&or, 15).expect("consistent");
+        // The OR-combination is exact (eqs. (3),(4)): super-additive.
+        check_super_additivity(&or, 15).expect("super-additive");
+    }
+
+    #[test]
+    fn and_join_is_consistent_model(a in sem_strategy(), b in sem_strategy()) {
+        let and = AndJoin::new(vec![a.shared(), b.shared()]).expect("non-empty");
+        check_consistency(&and, 15).expect("consistent");
+    }
+
+    #[test]
+    fn output_model_is_consistent_and_conservative(
+        m in sem_strategy(),
+        r_minus in 0i64..100,
+        extra in 0i64..200,
+    ) {
+        let (rm, rp) = (Time::new(r_minus), Time::new(r_minus + extra));
+        let out = OutputModel::new(m.shared(), rm, rp).expect("valid interval");
+        check_consistency(&out, 25).expect("consistent");
+        // Output can only admit more events per window than the input
+        // plus the one extra event whose completion slides into it.
+        for dt in [50i64, 500, 2_000] {
+            let dt = Time::new(dt);
+            prop_assert!(out.eta_plus(dt) <= m.eta_plus(dt + (rp - rm)) );
+        }
+    }
+
+    #[test]
+    fn output_matches_sem_closed_form(
+        m in sem_strategy(),
+        r_minus in 0i64..100,
+        extra in 0i64..200,
+    ) {
+        let (rm, rp) = (Time::new(r_minus), Time::new(r_minus + extra));
+        let generic = OutputModel::new(m.shared(), rm, rp).expect("valid");
+        // The closed form only exists when the input rate can sustain the
+        // minimum response time (r⁻ ≤ P); skip infeasible combinations.
+        prop_assume!(rm <= m.period());
+        let closed = m.propagated(rm, rp).expect("valid");
+        for n in 2u64..20 {
+            // The generic recursion is at least as tight as the closed
+            // form for δ⁻ and identical for δ⁺.
+            prop_assert!(generic.delta_min(n) >= closed.delta_min(n), "n = {}", n);
+            prop_assert_eq!(generic.delta_plus(n), closed.delta_plus(n));
+        }
+    }
+
+    #[test]
+    fn shaper_enforces_distance_and_stays_consistent(
+        m in sem_strategy(),
+        d in 0i64..100,
+    ) {
+        let d = Time::new(d);
+        let shaped = DminShaper::new(m.shared(), d).expect("non-negative");
+        check_consistency(&shaped, 20).expect("consistent");
+        for n in 2u64..15 {
+            prop_assert!(shaped.delta_min(n) >= d * (n as i64 - 1));
+            prop_assert!(shaped.delta_min(n) >= m.delta_min(n));
+        }
+    }
+
+    #[test]
+    fn sporadic_is_consistent(d in 1i64..500) {
+        let m = SporadicModel::new(Time::new(d)).expect("positive");
+        check_consistency(&m, 30).expect("consistent");
+        prop_assert_eq!(m.eta_minus(Time::new(1_000_000)), 0);
+    }
+
+    #[test]
+    fn max_simultaneous_matches_definition(m in sem_strategy()) {
+        let k = m.max_simultaneous();
+        prop_assert_eq!(m.delta_min(k), Time::ZERO);
+        prop_assert!(m.delta_min(k + 1) > Time::ZERO);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Materializing any SEM into an explicit curve preserves all four
+    /// characteristic functions (within and beyond the sampled prefix).
+    #[test]
+    fn curve_sampling_roundtrip(m in sem_strategy(), extra in 8u64..40) {
+        use hem_repro::event_models::CurveModel;
+        // The prefix must clear the SEM's irregular head: δ⁻ follows the
+        // d_min line until (n−1) > J / (P − d_min).
+        let head = if m.dmin() < m.period() {
+            (m.jitter().ticks() / (m.period() - m.dmin()).ticks()) as u64
+        } else {
+            0
+        };
+        let prefix = extra + head;
+        let curve = CurveModel::sample(&m, prefix, 1, m.period()).expect("samples");
+        for n in 0..=(prefix * 2) {
+            prop_assert_eq!(curve.delta_min(n), m.delta_min(n), "δ⁻({})", n);
+            prop_assert_eq!(curve.delta_plus(n), m.delta_plus(n), "δ⁺({})", n);
+        }
+        for dt in (0..6_000).step_by(173) {
+            let dt = Time::new(dt);
+            prop_assert_eq!(curve.eta_plus(dt), m.eta_plus(dt));
+            prop_assert_eq!(curve.eta_minus(dt), m.eta_minus(dt));
+        }
+    }
+
+    /// Every concrete burst trace is admissible for its burst model.
+    #[test]
+    fn burst_model_covers_its_traces(
+        period in 50i64..500,
+        burst in 1u64..5,
+        inner in 0i64..10,
+        phase in 0i64..100,
+    ) {
+        use hem_repro::event_models::PeriodicBurstModel;
+        prop_assume!(inner * (burst as i64 - 1) < period);
+        let m = PeriodicBurstModel::new(Time::new(period), burst, Time::new(inner))
+            .expect("valid");
+        // Concrete trace: bursts from `phase`, 40 events.
+        let mut trace = Vec::new();
+        let mut t = Time::new(phase);
+        'outer: loop {
+            for o in 0..burst {
+                trace.push(t + Time::new(inner) * o as i64);
+                if trace.len() >= 40 {
+                    break 'outer;
+                }
+            }
+            t += Time::new(period);
+        }
+        for n in 2..=trace.len() {
+            for w in trace.windows(n) {
+                let span = w[n - 1] - w[0];
+                prop_assert!(span >= m.delta_min(n as u64), "δ⁻({}) violated", n);
+                prop_assert!(
+                    hem_repro::time::TimeBound::from(span) <= m.delta_plus(n as u64),
+                    "δ⁺({}) violated", n
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn or_join_nests_associatively_in_eta() {
+    // (a | b) | c and a | (b | c) describe the same stream: η⁺ must agree.
+    let a: ModelRef = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+    let b: ModelRef = StandardEventModel::periodic(Time::new(150)).unwrap().shared();
+    let c: ModelRef = StandardEventModel::periodic(Time::new(70)).unwrap().shared();
+    let left = OrJoin::new(vec![
+        OrJoin::new(vec![a.clone(), b.clone()]).unwrap().shared(),
+        c.clone(),
+    ])
+    .unwrap();
+    let right = OrJoin::new(vec![
+        a,
+        OrJoin::new(vec![b, c]).unwrap().shared(),
+    ])
+    .unwrap();
+    for dt in (0..2000).step_by(37) {
+        let dt = Time::new(dt);
+        assert_eq!(left.eta_plus(dt), right.eta_plus(dt), "Δt = {dt}");
+        assert_eq!(left.eta_minus(dt), right.eta_minus(dt), "Δt = {dt}");
+    }
+    for n in 2u64..25 {
+        assert_eq!(left.delta_min(n), right.delta_min(n), "n = {n}");
+        assert_eq!(left.delta_plus(n), right.delta_plus(n), "n = {n}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Conservativeness on randomized *multi-hop* systems: random gateway
+//! chains (bus → CPU → bus → CPU) are analysed by the global engine and
+//! executed by the network simulator derived from the very same spec via
+//! `hem_sim::from_spec`. Every observation must stay within its bound.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use hem_repro::analysis::Priority;
+use hem_repro::autosar_com::{FrameType, TransferProperty};
+use hem_repro::can::{CanBusConfig, FrameFormat};
+use hem_repro::event_models::{EventModelExt, StandardEventModel};
+use hem_repro::sim::from_spec::net_system_from_spec;
+use hem_repro::sim::network::run;
+use hem_repro::sim::trace;
+use hem_repro::system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_repro::time::Time;
+
+/// A randomized two-hop chain: `lanes` parallel source→gateway→receiver
+/// paths sharing bus0, one gateway CPU, bus1 and one receiver CPU.
+#[derive(Debug, Clone)]
+struct ChainCfg {
+    /// Per lane: (source period, gateway CET, receiver CET).
+    lanes: Vec<(i64, i64, i64)>,
+}
+
+fn chain_strategy() -> impl Strategy<Value = ChainCfg> {
+    prop::collection::vec((4_000i64..12_000, 50i64..300, 50i64..300), 1..=3)
+        .prop_map(|lanes| ChainCfg { lanes })
+}
+
+fn to_spec(cfg: &ChainCfg) -> SystemSpec {
+    let mut spec = SystemSpec::new()
+        .cpu("cpu_gw")
+        .cpu("cpu_rx")
+        .bus("bus0", CanBusConfig::new(Time::new(1)))
+        .bus("bus1", CanBusConfig::new(Time::new(1)));
+    for (i, (period, gw_cet, rx_cet)) in cfg.lanes.iter().enumerate() {
+        spec = spec
+            .frame(FrameSpec {
+                name: format!("in{i}"),
+                bus: "bus0".into(),
+                frame_type: FrameType::Direct,
+                payload_bytes: 4,
+                format: FrameFormat::Standard,
+                priority: Priority::new(i as u32 + 1),
+                signals: vec![SignalSpec {
+                    name: "s".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: ActivationSpec::External(
+                        StandardEventModel::periodic(Time::new(*period))
+                            .expect("valid")
+                            .shared(),
+                    ),
+                }],
+            })
+            .task(TaskSpec {
+                name: format!("gw{i}"),
+                cpu: "cpu_gw".into(),
+                bcet: Time::new(*gw_cet),
+                wcet: Time::new(*gw_cet),
+                priority: Priority::new(i as u32 + 1),
+                activation: ActivationSpec::Signal {
+                    frame: format!("in{i}"),
+                    signal: "s".into(),
+                },
+            })
+            .frame(FrameSpec {
+                name: format!("out{i}"),
+                bus: "bus1".into(),
+                frame_type: FrameType::Direct,
+                payload_bytes: 2,
+                format: FrameFormat::Standard,
+                priority: Priority::new(i as u32 + 1),
+                signals: vec![SignalSpec {
+                    name: "s".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: ActivationSpec::TaskOutput(format!("gw{i}")),
+                }],
+            })
+            .task(TaskSpec {
+                name: format!("rx{i}"),
+                cpu: "cpu_rx".into(),
+                bcet: Time::new(*rx_cet),
+                wcet: Time::new(*rx_cet),
+                priority: Priority::new(i as u32 + 1),
+                activation: ActivationSpec::Signal {
+                    frame: format!("out{i}"),
+                    signal: "s".into(),
+                },
+            });
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn two_hop_chains_within_bounds(cfg in chain_strategy(), phase_seed in 0u64..100) {
+        let spec = to_spec(&cfg);
+        let results = match analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // overloaded draw: nothing to check
+        };
+        let horizon = Time::new(200_000);
+        let mut traces: BTreeMap<String, Vec<Time>> = BTreeMap::new();
+        for (i, (period, _, _)) in cfg.lanes.iter().enumerate() {
+            traces.insert(
+                format!("in{i}/s"),
+                trace::periodic_with_jitter(Time::new(*period), Time::ZERO, horizon,
+                    phase_seed ^ i as u64),
+            );
+        }
+        let net = net_system_from_spec(&spec, &traces).expect("translates");
+        let report = run(&net, horizon);
+        for (name, result) in results.frames() {
+            let observed = report.frame_worst_response[name];
+            prop_assert!(
+                observed <= result.response.r_plus,
+                "frame {}: {} > {}", name, observed, result.response.r_plus
+            );
+        }
+        for (name, result) in results.tasks() {
+            let observed = report.task_worst_response[name];
+            prop_assert!(
+                observed <= result.response.r_plus,
+                "task {}: {} > {}", name, observed, result.response.r_plus
+            );
+        }
+        // Second-hop deliveries must be admissible for every unpacked
+        // downstream model.
+        for i in 0..cfg.lanes.len() {
+            let frame = format!("out{i}");
+            let deliveries = &report.deliveries[&format!("{frame}/s")];
+            if deliveries.len() < 2 {
+                continue;
+            }
+            let model = results.unpacked_signal(&frame, "s").expect("stored");
+            prop_assert_eq!(
+                trace::check_admissible(deliveries, model.as_ref()),
+                None,
+                "lane {} second hop violates the propagated model", i
+            );
+        }
+    }
+}
+
+/// The guard that keeps the property meaningful: most draws analysable.
+#[test]
+fn most_chain_draws_are_analysable() {
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    let mut ok = 0;
+    for _ in 0..30 {
+        let cfg = chain_strategy()
+            .new_tree(&mut runner)
+            .expect("strategy works")
+            .current();
+        if analyze(&to_spec(&cfg), &SystemConfig::new(AnalysisMode::Hierarchical)).is_ok() {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 20, "only {ok}/30 chains analysable");
+}

@@ -1,0 +1,103 @@
+//! Golden-number regression tests: the exact values recorded in
+//! `EXPERIMENTS.md` for every reproduced table and figure. Any change to
+//! the analysis that shifts these numbers must be deliberate (and update
+//! both this file and `EXPERIMENTS.md`).
+
+use hem_bench::paper_system::{analyze_mode, figure4, table3, PaperParams};
+use hem_system::path::{analyze_path, signal_paths};
+use hem_system::AnalysisMode;
+use hem_time::Time;
+
+#[test]
+fn table3_values() {
+    let rows = table3(&PaperParams::default()).expect("analyses converge");
+    let expected = [
+        ("T1", 401i64, 240i64),
+        ("T2", 1041, 560),
+        ("T3", 1841, 960),
+    ];
+    for (row, (task, flat, hem)) in rows.iter().zip(expected) {
+        assert_eq!(row.task, task);
+        assert_eq!(row.r_flat, Time::new(flat), "{task} flat");
+        assert_eq!(row.r_hem, Time::new(hem), "{task} HEM");
+    }
+    // The reduction decimals that survive in the paper's scan.
+    assert!((rows[1].reduction_percent() - 46.2).abs() < 0.05);
+    assert!((rows[2].reduction_percent() - 47.9).abs() < 0.05);
+}
+
+#[test]
+fn table3_literal_scale_values() {
+    let rows = table3(&PaperParams::literal()).expect("analyses converge");
+    assert_eq!(rows[0].r_flat, Time::new(24));
+    assert_eq!(rows[0].r_hem, Time::new(24));
+    assert_eq!(rows[1].r_flat, Time::new(56));
+    assert_eq!(rows[1].r_hem, Time::new(56));
+    assert_eq!(rows[2].r_flat, Time::new(242));
+    assert_eq!(rows[2].r_hem, Time::new(120));
+}
+
+#[test]
+fn figure4_breakpoints() {
+    let p = PaperParams::default();
+    let fig = figure4(&p, Time::new(20_000)).expect("analyses converge");
+    let first = |steps: &[hem_event_models::sampling::EtaStep], k: usize| -> Vec<(i64, u64)> {
+        steps.iter().take(k).map(|s| (s.at.ticks(), s.count)).collect()
+    };
+    assert_eq!(
+        first(&fig.frame_f1, 5),
+        vec![(1, 1), (80, 2), (2315, 3), (4315, 4), (4815, 5)]
+    );
+    assert_eq!(first(&fig.t1_input, 3), vec![(1, 1), (2236, 2), (4736, 3)]);
+    assert_eq!(first(&fig.t2_input, 3), vec![(1, 1), (4236, 2), (8736, 3)]);
+    assert_eq!(first(&fig.t3_input, 3), vec![(1, 1), (3236, 2), (9236, 3)]);
+}
+
+#[test]
+fn frame_responses() {
+    let hem = analyze_mode(&PaperParams::default(), AnalysisMode::Hierarchical)
+        .expect("converges");
+    let f1 = hem.frame("F1").expect("present").response;
+    let f2 = hem.frame("F2").expect("present").response;
+    assert_eq!(f1.r_minus, Time::new(79));
+    assert_eq!(f1.r_plus, Time::new(265));
+    assert_eq!(f2.r_minus, Time::new(63));
+    assert_eq!(f2.r_plus, Time::new(265));
+}
+
+#[test]
+fn path_latency_values() {
+    let p = PaperParams::default();
+    let system = hem_bench::paper_system::spec(&p);
+    let results = analyze_mode(&p, AnalysisMode::Hierarchical).expect("converges");
+    let mut totals = std::collections::BTreeMap::new();
+    for path in signal_paths(&system) {
+        let lat = analyze_path(&system, &results, &path).expect("path analysable");
+        totals.insert(path.task.clone(), (lat.total(), lat.guaranteed_delivery));
+    }
+    assert_eq!(totals["T1"], (Time::new(505), true));
+    assert_eq!(totals["T2"], (Time::new(825), true));
+    assert_eq!(totals["T3"], (Time::new(3911), false));
+}
+
+#[test]
+fn bus_speed_sweep_values() {
+    // Pin the Ext-B crossover: at scale 2 T1 gains nothing and T2 30 %.
+    let rows = table3(&PaperParams {
+        cpu_scale: 2,
+        ..PaperParams::default()
+    })
+    .expect("converges");
+    assert_eq!(rows[0].r_flat, Time::new(48));
+    assert_eq!(rows[0].r_hem, Time::new(48));
+    assert_eq!(rows[1].r_flat, Time::new(160));
+    assert_eq!(rows[1].r_hem, Time::new(112));
+    assert_eq!(rows[2].r_flat, Time::new(417));
+    assert_eq!(rows[2].r_hem, Time::new(192));
+}
+
+#[test]
+fn flatsem_t3_value() {
+    let r = analyze_mode(&PaperParams::default(), AnalysisMode::FlatSem).expect("converges");
+    assert_eq!(r.task("T3").expect("present").response.r_plus, Time::new(2401));
+}

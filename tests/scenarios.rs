@@ -1,0 +1,47 @@
+//! The shipped scenario files parse and reproduce their golden numbers.
+
+use hem_repro::system::{analyze, dsl, report, AnalysisMode, SystemConfig};
+use hem_repro::time::Time;
+
+const PAPER: &str = include_str!("../crates/bench/scenarios/paper.hem");
+const GATEWAY: &str = include_str!("../crates/bench/scenarios/gateway.hem");
+
+#[test]
+fn paper_scenario_reproduces_table3() {
+    let spec = dsl::parse(PAPER).expect("parses");
+    let hier = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("converges");
+    let flat = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).expect("converges");
+    for (task, flat_r, hem_r) in [("T1", 401, 240), ("T2", 1041, 560), ("T3", 1841, 960)] {
+        assert_eq!(flat.task(task).expect("present").response.r_plus, Time::new(flat_r));
+        assert_eq!(hier.task(task).expect("present").response.r_plus, Time::new(hem_r));
+    }
+}
+
+#[test]
+fn gateway_scenario_analyses_and_renders() {
+    let spec = dsl::parse(GATEWAY).expect("parses");
+    let results =
+        analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("converges");
+    // Chain hops appear in the report.
+    let text = report::render(&spec, &results);
+    assert!(text.contains("bus powertrain:"), "{text}");
+    assert!(text.contains("bus body:"), "{text}");
+    assert!(text.contains("dash/speed -> speedo"), "{text}");
+    // Golden values for the second hop.
+    assert_eq!(
+        results.frame("dash").expect("present").response.r_plus,
+        Time::new(190)
+    );
+    assert_eq!(
+        results.task("speedo").expect("present").response.r_plus,
+        Time::new(300)
+    );
+}
+
+#[test]
+fn scenario_errors_are_line_addressed() {
+    let broken = PAPER.replace("task T2", "tsak T2");
+    let e = dsl::parse(&broken).expect_err("must fail");
+    assert!(e.to_string().contains("unknown directive"));
+    assert!(e.line > 10, "error should point into the file, got {}", e.line);
+}

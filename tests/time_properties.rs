@@ -1,0 +1,102 @@
+//! Property-based tests of the discrete time layer: algebraic laws of
+//! `Time` and the absorbing/ordering semantics of `TimeBound`.
+
+use proptest::prelude::*;
+
+use hem_repro::time::{Time, TimeBound};
+
+fn t() -> impl Strategy<Value = Time> {
+    (-1_000_000_000i64..1_000_000_000).prop_map(Time::new)
+}
+
+fn tb() -> impl Strategy<Value = TimeBound> {
+    prop_oneof![
+        (-1_000_000_000i64..1_000_000_000).prop_map(TimeBound::finite),
+        Just(TimeBound::Infinite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn time_addition_laws(a in t(), b in t(), c in t()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + Time::ZERO, a);
+        prop_assert_eq!(a - a, Time::ZERO);
+        prop_assert_eq!(a + (-a), Time::ZERO);
+    }
+
+    #[test]
+    fn time_multiplication_distributes(a in t(), k in -1_000i64..1_000, m in -1_000i64..1_000) {
+        prop_assert_eq!(a * (k + m), a * k + a * m);
+        prop_assert_eq!(a * k, k * a);
+        prop_assert_eq!(a * 1, a);
+        prop_assert_eq!(a * 0, Time::ZERO);
+    }
+
+    #[test]
+    fn time_ordering_is_translation_invariant(a in t(), b in t(), c in t()) {
+        prop_assert_eq!(a <= b, a + c <= b + c);
+        prop_assert_eq!(a.max(b) + c, (a + c).max(b + c));
+        prop_assert_eq!(a.min(b) + c, (a + c).min(b + c));
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_monotone(a in t(), b in t()) {
+        prop_assert_eq!(
+            a.clamp_non_negative().clamp_non_negative(),
+            a.clamp_non_negative()
+        );
+        if a <= b {
+            prop_assert!(a.clamp_non_negative() <= b.clamp_non_negative());
+        }
+        prop_assert!(!a.clamp_non_negative().is_negative());
+    }
+
+    #[test]
+    fn saturating_agrees_with_plain_in_range(a in t(), b in t()) {
+        // Within the generated range no saturation occurs.
+        prop_assert_eq!(a.saturating_add(b), a + b);
+        prop_assert_eq!(a.saturating_sub(b), a - b);
+        prop_assert_eq!(a.checked_add(b), Some(a + b));
+    }
+
+    #[test]
+    fn bound_ordering_total_with_top(a in tb(), b in tb()) {
+        // Totality and the top element.
+        prop_assert!(a <= b || b <= a);
+        prop_assert!(a <= TimeBound::Infinite);
+        prop_assert_eq!(a.max(b), b.max(a));
+        prop_assert_eq!(a.min(b), b.min(a));
+        prop_assert_eq!(a.min(b) <= a.max(b), true);
+    }
+
+    #[test]
+    fn bound_addition_absorbs(a in tb(), d in 0i64..1_000_000) {
+        let d = Time::new(d);
+        match a {
+            TimeBound::Infinite => {
+                prop_assert_eq!(a + d, TimeBound::Infinite);
+                prop_assert_eq!(a - d, TimeBound::Infinite);
+                prop_assert_eq!(a * 3, TimeBound::Infinite);
+            }
+            TimeBound::Finite(f) => {
+                prop_assert_eq!(a + d, TimeBound::Finite(f + d));
+                prop_assert_eq!(a - d, TimeBound::Finite(f - d));
+            }
+        }
+        // Addition is monotone in both arguments.
+        prop_assert!(a <= a + d);
+    }
+
+    #[test]
+    fn bound_finite_roundtrip(v in -1_000_000i64..1_000_000) {
+        let b = TimeBound::finite(v);
+        prop_assert_eq!(b.as_finite(), Some(Time::new(v)));
+        prop_assert!(b.is_finite());
+        prop_assert!(!b.is_infinite());
+        prop_assert_eq!(TimeBound::from(Time::new(v)), b);
+    }
+}
