@@ -1,0 +1,79 @@
+//! The `any::<T>()` entry point for types with a canonical strategy.
+
+use rand::RngCore;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (`any::<bool>()`, `any::<u32>()`, ...).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Uniform booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(s.gen_value(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn any_int_spans_sign() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let s = any::<i64>();
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..256 {
+            let v = s.gen_value(&mut rng);
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, API-compatible subset of `proptest 1.x`:
+//! deterministic random generation of test inputs from composable
+//! [`strategy::Strategy`] values, the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_oneof!`] macro family, integer-range / tuple / `Vec` / string
+//! pattern strategies, and a [`test_runner::TestRunner`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the failing assertion (with
+//!   `prop_assert*`'s formatted operands) via the panic message but the
+//!   input is not minimized.
+//! * **Deterministic.** Every run uses a fixed seed derived from the test
+//!   case index, so failures reproduce without `proptest-regressions`
+//!   files (which are ignored).
+//! * Only the string-pattern subset used by this workspace is supported:
+//!   concatenations of literals and `[...]` classes with optional
+//!   `{n}` / `{n,m}` / `?` / `*` / `+` quantifiers.
+
+#![forbid(unsafe_code)]
+
+mod macros;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The proptest prelude: everything tests typically import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}

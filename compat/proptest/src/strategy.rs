@@ -1,0 +1,368 @@
+//! Strategies: composable recipes for generating random test values.
+
+use std::rc::Rc;
+
+use rand::{Rng, RngCore};
+
+use crate::test_runner::{TestRng, TestRunner};
+
+/// How many times `prop_filter` retries before giving up.
+const FILTER_RETRIES: usize = 10_000;
+
+/// A generated value with a frozen RNG snapshot, so [`ValueTree::current`]
+/// can re-produce it without requiring `Clone` on the value type.
+pub struct SnapshotTree<'a, S: Strategy + ?Sized> {
+    strategy: &'a S,
+    rng: TestRng,
+}
+
+/// A (non-shrinking) tree of generated values; only the current value is
+/// ever exposed.
+pub trait ValueTree {
+    /// The generated type.
+    type Value;
+    /// The value this tree currently represents.
+    fn current(&self) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> ValueTree for SnapshotTree<'_, S> {
+    type Value = S::Value;
+    fn current(&self) -> S::Value {
+        let mut rng = self.rng.clone();
+        self.strategy.gen_value(&mut rng)
+    }
+}
+
+/// A recipe for generating values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Produces a value tree (upstream-compatible entry point used with
+    /// [`TestRunner`] directly).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation; the `Result` mirrors the
+    /// upstream signature.
+    fn new_tree<'a>(
+        &'a self,
+        runner: &mut TestRunner,
+    ) -> Result<SnapshotTree<'a, Self>, String> {
+        let snapshot = runner.rng().clone();
+        // Advance the runner so consecutive trees differ.
+        let _ = runner.rng().next_u64();
+        Ok(SnapshotTree {
+            strategy: self,
+            rng: snapshot,
+        })
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates an intermediate value, derives a second strategy from it,
+    /// and generates the final value from that.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Discards generated values failing the predicate (regenerating up to
+    /// an internal retry limit).
+    fn prop_filter<R: Into<String>, F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: R,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            reason: whence.into(),
+            pred,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.gen_value(rng)),
+        }
+    }
+}
+
+/// A type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.source.gen_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected {FILTER_RETRIES} consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// Uniform or weighted choice between several strategies of the same
+/// value type (what [`prop_oneof!`](crate::prop_oneof) builds).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// A uniform union over the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// A weighted union over `(weight, option)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty or every weight is zero.
+    #[must_use]
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! requires at least one arm");
+        let total_weight: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! requires a positive total weight");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, option) in &self.options {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return option.gen_value(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick within total weight")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRunner;
+
+    fn rng() -> TestRng {
+        use rand::SeedableRng;
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut r = rng();
+        let s = (0i64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut r);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_and_just() {
+        let mut r = rng();
+        let s = (1u8..=3, Just("x"), 0usize..2);
+        let (a, b, c) = s.gen_value(&mut r);
+        assert!((1..=3).contains(&a));
+        assert_eq!(b, "x");
+        assert!(c < 2);
+    }
+
+    #[test]
+    fn union_picks_all_arms_eventually() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.gen_value(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut r = rng();
+        let s = (0i64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(s.gen_value(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_chains() {
+        let mut r = rng();
+        let s = (1i64..5).prop_flat_map(|n| (0i64..n).prop_map(move |v| (n, v)));
+        for _ in 0..50 {
+            let (n, v) = s.gen_value(&mut r);
+            assert!(v < n);
+        }
+    }
+
+    #[test]
+    fn new_tree_current_is_stable() {
+        let mut runner = TestRunner::deterministic();
+        let s = 0i64..1_000_000;
+        let tree = s.new_tree(&mut runner).unwrap();
+        assert_eq!(tree.current(), tree.current());
+    }
+
+    #[test]
+    fn consecutive_trees_differ() {
+        let mut runner = TestRunner::deterministic();
+        let s = 0i64..1_000_000_000;
+        let a = s.new_tree(&mut runner).unwrap().current();
+        let b = s.new_tree(&mut runner).unwrap().current();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,178 @@
+//! Test execution: configuration, case errors, and the runner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Re-export so strategies can name the generator type.
+pub type TestRng = StdRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Maximum consecutive rejects (via `prop_assume!` / `prop_filter`)
+    /// before the test aborts as unproductive.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases (everything else default).
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion (the test fails).
+    Fail(String),
+    /// The case was rejected as inapplicable (does not count as failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives strategies: owns the RNG and the configuration.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration and the fixed default seed.
+    #[must_use]
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(0x5EED_CAFE_F00D_0001),
+        }
+    }
+
+    /// A deterministic runner with default configuration (upstream
+    /// compatibility: `TestRunner::deterministic()`).
+    #[must_use]
+    pub fn deterministic() -> Self {
+        Self::new(ProptestConfig::default())
+    }
+
+    /// The runner's random generator.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// The runner's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ProptestConfig {
+        &self.config
+    }
+}
+
+/// Drives one `proptest!` test: generates `config.cases` inputs from
+/// `strategy` and runs `test` on each. Deterministic: the RNG seed is
+/// derived from the test name, so every run generates the same inputs.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when `max_global_rejects` consecutive
+/// inputs are rejected (via `prop_assume!` or strategy filters).
+pub fn run_cases<S: crate::strategy::Strategy>(
+    config: ProptestConfig,
+    strategy: S,
+    test_name: &str,
+    test: impl Fn(S::Value) -> TestCaseResult,
+) {
+    // FNV-1a over the test name decorrelates different tests while
+    // keeping each one reproducible run-to-run.
+    let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+
+    let mut case: u32 = 0;
+    let mut rejects: u32 = 0;
+    while case < config.cases {
+        let value = strategy.gen_value(&mut rng);
+        match test(value) {
+            Ok(()) => {
+                case += 1;
+                rejects = 0;
+            }
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects < config.max_global_rejects,
+                    "proptest `{test_name}`: {rejects} consecutive rejected inputs; \
+                     the strategy or prop_assume! conditions are too restrictive"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{test_name}` failed at case {case}:\n{msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_cases_sets_cases() {
+        assert_eq!(ProptestConfig::with_cases(24).cases, 24);
+        assert!(ProptestConfig::default().cases > 0);
+    }
+
+    #[test]
+    fn deterministic_runners_agree() {
+        use rand::Rng;
+        let mut a = TestRunner::deterministic();
+        let mut b = TestRunner::deterministic();
+        assert_eq!(a.rng().gen_range(0u64..1000), b.rng().gen_range(0u64..1000));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TestCaseError::fail("boom").to_string().contains("boom"));
+        assert!(TestCaseError::reject("nope").to_string().contains("nope"));
+    }
+}

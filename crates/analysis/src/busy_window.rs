@@ -4,6 +4,13 @@ use hem_time::Time;
 
 use crate::{AnalysisConfig, AnalysisError};
 
+/// How many fixed-point iterations run between two wall-clock reads of
+/// the [`AnalysisBudget`](crate::AnalysisBudget). Polling every
+/// iteration would put an `Instant::now()` syscall on the hottest loop
+/// of the analysis; 64 iterations keeps cancellation latency in the
+/// microsecond range while making the clock cost unmeasurable.
+pub const BUDGET_POLL_INTERVAL: u64 = 64;
+
 /// Computes the least fixed point of a monotone window function.
 ///
 /// Busy-window analyses all reduce to solving `w = f(w)` for the smallest
@@ -16,7 +23,10 @@ use crate::{AnalysisConfig, AnalysisError};
 ///
 /// Returns [`AnalysisError::NoConvergence`] if the window exceeds
 /// `config.max_busy_window` or the iteration count exceeds
-/// `config.max_iterations`.
+/// `config.max_iterations`, and [`AnalysisError::BudgetExhausted`] if
+/// `config.budget` expires mid-iteration (checked cooperatively every
+/// [`BUDGET_POLL_INTERVAL`] iterations to keep clock reads off the hot
+/// path).
 ///
 /// # Examples
 ///
@@ -37,7 +47,10 @@ pub fn fixed_point(
     config: &AnalysisConfig,
 ) -> Result<Time, AnalysisError> {
     let mut w = init;
-    for _ in 0..config.max_iterations {
+    for i in 0..config.max_iterations {
+        if i % BUDGET_POLL_INTERVAL == 0 && config.budget.exhausted() {
+            return Err(AnalysisError::budget_exhausted(task_name));
+        }
         let next = f(w);
         debug_assert!(
             next >= w || next >= init,
@@ -99,6 +112,25 @@ mod tests {
         let err = fixed_point("t", Time::ONE, |w| w + Time::ONE, &cfg).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("10 iterations"), "got: {msg}");
+    }
+
+    #[test]
+    fn exhausted_budget_cancels_before_first_iteration() {
+        let cfg = AnalysisConfig::default().with_budget(crate::AnalysisBudget::within(
+            std::time::Duration::ZERO,
+        ));
+        let err = fixed_point("t", Time::ONE, |w| w, &cfg).unwrap_err();
+        assert!(err.is_budget_exhausted());
+        assert!(err.to_string().contains("wall-clock budget"), "{err}");
+    }
+
+    #[test]
+    fn unlimited_budget_does_not_cancel() {
+        let cfg = AnalysisConfig::default();
+        assert_eq!(
+            fixed_point("t", Time::ONE, |_| Time::ONE, &cfg),
+            Ok(Time::ONE)
+        );
     }
 
     #[test]

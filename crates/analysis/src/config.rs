@@ -1,6 +1,60 @@
-//! Analysis iteration limits.
+//! Analysis iteration limits and wall-clock budgets.
+
+use std::time::{Duration, Instant};
 
 use hem_time::Time;
+
+/// A wall-clock budget for an analysis run.
+///
+/// Busy-window iteration caps bound the *work* of a single fixed point;
+/// a budget bounds the *time* of a whole analysis (across every local
+/// fixed point and every global iteration), which is what an interactive
+/// or design-space-exploration caller actually cares about. The default
+/// budget is unlimited.
+///
+/// The budget is checked cooperatively: every fixed-point iteration
+/// polls [`AnalysisBudget::exhausted`], so an exhausted budget surfaces
+/// as [`AnalysisError::BudgetExhausted`](crate::AnalysisError) within
+/// one iteration rather than by aborting a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisBudget {
+    deadline: Option<Instant>,
+}
+
+impl AnalysisBudget {
+    /// A budget with no deadline (never exhausted).
+    pub const UNLIMITED: AnalysisBudget = AnalysisBudget { deadline: None };
+
+    /// A budget expiring `available` from now.
+    #[must_use]
+    pub fn within(available: Duration) -> Self {
+        AnalysisBudget {
+            deadline: Instant::now().checked_add(available),
+        }
+    }
+
+    /// A budget expiring at the given instant.
+    #[must_use]
+    pub fn until(deadline: Instant) -> Self {
+        AnalysisBudget {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left until the deadline (`None` for an unlimited budget;
+    /// zero once exhausted).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
 
 /// Safety limits for busy-window fixed-point iterations.
 ///
@@ -8,7 +62,8 @@ use hem_time::Time;
 /// configurations; for overloaded ones the window grows without bound.
 /// These limits turn divergence into a clean
 /// [`AnalysisError::NoConvergence`](crate::AnalysisError) instead of an
-/// endless loop.
+/// endless loop, and the wall-clock budget turns a slow convergence into
+/// a clean [`AnalysisError::BudgetExhausted`](crate::AnalysisError).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalysisConfig {
     /// Abort when a busy window exceeds this length.
@@ -17,6 +72,8 @@ pub struct AnalysisConfig {
     pub max_activations: u64,
     /// Abort a single fixed-point computation after this many iterations.
     pub max_iterations: u64,
+    /// Wall-clock budget shared by all fixed points of this analysis.
+    pub budget: AnalysisBudget,
 }
 
 impl Default for AnalysisConfig {
@@ -25,6 +82,7 @@ impl Default for AnalysisConfig {
             max_busy_window: Time::new(10_000_000),
             max_activations: 100_000,
             max_iterations: 100_000,
+            budget: AnalysisBudget::UNLIMITED,
         }
     }
 }
@@ -38,6 +96,12 @@ impl AnalysisConfig {
             max_busy_window,
             ..Self::default()
         }
+    }
+
+    /// This configuration with the given wall-clock budget.
+    #[must_use]
+    pub fn with_budget(self, budget: AnalysisBudget) -> Self {
+        AnalysisConfig { budget, ..self }
     }
 }
 
@@ -58,5 +122,37 @@ mod tests {
         let c = AnalysisConfig::with_max_busy_window(Time::new(500));
         assert_eq!(c.max_busy_window, Time::new(500));
         assert_eq!(c.max_activations, AnalysisConfig::default().max_activations);
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = AnalysisBudget::UNLIMITED;
+        assert!(!b.exhausted());
+        assert_eq!(b.remaining(), None);
+        assert_eq!(AnalysisBudget::default(), b);
+    }
+
+    #[test]
+    fn elapsed_deadline_exhausts() {
+        let b = AnalysisBudget::within(Duration::ZERO);
+        assert!(b.exhausted());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        let generous = AnalysisBudget::within(Duration::from_secs(3600));
+        assert!(!generous.exhausted());
+        assert!(generous.remaining().is_some_and(|r| r > Duration::ZERO));
+    }
+
+    #[test]
+    fn until_matches_within() {
+        let b = AnalysisBudget::until(Instant::now());
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn config_with_budget_keeps_limits() {
+        let c = AnalysisConfig::with_max_busy_window(Time::new(500))
+            .with_budget(AnalysisBudget::within(Duration::ZERO));
+        assert_eq!(c.max_busy_window, Time::new(500));
+        assert!(c.budget.exhausted());
     }
 }

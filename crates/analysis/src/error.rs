@@ -17,6 +17,14 @@ pub enum AnalysisError {
     /// The task set is malformed (e.g. duplicate priorities where unique
     /// ones are required).
     InvalidTaskSet(String),
+    /// The wall-clock budget of the analysis expired before the fixed
+    /// point stabilized. The work done so far is still sound (every
+    /// iterate is a lower bound on the true busy window) but must not be
+    /// reported as a worst case.
+    BudgetExhausted {
+        /// The task whose analysis was cancelled.
+        task: String,
+    },
 }
 
 impl AnalysisError {
@@ -32,6 +40,18 @@ impl AnalysisError {
     pub fn invalid(msg: impl Into<String>) -> Self {
         AnalysisError::InvalidTaskSet(msg.into())
     }
+
+    /// Creates an [`AnalysisError::BudgetExhausted`].
+    pub fn budget_exhausted(task: impl Into<String>) -> Self {
+        AnalysisError::BudgetExhausted { task: task.into() }
+    }
+
+    /// Whether this error was caused by budget exhaustion (as opposed to
+    /// a divergent or malformed model).
+    #[must_use]
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, AnalysisError::BudgetExhausted { .. })
+    }
 }
 
 impl fmt::Display for AnalysisError {
@@ -41,6 +61,12 @@ impl fmt::Display for AnalysisError {
                 write!(f, "analysis of task `{task}` did not converge: {detail}")
             }
             AnalysisError::InvalidTaskSet(msg) => write!(f, "invalid task set: {msg}"),
+            AnalysisError::BudgetExhausted { task } => {
+                write!(
+                    f,
+                    "analysis of task `{task}` cancelled: wall-clock budget exhausted"
+                )
+            }
         }
     }
 }

@@ -54,7 +54,7 @@ mod task;
 pub mod tdma;
 pub mod utilization;
 
-pub use busy_window::fixed_point;
-pub use config::AnalysisConfig;
+pub use busy_window::{fixed_point, BUDGET_POLL_INTERVAL};
+pub use config::{AnalysisBudget, AnalysisConfig};
 pub use error::AnalysisError;
 pub use task::{AnalysisTask, Priority, ResponseTime, TaskResult};

@@ -258,7 +258,9 @@ impl CurveBuilder {
         let e = self
             .events_per_period
             .ok_or_else(|| ModelError::invalid("curve extension not set"))?;
-        let period = self.period.expect("period set together with events");
+        let period = self
+            .period
+            .ok_or_else(|| ModelError::invalid("curve extension not set"))?;
         if e == 0 {
             return Err(ModelError::invalid("extension events must be positive"));
         }

@@ -73,11 +73,7 @@ pub fn eta_minus_steps(model: &dyn EventModel, up_to: Time) -> Vec<EtaStep> {
         return steps;
     }
     let mut n = 1u64;
-    loop {
-        let at = match model.delta_plus(n + 1) {
-            TimeBound::Finite(t) => t,
-            TimeBound::Infinite => break,
-        };
+    while let TimeBound::Finite(at) = model.delta_plus(n + 1) {
         if at > up_to {
             break;
         }

@@ -5,6 +5,8 @@ use std::collections::VecDeque;
 use hem_analysis::Priority;
 use hem_time::Time;
 
+use crate::error::SimError;
+
 /// A frame's queue of transmission requests for the bus simulation.
 #[derive(Debug, Clone)]
 pub struct QueuedFrame {
@@ -51,15 +53,28 @@ impl Transmission {
 ///
 /// Panics if two frames share a priority (arbitration would be
 /// undefined), a queue is unsorted, or a transmission time is < 1.
+/// [`try_simulate`] reports the same conditions as a [`SimError`]
+/// instead.
 #[must_use]
 pub fn simulate(frames: &[QueuedFrame]) -> Vec<Transmission> {
-    simulate_with_times(frames, |frame, _instance| frames[frame].transmission_time)
+    try_simulate(frames).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate`].
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if two frames share a priority, a queue is
+/// unsorted, or a transmission time is < 1.
+pub fn try_simulate(frames: &[QueuedFrame]) -> Result<Vec<Transmission>, SimError> {
+    try_simulate_with_times(frames, |frame, _instance| frames[frame].transmission_time)
 }
 
 /// Like [`simulate`], but with a per-instance wire time supplied by
 /// `time(frame_index, instance_index)` — e.g. sampled from the
-/// unstuffed/stuffed length interval for randomized validation runs.
-/// Each frame's `transmission_time` field is ignored.
+/// unstuffed/stuffed length interval for randomized validation runs, or
+/// inflated by retransmission overhead under a fault plan. Each frame's
+/// `transmission_time` field is ignored.
 ///
 /// # Panics
 ///
@@ -67,24 +82,35 @@ pub fn simulate(frames: &[QueuedFrame]) -> Vec<Transmission> {
 #[must_use]
 pub fn simulate_with_times(
     frames: &[QueuedFrame],
-    mut time: impl FnMut(usize, usize) -> Time,
+    time: impl FnMut(usize, usize) -> Time,
 ) -> Vec<Transmission> {
+    try_simulate_with_times(frames, time).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate_with_times`].
+///
+/// # Errors
+///
+/// Same conditions as [`try_simulate`], plus `time` returning < 1.
+pub fn try_simulate_with_times(
+    frames: &[QueuedFrame],
+    mut time: impl FnMut(usize, usize) -> Time,
+) -> Result<Vec<Transmission>, SimError> {
     for (i, f) in frames.iter().enumerate() {
-        assert!(
-            f.transmission_time >= Time::ONE,
-            "transmission time of `{}` must be positive",
-            f.name
-        );
-        assert!(
-            f.queued_at.windows(2).all(|w| w[0] <= w[1]),
-            "queue of `{}` must be sorted",
-            f.name
-        );
-        assert!(
-            frames[i + 1..].iter().all(|g| g.priority != f.priority),
-            "duplicate priority {} on the bus",
-            f.priority
-        );
+        if f.transmission_time < Time::ONE {
+            return Err(SimError::non_positive(format!(
+                "transmission time of `{}`",
+                f.name
+            )));
+        }
+        if !f.queued_at.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(SimError::unsorted(format!("queue of `{}`", f.name)));
+        }
+        if frames[i + 1..].iter().any(|g| g.priority == f.priority) {
+            return Err(SimError::DuplicatePriority {
+                priority: f.priority,
+            });
+        }
     }
     let mut queues: Vec<VecDeque<(usize, Time)>> = frames
         .iter()
@@ -103,7 +129,9 @@ pub fn simulate_with_times(
                 let (instance, queued_at) = queues[i].pop_front().expect("non-empty");
                 let started_at = now;
                 let c = time(i, instance);
-                assert!(c >= Time::ONE, "time({i}, {instance}) must be positive");
+                if c < Time::ONE {
+                    return Err(SimError::non_positive(format!("time({i}, {instance})")));
+                }
                 let completed_at = now + c;
                 out.push(Transmission {
                     frame: i,
@@ -124,7 +152,7 @@ pub fn simulate_with_times(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -205,6 +233,20 @@ mod tests {
     #[should_panic(expected = "duplicate priority")]
     fn duplicate_priorities_panic() {
         let _ = simulate(&[frame("a", 1, 10, &[0]), frame("b", 1, 10, &[0])]);
+    }
+
+    #[test]
+    fn try_simulate_reports_errors_without_panicking() {
+        let err = try_simulate(&[frame("a", 1, 10, &[0]), frame("b", 1, 10, &[0])])
+            .unwrap_err();
+        assert_eq!(err, SimError::DuplicatePriority { priority: Priority::new(1) });
+        let err = try_simulate(&[frame("f", 1, 10, &[5, 0])]).unwrap_err();
+        assert!(matches!(err, SimError::UnsortedTrace { .. }));
+        let err = try_simulate(&[frame("f", 1, 0, &[0])]).unwrap_err();
+        assert!(matches!(err, SimError::NonPositiveTime { .. }));
+        let err =
+            try_simulate_with_times(&[frame("f", 1, 10, &[0])], |_, _| Time::ZERO).unwrap_err();
+        assert!(err.to_string().contains("time(0, 0)"));
     }
 
     #[test]

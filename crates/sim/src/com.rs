@@ -10,6 +10,8 @@
 use hem_autosar_com::{FrameType, TransferProperty};
 use hem_time::Time;
 
+use crate::error::SimError;
+
 /// A signal feeding the simulated COM layer.
 #[derive(Debug, Clone)]
 pub struct ComSignal {
@@ -69,15 +71,27 @@ pub struct ComTrace {
 ///
 /// # Panics
 ///
-/// Panics if any write trace is unsorted.
+/// Panics if any write trace is unsorted. [`try_simulate`] reports the
+/// same condition as a [`SimError`] instead.
 #[must_use]
 pub fn simulate(frame_type: FrameType, signals: &[ComSignal], horizon: Time) -> ComTrace {
+    try_simulate(frame_type, signals, horizon).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate`].
+///
+/// # Errors
+///
+/// Returns [`SimError::UnsortedTrace`] if any write trace is unsorted.
+pub fn try_simulate(
+    frame_type: FrameType,
+    signals: &[ComSignal],
+    horizon: Time,
+) -> Result<ComTrace, SimError> {
     for s in signals {
-        assert!(
-            s.writes.windows(2).all(|w| w[0] <= w[1]),
-            "write trace of `{}` must be sorted",
-            s.name
-        );
+        if !s.writes.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(SimError::unsorted(format!("write trace of `{}`", s.name)));
+        }
     }
     // Merge all events: (time, order-class, signal index). Writes sort
     // before timer ticks at the same tick (order-class 0 vs 1).
@@ -138,10 +152,10 @@ pub fn simulate(frame_type: FrameType, signals: &[ComSignal], horizon: Time) -> 
             emit(t, &mut unsent);
         }
     }
-    ComTrace {
+    Ok(ComTrace {
         instances,
         overwritten,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -275,5 +289,16 @@ mod tests {
             &[sig("a", TransferProperty::Triggering, &[100, 10])],
             Time::new(1000),
         );
+    }
+
+    #[test]
+    fn try_simulate_reports_unsorted_writes() {
+        let err = try_simulate(
+            FrameType::Direct,
+            &[sig("a", TransferProperty::Triggering, &[100, 10])],
+            Time::new(1000),
+        )
+        .unwrap_err();
+        assert_eq!(err.to_string(), "write trace of `a` must be sorted");
     }
 }

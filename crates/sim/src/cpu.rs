@@ -3,6 +3,8 @@
 use hem_analysis::Priority;
 use hem_time::Time;
 
+use crate::error::SimError;
+
 /// A task on the simulated CPU.
 #[derive(Debug, Clone)]
 pub struct SimTask {
@@ -47,9 +49,21 @@ impl Job {
 /// # Panics
 ///
 /// Panics if an activation list is unsorted or an execution time is < 1.
+/// [`try_simulate`] reports the same conditions as a [`SimError`]
+/// instead.
 #[must_use]
 pub fn simulate(tasks: &[SimTask]) -> Vec<Job> {
-    simulate_with_exec(tasks, |task, _instance| tasks[task].execution_time)
+    try_simulate(tasks).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate`].
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if an activation list is unsorted or an
+/// execution time is < 1.
+pub fn try_simulate(tasks: &[SimTask]) -> Result<Vec<Job>, SimError> {
+    try_simulate_with_exec(tasks, |task, _instance| tasks[task].execution_time)
 }
 
 /// Like [`simulate`], but with a per-job execution time supplied by
@@ -63,19 +77,30 @@ pub fn simulate(tasks: &[SimTask]) -> Vec<Job> {
 #[must_use]
 pub fn simulate_with_exec(
     tasks: &[SimTask],
-    mut exec: impl FnMut(usize, usize) -> Time,
+    exec: impl FnMut(usize, usize) -> Time,
 ) -> Vec<Job> {
+    try_simulate_with_exec(tasks, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate_with_exec`].
+///
+/// # Errors
+///
+/// Same conditions as [`try_simulate`], plus `exec` returning < 1.
+pub fn try_simulate_with_exec(
+    tasks: &[SimTask],
+    mut exec: impl FnMut(usize, usize) -> Time,
+) -> Result<Vec<Job>, SimError> {
     for t in tasks {
-        assert!(
-            t.execution_time >= Time::ONE,
-            "execution time of `{}` must be positive",
-            t.name
-        );
-        assert!(
-            t.activations.windows(2).all(|w| w[0] <= w[1]),
-            "activations of `{}` must be sorted",
-            t.name
-        );
+        if t.execution_time < Time::ONE {
+            return Err(SimError::non_positive(format!(
+                "execution time of `{}`",
+                t.name
+            )));
+        }
+        if !t.activations.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(SimError::unsorted(format!("activations of `{}`", t.name)));
+        }
     }
     // All arrivals in time order: (time, task, instance).
     let mut arrivals: Vec<(Time, usize, usize)> = tasks
@@ -101,7 +126,9 @@ pub fn simulate_with_exec(
         while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= now {
             let (at, ti, ii) = arrivals[next_arrival];
             let e = exec(ti, ii);
-            assert!(e >= Time::ONE, "exec({ti}, {ii}) must be positive");
+            if e < Time::ONE {
+                return Err(SimError::non_positive(format!("exec({ti}, {ii})")));
+            }
             ready.push((tasks[ti].priority, at, ti, ii, e));
             next_arrival += 1;
         }
@@ -144,7 +171,7 @@ pub fn simulate_with_exec(
         }
     }
     out.sort_unstable_by_key(|j| (j.completed_at, j.task, j.instance));
-    out
+    Ok(out)
 }
 
 /// The worst observed response time per task, in task order.
@@ -244,6 +271,17 @@ mod tests {
         for (w, b) in worst.iter().zip(&best) {
             assert!(b.response() <= w.response());
         }
+    }
+
+    #[test]
+    fn try_simulate_reports_errors_without_panicking() {
+        let err = try_simulate(&[task("a", 1, 0, &[0])]).unwrap_err();
+        assert_eq!(err.to_string(), "execution time of `a` must be positive");
+        let err = try_simulate(&[task("a", 1, 5, &[10, 0])]).unwrap_err();
+        assert_eq!(err.to_string(), "activations of `a` must be sorted");
+        let err =
+            try_simulate_with_exec(&[task("a", 1, 5, &[0])], |_, _| Time::ZERO).unwrap_err();
+        assert!(err.to_string().contains("exec(0, 0)"));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use hem_time::Time;
 
+use crate::error::SimError;
+
 /// A deadline-scheduled task on the simulated CPU.
 #[derive(Debug, Clone)]
 pub struct EdfSimTask {
@@ -51,25 +53,33 @@ impl EdfJob {
 /// # Panics
 ///
 /// Panics if an activation list is unsorted or an execution time or
-/// deadline is < 1.
+/// deadline is < 1. [`try_simulate`] reports the same conditions as a
+/// [`SimError`] instead.
 #[must_use]
 pub fn simulate(tasks: &[EdfSimTask]) -> Vec<EdfJob> {
+    try_simulate(tasks).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate`].
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if an activation list is unsorted or an
+/// execution time or deadline is < 1.
+pub fn try_simulate(tasks: &[EdfSimTask]) -> Result<Vec<EdfJob>, SimError> {
     for t in tasks {
-        assert!(
-            t.execution_time >= Time::ONE,
-            "execution time of `{}` must be positive",
-            t.name
-        );
-        assert!(
-            t.deadline >= Time::ONE,
-            "deadline of `{}` must be positive",
-            t.name
-        );
-        assert!(
-            t.activations.windows(2).all(|w| w[0] <= w[1]),
-            "activations of `{}` must be sorted",
-            t.name
-        );
+        if t.execution_time < Time::ONE {
+            return Err(SimError::non_positive(format!(
+                "execution time of `{}`",
+                t.name
+            )));
+        }
+        if t.deadline < Time::ONE {
+            return Err(SimError::non_positive(format!("deadline of `{}`", t.name)));
+        }
+        if !t.activations.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(SimError::unsorted(format!("activations of `{}`", t.name)));
+        }
     }
     let mut arrivals: Vec<(Time, usize, usize)> = tasks
         .iter()
@@ -137,7 +147,7 @@ pub fn simulate(tasks: &[EdfSimTask]) -> Vec<EdfJob> {
         }
     }
     out.sort_unstable_by_key(|j| (j.completed_at, j.task, j.instance));
-    out
+    Ok(out)
 }
 
 /// Whether every job in the run met its deadline; on failure returns the
@@ -211,6 +221,12 @@ mod tests {
         ];
         let jobs = simulate(&tasks);
         assert_eq!(first_deadline_miss(&jobs), None);
+    }
+
+    #[test]
+    fn try_simulate_reports_errors_without_panicking() {
+        let err = try_simulate(&[task("a", 5, 0, &[0])]).unwrap_err();
+        assert_eq!(err.to_string(), "deadline of `a` must be positive");
     }
 
     #[test]

@@ -152,6 +152,29 @@ pub fn net_system_from_spec(
     Ok(NetSystem { frames, tasks })
 }
 
+/// Translates a spec and runs it under a fault plan in one step: the
+/// one-call entry point for validating *any* analysable system under
+/// injected faults (see [`crate::fault`]).
+///
+/// Equivalent to [`net_system_from_spec`] followed by
+/// [`crate::network::run_with_faults`].
+///
+/// # Errors
+///
+/// See [`FromSpecError`]; simulation-level rejections (e.g. a rogue
+/// overload frame colliding with a real priority, or a gateway loop)
+/// are reported as [`FromSpecError::Invalid`].
+pub fn simulate_spec_under_faults(
+    spec: &SystemSpec,
+    external_traces: &BTreeMap<String, Vec<Time>>,
+    horizon: Time,
+    plan: &crate::fault::FaultPlan,
+) -> Result<crate::network::NetReport, FromSpecError> {
+    let net = net_system_from_spec(spec, external_traces)?;
+    crate::network::try_run_with_faults(&net, horizon, plan)
+        .map_err(|e| FromSpecError::Invalid(e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +231,28 @@ mod tests {
         let report = crate::network::run(&net, horizon);
         assert_eq!(report.deliveries["F/s"].len(), 20);
         assert_eq!(report.task_worst_response["rx"], Time::new(60));
+    }
+
+    #[test]
+    fn spec_simulated_under_faults() {
+        use crate::fault::{Fault, FaultPlan, FaultTarget};
+        let horizon = Time::new(20_000);
+        let mut traces = BTreeMap::new();
+        traces.insert("F/s".to_string(), trace::periodic(Time::new(1_000), horizon));
+        let plan = FaultPlan::new(2).with(Fault::FrameCorruption {
+            frame: FaultTarget::Named("F".into()),
+            probability: 1.0,
+            error_frame: Time::new(31),
+            max_retransmissions: 1,
+        });
+        let report = simulate_spec_under_faults(&spec(), &traces, horizon, &plan).unwrap();
+        // Uncontended corrupted frame: 2·95 + 31 per instance.
+        assert_eq!(report.frame_worst_response["F"], Time::new(221));
+        assert_eq!(report.deliveries["F/s"].len(), 20);
+        // Fault-free plan matches the plain run.
+        let plain = simulate_spec_under_faults(&spec(), &traces, horizon, &FaultPlan::none())
+            .unwrap();
+        assert_eq!(plain.frame_worst_response["F"], Time::new(95));
     }
 
     #[test]

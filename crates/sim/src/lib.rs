@@ -16,7 +16,12 @@
 //! * [`canbus`] — non-preemptive priority arbitration of queued frames,
 //! * [`cpu`] — preemptive static-priority CPU scheduling,
 //! * [`system`] — an end-to-end harness chaining all layers and
-//!   reporting observed response times and delivery traces.
+//!   reporting observed response times and delivery traces,
+//! * [`fault`] — seeded, deterministic fault injection (frame
+//!   corruption with retransmissions, activation jitter, babbling-idiot
+//!   overload, clock drift) for robustness validation; every harness has
+//!   a `run_with_faults` twin and [`from_spec::simulate_spec_under_faults`]
+//!   runs any [`hem_system::SystemSpec`] under a plan.
 //!
 //! # Examples
 //!
@@ -37,7 +42,11 @@ pub mod canbus;
 pub mod com;
 pub mod cpu;
 pub mod cpu_edf;
+pub mod error;
+pub mod fault;
 pub mod from_spec;
 pub mod network;
 pub mod system;
 pub mod trace;
+
+pub use error::SimError;

@@ -19,6 +19,8 @@ use hem_time::Time;
 use crate::canbus::{self, QueuedFrame};
 use crate::com::{self, ComSignal};
 use crate::cpu::{self, SimTask};
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 
 /// Where a signal's write events come from.
 #[derive(Debug, Clone)]
@@ -129,9 +131,51 @@ pub struct NetReport {
 ///
 /// Panics on malformed input: unknown references, duplicate priorities
 /// on one bus, unsorted traces, or a cyclic dependency between resources
-/// (a gateway loop without an external source).
+/// (a gateway loop without an external source). [`try_run`] reports the
+/// same conditions as a [`SimError`] instead.
 #[must_use]
 pub fn run(system: &NetSystem, horizon: Time) -> NetReport {
+    run_with_faults(system, horizon, &FaultPlan::none())
+}
+
+/// Non-panicking [`run`].
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on malformed input: unknown references,
+/// duplicate priorities on one bus, unsorted traces, non-positive
+/// times, or a cyclic dependency between resources.
+pub fn try_run(system: &NetSystem, horizon: Time) -> Result<NetReport, SimError> {
+    try_run_with_faults(system, horizon, &FaultPlan::none())
+}
+
+/// Like [`run`], but injecting the faults of `plan` (see
+/// [`crate::fault`]): external write and activation traces are perturbed
+/// by jitter/drift, frame transmissions suffer corruption overhead, and
+/// babbling-idiot frames flood the targeted buses. Internally produced
+/// events (deliveries, completions) shift only as a consequence of the
+/// upstream faults. With [`FaultPlan::none`] this is exactly [`run`].
+///
+/// # Panics
+///
+/// Same conditions as [`run`], plus a rogue overload frame colliding
+/// with a real frame's priority on its bus.
+#[must_use]
+pub fn run_with_faults(system: &NetSystem, horizon: Time, plan: &FaultPlan) -> NetReport {
+    try_run_with_faults(system, horizon, plan).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`run_with_faults`].
+///
+/// # Errors
+///
+/// Same conditions as [`try_run`], plus a rogue overload frame
+/// colliding with a real frame's priority on its bus.
+pub fn try_run_with_faults(
+    system: &NetSystem,
+    horizon: Time,
+    plan: &FaultPlan,
+) -> Result<NetReport, SimError> {
     let buses: Vec<String> = unique(system.frames.iter().map(|f| f.bus.clone()));
     let cpus: Vec<String> = unique(system.tasks.iter().map(|t| t.cpu.clone()));
 
@@ -164,14 +208,18 @@ pub fn run(system: &NetSystem, horizon: Time) -> NetReport {
                 continue;
             }
             simulate_bus(
+                bus,
                 &frames,
                 &task_completions,
                 horizon,
-                &mut deliveries,
-                &mut frame_transmissions,
-                &mut overwritten,
-                &mut frame_worst_response,
-            );
+                plan,
+                &mut BusObservations {
+                    deliveries: &mut deliveries,
+                    frame_transmissions: &mut frame_transmissions,
+                    overwritten: &mut overwritten,
+                    frame_worst_response: &mut frame_worst_response,
+                },
+            )?;
             done_buses.push(bus.clone());
             progressed = true;
         }
@@ -201,30 +249,33 @@ pub fn run(system: &NetSystem, horizon: Time) -> NetReport {
                 &deliveries,
                 &frame_transmissions,
                 horizon,
+                plan,
                 &mut task_completions,
                 &mut task_worst_response,
-            );
+            )?;
             done_cpus.push(cpu_name.clone());
             progressed = true;
         }
 
-        assert!(
-            progressed,
-            "network contains a dependency cycle (or an unknown reference): \
-             remaining buses {:?}, cpus {:?}",
-            buses.iter().filter(|b| !done_buses.contains(b)).collect::<Vec<_>>(),
-            cpus.iter().filter(|c| !done_cpus.contains(c)).collect::<Vec<_>>(),
-        );
+        if !progressed {
+            return Err(SimError::DependencyCycle {
+                remaining: format!(
+                    "remaining buses {:?}, cpus {:?}",
+                    buses.iter().filter(|b| !done_buses.contains(b)).collect::<Vec<_>>(),
+                    cpus.iter().filter(|c| !done_cpus.contains(c)).collect::<Vec<_>>(),
+                ),
+            });
+        }
     }
 
-    NetReport {
+    Ok(NetReport {
         frame_worst_response,
         frame_transmissions,
         task_worst_response,
         deliveries,
         task_completions,
         overwritten,
-    }
+    })
 }
 
 fn unique(items: impl Iterator<Item = String>) -> Vec<String> {
@@ -237,40 +288,51 @@ fn unique(items: impl Iterator<Item = String>) -> Vec<String> {
     out
 }
 
+/// Mutable observation sinks one bus simulation appends into.
+struct BusObservations<'a> {
+    deliveries: &'a mut BTreeMap<String, Vec<Time>>,
+    frame_transmissions: &'a mut BTreeMap<String, Vec<Time>>,
+    overwritten: &'a mut BTreeMap<String, u64>,
+    frame_worst_response: &'a mut BTreeMap<String, Time>,
+}
+
 fn simulate_bus(
+    bus: &str,
     frames: &[&NetFrame],
     task_completions: &BTreeMap<String, Vec<Time>>,
     horizon: Time,
-    deliveries: &mut BTreeMap<String, Vec<Time>>,
-    frame_transmissions: &mut BTreeMap<String, Vec<Time>>,
-    overwritten: &mut BTreeMap<String, u64>,
-    frame_worst_response: &mut BTreeMap<String, Time>,
-) {
-    let com_traces: Vec<com::ComTrace> = frames
-        .iter()
-        .map(|f| {
-            let com_signals: Vec<ComSignal> = f
-                .signals
-                .iter()
-                .map(|s| ComSignal {
-                    name: s.name.clone(),
-                    transfer: s.transfer,
-                    writes: match &s.source {
-                        NetSource::Trace(t) => t.clone(),
-                        NetSource::TaskCompletions(task) => task_completions
-                            .get(task)
-                            .unwrap_or_else(|| panic!("unknown task `{task}`"))
-                            .iter()
-                            .copied()
-                            .filter(|&t| t < horizon)
-                            .collect(),
-                    },
-                })
-                .collect();
-            com::simulate(f.frame_type, &com_signals, horizon)
-        })
-        .collect();
-    let queued: Vec<QueuedFrame> = frames
+    plan: &FaultPlan,
+    obs: &mut BusObservations<'_>,
+) -> Result<(), SimError> {
+    let mut com_traces: Vec<com::ComTrace> = Vec::with_capacity(frames.len());
+    for f in frames {
+        let mut com_signals: Vec<ComSignal> = Vec::with_capacity(f.signals.len());
+        for s in &f.signals {
+            let writes = match &s.source {
+                // Only external traces see injected jitter/drift;
+                // gateway completions already carry upstream faults.
+                NetSource::Trace(t) => {
+                    plan.perturb_trace(&format!("{}/{}", f.name, s.name), t)
+                }
+                NetSource::TaskCompletions(task) => task_completions
+                    .get(task)
+                    .ok_or_else(|| SimError::unknown(format!("task `{task}`")))?
+                    .iter()
+                    .copied()
+                    .filter(|&t| t < horizon)
+                    .collect(),
+            };
+            com_signals.push(ComSignal {
+                name: s.name.clone(),
+                transfer: s.transfer,
+                writes,
+            });
+        }
+        com_traces.push(com::try_simulate(f.frame_type, &com_signals, horizon)?);
+    }
+    // Real frames first, rogue overload frames appended, so `tx.frame`
+    // below `frames.len()` keeps indexing the real frames.
+    let mut queued: Vec<QueuedFrame> = frames
         .iter()
         .zip(&com_traces)
         .map(|(f, trace)| QueuedFrame {
@@ -280,32 +342,48 @@ fn simulate_bus(
             queued_at: trace.instances.iter().map(|i| i.queued_at).collect(),
         })
         .collect();
+    queued.extend(plan.overload_frames(bus, horizon));
+    let wire: Vec<Vec<Time>> = queued
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            if i < frames.len() {
+                plan.wire_times(&q.name, q.transmission_time, q.queued_at.len())
+            } else {
+                vec![q.transmission_time; q.queued_at.len()]
+            }
+        })
+        .collect();
     for (fi, f) in frames.iter().enumerate() {
         for (si, s) in f.signals.iter().enumerate() {
-            deliveries.insert(format!("{}/{}", f.name, s.name), Vec::new());
-            overwritten.insert(
+            obs.deliveries.insert(format!("{}/{}", f.name, s.name), Vec::new());
+            obs.overwritten.insert(
                 format!("{}/{}", f.name, s.name),
                 com_traces[fi].overwritten[si],
             );
         }
-        frame_worst_response.insert(f.name.clone(), Time::ZERO);
-        frame_transmissions.insert(f.name.clone(), Vec::new());
+        obs.frame_worst_response.insert(f.name.clone(), Time::ZERO);
+        obs.frame_transmissions.insert(f.name.clone(), Vec::new());
     }
-    for tx in canbus::simulate(&queued) {
+    for tx in canbus::try_simulate_with_times(&queued, |f, i| wire[f][i])? {
+        if tx.frame >= frames.len() {
+            continue; // rogue overload frame: interference only
+        }
         let f = frames[tx.frame];
-        let worst = frame_worst_response.get_mut(&f.name).expect("inserted");
+        let worst = obs.frame_worst_response.get_mut(&f.name).expect("inserted");
         *worst = (*worst).max(tx.response());
-        frame_transmissions
+        obs.frame_transmissions
             .get_mut(&f.name)
             .expect("inserted")
             .push(tx.completed_at);
         for &(si, _written) in &com_traces[tx.frame].instances[tx.instance].fresh {
-            deliveries
+            obs.deliveries
                 .get_mut(&format!("{}/{}", f.name, f.signals[si].name))
                 .expect("inserted")
                 .push(tx.completed_at);
         }
     }
+    Ok(())
 }
 
 fn simulate_cpu(
@@ -313,9 +391,10 @@ fn simulate_cpu(
     deliveries: &BTreeMap<String, Vec<Time>>,
     frame_transmissions: &BTreeMap<String, Vec<Time>>,
     horizon: Time,
+    plan: &FaultPlan,
     task_completions: &mut BTreeMap<String, Vec<Time>>,
     task_worst_response: &mut BTreeMap<String, Time>,
-) {
+) -> Result<(), SimError> {
     let sim_tasks: Vec<SimTask> = tasks
         .iter()
         .map(|t| SimTask {
@@ -323,9 +402,11 @@ fn simulate_cpu(
             priority: t.priority,
             execution_time: t.execution_time,
             activations: match &t.activation {
-                NetActivation::Trace(trace) => {
-                    trace.iter().copied().filter(|&a| a < horizon).collect()
-                }
+                NetActivation::Trace(trace) => plan
+                    .perturb_trace(&format!("task:{}", t.name), trace)
+                    .into_iter()
+                    .filter(|&a| a < horizon)
+                    .collect(),
                 NetActivation::Delivery { frame, signal } => {
                     deliveries[&format!("{frame}/{signal}")].clone()
                 }
@@ -336,7 +417,7 @@ fn simulate_cpu(
             },
         })
         .collect();
-    let jobs = cpu::simulate(&sim_tasks);
+    let jobs = cpu::try_simulate(&sim_tasks)?;
     let worst = cpu::worst_responses(&sim_tasks, &jobs);
     for (t, w) in tasks.iter().zip(worst) {
         task_worst_response.insert(t.name.clone(), w);
@@ -355,6 +436,7 @@ fn simulate_cpu(
     for v in task_completions.values_mut() {
         v.sort_unstable();
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -435,6 +517,55 @@ mod tests {
     }
 
     #[test]
+    fn fault_free_plan_matches_plain_run() {
+        use crate::fault::FaultPlan;
+        let horizon = Time::new(50_000);
+        let plain = run(&gateway_chain(), horizon);
+        let faulted = run_with_faults(&gateway_chain(), horizon, &FaultPlan::new(123));
+        assert_eq!(plain.deliveries, faulted.deliveries);
+        assert_eq!(plain.frame_worst_response, faulted.frame_worst_response);
+        assert_eq!(plain.task_worst_response, faulted.task_worst_response);
+    }
+
+    #[test]
+    fn corrupted_gateway_chain_shifts_downstream() {
+        use crate::fault::{Fault, FaultPlan, FaultTarget};
+        // Certain corruption of F_in only: each instance costs
+        // 2·95 + 31 = 221 on bus0; everything downstream shifts.
+        let plan = FaultPlan::new(4).with(Fault::FrameCorruption {
+            frame: FaultTarget::Named("F_in".into()),
+            probability: 1.0,
+            error_frame: Time::new(31),
+            max_retransmissions: 1,
+        });
+        let report = run_with_faults(&gateway_chain(), Time::new(50_000), &plan);
+        assert_eq!(report.frame_worst_response["F_in"], Time::new(221));
+        // F_out is on the other bus and untouched by the fault itself.
+        assert_eq!(report.frame_worst_response["F_out"], Time::new(95));
+        // End-to-end: write 0 → F_in done 221 → gateway done 341 →
+        // F_out done 436.
+        assert_eq!(report.deliveries["F_out/s"][0], Time::new(436));
+        assert_eq!(report.deliveries["F_out/s"].len(), 10);
+    }
+
+    #[test]
+    fn overload_on_one_bus_spares_the_other() {
+        use crate::fault::{Fault, FaultPlan, FaultTarget};
+        let plan = FaultPlan::new(4).with(Fault::BusOverload {
+            bus: FaultTarget::Named("bus0".into()),
+            priority: Priority::new(0),
+            transmission_time: Time::new(120),
+            period: Time::new(120),
+            from: Time::ZERO,
+            until: Time::new(600),
+        });
+        let report = run_with_faults(&gateway_chain(), Time::new(50_000), &plan);
+        // The write at t = 0 on bus0 loses arbitration to the babbler.
+        assert!(report.frame_worst_response["F_in"] > Time::new(95));
+        assert_eq!(report.frame_worst_response["F_out"], Time::new(95));
+    }
+
+    #[test]
     fn cross_cpu_task_chain() {
         let sys = NetSystem {
             frames: vec![],
@@ -500,6 +631,15 @@ mod tests {
         // Make the first frame depend on the receiver: a loop.
         sys.frames[0].signals[0].source = NetSource::TaskCompletions("receiver".into());
         let _ = run(&sys, Time::new(10_000));
+    }
+
+    #[test]
+    fn try_run_reports_cycle_without_panicking() {
+        let mut sys = gateway_chain();
+        sys.frames[0].signals[0].source = NetSource::TaskCompletions("receiver".into());
+        let err = try_run(&sys, Time::new(10_000)).unwrap_err();
+        assert!(matches!(err, SimError::DependencyCycle { .. }), "{err}");
+        assert!(err.to_string().contains("bus0"), "{err}");
     }
 
     #[test]

@@ -9,6 +9,8 @@ use hem_time::Time;
 use crate::canbus::{self, QueuedFrame, Transmission};
 use crate::com::{self, ComSignal};
 use crate::cpu::{self, SimTask};
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 
 /// A frame in the simulated system.
 #[derive(Debug, Clone)]
@@ -94,17 +96,70 @@ pub struct SimReport {
 ///
 /// Panics on malformed input (unsorted traces, duplicate priorities) and
 /// when a [`SimActivation::Delivery`] references an unknown frame or
-/// signal.
+/// signal. [`try_run`] reports the same conditions as a [`SimError`]
+/// instead.
 #[must_use]
 pub fn run(system: &SimSystem, horizon: Time) -> SimReport {
-    // 1. COM layer: frame instances + freshness.
+    run_with_faults(system, horizon, &FaultPlan::none())
+}
+
+/// Non-panicking [`run`].
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on malformed input: unsorted traces, duplicate
+/// priorities, non-positive times, or an unknown delivery source.
+pub fn try_run(system: &SimSystem, horizon: Time) -> Result<SimReport, SimError> {
+    try_run_with_faults(system, horizon, &FaultPlan::none())
+}
+
+/// Like [`run`], but injecting the faults of `plan` (see
+/// [`crate::fault`]): signal write traces are perturbed by jitter and
+/// drift, frame transmissions suffer corruption overhead, and
+/// babbling-idiot frames (the harness's bus answers to the target name
+/// `"bus"`) compete in arbitration. With [`FaultPlan::none`] this is
+/// exactly [`run`].
+///
+/// # Panics
+///
+/// Same conditions as [`run`], plus a rogue overload frame colliding
+/// with a real frame's priority.
+#[must_use]
+pub fn run_with_faults(system: &SimSystem, horizon: Time, plan: &FaultPlan) -> SimReport {
+    try_run_with_faults(system, horizon, plan).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`run_with_faults`].
+///
+/// # Errors
+///
+/// Same conditions as [`try_run`], plus a rogue overload frame colliding
+/// with a real frame's priority.
+pub fn try_run_with_faults(
+    system: &SimSystem,
+    horizon: Time,
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    // 1. COM layer: frame instances + freshness (writes perturbed by
+    // jitter/drift faults before entering the COM layer).
     let mut com_traces = Vec::with_capacity(system.frames.len());
     for f in &system.frames {
-        com_traces.push(com::simulate(f.frame_type, &f.signals, horizon));
+        let signals: Vec<ComSignal> = f
+            .signals
+            .iter()
+            .map(|s| ComSignal {
+                name: s.name.clone(),
+                transfer: s.transfer,
+                writes: plan.perturb_trace(&format!("{}/{}", f.name, s.name), &s.writes),
+            })
+            .collect();
+        com_traces.push(com::try_simulate(f.frame_type, &signals, horizon)?);
     }
 
-    // 2. CAN arbitration.
-    let queued: Vec<QueuedFrame> = system
+    // 2. CAN arbitration, with per-instance corruption overhead and any
+    // rogue overload frames appended after the real ones (so `tx.frame`
+    // keeps indexing `system.frames` for real transmissions).
+    let mut queued: Vec<QueuedFrame> = system
         .frames
         .iter()
         .zip(&com_traces)
@@ -115,7 +170,23 @@ pub fn run(system: &SimSystem, horizon: Time) -> SimReport {
             queued_at: trace.instances.iter().map(|i| i.queued_at).collect(),
         })
         .collect();
-    let all_tx = canbus::simulate(&queued);
+    queued.extend(plan.overload_frames("bus", horizon));
+    let wire: Vec<Vec<Time>> = queued
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            if i < system.frames.len() {
+                plan.wire_times(&q.name, q.transmission_time, q.queued_at.len())
+            } else {
+                vec![q.transmission_time; q.queued_at.len()]
+            }
+        })
+        .collect();
+    let all_tx: Vec<Transmission> =
+        canbus::try_simulate_with_times(&queued, |f, i| wire[f][i])?
+            .into_iter()
+            .filter(|tx| tx.frame < system.frames.len())
+            .collect();
 
     let mut transmissions: BTreeMap<String, Vec<Transmission>> = system
         .frames
@@ -159,28 +230,29 @@ pub fn run(system: &SimSystem, horizon: Time) -> SimReport {
         .collect();
 
     // 3. Receiver CPU.
-    let sim_tasks: Vec<SimTask> = system
-        .tasks
-        .iter()
-        .map(|t| {
-            let activations = match &t.activation {
-                SimActivation::Trace(trace) => {
-                    trace.iter().copied().filter(|&a| a < horizon).collect()
-                }
-                SimActivation::Delivery { frame, signal } => deliveries
-                    .get(&format!("{frame}/{signal}"))
-                    .unwrap_or_else(|| panic!("unknown delivery source `{frame}/{signal}`"))
-                    .clone(),
-            };
-            SimTask {
-                name: t.name.clone(),
-                priority: t.priority,
-                execution_time: t.execution_time,
-                activations,
-            }
-        })
-        .collect();
-    let jobs = cpu::simulate(&sim_tasks);
+    let mut sim_tasks: Vec<SimTask> = Vec::with_capacity(system.tasks.len());
+    for t in &system.tasks {
+        let activations = match &t.activation {
+            SimActivation::Trace(trace) => plan
+                .perturb_trace(&format!("task:{}", t.name), trace)
+                .into_iter()
+                .filter(|&a| a < horizon)
+                .collect(),
+            SimActivation::Delivery { frame, signal } => deliveries
+                .get(&format!("{frame}/{signal}"))
+                .ok_or_else(|| {
+                    SimError::unknown(format!("delivery source `{frame}/{signal}`"))
+                })?
+                .clone(),
+        };
+        sim_tasks.push(SimTask {
+            name: t.name.clone(),
+            priority: t.priority,
+            execution_time: t.execution_time,
+            activations,
+        });
+    }
+    let jobs = cpu::try_simulate(&sim_tasks)?;
     let worst = cpu::worst_responses(&sim_tasks, &jobs);
     let task_worst_response: BTreeMap<String, Time> = system
         .tasks
@@ -204,7 +276,7 @@ pub fn run(system: &SimSystem, horizon: Time) -> SimReport {
         }
     }
 
-    SimReport {
+    Ok(SimReport {
         transmissions,
         frame_worst_response,
         deliveries,
@@ -212,7 +284,7 @@ pub fn run(system: &SimSystem, horizon: Time) -> SimReport {
         overwritten,
         task_worst_response,
         task_worst_latency,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -304,6 +376,78 @@ mod tests {
         // bg can be preempted by rx once: ≤ 40 + 30.
         assert!(report.task_worst_response["bg"] <= Time::new(70));
         assert!(report.task_worst_response["bg"] >= Time::new(40));
+    }
+
+    #[test]
+    fn fault_free_plan_matches_plain_run() {
+        use crate::fault::FaultPlan;
+        let horizon = Time::new(10_000);
+        let plain = run(&mini_system(), horizon);
+        let faulted = run_with_faults(&mini_system(), horizon, &FaultPlan::new(99));
+        assert_eq!(plain.deliveries, faulted.deliveries);
+        assert_eq!(plain.task_worst_response, faulted.task_worst_response);
+        assert_eq!(plain.frame_worst_response, faulted.frame_worst_response);
+    }
+
+    #[test]
+    fn certain_corruption_inflates_uncontended_response() {
+        use crate::fault::{Fault, FaultPlan, FaultTarget};
+        let plan = FaultPlan::new(1).with(Fault::FrameCorruption {
+            frame: FaultTarget::Named("F".into()),
+            probability: 1.0,
+            error_frame: Time::new(31),
+            max_retransmissions: 1,
+        });
+        let report = run_with_faults(&mini_system(), Time::new(10_000), &plan);
+        // Uncontended: every instance costs 2·95 + 31.
+        assert_eq!(report.frame_worst_response["F"], Time::new(2 * 95 + 31));
+        // Deliveries still happen (one per write), just later.
+        assert_eq!(report.deliveries["F/s"].len(), 20);
+        assert_eq!(report.deliveries["F/s"][0], Time::new(221));
+    }
+
+    #[test]
+    fn babbling_idiot_starves_the_real_frame() {
+        use crate::fault::{Fault, FaultPlan, FaultTarget};
+        // Rogue 130-tick frames queued back-to-back around the write at
+        // t = 500 win arbitration and delay F.
+        let plan = FaultPlan::new(1).with(Fault::BusOverload {
+            bus: FaultTarget::Named("bus".into()),
+            priority: Priority::new(0),
+            transmission_time: Time::new(130),
+            period: Time::new(130),
+            from: Time::new(450),
+            until: Time::new(900),
+        });
+        let report = run_with_faults(&mini_system(), Time::new(10_000), &plan);
+        assert!(
+            report.frame_worst_response["F"] > Time::new(95),
+            "got {}",
+            report.frame_worst_response["F"]
+        );
+        // The rogue frames are not reported as real transmissions.
+        assert_eq!(report.transmissions.len(), 1);
+    }
+
+    #[test]
+    fn jitter_on_trace_task_is_deterministic() {
+        use crate::fault::{Fault, FaultPlan, FaultTarget};
+        let mut sys = mini_system();
+        sys.tasks.push(SimCpuTask {
+            name: "bg".into(),
+            priority: Priority::new(2),
+            execution_time: Time::new(40),
+            activation: SimActivation::Trace(trace::periodic(Time::new(400), Time::new(10_000))),
+        });
+        let plan = FaultPlan::new(5).with(Fault::ActivationJitter {
+            target: FaultTarget::Named("task:bg".into()),
+            max_delay: Time::new(60),
+        });
+        let a = run_with_faults(&sys, Time::new(10_000), &plan);
+        let b = run_with_faults(&sys, Time::new(10_000), &plan);
+        assert_eq!(a.task_worst_response, b.task_worst_response);
+        // The delivery-activated task is untouched by the trace fault.
+        assert_eq!(a.task_worst_response["rx"], Time::new(30));
     }
 
     #[test]

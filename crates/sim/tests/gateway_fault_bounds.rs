@@ -1,0 +1,296 @@
+//! Acceptance test: the paper's Fig. 2 gateway scenario simulated under
+//! injected faults stays within analytic bounds.
+//!
+//! Two sound accountings are exercised:
+//!
+//! 1. **Jitter / drift faults** are absorbed by widening each external
+//!    source's jitter by [`FaultPlan::jitter_bound`] and re-running the
+//!    full system analysis (`hem_system::analyze`) on the widened spec.
+//!    Every observed frame and task response of the faulted simulation
+//!    must stay below the widened analysis' bounds.
+//! 2. **Frame corruption and bus overload** are absorbed at the bus
+//!    level: SPNP analysis with the retransmission-inflated wire time
+//!    [`FaultPlan::wire_time_bound`], OR-joined (COM-packed) inputs and
+//!    the babbling idiot modelled as a highest-priority interferer.
+
+use std::collections::BTreeMap;
+
+use hem_analysis::{spnp, AnalysisConfig, AnalysisTask, Priority};
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_can::{CanBusConfig, CanFrameConfig, FrameFormat};
+use hem_event_models::ops::OrJoin;
+use hem_event_models::{EventModelExt, StandardEventModel};
+use hem_sim::fault::{Fault, FaultPlan, FaultTarget};
+use hem_sim::from_spec::simulate_spec_under_faults;
+use hem_sim::trace;
+use hem_system::{
+    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_time::Time;
+
+const HORIZON: i64 = 100_000;
+/// One paper time unit = 10 CAN bit times (see `DESIGN.md`).
+const SCALE: i64 = 10;
+const PERIODS: [i64; 4] = [250 * SCALE, 450 * SCALE, 600 * SCALE, 400 * SCALE];
+
+/// The paper's Fig. 2 system: four sources packed into two CAN frames,
+/// three receiver tasks. `widen[i]` adds jitter to source `i`'s model
+/// (the analytic counterweight to injected jitter/drift).
+fn paper_spec(widen: &[Time; 4]) -> SystemSpec {
+    let source = |i: usize| -> ActivationSpec {
+        ActivationSpec::External(
+            StandardEventModel::periodic_with_jitter(Time::new(PERIODS[i]), widen[i])
+                .expect("valid model")
+                .shared(),
+        )
+    };
+    SystemSpec::new()
+        .cpu("cpu1")
+        .bus("can", CanBusConfig::new(Time::new(1)))
+        .frame(FrameSpec {
+            name: "F1".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 4,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![
+                SignalSpec {
+                    name: "s1".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: source(0),
+                },
+                SignalSpec {
+                    name: "s2".into(),
+                    transfer: TransferProperty::Triggering,
+                    source: source(1),
+                },
+                SignalSpec {
+                    name: "s3".into(),
+                    transfer: TransferProperty::Pending,
+                    source: source(2),
+                },
+            ],
+        })
+        .frame(FrameSpec {
+            name: "F2".into(),
+            bus: "can".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 2,
+            format: FrameFormat::Standard,
+            priority: Priority::new(2),
+            signals: vec![SignalSpec {
+                name: "s4".into(),
+                transfer: TransferProperty::Triggering,
+                source: source(3),
+            }],
+        })
+        .task(TaskSpec {
+            name: "T1".into(),
+            cpu: "cpu1".into(),
+            bcet: Time::new(24 * SCALE),
+            wcet: Time::new(24 * SCALE),
+            priority: Priority::new(1),
+            activation: ActivationSpec::Signal {
+                frame: "F1".into(),
+                signal: "s1".into(),
+            },
+        })
+        .task(TaskSpec {
+            name: "T2".into(),
+            cpu: "cpu1".into(),
+            bcet: Time::new(32 * SCALE),
+            wcet: Time::new(32 * SCALE),
+            priority: Priority::new(2),
+            activation: ActivationSpec::Signal {
+                frame: "F1".into(),
+                signal: "s2".into(),
+            },
+        })
+        .task(TaskSpec {
+            name: "T3".into(),
+            cpu: "cpu1".into(),
+            bcet: Time::new(40 * SCALE),
+            wcet: Time::new(40 * SCALE),
+            priority: Priority::new(3),
+            activation: ActivationSpec::Signal {
+                frame: "F1".into(),
+                signal: "s3".into(),
+            },
+        })
+}
+
+fn external_traces(horizon: Time) -> BTreeMap<String, Vec<Time>> {
+    let mut traces = BTreeMap::new();
+    for (key, period) in [
+        ("F1/s1", PERIODS[0]),
+        ("F1/s2", PERIODS[1]),
+        ("F1/s3", PERIODS[2]),
+        ("F2/s4", PERIODS[3]),
+    ] {
+        traces.insert(key.to_string(), trace::periodic(Time::new(period), horizon));
+    }
+    traces
+}
+
+/// Worst-case wire time of a Fig. 2 frame on the 1-tick-per-bit bus.
+fn wire_time(payload_bytes: u8) -> Time {
+    CanBusConfig::new(Time::new(1))
+        .transmission_time(
+            &CanFrameConfig::new(FrameFormat::Standard, payload_bytes).expect("valid frame"),
+        )
+        .r_plus
+}
+
+#[test]
+fn jittered_gateway_within_widened_engine_bounds() {
+    let horizon = Time::new(HORIZON);
+    let plan = FaultPlan::new(424_242)
+        .with(Fault::ActivationJitter {
+            target: FaultTarget::All,
+            max_delay: Time::new(150),
+        })
+        .with(Fault::ClockDrift {
+            target: FaultTarget::All,
+            drift_ppm: -3_000,
+        });
+
+    // Analytic counterweight: widen each source by the plan's
+    // displacement bound over the simulated horizon.
+    let widen = [
+        plan.jitter_bound("F1/s1", horizon),
+        plan.jitter_bound("F1/s2", horizon),
+        plan.jitter_bound("F1/s3", horizon),
+        plan.jitter_bound("F2/s4", horizon),
+    ];
+    assert!(widen[0] >= Time::new(150), "bound covers jitter and drift");
+
+    let report = simulate_spec_under_faults(
+        &paper_spec(&widen), // sim ignores model widths; traces drive it
+        &external_traces(horizon),
+        horizon,
+        &plan,
+    )
+    .expect("simulation runs");
+
+    for mode in [AnalysisMode::Flat, AnalysisMode::Hierarchical] {
+        let bounds = analyze(&paper_spec(&widen), &SystemConfig::new(mode))
+            .expect("widened system stays analysable");
+        for (frame, &observed) in &report.frame_worst_response {
+            let bound = bounds.frame(frame).expect("analysed").response.r_plus;
+            assert!(
+                observed <= bound,
+                "{mode:?}: frame {frame} observed {observed} exceeds bound {bound}"
+            );
+        }
+        for (task, &observed) in &report.task_worst_response {
+            let bound = bounds.task(task).expect("analysed").response.r_plus;
+            assert!(
+                observed <= bound,
+                "{mode:?}: task {task} observed {observed} exceeds bound {bound}"
+            );
+        }
+    }
+    // The faulted run actually delivered traffic end to end.
+    assert!(!report.deliveries["F1/s1"].is_empty());
+    assert!(!report.deliveries["F2/s4"].is_empty());
+}
+
+#[test]
+fn corrupted_and_overloaded_gateway_within_spnp_bounds() {
+    let horizon = Time::new(HORIZON);
+    let babble_tt = Time::new(65);
+    let babble_period = Time::new(1_000);
+
+    for seed in [3u64, 99, 2_026] {
+        let plan = FaultPlan::new(seed)
+            .with(Fault::FrameCorruption {
+                frame: FaultTarget::Named("F1".into()),
+                probability: 0.4,
+                error_frame: Time::new(31),
+                max_retransmissions: 1,
+            })
+            .with(Fault::FrameCorruption {
+                frame: FaultTarget::Named("F2".into()),
+                probability: 0.2,
+                error_frame: Time::new(31),
+                max_retransmissions: 2,
+            })
+            .with(Fault::BusOverload {
+                bus: FaultTarget::Named("can".into()),
+                priority: Priority::new(0),
+                transmission_time: babble_tt,
+                period: babble_period,
+                from: Time::ZERO,
+                until: horizon,
+            });
+
+        let widen = [Time::ZERO; 4];
+        let report = simulate_spec_under_faults(
+            &paper_spec(&widen),
+            &external_traces(horizon),
+            horizon,
+            &plan,
+        )
+        .expect("simulation runs");
+
+        // Bus-level analytic bounds: COM packing of a direct frame is an
+        // OR-join of its triggering sources; corruption inflates the wire
+        // time to (k+1)·C + k·E; the babbling idiot is a top-priority
+        // periodic interferer.
+        let sem = |i: usize| {
+            StandardEventModel::periodic(Time::new(PERIODS[i]))
+                .expect("valid")
+                .shared()
+        };
+        let c1 = wire_time(4);
+        let c2 = wire_time(2);
+        let tasks = [
+            AnalysisTask::new(
+                "F1",
+                c1,
+                plan.wire_time_bound("F1", c1),
+                Priority::new(1),
+                OrJoin::new(vec![sem(0), sem(1)]).expect("non-empty").shared(),
+            ),
+            AnalysisTask::new(
+                "F2",
+                c2,
+                plan.wire_time_bound("F2", c2),
+                Priority::new(2),
+                sem(3),
+            ),
+            AnalysisTask::new(
+                "babble",
+                babble_tt,
+                babble_tt,
+                Priority::new(0),
+                StandardEventModel::periodic(babble_period)
+                    .expect("valid")
+                    .shared(),
+            ),
+        ];
+        let bounds = spnp::analyze(&tasks, &AnalysisConfig::default()).expect("converges");
+        assert!(
+            plan.wire_time_bound("F1", c1) == c1 * 2 + Time::new(31),
+            "k = 1 doubles the frame and adds one error frame"
+        );
+
+        for (i, frame) in ["F1", "F2"].into_iter().enumerate() {
+            let observed = report.frame_worst_response[frame];
+            let bound = bounds[i].response.r_plus;
+            assert!(
+                observed <= bound,
+                "seed {seed}: frame {frame} observed {observed} exceeds bound {bound}"
+            );
+        }
+        // The faults genuinely bite: an uncontended, fault-free F1 would
+        // finish in exactly one wire time.
+        assert!(
+            report.frame_worst_response["F1"] > c1,
+            "seed {seed}: corruption + overload should delay F1 beyond {c1}"
+        );
+        assert!(!report.deliveries["F1/s1"].is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Structured diagnostics for non-converged analyses.
+//!
+//! A compositional analysis that fails to converge still produces
+//! information an integrator needs: *which* entity's response time kept
+//! growing, what the last iterates looked like, and which resource is
+//! the likely culprit. This module captures that as data instead of a
+//! bare error, so design-space-exploration loops and interactive tools
+//! can react (drop a candidate, relax a budget, highlight a bus)
+//! without re-running anything.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use hem_analysis::{AnalysisError, ResponseTime};
+
+/// Per-entity convergence status after a (possibly aborted) analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceStatus {
+    /// The response time reached a fixed point.
+    Converged,
+    /// The response time grew strictly for the last `streak` global
+    /// iterations without the growth slowing — the signature of a
+    /// divergent jitter feedback loop.
+    Growing {
+        /// Length of the strict-growth streak when the analysis stopped.
+        streak: u64,
+    },
+    /// The response time was still changing (but not monotonically
+    /// growing) when the analysis stopped.
+    Unsettled,
+    /// The local analysis of this entity aborted (busy-window blow-up or
+    /// budget exhaustion) before producing a response time.
+    Failed,
+    /// The entity was never analysed (the run stopped before reaching
+    /// it).
+    Unknown,
+}
+
+impl ConvergenceStatus {
+    /// Whether this status denotes a usable (converged) response time.
+    #[must_use]
+    pub fn is_converged(&self) -> bool {
+        matches!(self, ConvergenceStatus::Converged)
+    }
+}
+
+/// Why the global iteration stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// All response times reached a fixed point.
+    Converged,
+    /// An entity's response time grew monotonically for the configured
+    /// streak — the system is almost certainly unschedulable, so the
+    /// engine stopped early instead of burning the full iteration limit.
+    DivergenceDetected {
+        /// The entity whose growth triggered the early stop.
+        entity: String,
+        /// Consecutive strictly-growing iterations observed.
+        streak: u64,
+    },
+    /// A local busy-window analysis aborted.
+    LocalAnalysisFailed {
+        /// The task or frame whose local analysis failed.
+        entity: String,
+        /// The underlying local error.
+        error: AnalysisError,
+    },
+    /// The wall-clock [`AnalysisBudget`](hem_analysis::AnalysisBudget)
+    /// expired between global iterations.
+    BudgetExhausted,
+    /// `max_global_iterations` elapsed without a fixed point and without
+    /// tripping the divergence heuristic.
+    IterationLimitReached,
+}
+
+/// A structured post-mortem of a global analysis run.
+///
+/// Produced by [`analyze_robust`](crate::analyze_robust) for every run —
+/// converged or not. Response-time vectors use prefixed keys
+/// (`task:<name>` / `frame:<name>`) so tasks and frames sharing a name
+/// cannot collide.
+#[derive(Debug, Clone)]
+pub struct Diagnostics {
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Completed global iterations.
+    pub iterations: u64,
+    /// Entities flagged [`ConvergenceStatus::Growing`], longest streak
+    /// first.
+    pub diverging: Vec<String>,
+    /// Response times of the last completed global iteration.
+    pub last_response_times: BTreeMap<String, ResponseTime>,
+    /// Response times of the iteration before that (empty if fewer than
+    /// two iterations completed).
+    pub previous_response_times: BTreeMap<String, ResponseTime>,
+    /// The resource (`cpu:<name>` / `bus:<name>`) hosting the first
+    /// diverging or failed entity — a heuristic pointer, not a proof.
+    pub suspected_bottleneck: Option<String>,
+}
+
+impl Diagnostics {
+    /// Whether the run converged.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.stop == StopReason::Converged
+    }
+
+    /// Whether the run was cut short by a wall-clock budget (either
+    /// between global iterations or inside a local analysis).
+    #[must_use]
+    pub fn budget_exhausted(&self) -> bool {
+        match &self.stop {
+            StopReason::BudgetExhausted => true,
+            StopReason::LocalAnalysisFailed { error, .. } => error.is_budget_exhausted(),
+            _ => false,
+        }
+    }
+
+    /// The entity most implicated in the failure, if any: the failing
+    /// entity of a local abort, or the longest-streak growing entity.
+    #[must_use]
+    pub fn prime_suspect(&self) -> Option<&str> {
+        match &self.stop {
+            StopReason::LocalAnalysisFailed { entity, .. }
+            | StopReason::DivergenceDetected { entity, .. } => Some(entity.as_str()),
+            _ => self.diverging.first().map(String::as_str),
+        }
+    }
+
+    /// A human-readable multi-line report.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        match &self.stop {
+            StopReason::Converged => {
+                let _ = writeln!(out, "converged after {} iteration(s)", self.iterations);
+            }
+            StopReason::DivergenceDetected { entity, streak } => {
+                let _ = writeln!(
+                    out,
+                    "divergence detected after {} iteration(s): `{entity}` grew for {streak} \
+                     consecutive iteration(s)",
+                    self.iterations
+                );
+            }
+            StopReason::LocalAnalysisFailed { entity, error } => {
+                let _ = writeln!(
+                    out,
+                    "local analysis of `{entity}` aborted after {} global iteration(s): {error}",
+                    self.iterations
+                );
+            }
+            StopReason::BudgetExhausted => {
+                let _ = writeln!(
+                    out,
+                    "wall-clock budget exhausted after {} iteration(s)",
+                    self.iterations
+                );
+            }
+            StopReason::IterationLimitReached => {
+                let _ = writeln!(
+                    out,
+                    "no fixed point within {} iteration(s)",
+                    self.iterations
+                );
+            }
+        }
+        if let Some(resource) = &self.suspected_bottleneck {
+            let _ = writeln!(out, "suspected bottleneck: {resource}");
+        }
+        if !self.diverging.is_empty() {
+            let _ = writeln!(out, "diverging entities: {}", self.diverging.join(", "));
+        }
+        for (key, last) in &self.last_response_times {
+            match self.previous_response_times.get(key) {
+                Some(prev) if prev != last => {
+                    let _ = writeln!(out, "  {key:<24} {prev} -> {last}");
+                }
+                _ => {
+                    let _ = writeln!(out, "  {key:<24} {last}");
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.summary().trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hem_time::Time;
+
+    fn rt(lo: i64, hi: i64) -> ResponseTime {
+        ResponseTime::new(Time::new(lo), Time::new(hi))
+    }
+
+    #[test]
+    fn summary_names_diverging_entity_and_vectors() {
+        let d = Diagnostics {
+            stop: StopReason::DivergenceDetected {
+                entity: "task:gateway".into(),
+                streak: 12,
+            },
+            iterations: 17,
+            diverging: vec!["task:gateway".into()],
+            last_response_times: BTreeMap::from([("task:gateway".into(), rt(10, 900))]),
+            previous_response_times: BTreeMap::from([("task:gateway".into(), rt(10, 700))]),
+            suspected_bottleneck: Some("cpu:ecu1".into()),
+        };
+        let s = d.summary();
+        assert!(s.contains("task:gateway"), "{s}");
+        assert!(s.contains("cpu:ecu1"), "{s}");
+        assert!(s.contains("[10, 700] -> [10, 900]"), "{s}");
+        assert!(!d.converged());
+        assert_eq!(d.prime_suspect(), Some("task:gateway"));
+    }
+
+    #[test]
+    fn budget_exhaustion_detected_through_local_error() {
+        let d = Diagnostics {
+            stop: StopReason::LocalAnalysisFailed {
+                entity: "task:t".into(),
+                error: AnalysisError::budget_exhausted("t"),
+            },
+            iterations: 3,
+            diverging: vec![],
+            last_response_times: BTreeMap::new(),
+            previous_response_times: BTreeMap::new(),
+            suspected_bottleneck: None,
+        };
+        assert!(d.budget_exhausted());
+        assert_eq!(d.prime_suspect(), Some("task:t"));
+    }
+
+    #[test]
+    fn converged_diagnostics() {
+        let d = Diagnostics {
+            stop: StopReason::Converged,
+            iterations: 4,
+            diverging: vec![],
+            last_response_times: BTreeMap::new(),
+            previous_response_times: BTreeMap::new(),
+            suspected_bottleneck: None,
+        };
+        assert!(d.converged());
+        assert!(!d.budget_exhausted());
+        assert_eq!(d.prime_suspect(), None);
+        assert!(d.to_string().contains("converged after 4"));
+    }
+}

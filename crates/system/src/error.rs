@@ -30,6 +30,14 @@ pub enum SystemError {
         /// Iterations performed before giving up.
         iterations: u64,
     },
+    /// The wall-clock [`AnalysisBudget`](hem_analysis::AnalysisBudget)
+    /// expired before the analysis converged.
+    BudgetExhausted {
+        /// The entity (`task:<name>` / `frame:<name>`) being analysed
+        /// when the budget ran out, or `None` when it expired between
+        /// global iterations.
+        entity: Option<String>,
+    },
     /// Activation wiring forms a dependency cycle that the engine cannot
     /// resolve (e.g. a task activated — possibly through frames — by its
     /// own output).
@@ -64,6 +72,13 @@ impl fmt::Display for SystemError {
                 f,
                 "global analysis did not converge within {iterations} iterations"
             ),
+            SystemError::BudgetExhausted { entity } => match entity {
+                Some(name) => write!(
+                    f,
+                    "analysis budget exhausted while analysing `{name}`"
+                ),
+                None => write!(f, "analysis budget exhausted"),
+            },
             SystemError::DependencyCycle { name } => {
                 write!(f, "activation dependency cycle involving `{name}`")
             }

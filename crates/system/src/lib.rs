@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diagnostics;
 pub mod dsl;
 mod engine;
 mod error;
@@ -44,7 +45,8 @@ mod result;
 pub mod sensitivity;
 mod spec;
 
-pub use engine::analyze;
+pub use diagnostics::{ConvergenceStatus, Diagnostics, StopReason};
+pub use engine::{analyze, analyze_robust, RobustAnalysis};
 pub use error::SystemError;
 pub use result::{SystemConfig, SystemResults};
 pub use spec::{ActivationSpec, AnalysisMode, BusSpec, CpuSpec, FrameSpec, SignalSpec,

@@ -10,9 +10,22 @@ use std::fmt::Write as _;
 use hem_can::{BusFrame, CanFrameConfig};
 use hem_time::Time;
 
+use crate::diagnostics::ConvergenceStatus;
+use crate::engine::RobustAnalysis;
 use crate::path::{analyze_path, signal_paths};
 use crate::result::SystemResults;
 use crate::spec::SystemSpec;
+
+/// Table suffix for entities that did not converge.
+fn status_marker(status: Option<ConvergenceStatus>) -> &'static str {
+    match status {
+        Some(ConvergenceStatus::Converged) | None => "",
+        Some(ConvergenceStatus::Growing { .. }) => "  [DIVERGING]",
+        Some(ConvergenceStatus::Unsettled) => "  [unsettled]",
+        Some(ConvergenceStatus::Failed) => "  [FAILED]",
+        Some(ConvergenceStatus::Unknown) => "  [not analysed]",
+    }
+}
 
 /// Renders a full analysis report.
 ///
@@ -29,6 +42,13 @@ pub fn render(spec: &SystemSpec, results: &SystemResults) -> String {
         results.mode(),
         results.iterations()
     );
+    if !results.is_complete() {
+        let _ = writeln!(
+            out,
+            "WARNING: analysis did not converge — response times below are \
+             lower bounds, not safe worst cases"
+        );
+    }
 
     for bus in &spec.buses {
         let _ = writeln!(out, "\nbus {}:", bus.name);
@@ -37,11 +57,12 @@ pub fn render(spec: &SystemSpec, results: &SystemResults) -> String {
             if let Some(r) = results.frame(&f.name) {
                 let _ = writeln!(
                     out,
-                    "  frame {:<12} response {:>18} ({} signals, {} B)",
+                    "  frame {:<12} response {:>18} ({} signals, {} B){}",
                     f.name,
                     r.response.to_string(),
                     f.signals.len(),
-                    f.payload_bytes
+                    f.payload_bytes,
+                    status_marker(results.frame_convergence(&f.name))
                 );
             }
             if let (Some(input), Ok(config)) = (
@@ -68,10 +89,11 @@ pub fn render(spec: &SystemSpec, results: &SystemResults) -> String {
             if let Some(r) = results.task(&t.name) {
                 let _ = writeln!(
                     out,
-                    "  task  {:<12} response {:>18} (busy period: {} activation(s))",
+                    "  task  {:<12} response {:>18} (busy period: {} activation(s)){}",
                     t.name,
                     r.response.to_string(),
-                    r.busy_activations
+                    r.busy_activations,
+                    status_marker(results.task_convergence(&t.name))
                 );
             }
         }
@@ -107,6 +129,21 @@ pub fn render(spec: &SystemSpec, results: &SystemResults) -> String {
                     );
                 }
             }
+        }
+    }
+    out
+}
+
+/// Renders a report for a robust analysis: the (possibly partial)
+/// result table followed by the diagnostics post-mortem when the
+/// analysis did not converge.
+#[must_use]
+pub fn render_robust(spec: &SystemSpec, robust: &RobustAnalysis) -> String {
+    let mut out = render(spec, &robust.results);
+    if !robust.diagnostics.converged() {
+        let _ = writeln!(out, "\ndiagnostics:");
+        for line in robust.diagnostics.summary().lines() {
+            let _ = writeln!(out, "  {line}");
         }
     }
     out
@@ -175,6 +212,38 @@ mod tests {
         assert!(text.contains("total      195"), "{text}");
         // Bus-load line: one 95-bit frame every 2000 ticks ≈ 4.8 %.
         assert!(text.contains("load  4.8 %"), "{text}");
+    }
+
+    #[test]
+    fn robust_report_marks_partial_results() {
+        let s = SystemSpec::new()
+            .cpu("ecu")
+            .task(TaskSpec {
+                name: "hog".into(),
+                cpu: "ecu".into(),
+                bcet: Time::new(90),
+                wcet: Time::new(90),
+                priority: Priority::new(1),
+                activation: ActivationSpec::External(
+                    StandardEventModel::periodic(Time::new(100)).expect("valid").shared(),
+                ),
+            })
+            .task(TaskSpec {
+                name: "victim".into(),
+                cpu: "ecu".into(),
+                bcet: Time::new(50),
+                wcet: Time::new(50),
+                priority: Priority::new(2),
+                activation: ActivationSpec::External(
+                    StandardEventModel::periodic(Time::new(200)).expect("valid").shared(),
+                ),
+            });
+        let robust = crate::analyze_robust(&s, &SystemConfig::new(AnalysisMode::Flat))
+            .expect("well-formed");
+        let text = render_robust(&s, &robust);
+        assert!(text.contains("WARNING"), "{text}");
+        assert!(text.contains("diagnostics:"), "{text}");
+        assert!(text.contains("task:victim"), "{text}");
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use std::collections::BTreeMap;
 
-use hem_analysis::{AnalysisConfig, TaskResult};
+use hem_analysis::{AnalysisBudget, AnalysisConfig, TaskResult};
 use hem_event_models::ModelRef;
 
+use crate::diagnostics::ConvergenceStatus;
 use crate::spec::AnalysisMode;
 
 /// Configuration of the global system analysis.
@@ -25,6 +26,15 @@ pub struct SystemConfig {
     /// default (paper-faithful Def. 9); switching it on can only tighten
     /// results.
     pub tighten_inner: bool,
+    /// Stop early (reporting divergence) once some entity's worst-case
+    /// response time has grown strictly — with non-shrinking increments —
+    /// for this many consecutive global iterations. `0` disables the
+    /// heuristic. Converging propagation chains grow for at most about
+    /// as many iterations as the chain is deep and with shrinking
+    /// increments near the fixed point, so the default of 12 is
+    /// conservative for realistic topologies; raise it for unusually
+    /// deep task chains.
+    pub divergence_streak: u64,
 }
 
 impl SystemConfig {
@@ -37,21 +47,43 @@ impl SystemConfig {
             max_global_iterations: 64,
             sem_fit_horizon: 64,
             tighten_inner: false,
+            divergence_streak: 12,
         }
+    }
+
+    /// This configuration with the given wall-clock budget applied to
+    /// the whole analysis (global iterations and every local busy
+    /// window).
+    #[must_use]
+    pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
+        self.local.budget = budget;
+        self
     }
 }
 
-/// The outcome of a converged global analysis.
+/// The outcome of a global analysis.
 ///
 /// Besides the response times that the paper's Table 3 reports, the
 /// result keeps the final event models — frame output streams and
 /// unpacked per-signal streams — which is what Figure 4 plots.
+///
+/// A result can be **partial**: [`analyze_robust`](crate::analyze_robust)
+/// returns the work done so far even when the analysis did not converge.
+/// [`SystemResults::is_complete`] distinguishes the cases, and
+/// [`SystemResults::task_convergence`] /
+/// [`SystemResults::frame_convergence`] report each entity's status.
+/// Response times in a partial result are **lower bounds on the true
+/// worst case**, not safe bounds — they must never be used to certify
+/// deadlines.
 #[derive(Debug)]
 pub struct SystemResults {
     pub(crate) mode: AnalysisMode,
     pub(crate) iterations: u64,
+    pub(crate) complete: bool,
     pub(crate) task_results: BTreeMap<String, TaskResult>,
     pub(crate) frame_results: BTreeMap<String, TaskResult>,
+    pub(crate) task_convergence: BTreeMap<String, ConvergenceStatus>,
+    pub(crate) frame_convergence: BTreeMap<String, ConvergenceStatus>,
     pub(crate) task_activations: BTreeMap<String, ModelRef>,
     pub(crate) frame_inputs: BTreeMap<String, ModelRef>,
     pub(crate) frame_outputs: BTreeMap<String, ModelRef>,
@@ -63,6 +95,25 @@ impl SystemResults {
     #[must_use]
     pub fn mode(&self) -> AnalysisMode {
         self.mode
+    }
+
+    /// Whether the analysis converged. Response times of an incomplete
+    /// result are lower bounds on the truth, not safe worst cases.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Convergence status of a task (see [`ConvergenceStatus`]).
+    #[must_use]
+    pub fn task_convergence(&self, name: &str) -> Option<ConvergenceStatus> {
+        self.task_convergence.get(name).copied()
+    }
+
+    /// Convergence status of a frame (see [`ConvergenceStatus`]).
+    #[must_use]
+    pub fn frame_convergence(&self, name: &str) -> Option<ConvergenceStatus> {
+        self.frame_convergence.get(name).copied()
     }
 
     /// Number of global iterations until the fixed point.

@@ -36,27 +36,18 @@ pub fn max_wcet(
     task: &str,
     config: &SystemConfig,
 ) -> Result<Option<Time>, SystemError> {
-    if !spec.tasks.iter().any(|t| t.name == task) {
-        return Err(SystemError::UnknownReference {
+    let idx = spec.tasks.iter().position(|t| t.name == task).ok_or_else(|| {
+        SystemError::UnknownReference {
             kind: "task",
             name: task.to_string(),
-        });
-    }
+        }
+    })?;
     // The base system must be feasible to begin with.
     analyze(spec, config)?;
-    let current = spec
-        .tasks
-        .iter()
-        .find(|t| t.name == task)
-        .expect("checked above")
-        .wcet;
+    let current = spec.tasks[idx].wcet;
     let feasible = |wcet: Time| -> bool {
         let mut probe = spec.clone();
-        let t = probe
-            .tasks
-            .iter_mut()
-            .find(|t| t.name == task)
-            .expect("checked above");
+        let t = &mut probe.tasks[idx];
         t.wcet = wcet;
         t.bcet = t.bcet.min(wcet);
         analyze(&probe, config).is_ok()
@@ -99,28 +90,17 @@ pub fn max_bit_time(
     bus: &str,
     config: &SystemConfig,
 ) -> Result<Option<Time>, SystemError> {
-    if !spec.buses.iter().any(|b| b.name == bus) {
-        return Err(SystemError::UnknownReference {
+    let idx = spec.buses.iter().position(|b| b.name == bus).ok_or_else(|| {
+        SystemError::UnknownReference {
             kind: "bus",
             name: bus.to_string(),
-        });
-    }
+        }
+    })?;
     analyze(spec, config)?;
-    let current = spec
-        .buses
-        .iter()
-        .find(|b| b.name == bus)
-        .expect("checked above")
-        .config
-        .bit_time;
+    let current = spec.buses[idx].config.bit_time;
     let feasible = |bit_time: Time| -> bool {
         let mut probe = spec.clone();
-        probe
-            .buses
-            .iter_mut()
-            .find(|b| b.name == bus)
-            .expect("checked above")
-            .config = hem_can::CanBusConfig::new(bit_time);
+        probe.buses[idx].config = hem_can::CanBusConfig::new(bit_time);
         analyze(&probe, config).is_ok()
     };
     binary_search_max(current, feasible)

@@ -1,0 +1,101 @@
+//! Acceptance test: an unschedulable spec analysed under a 100 ms
+//! wall-clock budget returns promptly — not after the (deliberately
+//! astronomical) iteration limits — and the diagnostics name the
+//! diverging entity and the suspected bottleneck resource.
+
+use std::time::{Duration, Instant};
+
+use hem_analysis::AnalysisBudget;
+use hem_system::{
+    analyze, analyze_robust, ActivationSpec, AnalysisMode, SystemConfig, SystemError, SystemSpec,
+    TaskSpec,
+};
+use hem_event_models::EventModelExt as _;
+use hem_time::Time;
+
+/// CPU utilization 90/100 + 50/200 = 115 %: the low-priority task's
+/// busy window grows without bound.
+fn unschedulable_spec() -> SystemSpec {
+    let task = |name: &str, wcet: i64, prio: u32, period: i64| TaskSpec {
+        name: name.into(),
+        cpu: "cpu0".into(),
+        bcet: Time::new(wcet),
+        wcet: Time::new(wcet),
+        priority: hem_analysis::Priority::new(prio),
+        activation: ActivationSpec::External(
+            hem_event_models::StandardEventModel::periodic(Time::new(period))
+                .expect("valid")
+                .shared(),
+        ),
+    };
+    SystemSpec::new()
+        .cpu("cpu0")
+        .task(task("hog", 90, 1, 100))
+        .task(task("victim", 50, 2, 200))
+}
+
+#[test]
+fn unschedulable_spec_returns_within_budget_with_diagnostics() {
+    // Raise the work limits so high that only the wall-clock budget can
+    // stop the diverging busy window within the lifetime of the test.
+    let mut config = SystemConfig::new(AnalysisMode::Flat);
+    config.local.max_busy_window = Time::new(i64::MAX / 4);
+    config.local.max_activations = u64::MAX / 2;
+    config.local.max_iterations = u64::MAX / 2;
+    config.local.budget = AnalysisBudget::within(Duration::from_millis(100));
+
+    let started = Instant::now();
+    let r = analyze_robust(&unschedulable_spec(), &config).expect("spec is well-formed");
+    let elapsed = started.elapsed();
+
+    // Cooperative cancellation polls every few busy-window iterations,
+    // so the run ends within a small margin of the 100 ms deadline (the
+    // generous cap guards against noisy CI machines, not precision).
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "analysis ran {elapsed:?} despite a 100 ms budget"
+    );
+
+    assert!(r.diagnostics.budget_exhausted());
+    assert!(!r.results.is_complete());
+    assert_eq!(
+        r.diagnostics.prime_suspect(),
+        Some("task:victim"),
+        "diagnostics should name the diverging entity"
+    );
+    assert_eq!(
+        r.diagnostics.suspected_bottleneck.as_deref(),
+        Some("cpu:cpu0"),
+        "diagnostics should point at the overloaded resource"
+    );
+
+    // The strict API reports the same condition as a typed error.
+    let mut config = SystemConfig::new(AnalysisMode::Flat);
+    config.local.max_busy_window = Time::new(i64::MAX / 4);
+    config.local.max_activations = u64::MAX / 2;
+    config.local.max_iterations = u64::MAX / 2;
+    config.local.budget = AnalysisBudget::within(Duration::from_millis(100));
+    let err = analyze(&unschedulable_spec(), &config).unwrap_err();
+    assert!(matches!(
+        err,
+        SystemError::BudgetExhausted { .. } | SystemError::Analysis(_)
+    ));
+}
+
+#[test]
+fn schedulable_spec_is_untouched_by_a_generous_budget() {
+    let mut spec = unschedulable_spec();
+    spec.tasks[0].wcet = Time::new(30); // 30/100 + 50/200 = 55 %
+    spec.tasks[0].bcet = Time::new(30);
+    let mut config = SystemConfig::new(AnalysisMode::Flat);
+    config.local.budget = AnalysisBudget::within(Duration::from_secs(30));
+    let r = analyze_robust(&spec, &config).expect("well-formed");
+    assert!(r.results.is_complete());
+    assert!(r.diagnostics.converged());
+    let unbudgeted = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).expect("converges");
+    assert_eq!(
+        r.results.task("victim").map(|t| t.response),
+        unbudgeted.task("victim").map(|t| t.response),
+        "a non-binding budget must not change results"
+    );
+}

@@ -29,6 +29,7 @@ proptest! {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)]
     fn time_multiplication_distributes(a in t(), k in -1_000i64..1_000, m in -1_000i64..1_000) {
         prop_assert_eq!(a * (k + m), a * k + a * m);
         prop_assert_eq!(a * k, k * a);
