@@ -48,10 +48,7 @@ pub trait Strategy {
     ///
     /// Never fails in this implementation; the `Result` mirrors the
     /// upstream signature.
-    fn new_tree<'a>(
-        &'a self,
-        runner: &mut TestRunner,
-    ) -> Result<SnapshotTree<'a, Self>, String> {
+    fn new_tree<'a>(&'a self, runner: &mut TestRunner) -> Result<SnapshotTree<'a, Self>, String> {
         let snapshot = runner.rng().clone();
         // Advance the runner so consecutive trees differ.
         let _ = runner.rng().next_u64();
@@ -222,7 +219,10 @@ impl<T> Union<T> {
     pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! requires at least one arm");
         let total_weight: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
-        assert!(total_weight > 0, "prop_oneof! requires a positive total weight");
+        assert!(
+            total_weight > 0,
+            "prop_oneof! requires a positive total weight"
+        );
         Union {
             options,
             total_weight,

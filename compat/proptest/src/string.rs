@@ -48,7 +48,10 @@ fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
     match atom {
         Atom::Lit(c) => *c,
         Atom::Class(ranges) => {
-            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
             let mut idx = rng.gen_range(0..total);
             for (lo, hi) in ranges {
                 let len = *hi as u32 - *lo as u32 + 1;
@@ -83,7 +86,10 @@ fn parse(pattern: &str) -> Vec<Piece> {
                 Atom::Lit(c)
             }
             '(' | ')' | '|' | '^' | '$' | '.' => {
-                panic!("unsupported regex feature `{}` in pattern `{pattern}`", chars[i])
+                panic!(
+                    "unsupported regex feature `{}` in pattern `{pattern}`",
+                    chars[i]
+                )
             }
             c => {
                 i += 1;
@@ -115,7 +121,10 @@ fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Atom, usize) {
         i += 1;
         if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|c| *c != ']') {
             let hi = chars[i + 1];
-            assert!(lo <= hi, "inverted class range `{lo}-{hi}` in pattern `{pattern}`");
+            assert!(
+                lo <= hi,
+                "inverted class range `{lo}-{hi}` in pattern `{pattern}`"
+            );
             ranges.push((lo, hi));
             i += 2;
         } else {

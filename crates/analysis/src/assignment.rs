@@ -305,10 +305,7 @@ mod tests {
     fn non_preemptive_assignment_accounts_for_blocking() {
         // A long low-priority frame blocks everything; deadlines must
         // absorb it.
-        let tasks = vec![
-            dt("short", 10, 45, 200),
-            dt("long", 35, 300, 400),
-        ];
+        let tasks = vec![dt("short", 10, 45, 200), dt("long", 35, 300, 400)];
         let cfg = AnalysisConfig::default();
         let order = audsley(&tasks, Scheduling::NonPreemptive, &cfg)
             .unwrap()

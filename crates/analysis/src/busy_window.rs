@@ -46,17 +46,37 @@ pub fn fixed_point(
     mut f: impl FnMut(Time) -> Time,
     config: &AnalysisConfig,
 ) -> Result<Time, AnalysisError> {
+    // One enabled-check up front; per-fixed-point totals are reported
+    // on every exit path without putting any recorder call inside the
+    // iteration loop itself.
+    let recording = config.recorder.enabled();
+    let mut iterations = 0u64;
+    let report = |iterations: u64| {
+        if recording {
+            config.recorder.add_labeled(
+                hem_obs::Counter::BusyWindowIterations,
+                task_name,
+                iterations,
+            );
+            config
+                .recorder
+                .observe(hem_obs::HIST_BUSY_WINDOW_ITERATIONS, iterations);
+        }
+    };
     let mut w = init;
     for i in 0..config.max_iterations {
         if i % BUDGET_POLL_INTERVAL == 0 && config.budget.exhausted() {
+            report(iterations);
             return Err(AnalysisError::budget_exhausted(task_name));
         }
         let next = f(w);
+        iterations = i + 1;
         debug_assert!(
             next >= w || next >= init,
             "window function must be monotone from init"
         );
         if next > config.max_busy_window {
+            report(iterations);
             return Err(AnalysisError::no_convergence(
                 task_name,
                 format!(
@@ -66,10 +86,12 @@ pub fn fixed_point(
             ));
         }
         if next == w {
+            report(iterations);
             return Ok(w);
         }
         w = next;
     }
+    report(iterations);
     Err(AnalysisError::no_convergence(
         task_name,
         format!(
@@ -116,9 +138,8 @@ mod tests {
 
     #[test]
     fn exhausted_budget_cancels_before_first_iteration() {
-        let cfg = AnalysisConfig::default().with_budget(crate::AnalysisBudget::within(
-            std::time::Duration::ZERO,
-        ));
+        let cfg = AnalysisConfig::default()
+            .with_budget(crate::AnalysisBudget::within(std::time::Duration::ZERO));
         let err = fixed_point("t", Time::ONE, |w| w, &cfg).unwrap_err();
         assert!(err.is_budget_exhausted());
         assert!(err.to_string().contains("wall-clock budget"), "{err}");
@@ -135,8 +156,13 @@ mod tests {
 
     #[test]
     fn immediate_fixed_point() {
-        let w = fixed_point("t", Time::new(42), |_| Time::new(42), &AnalysisConfig::default())
-            .unwrap();
+        let w = fixed_point(
+            "t",
+            Time::new(42),
+            |_| Time::new(42),
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
         assert_eq!(w, Time::new(42));
     }
 }

@@ -1,7 +1,8 @@
-//! Analysis iteration limits and wall-clock budgets.
+//! Analysis iteration limits, wall-clock budgets, and observability.
 
 use std::time::{Duration, Instant};
 
+use hem_obs::RecorderHandle;
 use hem_time::Time;
 
 /// A wall-clock budget for an analysis run.
@@ -64,7 +65,7 @@ impl AnalysisBudget {
 /// [`AnalysisError::NoConvergence`](crate::AnalysisError) instead of an
 /// endless loop, and the wall-clock budget turns a slow convergence into
 /// a clean [`AnalysisError::BudgetExhausted`](crate::AnalysisError).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisConfig {
     /// Abort when a busy window exceeds this length.
     pub max_busy_window: Time,
@@ -74,6 +75,10 @@ pub struct AnalysisConfig {
     pub max_iterations: u64,
     /// Wall-clock budget shared by all fixed points of this analysis.
     pub budget: AnalysisBudget,
+    /// Observability sink for counters, histograms, and spans. The
+    /// default no-op recorder reduces every hot-path report to a single
+    /// branch (see `hem_obs`).
+    pub recorder: RecorderHandle,
 }
 
 impl Default for AnalysisConfig {
@@ -83,6 +88,7 @@ impl Default for AnalysisConfig {
             max_activations: 100_000,
             max_iterations: 100_000,
             budget: AnalysisBudget::UNLIMITED,
+            recorder: RecorderHandle::noop(),
         }
     }
 }
@@ -102,6 +108,12 @@ impl AnalysisConfig {
     #[must_use]
     pub fn with_budget(self, budget: AnalysisBudget) -> Self {
         AnalysisConfig { budget, ..self }
+    }
+
+    /// This configuration reporting to the given recorder.
+    #[must_use]
+    pub fn with_recorder(self, recorder: RecorderHandle) -> Self {
+        AnalysisConfig { recorder, ..self }
     }
 }
 

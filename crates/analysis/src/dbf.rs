@@ -296,6 +296,9 @@ mod tests {
     fn invert_supply_dedicated() {
         let id = |t: Time| t;
         assert_eq!(invert_supply(&id, Time::ZERO, Time::new(1000)), Time::ZERO);
-        assert_eq!(invert_supply(&id, Time::new(7), Time::new(1000)), Time::new(7));
+        assert_eq!(
+            invert_supply(&id, Time::new(7), Time::new(1000)),
+            Time::new(7)
+        );
     }
 }

@@ -294,7 +294,9 @@ mod tests {
             "t",
             Time::new(4),
             Time::new(30),
-            StandardEventModel::periodic(Time::new(40)).unwrap().shared(),
+            StandardEventModel::periodic(Time::new(40))
+                .unwrap()
+                .shared(),
         )];
         let v = edf_schedulable_with_supply(
             &tasks,
@@ -309,7 +311,9 @@ mod tests {
             "t",
             Time::new(4),
             Time::new(9),
-            StandardEventModel::periodic(Time::new(40)).unwrap().shared(),
+            StandardEventModel::periodic(Time::new(40))
+                .unwrap()
+                .shared(),
         )];
         let v = edf_schedulable_with_supply(
             &tight,

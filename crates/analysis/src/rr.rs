@@ -36,7 +36,10 @@ impl RrTask {
     /// Panics if `slot < 1`.
     #[must_use]
     pub fn new(task: AnalysisTask, slot: Time) -> Self {
-        assert!(slot >= Time::ONE, "round-robin slot must be at least one tick");
+        assert!(
+            slot >= Time::ONE,
+            "round-robin slot must be at least one tick"
+        );
         RrTask { task, slot }
     }
 }
@@ -131,7 +134,9 @@ mod tests {
                 Time::new(cet),
                 Time::new(cet),
                 Priority::new(0),
-                StandardEventModel::periodic(Time::new(period)).unwrap().shared(),
+                StandardEventModel::periodic(Time::new(period))
+                    .unwrap()
+                    .shared(),
             ),
             Time::new(slot),
         )

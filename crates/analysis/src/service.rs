@@ -196,14 +196,12 @@ impl RemainingService {
             if breakpoint > dt {
                 // λ just before the breakpoint, capped at Δ.
                 let lambda = (breakpoint - Time::ONE).min(dt);
-                let v = self.inner.provide(lambda)
-                    - self.wcet * self.input.eta_plus(lambda) as i64;
+                let v = self.inner.provide(lambda) - self.wcet * self.input.eta_plus(lambda) as i64;
                 best = best.max(v);
                 break;
             }
             let lambda = breakpoint - Time::ONE;
-            let v =
-                self.inner.provide(lambda) - self.wcet * self.input.eta_plus(lambda) as i64;
+            let v = self.inner.provide(lambda) - self.wcet * self.input.eta_plus(lambda) as i64;
             best = best.max(v);
             n += 1;
         }
@@ -313,8 +311,7 @@ mod tests {
     #[test]
     fn full_service_matches_dedicated_busy_window() {
         let t = task("solo", 7, 1, 50);
-        let via_service =
-            response_time_with(&t, &FullService, &AnalysisConfig::default()).unwrap();
+        let via_service = response_time_with(&t, &FullService, &AnalysisConfig::default()).unwrap();
         let via_spp = spp::response_time(&t, &[], Time::ZERO, &AnalysisConfig::default()).unwrap();
         assert_eq!(via_service.response, via_spp.response);
         assert_eq!(via_service.response.r_plus, Time::new(7));
@@ -324,8 +321,7 @@ mod tests {
     fn periodic_resource_is_a_service_curve() {
         let partition = PeriodicResource::new(Time::new(10), Time::new(4)).unwrap();
         let t = task("t", 3, 1, 100);
-        let via_service =
-            response_time_with(&t, &partition, &AnalysisConfig::default()).unwrap();
+        let via_service = response_time_with(&t, &partition, &AnalysisConfig::default()).unwrap();
         let via_resource = crate::resource::response_time_on(
             &t,
             &[],
@@ -361,7 +357,9 @@ mod tests {
     fn remaining_service_is_conservative() {
         // β'(Δ) after a periodic consumer never exceeds β(Δ) and never
         // under-reports the long-run remainder.
-        let consumer = StandardEventModel::periodic(Time::new(10)).unwrap().shared();
+        let consumer = StandardEventModel::periodic(Time::new(10))
+            .unwrap()
+            .shared();
         let rem = RemainingService::new(Arc::new(FullService), consumer, Time::new(4));
         let mut prev = Time::ZERO;
         for dt in 0..200 {
@@ -385,12 +383,8 @@ mod tests {
             task("t2", 2, 2, 6),
             task("t3", 3, 3, 12),
         ];
-        let (via_service, remainder) = fp_analyze(
-            &tasks,
-            Arc::new(FullService),
-            &AnalysisConfig::default(),
-        )
-        .unwrap();
+        let (via_service, remainder) =
+            fp_analyze(&tasks, Arc::new(FullService), &AnalysisConfig::default()).unwrap();
         let via_spp = spp::analyze(&tasks, &AnalysisConfig::default()).unwrap();
         assert_eq!(via_service[0].response.r_plus, via_spp[0].response.r_plus);
         for (s, e) in via_service.iter().zip(&via_spp) {

@@ -133,7 +133,9 @@ mod tests {
             Time::new(cet),
             Time::new(cet),
             Priority::new(prio),
-            StandardEventModel::periodic(Time::new(period)).unwrap().shared(),
+            StandardEventModel::periodic(Time::new(period))
+                .unwrap()
+                .shared(),
         )
     }
 
@@ -208,8 +210,12 @@ mod tests {
     fn overload_detected() {
         let a = frame("a", 10, 1, 12);
         let b = frame("b", 10, 2, 12);
-        let err = response_time(&b, &[a], &AnalysisConfig::with_max_busy_window(Time::new(50_000)))
-            .unwrap_err();
+        let err = response_time(
+            &b,
+            &[a],
+            &AnalysisConfig::with_max_busy_window(Time::new(50_000)),
+        )
+        .unwrap_err();
         assert!(matches!(err, AnalysisError::NoConvergence { .. }));
     }
 }

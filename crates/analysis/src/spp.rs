@@ -81,10 +81,8 @@ pub fn response_details(
             &task.name,
             base,
             |w| {
-                let interference: Time = hp
-                    .iter()
-                    .map(|j| j.wcet * j.input.eta_plus(w) as i64)
-                    .sum();
+                let interference: Time =
+                    hp.iter().map(|j| j.wcet * j.input.eta_plus(w) as i64).sum();
                 base + interference
             },
             config,
@@ -156,7 +154,9 @@ mod tests {
             Time::new(cet),
             Time::new(cet),
             Priority::new(prio),
-            StandardEventModel::periodic(Time::new(period)).unwrap().shared(),
+            StandardEventModel::periodic(Time::new(period))
+                .unwrap()
+                .shared(),
         )
     }
 
@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn carried_busy_period() {
         // C = (26, 62), P = (70, 100): classic multi-frame busy period.
-        let tasks = vec![periodic_task("hi", 26, 1, 70), periodic_task("lo", 62, 2, 100)];
+        let tasks = vec![
+            periodic_task("hi", 26, 1, 70),
+            periodic_task("lo", 62, 2, 100),
+        ];
         let r = analyze(&tasks, &AnalysisConfig::default()).unwrap();
         // q=1: w = 62 + 26·η(w): 62+26=88 → η(88)=2 → 114 → η(114)=2 → 114.
         // δ⁻(2)=100 < 114 → q=2: w = 124 + 26·η(w): 124+52=176 → η(176)=3
@@ -225,13 +228,10 @@ mod tests {
     fn blocking_adds_directly() {
         let hi = periodic_task("hi", 10, 1, 100);
         let lo = periodic_task("lo", 10, 2, 100);
-        let without = response_time(&lo, &[hi.clone()], Time::ZERO, &AnalysisConfig::default())
-            .unwrap();
+        let without =
+            response_time(&lo, &[hi.clone()], Time::ZERO, &AnalysisConfig::default()).unwrap();
         let with = response_time(&lo, &[hi], Time::new(5), &AnalysisConfig::default()).unwrap();
-        assert_eq!(
-            with.response.r_plus,
-            without.response.r_plus + Time::new(5)
-        );
+        assert_eq!(with.response.r_plus, without.response.r_plus + Time::new(5));
     }
 
     #[test]
@@ -254,18 +254,28 @@ mod tests {
     fn overload_is_detected() {
         // U = 1.5: busy window diverges.
         let tasks = vec![periodic_task("hi", 3, 1, 4), periodic_task("lo", 3, 2, 4)];
-        let err = analyze(&tasks, &AnalysisConfig::with_max_busy_window(Time::new(100_000)))
-            .unwrap_err();
+        let err = analyze(
+            &tasks,
+            &AnalysisConfig::with_max_busy_window(Time::new(100_000)),
+        )
+        .unwrap_err();
         assert!(matches!(err, AnalysisError::NoConvergence { .. }));
     }
 
     #[test]
     fn details_expose_per_activation_windows() {
         // C = (26, 62), P = (70, 100): the multi-activation busy period.
-        let tasks = vec![periodic_task("hi", 26, 1, 70), periodic_task("lo", 62, 2, 100)];
-        let (result, details) =
-            response_details(&tasks[1], &tasks[..1], Time::ZERO, &AnalysisConfig::default())
-                .unwrap();
+        let tasks = vec![
+            periodic_task("hi", 26, 1, 70),
+            periodic_task("lo", 62, 2, 100),
+        ];
+        let (result, details) = response_details(
+            &tasks[1],
+            &tasks[..1],
+            Time::ZERO,
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
         assert_eq!(details.len() as u64, result.busy_activations);
         // Windows grow strictly; responses peak somewhere in the middle.
         for pair in details.windows(2) {
@@ -275,11 +285,14 @@ mod tests {
         let max_detail = details.iter().map(|d| d.response).max().unwrap();
         assert_eq!(max_detail, result.response.r_plus);
         // The known values of the first activations.
-        assert_eq!(details[0], ActivationDetail {
-            q: 1,
-            window: Time::new(114),
-            response: Time::new(114),
-        });
+        assert_eq!(
+            details[0],
+            ActivationDetail {
+                q: 1,
+                window: Time::new(114),
+                response: Time::new(114),
+            }
+        );
         assert_eq!(details[1].window, Time::new(202));
         assert_eq!(details[1].response, Time::new(102));
     }
@@ -291,7 +304,9 @@ mod tests {
             Time::new(5),
             Time::new(9),
             Priority::new(1),
-            StandardEventModel::periodic(Time::new(100)).unwrap().shared(),
+            StandardEventModel::periodic(Time::new(100))
+                .unwrap()
+                .shared(),
         );
         let r = response_time(&t, &[], Time::ZERO, &AnalysisConfig::default()).unwrap();
         assert_eq!(r.response.r_minus, Time::new(5));

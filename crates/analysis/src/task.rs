@@ -171,13 +171,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "wcet must be at least bcet")]
     fn task_rejects_inverted_cet() {
-        let m = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let m = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         let _ = AnalysisTask::new("t", Time::new(10), Time::new(5), Priority::new(1), m);
     }
 
     #[test]
     fn task_construction() {
-        let m = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let m = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         let t = AnalysisTask::new("t", Time::new(5), Time::new(10), Priority::new(1), m);
         assert_eq!(t.name, "t");
         assert_eq!(t.bcet, Time::new(5));

@@ -62,7 +62,9 @@ mod tests {
             Time::new(cet),
             Time::new(cet),
             Priority::new(0),
-            StandardEventModel::periodic(Time::new(period)).unwrap().shared(),
+            StandardEventModel::periodic(Time::new(period))
+                .unwrap()
+                .shared(),
         )
     }
 
@@ -83,7 +85,10 @@ mod tests {
 
     #[test]
     fn overload_detection() {
-        assert!(is_overloaded(&[task(60, 100), task(60, 100)], Time::new(100_000)));
+        assert!(is_overloaded(
+            &[task(60, 100), task(60, 100)],
+            Time::new(100_000)
+        ));
         assert!(!is_overloaded(&[task(40, 100)], Time::new(100_000)));
     }
 }

@@ -3,8 +3,9 @@
 use std::error::Error;
 use std::fmt;
 
-use hem_core::{HierarchicalEventModel, HierarchicalStreamConstructor, PackConstructor,
-    PackInput, StreamRole};
+use hem_core::{
+    HierarchicalEventModel, HierarchicalStreamConstructor, PackConstructor, PackInput, StreamRole,
+};
 use hem_event_models::{EventModelExt, ModelError, StandardEventModel};
 use hem_time::Time;
 
@@ -228,8 +229,8 @@ mod tests {
 
     #[test]
     fn periodic_frame_ignores_transfer_properties() {
-        let f = ComFrame::new("F", FrameType::Periodic(Time::new(100)), 4, three_signals())
-            .unwrap();
+        let f =
+            ComFrame::new("F", FrameType::Periodic(Time::new(100)), 4, three_signals()).unwrap();
         let hem = f.packed().unwrap();
         // Outer is exactly the timer.
         assert_eq!(hem.outer().delta_min(2), Time::new(100));

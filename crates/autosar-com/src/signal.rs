@@ -93,9 +93,7 @@ impl ReceptionMode {
         match self {
             ReceptionMode::Interrupt => Ok(unpacked_signal.clone()),
             ReceptionMode::EveryFrame => Ok(frame_stream.clone()),
-            ReceptionMode::Polling(period) => {
-                Ok(StandardEventModel::periodic(period)?.shared())
-            }
+            ReceptionMode::Polling(period) => Ok(StandardEventModel::periodic(period)?.shared()),
         }
     }
 }
@@ -138,8 +136,12 @@ mod tests {
     fn polling_reception_is_periodic() {
         let s = periodic(150);
         let f = periodic(50);
-        let m = ReceptionMode::Polling(Time::new(40)).activation_model(&s, &f).unwrap();
+        let m = ReceptionMode::Polling(Time::new(40))
+            .activation_model(&s, &f)
+            .unwrap();
         assert_eq!(m.delta_min(2), Time::new(40));
-        assert!(ReceptionMode::Polling(Time::ZERO).activation_model(&s, &f).is_err());
+        assert!(ReceptionMode::Polling(Time::ZERO)
+            .activation_model(&s, &f)
+            .is_err());
     }
 }

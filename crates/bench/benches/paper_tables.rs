@@ -41,9 +41,7 @@ fn bench_table3(c: &mut Criterion) {
         b.iter(|| analyze_mode(black_box(&params), AnalysisMode::Flat).expect("converges"))
     });
     group.bench_function("hierarchical_analysis", |b| {
-        b.iter(|| {
-            analyze_mode(black_box(&params), AnalysisMode::Hierarchical).expect("converges")
-        })
+        b.iter(|| analyze_mode(black_box(&params), AnalysisMode::Hierarchical).expect("converges"))
     });
     group.bench_function("full_table", |b| {
         b.iter(|| table3(black_box(&params)).expect("converges"))

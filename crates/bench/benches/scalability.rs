@@ -78,14 +78,16 @@ fn bench_scalability(c: &mut Criterion) {
         analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).expect("flat converges");
         group.bench_with_input(BenchmarkId::new("hierarchical", k), &spec, |b, spec| {
             b.iter(|| {
-                analyze(black_box(spec), &SystemConfig::new(AnalysisMode::Hierarchical))
-                    .expect("converges")
+                analyze(
+                    black_box(spec),
+                    &SystemConfig::new(AnalysisMode::Hierarchical),
+                )
+                .expect("converges")
             })
         });
         group.bench_with_input(BenchmarkId::new("flat", k), &spec, |b, spec| {
             b.iter(|| {
-                analyze(black_box(spec), &SystemConfig::new(AnalysisMode::Flat))
-                    .expect("converges")
+                analyze(black_box(spec), &SystemConfig::new(AnalysisMode::Flat)).expect("converges")
             })
         });
     }

@@ -49,7 +49,10 @@ fn main() {
             for task in ["T1", "T2", "T3"] {
                 let rp = p.task(task).expect("analysed").response.r_plus;
                 let rt = t.task(task).expect("analysed").response.r_plus;
-                assert!(rt <= rp, "{task} at scale {cpu_scale}: closure loosened the bound");
+                assert!(
+                    rt <= rp,
+                    "{task} at scale {cpu_scale}: closure loosened the bound"
+                );
             }
         }
     }

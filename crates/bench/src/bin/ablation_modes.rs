@@ -15,16 +15,23 @@ use hem_time::Time;
 
 fn main() {
     let params = PaperParams::default();
-    println!("Analysis-mode ablation on the paper system (scale = {})", params.cpu_scale);
+    println!(
+        "Analysis-mode ablation on the paper system (scale = {})",
+        params.cpu_scale
+    );
     println!();
     println!(
         "{:<6} {:>10} {:>10} {:>14} | {:>10} {:>10}",
         "Task", "FlatSem R+", "Flat R+", "Hierarch. R+", "fit cost", "unpack gain"
     );
-    let results: Vec<_> = [AnalysisMode::FlatSem, AnalysisMode::Flat, AnalysisMode::Hierarchical]
-        .iter()
-        .map(|m| analyze_mode(&params, *m))
-        .collect();
+    let results: Vec<_> = [
+        AnalysisMode::FlatSem,
+        AnalysisMode::Flat,
+        AnalysisMode::Hierarchical,
+    ]
+    .iter()
+    .map(|m| analyze_mode(&params, *m))
+    .collect();
     for task in ["T1", "T2", "T3"] {
         let r: Vec<Option<Time>> = results
             .iter()
@@ -37,7 +44,10 @@ fn main() {
         let show = |t: Option<Time>| t.map_or("diverges".to_string(), |t| t.to_string());
         let pct = |a: Option<Time>, b: Option<Time>| match (a, b) {
             (Some(a), Some(b)) if a.ticks() > 0 => {
-                format!("{:>9.1}%", 100.0 * (a - b).ticks() as f64 / a.ticks() as f64)
+                format!(
+                    "{:>9.1}%",
+                    100.0 * (a - b).ticks() as f64 / a.ticks() as f64
+                )
             }
             _ => "     —".into(),
         };

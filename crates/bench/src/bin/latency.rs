@@ -20,7 +20,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("End-to-end signal latencies (hierarchical analysis, scale = {})", params.cpu_scale);
+    println!(
+        "End-to-end signal latencies (hierarchical analysis, scale = {})",
+        params.cpu_scale
+    );
     println!();
     println!(
         "{:<14} {:>9} {:>10} {:>9} {:>9} {:>10}",
@@ -35,7 +38,11 @@ fn main() {
                 lat.transport,
                 lat.reaction,
                 lat.total(),
-                if lat.guaranteed_delivery { "all" } else { "freshest" },
+                if lat.guaranteed_delivery {
+                    "all"
+                } else {
+                    "freshest"
+                },
             ),
             Err(e) => println!("{:<14} {e}", format!("{}/{}", path.frame, path.signal)),
         }

@@ -135,7 +135,11 @@ fn main() {
     let mut best: Option<(Time, String)> = None;
     for assignment in partitions(SIGNALS.len()) {
         let Some(spec) = build_spec(&assignment) else {
-            println!("{:<28} {:>7} — pending-only frame never sends", label(&assignment), "-");
+            println!(
+                "{:<28} {:>7} — pending-only frame never sends",
+                label(&assignment),
+                "-"
+            );
             continue;
         };
         let frames = assignment.iter().copied().max().unwrap_or(0) + 1;

@@ -1,0 +1,159 @@
+//! Profiles the paper system (Fig. 2, Table 3) with recording on.
+//!
+//! Runs the flat and hierarchical analyses and a fault-injected
+//! simulation of the paper's evaluation system, each against a
+//! [`MemoryRecorder`], and writes:
+//!
+//! * `BENCH_analysis.json` — wall times, global iteration counts, and
+//!   all counter/histogram totals per phase,
+//! * `BENCH_sim_trace.json` — a Chrome `trace_event` file of the
+//!   simulated run (open in <https://ui.perfetto.dev> or
+//!   `chrome://tracing`),
+//! * `BENCH_convergence.jsonl` — the per-iteration response-time
+//!   trajectory of the hierarchical analysis.
+//!
+//! Run with `cargo run -p hem-bench --bin profile_analysis [--release]
+//! [output-dir]`.
+
+use std::path::Path;
+use std::time::Instant;
+
+use hem_bench::paper_system::{simulation, spec, PaperParams};
+use hem_obs::{json, Counter, MemoryRecorder, MetricsSnapshot};
+use hem_sim::fault::{Fault, FaultPlan, FaultTarget};
+use hem_sim::system::try_run_recorded;
+use hem_system::{analyze_robust, AnalysisMode, SystemConfig};
+use hem_time::Time;
+
+/// One profiled phase: wall time plus everything the recorder saw.
+struct Phase {
+    name: &'static str,
+    wall_ms: f64,
+    iterations: u64,
+    metrics: MetricsSnapshot,
+}
+
+fn run_analysis(mode: AnalysisMode, name: &'static str, params: &PaperParams) -> Phase {
+    let (recorder, handle) = MemoryRecorder::handle();
+    let config = SystemConfig::new(mode).with_recorder(handle);
+    let started = Instant::now();
+    let robust = analyze_robust(&spec(params), &config).unwrap_or_else(|e| {
+        eprintln!("{name} analysis failed: {e}");
+        std::process::exit(1);
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    if name == "hierarchical" {
+        // Show the trajectory the ConvergenceTrace recorded.
+        eprintln!(
+            "{name} converged in {} iteration(s):",
+            robust.diagnostics.iterations
+        );
+        eprint!("{}", robust.diagnostics.trace.render_table());
+        if let Err(e) = std::fs::write(
+            out_path("BENCH_convergence.jsonl"),
+            robust.diagnostics.trace.to_jsonl(),
+        ) {
+            eprintln!("cannot write BENCH_convergence.jsonl: {e}");
+            std::process::exit(1);
+        }
+    }
+    Phase {
+        name,
+        wall_ms,
+        iterations: robust.diagnostics.iterations,
+        metrics: recorder.snapshot(),
+    }
+}
+
+fn run_simulation(params: &PaperParams) -> Phase {
+    let horizon = Time::new(200_000);
+    // A seeded corruption fault so the exported trace demonstrates the
+    // fault lane; the run stays fully deterministic.
+    let plan = FaultPlan::new(42).with(Fault::FrameCorruption {
+        frame: FaultTarget::Named("F1".into()),
+        probability: 0.1,
+        error_frame: Time::new(31),
+        max_retransmissions: 2,
+    });
+    let (recorder, handle) = MemoryRecorder::handle();
+    let system = simulation(params, horizon, 0);
+    let started = Instant::now();
+    if let Err(e) = try_run_recorded(&system, horizon, &plan, &handle) {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let trace = recorder.chrome_trace().to_json();
+    if let Err(e) = json::validate(&trace) {
+        eprintln!("internal error: sim trace is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(out_path("BENCH_sim_trace.json"), &trace) {
+        eprintln!("cannot write BENCH_sim_trace.json: {e}");
+        std::process::exit(1);
+    }
+    Phase {
+        name: "simulation",
+        wall_ms,
+        iterations: 0,
+        metrics: recorder.snapshot(),
+    }
+}
+
+fn out_path(file: &str) -> String {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    Path::new(&dir).join(file).to_string_lossy().into_owned()
+}
+
+fn main() {
+    let params = PaperParams::default();
+    let phases = [
+        run_analysis(AnalysisMode::Flat, "flat", &params),
+        run_analysis(AnalysisMode::Hierarchical, "hierarchical", &params),
+        run_simulation(&params),
+    ];
+
+    let mut out = String::from("{\"system\":\"paper-fig2\",\"phases\":{");
+    for (i, phase) in phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"wall_ms\":{:.3},\"iterations\":{},\"metrics\":{}}}",
+            phase.name,
+            phase.wall_ms,
+            phase.iterations,
+            phase.metrics.to_json()
+        ));
+    }
+    out.push_str("}}");
+    if let Err(e) = json::validate(&out) {
+        eprintln!("internal error: BENCH_analysis.json is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(out_path("BENCH_analysis.json"), &out) {
+        eprintln!("cannot write BENCH_analysis.json: {e}");
+        std::process::exit(1);
+    }
+
+    println!("profile of the paper system (Fig. 2 / Table 3)");
+    println!();
+    println!(
+        "{:<14} {:>9} {:>6} {:>10} {:>10} {:>10} {:>9}",
+        "phase", "wall ms", "iters", "busy iters", "cache hit", "cache miss", "packings"
+    );
+    for phase in &phases {
+        println!(
+            "{:<14} {:>9.3} {:>6} {:>10} {:>10} {:>10} {:>9}",
+            phase.name,
+            phase.wall_ms,
+            phase.iterations,
+            phase.metrics.counter(Counter::BusyWindowIterations),
+            phase.metrics.counter(Counter::CacheHits),
+            phase.metrics.counter(Counter::CacheMisses),
+            phase.metrics.counter(Counter::PackingOps),
+        );
+    }
+    println!();
+    println!("wrote BENCH_analysis.json, BENCH_sim_trace.json, BENCH_convergence.jsonl");
+}

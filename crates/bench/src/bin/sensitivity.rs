@@ -18,19 +18,25 @@ fn main() {
         Ok(None) => "unbounded".into(),
         Err(_) => "infeasible".into(),
     };
-    println!(
-        "WCET slack per task (extra execution budget before the analysis fails)"
-    );
+    println!("WCET slack per task (extra execution budget before the analysis fails)");
     println!();
     println!("{:<6} {:>12} {:>12}", "Task", "flat", "HEM");
     for task in ["T1", "T2", "T3"] {
         let flat = wcet_slack(&system, task, &SystemConfig::new(AnalysisMode::Flat));
-        let hem = wcet_slack(&system, task, &SystemConfig::new(AnalysisMode::Hierarchical));
+        let hem = wcet_slack(
+            &system,
+            task,
+            &SystemConfig::new(AnalysisMode::Hierarchical),
+        );
         println!("{task:<6} {:>12} {:>12}", show(flat), show(hem));
     }
     println!();
     let flat_bus = max_bit_time(&system, "can", &SystemConfig::new(AnalysisMode::Flat));
-    let hem_bus = max_bit_time(&system, "can", &SystemConfig::new(AnalysisMode::Hierarchical));
+    let hem_bus = max_bit_time(
+        &system,
+        "can",
+        &SystemConfig::new(AnalysisMode::Hierarchical),
+    );
     println!(
         "Slowest feasible CAN bit time: flat {} | HEM {}",
         show(flat_bus),

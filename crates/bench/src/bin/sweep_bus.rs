@@ -14,8 +14,16 @@ fn main() {
     println!();
     println!(
         "{:>9} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6}",
-        "cpu_scale", "T1 flat", "T1 HEM", "red%", "T2 flat", "T2 HEM", "red%", "T3 flat",
-        "T3 HEM", "red%"
+        "cpu_scale",
+        "T1 flat",
+        "T1 HEM",
+        "red%",
+        "T2 flat",
+        "T2 HEM",
+        "red%",
+        "T3 flat",
+        "T3 HEM",
+        "red%"
     );
     for cpu_scale in [1i64, 2, 3, 5, 8, 10, 15, 20, 30, 50] {
         let params = PaperParams {

@@ -60,10 +60,7 @@ fn dense_system(k: usize) -> SystemSpec {
 fn main() {
     println!("Packing-density sweep — k signals per frame, WCRT of the lowest-priority receiver");
     println!();
-    println!(
-        "{:>3} | {:>10} {:>10} {:>8}",
-        "k", "flat", "HEM", "red%"
-    );
+    println!("{:>3} | {:>10} {:>10} {:>8}", "k", "flat", "HEM", "red%");
     for k in 2..=8 {
         let spec = dense_system(k);
         let low = format!("rx{}", k - 1);

@@ -12,7 +12,15 @@ fn main() {
     println!();
     println!(
         "{:>6} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7}",
-        "P(S3)", "T1 flat", "T1 HEM", "red%", "T2 flat", "T2 HEM", "red%", "T3 flat", "T3 HEM",
+        "P(S3)",
+        "T1 flat",
+        "T1 HEM",
+        "red%",
+        "T2 flat",
+        "T2 HEM",
+        "red%",
+        "T3 flat",
+        "T3 HEM",
         "red%"
     );
     for s3_period in (300..=1200).step_by(100) {

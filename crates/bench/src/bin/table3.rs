@@ -24,7 +24,13 @@ fn main() {
     for row in &rows {
         println!(
             "{:<6} [{}:{}]{:<3} {:<6} {:>8} {:>8} {:>7.1}%",
-            row.task, row.cet, row.cet, "", row.priority, row.r_flat, row.r_hem,
+            row.task,
+            row.cet,
+            row.cet,
+            "",
+            row.priority,
+            row.r_flat,
+            row.r_hem,
             row.reduction_percent()
         );
     }

@@ -43,11 +43,12 @@ fn main() {
             }
         }
     }
-    println!(
-        "Simulation validation — {seeds} seeds × horizon {horizon} ticks (HEM bounds)"
-    );
+    println!("Simulation validation — {seeds} seeds × horizon {horizon} ticks (HEM bounds)");
     println!();
-    println!("{:<6} {:>10} {:>10} {:>8}", "Entity", "observed", "bound R+", "slack");
+    println!(
+        "{:<6} {:>10} {:>10} {:>8}",
+        "Entity", "observed", "bound R+", "slack"
+    );
     for (name, obs) in &worst_observed {
         let bound = hem
             .task(name)
@@ -55,13 +56,7 @@ fn main() {
             .expect("analysed entity")
             .response
             .r_plus;
-        println!(
-            "{:<6} {:>10} {:>10} {:>8}",
-            name,
-            obs,
-            bound,
-            bound - *obs
-        );
+        println!("{:<6} {:>10} {:>10} {:>8}", name, obs, bound, bound - *obs);
     }
     println!();
     if violations == 0 {

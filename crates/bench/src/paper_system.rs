@@ -260,7 +260,11 @@ pub struct Figure4 {
 pub fn figure4(p: &PaperParams, dt_max: Time) -> Result<Figure4, SystemError> {
     let hem = analyze_mode(p, AnalysisMode::Hierarchical)?;
     let f1 = hem.frame_output("F1").expect("frame analysed");
-    let s = |sig: &str| hem.unpacked_signal("F1", sig).expect("signal present").clone();
+    let s = |sig: &str| {
+        hem.unpacked_signal("F1", sig)
+            .expect("signal present")
+            .clone()
+    };
     Ok(Figure4 {
         frame_f1: eta_plus_steps(f1.as_ref(), dt_max),
         t1_input: eta_plus_steps(s("s1").as_ref(), dt_max),
@@ -421,9 +425,16 @@ mod tests {
         // At every breakpoint, each unpacked stream admits at most as
         // many events as the total frame stream.
         let count_at = |steps: &[EtaStep], dt: Time| {
-            steps.iter().rev().find(|s| s.at <= dt).map_or(0, |s| s.count)
+            steps
+                .iter()
+                .rev()
+                .find(|s| s.at <= dt)
+                .map_or(0, |s| s.count)
         };
-        for dt in (1..=dt_max.ticks()).step_by(50 * p.cpu_scale as usize).map(Time::new) {
+        for dt in (1..=dt_max.ticks())
+            .step_by(50 * p.cpu_scale as usize)
+            .map(Time::new)
+        {
             let total = count_at(&fig.frame_f1, dt);
             for inner in [&fig.t1_input, &fig.t2_input, &fig.t3_input] {
                 assert!(count_at(inner, dt) <= total, "Δt = {dt}");
@@ -448,7 +459,9 @@ mod tests {
                 assert!(
                     observed <= bound,
                     "seed {seed}: {}/{}→{} observed {observed} > bound {bound}",
-                    path.frame, path.signal, path.task
+                    path.frame,
+                    path.signal,
+                    path.task
                 );
             }
         }

@@ -1,7 +1,8 @@
 //! Bus-level timing: transmission times and arbitration analysis.
 
-use hem_analysis::{spnp, AnalysisConfig, AnalysisError, AnalysisTask, Priority, ResponseTime,
-    TaskResult};
+use hem_analysis::{
+    spnp, AnalysisConfig, AnalysisError, AnalysisTask, Priority, ResponseTime, TaskResult,
+};
 use hem_event_models::ModelRef;
 use hem_time::Time;
 
@@ -112,7 +113,9 @@ mod tests {
             name,
             CanFrameConfig::new(FrameFormat::Standard, payload).unwrap(),
             Priority::new(prio),
-            StandardEventModel::periodic(Time::new(period)).unwrap().shared(),
+            StandardEventModel::periodic(Time::new(period))
+                .unwrap()
+                .shared(),
         )
     }
 

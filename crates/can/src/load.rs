@@ -72,11 +72,7 @@ pub fn bus_load(frames: &[BusFrame], bus: &CanBusConfig, horizon: Time) -> BusLo
 /// Cross-check helper: the same total computed through the generic
 /// analysis-task utilization bound (must agree).
 #[must_use]
-pub fn bus_load_via_utilization(
-    frames: &[BusFrame],
-    bus: &CanBusConfig,
-    horizon: Time,
-) -> f64 {
+pub fn bus_load_via_utilization(frames: &[BusFrame], bus: &CanBusConfig, horizon: Time) -> f64 {
     let tasks: Vec<_> = frames.iter().map(|f| f.to_analysis_task(bus)).collect();
     utilization::utilization_bound(&tasks, horizon)
 }
@@ -93,7 +89,9 @@ mod tests {
             name,
             CanFrameConfig::new(FrameFormat::Standard, payload).unwrap(),
             Priority::new(prio),
-            StandardEventModel::periodic(Time::new(period)).unwrap().shared(),
+            StandardEventModel::periodic(Time::new(period))
+                .unwrap()
+                .shared(),
         )
     }
 

@@ -3,8 +3,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use hem_event_models::{EventModelExt, ModelError, ModelRef};
 use hem_event_models::ops::OutputModel;
+use hem_event_models::{EventModelExt, ModelError, ModelRef};
 use hem_time::Time;
 
 use crate::update::InnerUpdated;

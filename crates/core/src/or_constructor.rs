@@ -13,9 +13,7 @@
 use hem_event_models::ops::OrJoin;
 use hem_event_models::{EventModelExt, ModelError, ModelRef};
 
-use crate::hem::{
-    Constructor, HierarchicalEventModel, HierarchicalStreamConstructor, InnerStream,
-};
+use crate::hem::{Constructor, HierarchicalEventModel, HierarchicalStreamConstructor, InnerStream};
 
 /// The hierarchical OR constructor: combines named streams into a
 /// hierarchy whose outer stream is their OR-join.
@@ -72,8 +70,7 @@ impl OrConstructor {
 
 impl HierarchicalStreamConstructor for OrConstructor {
     fn construct(&self) -> Result<HierarchicalEventModel, ModelError> {
-        let outer =
-            OrJoin::new(self.inputs.iter().map(|(_, m)| m.clone()).collect())?.shared();
+        let outer = OrJoin::new(self.inputs.iter().map(|(_, m)| m.clone()).collect())?.shared();
         let inners = self
             .inputs
             .iter()
@@ -114,8 +111,14 @@ mod tests {
     #[test]
     fn inners_keep_identity() {
         let hem = two_flow();
-        assert_eq!(hem.unpack_by_name("a").unwrap().delta_min(2), Time::new(400));
-        assert_eq!(hem.unpack_by_name("b").unwrap().delta_min(2), Time::new(700));
+        assert_eq!(
+            hem.unpack_by_name("a").unwrap().delta_min(2),
+            Time::new(400)
+        );
+        assert_eq!(
+            hem.unpack_by_name("b").unwrap().delta_min(2),
+            Time::new(700)
+        );
     }
 
     #[test]
@@ -143,7 +146,10 @@ mod tests {
         let hem = two_flow();
         let after = hem.process(Time::new(10), Time::new(50)).unwrap();
         // k = 2 (simultaneous arrivals possible): shift = 40 + 10 = 50.
-        assert_eq!(after.unpack_by_name("a").unwrap().delta_min(2), Time::new(350));
+        assert_eq!(
+            after.unpack_by_name("a").unwrap().delta_min(2),
+            Time::new(350)
+        );
         assert_eq!(after.constructor(), Constructor::Or);
     }
 

@@ -4,9 +4,7 @@ use hem_event_models::ops::OrJoin;
 use hem_event_models::{EventModel, EventModelExt, ModelError, ModelRef};
 use hem_time::{Time, TimeBound};
 
-use crate::hem::{
-    Constructor, HierarchicalEventModel, HierarchicalStreamConstructor, InnerStream,
-};
+use crate::hem::{Constructor, HierarchicalEventModel, HierarchicalStreamConstructor, InnerStream};
 
 /// How a signal stream participates in frame transmission (paper §4,
 /// AUTOSAR COM transfer properties).

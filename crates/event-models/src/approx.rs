@@ -148,8 +148,12 @@ mod tests {
 
     #[test]
     fn or_join_approximation_is_conservative() {
-        let a = StandardEventModel::periodic(Time::new(250)).unwrap().shared();
-        let b = StandardEventModel::periodic(Time::new(450)).unwrap().shared();
+        let a = StandardEventModel::periodic(Time::new(250))
+            .unwrap()
+            .shared();
+        let b = StandardEventModel::periodic(Time::new(450))
+            .unwrap()
+            .shared();
         let or = OrJoin::new(vec![a, b]).unwrap();
         let horizon = suggested_horizon(&[Time::new(250), Time::new(450)]);
         let sem = sem_approximation(&or, horizon).unwrap();
@@ -167,8 +171,12 @@ mod tests {
     fn approximation_is_strictly_pessimistic_for_or() {
         // The OR of incommensurate periods is not SEM-representable:
         // somewhere the SEM admits strictly more events.
-        let a = StandardEventModel::periodic(Time::new(250)).unwrap().shared();
-        let b = StandardEventModel::periodic(Time::new(450)).unwrap().shared();
+        let a = StandardEventModel::periodic(Time::new(250))
+            .unwrap()
+            .shared();
+        let b = StandardEventModel::periodic(Time::new(450))
+            .unwrap()
+            .shared();
         let or = OrJoin::new(vec![a, b]).unwrap();
         let sem = sem_approximation(&or, 38).unwrap();
         let mut strictly = false;

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use hem_obs::{Counter, RecorderHandle};
 use hem_time::{Time, TimeBound};
 
 use crate::{EventModel, ModelRef};
@@ -33,6 +34,11 @@ use crate::{EventModel, ModelRef};
 #[derive(Debug)]
 pub struct CachedModel {
     inner: ModelRef,
+    recorder: RecorderHandle,
+    /// `recorder.enabled()`, resolved once at construction: curve
+    /// queries are the hottest path of the analysis and must not pay a
+    /// dynamic dispatch per query when recording is off.
+    recording: bool,
     delta_min: Mutex<HashMap<u64, Time>>,
     delta_plus: Mutex<HashMap<u64, TimeBound>>,
     eta_plus: Mutex<HashMap<Time, u64>>,
@@ -43,8 +49,18 @@ impl CachedModel {
     /// Wraps a model with memoization.
     #[must_use]
     pub fn new(inner: ModelRef) -> Self {
+        CachedModel::recorded(inner, RecorderHandle::noop())
+    }
+
+    /// Wraps a model with memoization that reports
+    /// [`Counter::CurveEvaluations`] / [`Counter::CacheHits`] /
+    /// [`Counter::CacheMisses`] to the given recorder.
+    #[must_use]
+    pub fn recorded(inner: ModelRef, recorder: RecorderHandle) -> Self {
         CachedModel {
             inner,
+            recording: recorder.enabled(),
+            recorder,
             delta_min: Mutex::new(HashMap::new()),
             delta_plus: Mutex::new(HashMap::new()),
             eta_plus: Mutex::new(HashMap::new()),
@@ -56,6 +72,19 @@ impl CachedModel {
     #[must_use]
     pub fn inner(&self) -> &ModelRef {
         &self.inner
+    }
+
+    #[inline]
+    fn note(&self, missed: bool) {
+        if self.recording {
+            self.recorder.add(Counter::CurveEvaluations, 1);
+            let outcome = if missed {
+                Counter::CacheMisses
+            } else {
+                Counter::CacheHits
+            };
+            self.recorder.add(outcome, 1);
+        }
     }
 
     /// Total number of memoized entries across all four caches
@@ -71,39 +100,63 @@ impl CachedModel {
 
 impl EventModel for CachedModel {
     fn delta_min(&self, n: u64) -> Time {
-        *self
+        let mut missed = false;
+        let v = *self
             .delta_min
             .lock()
             .expect("poisoned")
             .entry(n)
-            .or_insert_with(|| self.inner.delta_min(n))
+            .or_insert_with(|| {
+                missed = true;
+                self.inner.delta_min(n)
+            });
+        self.note(missed);
+        v
     }
 
     fn delta_plus(&self, n: u64) -> TimeBound {
-        *self
+        let mut missed = false;
+        let v = *self
             .delta_plus
             .lock()
             .expect("poisoned")
             .entry(n)
-            .or_insert_with(|| self.inner.delta_plus(n))
+            .or_insert_with(|| {
+                missed = true;
+                self.inner.delta_plus(n)
+            });
+        self.note(missed);
+        v
     }
 
     fn eta_plus(&self, dt: Time) -> u64 {
-        *self
+        let mut missed = false;
+        let v = *self
             .eta_plus
             .lock()
             .expect("poisoned")
             .entry(dt)
-            .or_insert_with(|| self.inner.eta_plus(dt))
+            .or_insert_with(|| {
+                missed = true;
+                self.inner.eta_plus(dt)
+            });
+        self.note(missed);
+        v
     }
 
     fn eta_minus(&self, dt: Time) -> u64 {
-        *self
+        let mut missed = false;
+        let v = *self
             .eta_minus
             .lock()
             .expect("poisoned")
             .entry(dt)
-            .or_insert_with(|| self.inner.eta_minus(dt))
+            .or_insert_with(|| {
+                missed = true;
+                self.inner.eta_minus(dt)
+            });
+        self.note(missed);
+        v
     }
 }
 
@@ -115,7 +168,9 @@ mod tests {
 
     fn or_model() -> ModelRef {
         OrJoin::new(vec![
-            StandardEventModel::periodic(Time::new(250)).unwrap().shared(),
+            StandardEventModel::periodic(Time::new(250))
+                .unwrap()
+                .shared(),
             StandardEventModel::periodic_with_jitter(Time::new(450), Time::new(40))
                 .unwrap()
                 .shared(),
@@ -156,6 +211,19 @@ mod tests {
         let raw = or_model();
         let cached = CachedModel::new(raw.clone());
         assert_eq!(cached.inner().delta_min(3), raw.delta_min(3));
+    }
+
+    #[test]
+    fn recorded_cache_counts_hits_and_misses() {
+        let (rec, handle) = hem_obs::MemoryRecorder::handle();
+        let cached = CachedModel::recorded(or_model(), handle);
+        let _ = cached.delta_min(7); // miss
+        let _ = cached.delta_min(7); // hit
+        let _ = cached.eta_plus(Time::new(100)); // miss
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(Counter::CurveEvaluations), 3);
+        assert_eq!(snap.counter(Counter::CacheMisses), 2);
+        assert_eq!(snap.counter(Counter::CacheHits), 1);
     }
 
     #[test]

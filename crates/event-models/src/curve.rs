@@ -441,8 +441,7 @@ mod tests {
 
     #[test]
     fn sample_reproduces_standard_model() {
-        let sem =
-            StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(30)).unwrap();
+        let sem = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(30)).unwrap();
         let curve = CurveModel::sample(&sem, 20, 1, Time::new(100)).unwrap();
         for n in 0..=60u64 {
             assert_eq!(curve.delta_min(n), sem.delta_min(n), "δ⁻({n})");

@@ -214,9 +214,7 @@ pub fn check_consistency(model: &dyn EventModel, up_to: u64) -> Result<(), Model
             )));
         }
         if TimeBound::from(dmin) > dplus {
-            return Err(ModelError::inconsistent(format!(
-                "δ⁻({n}) exceeds δ⁺({n})"
-            )));
+            return Err(ModelError::inconsistent(format!("δ⁻({n}) exceeds δ⁺({n})")));
         }
         prev_min = dmin;
         prev_plus = dplus;
@@ -310,7 +308,9 @@ mod tests {
 
     #[test]
     fn model_ref_delegates() {
-        let m: ModelRef = StandardEventModel::periodic(Time::new(10)).unwrap().shared();
+        let m: ModelRef = StandardEventModel::periodic(Time::new(10))
+            .unwrap()
+            .shared();
         assert_eq!(m.delta_min(3), Time::new(20));
         assert_eq!(m.delta_plus(3), TimeBound::finite(20));
         assert_eq!(m.eta_plus(Time::new(25)), 3);

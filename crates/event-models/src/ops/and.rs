@@ -83,8 +83,12 @@ mod tests {
 
     #[test]
     fn slowest_input_dominates() {
-        let fast = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
-        let slow = StandardEventModel::periodic(Time::new(300)).unwrap().shared();
+        let fast = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
+        let slow = StandardEventModel::periodic(Time::new(300))
+            .unwrap()
+            .shared();
         let and = AndJoin::new(vec![fast, slow]).unwrap();
         assert_eq!(and.delta_min(4), Time::new(900));
         assert_eq!(and.delta_plus(4), TimeBound::finite(900));
@@ -93,7 +97,9 @@ mod tests {
 
     #[test]
     fn sporadic_input_removes_guarantees() {
-        let p = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let p = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         let s = SporadicModel::new(Time::new(50)).unwrap().shared();
         let and = AndJoin::new(vec![p, s]).unwrap();
         // δ⁻ is still bounded by the periodic input…

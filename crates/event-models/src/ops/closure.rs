@@ -111,8 +111,9 @@ impl EventModel for AdditiveClosure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{check_consistency, check_super_additivity, CurveBuilder, EventModelExt,
-        StandardEventModel};
+    use crate::{
+        check_consistency, check_super_additivity, CurveBuilder, EventModelExt, StandardEventModel,
+    };
 
     #[test]
     fn exact_models_are_fixed_points() {
@@ -135,8 +136,8 @@ mod tests {
         let tight = AdditiveClosure::new(loose.clone().shared());
         assert_eq!(loose.delta_min(4), Time::new(220));
         assert_eq!(tight.delta_min(4), Time::new(300)); // 100 + 200
-        // And the fix compounds: δ̂⁻(5) ≥ δ̂⁻(4) + δ̂⁻(2)... here the raw
-        // value 400 equals the combination 300 + 100.
+                                                        // And the fix compounds: δ̂⁻(5) ≥ δ̂⁻(4) + δ̂⁻(2)... here the raw
+                                                        // value 400 equals the combination 300 + 100.
         assert_eq!(tight.delta_min(5), Time::new(400));
         check_super_additivity(&tight, 20).unwrap();
         check_consistency(&tight, 20).unwrap();

@@ -166,8 +166,12 @@ mod tests {
 
     #[test]
     fn eta_functions_sum() {
-        let a = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
-        let b = StandardEventModel::periodic(Time::new(150)).unwrap().shared();
+        let a = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
+        let b = StandardEventModel::periodic(Time::new(150))
+            .unwrap()
+            .shared();
         let or = OrJoin::new(vec![a.clone(), b.clone()]).unwrap();
         for dt in [0i64, 1, 99, 100, 101, 149, 151, 300, 1000] {
             let dt = Time::new(dt);
@@ -193,9 +197,15 @@ mod tests {
 
     #[test]
     fn simultaneous_arrivals_counted() {
-        let a = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
-        let b = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
-        let c = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let a = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
+        let b = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
+        let c = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         let or = OrJoin::new(vec![a, b, c]).unwrap();
         assert_eq!(or.delta_min(3), Time::ZERO);
         assert!(or.delta_min(4) > Time::ZERO);
@@ -204,7 +214,9 @@ mod tests {
 
     #[test]
     fn inputs_accessor() {
-        let a = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let a = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         let or = OrJoin::new(vec![a]).unwrap();
         assert_eq!(or.inputs().len(), 1);
     }

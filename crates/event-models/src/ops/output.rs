@@ -161,7 +161,9 @@ mod tests {
 
     #[test]
     fn delta_plus_shifts_by_jitter() {
-        let sem = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let sem = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         let out = OutputModel::new(sem, Time::new(5), Time::new(45)).unwrap();
         assert_eq!(out.delta_plus(2), TimeBound::finite(140));
         assert_eq!(out.delta_plus(5), TimeBound::finite(440));
@@ -179,7 +181,9 @@ mod tests {
 
     #[test]
     fn rejects_invalid_response_interval() {
-        let sem = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let sem = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         assert!(OutputModel::new(sem.clone(), Time::new(20), Time::new(10)).is_err());
         assert!(OutputModel::new(sem, Time::new(-1), Time::new(10)).is_err());
     }

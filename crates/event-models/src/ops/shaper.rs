@@ -97,7 +97,9 @@ mod tests {
 
     #[test]
     fn wide_streams_pass_through() {
-        let slow = StandardEventModel::periodic(Time::new(1000)).unwrap().shared();
+        let slow = StandardEventModel::periodic(Time::new(1000))
+            .unwrap()
+            .shared();
         let shaped = DminShaper::new(slow.clone(), Time::new(20)).unwrap();
         for n in 2..=6u64 {
             assert_eq!(shaped.delta_min(n), slow.delta_min(n));
@@ -117,7 +119,9 @@ mod tests {
 
     #[test]
     fn rejects_negative_distance() {
-        let m = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let m = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         assert!(DminShaper::new(m, Time::new(-1)).is_err());
     }
 }

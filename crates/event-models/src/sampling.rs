@@ -121,8 +121,8 @@ pub fn delta_table(model: &dyn EventModel, n_max: u64) -> Vec<(u64, Time, TimeBo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{EventModelExt, StandardEventModel};
     use crate::ops::OrJoin;
+    use crate::{EventModelExt, StandardEventModel};
 
     #[test]
     fn steps_match_pointwise_eta() {
@@ -142,12 +142,22 @@ mod tests {
 
     #[test]
     fn simultaneous_arrivals_merge_into_one_step() {
-        let a = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
-        let b = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let a = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
+        let b = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         let or = OrJoin::new(vec![a, b]).unwrap();
         let steps = eta_plus_steps(&or, Time::new(150));
         assert_eq!(steps.len(), 2);
-        assert_eq!(steps[0], EtaStep { at: Time::new(1), count: 2 });
+        assert_eq!(
+            steps[0],
+            EtaStep {
+                at: Time::new(1),
+                count: 2
+            }
+        );
         assert_eq!(
             steps[1],
             EtaStep {

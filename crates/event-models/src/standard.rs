@@ -170,9 +170,8 @@ impl EventModel for StandardEventModel {
             return 0;
         }
         // max { n : (n−1)·P − J < Δt } = ⌊(Δt − 1 + J) / P⌋ + 1
-        let from_period = div_floor((dt - Time::ONE + self.jitter).ticks(), self.period.ticks())
-            as u64
-            + 1;
+        let from_period =
+            div_floor((dt - Time::ONE + self.jitter).ticks(), self.period.ticks()) as u64 + 1;
         if self.dmin >= Time::ONE {
             // max { n : (n−1)·d_min < Δt } = ⌊(Δt − 1) / d_min⌋ + 1
             let from_dmin = div_floor((dt - Time::ONE).ticks(), self.dmin.ticks()) as u64 + 1;
@@ -305,8 +304,7 @@ mod tests {
 
     #[test]
     fn jitter_distances() {
-        let m =
-            StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(30)).unwrap();
+        let m = StandardEventModel::periodic_with_jitter(Time::new(100), Time::new(30)).unwrap();
         assert_eq!(m.delta_min(2), Time::new(70));
         assert_eq!(m.delta_plus(2), TimeBound::finite(130));
         // Large jitter clamps δ⁻ at zero.

@@ -52,9 +52,7 @@ impl TraceModel {
     ///
     /// Returns an error if the trace has fewer than two events or spans
     /// zero time (no rate can be inferred).
-    pub fn from_timestamps(
-        timestamps: impl IntoIterator<Item = Time>,
-    ) -> Result<Self, ModelError> {
+    pub fn from_timestamps(timestamps: impl IntoIterator<Item = Time>) -> Result<Self, ModelError> {
         let mut ts: Vec<Time> = timestamps.into_iter().collect();
         ts.sort_unstable();
         let m = ts.len() as u64;

@@ -1,0 +1,304 @@
+//! Typed counters, histograms, and their snapshot/export types.
+
+use std::collections::BTreeMap;
+
+use crate::json::write_escaped;
+
+/// The typed counters of the analysis engine and simulator.
+///
+/// Counters are cheap monotone sums; each has a stable snake_case name
+/// used by the JSONL exporter so downstream tooling can rely on keys
+/// not changing between runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Completed global fixed-point iterations of the system engine.
+    GlobalIterations,
+    /// Busy-window fixed-point iterations across all local analyses.
+    BusyWindowIterations,
+    /// δ±/η± curve evaluations answered by instrumented models.
+    CurveEvaluations,
+    /// Memoized curve queries answered from a [`CachedModel`] cache.
+    ///
+    /// [`CachedModel`]: https://docs.rs/hem-event-models
+    CacheHits,
+    /// Curve queries that missed the cache and recursed into the
+    /// wrapped model.
+    CacheMisses,
+    /// Invocations of the COM packing operator (frame HEM assembly).
+    PackingOps,
+    /// Events processed by the simulator (transmissions, jobs,
+    /// deliveries).
+    SimEvents,
+    /// Fault-plan perturbations that actually fired during a simulated
+    /// run (corrupted instances, rogue transmissions, perturbed
+    /// activations).
+    FaultInjections,
+}
+
+impl Counter {
+    /// Every counter, in export order.
+    pub const ALL: [Counter; 8] = [
+        Counter::GlobalIterations,
+        Counter::BusyWindowIterations,
+        Counter::CurveEvaluations,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::PackingOps,
+        Counter::SimEvents,
+        Counter::FaultInjections,
+    ];
+
+    /// The stable snake_case export name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::GlobalIterations => "global_iterations",
+            Counter::BusyWindowIterations => "busy_window_iterations",
+            Counter::CurveEvaluations => "curve_evaluations",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::PackingOps => "packing_ops",
+            Counter::SimEvents => "sim_events",
+            Counter::FaultInjections => "fault_injections",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        Counter::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("listed")
+    }
+}
+
+/// A fixed-bucket power-of-two histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose value needs `i` bits (bucket 0 is
+/// the value 0, bucket 1 is 1, bucket 2 is 2–3, bucket 3 is 4–7, …).
+/// Log-spaced buckets keep recording O(1) and allocation-free while
+/// still answering "are busy windows converging in 3 iterations or
+/// 300?".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Per-bucket sample counts (`buckets[i]` ⇔ values in `[2^(i-1), 2^i)`).
+    pub buckets: [u64; 65],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Default for HistogramData {
+    fn default() -> Self {
+        HistogramData {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramData {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = 64 - value.leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.sum += value;
+        self.min = if self.count == 0 {
+            value
+        } else {
+            self.min.min(value)
+        };
+        self.max = self.max.max(value);
+        self.count += 1;
+    }
+
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of all recorded metrics.
+///
+/// Produced by [`MemoryRecorder::snapshot`](crate::MemoryRecorder::snapshot);
+/// exported with [`MetricsSnapshot::to_jsonl`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Totals of each typed counter (export name → value), zero
+    /// counters included so consumers see a stable key set.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Labeled counter breakdowns: (export name, label) → value, e.g.
+    /// busy-window iterations per task.
+    pub labeled: BTreeMap<(&'static str, String), u64>,
+    /// Named histograms (e.g. span durations in microseconds,
+    /// busy-window iterations per fixed point).
+    pub histograms: BTreeMap<&'static str, HistogramData>,
+}
+
+impl MetricsSnapshot {
+    /// The total of a typed counter (0 when never incremented).
+    #[must_use]
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(c.name()).copied().unwrap_or(0)
+    }
+
+    /// The labeled sub-total of a typed counter.
+    #[must_use]
+    pub fn labeled_counter(&self, c: Counter, label: &str) -> u64 {
+        self.labeled
+            .get(&(c.name(), label.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Serializes the snapshot as JSONL: one self-describing JSON
+    /// object per line.
+    ///
+    /// Line shapes:
+    ///
+    /// ```json
+    /// {"type":"counter","name":"cache_hits","value":123}
+    /// {"type":"counter","name":"busy_window_iterations","label":"T1","value":7}
+    /// {"type":"histogram","name":"span_us/global_iteration","count":4,"sum":912,"min":101,"max":458,"mean":228.0}
+    /// ```
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(",\"value\":{value}}}\n"));
+        }
+        for ((name, label), value) in &self.labeled {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(",\"label\":");
+            write_escaped(&mut out, label);
+            out.push_str(&format!(",\"value\":{value}}}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3}}}\n",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            ));
+        }
+        out
+    }
+
+    /// Serializes the snapshot as one JSON object (counters nested
+    /// under `"counters"`, labeled breakdowns under `"labeled"`,
+    /// histogram summaries under `"histograms"`). Used by the
+    /// `BENCH_analysis.json` profile format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            out.push_str(&format!(":{value}"));
+        }
+        out.push_str("},\"labeled\":{");
+        let mut first = true;
+        for ((name, label), value) in &self.labeled {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_escaped(&mut out, &format!("{name}/{label}"));
+            out.push_str(&format!(":{value}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3}}}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn counter_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+        assert_eq!(Counter::CacheHits.name(), "cache_hits");
+        assert_eq!(Counter::CacheHits.index(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = HistogramData::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 8);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.sum, 1049);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 2); // 4, 7
+        assert_eq!(h.buckets[4], 1); // 8..16
+        assert_eq!(h.buckets[11], 1); // 1024..2048
+        assert!((h.mean() - 1049.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        assert_eq!(HistogramData::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_exports_valid_json() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert(Counter::CacheHits.name(), 12);
+        s.labeled
+            .insert((Counter::BusyWindowIterations.name(), "T1\"x".into()), 3);
+        let mut h = HistogramData::default();
+        h.record(5);
+        s.histograms.insert("span_us/test", h);
+        json::validate_jsonl(&s.to_jsonl()).expect("valid JSONL");
+        json::validate(&s.to_json()).expect("valid JSON");
+        assert_eq!(s.counter(Counter::CacheHits), 12);
+        assert_eq!(s.labeled_counter(Counter::BusyWindowIterations, "T1\"x"), 3);
+        assert_eq!(s.counter(Counter::SimEvents), 0);
+    }
+}

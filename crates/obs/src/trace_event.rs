@@ -1,0 +1,293 @@
+//! Chrome `trace_event` records and their JSON export.
+//!
+//! The simulator and analysis engine emit [`TraceEvent`]s; a collected
+//! [`ChromeTrace`] serializes to the Trace Event Format understood by
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`. Only
+//! the small subset the project needs is modeled: complete (`X`) slices,
+//! instant (`i`) markers, and thread-name metadata (`M`).
+
+use crate::json::write_escaped;
+
+/// An argument value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An integer argument.
+    Int(i64),
+    /// A string argument.
+    Str(String),
+    /// A float argument.
+    Float(f64),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+
+/// The event phases the exporters emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete slice with a duration (`"ph":"X"`).
+    Complete,
+    /// An instant marker (`"ph":"i"`, thread scope).
+    Instant,
+    /// Metadata (`"ph":"M"`), e.g. `thread_name`.
+    Metadata,
+}
+
+/// One Chrome trace event.
+///
+/// Timestamps and durations are in microseconds, per the Trace Event
+/// Format. Simulator exports map one virtual tick to one microsecond so
+/// traces are deterministic; analysis spans use real wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (slice label in the viewer).
+    pub name: String,
+    /// Comma-free category tag (used for filtering in the viewer).
+    pub cat: &'static str,
+    /// Event phase.
+    pub ph: Phase,
+    /// Timestamp in microseconds.
+    pub ts_us: u64,
+    /// Duration in microseconds (only serialized for
+    /// [`Phase::Complete`]).
+    pub dur_us: u64,
+    /// Process id (the exporters use a single process, 1).
+    pub pid: u32,
+    /// Thread id — the horizontal lane in the viewer.
+    pub tid: u32,
+    /// Event arguments shown when a slice is selected.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// A complete slice.
+    #[must_use]
+    pub fn complete(
+        name: impl Into<String>,
+        cat: &'static str,
+        ts_us: u64,
+        dur_us: u64,
+        tid: u32,
+    ) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::Complete,
+            ts_us,
+            dur_us,
+            pid: 1,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant marker.
+    #[must_use]
+    pub fn instant(name: impl Into<String>, cat: &'static str, ts_us: u64, tid: u32) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat,
+            ph: Phase::Instant,
+            ts_us,
+            dur_us: 0,
+            pid: 1,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// A `thread_name` metadata event labeling lane `tid`.
+    #[must_use]
+    pub fn thread_name(tid: u32, name: impl Into<String>) -> Self {
+        TraceEvent {
+            name: "thread_name".into(),
+            cat: "__metadata",
+            ph: Phase::Metadata,
+            ts_us: 0,
+            dur_us: 0,
+            pid: 1,
+            tid,
+            args: vec![("name", ArgValue::Str(name.into()))],
+        }
+    }
+
+    /// This event with an extra argument attached.
+    #[must_use]
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        write_escaped(out, &self.name);
+        out.push_str(",\"cat\":");
+        write_escaped(out, self.cat);
+        let ph = match self.ph {
+            Phase::Complete => "X",
+            Phase::Instant => "i",
+            Phase::Metadata => "M",
+        };
+        out.push_str(&format!(
+            ",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+            self.ts_us, self.pid, self.tid
+        ));
+        if self.ph == Phase::Complete {
+            out.push_str(&format!(",\"dur\":{}", self.dur_us));
+        }
+        if self.ph == Phase::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !self.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (key, value)) in self.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                match value {
+                    ArgValue::Int(v) => out.push_str(&v.to_string()),
+                    ArgValue::Float(v) => {
+                        if v.is_finite() {
+                            out.push_str(&format!("{v}"));
+                        } else {
+                            out.push_str("null");
+                        }
+                    }
+                    ArgValue::Str(s) => write_escaped(out, s),
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+}
+
+/// A collected set of trace events, exportable as a Chrome trace file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChromeTrace {
+    /// The events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ChromeTrace {
+    /// A trace over the given events.
+    #[must_use]
+    pub fn new(events: Vec<TraceEvent>) -> Self {
+        ChromeTrace { events }
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes to Trace Event Format JSON
+    /// (`{"traceEvents":[...],"displayTimeUnit":"ms"}`) — load the
+    /// string (saved as a `.json` file) in Perfetto or
+    /// `chrome://tracing`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            ev.write_json(&mut out);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn export_is_valid_json_with_expected_fields() {
+        let trace = ChromeTrace::new(vec![
+            TraceEvent::thread_name(1, "bus"),
+            TraceEvent::complete("tx F1", "bus", 100, 95, 1)
+                .arg("instance", 0i64)
+                .arg("frame", "F1"),
+            TraceEvent::instant("fault", "fault", 250, 3).arg("p", 0.5),
+        ]);
+        let out = trace.to_json();
+        json::validate(&out).expect("valid JSON");
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"dur\":95"));
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("\"ph\":\"M\""));
+        assert!(out.contains("\"thread_name\""));
+        assert!(out.contains("traceEvents"));
+    }
+
+    #[test]
+    fn instant_has_no_dur_and_complete_has_no_scope() {
+        let complete = ChromeTrace::new(vec![TraceEvent::complete("a", "c", 0, 1, 0)]).to_json();
+        assert!(!complete.contains("\"s\":"));
+        let instant = ChromeTrace::new(vec![TraceEvent::instant("a", "c", 0, 0)]).to_json();
+        assert!(!instant.contains("\"dur\":"));
+        assert!(instant.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn arg_values_convert() {
+        let ev = TraceEvent::instant("a", "c", 0, 0)
+            .arg("i", -3i64)
+            .arg("u", 7u64)
+            .arg("s", String::from("x"))
+            .arg("f", 1.5);
+        assert_eq!(ev.args.len(), 4);
+        let out = ChromeTrace::new(vec![ev]).to_json();
+        json::validate(&out).expect("valid");
+        assert!(out.contains("\"i\":-3"));
+        assert!(out.contains("\"f\":1.5"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = ChromeTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        json::validate(&t.to_json()).expect("valid");
+    }
+}

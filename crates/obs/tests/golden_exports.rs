@@ -1,0 +1,122 @@
+//! Golden-file tests for the serde-free exporters.
+//!
+//! Each test builds a deterministic value, serializes it, and compares
+//! the byte-exact output against a checked-in golden file. Regenerate
+//! the files after an intentional format change with
+//! `GOLDEN_REGEN=1 cargo test -p hem-obs --test golden_exports`.
+
+use std::path::PathBuf;
+
+use hem_obs::{
+    json, ChromeTrace, ConvergenceTrace, Counter, HistogramData, IterationSnapshot,
+    MetricsSnapshot, RtBound, TraceEvent,
+};
+
+fn golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden file");
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; if the change is intentional run \
+         `GOLDEN_REGEN=1 cargo test -p hem-obs --test golden_exports`"
+    );
+}
+
+fn sample_snapshot() -> MetricsSnapshot {
+    let mut s = MetricsSnapshot::default();
+    for c in Counter::ALL {
+        s.counters.insert(c.name(), 0);
+    }
+    s.counters.insert(Counter::GlobalIterations.name(), 3);
+    s.counters.insert(Counter::BusyWindowIterations.name(), 46);
+    s.counters.insert(Counter::CacheHits.name(), 10);
+    s.counters.insert(Counter::CacheMisses.name(), 54);
+    s.counters.insert(Counter::CurveEvaluations.name(), 64);
+    s.labeled
+        .insert((Counter::BusyWindowIterations.name(), "T1".into()), 7);
+    s.labeled.insert(
+        (Counter::BusyWindowIterations.name(), "frame \"F1\"".into()),
+        39,
+    );
+    let mut h = HistogramData::default();
+    for v in [1, 2, 2, 3, 7, 31] {
+        h.record(v);
+    }
+    s.histograms.insert(hem_obs::HIST_BUSY_WINDOW_ITERATIONS, h);
+    s
+}
+
+fn sample_chrome_trace() -> ChromeTrace {
+    ChromeTrace::new(vec![
+        TraceEvent::thread_name(1, "bus"),
+        TraceEvent::thread_name(3, "faults"),
+        TraceEvent::complete("F1", "bus", 100, 95, 1)
+            .arg("instance", 0i64)
+            .arg("queued_at", 42u64),
+        TraceEvent::complete("F1", "bus", 1_100, 126, 1)
+            .arg("instance", 1i64)
+            .arg("corrupted", 1i64),
+        TraceEvent::instant("perturbed write \"s1\"", "fault", 250, 3).arg("written_at", 250u64),
+    ])
+}
+
+fn sample_convergence_trace() -> ConvergenceTrace {
+    let mut trace = ConvergenceTrace::new();
+    for (i, upper) in [(1u64, 95i64), (2, 95)] {
+        let mut snap = IterationSnapshot {
+            iteration: i,
+            response_times: Default::default(),
+        };
+        snap.response_times
+            .insert("frame:F".into(), RtBound::new(79, upper));
+        snap.response_times
+            .insert("task:rx".into(), RtBound::new(30, 30));
+        trace.push(snap);
+    }
+    trace
+}
+
+#[test]
+fn metrics_snapshot_json_matches_golden() {
+    let out = sample_snapshot().to_json();
+    json::validate(&out).expect("valid JSON");
+    golden("metrics_snapshot.json", &out);
+}
+
+#[test]
+fn metrics_snapshot_jsonl_matches_golden() {
+    let out = sample_snapshot().to_jsonl();
+    json::validate_jsonl(&out).expect("valid JSONL");
+    golden("metrics_snapshot.jsonl", &out);
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let out = sample_chrome_trace().to_json();
+    json::validate(&out).expect("valid JSON");
+    golden("chrome_trace.json", &out);
+}
+
+#[test]
+fn convergence_trace_jsonl_matches_golden() {
+    let out = sample_convergence_trace().to_jsonl();
+    json::validate_jsonl(&out).expect("valid JSONL");
+    golden("convergence_trace.jsonl", &out);
+}
+
+#[test]
+fn golden_files_are_loadable_by_downstream_tools() {
+    // The chrome trace golden must carry the envelope Perfetto expects.
+    let trace = sample_chrome_trace().to_json();
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    assert!(trace.contains("\"ph\":\"M\""), "thread metadata present");
+    assert!(trace.contains("\"ph\":\"X\""), "complete slices present");
+    assert!(trace.contains("\"ph\":\"i\""), "instant markers present");
+}

@@ -221,10 +221,9 @@ mod tests {
 
     #[test]
     fn variable_transmission_times_respected() {
-        let t = simulate_with_times(
-            &[frame("f", 1, 10, &[0, 0])],
-            |_, instance| Time::new(10 + 5 * instance as i64),
-        );
+        let t = simulate_with_times(&[frame("f", 1, 10, &[0, 0])], |_, instance| {
+            Time::new(10 + 5 * instance as i64)
+        });
         assert_eq!(t[0].completed_at, Time::new(10));
         assert_eq!(t[1].completed_at, Time::new(25));
     }
@@ -237,9 +236,13 @@ mod tests {
 
     #[test]
     fn try_simulate_reports_errors_without_panicking() {
-        let err = try_simulate(&[frame("a", 1, 10, &[0]), frame("b", 1, 10, &[0])])
-            .unwrap_err();
-        assert_eq!(err, SimError::DuplicatePriority { priority: Priority::new(1) });
+        let err = try_simulate(&[frame("a", 1, 10, &[0]), frame("b", 1, 10, &[0])]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::DuplicatePriority {
+                priority: Priority::new(1)
+            }
+        );
         let err = try_simulate(&[frame("f", 1, 10, &[5, 0])]).unwrap_err();
         assert!(matches!(err, SimError::UnsortedTrace { .. }));
         let err = try_simulate(&[frame("f", 1, 0, &[0])]).unwrap_err();

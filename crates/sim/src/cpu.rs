@@ -75,10 +75,7 @@ pub fn try_simulate(tasks: &[SimTask]) -> Result<Vec<Job>, SimError> {
 ///
 /// Panics if an activation list is unsorted or `exec` returns < 1.
 #[must_use]
-pub fn simulate_with_exec(
-    tasks: &[SimTask],
-    exec: impl FnMut(usize, usize) -> Time,
-) -> Vec<Job> {
+pub fn simulate_with_exec(tasks: &[SimTask], exec: impl FnMut(usize, usize) -> Time) -> Vec<Job> {
     try_simulate_with_exec(tasks, exec).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -279,8 +276,7 @@ mod tests {
         assert_eq!(err.to_string(), "execution time of `a` must be positive");
         let err = try_simulate(&[task("a", 1, 5, &[10, 0])]).unwrap_err();
         assert_eq!(err.to_string(), "activations of `a` must be sorted");
-        let err =
-            try_simulate_with_exec(&[task("a", 1, 5, &[0])], |_, _| Time::ZERO).unwrap_err();
+        let err = try_simulate_with_exec(&[task("a", 1, 5, &[0])], |_, _| Time::ZERO).unwrap_err();
         assert!(err.to_string().contains("exec(0, 0)"));
     }
 
@@ -289,7 +285,8 @@ mod tests {
         // Same set as the SPP analysis test: C = (1,2,3), P = (4,6,12).
         // Simulated worst responses must be ≤ the analytic bounds (1,3,10)
         // and, with synchronous release, should reach them exactly.
-        let make = |p: i64| -> Vec<i64> { (0..200).map(|i| i * p).take_while(|&t| t < 2400).collect() };
+        let make =
+            |p: i64| -> Vec<i64> { (0..200).map(|i| i * p).take_while(|&t| t < 2400).collect() };
         let tasks = [
             task("t1", 1, 1, &make(4)),
             task("t2", 2, 2, &make(6)),

@@ -345,9 +345,7 @@ impl FaultPlan {
                         *t = (*t + shift).clamp_non_negative();
                     }
                 }
-                Fault::ActivationJitter { target, max_delay }
-                    if target.matches(target_name) =>
-                {
+                Fault::ActivationJitter { target, max_delay } if target.matches(target_name) => {
                     let mut rng = self.entity_rng(idx, target_name);
                     for t in &mut out {
                         *t += Time::new(rng.gen_range(0..=max_delay.ticks()));
@@ -471,7 +469,10 @@ mod tests {
     #[test]
     fn zero_probability_never_corrupts() {
         let plan = FaultPlan::new(1).with(corruption(0.0, 31, 5));
-        assert_eq!(plan.wire_times("F", Time::new(50), 10), vec![Time::new(50); 10]);
+        assert_eq!(
+            plan.wire_times("F", Time::new(50), 10),
+            vec![Time::new(50); 10]
+        );
     }
 
     #[test]

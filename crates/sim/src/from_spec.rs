@@ -132,9 +132,7 @@ pub fn net_system_from_spec(
             ActivationSpec::FrameArrivals(frame) => {
                 NetActivation::FrameTransmissions(frame.clone())
             }
-            ActivationSpec::TaskOutput(task) => {
-                NetActivation::TaskCompletions(task.clone())
-            }
+            ActivationSpec::TaskOutput(task) => NetActivation::TaskCompletions(task.clone()),
             ActivationSpec::AnyOf(_) | ActivationSpec::AllOf(_) => {
                 return Err(FromSpecError::Unsupported(
                     "composite (AnyOf/AllOf) activations".into(),
@@ -223,7 +221,10 @@ mod tests {
     fn translates_and_runs() {
         let horizon = Time::new(20_000);
         let mut traces = BTreeMap::new();
-        traces.insert("F/s".to_string(), trace::periodic(Time::new(1_000), horizon));
+        traces.insert(
+            "F/s".to_string(),
+            trace::periodic(Time::new(1_000), horizon),
+        );
         let net = net_system_from_spec(&spec(), &traces).unwrap();
         assert_eq!(net.frames.len(), 1);
         assert_eq!(net.frames[0].transmission_time, Time::new(95));
@@ -238,7 +239,10 @@ mod tests {
         use crate::fault::{Fault, FaultPlan, FaultTarget};
         let horizon = Time::new(20_000);
         let mut traces = BTreeMap::new();
-        traces.insert("F/s".to_string(), trace::periodic(Time::new(1_000), horizon));
+        traces.insert(
+            "F/s".to_string(),
+            trace::periodic(Time::new(1_000), horizon),
+        );
         let plan = FaultPlan::new(2).with(Fault::FrameCorruption {
             frame: FaultTarget::Named("F".into()),
             probability: 1.0,
@@ -250,8 +254,8 @@ mod tests {
         assert_eq!(report.frame_worst_response["F"], Time::new(221));
         assert_eq!(report.deliveries["F/s"].len(), 20);
         // Fault-free plan matches the plain run.
-        let plain = simulate_spec_under_faults(&spec(), &traces, horizon, &FaultPlan::none())
-            .unwrap();
+        let plain =
+            simulate_spec_under_faults(&spec(), &traces, horizon, &FaultPlan::none()).unwrap();
         assert_eq!(plain.frame_worst_response["F"], Time::new(95));
     }
 
@@ -268,7 +272,10 @@ mod tests {
         s.tasks[0].activation = ActivationSpec::FrameArrivals("F".into());
         let horizon = Time::new(20_000);
         let mut traces = BTreeMap::new();
-        traces.insert("F/s".to_string(), trace::periodic(Time::new(1_000), horizon));
+        traces.insert(
+            "F/s".to_string(),
+            trace::periodic(Time::new(1_000), horizon),
+        );
         let net = net_system_from_spec(&s, &traces).unwrap();
         assert!(matches!(
             net.tasks[0].activation,
@@ -281,9 +288,8 @@ mod tests {
     #[test]
     fn composite_activation_rejected() {
         let mut s = spec();
-        s.tasks[0].activation = ActivationSpec::AnyOf(vec![ActivationSpec::FrameArrivals(
-            "F".into(),
-        )]);
+        s.tasks[0].activation =
+            ActivationSpec::AnyOf(vec![ActivationSpec::FrameArrivals("F".into())]);
         let traces = BTreeMap::new();
         // Frame trace missing too, but the unsupported activation may be
         // reported either way; accept both error kinds here.

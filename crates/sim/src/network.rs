@@ -196,8 +196,7 @@ pub fn try_run_with_faults(
             if done_buses.contains(bus) {
                 continue;
             }
-            let frames: Vec<&NetFrame> =
-                system.frames.iter().filter(|f| &f.bus == bus).collect();
+            let frames: Vec<&NetFrame> = system.frames.iter().filter(|f| &f.bus == bus).collect();
             let ready = frames.iter().all(|f| {
                 f.signals.iter().all(|s| match &s.source {
                     NetSource::Trace(_) => true,
@@ -229,16 +228,13 @@ pub fn try_run_with_faults(
             if done_cpus.contains(cpu_name) {
                 continue;
             }
-            let tasks: Vec<&NetTask> =
-                system.tasks.iter().filter(|t| &t.cpu == cpu_name).collect();
+            let tasks: Vec<&NetTask> = system.tasks.iter().filter(|t| &t.cpu == cpu_name).collect();
             let ready = tasks.iter().all(|t| match &t.activation {
                 NetActivation::Trace(_) => true,
                 NetActivation::Delivery { frame, signal } => {
                     deliveries.contains_key(&format!("{frame}/{signal}"))
                 }
-                NetActivation::FrameTransmissions(frame) => {
-                    frame_transmissions.contains_key(frame)
-                }
+                NetActivation::FrameTransmissions(frame) => frame_transmissions.contains_key(frame),
                 NetActivation::TaskCompletions(task) => task_completions.contains_key(task),
             });
             if !ready {
@@ -261,8 +257,13 @@ pub fn try_run_with_faults(
             return Err(SimError::DependencyCycle {
                 remaining: format!(
                     "remaining buses {:?}, cpus {:?}",
-                    buses.iter().filter(|b| !done_buses.contains(b)).collect::<Vec<_>>(),
-                    cpus.iter().filter(|c| !done_cpus.contains(c)).collect::<Vec<_>>(),
+                    buses
+                        .iter()
+                        .filter(|b| !done_buses.contains(b))
+                        .collect::<Vec<_>>(),
+                    cpus.iter()
+                        .filter(|c| !done_cpus.contains(c))
+                        .collect::<Vec<_>>(),
                 ),
             });
         }
@@ -311,9 +312,7 @@ fn simulate_bus(
             let writes = match &s.source {
                 // Only external traces see injected jitter/drift;
                 // gateway completions already carry upstream faults.
-                NetSource::Trace(t) => {
-                    plan.perturb_trace(&format!("{}/{}", f.name, s.name), t)
-                }
+                NetSource::Trace(t) => plan.perturb_trace(&format!("{}/{}", f.name, s.name), t),
                 NetSource::TaskCompletions(task) => task_completions
                     .get(task)
                     .ok_or_else(|| SimError::unknown(format!("task `{task}`")))?
@@ -356,7 +355,8 @@ fn simulate_bus(
         .collect();
     for (fi, f) in frames.iter().enumerate() {
         for (si, s) in f.signals.iter().enumerate() {
-            obs.deliveries.insert(format!("{}/{}", f.name, s.name), Vec::new());
+            obs.deliveries
+                .insert(format!("{}/{}", f.name, s.name), Vec::new());
             obs.overwritten.insert(
                 format!("{}/{}", f.name, s.name),
                 com_traces[fi].overwritten[si],
@@ -410,9 +410,7 @@ fn simulate_cpu(
                 NetActivation::Delivery { frame, signal } => {
                     deliveries[&format!("{frame}/{signal}")].clone()
                 }
-                NetActivation::FrameTransmissions(frame) => {
-                    frame_transmissions[frame].clone()
-                }
+                NetActivation::FrameTransmissions(frame) => frame_transmissions[frame].clone(),
                 NetActivation::TaskCompletions(task) => task_completions[task].clone(),
             },
         })
@@ -703,7 +701,10 @@ mod tests {
             net_report.task_worst_response["rx"],
             single_report.task_worst_response["rx"]
         );
-        assert_eq!(net_report.deliveries["F/s"], single_report.deliveries["F/s"]);
+        assert_eq!(
+            net_report.deliveries["F/s"],
+            single_report.deliveries["F/s"]
+        );
     }
 
     #[test]

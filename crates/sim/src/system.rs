@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use hem_analysis::Priority;
 use hem_autosar_com::FrameType;
+use hem_obs::{Counter, RecorderHandle, TraceEvent};
 use hem_time::Time;
 
 use crate::canbus::{self, QueuedFrame, Transmission};
@@ -140,6 +141,45 @@ pub fn try_run_with_faults(
     horizon: Time,
     plan: &FaultPlan,
 ) -> Result<SimReport, SimError> {
+    try_run_recorded(system, horizon, plan, &RecorderHandle::noop())
+}
+
+/// Lane (`tid`) assignments of the simulator's Chrome trace:
+/// transmissions on the bus lane, jobs on the CPU lane, fault markers on
+/// their own lane.
+const TID_BUS: u32 = 1;
+const TID_CPU: u32 = 2;
+const TID_FAULTS: u32 = 3;
+
+/// One simulated tick as a trace timestamp. The simulator maps one
+/// virtual tick to one microsecond, so exported traces are deterministic
+/// (no wall clock involved).
+fn tick_us(t: Time) -> u64 {
+    u64::try_from(t.ticks()).unwrap_or(0)
+}
+
+/// Like [`try_run_with_faults`], additionally emitting observability
+/// signals to `recorder`: a Chrome trace event per frame transmission
+/// (bus lane), per job (CPU lane) and per fired fault (fault lane),
+/// plus [`Counter::SimEvents`] / [`Counter::FaultInjections`] totals.
+/// With a disabled recorder this is exactly [`try_run_with_faults`].
+///
+/// # Errors
+///
+/// Same conditions as [`try_run_with_faults`].
+pub fn try_run_recorded(
+    system: &SimSystem,
+    horizon: Time,
+    plan: &FaultPlan,
+    recorder: &RecorderHandle,
+) -> Result<SimReport, SimError> {
+    let recording = recorder.enabled();
+    if recording {
+        recorder.emit(TraceEvent::thread_name(TID_BUS, "bus"));
+        recorder.emit(TraceEvent::thread_name(TID_CPU, "cpu"));
+        recorder.emit(TraceEvent::thread_name(TID_FAULTS, "faults"));
+    }
+
     // 1. COM layer: frame instances + freshness (writes perturbed by
     // jitter/drift faults before entering the COM layer).
     let mut com_traces = Vec::with_capacity(system.frames.len());
@@ -150,7 +190,27 @@ pub fn try_run_with_faults(
             .map(|s| ComSignal {
                 name: s.name.clone(),
                 transfer: s.transfer,
-                writes: plan.perturb_trace(&format!("{}/{}", f.name, s.name), &s.writes),
+                writes: {
+                    let key = format!("{}/{}", f.name, s.name);
+                    let perturbed = plan.perturb_trace(&key, &s.writes);
+                    if recording {
+                        for (orig, new) in s.writes.iter().zip(&perturbed) {
+                            if orig != new {
+                                recorder.add(Counter::FaultInjections, 1);
+                                recorder.emit(
+                                    TraceEvent::instant(
+                                        format!("perturbed write {key}"),
+                                        "fault",
+                                        tick_us(*new),
+                                        TID_FAULTS,
+                                    )
+                                    .arg("written_at", tick_us(*orig)),
+                                );
+                            }
+                        }
+                    }
+                    perturbed
+                },
             })
             .collect();
         com_traces.push(com::try_simulate(f.frame_type, &signals, horizon)?);
@@ -182,11 +242,48 @@ pub fn try_run_with_faults(
             }
         })
         .collect();
-    let all_tx: Vec<Transmission> =
-        canbus::try_simulate_with_times(&queued, |f, i| wire[f][i])?
-            .into_iter()
-            .filter(|tx| tx.frame < system.frames.len())
-            .collect();
+    let raw_tx = canbus::try_simulate_with_times(&queued, |f, i| wire[f][i])?;
+    if recording {
+        for tx in &raw_tx {
+            let dur = tick_us(tx.completed_at) - tick_us(tx.started_at);
+            if tx.frame < system.frames.len() {
+                let f = &system.frames[tx.frame];
+                recorder.add(Counter::SimEvents, 1);
+                let mut event = TraceEvent::complete(
+                    f.name.clone(),
+                    "bus",
+                    tick_us(tx.started_at),
+                    dur,
+                    TID_BUS,
+                )
+                .arg("instance", tx.instance as u64)
+                .arg("queued_at", tick_us(tx.queued_at));
+                // Corruption retransmissions show as inflated wire time.
+                if wire[tx.frame][tx.instance] != f.transmission_time {
+                    recorder.add(Counter::FaultInjections, 1);
+                    event = event.arg("corrupted", 1u64);
+                }
+                recorder.emit(event);
+            } else {
+                // A rogue (babbling-idiot) overload frame won arbitration.
+                recorder.add(Counter::FaultInjections, 1);
+                recorder.emit(
+                    TraceEvent::complete(
+                        format!("rogue {}", queued[tx.frame].name),
+                        "fault",
+                        tick_us(tx.started_at),
+                        dur,
+                        TID_FAULTS,
+                    )
+                    .arg("instance", tx.instance as u64),
+                );
+            }
+        }
+    }
+    let all_tx: Vec<Transmission> = raw_tx
+        .into_iter()
+        .filter(|tx| tx.frame < system.frames.len())
+        .collect();
 
     let mut transmissions: BTreeMap<String, Vec<Transmission>> = system
         .frames
@@ -208,11 +305,17 @@ pub fn try_run_with_faults(
     }
     for tx in &all_tx {
         let f = &system.frames[tx.frame];
-        transmissions.get_mut(&f.name).expect("frame present").push(*tx);
+        transmissions
+            .get_mut(&f.name)
+            .expect("frame present")
+            .push(*tx);
         let instance = &com_traces[tx.frame].instances[tx.instance];
         for &(si, written_at) in &instance.fresh {
             let key = format!("{}/{}", f.name, f.signals[si].name);
-            deliveries.get_mut(&key).expect("signal present").push(tx.completed_at);
+            deliveries
+                .get_mut(&key)
+                .expect("signal present")
+                .push(tx.completed_at);
             delivery_writes
                 .get_mut(&key)
                 .expect("signal present")
@@ -224,7 +327,10 @@ pub fn try_run_with_faults(
         .map(|(name, txs)| {
             (
                 name.clone(),
-                txs.iter().map(Transmission::response).max().unwrap_or(Time::ZERO),
+                txs.iter()
+                    .map(Transmission::response)
+                    .max()
+                    .unwrap_or(Time::ZERO),
             )
         })
         .collect();
@@ -233,16 +339,30 @@ pub fn try_run_with_faults(
     let mut sim_tasks: Vec<SimTask> = Vec::with_capacity(system.tasks.len());
     for t in &system.tasks {
         let activations = match &t.activation {
-            SimActivation::Trace(trace) => plan
-                .perturb_trace(&format!("task:{}", t.name), trace)
-                .into_iter()
-                .filter(|&a| a < horizon)
-                .collect(),
+            SimActivation::Trace(trace) => {
+                let key = format!("task:{}", t.name);
+                let perturbed = plan.perturb_trace(&key, trace);
+                if recording {
+                    for (orig, new) in trace.iter().zip(&perturbed) {
+                        if orig != new {
+                            recorder.add(Counter::FaultInjections, 1);
+                            recorder.emit(
+                                TraceEvent::instant(
+                                    format!("perturbed activation {key}"),
+                                    "fault",
+                                    tick_us(*new),
+                                    TID_FAULTS,
+                                )
+                                .arg("activated_at", tick_us(*orig)),
+                            );
+                        }
+                    }
+                }
+                perturbed.into_iter().filter(|&a| a < horizon).collect()
+            }
             SimActivation::Delivery { frame, signal } => deliveries
                 .get(&format!("{frame}/{signal}"))
-                .ok_or_else(|| {
-                    SimError::unknown(format!("delivery source `{frame}/{signal}`"))
-                })?
+                .ok_or_else(|| SimError::unknown(format!("delivery source `{frame}/{signal}`")))?
                 .clone(),
         };
         sim_tasks.push(SimTask {
@@ -253,6 +373,21 @@ pub fn try_run_with_faults(
         });
     }
     let jobs = cpu::try_simulate(&sim_tasks)?;
+    if recording {
+        for job in &jobs {
+            recorder.add(Counter::SimEvents, 1);
+            recorder.emit(
+                TraceEvent::complete(
+                    sim_tasks[job.task].name.clone(),
+                    "cpu",
+                    tick_us(job.activated_at),
+                    tick_us(job.completed_at) - tick_us(job.activated_at),
+                    TID_CPU,
+                )
+                .arg("instance", job.instance as u64),
+            );
+        }
+    }
     let worst = cpu::worst_responses(&sim_tasks, &jobs);
     let task_worst_response: BTreeMap<String, Time> = system
         .tasks
@@ -271,7 +406,9 @@ pub fn try_run_with_faults(
             let writes = &delivery_writes[&format!("{frame}/{signal}")];
             let written = writes[job.instance];
             let latency = job.completed_at - written;
-            let entry = task_worst_latency.entry(t.name.clone()).or_insert(Time::ZERO);
+            let entry = task_worst_latency
+                .entry(t.name.clone())
+                .or_insert(Time::ZERO);
             *entry = (*entry).max(latency);
         }
     }
@@ -448,6 +585,40 @@ mod tests {
         assert_eq!(a.task_worst_response, b.task_worst_response);
         // The delivery-activated task is untouched by the trace fault.
         assert_eq!(a.task_worst_response["rx"], Time::new(30));
+    }
+
+    #[test]
+    fn recorded_run_emits_deterministic_trace_and_counters() {
+        use crate::fault::{Fault, FaultPlan, FaultTarget};
+        use hem_obs::MemoryRecorder;
+        let plan = FaultPlan::new(1).with(Fault::FrameCorruption {
+            frame: FaultTarget::Named("F".into()),
+            probability: 1.0,
+            error_frame: Time::new(31),
+            max_retransmissions: 1,
+        });
+        let run_once = || {
+            let (rec, handle) = MemoryRecorder::handle();
+            let report =
+                try_run_recorded(&mini_system(), Time::new(10_000), &plan, &handle).unwrap();
+            (report, rec.snapshot(), rec.chrome_trace())
+        };
+        let (report, snap, trace) = run_once();
+        // Same observable results as the unrecorded run.
+        let plain = run_with_faults(&mini_system(), Time::new(10_000), &plan);
+        assert_eq!(report.deliveries, plain.deliveries);
+        // 20 transmissions + 20 jobs, every transmission corrupted.
+        assert_eq!(snap.counter(hem_obs::Counter::SimEvents), 40);
+        assert_eq!(snap.counter(hem_obs::Counter::FaultInjections), 20);
+        // The Chrome trace is well-formed and labels its lanes.
+        let json = trace.to_json();
+        hem_obs::json::validate(&json).expect("valid Chrome trace");
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"corrupted\":1"));
+        // Virtual time makes the whole export deterministic.
+        let (_, snap2, trace2) = run_once();
+        assert_eq!(snap, snap2);
+        assert_eq!(trace, trace2);
     }
 
     #[test]

@@ -223,8 +223,7 @@ fn overloaded_bus_stays_within_interferer_bound() {
                     .shared(),
             ),
         ];
-        let bounds =
-            spnp::analyze(&analytic, &AnalysisConfig::default()).expect("converges");
+        let bounds = spnp::analyze(&analytic, &AnalysisConfig::default()).expect("converges");
 
         let worst = sim
             .iter()
@@ -263,11 +262,9 @@ fn perturbed_trace_event_counts_within_eta_plus() {
             });
         let base = trace::periodic(period, horizon);
         let perturbed = plan.perturb_trace("src", &base);
-        let widened = StandardEventModel::periodic_with_jitter(
-            period,
-            plan.jitter_bound("src", horizon),
-        )
-        .expect("valid");
+        let widened =
+            StandardEventModel::periodic_with_jitter(period, plan.jitter_bound("src", horizon))
+                .expect("valid");
 
         // Slide a window over the trace: the densest observed packing
         // of any width w must not exceed η⁺(w).

@@ -252,7 +252,9 @@ fn corrupted_and_overloaded_gateway_within_spnp_bounds() {
                 c1,
                 plan.wire_time_bound("F1", c1),
                 Priority::new(1),
-                OrJoin::new(vec![sem(0), sem(1)]).expect("non-empty").shared(),
+                OrJoin::new(vec![sem(0), sem(1)])
+                    .expect("non-empty")
+                    .shared(),
             ),
             AnalysisTask::new(
                 "F2",

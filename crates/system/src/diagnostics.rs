@@ -11,8 +11,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use hem_analysis::{AnalysisError, ResponseTime};
+use hem_obs::ConvergenceTrace;
 
 /// Per-entity convergence status after a (possibly aborted) analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +88,12 @@ pub struct Diagnostics {
     pub stop: StopReason,
     /// Completed global iterations.
     pub iterations: u64,
+    /// Wall-clock time the run took, converged or not.
+    pub elapsed: Duration,
+    /// Per-iteration response-time snapshots of the whole run — the
+    /// full trajectory towards (or away from) the fixed point, keyed
+    /// like [`Diagnostics::last_response_times`].
+    pub trace: ConvergenceTrace,
     /// Entities flagged [`ConvergenceStatus::Growing`], longest streak
     /// first.
     pub diverging: Vec<String>,
@@ -166,6 +174,9 @@ impl Diagnostics {
                 );
             }
         }
+        if !self.elapsed.is_zero() {
+            let _ = writeln!(out, "elapsed: {:?}", self.elapsed);
+        }
         if let Some(resource) = &self.suspected_bottleneck {
             let _ = writeln!(out, "suspected bottleneck: {resource}");
         }
@@ -209,6 +220,8 @@ mod tests {
                 streak: 12,
             },
             iterations: 17,
+            elapsed: Duration::from_millis(5),
+            trace: ConvergenceTrace::default(),
             diverging: vec!["task:gateway".into()],
             last_response_times: BTreeMap::from([("task:gateway".into(), rt(10, 900))]),
             previous_response_times: BTreeMap::from([("task:gateway".into(), rt(10, 700))]),
@@ -230,6 +243,8 @@ mod tests {
                 error: AnalysisError::budget_exhausted("t"),
             },
             iterations: 3,
+            elapsed: Duration::ZERO,
+            trace: ConvergenceTrace::default(),
             diverging: vec![],
             last_response_times: BTreeMap::new(),
             previous_response_times: BTreeMap::new(),
@@ -244,6 +259,8 @@ mod tests {
         let d = Diagnostics {
             stop: StopReason::Converged,
             iterations: 4,
+            elapsed: Duration::ZERO,
+            trace: ConvergenceTrace::default(),
             diverging: vec![],
             last_response_times: BTreeMap::new(),
             previous_response_times: BTreeMap::new(),

@@ -491,10 +491,7 @@ fn parse_task(rest: &[&str], line: usize) -> Result<TaskDecl, ParseError> {
             .map_err(|_| err(line, "`cet` must be an integer"))?;
         (c, c)
     } else {
-        (
-            get_int(&kv, "bcet", line)?,
-            get_int(&kv, "wcet", line)?,
-        )
+        (get_int(&kv, "bcet", line)?, get_int(&kv, "wcet", line)?)
     };
     if wcet < 1 || bcet < 0 || bcet > wcet {
         return Err(err(line, "need 0 ≤ bcet ≤ wcet and wcet ≥ 1"));
@@ -624,7 +621,10 @@ task rx cpu=c cet=30 prio=2 activation=F/s
 task all cpu=c cet=5 prio=3 activation=frame:F
 ";
         let scenario = parse_scenario(text).unwrap();
-        assert_eq!(scenario.frames[0].frame_type, FrameType::Mixed(Time::new(5000)));
+        assert_eq!(
+            scenario.frames[0].frame_type,
+            FrameType::Mixed(Time::new(5000))
+        );
         assert_eq!(scenario.frames[0].format, FrameFormat::Extended);
         assert_eq!(
             scenario.frames[0].signals[1].source,
@@ -644,7 +644,11 @@ task all cpu=c cet=5 prio=3 activation=frame:F
         assert_eq!(scenario.tasks[0].bcet, 10);
         assert_eq!(scenario.tasks[0].wcet, 20);
         // The whole thing analyses.
-        analyze(&scenario.to_spec(), &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        analyze(
+            &scenario.to_spec(),
+            &SystemConfig::new(AnalysisMode::Hierarchical),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -686,10 +690,8 @@ task all cpu=c cet=5 prio=3 activation=frame:F
 
     #[test]
     fn signals_cannot_source_from_frames() {
-        let e = parse(
-            "frame F bus=b type=direct payload=1 prio=1\n  signal s triggering frame:F",
-        )
-        .unwrap_err();
+        let e = parse("frame F bus=b type=direct payload=1 prio=1\n  signal s triggering frame:F")
+            .unwrap_err();
         assert!(e.message.contains("cannot be sourced from a frame"));
     }
 

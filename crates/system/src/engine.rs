@@ -7,6 +7,7 @@
 //! until the response times stop changing.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
 
 use hem_analysis::{spp, AnalysisError, AnalysisTask, ResponseTime, TaskResult};
 use hem_autosar_com::{ComFrame, Signal};
@@ -14,6 +15,7 @@ use hem_can::{BusFrame, CanFrameConfig};
 use hem_core::HierarchicalEventModel;
 use hem_event_models::ops::OutputModel;
 use hem_event_models::{approx, CachedModel, EventModelExt, ModelRef};
+use hem_obs::{ConvergenceTrace, Counter, IterationSnapshot, RtBound};
 use hem_time::Time;
 
 use crate::diagnostics::{ConvergenceStatus, Diagnostics, StopReason};
@@ -44,7 +46,7 @@ use crate::SystemError;
 /// *what* diverged, use [`analyze_robust`].
 pub fn analyze(spec: &SystemSpec, config: &SystemConfig) -> Result<SystemResults, SystemError> {
     match run(spec, config)? {
-        RunOutcome::Converged(results) => Ok(results),
+        RunOutcome::Converged { results, .. } => Ok(results),
         RunOutcome::Stopped { diagnostics, .. } => Err(match diagnostics.stop {
             StopReason::LocalAnalysisFailed { entity, error } => {
                 if error.is_budget_exhausted() {
@@ -94,15 +96,11 @@ pub fn analyze_robust(
     config: &SystemConfig,
 ) -> Result<RobustAnalysis, SystemError> {
     match run(spec, config)? {
-        RunOutcome::Converged(results) => Ok(RobustAnalysis {
-            diagnostics: Diagnostics {
-                stop: StopReason::Converged,
-                iterations: results.iterations,
-                diverging: Vec::new(),
-                last_response_times: prefixed_rt(&results.task_results, &results.frame_results),
-                previous_response_times: BTreeMap::new(),
-                suspected_bottleneck: None,
-            },
+        RunOutcome::Converged {
+            results,
+            diagnostics,
+        } => Ok(RobustAnalysis {
+            diagnostics,
             results,
         }),
         RunOutcome::Stopped {
@@ -116,7 +114,10 @@ pub fn analyze_robust(
 }
 
 enum RunOutcome {
-    Converged(SystemResults),
+    Converged {
+        results: SystemResults,
+        diagnostics: Diagnostics,
+    },
     Stopped {
         partial: SystemResults,
         diagnostics: Diagnostics,
@@ -187,6 +188,22 @@ fn prefixed_rt(
         .map(|(k, v)| (format!("frame:{k}"), v.response))
         .chain(tasks.iter().map(|(k, v)| (format!("task:{k}"), v.response)))
         .collect()
+}
+
+/// The [`ConvergenceTrace`] snapshot of one completed global iteration.
+fn rt_snapshot(iteration: u64, rts: &BTreeMap<String, ResponseTime>) -> IterationSnapshot {
+    IterationSnapshot {
+        iteration,
+        response_times: rts
+            .iter()
+            .map(|(k, rt)| {
+                (
+                    k.clone(),
+                    RtBound::new(rt.r_minus.ticks(), rt.r_plus.ticks()),
+                )
+            })
+            .collect(),
+    }
 }
 
 /// The resource hosting a prefixed entity (`task:x` → `cpu:…`,
@@ -268,7 +285,8 @@ impl IterationError {
     fn classify(e: SystemError, kind: &str) -> Self {
         match e {
             SystemError::Analysis(
-                error @ (AnalysisError::NoConvergence { .. } | AnalysisError::BudgetExhausted { .. }),
+                error @ (AnalysisError::NoConvergence { .. }
+                | AnalysisError::BudgetExhausted { .. }),
             ) => {
                 let name = match &error {
                     AnalysisError::NoConvergence { task, .. }
@@ -287,6 +305,10 @@ impl IterationError {
 
 fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemError> {
     validate(spec)?;
+    let started = Instant::now();
+    let recorder = config.local.recorder.clone();
+    let _run_span = recorder.span("analyze", "engine");
+    let mut trace = ConvergenceTrace::new();
     let mut task_rt: BTreeMap<String, ResponseTime> = BTreeMap::new();
     let mut frame_rt: BTreeMap<String, ResponseTime> = BTreeMap::new();
 
@@ -303,6 +325,7 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
 
     let stopped = |stop: StopReason,
                    completed: u64,
+                   trace: ConvergenceTrace,
                    tracks: &BTreeMap<String, Track>,
                    last_task_results: BTreeMap<String, TaskResult>,
                    last_frame_results: BTreeMap<String, TaskResult>,
@@ -346,9 +369,7 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
             .collect();
         let mut diverging: Vec<(u64, String)> = tracks
             .iter()
-            .filter(|(_, t)| {
-                config.divergence_streak > 0 && t.streak >= config.divergence_streak
-            })
+            .filter(|(_, t)| config.divergence_streak > 0 && t.streak >= config.divergence_streak)
             .map(|(k, t)| (t.streak, k.clone()))
             .collect();
         diverging.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
@@ -378,6 +399,8 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
             diagnostics: Diagnostics {
                 stop,
                 iterations: completed,
+                elapsed: started.elapsed(),
+                trace,
                 diverging,
                 last_response_times: last_rt_vec,
                 previous_response_times: prev_rt_vec,
@@ -391,6 +414,7 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
             return Ok(stopped(
                 StopReason::BudgetExhausted,
                 completed,
+                trace,
                 &tracks,
                 last_task_results,
                 last_frame_results,
@@ -400,26 +424,30 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
                 salvaged_frame_inputs,
             ));
         }
+        let iter_span = recorder.span("global_iteration", "engine");
         let mut resolver = Resolver::new(spec, config, &task_rt);
-        let (new_frame_results, new_task_results) =
-            match run_iteration(&mut resolver, spec, config) {
-                Ok(results) => results,
-                Err(IterationError::Hard(e)) => return Err(e),
-                Err(IterationError::Local { entity, error }) => {
-                    return Ok(stopped(
-                        StopReason::LocalAnalysisFailed { entity, error },
-                        completed,
-                        &tracks,
-                        last_task_results,
-                        last_frame_results,
-                        last_rt_vec,
-                        prev_rt_vec,
-                        salvaged_activations,
-                        salvaged_frame_inputs,
-                    ));
-                }
-            };
+        let iteration_outcome = run_iteration(&mut resolver, spec, config);
+        drop(iter_span);
+        let (new_frame_results, new_task_results) = match iteration_outcome {
+            Ok(results) => results,
+            Err(IterationError::Hard(e)) => return Err(e),
+            Err(IterationError::Local { entity, error }) => {
+                return Ok(stopped(
+                    StopReason::LocalAnalysisFailed { entity, error },
+                    completed,
+                    trace,
+                    &tracks,
+                    last_task_results,
+                    last_frame_results,
+                    last_rt_vec,
+                    prev_rt_vec,
+                    salvaged_activations,
+                    salvaged_frame_inputs,
+                ));
+            }
+        };
         completed = iteration;
+        recorder.add(Counter::GlobalIterations, 1);
 
         let new_task_rt: BTreeMap<String, ResponseTime> = new_task_results
             .iter()
@@ -429,6 +457,9 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
             .iter()
             .map(|(k, v)| (k.clone(), v.response))
             .collect();
+
+        let new_rt_vec = prefixed_rt(&new_task_results, &new_frame_results);
+        trace.push(rt_snapshot(iteration, &new_rt_vec));
 
         if new_task_rt == task_rt && new_frame_rt == frame_rt {
             // Fixed point: assemble results from the final resolver state.
@@ -461,23 +492,35 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
                 .iter()
                 .map(|f| (f.name.clone(), ConvergenceStatus::Converged))
                 .collect();
-            return Ok(RunOutcome::Converged(SystemResults {
-                mode: config.mode,
+            let diagnostics = Diagnostics {
+                stop: StopReason::Converged,
                 iterations: iteration,
-                complete: true,
-                task_results: new_task_results,
-                frame_results: new_frame_results,
-                task_convergence,
-                frame_convergence,
-                task_activations,
-                frame_inputs,
-                frame_outputs,
-                unpacked_signals,
-            }));
+                elapsed: started.elapsed(),
+                trace,
+                diverging: Vec::new(),
+                last_response_times: new_rt_vec,
+                previous_response_times: last_rt_vec,
+                suspected_bottleneck: None,
+            };
+            return Ok(RunOutcome::Converged {
+                results: SystemResults {
+                    mode: config.mode,
+                    iterations: iteration,
+                    complete: true,
+                    task_results: new_task_results,
+                    frame_results: new_frame_results,
+                    task_convergence,
+                    frame_convergence,
+                    task_activations,
+                    frame_inputs,
+                    frame_outputs,
+                    unpacked_signals,
+                },
+                diagnostics,
+            });
         }
 
         // Track growth and detect sustained divergence early.
-        let new_rt_vec = prefixed_rt(&new_task_results, &new_frame_results);
         for (key, rt) in &new_rt_vec {
             tracks.entry(key.clone()).or_default().update(*rt);
         }
@@ -507,6 +550,7 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
                 return Ok(stopped(
                     stop,
                     completed,
+                    trace,
                     &tracks,
                     last_task_results,
                     last_frame_results,
@@ -524,6 +568,7 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
     Ok(stopped(
         StopReason::IterationLimitReached,
         completed,
+        trace,
         &tracks,
         last_task_results,
         last_frame_results,
@@ -581,7 +626,7 @@ impl<'a> Resolver<'a> {
             // Busy-window iterations hammer the same η⁺/δ⁻ queries on the
             // lazy OR-join: memoize.
             AnalysisMode::Flat | AnalysisMode::Hierarchical => {
-                CachedModel::new(outer).shared()
+                CachedModel::recorded(outer, self.config.local.recorder.clone()).shared()
             }
             AnalysisMode::FlatSem => {
                 approx::sem_approximation(outer.as_ref(), self.config.sem_fit_horizon)?.shared()
@@ -601,7 +646,10 @@ impl<'a> Resolver<'a> {
     fn enter(&mut self, key: String) -> Result<String, SystemError> {
         if !self.visiting.insert(key.clone()) {
             return Err(SystemError::DependencyCycle {
-                name: key.split_once(':').map(|(_, n)| n.to_string()).unwrap_or(key),
+                name: key
+                    .split_once(':')
+                    .map(|(_, n)| n.to_string())
+                    .unwrap_or(key),
             });
         }
         Ok(key)
@@ -662,7 +710,11 @@ impl<'a> Resolver<'a> {
         let activation = task.activation.clone();
         // Memoized: CPU busy windows evaluate the activation stream many
         // times per fixed-point iteration.
-        let model = CachedModel::new(self.resolve_source(&activation)?).shared();
+        let model = CachedModel::recorded(
+            self.resolve_source(&activation)?,
+            self.config.local.recorder.clone(),
+        )
+        .shared();
         self.visiting.remove(&key);
         self.task_activation.insert(name.to_string(), model.clone());
         Ok(model)
@@ -689,6 +741,7 @@ impl<'a> Resolver<'a> {
             signals,
         )?;
         let hem = com.packed()?;
+        self.config.local.recorder.add(Counter::PackingOps, 1);
         self.visiting.remove(&key);
         self.packed.insert(name.to_string(), hem.clone());
         Ok(hem)
@@ -726,10 +779,8 @@ impl<'a> Resolver<'a> {
                 ));
             }
             let results = hem_can::bus::analyze(&bus_frames, &bus_spec.config, &self.config.local)?;
-            let map: BTreeMap<String, TaskResult> = results
-                .into_iter()
-                .map(|r| (r.name.clone(), r))
-                .collect();
+            let map: BTreeMap<String, TaskResult> =
+                results.into_iter().map(|r| (r.name.clone(), r)).collect();
             self.bus_results.insert(frame.bus.clone(), map);
         }
         Ok(self.bus_results[&frame.bus][name].clone())
@@ -806,12 +857,13 @@ fn validate(spec: &SystemSpec) -> Result<(), SystemError> {
                 }
             }
             ActivationSpec::Signal { frame, signal } => {
-                let f = frames.get(frame.as_str()).ok_or_else(|| {
-                    SystemError::UnknownReference {
-                        kind: "frame",
-                        name: frame.clone(),
-                    }
-                })?;
+                let f =
+                    frames
+                        .get(frame.as_str())
+                        .ok_or_else(|| SystemError::UnknownReference {
+                            kind: "frame",
+                            name: frame.clone(),
+                        })?;
                 if f.signals.iter().any(|s| &s.name == signal) {
                     Ok(())
                 } else {
@@ -843,8 +895,9 @@ fn validate(spec: &SystemSpec) -> Result<(), SystemError> {
             }
         }
     }
-    let check_ref =
-        |source: &ActivationSpec| -> Result<(), SystemError> { check_ref_impl(source, &tasks, &frames) };
+    let check_ref = |source: &ActivationSpec| -> Result<(), SystemError> {
+        check_ref_impl(source, &tasks, &frames)
+    };
 
     for t in &spec.tasks {
         if !cpus.contains(t.cpu.as_str()) {
@@ -905,11 +958,11 @@ fn validate(spec: &SystemSpec) -> Result<(), SystemError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{SignalSpec, SystemSpec, TaskSpec};
     use hem_analysis::Priority;
     use hem_autosar_com::{FrameType, TransferProperty};
     use hem_can::{CanBusConfig, FrameFormat};
     use hem_event_models::{EventModel, StandardEventModel};
-    use crate::spec::{SignalSpec, SystemSpec, TaskSpec};
 
     fn periodic(p: i64) -> ModelRef {
         StandardEventModel::periodic(Time::new(p)).unwrap().shared()
@@ -958,7 +1011,11 @@ mod tests {
 
     #[test]
     fn mini_system_converges() {
-        let r = analyze(&mini_system(), &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap();
+        let r = analyze(
+            &mini_system(),
+            &SystemConfig::new(AnalysisMode::Hierarchical),
+        )
+        .unwrap();
         // Frame: sole frame on the bus, 95 bits, no blocking.
         assert_eq!(r.frame("F").unwrap().response.r_plus, Time::new(95));
         assert_eq!(r.frame("F").unwrap().response.r_minus, Time::new(79));
@@ -1104,8 +1161,7 @@ mod tests {
         )
         .unwrap();
         assert!(
-            tight.task("rx").unwrap().response.r_plus
-                <= plain.task("rx").unwrap().response.r_plus
+            tight.task("rx").unwrap().response.r_plus <= plain.task("rx").unwrap().response.r_plus
         );
     }
 
@@ -1324,8 +1380,9 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_returns_partial_results() {
-        let config = SystemConfig::new(AnalysisMode::Flat)
-            .with_budget(hem_analysis::AnalysisBudget::within(std::time::Duration::ZERO));
+        let config = SystemConfig::new(AnalysisMode::Flat).with_budget(
+            hem_analysis::AnalysisBudget::within(std::time::Duration::ZERO),
+        );
         let r = analyze_robust(&overloaded_system(), &config).expect("spec is well-formed");
         assert!(r.diagnostics.budget_exhausted());
         assert!(!r.results.is_complete());
@@ -1336,8 +1393,11 @@ mod tests {
 
     #[test]
     fn robust_analysis_of_converging_system_is_complete() {
-        let r = analyze_robust(&mini_system(), &SystemConfig::new(AnalysisMode::Hierarchical))
-            .expect("converges");
+        let r = analyze_robust(
+            &mini_system(),
+            &SystemConfig::new(AnalysisMode::Hierarchical),
+        )
+        .expect("converges");
         assert!(r.results.is_complete());
         assert!(r.diagnostics.converged());
         assert_eq!(r.diagnostics.prime_suspect(), None);
@@ -1350,8 +1410,11 @@ mod tests {
             Some(ConvergenceStatus::Converged)
         );
         // Same numbers as the strict API.
-        let strict = analyze(&mini_system(), &SystemConfig::new(AnalysisMode::Hierarchical))
-            .unwrap();
+        let strict = analyze(
+            &mini_system(),
+            &SystemConfig::new(AnalysisMode::Hierarchical),
+        )
+        .unwrap();
         assert_eq!(
             r.results.frame("F").unwrap().response,
             strict.frame("F").unwrap().response

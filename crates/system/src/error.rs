@@ -73,10 +73,7 @@ impl fmt::Display for SystemError {
                 "global analysis did not converge within {iterations} iterations"
             ),
             SystemError::BudgetExhausted { entity } => match entity {
-                Some(name) => write!(
-                    f,
-                    "analysis budget exhausted while analysing `{name}`"
-                ),
+                Some(name) => write!(f, "analysis budget exhausted while analysing `{name}`"),
                 None => write!(f, "analysis budget exhausted"),
             },
             SystemError::DependencyCycle { name } => {

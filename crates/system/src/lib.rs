@@ -49,5 +49,6 @@ pub use diagnostics::{ConvergenceStatus, Diagnostics, StopReason};
 pub use engine::{analyze, analyze_robust, RobustAnalysis};
 pub use error::SystemError;
 pub use result::{SystemConfig, SystemResults};
-pub use spec::{ActivationSpec, AnalysisMode, BusSpec, CpuSpec, FrameSpec, SignalSpec,
-    SystemSpec, TaskSpec};
+pub use spec::{
+    ActivationSpec, AnalysisMode, BusSpec, CpuSpec, FrameSpec, SignalSpec, SystemSpec, TaskSpec,
+};

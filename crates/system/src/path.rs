@@ -114,12 +114,13 @@ pub fn analyze_path(
     let (sampling, guaranteed_delivery) = match signal.transfer {
         TransferProperty::Triggering => (Time::ZERO, true),
         TransferProperty::Pending => {
-            let frame_stream = results.frame_output(&path.frame).ok_or_else(|| {
-                SystemError::UnknownReference {
-                    kind: "frame",
-                    name: path.frame.clone(),
-                }
-            })?;
+            let frame_stream =
+                results
+                    .frame_output(&path.frame)
+                    .ok_or_else(|| SystemError::UnknownReference {
+                        kind: "frame",
+                        name: path.frame.clone(),
+                    })?;
             let gap = match frame_stream.delta_plus(2) {
                 TimeBound::Finite(g) => g,
                 // A frame with no minimum rate gives a pending value no
@@ -175,7 +176,9 @@ mod tests {
     fn two_signal_spec() -> SystemSpec {
         let src = |p: i64| {
             ActivationSpec::External(
-                StandardEventModel::periodic(Time::new(p)).expect("valid").shared(),
+                StandardEventModel::periodic(Time::new(p))
+                    .expect("valid")
+                    .shared(),
             )
         };
         SystemSpec::new()

@@ -8,6 +8,7 @@
 use std::fmt::Write as _;
 
 use hem_can::{BusFrame, CanFrameConfig};
+use hem_obs::{Counter, MetricsSnapshot};
 use hem_time::Time;
 
 use crate::diagnostics::ConvergenceStatus;
@@ -149,6 +150,52 @@ pub fn render_robust(spec: &SystemSpec, robust: &RobustAnalysis) -> String {
     out
 }
 
+/// Renders the metrics section of a recorded run: counter totals and
+/// histogram summaries collected by a
+/// [`MemoryRecorder`](hem_obs::MemoryRecorder) while the analysis ran.
+///
+/// Zero counters are omitted — an unrecorded run renders as an empty
+/// section rather than a wall of zeros.
+#[must_use]
+pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("metrics:\n");
+    for c in Counter::ALL {
+        let value = snapshot.counter(c);
+        if value > 0 {
+            let _ = writeln!(out, "  {:<28} {value:>10}", c.name());
+        }
+    }
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            "  {name:<28} n={} min={} mean={:.1} max={}",
+            h.count,
+            h.min,
+            h.mean(),
+            h.max
+        );
+    }
+    out
+}
+
+/// Renders a full profiled report: the robust report, the per-iteration
+/// convergence trajectory, and the recorded metrics.
+#[must_use]
+pub fn render_profiled(
+    spec: &SystemSpec,
+    robust: &RobustAnalysis,
+    snapshot: &MetricsSnapshot,
+) -> String {
+    let mut out = render_robust(spec, robust);
+    if !robust.diagnostics.trace.is_empty() {
+        let _ = writeln!(out, "\nconvergence trace (r+ per global iteration):");
+        out.push_str(&robust.diagnostics.trace.render_table());
+    }
+    out.push('\n');
+    out.push_str(&render_metrics(snapshot));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,7 +272,9 @@ mod tests {
                 wcet: Time::new(90),
                 priority: Priority::new(1),
                 activation: ActivationSpec::External(
-                    StandardEventModel::periodic(Time::new(100)).expect("valid").shared(),
+                    StandardEventModel::periodic(Time::new(100))
+                        .expect("valid")
+                        .shared(),
                 ),
             })
             .task(TaskSpec {
@@ -235,15 +284,35 @@ mod tests {
                 wcet: Time::new(50),
                 priority: Priority::new(2),
                 activation: ActivationSpec::External(
-                    StandardEventModel::periodic(Time::new(200)).expect("valid").shared(),
+                    StandardEventModel::periodic(Time::new(200))
+                        .expect("valid")
+                        .shared(),
                 ),
             });
-        let robust = crate::analyze_robust(&s, &SystemConfig::new(AnalysisMode::Flat))
-            .expect("well-formed");
+        let robust =
+            crate::analyze_robust(&s, &SystemConfig::new(AnalysisMode::Flat)).expect("well-formed");
         let text = render_robust(&s, &robust);
         assert!(text.contains("WARNING"), "{text}");
         assert!(text.contains("diagnostics:"), "{text}");
         assert!(text.contains("task:victim"), "{text}");
+    }
+
+    #[test]
+    fn profiled_report_has_trace_and_metrics_sections() {
+        use hem_obs::MemoryRecorder;
+        let s = spec();
+        let (recorder, handle) = MemoryRecorder::handle();
+        let config = SystemConfig::new(AnalysisMode::Hierarchical).with_recorder(handle);
+        let robust = crate::analyze_robust(&s, &config).expect("well-formed");
+        let text = render_profiled(&s, &robust, &recorder.snapshot());
+        assert!(text.contains("convergence trace"), "{text}");
+        assert!(text.contains("metrics:"), "{text}");
+        assert!(text.contains("global_iterations"), "{text}");
+        assert!(text.contains("busy_window_iterations"), "{text}");
+        assert!(text.contains("span_us/analyze"), "{text}");
+        // An unrecorded run renders an empty metrics section, not zeros.
+        let empty = render_metrics(&hem_obs::MetricsSnapshot::default());
+        assert_eq!(empty, "metrics:\n");
     }
 
     #[test]
@@ -253,7 +322,9 @@ mod tests {
             name: "p".into(),
             transfer: TransferProperty::Pending,
             source: ActivationSpec::External(
-                StandardEventModel::periodic(Time::new(9_000)).expect("valid").shared(),
+                StandardEventModel::periodic(Time::new(9_000))
+                    .expect("valid")
+                    .shared(),
             ),
         });
         s.tasks.push(TaskSpec {

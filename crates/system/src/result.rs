@@ -4,12 +4,13 @@ use std::collections::BTreeMap;
 
 use hem_analysis::{AnalysisBudget, AnalysisConfig, TaskResult};
 use hem_event_models::ModelRef;
+use hem_obs::RecorderHandle;
 
 use crate::diagnostics::ConvergenceStatus;
 use crate::spec::AnalysisMode;
 
 /// Configuration of the global system analysis.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Flat baseline or hierarchical event models.
     pub mode: AnalysisMode,
@@ -57,6 +58,15 @@ impl SystemConfig {
     #[must_use]
     pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
         self.local.budget = budget;
+        self
+    }
+
+    /// This configuration reporting to the given recorder (global
+    /// iterations, every local busy window, and every event-model
+    /// cache).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.local.recorder = recorder;
         self
     }
 }

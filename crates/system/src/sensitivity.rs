@@ -36,12 +36,14 @@ pub fn max_wcet(
     task: &str,
     config: &SystemConfig,
 ) -> Result<Option<Time>, SystemError> {
-    let idx = spec.tasks.iter().position(|t| t.name == task).ok_or_else(|| {
-        SystemError::UnknownReference {
+    let idx = spec
+        .tasks
+        .iter()
+        .position(|t| t.name == task)
+        .ok_or_else(|| SystemError::UnknownReference {
             kind: "task",
             name: task.to_string(),
-        }
-    })?;
+        })?;
     // The base system must be feasible to begin with.
     analyze(spec, config)?;
     let current = spec.tasks[idx].wcet;
@@ -90,12 +92,14 @@ pub fn max_bit_time(
     bus: &str,
     config: &SystemConfig,
 ) -> Result<Option<Time>, SystemError> {
-    let idx = spec.buses.iter().position(|b| b.name == bus).ok_or_else(|| {
-        SystemError::UnknownReference {
+    let idx = spec
+        .buses
+        .iter()
+        .position(|b| b.name == bus)
+        .ok_or_else(|| SystemError::UnknownReference {
             kind: "bus",
             name: bus.to_string(),
-        }
-    })?;
+        })?;
     analyze(spec, config)?;
     let current = spec.buses[idx].config.bit_time;
     let feasible = |bit_time: Time| -> bool {
@@ -152,7 +156,9 @@ mod tests {
                 wcet: Time::new(c),
                 priority: Priority::new(i as u32),
                 activation: ActivationSpec::External(
-                    StandardEventModel::periodic(Time::new(p)).expect("valid").shared(),
+                    StandardEventModel::periodic(Time::new(p))
+                        .expect("valid")
+                        .shared(),
                 ),
             });
         }

@@ -180,7 +180,9 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let src = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
+        let src = StandardEventModel::periodic(Time::new(100))
+            .unwrap()
+            .shared();
         let spec = SystemSpec::new()
             .cpu("cpu0")
             .bus("can0", CanBusConfig::new(Time::new(1)))

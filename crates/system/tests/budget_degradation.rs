@@ -6,11 +6,11 @@
 use std::time::{Duration, Instant};
 
 use hem_analysis::AnalysisBudget;
+use hem_event_models::EventModelExt as _;
 use hem_system::{
     analyze, analyze_robust, ActivationSpec, AnalysisMode, SystemConfig, SystemError, SystemSpec,
     TaskSpec,
 };
-use hem_event_models::EventModelExt as _;
 use hem_time::Time;
 
 /// CPU utilization 90/100 + 50/200 = 115 %: the low-priority task's

@@ -1,0 +1,147 @@
+//! The [`ConvergenceTrace`] in [`Diagnostics`] must reproduce the exact
+//! per-iteration response-time vectors of the global fixed-point run.
+//!
+//! Exactness is checked two ways: against hand-derived values of a
+//! system small enough to solve on paper, and against truncated re-runs
+//! of the same analysis (`max_global_iterations = k` must reproduce the
+//! first `k` snapshots byte for byte).
+
+use hem_analysis::Priority;
+use hem_autosar_com::{FrameType, TransferProperty};
+use hem_can::{CanBusConfig, FrameFormat};
+use hem_event_models::{EventModelExt, StandardEventModel};
+use hem_obs::RtBound;
+use hem_system::{
+    analyze_robust, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
+    TaskSpec,
+};
+use hem_time::Time;
+
+/// One source → frame → bus → receiving task, all uncontended: the
+/// response times are constant from the first iteration (frame
+/// `[79, 95]`, task `[30, 30]`) and the fixed point is reached at
+/// iteration 2.
+fn mini_system() -> SystemSpec {
+    SystemSpec::new()
+        .cpu("cpu0")
+        .bus("can0", CanBusConfig::new(Time::new(1)))
+        .frame(FrameSpec {
+            name: "F".into(),
+            bus: "can0".into(),
+            frame_type: FrameType::Direct,
+            payload_bytes: 4,
+            format: FrameFormat::Standard,
+            priority: Priority::new(1),
+            signals: vec![SignalSpec {
+                name: "s".into(),
+                transfer: TransferProperty::Triggering,
+                source: ActivationSpec::External(
+                    StandardEventModel::periodic(Time::new(500))
+                        .expect("valid")
+                        .shared(),
+                ),
+            }],
+        })
+        .task(TaskSpec {
+            name: "rx".into(),
+            cpu: "cpu0".into(),
+            bcet: Time::new(30),
+            wcet: Time::new(30),
+            priority: Priority::new(1),
+            activation: ActivationSpec::Signal {
+                frame: "F".into(),
+                signal: "s".into(),
+            },
+        })
+}
+
+#[test]
+fn trace_matches_hand_derived_vectors() {
+    let r = analyze_robust(
+        &mini_system(),
+        &SystemConfig::new(AnalysisMode::Hierarchical),
+    )
+    .expect("well-formed");
+    assert!(r.diagnostics.converged());
+    let trace = &r.diagnostics.trace;
+    assert_eq!(trace.len() as u64, r.diagnostics.iterations);
+    assert!(trace.len() >= 2, "fixed point needs a confirming iteration");
+    for (i, snap) in trace.iterations().iter().enumerate() {
+        assert_eq!(snap.iteration, i as u64 + 1, "iterations are 1-based");
+        // Uncontended: every iteration computes the same local results.
+        assert_eq!(
+            snap.response_times.get("frame:F"),
+            Some(&RtBound::new(79, 95)),
+            "iteration {}",
+            snap.iteration
+        );
+        assert_eq!(
+            snap.response_times.get("task:rx"),
+            Some(&RtBound::new(30, 30)),
+            "iteration {}",
+            snap.iteration
+        );
+        assert_eq!(
+            snap.response_times.len(),
+            2,
+            "exactly the system's entities"
+        );
+    }
+}
+
+#[test]
+fn trace_agrees_with_diagnostics_vectors() {
+    let r = analyze_robust(
+        &mini_system(),
+        &SystemConfig::new(AnalysisMode::Hierarchical),
+    )
+    .expect("well-formed");
+    let last = r.diagnostics.trace.last().expect("non-empty");
+    for (entity, rt) in &r.diagnostics.last_response_times {
+        assert_eq!(
+            last.response_times.get(entity),
+            Some(&RtBound::new(rt.r_minus.ticks(), rt.r_plus.ticks())),
+            "trace must end on the converged vector ({entity})"
+        );
+    }
+    assert_eq!(
+        last.response_times.len(),
+        r.diagnostics.last_response_times.len()
+    );
+}
+
+#[test]
+fn truncated_reruns_reproduce_trace_prefixes() {
+    let spec = mini_system();
+    let full =
+        analyze_robust(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("well-formed");
+    let total = full.diagnostics.iterations;
+    for k in 1..=total {
+        let mut config = SystemConfig::new(AnalysisMode::Hierarchical);
+        config.max_global_iterations = k;
+        let partial = analyze_robust(&spec, &config).expect("well-formed");
+        assert_eq!(partial.diagnostics.trace.len() as u64, k);
+        assert_eq!(
+            partial.diagnostics.trace.iterations(),
+            &full.diagnostics.trace.iterations()[..k as usize],
+            "the first {k} iterations must be reproduced exactly"
+        );
+    }
+}
+
+#[test]
+fn converged_diagnostics_carry_iterations_and_elapsed() {
+    let r = analyze_robust(
+        &mini_system(),
+        &SystemConfig::new(AnalysisMode::Hierarchical),
+    )
+    .expect("well-formed");
+    assert!(r.diagnostics.converged());
+    assert!(r.diagnostics.iterations >= 2);
+    assert!(
+        r.diagnostics.elapsed > std::time::Duration::ZERO,
+        "successful runs report wall-clock time too"
+    );
+    let summary = r.diagnostics.summary();
+    assert!(summary.contains("elapsed"), "{summary}");
+}

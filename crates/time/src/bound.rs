@@ -204,7 +204,10 @@ mod tests {
     fn ordering_places_infinity_last() {
         assert!(TimeBound::finite(i64::MAX) < TimeBound::INFINITE);
         assert!(TimeBound::finite(1) < TimeBound::finite(2));
-        assert_eq!(TimeBound::INFINITE.cmp(&TimeBound::INFINITE), Ordering::Equal);
+        assert_eq!(
+            TimeBound::INFINITE.cmp(&TimeBound::INFINITE),
+            Ordering::Equal
+        );
         assert!(TimeBound::INFINITE > TimeBound::finite(0));
     }
 
@@ -213,7 +216,10 @@ mod tests {
         assert_eq!(TimeBound::INFINITE + Time::new(7), TimeBound::INFINITE);
         assert_eq!(TimeBound::INFINITE - Time::new(7), TimeBound::INFINITE);
         assert_eq!(TimeBound::INFINITE * 3, TimeBound::INFINITE);
-        assert_eq!(TimeBound::INFINITE + TimeBound::finite(3), TimeBound::INFINITE);
+        assert_eq!(
+            TimeBound::INFINITE + TimeBound::finite(3),
+            TimeBound::INFINITE
+        );
         assert_eq!(
             TimeBound::finite(3) + TimeBound::finite(4),
             TimeBound::finite(7)

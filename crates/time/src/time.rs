@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn saturating_ops() {
         assert_eq!(Time::MAX.saturating_add(Time::ONE), Time::MAX);
-        assert_eq!(Time::new(i64::MIN).saturating_sub(Time::ONE), Time::new(i64::MIN));
+        assert_eq!(
+            Time::new(i64::MIN).saturating_sub(Time::ONE),
+            Time::new(i64::MIN)
+        );
         assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
         assert_eq!(Time::new(4).saturating_mul(2), Time::new(8));
     }

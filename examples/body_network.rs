@@ -34,13 +34,7 @@ fn signal(name: &str, transfer: TransferProperty, source: ActivationSpec) -> Sig
     }
 }
 
-fn frame(
-    name: &str,
-    bus: &str,
-    payload: u8,
-    prio: u32,
-    signals: Vec<SignalSpec>,
-) -> FrameSpec {
+fn frame(name: &str, bus: &str, payload: u8, prio: u32, signals: Vec<SignalSpec>) -> FrameSpec {
     FrameSpec {
         name: name.into(),
         bus: bus.into(),
@@ -79,17 +73,33 @@ fn body_network() -> SystemSpec {
         .bus("powertrain_can", CanBusConfig::new(Time::new(1)))
         .bus("body_can", CanBusConfig::new(Time::new(2))) // slower body bus
         // --- powertrain bus ------------------------------------------
-        .frame(frame("engine", "powertrain_can", 8, 1, vec![
-            signal("rpm", Triggering, external(1_000)),
-            signal("coolant", Pending, external(10_000)),
-        ]))
-        .frame(frame("vehicle", "powertrain_can", 4, 2, vec![
-            signal("speed", Triggering, external(2_000)),
-            signal("odometer", Pending, external(20_000)),
-        ]))
-        .frame(frame("brakes", "powertrain_can", 2, 3, vec![
-            signal("pedal", Triggering, external(5_000)),
-        ]))
+        .frame(frame(
+            "engine",
+            "powertrain_can",
+            8,
+            1,
+            vec![
+                signal("rpm", Triggering, external(1_000)),
+                signal("coolant", Pending, external(10_000)),
+            ],
+        ))
+        .frame(frame(
+            "vehicle",
+            "powertrain_can",
+            4,
+            2,
+            vec![
+                signal("speed", Triggering, external(2_000)),
+                signal("odometer", Pending, external(20_000)),
+            ],
+        ))
+        .frame(frame(
+            "brakes",
+            "powertrain_can",
+            2,
+            3,
+            vec![signal("pedal", Triggering, external(5_000))],
+        ))
         // --- gateway ECU ----------------------------------------------
         .task(task("gw_speed", "gateway", 150, 1, sig("vehicle", "speed")))
         .task(task("gw_rpm", "gateway", 120, 2, sig("engine", "rpm")))
@@ -101,20 +111,46 @@ fn body_network() -> SystemSpec {
             ActivationSpec::AnyOf(vec![sig("engine", "coolant"), sig("vehicle", "odometer")]),
         ))
         // --- body bus (gateway re-publishes a packed cluster frame) ----
-        .frame(frame("dash_cluster", "body_can", 4, 1, vec![
-            signal("speed", Triggering, ActivationSpec::TaskOutput("gw_speed".into())),
-            signal("rpm", Triggering, ActivationSpec::TaskOutput("gw_rpm".into())),
-        ]))
-        .frame(frame("body_misc", "body_can", 6, 3, vec![
-            signal("doors", Triggering, external(15_000)),
-            signal("lights", Pending, external(30_000)),
-        ]))
+        .frame(frame(
+            "dash_cluster",
+            "body_can",
+            4,
+            1,
+            vec![
+                signal(
+                    "speed",
+                    Triggering,
+                    ActivationSpec::TaskOutput("gw_speed".into()),
+                ),
+                signal(
+                    "rpm",
+                    Triggering,
+                    ActivationSpec::TaskOutput("gw_rpm".into()),
+                ),
+            ],
+        ))
+        .frame(frame(
+            "body_misc",
+            "body_can",
+            6,
+            3,
+            vec![
+                signal("doors", Triggering, external(15_000)),
+                signal("lights", Pending, external(30_000)),
+            ],
+        ))
         // --- consumers -------------------------------------------------
         .task(task("speedo", "dash", 300, 1, sig("dash_cluster", "speed")))
         .task(task("tacho", "dash", 250, 2, sig("dash_cluster", "rpm")))
         .task(task("warnings", "dash", 500, 3, sig("body_misc", "lights")))
         .task(task("door_ctrl", "body", 800, 1, sig("body_misc", "doors")))
-        .task(task("light_ctrl", "body", 600, 2, sig("body_misc", "lights")))
+        .task(task(
+            "light_ctrl",
+            "body",
+            600,
+            2,
+            sig("body_misc", "lights"),
+        ))
         .task(task("brake_log", "body", 350, 3, sig("brakes", "pedal")))
 }
 

@@ -16,8 +16,14 @@ use hem_repro::time::Time;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two signals packed into one frame (the paper's COM-layer setting).
     let hem = PackConstructor::new(vec![
-        PackInput::triggering("brake", StandardEventModel::periodic(Time::new(2500))?.shared()),
-        PackInput::triggering("steer", StandardEventModel::periodic(Time::new(4500))?.shared()),
+        PackInput::triggering(
+            "brake",
+            StandardEventModel::periodic(Time::new(2500))?.shared(),
+        ),
+        PackInput::triggering(
+            "steer",
+            StandardEventModel::periodic(Time::new(4500))?.shared(),
+        ),
     ])?
     .construct()?;
 
@@ -47,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // does the application need?
     println!("Partition sizing for the receiver application (Π = 1000):");
     println!();
-    println!("{:>6} {:>6} | {:>16} {:>16}", "Θ", "util", "brake R+", "steer R+");
+    println!(
+        "{:>6} {:>6} | {:>16} {:>16}",
+        "Θ", "util", "brake R+", "steer R+"
+    );
     for theta in [300i64, 400, 500, 700, 1000] {
         let partition = PeriodicResource::new(Time::new(1000), Time::new(theta))?;
         match analyze_on(&tasks, &partition, &AnalysisConfig::default()) {

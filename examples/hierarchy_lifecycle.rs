@@ -9,9 +9,7 @@ use hem_repro::event_models::{EventModel, EventModelExt, ModelRef, StandardEvent
 use hem_repro::time::Time;
 
 fn describe(label: &str, m: &ModelRef) {
-    let eta: Vec<u64> = (1..=5)
-        .map(|k| m.eta_plus(Time::new(500 * k)))
-        .collect();
+    let eta: Vec<u64> = (1..=5).map(|k| m.eta_plus(Time::new(500 * k))).collect();
     println!(
         "  {label:<12} δ⁻(2) = {:>5}  δ⁻(3) = {:>5}  δ⁺(2) = {:>6}  η⁺(500·k) = {eta:?}",
         m.delta_min(2),

@@ -19,17 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // deadline (longer than its period, so several instances queue) —
     // the configuration where deadline-monotonic ID assignment is known
     // to be non-optimal. Wire times in bit ticks: 50, 40 and 90.
-    let mk = |name: &str, c: i64, p: i64, d: i64| -> Result<DeadlineTask, Box<dyn std::error::Error>> {
-        Ok(DeadlineTask::new(
-            name,
-            Time::new(c),
-            Time::new(c),
-            Time::new(d),
-            StandardEventModel::periodic(Time::new(p))?.shared(),
-        ))
-    };
+    let mk =
+        |name: &str, c: i64, p: i64, d: i64| -> Result<DeadlineTask, Box<dyn std::error::Error>> {
+            Ok(DeadlineTask::new(
+                name,
+                Time::new(c),
+                Time::new(c),
+                Time::new(d),
+                StandardEventModel::periodic(Time::new(p))?.shared(),
+            ))
+        };
     let frames = vec![
-        mk("fast", 50, 130, 190)?,   // D > P: instances queue
+        mk("fast", 50, 130, 190)?, // D > P: instances queue
         mk("mid", 40, 200, 191)?,
         mk("slow", 90, 400, 193)?,
     ];
@@ -54,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match audsley(&frames, Scheduling::NonPreemptive, &cfg)? {
         Some(order) => {
             let ok = order_is_feasible(&frames, &order, Scheduling::NonPreemptive, &cfg)?;
-            println!("Audsley (OPA) order:      {order:?} → {}", if ok { "feasible" } else { "bug!" });
+            println!(
+                "Audsley (OPA) order:      {order:?} → {}",
+                if ok { "feasible" } else { "bug!" }
+            );
             println!();
             println!("Assign CAN IDs in that order (lowest ID = first entry).");
         }

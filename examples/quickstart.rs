@@ -12,8 +12,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe event streams with standard event models (P, J, d_min).
     let sensor = StandardEventModel::periodic(Time::new(100))?;
     let network = StandardEventModel::periodic_with_jitter(Time::new(150), Time::new(40))?;
-    println!("sensor:  δ⁻(2) = {}, η⁺(500) = {}", sensor.delta_min(2), sensor.eta_plus(Time::new(500)));
-    println!("network: δ⁻(2) = {}, η⁺(500) = {}", network.delta_min(2), network.eta_plus(Time::new(500)));
+    println!(
+        "sensor:  δ⁻(2) = {}, η⁺(500) = {}",
+        sensor.delta_min(2),
+        sensor.eta_plus(Time::new(500))
+    );
+    println!(
+        "network: δ⁻(2) = {}, η⁺(500) = {}",
+        network.delta_min(2),
+        network.eta_plus(Time::new(500))
+    );
 
     // 2. Combine streams: a task activated by either input sees the
     //    OR-combination (paper eqs. (3),(4)).

@@ -37,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    let (results, remainder) = fp_analyze(&tasks, Arc::new(FullService), &AnalysisConfig::default())?;
+    let (results, remainder) =
+        fp_analyze(&tasks, Arc::new(FullService), &AnalysisConfig::default())?;
     println!("Integrated application (service-curve chaining):");
     for r in &results {
         println!("  {:<8} response {}", r.name, r.response);

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         queued_at: com_trace.instances.iter().map(|i| i.queued_at).collect(),
     }]);
     let deliveries: Vec<Time> = tx.iter().map(|t| t.completed_at).collect();
-    println!("recorded {} deliveries over {horizon} ticks", deliveries.len());
+    println!(
+        "recorded {} deliveries over {horizon} ticks",
+        deliveries.len()
+    );
 
     // 2. Fit a conservative event model around the recording.
     let measured = TraceModel::from_timestamps(deliveries.clone())?;

@@ -135,19 +135,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = run(&sim, horizon);
 
     // --- Comparison ------------------------------------------------------
-    println!("{:<10} {:>12} {:>12} {:>8}", "entity", "observed R", "bound R+", "slack");
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "entity", "observed R", "bound R+", "slack"
+    );
     let mut ok = true;
     for name in ["FA", "FB"] {
         let observed = report.frame_worst_response[name];
         let bound = bounds.frame(name).expect("analysed").response.r_plus;
         ok &= observed <= bound;
-        println!("{name:<10} {observed:>12} {bound:>12} {:>8}", bound - observed);
+        println!(
+            "{name:<10} {observed:>12} {bound:>12} {:>8}",
+            bound - observed
+        );
     }
     for name in ["handler_a", "handler_b"] {
         let observed = report.task_worst_response[name];
         let bound = bounds.task(name).expect("analysed").response.r_plus;
         ok &= observed <= bound;
-        println!("{name:<10} {observed:>12} {bound:>12} {:>8}", bound - observed);
+        println!(
+            "{name:<10} {observed:>12} {bound:>12} {:>8}",
+            bound - observed
+        );
     }
     println!();
     if ok {

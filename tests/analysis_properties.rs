@@ -40,7 +40,9 @@ fn analysis_tasks(cfg: &TaskSetCfg) -> Vec<AnalysisTask> {
                 Time::new(*c),
                 Time::new(*c),
                 Priority::new(i as u32),
-                StandardEventModel::periodic(Time::new(*p)).expect("valid").shared(),
+                StandardEventModel::periodic(Time::new(*p))
+                    .expect("valid")
+                    .shared(),
             )
         })
         .collect()

@@ -168,7 +168,12 @@ fn most_random_draws_are_analysable() {
             .new_tree(&mut runner)
             .expect("strategy works")
             .current();
-        if analyze(&to_spec(&sys), &SystemConfig::new(AnalysisMode::Hierarchical)).is_ok() {
+        if analyze(
+            &to_spec(&sys),
+            &SystemConfig::new(AnalysisMode::Hierarchical),
+        )
+        .is_ok()
+        {
             analysed += 1;
         }
     }

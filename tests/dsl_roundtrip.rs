@@ -65,28 +65,36 @@ fn frame_decl() -> impl Strategy<Value = FrameDecl> {
         0u32..1000,
         prop::collection::vec(signal_decl(), 1..=4),
     )
-        .prop_map(|(name, bus, frame_type, payload, format, prio, signals)| FrameDecl {
-            name,
-            bus,
-            frame_type,
-            payload,
-            format,
-            prio,
-            signals,
-        })
+        .prop_map(
+            |(name, bus, frame_type, payload, format, prio, signals)| FrameDecl {
+                name,
+                bus,
+                frame_type,
+                payload,
+                format,
+                prio,
+                signals,
+            },
+        )
 }
 
 fn task_decl() -> impl Strategy<Value = TaskDecl> {
-    (ident(), ident(), 0i64..1_000, 1i64..1_000, 0u32..1000, source(true)).prop_map(
-        |(name, cpu, b, extra, prio, activation)| TaskDecl {
+    (
+        ident(),
+        ident(),
+        0i64..1_000,
+        1i64..1_000,
+        0u32..1000,
+        source(true),
+    )
+        .prop_map(|(name, cpu, b, extra, prio, activation)| TaskDecl {
             name,
             cpu,
             bcet: b.min(b + extra),
             wcet: b + extra,
             prio,
             activation,
-        },
-    )
+        })
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {

@@ -173,8 +173,11 @@ fn mixed_frame_variant_analyses() {
     let hier =
         analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("hier converges");
     // The timer adds extra frames: more arrivals than the direct variant.
-    let direct = analyze(&paper_spec(), &SystemConfig::new(AnalysisMode::Hierarchical))
-        .expect("hier converges");
+    let direct = analyze(
+        &paper_spec(),
+        &SystemConfig::new(AnalysisMode::Hierarchical),
+    )
+    .expect("hier converges");
     let mixed_f1 = hier.frame_output("F1").expect("present");
     let direct_f1 = direct.frame_output("F1").expect("present");
     assert!(

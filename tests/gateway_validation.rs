@@ -26,7 +26,9 @@ const RX_CET: i64 = 250;
 fn analysis_spec() -> SystemSpec {
     let src = |p: i64| {
         ActivationSpec::External(
-            StandardEventModel::periodic(Time::new(p)).expect("valid").shared(),
+            StandardEventModel::periodic(Time::new(p))
+                .expect("valid")
+                .shared(),
         )
     };
     SystemSpec::new()
@@ -128,8 +130,11 @@ fn net_system(horizon: Time) -> hem_repro::sim::network::NetSystem {
 
 #[test]
 fn observations_within_bounds_on_every_hop() {
-    let results = analyze(&analysis_spec(), &SystemConfig::new(AnalysisMode::Hierarchical))
-        .expect("gateway system converges");
+    let results = analyze(
+        &analysis_spec(),
+        &SystemConfig::new(AnalysisMode::Hierarchical),
+    )
+    .expect("gateway system converges");
     let horizon = Time::new(400_000);
     let report = run(&net_system(horizon), horizon);
 
@@ -153,8 +158,11 @@ fn observations_within_bounds_on_every_hop() {
 
 #[test]
 fn downstream_deliveries_respect_propagated_model() {
-    let results = analyze(&analysis_spec(), &SystemConfig::new(AnalysisMode::Hierarchical))
-        .expect("converges");
+    let results = analyze(
+        &analysis_spec(),
+        &SystemConfig::new(AnalysisMode::Hierarchical),
+    )
+    .expect("converges");
     let horizon = Time::new(400_000);
     let report = run(&net_system(horizon), horizon);
     // The unpacked second-hop stream must cover the simulated deliveries.

@@ -6,9 +6,7 @@ use proptest::prelude::*;
 
 use hem_repro::analysis::Priority;
 use hem_repro::autosar_com::{FrameType, TransferProperty};
-use hem_repro::core::{
-    HierarchicalStreamConstructor, PackConstructor, PackInput, StreamRole,
-};
+use hem_repro::core::{HierarchicalStreamConstructor, PackConstructor, PackInput, StreamRole};
 use hem_repro::event_models::ops::OrJoin;
 use hem_repro::event_models::{
     check_consistency, EventModel, EventModelExt, ModelRef, StandardEventModel,

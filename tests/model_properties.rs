@@ -14,8 +14,7 @@ use hem_repro::time::Time;
 fn sem_strategy() -> impl Strategy<Value = StandardEventModel> {
     (1i64..500, 0i64..800).prop_flat_map(|(p, j)| {
         (0i64..=p.min(60)).prop_map(move |d| {
-            StandardEventModel::new(Time::new(p), Time::new(j), Time::new(d))
-                .expect("valid params")
+            StandardEventModel::new(Time::new(p), Time::new(j), Time::new(d)).expect("valid params")
         })
     })
 }
@@ -230,19 +229,21 @@ proptest! {
 #[test]
 fn or_join_nests_associatively_in_eta() {
     // (a | b) | c and a | (b | c) describe the same stream: η⁺ must agree.
-    let a: ModelRef = StandardEventModel::periodic(Time::new(100)).unwrap().shared();
-    let b: ModelRef = StandardEventModel::periodic(Time::new(150)).unwrap().shared();
-    let c: ModelRef = StandardEventModel::periodic(Time::new(70)).unwrap().shared();
+    let a: ModelRef = StandardEventModel::periodic(Time::new(100))
+        .unwrap()
+        .shared();
+    let b: ModelRef = StandardEventModel::periodic(Time::new(150))
+        .unwrap()
+        .shared();
+    let c: ModelRef = StandardEventModel::periodic(Time::new(70))
+        .unwrap()
+        .shared();
     let left = OrJoin::new(vec![
         OrJoin::new(vec![a.clone(), b.clone()]).unwrap().shared(),
         c.clone(),
     ])
     .unwrap();
-    let right = OrJoin::new(vec![
-        a,
-        OrJoin::new(vec![b, c]).unwrap().shared(),
-    ])
-    .unwrap();
+    let right = OrJoin::new(vec![a, OrJoin::new(vec![b, c]).unwrap().shared()]).unwrap();
     for dt in (0..2000).step_by(37) {
         let dt = Time::new(dt);
         assert_eq!(left.eta_plus(dt), right.eta_plus(dt), "Δt = {dt}");

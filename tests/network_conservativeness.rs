@@ -162,7 +162,12 @@ fn most_chain_draws_are_analysable() {
             .new_tree(&mut runner)
             .expect("strategy works")
             .current();
-        if analyze(&to_spec(&cfg), &SystemConfig::new(AnalysisMode::Hierarchical)).is_ok() {
+        if analyze(
+            &to_spec(&cfg),
+            &SystemConfig::new(AnalysisMode::Hierarchical),
+        )
+        .is_ok()
+        {
             ok += 1;
         }
     }

@@ -11,11 +11,7 @@ use hem_time::Time;
 #[test]
 fn table3_values() {
     let rows = table3(&PaperParams::default()).expect("analyses converge");
-    let expected = [
-        ("T1", 401i64, 240i64),
-        ("T2", 1041, 560),
-        ("T3", 1841, 960),
-    ];
+    let expected = [("T1", 401i64, 240i64), ("T2", 1041, 560), ("T3", 1841, 960)];
     for (row, (task, flat, hem)) in rows.iter().zip(expected) {
         assert_eq!(row.task, task);
         assert_eq!(row.r_flat, Time::new(flat), "{task} flat");
@@ -42,7 +38,11 @@ fn figure4_breakpoints() {
     let p = PaperParams::default();
     let fig = figure4(&p, Time::new(20_000)).expect("analyses converge");
     let first = |steps: &[hem_event_models::sampling::EtaStep], k: usize| -> Vec<(i64, u64)> {
-        steps.iter().take(k).map(|s| (s.at.ticks(), s.count)).collect()
+        steps
+            .iter()
+            .take(k)
+            .map(|s| (s.at.ticks(), s.count))
+            .collect()
     };
     assert_eq!(
         first(&fig.frame_f1, 5),
@@ -55,8 +55,7 @@ fn figure4_breakpoints() {
 
 #[test]
 fn frame_responses() {
-    let hem = analyze_mode(&PaperParams::default(), AnalysisMode::Hierarchical)
-        .expect("converges");
+    let hem = analyze_mode(&PaperParams::default(), AnalysisMode::Hierarchical).expect("converges");
     let f1 = hem.frame("F1").expect("present").response;
     let f2 = hem.frame("F2").expect("present").response;
     assert_eq!(f1.r_minus, Time::new(79));
@@ -99,5 +98,8 @@ fn bus_speed_sweep_values() {
 #[test]
 fn flatsem_t3_value() {
     let r = analyze_mode(&PaperParams::default(), AnalysisMode::FlatSem).expect("converges");
-    assert_eq!(r.task("T3").expect("present").response.r_plus, Time::new(2401));
+    assert_eq!(
+        r.task("T3").expect("present").response.r_plus,
+        Time::new(2401)
+    );
 }

@@ -12,8 +12,14 @@ fn paper_scenario_reproduces_table3() {
     let hier = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("converges");
     let flat = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).expect("converges");
     for (task, flat_r, hem_r) in [("T1", 401, 240), ("T2", 1041, 560), ("T3", 1841, 960)] {
-        assert_eq!(flat.task(task).expect("present").response.r_plus, Time::new(flat_r));
-        assert_eq!(hier.task(task).expect("present").response.r_plus, Time::new(hem_r));
+        assert_eq!(
+            flat.task(task).expect("present").response.r_plus,
+            Time::new(flat_r)
+        );
+        assert_eq!(
+            hier.task(task).expect("present").response.r_plus,
+            Time::new(hem_r)
+        );
     }
 }
 
@@ -43,5 +49,9 @@ fn scenario_errors_are_line_addressed() {
     let broken = PAPER.replace("task T2", "tsak T2");
     let e = dsl::parse(&broken).expect_err("must fail");
     assert!(e.to_string().contains("unknown directive"));
-    assert!(e.line > 10, "error should point into the file, got {}", e.line);
+    assert!(
+        e.line > 10,
+        "error should point into the file, got {}",
+        e.line
+    );
 }
