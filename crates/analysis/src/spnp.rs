@@ -96,6 +96,34 @@ pub fn response_time(
     }
 }
 
+/// Analyses the frame/task at `index` within a complete SPNP task set.
+///
+/// The per-entity entry point of the parallel engine: every frame of a
+/// bus can be analysed independently given the full (shared) lowered
+/// task set, so workers call this concurrently with `tasks` behind an
+/// `Arc` and the activation models carrying shared curve caches.
+///
+/// # Panics
+///
+/// Panics if `index` is out of bounds.
+///
+/// # Errors
+///
+/// Same conditions as [`response_time`].
+pub fn analyze_one(
+    tasks: &[AnalysisTask],
+    index: usize,
+    config: &AnalysisConfig,
+) -> Result<TaskResult, AnalysisError> {
+    let others: Vec<AnalysisTask> = tasks
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != index)
+        .map(|(_, t)| t.clone())
+        .collect();
+    response_time(&tasks[index], &others, config)
+}
+
 /// Analyses a complete SPNP task set; results are returned in input order.
 ///
 /// # Errors
@@ -106,18 +134,8 @@ pub fn analyze(
     tasks: &[AnalysisTask],
     config: &AnalysisConfig,
 ) -> Result<Vec<TaskResult>, AnalysisError> {
-    tasks
-        .iter()
-        .enumerate()
-        .map(|(i, task)| {
-            let others: Vec<AnalysisTask> = tasks
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, t)| t.clone())
-                .collect();
-            response_time(task, &others, config)
-        })
+    (0..tasks.len())
+        .map(|i| analyze_one(tasks, i, config))
         .collect()
 }
 

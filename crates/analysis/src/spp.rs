@@ -118,6 +118,34 @@ pub fn response_details(
     }
 }
 
+/// Analyses the task at `index` within a complete SPP task set.
+///
+/// The per-entity entry point of the parallel engine: every task of a
+/// resource can be analysed independently given the full (shared) task
+/// set, so workers call this concurrently with `tasks` behind an `Arc`
+/// and the activation models carrying shared curve caches.
+///
+/// # Panics
+///
+/// Panics if `index` is out of bounds.
+///
+/// # Errors
+///
+/// Same conditions as [`response_time`].
+pub fn analyze_one(
+    tasks: &[AnalysisTask],
+    index: usize,
+    config: &AnalysisConfig,
+) -> Result<TaskResult, AnalysisError> {
+    let others: Vec<AnalysisTask> = tasks
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != index)
+        .map(|(_, t)| t.clone())
+        .collect();
+    response_time(&tasks[index], &others, Time::ZERO, config)
+}
+
 /// Analyses a complete SPP task set; results are returned in input order.
 ///
 /// # Errors
@@ -127,18 +155,8 @@ pub fn analyze(
     tasks: &[AnalysisTask],
     config: &AnalysisConfig,
 ) -> Result<Vec<TaskResult>, AnalysisError> {
-    tasks
-        .iter()
-        .enumerate()
-        .map(|(i, task)| {
-            let others: Vec<AnalysisTask> = tasks
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, t)| t.clone())
-                .collect();
-            response_time(task, &others, Time::ZERO, config)
-        })
+    (0..tasks.len())
+        .map(|i| analyze_one(tasks, i, config))
         .collect()
 }
 

@@ -5,7 +5,9 @@
 //! [`MemoryRecorder`], and writes:
 //!
 //! * `BENCH_analysis.json` — wall times, global iteration counts, and
-//!   all counter/histogram totals per phase,
+//!   all counter/histogram totals per phase, plus a `sweep` section
+//!   with the parallel scenario-sweep speedup at `HEM_THREADS` threads
+//!   (and the `threads` value itself),
 //! * `BENCH_sim_trace.json` — a Chrome `trace_event` file of the
 //!   simulated run (open in <https://ui.perfetto.dev> or
 //!   `chrome://tracing`),
@@ -19,6 +21,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use hem_bench::paper_system::{simulation, spec, PaperParams};
+use hem_bench::parallel::{env_threads, parallel_map};
 use hem_obs::{json, Counter, MemoryRecorder, MetricsSnapshot};
 use hem_sim::fault::{Fault, FaultPlan, FaultTarget};
 use hem_sim::system::try_run_recorded;
@@ -100,6 +103,77 @@ fn run_simulation(params: &PaperParams) -> Phase {
     }
 }
 
+/// The scenario-sweep speedup probe: many independent Fig. 2 variants
+/// analysed once sequentially and once fanned over `HEM_THREADS`
+/// scoped threads via [`parallel_map`].
+///
+/// On multi-core machines this is where analysis parallelism pays off —
+/// a sweep of small systems saturates cores with zero coordination —
+/// and because `parallel_map` is order-deterministic the two passes
+/// must produce identical response times (checked here).
+struct Sweep {
+    scenarios: usize,
+    threads: usize,
+    wall_ms_sequential: f64,
+    wall_ms_parallel: f64,
+}
+
+impl Sweep {
+    fn speedup(&self) -> f64 {
+        if self.wall_ms_parallel > 0.0 {
+            self.wall_ms_sequential / self.wall_ms_parallel
+        } else {
+            1.0
+        }
+    }
+}
+
+fn run_sweep() -> Sweep {
+    let mut scenarios = Vec::new();
+    for cpu_scale in [1, 10] {
+        for s3_period in (300..=1200).step_by(50) {
+            scenarios.push(PaperParams {
+                s3_period,
+                cpu_scale,
+                ..PaperParams::default()
+            });
+        }
+    }
+    let analyse = |params: PaperParams| {
+        let config = SystemConfig::new(AnalysisMode::Hierarchical).with_threads(1);
+        let robust = analyze_robust(&spec(&params), &config).unwrap_or_else(|e| {
+            eprintln!("sweep analysis failed ({params:?}): {e}");
+            std::process::exit(1);
+        });
+        robust
+            .results
+            .tasks()
+            .map(|(name, r)| (name.to_owned(), r.response))
+            .collect::<Vec<_>>()
+    };
+    let threads = env_threads();
+    let n = scenarios.len();
+
+    let started = Instant::now();
+    let sequential = parallel_map(scenarios.clone(), 1, analyse);
+    let wall_ms_sequential = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    let parallel = parallel_map(scenarios, threads, analyse);
+    let wall_ms_parallel = started.elapsed().as_secs_f64() * 1e3;
+
+    if sequential != parallel {
+        eprintln!("internal error: parallel sweep diverged from sequential results");
+        std::process::exit(1);
+    }
+    Sweep {
+        scenarios: n,
+        threads,
+        wall_ms_sequential,
+        wall_ms_parallel,
+    }
+}
+
 fn out_path(file: &str) -> String {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     Path::new(&dir).join(file).to_string_lossy().into_owned()
@@ -112,8 +186,12 @@ fn main() {
         run_analysis(AnalysisMode::Hierarchical, "hierarchical", &params),
         run_simulation(&params),
     ];
+    let sweep = run_sweep();
 
-    let mut out = String::from("{\"system\":\"paper-fig2\",\"phases\":{");
+    let mut out = format!(
+        "{{\"system\":\"paper-fig2\",\"threads\":{},\"phases\":{{",
+        sweep.threads
+    );
     for (i, phase) in phases.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -126,7 +204,14 @@ fn main() {
             phase.metrics.to_json()
         ));
     }
-    out.push_str("}}");
+    out.push_str(&format!(
+        "}},\"sweep\":{{\"scenarios\":{},\"threads\":{},\"wall_ms_sequential\":{:.3},\"wall_ms_parallel\":{:.3},\"speedup\":{:.3}}}}}",
+        sweep.scenarios,
+        sweep.threads,
+        sweep.wall_ms_sequential,
+        sweep.wall_ms_parallel,
+        sweep.speedup()
+    ));
     if let Err(e) = json::validate(&out) {
         eprintln!("internal error: BENCH_analysis.json is not valid JSON: {e}");
         std::process::exit(1);
@@ -155,5 +240,13 @@ fn main() {
         );
     }
     println!();
+    println!(
+        "scenario sweep: {} scenarios, {} thread(s): {:.3} ms sequential, {:.3} ms parallel ({:.2}x)",
+        sweep.scenarios,
+        sweep.threads,
+        sweep.wall_ms_sequential,
+        sweep.wall_ms_parallel,
+        sweep.speedup()
+    );
     println!("wrote BENCH_analysis.json, BENCH_sim_trace.json, BENCH_convergence.jsonl");
 }

@@ -5,9 +5,12 @@
 //! (`cpu_scale = 1`), frame serialization already spaces activations and
 //! only the pending low-priority task benefits from HEMs.
 //!
-//! Run with `cargo run -p hem-bench --bin sweep_bus`.
+//! Run with `cargo run -p hem-bench --bin sweep_bus`. Set `HEM_THREADS`
+//! to analyse the sweep points in parallel; the printed table is
+//! identical for every thread count.
 
 use hem_bench::paper_system::{table3, PaperParams};
+use hem_bench::parallel::{env_threads, parallel_map};
 
 fn main() {
     println!("Relative bus-speed sweep — cpu_scale (ticks per paper unit) vs. reduction");
@@ -25,12 +28,16 @@ fn main() {
         "T3 HEM",
         "red%"
     );
-    for cpu_scale in [1i64, 2, 3, 5, 8, 10, 15, 20, 30, 50] {
+    let scales = vec![1i64, 2, 3, 5, 8, 10, 15, 20, 30, 50];
+    let results = parallel_map(scales, env_threads(), |cpu_scale| {
         let params = PaperParams {
             cpu_scale,
             ..PaperParams::default()
         };
-        match table3(&params) {
+        (cpu_scale, table3(&params))
+    });
+    for (cpu_scale, outcome) in results {
+        match outcome {
             Ok(rows) => {
                 print!("{cpu_scale:>9} |");
                 for row in &rows {

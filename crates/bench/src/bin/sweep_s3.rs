@@ -3,9 +3,12 @@
 //! Table 3 *shape* (HEM dominates flat, biggest win for the pending
 //! low-priority task) is robust to the choice.
 //!
-//! Run with `cargo run -p hem-bench --bin sweep_s3`.
+//! Run with `cargo run -p hem-bench --bin sweep_s3`. Set `HEM_THREADS`
+//! to analyse the sweep points in parallel; the printed table is
+//! identical for every thread count.
 
 use hem_bench::paper_system::{table3, PaperParams};
+use hem_bench::parallel::{env_threads, parallel_map};
 
 fn main() {
     println!("S3-period sweep — WCRT flat vs. HEM (reduction %)");
@@ -23,12 +26,16 @@ fn main() {
         "T3 HEM",
         "red%"
     );
-    for s3_period in (300..=1200).step_by(100) {
+    let periods: Vec<i64> = (300..=1200).step_by(100).collect();
+    let results = parallel_map(periods, env_threads(), |s3_period| {
         let params = PaperParams {
             s3_period,
             ..PaperParams::default()
         };
-        match table3(&params) {
+        (s3_period, table3(&params))
+    });
+    for (s3_period, outcome) in results {
+        match outcome {
             Ok(rows) => {
                 print!("{s3_period:>6} |");
                 for row in &rows {

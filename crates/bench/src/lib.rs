@@ -12,9 +12,12 @@
 //!   system for validating that all analytic bounds are conservative.
 //!
 //! Binaries in `src/bin/` print the tables and figure series; Criterion
-//! benches in `benches/` measure analysis runtime.
+//! benches in `benches/` measure analysis runtime. Sweeps over many
+//! scenarios can fan out over threads with [`parallel::parallel_map`]
+//! (order-deterministic; `HEM_THREADS` selects the width).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod paper_system;
+pub mod parallel;

@@ -1,0 +1,127 @@
+//! A scoped parallel map for scenario sweeps.
+//!
+//! The bench binaries evaluate many independent analysis scenarios (S3
+//! sweeps, bus-speed sweeps, the `profile_analysis` speedup probe).
+//! [`parallel_map`] fans a scenario list over `std::thread::scope`
+//! workers while keeping the output **in input order** — position `i`
+//! of the result always corresponds to item `i`, no matter which worker
+//! computed it or when, so sweep tables and exported JSON are
+//! byte-identical for every thread count.
+//!
+//! The analysis engine itself has the same property (see
+//! `docs/PARALLELISM.md`); this helper parallelises *across* scenarios,
+//! which is the profitable axis for sweeps of many small systems.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The sweep-level thread count from the `HEM_THREADS` environment
+/// variable (the same knob the engine's `SystemConfig::resolved_threads`
+/// reads), defaulting to `1`.
+#[must_use]
+pub fn env_threads() -> usize {
+    std::env::var("HEM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on `threads` scoped threads, returning the
+/// results in input order.
+///
+/// `threads <= 1` degenerates to a plain in-order `map` on the calling
+/// thread. Workers claim items through a shared atomic cursor (no
+/// chunking), so uneven per-item cost still balances; each result is
+/// written into the slot of its item index, which is what makes the
+/// output order deterministic.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the panic is propagated once the
+/// scope joins).
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("item claimed once");
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item computed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_map_preserves_order() {
+        let out = parallel_map((0..10).collect(), 1, |i: i32| i * 2);
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let expected: Vec<i64> = (0..200).map(|i| i * i).collect();
+        for threads in [2, 4, 8] {
+            let out = parallel_map((0..200).collect(), threads, |i: i64| i * i);
+            assert_eq!(out, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(parallel_map(vec![7], 16, |i: i32| i + 1), vec![8]);
+        let empty: Vec<i32> = parallel_map(Vec::new(), 8, |i: i32| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        let out = parallel_map((0..64u64).collect(), 4, |i| {
+            // Vary per-item cost so late items finish before early ones.
+            let spin = (64 - i) * 1_000;
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (index, (i, acc)) in out.iter().enumerate() {
+            assert_eq!(*i, index as u64);
+            let spin = 64 - index as u64;
+            assert_eq!(*acc, (0..spin * 1_000).sum::<u64>());
+        }
+    }
+}

@@ -1,12 +1,32 @@
 //! Memoizing wrapper for expensive derived models.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use hem_obs::{Counter, RecorderHandle};
 use hem_time::{Time, TimeBound};
 
 use crate::{EventModel, ModelRef};
+
+/// Number of independently locked shards per cache. A small power of
+/// two: curve keys are spread by a multiplicative hash, so even 8
+/// stripes make same-instant collisions between a handful of workers
+/// unlikely, while keeping the per-cache footprint negligible.
+const STRIPES: usize = 8;
+
+/// One lock stripe: the four curve memo tables for the keys hashing to
+/// this stripe, plus locally accumulated counter deltas (flushed in
+/// bulk by [`CachedModel::flush_recorded`] instead of per query, so the
+/// hot path never touches the recorder's lock).
+#[derive(Debug, Default)]
+struct Shard {
+    delta_min: HashMap<u64, Time>,
+    delta_plus: HashMap<u64, TimeBound>,
+    eta_plus: HashMap<Time, u64>,
+    eta_minus: HashMap<Time, u64>,
+    evaluations: u64,
+    misses: u64,
+}
 
 /// A memoizing wrapper around any event model.
 ///
@@ -15,6 +35,23 @@ use crate::{EventModel, ModelRef};
 /// fixed point the same `δ±(n)`/`η±(Δt)` values are requested thousands
 /// of times. `CachedModel` memoizes all four functions, turning repeated
 /// queries into hash lookups while remaining a drop-in [`EventModel`].
+///
+/// The cache is safe to share across analysis workers: it is
+/// lock-striped (keys spread over [`STRIPES`] independently locked
+/// shards) and **compute-once** — the shard lock is held while the
+/// wrapped model is evaluated, so concurrent queries for the same key
+/// perform exactly one inner evaluation and every caller observes the
+/// same value. Holding the lock during evaluation cannot deadlock:
+/// model graphs are acyclic (`Arc`-shared DAGs), so recursion only ever
+/// acquires locks of *other* cache instances, following the DAG's
+/// partial order.
+///
+/// Compute-once also makes the hit/miss accounting independent of
+/// thread interleaving: misses equal the number of *distinct keys*
+/// evaluated and evaluations equal the number of queries issued — both
+/// properties of the workload, not of the schedule. This is what lets
+/// the parallel engine report bit-identical cache counters for any
+/// thread count.
 ///
 /// # Examples
 ///
@@ -39,10 +76,7 @@ pub struct CachedModel {
     /// queries are the hottest path of the analysis and must not pay a
     /// dynamic dispatch per query when recording is off.
     recording: bool,
-    delta_min: Mutex<HashMap<u64, Time>>,
-    delta_plus: Mutex<HashMap<u64, TimeBound>>,
-    eta_plus: Mutex<HashMap<Time, u64>>,
-    eta_minus: Mutex<HashMap<Time, u64>>,
+    shards: [Mutex<Shard>; STRIPES],
 }
 
 impl CachedModel {
@@ -55,16 +89,17 @@ impl CachedModel {
     /// Wraps a model with memoization that reports
     /// [`Counter::CurveEvaluations`] / [`Counter::CacheHits`] /
     /// [`Counter::CacheMisses`] to the given recorder.
+    ///
+    /// Counts are accumulated inside the cache and reach the recorder
+    /// when [`CachedModel::flush_recorded`] is called (the engine
+    /// flushes at deterministic points) or when the cache is dropped.
     #[must_use]
     pub fn recorded(inner: ModelRef, recorder: RecorderHandle) -> Self {
         CachedModel {
             inner,
             recording: recorder.enabled(),
             recorder,
-            delta_min: Mutex::new(HashMap::new()),
-            delta_plus: Mutex::new(HashMap::new()),
-            eta_plus: Mutex::new(HashMap::new()),
-            eta_minus: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
         }
     }
 
@@ -74,89 +109,92 @@ impl CachedModel {
         &self.inner
     }
 
-    #[inline]
-    fn note(&self, missed: bool) {
-        if self.recording {
-            self.recorder.add(Counter::CurveEvaluations, 1);
-            let outcome = if missed {
-                Counter::CacheMisses
-            } else {
-                Counter::CacheHits
-            };
-            self.recorder.add(outcome, 1);
+    /// The shard responsible for `key` (identically distributed for the
+    /// `n`- and `Δt`-keyed tables; Fibonacci hashing spreads the small,
+    /// dense keys of busy-window queries across stripes).
+    fn shard(&self, key: u64) -> MutexGuard<'_, Shard> {
+        let idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 61) as usize % STRIPES;
+        self.shards[idx].lock().expect("cache shard poisoned")
+    }
+
+    /// Flushes the accumulated evaluation/hit/miss counts to the
+    /// recorder passed at construction.
+    ///
+    /// Totals are drained (a second flush reports nothing new). The
+    /// parallel engine calls this at the end of every global iteration —
+    /// a point reached with all workers quiescent — so counter order at
+    /// the recorder is deterministic; dropping the cache flushes any
+    /// remainder.
+    pub fn flush_recorded(&self) {
+        if !self.recording {
+            return;
+        }
+        let mut evaluations = 0u64;
+        let mut misses = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            evaluations += std::mem::take(&mut shard.evaluations);
+            misses += std::mem::take(&mut shard.misses);
+        }
+        if evaluations > 0 {
+            self.recorder.add(Counter::CurveEvaluations, evaluations);
+            self.recorder.add(Counter::CacheHits, evaluations - misses);
+            self.recorder.add(Counter::CacheMisses, misses);
         }
     }
 
-    /// Total number of memoized entries across all four caches
-    /// (diagnostic).
+    /// Total number of memoized entries across all stripes (diagnostic).
     #[must_use]
     pub fn cached_entries(&self) -> usize {
-        self.delta_min.lock().expect("poisoned").len()
-            + self.delta_plus.lock().expect("poisoned").len()
-            + self.eta_plus.lock().expect("poisoned").len()
-            + self.eta_minus.lock().expect("poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().expect("cache shard poisoned");
+                s.delta_min.len() + s.delta_plus.len() + s.eta_plus.len() + s.eta_minus.len()
+            })
+            .sum()
     }
+}
+
+impl Drop for CachedModel {
+    fn drop(&mut self) {
+        self.flush_recorded();
+    }
+}
+
+macro_rules! memoized {
+    ($self:ident, $table:ident, $key:expr, $raw_key:expr) => {{
+        let mut shard = $self.shard($raw_key);
+        shard.evaluations += 1;
+        match shard.$table.get(&$key) {
+            Some(v) => *v,
+            None => {
+                // Compute while holding the stripe: concurrent queries
+                // for this key block here and then hit.
+                let v = $self.inner.$table($key);
+                shard.$table.insert($key, v);
+                shard.misses += 1;
+                v
+            }
+        }
+    }};
 }
 
 impl EventModel for CachedModel {
     fn delta_min(&self, n: u64) -> Time {
-        let mut missed = false;
-        let v = *self
-            .delta_min
-            .lock()
-            .expect("poisoned")
-            .entry(n)
-            .or_insert_with(|| {
-                missed = true;
-                self.inner.delta_min(n)
-            });
-        self.note(missed);
-        v
+        memoized!(self, delta_min, n, n)
     }
 
     fn delta_plus(&self, n: u64) -> TimeBound {
-        let mut missed = false;
-        let v = *self
-            .delta_plus
-            .lock()
-            .expect("poisoned")
-            .entry(n)
-            .or_insert_with(|| {
-                missed = true;
-                self.inner.delta_plus(n)
-            });
-        self.note(missed);
-        v
+        memoized!(self, delta_plus, n, n)
     }
 
     fn eta_plus(&self, dt: Time) -> u64 {
-        let mut missed = false;
-        let v = *self
-            .eta_plus
-            .lock()
-            .expect("poisoned")
-            .entry(dt)
-            .or_insert_with(|| {
-                missed = true;
-                self.inner.eta_plus(dt)
-            });
-        self.note(missed);
-        v
+        memoized!(self, eta_plus, dt, dt.ticks() as u64)
     }
 
     fn eta_minus(&self, dt: Time) -> u64 {
-        let mut missed = false;
-        let v = *self
-            .eta_minus
-            .lock()
-            .expect("poisoned")
-            .entry(dt)
-            .or_insert_with(|| {
-                missed = true;
-                self.inner.eta_minus(dt)
-            });
-        self.note(missed);
-        v
+        memoized!(self, eta_minus, dt, dt.ticks() as u64)
     }
 }
 
@@ -214,15 +252,35 @@ mod tests {
     }
 
     #[test]
-    fn recorded_cache_counts_hits_and_misses() {
+    fn recorded_cache_counts_hits_and_misses_on_flush() {
         let (rec, handle) = hem_obs::MemoryRecorder::handle();
         let cached = CachedModel::recorded(or_model(), handle);
         let _ = cached.delta_min(7); // miss
         let _ = cached.delta_min(7); // hit
         let _ = cached.eta_plus(Time::new(100)); // miss
+                                                 // Counts are buffered in the cache until flushed.
+        assert_eq!(rec.snapshot().counter(Counter::CurveEvaluations), 0);
+        cached.flush_recorded();
         let snap = rec.snapshot();
         assert_eq!(snap.counter(Counter::CurveEvaluations), 3);
         assert_eq!(snap.counter(Counter::CacheMisses), 2);
+        assert_eq!(snap.counter(Counter::CacheHits), 1);
+        // Flushing again reports nothing new.
+        cached.flush_recorded();
+        assert_eq!(rec.snapshot().counter(Counter::CurveEvaluations), 3);
+    }
+
+    #[test]
+    fn drop_flushes_remaining_counts() {
+        let (rec, handle) = hem_obs::MemoryRecorder::handle();
+        {
+            let cached = CachedModel::recorded(or_model(), handle);
+            let _ = cached.delta_min(1);
+            let _ = cached.delta_min(1);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(Counter::CurveEvaluations), 2);
+        assert_eq!(snap.counter(Counter::CacheMisses), 1);
         assert_eq!(snap.counter(Counter::CacheHits), 1);
     }
 

@@ -1,0 +1,232 @@
+//! Per-worker signal buffering for the parallel analysis engine.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metrics::{Counter, HistogramData};
+use crate::recorder::{Recorder, RecorderHandle};
+use crate::trace_event::TraceEvent;
+
+#[derive(Debug, Default)]
+struct BufferState {
+    /// Unlabeled `add` totals only — labeled adds are kept separately so
+    /// a drain can replay both without double-counting (the target's
+    /// `add_labeled` bumps its own unlabeled total again).
+    counters: [u64; Counter::ALL.len()],
+    labeled: Vec<(Counter, String, u64)>,
+    histograms: Vec<(&'static str, HistogramData)>,
+    events: Vec<TraceEvent>,
+    spans: Vec<(&'static str, &'static str, Instant, Duration)>,
+}
+
+/// A [`Recorder`] that buffers everything for a later, ordered replay.
+///
+/// The parallel engine hands each analysis job its own
+/// `BufferedRecorder` instead of the shared sink: workers then record
+/// without contending on the real recorder's lock, and — decisive for
+/// the determinism guarantee — the engine drains the buffers **in
+/// canonical job order** after the level completes, so the sequence of
+/// signals reaching the real recorder is independent of how jobs were
+/// interleaved across threads.
+///
+/// Buffered signals are replayed verbatim by
+/// [`BufferedRecorder::drain_into`]; histogram samples are merged as
+/// pre-aggregated [`HistogramData`] (order-invariant by construction).
+///
+/// # Examples
+///
+/// ```
+/// use hem_obs::{BufferedRecorder, Counter, MemoryRecorder, RecorderHandle};
+/// use std::sync::Arc;
+///
+/// let (sink, sink_handle) = MemoryRecorder::handle();
+/// let buffer = Arc::new(BufferedRecorder::new());
+/// let worker_handle = RecorderHandle::new(buffer.clone());
+/// worker_handle.add(Counter::CacheHits, 2);
+/// assert_eq!(sink.snapshot().counter(Counter::CacheHits), 0); // not yet
+/// buffer.drain_into(&sink_handle);
+/// assert_eq!(sink.snapshot().counter(Counter::CacheHits), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferedRecorder {
+    state: Mutex<BufferState>,
+}
+
+impl BufferedRecorder {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BufferedRecorder::default()
+    }
+
+    /// A shared buffer plus a [`RecorderHandle`] dispatching into it —
+    /// the pair a worker job needs (handle goes into the job's
+    /// `AnalysisConfig`, the buffer stays with the engine for draining).
+    #[must_use]
+    pub fn handle() -> (Arc<BufferedRecorder>, RecorderHandle) {
+        let buf = Arc::new(BufferedRecorder::new());
+        let handle = RecorderHandle::new(buf.clone());
+        (buf, handle)
+    }
+
+    /// Replays everything buffered so far into `target` and clears the
+    /// buffer.
+    ///
+    /// Replay order is the buffer's recording order, so draining a set
+    /// of buffers in canonical job order yields a deterministic signal
+    /// sequence at the target regardless of worker interleaving.
+    pub fn drain_into(&self, target: &RecorderHandle) {
+        let state = {
+            let mut state = self.state.lock().expect("buffer poisoned");
+            std::mem::take(&mut *state)
+        };
+        if !target.enabled() {
+            return;
+        }
+        let raw = target.raw();
+        for c in Counter::ALL {
+            let total = state.counters[counter_index(c)];
+            if total > 0 {
+                raw.add(c, total);
+            }
+        }
+        for (c, label, by) in state.labeled {
+            raw.add_labeled(c, &label, by);
+        }
+        for (name, data) in state.histograms {
+            raw.merge_histogram(name, &data);
+        }
+        for event in state.events {
+            raw.emit(event);
+        }
+        for (name, cat, start, dur) in state.spans {
+            raw.complete_span(name, cat, start, dur);
+        }
+    }
+}
+
+fn counter_index(c: Counter) -> usize {
+    Counter::ALL.iter().position(|x| *x == c).expect("listed")
+}
+
+impl Recorder for BufferedRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, counter: Counter, by: u64) {
+        let mut state = self.state.lock().expect("buffer poisoned");
+        state.counters[counter_index(counter)] += by;
+    }
+
+    fn add_labeled(&self, counter: Counter, label: &str, by: u64) {
+        let mut state = self.state.lock().expect("buffer poisoned");
+        state.labeled.push((counter, label.to_string(), by));
+    }
+
+    fn observe(&self, histogram: &'static str, value: u64) {
+        let mut state = self.state.lock().expect("buffer poisoned");
+        match state.histograms.iter_mut().find(|(n, _)| *n == histogram) {
+            Some((_, data)) => data.record(value),
+            None => {
+                let mut data = HistogramData::default();
+                data.record(value);
+                state.histograms.push((histogram, data));
+            }
+        }
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        let mut state = self.state.lock().expect("buffer poisoned");
+        state.events.push(event);
+    }
+
+    fn complete_span(&self, name: &'static str, cat: &'static str, start: Instant, dur: Duration) {
+        let mut state = self.state.lock().expect("buffer poisoned");
+        state.spans.push((name, cat, start, dur));
+    }
+
+    fn merge_histogram(&self, histogram: &'static str, data: &HistogramData) {
+        let mut state = self.state.lock().expect("buffer poisoned");
+        match state.histograms.iter_mut().find(|(n, _)| *n == histogram) {
+            Some((_, mine)) => mine.merge(data),
+            None => state.histograms.push((histogram, data.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryRecorder;
+
+    #[test]
+    fn drained_buffer_matches_direct_recording() {
+        let (direct, direct_handle) = MemoryRecorder::handle();
+        let (buffered_sink, sink_handle) = MemoryRecorder::handle();
+        let (buf, buf_handle) = BufferedRecorder::handle();
+
+        let drive = |h: &RecorderHandle| {
+            h.add(Counter::CacheHits, 3);
+            h.add_labeled(Counter::BusyWindowIterations, "T1", 7);
+            h.add_labeled(Counter::BusyWindowIterations, "T1", 2);
+            h.observe("iters", 5);
+            h.observe("iters", 9);
+            h.emit(TraceEvent::instant("tick", "sim", 10, 0));
+        };
+        drive(&direct_handle);
+        drive(&buf_handle);
+        buf.drain_into(&sink_handle);
+
+        assert_eq!(direct.snapshot(), buffered_sink.snapshot());
+        assert_eq!(
+            direct.chrome_trace().to_json(),
+            buffered_sink.chrome_trace().to_json()
+        );
+    }
+
+    #[test]
+    fn drain_clears_the_buffer() {
+        let (sink, sink_handle) = MemoryRecorder::handle();
+        let (buf, buf_handle) = BufferedRecorder::handle();
+        buf_handle.add(Counter::CacheHits, 1);
+        buf.drain_into(&sink_handle);
+        buf.drain_into(&sink_handle); // second drain must be a no-op
+        assert_eq!(sink.snapshot().counter(Counter::CacheHits), 1);
+    }
+
+    #[test]
+    fn spans_replay_into_target_histograms() {
+        let (sink, sink_handle) = MemoryRecorder::handle();
+        let (buf, buf_handle) = BufferedRecorder::handle();
+        {
+            let _span = buf_handle.span("local_analysis", "engine");
+        }
+        buf.drain_into(&sink_handle);
+        let snap = sink.snapshot();
+        assert_eq!(snap.histograms["span_us/local_analysis"].count, 1);
+        assert_eq!(sink.chrome_trace().len(), 1);
+    }
+
+    #[test]
+    fn drain_into_disabled_target_discards() {
+        let (buf, buf_handle) = BufferedRecorder::handle();
+        buf_handle.add(Counter::CacheHits, 1);
+        buf.drain_into(&RecorderHandle::noop());
+        let (sink, sink_handle) = MemoryRecorder::handle();
+        buf.drain_into(&sink_handle);
+        assert_eq!(sink.snapshot().counter(Counter::CacheHits), 0);
+    }
+
+    #[test]
+    fn merged_histograms_forward() {
+        let (sink, sink_handle) = MemoryRecorder::handle();
+        let (buf, buf_handle) = BufferedRecorder::handle();
+        let mut h = HistogramData::default();
+        h.record(4);
+        h.record(8);
+        buf_handle.merge_histogram("iters", &h);
+        buf.drain_into(&sink_handle);
+        assert_eq!(sink.snapshot().histograms["iters"], h);
+    }
+}

@@ -10,6 +10,9 @@
 //!   single branch; [`MemoryRecorder`] collects everything in memory.
 //! * [`RecorderHandle`] — the cloneable reference threaded through
 //!   `AnalysisConfig` and the simulator entry points.
+//! * [`BufferedRecorder`] — a per-worker buffer for the parallel
+//!   engine: workers record locally, the engine drains buffers in
+//!   canonical job order so the merged signals are deterministic.
 //! * [`ConvergenceTrace`] — the per-iteration response-time trajectory
 //!   of a global analysis, so diagnostics can show *how* a run
 //!   converged or diverged rather than just the last two vectors.
@@ -41,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
 mod convergence;
 pub mod json;
 mod metrics;
 mod recorder;
 mod trace_event;
 
+pub use buffer::BufferedRecorder;
 pub use convergence::{ConvergenceTrace, IterationSnapshot, RtBound};
 pub use metrics::{Counter, HistogramData, MetricsSnapshot};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, RecorderHandle, Span};

@@ -128,6 +128,29 @@ impl HistogramData {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Folds another histogram into this one.
+    ///
+    /// Bucket counts, totals, and extrema combine commutatively, so
+    /// merging per-worker histograms yields the same data regardless of
+    /// worker scheduling — the property the parallel engine's
+    /// determinism guarantee rests on.
+    pub fn merge(&mut self, other: &HistogramData) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
 }
 
 /// A point-in-time copy of all recorded metrics.
@@ -161,6 +184,20 @@ impl MetricsSnapshot {
             .get(&(c.name(), label.to_string()))
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Folds another snapshot into this one (counters and labeled
+    /// breakdowns add, histograms merge bucket-wise).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (key, value) in &other.labeled {
+            *self.labeled.entry(key.clone()).or_insert(0) += value;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
     }
 
     /// Serializes the snapshot as JSONL: one self-describing JSON
@@ -284,6 +321,53 @@ mod tests {
     #[test]
     fn empty_histogram_mean_is_zero() {
         assert_eq!(HistogramData::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_interleaved_recording() {
+        let mut a = HistogramData::default();
+        let mut b = HistogramData::default();
+        let mut whole = HistogramData::default();
+        for v in [3, 0, 17, 255] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [1, 9, 1024] {
+            b.record(v);
+            whole.record(v);
+        }
+        let mut merged = HistogramData::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        // Merging an empty histogram is a no-op; merging into an empty
+        // one copies.
+        merged.merge(&HistogramData::default());
+        assert_eq!(merged, whole);
+        let mut fresh = HistogramData::default();
+        fresh.merge(&whole);
+        assert_eq!(fresh, whole);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_histograms() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert(Counter::CacheHits.name(), 2);
+        a.labeled
+            .insert((Counter::BusyWindowIterations.name(), "T1".into()), 5);
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert(Counter::CacheHits.name(), 3);
+        b.counters.insert(Counter::CacheMisses.name(), 1);
+        b.labeled
+            .insert((Counter::BusyWindowIterations.name(), "T1".into()), 2);
+        let mut h = HistogramData::default();
+        h.record(4);
+        b.histograms.insert("span_us/test", h.clone());
+        a.merge(&b);
+        assert_eq!(a.counter(Counter::CacheHits), 5);
+        assert_eq!(a.counter(Counter::CacheMisses), 1);
+        assert_eq!(a.labeled_counter(Counter::BusyWindowIterations, "T1"), 7);
+        assert_eq!(a.histograms["span_us/test"], h);
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub trait Recorder: Send + Sync + fmt::Debug {
     fn complete_span(&self, name: &'static str, cat: &'static str, start: Instant, dur: Duration) {
         let _ = (name, cat, start, dur);
     }
+
+    /// Folds pre-aggregated histogram data into the named histogram.
+    ///
+    /// Used when draining a per-worker
+    /// [`BufferedRecorder`](crate::BufferedRecorder): samples are
+    /// recorded into worker-local [`HistogramData`] and merged here in
+    /// one call instead of replayed one [`Recorder::observe`] at a time.
+    fn merge_histogram(&self, histogram: &'static str, data: &HistogramData) {
+        let _ = (histogram, data);
+    }
 }
 
 /// A recorder that collects nothing.
@@ -118,6 +128,19 @@ impl RecorderHandle {
         if self.0.enabled() {
             self.0.emit(event);
         }
+    }
+
+    /// Folds pre-aggregated histogram data into the named histogram.
+    pub fn merge_histogram(&self, histogram: &'static str, data: &HistogramData) {
+        if self.0.enabled() {
+            self.0.merge_histogram(histogram, data);
+        }
+    }
+
+    /// The wrapped recorder (for in-crate replay, e.g.
+    /// [`BufferedRecorder::drain_into`](crate::BufferedRecorder::drain_into)).
+    pub(crate) fn raw(&self) -> &Arc<dyn Recorder> {
+        &self.0
     }
 
     /// Opens a wall-clock span; the returned guard reports a complete
@@ -290,6 +313,11 @@ impl Recorder for MemoryRecorder {
         state
             .events
             .push(TraceEvent::complete(name, cat, ts_us, dur_us, 0));
+    }
+
+    fn merge_histogram(&self, histogram: &'static str, data: &HistogramData) {
+        let mut state = self.state.lock().expect("recorder poisoned");
+        state.histograms.entry(histogram).or_default().merge(data);
     }
 }
 

@@ -7,18 +7,23 @@
 //! until the response times stop changing.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
-use hem_analysis::{spp, AnalysisError, AnalysisTask, ResponseTime, TaskResult};
+use hem_analysis::{
+    spnp, spp, AnalysisConfig, AnalysisError, AnalysisTask, ResponseTime, TaskResult,
+};
 use hem_autosar_com::{ComFrame, Signal};
 use hem_can::{BusFrame, CanFrameConfig};
 use hem_core::HierarchicalEventModel;
 use hem_event_models::ops::OutputModel;
 use hem_event_models::{approx, CachedModel, EventModelExt, ModelRef};
-use hem_obs::{ConvergenceTrace, Counter, IterationSnapshot, RtBound};
+use hem_obs::{BufferedRecorder, ConvergenceTrace, Counter, IterationSnapshot, RtBound};
 use hem_time::Time;
 
 use crate::diagnostics::{ConvergenceStatus, Diagnostics, StopReason};
+use crate::graph::{Level, PropagationLevels};
+use crate::pool::WorkerPool;
 use crate::result::{signal_key, SystemConfig, SystemResults};
 use crate::spec::{ActivationSpec, AnalysisMode, FrameSpec, SystemSpec, TaskSpec};
 use crate::SystemError;
@@ -227,47 +232,180 @@ fn hosting_resource(spec: &SystemSpec, entity: &str) -> Option<String> {
 /// Per-frame and per-task results of one global iteration, keyed by name.
 type IterationResults = (BTreeMap<String, TaskResult>, BTreeMap<String, TaskResult>);
 
-/// One global iteration's local analyses. Returns per-frame and per-task
-/// results, or the failing entity (prefixed) alongside the local error.
+/// One global iteration's local analyses, leveled and parallel.
+///
+/// Each level of the propagation graph first resolves sequentially
+/// (activation models, packings, shared curve caches — always on the
+/// calling thread, in spec order), then analyses every entity of the
+/// level as an independent job on the pool. Results and recorder
+/// signals are merged in canonical submission order, so the outcome is
+/// bit-for-bit identical for every thread count.
 fn run_iteration(
     resolver: &mut Resolver<'_>,
     spec: &SystemSpec,
     config: &SystemConfig,
+    levels: &PropagationLevels,
+    pool: &WorkerPool,
 ) -> Result<IterationResults, IterationError> {
-    // Bus analyses (lazily triggered per frame).
     let mut new_frame_results: BTreeMap<String, TaskResult> = BTreeMap::new();
-    for frame in &spec.frames {
-        let result = resolver
-            .frame_result(&frame.name)
-            .map_err(|e| IterationError::classify(e, "frame"))?;
-        new_frame_results.insert(frame.name.clone(), result);
+    let mut new_task_results: BTreeMap<String, TaskResult> = BTreeMap::new();
+
+    for level in &levels.levels {
+        run_level(
+            resolver,
+            config,
+            level,
+            pool,
+            &mut new_frame_results,
+            &mut new_task_results,
+        )?;
     }
 
-    // CPU analyses.
-    let mut new_task_results: BTreeMap<String, TaskResult> = BTreeMap::new();
-    for cpu in &spec.cpus {
-        let on_cpu: Vec<&TaskSpec> = spec.tasks.iter().filter(|t| t.cpu == cpu.name).collect();
-        let analysis_tasks: Vec<AnalysisTask> = on_cpu
-            .iter()
-            .map(|t| {
-                let input = resolver.task_activation(&t.name)?;
-                Ok(AnalysisTask::new(
-                    t.name.clone(),
-                    t.bcet,
-                    t.wcet,
-                    t.priority,
-                    input,
-                ))
-            })
-            .collect::<Result<_, SystemError>>()
+    // Resources in a resource-level dependency cycle: the lazy
+    // sequential resolver reproduces exactly what the purely sequential
+    // engine would report (usually a `DependencyCycle` naming the same
+    // entity).
+    for frame in &spec.frames {
+        if levels.cyclic_buses.contains(&frame.bus) {
+            let result = resolver
+                .frame_result(&frame.name)
+                .map_err(|e| IterationError::classify(e, "frame"))?;
+            new_frame_results.insert(frame.name.clone(), result);
+        }
+    }
+    for cpu in &levels.cyclic_cpus {
+        let tasks = resolver
+            .lower_cpu(cpu)
             .map_err(|e| IterationError::classify(e, "task"))?;
-        for result in spp::analyze(&analysis_tasks, &config.local)
+        for result in spp::analyze(&tasks, &config.local)
             .map_err(|e| IterationError::classify(SystemError::Analysis(e), "task"))?
         {
             new_task_results.insert(result.name.clone(), result);
         }
     }
     Ok((new_frame_results, new_task_results))
+}
+
+/// A per-entity busy-window job submitted to the pool.
+type EntityJob = Box<dyn FnOnce() -> Result<TaskResult, AnalysisError> + Send + 'static>;
+
+/// The local analysis configuration of one job: when the recorder is
+/// enabled, signals go to a private [`BufferedRecorder`] (registered in
+/// `buffers`, drained in job order after the batch) so the recorder sees
+/// the same signal sequence regardless of execution interleaving.
+fn job_local(
+    config: &SystemConfig,
+    buffers: &mut Vec<Option<Arc<BufferedRecorder>>>,
+) -> AnalysisConfig {
+    let mut local = config.local.clone();
+    if local.recorder.enabled() {
+        let (buffer, handle) = BufferedRecorder::handle();
+        buffers.push(Some(buffer));
+        local.recorder = handle;
+    } else {
+        buffers.push(None);
+    }
+    local
+}
+
+/// Analyses one dependency-free level: sequential resolution, parallel
+/// per-entity busy windows, deterministic merge.
+fn run_level(
+    resolver: &mut Resolver<'_>,
+    config: &SystemConfig,
+    level: &Level,
+    pool: &WorkerPool,
+    new_frame_results: &mut BTreeMap<String, TaskResult>,
+    new_task_results: &mut BTreeMap<String, TaskResult>,
+) -> Result<(), IterationError> {
+    // Phase 1 — sequential resolution.
+    let mut bus_sets = Vec::with_capacity(level.buses.len());
+    for bus in &level.buses {
+        let (names, tasks) = resolver
+            .lower_bus(bus)
+            .map_err(|e| IterationError::classify(e, "frame"))?;
+        bus_sets.push((bus.clone(), names, Arc::new(tasks)));
+    }
+    let mut cpu_sets = Vec::with_capacity(level.cpus.len());
+    for cpu in &level.cpus {
+        let tasks = resolver
+            .lower_cpu(cpu)
+            .map_err(|e| IterationError::classify(e, "task"))?;
+        cpu_sets.push(Arc::new(tasks));
+    }
+
+    // Phase 2 — one busy-window job per entity, in canonical order:
+    // every frame of every bus, then every task of every CPU.
+    let mut jobs: Vec<EntityJob> = Vec::new();
+    let mut buffers: Vec<Option<Arc<BufferedRecorder>>> = Vec::new();
+    let mut kinds: Vec<&'static str> = Vec::new();
+    for (_, names, tasks) in &bus_sets {
+        for i in 0..names.len() {
+            let local = job_local(config, &mut buffers);
+            let tasks = tasks.clone();
+            kinds.push("frame");
+            jobs.push(Box::new(move || spnp::analyze_one(&tasks, i, &local)));
+        }
+    }
+    for tasks in &cpu_sets {
+        for i in 0..tasks.len() {
+            let local = job_local(config, &mut buffers);
+            let tasks = tasks.clone();
+            kinds.push("task");
+            jobs.push(Box::new(move || spp::analyze_one(&tasks, i, &local)));
+        }
+    }
+    let outcomes = pool.run_batch(jobs);
+
+    // Phase 3 — deterministic merge: every job of a started level has
+    // completed; recorder signals replay in job order, and the
+    // lowest-index failure (if any) is the one reported, independent of
+    // which worker hit it first.
+    for buffer in buffers.iter().flatten() {
+        buffer.drain_into(&config.local.recorder);
+    }
+    let mut results = outcomes.into_iter().zip(kinds);
+    let mut first_err: Option<IterationError> = None;
+    let record_err = |e: AnalysisError, kind: &'static str, slot: &mut Option<IterationError>| {
+        if slot.is_none() {
+            *slot = Some(IterationError::classify(SystemError::Analysis(e), kind));
+        }
+    };
+    let mut staged_buses: Vec<(String, BTreeMap<String, TaskResult>)> = Vec::new();
+    for (bus, names, _) in bus_sets {
+        let mut map = BTreeMap::new();
+        for name in names {
+            match results.next().expect("one outcome per frame job") {
+                (Ok(result), _) => {
+                    map.insert(name, result);
+                }
+                (Err(e), kind) => record_err(e, kind, &mut first_err),
+            }
+        }
+        staged_buses.push((bus, map));
+    }
+    let mut staged_tasks: Vec<TaskResult> = Vec::new();
+    for tasks in &cpu_sets {
+        for _ in 0..tasks.len() {
+            match results.next().expect("one outcome per task job") {
+                (Ok(result), _) => staged_tasks.push(result),
+                (Err(e), kind) => record_err(e, kind, &mut first_err),
+            }
+        }
+    }
+    if let Some(err) = first_err {
+        return Err(err);
+    }
+    for (bus, map) in staged_buses {
+        for (name, result) in &map {
+            new_frame_results.insert(name.clone(), result.clone());
+        }
+        resolver.insert_bus_results(bus, map);
+    }
+    for result in staged_tasks {
+        new_task_results.insert(result.name.clone(), result);
+    }
+    Ok(())
 }
 
 enum IterationError {
@@ -305,6 +443,10 @@ impl IterationError {
 
 fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemError> {
     validate(spec)?;
+    // The propagation graph is a property of the topology, not of the
+    // iteration state: level it once, spin the pool up once.
+    let levels = PropagationLevels::of(spec);
+    let pool = WorkerPool::new(config.resolved_threads());
     let started = Instant::now();
     let recorder = config.local.recorder.clone();
     let _run_span = recorder.span("analyze", "engine");
@@ -426,7 +568,11 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
         }
         let iter_span = recorder.span("global_iteration", "engine");
         let mut resolver = Resolver::new(spec, config, &task_rt);
-        let iteration_outcome = run_iteration(&mut resolver, spec, config);
+        let iteration_outcome = run_iteration(&mut resolver, spec, config, &levels, &pool);
+        // Flush the shared curve caches' buffered hit/miss counters at a
+        // deterministic point, in cache-creation order — never from a
+        // worker or a late `Drop`.
+        resolver.flush_caches();
         drop(iter_span);
         let (new_frame_results, new_task_results) = match iteration_outcome {
             Ok(results) => results,
@@ -482,6 +628,9 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
                     }
                 }
             }
+            // Assembly may have touched caches (e.g. a frame no task
+            // consumes): flush again before the results escape.
+            resolver.flush_caches();
             let task_convergence = spec
                 .tasks
                 .iter()
@@ -592,6 +741,10 @@ struct Resolver<'a> {
     processed: HashMap<String, HierarchicalEventModel>,
     bus_results: HashMap<String, BTreeMap<String, TaskResult>>,
     visiting: HashSet<String>,
+    /// Every shared curve cache created this iteration, in creation
+    /// order — the engine flushes their buffered hit/miss counters at
+    /// deterministic points.
+    caches: Vec<Arc<CachedModel>>,
 }
 
 impl<'a> Resolver<'a> {
@@ -612,6 +765,23 @@ impl<'a> Resolver<'a> {
             processed: HashMap::new(),
             bus_results: HashMap::new(),
             visiting: HashSet::new(),
+            caches: Vec::new(),
+        }
+    }
+
+    /// Registers a shared curve cache for the deterministic counter
+    /// flush and returns it as a model.
+    fn cache(&mut self, cached: CachedModel) -> ModelRef {
+        let cached = Arc::new(cached);
+        self.caches.push(cached.clone());
+        cached
+    }
+
+    /// Flushes every curve cache's buffered hit/miss counters to the
+    /// recorder, in cache-creation order.
+    fn flush_caches(&self) {
+        for cache in &self.caches {
+            cache.flush_recorded();
         }
     }
 
@@ -625,9 +795,10 @@ impl<'a> Resolver<'a> {
         let model = match self.config.mode {
             // Busy-window iterations hammer the same η⁺/δ⁻ queries on the
             // lazy OR-join: memoize.
-            AnalysisMode::Flat | AnalysisMode::Hierarchical => {
-                CachedModel::recorded(outer, self.config.local.recorder.clone()).shared()
-            }
+            AnalysisMode::Flat | AnalysisMode::Hierarchical => self.cache(CachedModel::recorded(
+                outer,
+                self.config.local.recorder.clone(),
+            )),
             AnalysisMode::FlatSem => {
                 approx::sem_approximation(outer.as_ref(), self.config.sem_fit_horizon)?.shared()
             }
@@ -710,11 +881,11 @@ impl<'a> Resolver<'a> {
         let activation = task.activation.clone();
         // Memoized: CPU busy windows evaluate the activation stream many
         // times per fixed-point iteration.
-        let model = CachedModel::recorded(
-            self.resolve_source(&activation)?,
+        let resolved = self.resolve_source(&activation)?;
+        let model = self.cache(CachedModel::recorded(
+            resolved,
             self.config.local.recorder.clone(),
-        )
-        .shared();
+        ));
         self.visiting.remove(&key);
         self.task_activation.insert(name.to_string(), model.clone());
         Ok(model)
@@ -747,43 +918,82 @@ impl<'a> Resolver<'a> {
         Ok(hem)
     }
 
+    /// Lowers every frame on `bus` to its generic analysis task (in
+    /// spec order), resolving packings and outer streams. Returns the
+    /// frame names alongside: `names[i]` describes `tasks[i]`.
+    fn lower_bus(&mut self, bus: &str) -> Result<(Vec<String>, Vec<AnalysisTask>), SystemError> {
+        let bus_config = self
+            .spec
+            .buses
+            .iter()
+            .find(|b| b.name == bus)
+            .map(|b| b.config)
+            .ok_or_else(|| SystemError::UnknownReference {
+                kind: "bus",
+                name: bus.to_string(),
+            })?;
+        let on_bus: Vec<&FrameSpec> = self.spec.frames.iter().filter(|f| f.bus == bus).collect();
+        let mut bus_frames = Vec::with_capacity(on_bus.len());
+        for f in &on_bus {
+            let outer = self.analysis_outer(&f.name)?;
+            bus_frames.push(BusFrame::new(
+                f.name.clone(),
+                CanFrameConfig::new(f.format, f.payload_bytes)?,
+                f.priority,
+                outer,
+            ));
+        }
+        let names = on_bus.iter().map(|f| f.name.clone()).collect();
+        Ok((names, hem_can::bus::lower(&bus_frames, &bus_config)))
+    }
+
+    /// Lowers every task on `cpu` to its generic analysis task (in spec
+    /// order), resolving activation models.
+    fn lower_cpu(&mut self, cpu: &str) -> Result<Vec<AnalysisTask>, SystemError> {
+        let on_cpu: Vec<&TaskSpec> = self.spec.tasks.iter().filter(|t| t.cpu == cpu).collect();
+        on_cpu
+            .iter()
+            .map(|t| {
+                let input = self.task_activation(&t.name)?;
+                Ok(AnalysisTask::new(
+                    t.name.clone(),
+                    t.bcet,
+                    t.wcet,
+                    t.priority,
+                    input,
+                ))
+            })
+            .collect()
+    }
+
+    /// Commits a bus's per-frame results (computed by a level's jobs)
+    /// so downstream `frame_result` / `processed_hem` calls see them.
+    fn insert_bus_results(&mut self, bus: String, results: BTreeMap<String, TaskResult>) {
+        self.bus_results.insert(bus, results);
+    }
+
+    /// A frame's bus-analysis result, lazily running the whole bus
+    /// sequentially when no level committed it — the fallback path for
+    /// resources in a dependency cycle (where it reproduces the purely
+    /// sequential engine's behaviour, cycle errors included).
     fn frame_result(&mut self, name: &str) -> Result<TaskResult, SystemError> {
-        let frame = *self.frames.get(name).ok_or(SystemError::UnknownReference {
-            kind: "frame",
-            name: name.to_string(),
-        })?;
-        if !self.bus_results.contains_key(&frame.bus) {
-            let bus_spec = self
-                .spec
-                .buses
-                .iter()
-                .find(|b| b.name == frame.bus)
-                .ok_or_else(|| SystemError::UnknownReference {
-                    kind: "bus",
-                    name: frame.bus.clone(),
-                })?;
-            let on_bus: Vec<&FrameSpec> = self
-                .spec
-                .frames
-                .iter()
-                .filter(|f| f.bus == frame.bus)
-                .collect();
-            let mut bus_frames = Vec::with_capacity(on_bus.len());
-            for f in &on_bus {
-                let outer = self.analysis_outer(&f.name)?;
-                bus_frames.push(BusFrame::new(
-                    f.name.clone(),
-                    CanFrameConfig::new(f.format, f.payload_bytes)?,
-                    f.priority,
-                    outer,
-                ));
-            }
-            let results = hem_can::bus::analyze(&bus_frames, &bus_spec.config, &self.config.local)?;
+        let bus = self
+            .frames
+            .get(name)
+            .ok_or(SystemError::UnknownReference {
+                kind: "frame",
+                name: name.to_string(),
+            })?
+            .bus
+            .clone();
+        if !self.bus_results.contains_key(&bus) {
+            let (_, tasks) = self.lower_bus(&bus)?;
+            let results = spnp::analyze(&tasks, &self.config.local)?;
             let map: BTreeMap<String, TaskResult> =
                 results.into_iter().map(|r| (r.name.clone(), r)).collect();
-            self.bus_results.insert(frame.bus.clone(), map);
+            self.bus_results.insert(bus.clone(), map);
         }
-        Ok(self.bus_results[&frame.bus][name].clone())
+        Ok(self.bus_results[&bus][name].clone())
     }
 
     fn processed_hem(&mut self, name: &str) -> Result<HierarchicalEventModel, SystemError> {

@@ -39,7 +39,9 @@ pub mod diagnostics;
 pub mod dsl;
 mod engine;
 mod error;
+pub mod graph;
 pub mod path;
+mod pool;
 pub mod report;
 mod result;
 pub mod sensitivity;

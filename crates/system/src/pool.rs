@@ -1,0 +1,244 @@
+//! A dependency-free worker pool for per-entity analysis jobs.
+//!
+//! The workspace's zero-dependency rule leaves no rayon to lean on, so
+//! this is the smallest pool that does the job: persistent workers, one
+//! shared injector queue behind a mutex + condvar, and an `mpsc` result
+//! channel per batch. Analysis jobs are coarse (a whole busy-window
+//! fixed point each), so injector contention is irrelevant compared to
+//! job runtime — a work-stealing deque would buy nothing here.
+//!
+//! Determinism does not depend on the pool at all: results are indexed
+//! by submission order and re-assembled positionally, so *where* and
+//! *when* a job ran never influences what the engine sees.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Injector {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Shared {
+    injector: Mutex<Injector>,
+    available: Condvar,
+}
+
+/// A fixed-size pool executing submitted job batches.
+///
+/// `threads <= 1` spawns no workers: batches then run inline, on the
+/// caller's thread, in submission order — the sequential reference
+/// behaviour the determinism suite compares against.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (none for `threads <= 1`).
+    pub(crate) fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared::default());
+        let workers = (1..threads.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("hem-analysis-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn analysis worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of threads that execute jobs (workers plus the calling
+    /// thread).
+    pub(crate) fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs a batch of jobs and returns their outputs **in submission
+    /// order**, regardless of execution interleaving.
+    ///
+    /// The calling thread participates: it drains the injector alongside
+    /// the workers, so a pool of `n` threads really applies `n`-way
+    /// parallelism (and the `threads == 1` pool degenerates to an
+    /// in-order inline loop). Panicking jobs are caught and re-thrown on
+    /// the calling thread after the batch stops being waited on.
+    pub(crate) fn run_batch<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = jobs.len();
+        if self.workers.is_empty() {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        {
+            let mut injector = self.shared.injector.lock().expect("injector poisoned");
+            for (index, job) in jobs.into_iter().enumerate() {
+                let tx = tx.clone();
+                injector.jobs.push_back(Box::new(move || {
+                    let result = panic::catch_unwind(AssertUnwindSafe(job));
+                    // The batch may have aborted on another job's panic;
+                    // a closed channel is fine.
+                    let _ = tx.send((index, result));
+                }));
+            }
+        }
+        drop(tx);
+        self.shared.available.notify_all();
+
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut received = 0usize;
+        while received < n {
+            // Help out: prefer running a queued job over blocking.
+            let job = {
+                let mut injector = self.shared.injector.lock().expect("injector poisoned");
+                injector.jobs.pop_front()
+            };
+            if let Some(job) = job {
+                job();
+            }
+            // Drain whatever has finished; block only when idle.
+            loop {
+                match rx.try_recv() {
+                    Ok((index, result)) => {
+                        slots[index] = Some(resume_on_panic(result));
+                        received += 1;
+                    }
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => break,
+                }
+            }
+            if received < n {
+                let queue_empty = {
+                    let injector = self.shared.injector.lock().expect("injector poisoned");
+                    injector.jobs.is_empty()
+                };
+                if queue_empty {
+                    let (index, result) = rx.recv().expect("all senders done before batch end");
+                    slots[index] = Some(resume_on_panic(result));
+                    received += 1;
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job reported"))
+            .collect()
+    }
+}
+
+fn resume_on_panic<T>(result: std::thread::Result<T>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut injector = shared.injector.lock().expect("injector poisoned");
+            loop {
+                if let Some(job) = injector.jobs.pop_front() {
+                    break job;
+                }
+                if injector.shutdown {
+                    return;
+                }
+                injector = shared.available.wait(injector).expect("injector poisoned");
+            }
+        };
+        job();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut injector = self.shared.injector.lock().expect("injector poisoned");
+            injector.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn batch(n: usize) -> Vec<Box<dyn FnOnce() -> usize + Send + 'static>> {
+        (0..n)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect()
+    }
+
+    #[test]
+    fn sequential_pool_runs_inline_in_order() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run_batch(batch(5)), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn parallel_pool_preserves_submission_order() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let expected: Vec<usize> = (0..64).map(|i| i * i).collect();
+        for _ in 0..8 {
+            assert_eq!(pool.run_batch(batch(64)), expected);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let jobs: Vec<Box<dyn FnOnce() -> () + Send>> = (0..7)
+                .map(|_| {
+                    let counter = counter.clone();
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_batch(jobs);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 35);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<u8> = pool.run_batch(Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(4);
+        let _ = pool.run_batch(batch(8));
+        drop(pool); // must not hang
+    }
+}

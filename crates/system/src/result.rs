@@ -36,6 +36,12 @@ pub struct SystemConfig {
     /// conservative for realistic topologies; raise it for unusually
     /// deep task chains.
     pub divergence_streak: u64,
+    /// Number of analysis threads. `0` (the default) resolves from the
+    /// `HEM_THREADS` environment variable, falling back to `1`
+    /// (sequential). The engine is bit-for-bit deterministic in this
+    /// value: every thread count produces identical results,
+    /// diagnostics, and recorder counters (see `docs/PARALLELISM.md`).
+    pub threads: usize,
 }
 
 impl SystemConfig {
@@ -49,7 +55,30 @@ impl SystemConfig {
             sem_fit_horizon: 64,
             tighten_inner: false,
             divergence_streak: 12,
+            threads: 0,
         }
+    }
+
+    /// This configuration using the given number of analysis threads
+    /// (`0` = resolve from `HEM_THREADS`, default `1`).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective thread count: `threads` when non-zero, otherwise
+    /// the `HEM_THREADS` environment variable, otherwise `1`.
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::env::var("HEM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
     }
 
     /// This configuration with the given wall-clock budget applied to
@@ -197,6 +226,12 @@ mod tests {
         let c = SystemConfig::new(AnalysisMode::Hierarchical);
         assert_eq!(c.mode, AnalysisMode::Hierarchical);
         assert!(c.max_global_iterations >= 8);
+    }
+
+    #[test]
+    fn explicit_threads_win_over_env() {
+        let c = SystemConfig::new(AnalysisMode::Hierarchical).with_threads(4);
+        assert_eq!(c.resolved_threads(), 4);
     }
 
     #[test]
