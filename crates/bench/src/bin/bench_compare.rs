@@ -1,0 +1,500 @@
+//! Compares `BENCH_analysis.json` profiles: the CI benchmark-regression
+//! and cross-leg determinism gates.
+//!
+//! Three modes:
+//!
+//! * `bench_compare <fresh> <baseline>` — the **regression gate**:
+//!   deterministic fields (iteration counts, recorder counters, cone
+//!   fractions, scenario counts) must match the committed baseline
+//!   exactly; wall-clock fields may regress by at most the tolerance
+//!   (default 30 %, `HEM_BENCH_TOLERANCE` overrides, e.g. `0.5`) plus
+//!   an absolute slack (default 25 ms, `HEM_BENCH_SLACK_MS` overrides)
+//!   that keeps sub-millisecond micro-measurements from flaking on
+//!   timer noise — their work is pinned exactly by the counter fields
+//!   anyway; speedup fields are ratios of two such timings and may
+//!   fall below the baseline by at most the *compounded* relative
+//!   tolerance (`(1 + t)²`, both timings drifting adversarially). Prints a markdown delta table (appended to
+//!   `$GITHUB_STEP_SUMMARY` when set) and exits `1` on any regression.
+//! * `bench_compare --cross <a> <b>` — the **determinism gate**: every
+//!   deterministic field must be bit-identical between two profiles
+//!   (the `HEM_THREADS=1` and `=4` CI legs); wall-clock, speedup, and
+//!   thread-count fields are ignored. This turns the
+//!   `docs/PARALLELISM.md` guarantee into an enforced check.
+//! * `bench_compare --report <fresh>` — prints the sweep and
+//!   incremental summaries of one profile, failing loudly when the
+//!   file is missing, malformed, or lacks the expected sections
+//!   (replacing the former inline-python report step that silently
+//!   assumed both).
+//!
+//! Deterministic vs. not: `wall_ms*` fields and the `span_us/*`
+//! histogram families measure wall time; `speedup` fields are ratios of
+//! wall times; `threads` records the CI leg. Everything else in the
+//! profile is covered by the engine's determinism guarantee and must
+//! not drift.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use hem_obs::json::{parse, JsonValue};
+
+/// How a flattened profile field is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Deterministic: must match exactly.
+    Exact,
+    /// Wall-clock time: larger is worse, tolerance applies.
+    Timing,
+    /// Wall-clock ratio: smaller is worse, tolerance applies.
+    Speedup,
+    /// Environment description (thread counts): never compared.
+    Informational,
+}
+
+fn classify(path: &str) -> Class {
+    if path.contains("span_us/") {
+        return Class::Informational;
+    }
+    let last = path.rsplit('.').next().unwrap_or(path);
+    if last.starts_with("wall_ms") {
+        Class::Timing
+    } else if last == "speedup" {
+        Class::Speedup
+    } else if last == "threads" {
+        Class::Informational
+    } else {
+        Class::Exact
+    }
+}
+
+/// A scalar leaf of the profile document.
+#[derive(Debug, Clone, PartialEq)]
+enum Leaf {
+    Number(f64),
+    Text(String),
+}
+
+impl std::fmt::Display for Leaf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Leaf::Number(n) => write!(f, "{n}"),
+            Leaf::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+fn flatten(value: &JsonValue, path: String, out: &mut BTreeMap<String, Leaf>) {
+    match value {
+        JsonValue::Object(fields) => {
+            for (key, child) in fields {
+                let child_path = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                flatten(child, child_path, out);
+            }
+        }
+        JsonValue::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten(child, format!("{path}[{i}]"), out);
+            }
+        }
+        JsonValue::Number(n) => {
+            out.insert(path, Leaf::Number(*n));
+        }
+        JsonValue::String(s) => {
+            out.insert(path, Leaf::Text(s.clone()));
+        }
+        JsonValue::Bool(b) => {
+            out.insert(path, Leaf::Text(b.to_string()));
+        }
+        JsonValue::Null => {
+            out.insert(path, Leaf::Text("null".into()));
+        }
+    }
+}
+
+/// One row of the delta table.
+struct Delta {
+    path: String,
+    left: Option<Leaf>,
+    right: Option<Leaf>,
+    note: String,
+    failed: bool,
+}
+
+/// Compares two flattened profiles. `cross` switches from the
+/// regression rules to the determinism rules.
+fn compare(
+    fresh: &BTreeMap<String, Leaf>,
+    baseline: &BTreeMap<String, Leaf>,
+    tolerance: f64,
+    slack_ms: f64,
+    cross: bool,
+) -> Vec<Delta> {
+    let mut rows = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = fresh.keys().chain(baseline.keys()).collect();
+    for key in keys {
+        let class = classify(key);
+        let f = fresh.get(key.as_str());
+        let b = baseline.get(key.as_str());
+        let mut push = |note: String, failed: bool| {
+            rows.push(Delta {
+                path: key.clone(),
+                left: b.cloned(),
+                right: f.cloned(),
+                note,
+                failed,
+            });
+        };
+        if class == Class::Informational {
+            continue;
+        }
+        let (Some(f), Some(b)) = (f, b) else {
+            let side = if f.is_none() { "fresh" } else { "baseline" };
+            push(format!("missing in {side} profile"), true);
+            continue;
+        };
+        match class {
+            Class::Exact => {
+                if f != b {
+                    push("deterministic field differs".into(), true);
+                }
+            }
+            Class::Timing | Class::Speedup if cross => {}
+            Class::Timing => {
+                let (Leaf::Number(f), Leaf::Number(b)) = (f, b) else {
+                    push("not a number".into(), true);
+                    continue;
+                };
+                let limit = b * (1.0 + tolerance) + slack_ms;
+                if *f > limit {
+                    push(
+                        format!(
+                            "slower than baseline by more than {:.0}% (+{slack_ms} ms slack)",
+                            tolerance * 100.0
+                        ),
+                        true,
+                    );
+                } else {
+                    push(delta_note(*b, *f), false);
+                }
+            }
+            Class::Speedup => {
+                let (Leaf::Number(f), Leaf::Number(b)) = (f, b) else {
+                    push("not a number".into(), true);
+                    continue;
+                };
+                // A speedup is a ratio of two timings, each of which is
+                // individually allowed to drift by `tolerance`, so the
+                // ratio may legitimately move by the compound factor.
+                let limit = b / ((1.0 + tolerance) * (1.0 + tolerance));
+                if *f < limit {
+                    push(
+                        format!(
+                            "speedup below baseline by more than {:.0}% compounded",
+                            tolerance * 100.0
+                        ),
+                        true,
+                    );
+                } else {
+                    push(delta_note(*b, *f), false);
+                }
+            }
+            Class::Informational => unreachable!("filtered above"),
+        }
+    }
+    rows
+}
+
+fn delta_note(baseline: f64, fresh: f64) -> String {
+    if baseline == 0.0 {
+        return "ok".into();
+    }
+    format!("{:+.1}%", 100.0 * (fresh - baseline) / baseline)
+}
+
+fn markdown_table(title: &str, rows: &[Delta], exact_checked: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}\n");
+    let _ = writeln!(out, "| field | baseline | fresh | status |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for row in rows {
+        let show = |leaf: &Option<Leaf>| {
+            leaf.as_ref()
+                .map_or_else(|| "—".to_string(), ToString::to_string)
+        };
+        let status = if row.failed {
+            format!("❌ {}", row.note)
+        } else {
+            format!("✅ {}", row.note)
+        };
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} | {} |",
+            row.path,
+            show(&row.left),
+            show(&row.right),
+            status
+        );
+    }
+    let failures = rows.iter().filter(|r| r.failed).count();
+    let _ = writeln!(
+        out,
+        "\n{exact_checked} deterministic field(s) checked, {failures} failure(s).\n"
+    );
+    out
+}
+
+fn load(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read profile {path}: {e}")));
+    parse(&text).unwrap_or_else(|e| die(&format!("profile {path} is not valid JSON: {e}")))
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("bench_compare: {message}");
+    std::process::exit(2);
+}
+
+fn env_fraction(name: &str, default: f64, max: f64) -> f64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|t| (0.0..max).contains(t))
+            .unwrap_or_else(|| die(&format!("{name} must be a number in [0, {max}), got {v:?}"))),
+        Err(_) => default,
+    }
+}
+
+fn tolerance() -> f64 {
+    env_fraction("HEM_BENCH_TOLERANCE", 0.30, 10.0)
+}
+
+fn slack_ms() -> f64 {
+    env_fraction("HEM_BENCH_SLACK_MS", 25.0, 100_000.0)
+}
+
+/// Prints the sweep and incremental summary of one profile, failing
+/// loudly when a section or field is missing.
+fn report(doc: &JsonValue) -> String {
+    let section = |name: &str| {
+        doc.get(name)
+            .unwrap_or_else(|| die(&format!("profile has no `{name}` section")))
+    };
+    let field = |obj: &JsonValue, section_name: &str, name: &str| {
+        obj.get(name)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| die(&format!("profile field `{section_name}.{name}` is missing")))
+    };
+    let sweep = section("sweep");
+    let incremental = section("incremental");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scenario sweep: {} scenarios, {} thread(s), {:.2}x speedup",
+        field(sweep, "sweep", "scenarios"),
+        field(sweep, "sweep", "threads"),
+        field(sweep, "sweep", "speedup"),
+    );
+    let _ = writeln!(
+        out,
+        "incremental chain: {} scenarios over {} replicas, {:.2}x warm speedup, mean cone {:.1}%, {} replayed, {} fallback(s)",
+        field(incremental, "incremental", "scenarios"),
+        field(incremental, "incremental", "replicas"),
+        field(incremental, "incremental", "speedup"),
+        100.0 * field(incremental, "incremental", "mean_cone_fraction"),
+        field(incremental, "incremental", "replayed_results"),
+        field(incremental, "incremental", "full_fallbacks"),
+    );
+    out
+}
+
+fn append_step_summary(markdown: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(markdown.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("bench_compare: cannot append to GITHUB_STEP_SUMMARY ({path}): {e}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "--report" => {
+            print!("{}", report(&load(path)));
+            ExitCode::SUCCESS
+        }
+        [flag, a, b] if flag == "--cross" => {
+            let mut left = BTreeMap::new();
+            let mut right = BTreeMap::new();
+            flatten(&load(a), String::new(), &mut left);
+            flatten(&load(b), String::new(), &mut right);
+            let checked = left.keys().filter(|k| classify(k) == Class::Exact).count();
+            let rows = compare(&left, &right, 0.0, 0.0, true);
+            let failures: Vec<&Delta> = rows.iter().filter(|r| r.failed).collect();
+            let table = markdown_table("Cross-leg determinism", &rows, checked);
+            print!("{table}");
+            append_step_summary(&table);
+            if failures.is_empty() {
+                println!("cross-leg determinism: OK ({checked} deterministic fields identical)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "cross-leg determinism: {} field(s) differ between {a} and {b}",
+                    failures.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        [fresh_path, baseline_path] => {
+            let fresh_doc = load(fresh_path);
+            let mut fresh = BTreeMap::new();
+            let mut baseline = BTreeMap::new();
+            flatten(&fresh_doc, String::new(), &mut fresh);
+            flatten(&load(baseline_path), String::new(), &mut baseline);
+            let checked = fresh.keys().filter(|k| classify(k) == Class::Exact).count();
+            let rows = compare(&fresh, &baseline, tolerance(), slack_ms(), false);
+            let failures = rows.iter().filter(|r| r.failed).count();
+            let table = markdown_table("Benchmark regression gate", &rows, checked);
+            print!("{table}");
+            append_step_summary(&table);
+            print!("{}", report(&fresh_doc));
+            if failures == 0 {
+                println!("benchmark regression gate: OK");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "benchmark regression gate: {failures} regression(s) against {baseline_path}"
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: bench_compare <fresh.json> <baseline.json>\n       bench_compare --cross <a.json> <b.json>\n       bench_compare --report <fresh.json>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> BTreeMap<String, Leaf> {
+        let mut out = BTreeMap::new();
+        flatten(&parse(text).unwrap(), String::new(), &mut out);
+        out
+    }
+
+    #[test]
+    fn classification_covers_profile_shapes() {
+        assert_eq!(classify("phases.flat.wall_ms"), Class::Timing);
+        assert_eq!(classify("sweep.wall_ms_parallel"), Class::Timing);
+        assert_eq!(classify("incremental.speedup"), Class::Speedup);
+        assert_eq!(classify("threads"), Class::Informational);
+        assert_eq!(classify("sweep.threads"), Class::Informational);
+        assert_eq!(
+            classify("phases.flat.metrics.histograms.span_us/analyze.mean"),
+            Class::Informational
+        );
+        assert_eq!(
+            classify("phases.flat.metrics.counters.cache_hits"),
+            Class::Exact
+        );
+        assert_eq!(classify("incremental.mean_cone_fraction"), Class::Exact);
+    }
+
+    #[test]
+    fn exact_fields_must_match() {
+        let a = doc(r#"{"x":{"iterations":5},"wall_ms":100}"#);
+        let b = doc(r#"{"x":{"iterations":6},"wall_ms":100}"#);
+        let rows = compare(&a, &b, 0.3, 0.0, false);
+        assert!(rows.iter().any(|r| r.path == "x.iterations" && r.failed));
+    }
+
+    #[test]
+    fn timing_tolerance_is_one_sided() {
+        let base = doc(r#"{"wall_ms":100}"#);
+        let slower_ok = doc(r#"{"wall_ms":125}"#);
+        let slower_bad = doc(r#"{"wall_ms":131}"#);
+        let faster = doc(r#"{"wall_ms":10}"#);
+        assert!(!compare(&slower_ok, &base, 0.3, 0.0, false)[0].failed);
+        assert!(compare(&slower_bad, &base, 0.3, 0.0, false)[0].failed);
+        assert!(!compare(&faster, &base, 0.3, 0.0, false)[0].failed);
+    }
+
+    #[test]
+    fn timing_slack_absorbs_micro_noise() {
+        // 0.1 ms → 0.3 ms is 3x but far below the absolute slack.
+        let base = doc(r#"{"wall_ms":0.1}"#);
+        let noisy = doc(r#"{"wall_ms":0.3}"#);
+        assert!(compare(&noisy, &base, 0.3, 0.0, false)[0].failed);
+        assert!(!compare(&noisy, &base, 0.3, 25.0, false)[0].failed);
+        // The slack does not hide a real multi-second regression.
+        let big = doc(r#"{"wall_ms":1000}"#);
+        let regressed = doc(r#"{"wall_ms":1500}"#);
+        assert!(compare(&regressed, &big, 0.3, 25.0, false)[0].failed);
+    }
+
+    #[test]
+    fn speedup_tolerance_is_one_sided_and_compounded() {
+        // Floor at tolerance 0.3 is 2.6 / 1.3² ≈ 1.538: a ratio of two
+        // timings each within tolerance may drift by the compound.
+        let base = doc(r#"{"speedup":2.6}"#);
+        assert!(!compare(&doc(r#"{"speedup":2.1}"#), &base, 0.3, 0.0, false)[0].failed);
+        assert!(!compare(&doc(r#"{"speedup":1.6}"#), &base, 0.3, 0.0, false)[0].failed);
+        assert!(compare(&doc(r#"{"speedup":1.5}"#), &base, 0.3, 0.0, false)[0].failed);
+        assert!(!compare(&doc(r#"{"speedup":9.0}"#), &base, 0.3, 0.0, false)[0].failed);
+    }
+
+    #[test]
+    fn cross_mode_ignores_wall_time_but_not_counters() {
+        let a = doc(r#"{"wall_ms":100,"speedup":2.0,"threads":1,"counters":{"cache_hits":7}}"#);
+        let b = doc(r#"{"wall_ms":900,"speedup":0.5,"threads":4,"counters":{"cache_hits":7}}"#);
+        assert!(compare(&a, &b, 0.0, 0.0, true).iter().all(|r| !r.failed));
+        let c = doc(r#"{"wall_ms":900,"speedup":0.5,"threads":4,"counters":{"cache_hits":8}}"#);
+        let rows = compare(&a, &c, 0.0, 0.0, true);
+        assert!(rows
+            .iter()
+            .any(|r| r.path == "counters.cache_hits" && r.failed));
+    }
+
+    #[test]
+    fn missing_fields_fail_loudly() {
+        let a = doc(r#"{"counters":{"cache_hits":7}}"#);
+        let b = doc(r#"{"counters":{}}"#);
+        let rows = compare(&a, &b, 0.3, 0.0, false);
+        assert!(rows.iter().any(|r| r.failed && r.note.contains("missing")));
+    }
+
+    #[test]
+    fn report_renders_both_sections() {
+        let doc = parse(
+            r#"{"sweep":{"scenarios":38,"threads":4,"speedup":2.5},
+                "incremental":{"scenarios":17,"replicas":8,"speedup":2.3,
+                               "mean_cone_fraction":0.125,"replayed_results":3136,
+                               "full_fallbacks":1}}"#,
+        )
+        .unwrap();
+        let text = report(&doc);
+        assert!(text.contains("38 scenarios"));
+        assert!(text.contains("2.30x warm speedup"));
+        assert!(text.contains("mean cone 12.5%"));
+    }
+}

@@ -7,7 +7,10 @@
 //! * `BENCH_analysis.json` — wall times, global iteration counts, and
 //!   all counter/histogram totals per phase, plus a `sweep` section
 //!   with the parallel scenario-sweep speedup at `HEM_THREADS` threads
-//!   (and the `threads` value itself),
+//!   (and the `threads` value itself) and an `incremental` section with
+//!   the warm-start chain speedup over a replicated scenario grid
+//!   (cold vs. warm wall time, mean damage-cone fraction; see
+//!   `docs/INCREMENTAL.md`),
 //! * `BENCH_sim_trace.json` — a Chrome `trace_event` file of the
 //!   simulated run (open in <https://ui.perfetto.dev> or
 //!   `chrome://tracing`),
@@ -20,6 +23,7 @@
 use std::path::Path;
 use std::time::Instant;
 
+use hem_bench::incremental::{run_chain_cold, run_chain_warm, scenario_chain};
 use hem_bench::paper_system::{simulation, spec, PaperParams};
 use hem_bench::parallel::{env_threads, parallel_map};
 use hem_obs::{json, Counter, MemoryRecorder, MetricsSnapshot};
@@ -174,6 +178,54 @@ fn run_sweep() -> Sweep {
     }
 }
 
+/// The warm-start probe: a chained mutation walk over a replicated
+/// Fig. 2 grid (see [`hem_bench::incremental`]), analysed once from
+/// scratch per scenario and once chaining snapshots. Both passes run
+/// sequentially (one analysis thread) so the reported speedup isolates
+/// incremental reuse from engine parallelism, and every deterministic
+/// field below is identical on every CI leg.
+struct Incremental {
+    replicas: usize,
+    scenarios: usize,
+    wall_ms_cold: f64,
+    wall_ms_warm: f64,
+    mean_cone_fraction: f64,
+    replayed_results: u64,
+    full_fallbacks: u64,
+}
+
+impl Incremental {
+    fn speedup(&self) -> f64 {
+        if self.wall_ms_warm > 0.0 {
+            self.wall_ms_cold / self.wall_ms_warm
+        } else {
+            1.0
+        }
+    }
+}
+
+fn run_incremental() -> Incremental {
+    let replicas = 8;
+    let steps = 16;
+    let specs = scenario_chain(replicas, steps, &PaperParams::default());
+    let config = SystemConfig::new(AnalysisMode::Hierarchical).with_threads(1);
+    let cold = run_chain_cold(&specs, &config);
+    let warm = run_chain_warm(&specs, &config);
+    if cold.response_times != warm.response_times {
+        eprintln!("internal error: warm-start chain diverged from cold analysis results");
+        std::process::exit(1);
+    }
+    Incremental {
+        replicas,
+        scenarios: specs.len(),
+        wall_ms_cold: cold.wall_ms,
+        wall_ms_warm: warm.wall_ms,
+        mean_cone_fraction: warm.mean_chained_cone_fraction(),
+        replayed_results: warm.replayed_results,
+        full_fallbacks: warm.full_fallbacks,
+    }
+}
+
 fn out_path(file: &str) -> String {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     Path::new(&dir).join(file).to_string_lossy().into_owned()
@@ -187,6 +239,7 @@ fn main() {
         run_simulation(&params),
     ];
     let sweep = run_sweep();
+    let incremental = run_incremental();
 
     let mut out = format!(
         "{{\"system\":\"paper-fig2\",\"threads\":{},\"phases\":{{",
@@ -205,12 +258,23 @@ fn main() {
         ));
     }
     out.push_str(&format!(
-        "}},\"sweep\":{{\"scenarios\":{},\"threads\":{},\"wall_ms_sequential\":{:.3},\"wall_ms_parallel\":{:.3},\"speedup\":{:.3}}}}}",
+        "}},\"sweep\":{{\"scenarios\":{},\"threads\":{},\"wall_ms_sequential\":{:.3},\"wall_ms_parallel\":{:.3},\"speedup\":{:.3}}}",
         sweep.scenarios,
         sweep.threads,
         sweep.wall_ms_sequential,
         sweep.wall_ms_parallel,
         sweep.speedup()
+    ));
+    out.push_str(&format!(
+        ",\"incremental\":{{\"replicas\":{},\"scenarios\":{},\"wall_ms_cold\":{:.3},\"wall_ms_warm\":{:.3},\"speedup\":{:.3},\"mean_cone_fraction\":{:.6},\"replayed_results\":{},\"full_fallbacks\":{}}}}}",
+        incremental.replicas,
+        incremental.scenarios,
+        incremental.wall_ms_cold,
+        incremental.wall_ms_warm,
+        incremental.speedup(),
+        incremental.mean_cone_fraction,
+        incremental.replayed_results,
+        incremental.full_fallbacks
     ));
     if let Err(e) = json::validate(&out) {
         eprintln!("internal error: BENCH_analysis.json is not valid JSON: {e}");
@@ -247,6 +311,17 @@ fn main() {
         sweep.wall_ms_sequential,
         sweep.wall_ms_parallel,
         sweep.speedup()
+    );
+    println!(
+        "incremental chain: {} scenarios over {} replicas: {:.3} ms cold, {:.3} ms warm ({:.2}x), mean cone {:.1}%, {} replayed, {} fallback(s)",
+        incremental.scenarios,
+        incremental.replicas,
+        incremental.wall_ms_cold,
+        incremental.wall_ms_warm,
+        incremental.speedup(),
+        100.0 * incremental.mean_cone_fraction,
+        incremental.replayed_results,
+        incremental.full_fallbacks
     );
     println!("wrote BENCH_analysis.json, BENCH_sim_trace.json, BENCH_convergence.jsonl");
 }

@@ -19,5 +19,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod paper_system;
 pub mod parallel;

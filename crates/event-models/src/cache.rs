@@ -37,7 +37,7 @@ struct Shard {
 /// queries into hash lookups while remaining a drop-in [`EventModel`].
 ///
 /// The cache is safe to share across analysis workers: it is
-/// lock-striped (keys spread over [`STRIPES`] independently locked
+/// lock-striped (keys spread over `STRIPES` independently locked
 /// shards) and **compute-once** — the shard lock is held while the
 /// wrapped model is evaluated, so concurrent queries for the same key
 /// perform exactly one inner evaluation and every caller observes the
@@ -141,6 +141,44 @@ impl CachedModel {
             self.recorder.add(Counter::CacheHits, evaluations - misses);
             self.recorder.add(Counter::CacheMisses, misses);
         }
+    }
+
+    /// Clones this cache's memo tables into a fresh cache reporting to
+    /// `recorder`, with zeroed pending counter deltas.
+    ///
+    /// This is the cross-run retention primitive of the incremental
+    /// engine: a converged run's caches are forked into the next run so
+    /// entities whose input models are unchanged start with every curve
+    /// already memoized. The fork carries **values only** — evaluation
+    /// and miss deltas accumulated but not yet flushed stay with the
+    /// original, so the new run's counter stream reflects only its own
+    /// queries (pre-warmed keys count as hits, never as misses).
+    #[must_use]
+    pub fn fork(&self, recorder: RecorderHandle) -> CachedModel {
+        self.fork_onto(self.inner.clone(), recorder)
+    }
+
+    /// Like [`CachedModel::fork`], but wrapping `inner` instead of this
+    /// cache's own model.
+    ///
+    /// The caller asserts that `inner` is *value-equivalent* to the
+    /// model the memoized entries were computed from — the incremental
+    /// engine proves this via the damage cone (an entity outside the
+    /// cone has bit-identical input models across runs). Re-wiring onto
+    /// the new run's model graph keeps cache misses from evaluating —
+    /// and keeping alive — the previous run's models.
+    #[must_use]
+    pub fn fork_onto(&self, inner: ModelRef, recorder: RecorderHandle) -> CachedModel {
+        let forked = CachedModel::recorded(inner, recorder);
+        for (src, dst) in self.shards.iter().zip(&forked.shards) {
+            let src = src.lock().expect("cache shard poisoned");
+            let mut dst = dst.lock().expect("cache shard poisoned");
+            dst.delta_min = src.delta_min.clone();
+            dst.delta_plus = src.delta_plus.clone();
+            dst.eta_plus = src.eta_plus.clone();
+            dst.eta_minus = src.eta_minus.clone();
+        }
+        forked
     }
 
     /// Total number of memoized entries across all stripes (diagnostic).
@@ -282,6 +320,44 @@ mod tests {
         assert_eq!(snap.counter(Counter::CurveEvaluations), 2);
         assert_eq!(snap.counter(Counter::CacheMisses), 1);
         assert_eq!(snap.counter(Counter::CacheHits), 1);
+    }
+
+    #[test]
+    fn fork_carries_entries_but_not_pending_counts() {
+        let (rec, handle) = hem_obs::MemoryRecorder::handle();
+        let original = CachedModel::recorded(or_model(), handle);
+        let v = original.delta_min(7); // miss, left unflushed
+        let entries = original.cached_entries();
+
+        let (rec2, handle2) = hem_obs::MemoryRecorder::handle();
+        let forked = original.fork(handle2);
+        assert_eq!(forked.cached_entries(), entries);
+        // The pre-warmed key is a hit in the fork, not a miss.
+        assert_eq!(forked.delta_min(7), v);
+        forked.flush_recorded();
+        let snap = rec2.snapshot();
+        assert_eq!(snap.counter(Counter::CurveEvaluations), 1);
+        assert_eq!(snap.counter(Counter::CacheHits), 1);
+        assert_eq!(snap.counter(Counter::CacheMisses), 0);
+        // The original keeps its own pending miss.
+        original.flush_recorded();
+        assert_eq!(rec.snapshot().counter(Counter::CacheMisses), 1);
+    }
+
+    #[test]
+    fn fork_onto_serves_seeded_values_and_misses_hit_new_inner() {
+        let original = CachedModel::new(or_model());
+        let seeded_value = original.delta_min(3);
+        // Re-wire onto an equivalent model instance: seeded keys answer
+        // from the memo tables, fresh keys evaluate the new inner.
+        let replacement = or_model();
+        let forked = original.fork_onto(replacement.clone(), RecorderHandle::noop());
+        assert_eq!(forked.delta_min(3), seeded_value);
+        assert_eq!(
+            forked.eta_plus(Time::new(777)),
+            replacement.eta_plus(Time::new(777))
+        );
+        assert!(forked.cached_entries() > original.cached_entries());
     }
 
     #[test]

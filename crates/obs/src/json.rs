@@ -52,6 +52,209 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// A parsed JSON document node, produced by [`parse`].
+///
+/// Kept deliberately small: numbers are `f64` (every value the BENCH
+/// exporters emit — wall-clock milliseconds, counters, ratios — is
+/// exactly representable below 2^53), and objects preserve insertion
+/// order so delta reports list fields in the order the profile wrote
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string literal, unescaped.
+    String(String),
+    /// An array of values.
+    Array(Vec<JsonValue>),
+    /// An object as an ordered key/value list.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up `key` in an object; `None` for other variants or
+    /// missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this node is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this node is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this node is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this node is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `input` into a [`JsonValue`] tree.
+///
+/// The building counterpart of [`validate`]: same grammar, same error
+/// reporting, used where a consumer actually needs the document (e.g.
+/// the `bench_compare` regression gate reading BENCH profiles).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] locating the first violation.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = parse_value(input, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing content after value"));
+    }
+    Ok(v)
+}
+
+fn parse_value(input: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            let mut fields = Vec::new();
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b'"') {
+                    return Err(err(*pos, "expected object key"));
+                }
+                let key = parse_string(input, bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(err(*pos, "expected ':' after key"));
+                }
+                *pos += 1;
+                skip_ws(bytes, pos);
+                let v = parse_value(input, bytes, pos)?;
+                fields.push((key, v));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(fields));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            let mut items = Vec::new();
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                items.push(parse_value(input, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(input, bytes, pos).map(JsonValue::String),
+        Some(b't') => literal(bytes, pos, b"true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => literal(bytes, pos, b"false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => literal(bytes, pos, b"null").map(|()| JsonValue::Null),
+        Some(b'-' | b'0'..=b'9') => {
+            let start = *pos;
+            number(bytes, pos)?;
+            input[start..*pos]
+                .parse::<f64>()
+                .map(JsonValue::Number)
+                .map_err(|_| err(start, "number out of range"))
+        }
+        Some(_) => Err(err(*pos, "expected a JSON value")),
+        None => Err(err(*pos, "unexpected end of input")),
+    }
+}
+
+fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    let start = *pos;
+    string(bytes, pos)?;
+    let raw = &input[start + 1..*pos - 1];
+    if !raw.contains('\\') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| err(start, "malformed \\u escape"))?;
+                // Surrogates are not paired here; exporters never emit
+                // them, so map unpaired halves to the replacement char.
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            _ => return Err(err(start, "invalid escape")),
+        }
+    }
+    Ok(out)
+}
+
 /// Checks that `input` is one well-formed JSON value.
 ///
 /// A recursive-descent validator covering the full grammar the
@@ -309,6 +512,43 @@ mod tests {
         assert!(validate_jsonl("{\"a\":1}\n{\"b\":2}\n").is_ok());
         assert!(validate_jsonl("{\"a\":1}\nnot json\n").is_err());
         assert!(validate_jsonl("\n\n").is_ok());
+    }
+
+    #[test]
+    fn parses_documents() {
+        let doc = r#"{"a": [1, -2.5, true], "b": {"c": "x\ny"}, "d": null}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap(),
+            &[
+                JsonValue::Number(1.0),
+                JsonValue::Number(-2.5),
+                JsonValue::Bool(true)
+            ]
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+    }
+
+    #[test]
+    fn parse_object_preserves_order() {
+        let v = parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let v = parse(r#""q\" s\\ uA""#).unwrap();
+        assert_eq!(v.as_str(), Some("q\" s\\ uA"));
     }
 
     #[test]

@@ -33,11 +33,23 @@ pub enum Counter {
     /// run (corrupted instances, rogue transmissions, perturbed
     /// activations).
     FaultInjections,
+    /// Per-entity busy-window analyses the incremental engine replayed
+    /// from a warm-start snapshot instead of recomputing (one per clean
+    /// entity per global iteration).
+    WarmStartHits,
+    /// Resources inside the damage cone of a warm-started run (recorded
+    /// once per incremental analysis; equals the total resource count
+    /// on a cold run or full fallback).
+    ConeSize,
+    /// Incremental analyses that fell back to a full from-scratch run
+    /// (no usable snapshot, structural change, config change, or
+    /// dependency cycles).
+    FullFallbacks,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 11] = [
         Counter::GlobalIterations,
         Counter::BusyWindowIterations,
         Counter::CurveEvaluations,
@@ -46,6 +58,9 @@ impl Counter {
         Counter::PackingOps,
         Counter::SimEvents,
         Counter::FaultInjections,
+        Counter::WarmStartHits,
+        Counter::ConeSize,
+        Counter::FullFallbacks,
     ];
 
     /// The stable snake_case export name.
@@ -60,6 +75,9 @@ impl Counter {
             Counter::PackingOps => "packing_ops",
             Counter::SimEvents => "sim_events",
             Counter::FaultInjections => "fault_injections",
+            Counter::WarmStartHits => "warm_start_hits",
+            Counter::ConeSize => "cone_size",
+            Counter::FullFallbacks => "full_fallbacks",
         }
     }
 

@@ -118,7 +118,7 @@ pub fn analyze_robust(
     }
 }
 
-enum RunOutcome {
+pub(crate) enum RunOutcome {
     Converged {
         results: SystemResults,
         diagnostics: Diagnostics,
@@ -127,6 +127,34 @@ enum RunOutcome {
         partial: SystemResults,
         diagnostics: Diagnostics,
     },
+}
+
+/// Everything a converged run must record to seed a future warm start:
+/// the per-iteration result trajectory and the keyed shared curve
+/// caches of every iteration. Assembled into a
+/// [`WarmStart`](crate::warm::WarmStart) by [`crate::warm`].
+pub(crate) struct Capture {
+    /// `(frame results, task results)` per completed global iteration.
+    pub(crate) trajectory: Vec<(BTreeMap<String, TaskResult>, BTreeMap<String, TaskResult>)>,
+    /// Keyed curve caches (`act:<task>` / `outer:<frame>`) per
+    /// completed global iteration.
+    pub(crate) caches: Vec<BTreeMap<String, Arc<CachedModel>>>,
+}
+
+/// The warm-start plan handed to the engine: which resources are
+/// outside the damage cone (prefixed keys `bus:<b>` / `cpu:<c>`) and
+/// the snapshot whose trajectory they replay.
+pub(crate) struct EngineWarm<'w> {
+    pub(crate) clean: HashSet<String>,
+    pub(crate) snapshot: &'w crate::warm::WarmStart,
+}
+
+/// One iteration's view of the warm-start plan: the clean-resource set
+/// plus the snapshot state replayed this iteration.
+struct WarmIteration<'w> {
+    clean: &'w HashSet<String>,
+    frames: &'w BTreeMap<String, TaskResult>,
+    tasks: &'w BTreeMap<String, TaskResult>,
 }
 
 /// Per-entity growth tracking across global iterations, feeding the
@@ -229,8 +257,15 @@ fn hosting_resource(spec: &SystemSpec, entity: &str) -> Option<String> {
     }
 }
 
-/// Per-frame and per-task results of one global iteration, keyed by name.
-type IterationResults = (BTreeMap<String, TaskResult>, BTreeMap<String, TaskResult>);
+/// What one global iteration accumulates: per-frame and per-task
+/// results, plus the number of per-entity analyses replayed from a
+/// warm-start snapshot instead of being re-run.
+#[derive(Default)]
+struct IterationAccum {
+    frames: BTreeMap<String, TaskResult>,
+    tasks: BTreeMap<String, TaskResult>,
+    replayed: u64,
+}
 
 /// One global iteration's local analyses, leveled and parallel.
 ///
@@ -240,37 +275,37 @@ type IterationResults = (BTreeMap<String, TaskResult>, BTreeMap<String, TaskResu
 /// level as an independent job on the pool. Results and recorder
 /// signals are merged in canonical submission order, so the outcome is
 /// bit-for-bit identical for every thread count.
+///
+/// With a warm plan, resources outside the damage cone skip Phase 2
+/// (their busy-window jobs) and stage the snapshot's recorded results
+/// instead; Phase 1 still runs for them, so resolution side effects
+/// (packings, activation models, `packing_ops`) are identical to a
+/// from-scratch run.
 fn run_iteration(
     resolver: &mut Resolver<'_>,
     spec: &SystemSpec,
     config: &SystemConfig,
     levels: &PropagationLevels,
     pool: &WorkerPool,
-) -> Result<IterationResults, IterationError> {
-    let mut new_frame_results: BTreeMap<String, TaskResult> = BTreeMap::new();
-    let mut new_task_results: BTreeMap<String, TaskResult> = BTreeMap::new();
+    warm: Option<&WarmIteration<'_>>,
+) -> Result<IterationAccum, IterationError> {
+    let mut acc = IterationAccum::default();
 
     for level in &levels.levels {
-        run_level(
-            resolver,
-            config,
-            level,
-            pool,
-            &mut new_frame_results,
-            &mut new_task_results,
-        )?;
+        run_level(resolver, config, level, pool, warm, &mut acc)?;
     }
 
     // Resources in a resource-level dependency cycle: the lazy
     // sequential resolver reproduces exactly what the purely sequential
     // engine would report (usually a `DependencyCycle` naming the same
-    // entity).
+    // entity). Warm starts refuse cyclic systems, so this path never
+    // replays.
     for frame in &spec.frames {
         if levels.cyclic_buses.contains(&frame.bus) {
             let result = resolver
                 .frame_result(&frame.name)
                 .map_err(|e| IterationError::classify(e, "frame"))?;
-            new_frame_results.insert(frame.name.clone(), result);
+            acc.frames.insert(frame.name.clone(), result);
         }
     }
     for cpu in &levels.cyclic_cpus {
@@ -280,10 +315,10 @@ fn run_iteration(
         for result in spp::analyze(&tasks, &config.local)
             .map_err(|e| IterationError::classify(SystemError::Analysis(e), "task"))?
         {
-            new_task_results.insert(result.name.clone(), result);
+            acc.tasks.insert(result.name.clone(), result);
         }
     }
-    Ok((new_frame_results, new_task_results))
+    Ok(acc)
 }
 
 /// A per-entity busy-window job submitted to the pool.
@@ -315,31 +350,43 @@ fn run_level(
     config: &SystemConfig,
     level: &Level,
     pool: &WorkerPool,
-    new_frame_results: &mut BTreeMap<String, TaskResult>,
-    new_task_results: &mut BTreeMap<String, TaskResult>,
+    warm: Option<&WarmIteration<'_>>,
+    acc: &mut IterationAccum,
 ) -> Result<(), IterationError> {
-    // Phase 1 — sequential resolution.
+    let is_clean =
+        |kind: &str, name: &str| warm.is_some_and(|w| w.clean.contains(&format!("{kind}:{name}")));
+
+    // Phase 1 — sequential resolution. Clean resources resolve too:
+    // their packings, activation models, and forked curve caches feed
+    // dirty downstream entities, and the resolution side effects
+    // (`packing_ops`) stay identical to a from-scratch run.
     let mut bus_sets = Vec::with_capacity(level.buses.len());
     for bus in &level.buses {
         let (names, tasks) = resolver
             .lower_bus(bus)
             .map_err(|e| IterationError::classify(e, "frame"))?;
-        bus_sets.push((bus.clone(), names, Arc::new(tasks)));
+        let clean = is_clean("bus", bus);
+        bus_sets.push((bus.clone(), names, Arc::new(tasks), clean));
     }
     let mut cpu_sets = Vec::with_capacity(level.cpus.len());
     for cpu in &level.cpus {
         let tasks = resolver
             .lower_cpu(cpu)
             .map_err(|e| IterationError::classify(e, "task"))?;
-        cpu_sets.push(Arc::new(tasks));
+        cpu_sets.push((Arc::new(tasks), is_clean("cpu", cpu)));
     }
 
     // Phase 2 — one busy-window job per entity, in canonical order:
-    // every frame of every bus, then every task of every CPU.
+    // every frame of every bus, then every task of every CPU. Entities
+    // on clean resources submit no job — their results replay in
+    // Phase 3.
     let mut jobs: Vec<EntityJob> = Vec::new();
     let mut buffers: Vec<Option<Arc<BufferedRecorder>>> = Vec::new();
     let mut kinds: Vec<&'static str> = Vec::new();
-    for (_, names, tasks) in &bus_sets {
+    for (_, names, tasks, clean) in &bus_sets {
+        if *clean {
+            continue;
+        }
         for i in 0..names.len() {
             let local = job_local(config, &mut buffers);
             let tasks = tasks.clone();
@@ -347,7 +394,10 @@ fn run_level(
             jobs.push(Box::new(move || spnp::analyze_one(&tasks, i, &local)));
         }
     }
-    for tasks in &cpu_sets {
+    for (tasks, clean) in &cpu_sets {
+        if *clean {
+            continue;
+        }
         for i in 0..tasks.len() {
             let local = job_local(config, &mut buffers);
             let tasks = tasks.clone();
@@ -360,7 +410,8 @@ fn run_level(
     // Phase 3 — deterministic merge: every job of a started level has
     // completed; recorder signals replay in job order, and the
     // lowest-index failure (if any) is the one reported, independent of
-    // which worker hit it first.
+    // which worker hit it first. Clean resources stage the snapshot's
+    // recorded results in the same canonical positions.
     for buffer in buffers.iter().flatten() {
         buffer.drain_into(&config.local.recorder);
     }
@@ -371,10 +422,21 @@ fn run_level(
             *slot = Some(IterationError::classify(SystemError::Analysis(e), kind));
         }
     };
+    let mut hits = 0u64;
     let mut staged_buses: Vec<(String, BTreeMap<String, TaskResult>)> = Vec::new();
-    for (bus, names, _) in bus_sets {
+    for (bus, names, _, clean) in bus_sets {
         let mut map = BTreeMap::new();
         for name in names {
+            if clean {
+                let replay = warm.expect("clean flags imply a warm plan");
+                let result = replay
+                    .frames
+                    .get(&name)
+                    .expect("warm snapshot covers every frame of an unchanged topology");
+                map.insert(name, result.clone());
+                hits += 1;
+                continue;
+            }
             match results.next().expect("one outcome per frame job") {
                 (Ok(result), _) => {
                     map.insert(name, result);
@@ -385,7 +447,19 @@ fn run_level(
         staged_buses.push((bus, map));
     }
     let mut staged_tasks: Vec<TaskResult> = Vec::new();
-    for tasks in &cpu_sets {
+    for (tasks, clean) in &cpu_sets {
+        if *clean {
+            let replay = warm.expect("clean flags imply a warm plan");
+            for task in tasks.iter() {
+                let result = replay
+                    .tasks
+                    .get(&task.name)
+                    .expect("warm snapshot covers every task of an unchanged topology");
+                staged_tasks.push(result.clone());
+                hits += 1;
+            }
+            continue;
+        }
         for _ in 0..tasks.len() {
             match results.next().expect("one outcome per task job") {
                 (Ok(result), _) => staged_tasks.push(result),
@@ -393,17 +467,21 @@ fn run_level(
             }
         }
     }
+    if hits > 0 {
+        config.local.recorder.add(Counter::WarmStartHits, hits);
+        acc.replayed += hits;
+    }
     if let Some(err) = first_err {
         return Err(err);
     }
     for (bus, map) in staged_buses {
         for (name, result) in &map {
-            new_frame_results.insert(name.clone(), result.clone());
+            acc.frames.insert(name.clone(), result.clone());
         }
         resolver.insert_bus_results(bus, map);
     }
     for result in staged_tasks {
-        new_task_results.insert(result.name.clone(), result);
+        acc.tasks.insert(result.name.clone(), result);
     }
     Ok(())
 }
@@ -442,6 +520,22 @@ impl IterationError {
 }
 
 fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemError> {
+    run_with(spec, config, None, false).map(|(outcome, _, _)| outcome)
+}
+
+/// The full engine loop, optionally replaying a warm-start plan and/or
+/// capturing the run's trajectory for a future warm start.
+///
+/// Returns the outcome, the capture (`Some` only when `capture` is set
+/// **and** the run converged — a stopped run's trajectory is not a
+/// fixed point), and the total number of per-entity analyses replayed
+/// from the snapshot.
+pub(crate) fn run_with(
+    spec: &SystemSpec,
+    config: &SystemConfig,
+    warm: Option<&EngineWarm<'_>>,
+    capture: bool,
+) -> Result<(RunOutcome, Option<Capture>, u64), SystemError> {
     validate(spec)?;
     // The propagation graph is a property of the topology, not of the
     // iteration state: level it once, spin the pool up once.
@@ -464,6 +558,11 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
     let mut salvaged_activations: BTreeMap<String, ModelRef> = BTreeMap::new();
     let mut salvaged_frame_inputs: BTreeMap<String, ModelRef> = BTreeMap::new();
     let mut completed = 0u64;
+    let mut captured = capture.then(|| Capture {
+        trajectory: Vec::new(),
+        caches: Vec::new(),
+    });
+    let mut replayed_total = 0u64;
 
     let stopped = |stop: StopReason,
                    completed: u64,
@@ -553,33 +652,9 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
 
     for iteration in 1..=config.max_global_iterations {
         if config.local.budget.exhausted() {
-            return Ok(stopped(
-                StopReason::BudgetExhausted,
-                completed,
-                trace,
-                &tracks,
-                last_task_results,
-                last_frame_results,
-                last_rt_vec,
-                prev_rt_vec,
-                salvaged_activations,
-                salvaged_frame_inputs,
-            ));
-        }
-        let iter_span = recorder.span("global_iteration", "engine");
-        let mut resolver = Resolver::new(spec, config, &task_rt);
-        let iteration_outcome = run_iteration(&mut resolver, spec, config, &levels, &pool);
-        // Flush the shared curve caches' buffered hit/miss counters at a
-        // deterministic point, in cache-creation order — never from a
-        // worker or a late `Drop`.
-        resolver.flush_caches();
-        drop(iter_span);
-        let (new_frame_results, new_task_results) = match iteration_outcome {
-            Ok(results) => results,
-            Err(IterationError::Hard(e)) => return Err(e),
-            Err(IterationError::Local { entity, error }) => {
-                return Ok(stopped(
-                    StopReason::LocalAnalysisFailed { entity, error },
+            return Ok((
+                stopped(
+                    StopReason::BudgetExhausted,
                     completed,
                     trace,
                     &tracks,
@@ -589,11 +664,73 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
                     prev_rt_vec,
                     salvaged_activations,
                     salvaged_frame_inputs,
+                ),
+                None,
+                replayed_total,
+            ));
+        }
+        let iter_span = recorder.span("global_iteration", "engine");
+        let replay = warm.map(|w| (w, w.snapshot.replay(iteration)));
+        let mut resolver = Resolver::new(
+            spec,
+            config,
+            &task_rt,
+            replay.as_ref().map(|(w, _)| &w.clean),
+            replay.as_ref().map(|(_, r)| r.caches),
+        );
+        let warm_iter = replay.as_ref().map(|(w, r)| WarmIteration {
+            clean: &w.clean,
+            frames: r.frames,
+            tasks: r.tasks,
+        });
+        let iteration_outcome = run_iteration(
+            &mut resolver,
+            spec,
+            config,
+            &levels,
+            &pool,
+            warm_iter.as_ref(),
+        );
+        // Flush the shared curve caches' buffered hit/miss counters at a
+        // deterministic point, in cache-creation order — never from a
+        // worker or a late `Drop`.
+        resolver.flush_caches();
+        drop(iter_span);
+        let acc = match iteration_outcome {
+            Ok(acc) => acc,
+            Err(IterationError::Hard(e)) => return Err(e),
+            Err(IterationError::Local { entity, error }) => {
+                return Ok((
+                    stopped(
+                        StopReason::LocalAnalysisFailed { entity, error },
+                        completed,
+                        trace,
+                        &tracks,
+                        last_task_results,
+                        last_frame_results,
+                        last_rt_vec,
+                        prev_rt_vec,
+                        salvaged_activations,
+                        salvaged_frame_inputs,
+                    ),
+                    None,
+                    replayed_total,
                 ));
             }
         };
+        let IterationAccum {
+            frames: new_frame_results,
+            tasks: new_task_results,
+            replayed,
+        } = acc;
         completed = iteration;
+        replayed_total += replayed;
         recorder.add(Counter::GlobalIterations, 1);
+        if let Some(cap) = captured.as_mut() {
+            cap.trajectory
+                .push((new_frame_results.clone(), new_task_results.clone()));
+            cap.caches.push(resolver.keyed_caches());
+        }
 
         let new_task_rt: BTreeMap<String, ResponseTime> = new_task_results
             .iter()
@@ -651,22 +788,26 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
                 previous_response_times: last_rt_vec,
                 suspected_bottleneck: None,
             };
-            return Ok(RunOutcome::Converged {
-                results: SystemResults {
-                    mode: config.mode,
-                    iterations: iteration,
-                    complete: true,
-                    task_results: new_task_results,
-                    frame_results: new_frame_results,
-                    task_convergence,
-                    frame_convergence,
-                    task_activations,
-                    frame_inputs,
-                    frame_outputs,
-                    unpacked_signals,
+            return Ok((
+                RunOutcome::Converged {
+                    results: SystemResults {
+                        mode: config.mode,
+                        iterations: iteration,
+                        complete: true,
+                        task_results: new_task_results,
+                        frame_results: new_frame_results,
+                        task_convergence,
+                        frame_convergence,
+                        task_activations,
+                        frame_inputs,
+                        frame_outputs,
+                        unpacked_signals,
+                    },
+                    diagnostics,
                 },
-                diagnostics,
-            });
+                captured,
+                replayed_total,
+            ));
         }
 
         // Track growth and detect sustained divergence early.
@@ -696,17 +837,21 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
                     entity: key.clone(),
                     streak: track.streak,
                 };
-                return Ok(stopped(
-                    stop,
-                    completed,
-                    trace,
-                    &tracks,
-                    last_task_results,
-                    last_frame_results,
-                    last_rt_vec,
-                    prev_rt_vec,
-                    salvaged_activations,
-                    salvaged_frame_inputs,
+                return Ok((
+                    stopped(
+                        stop,
+                        completed,
+                        trace,
+                        &tracks,
+                        last_task_results,
+                        last_frame_results,
+                        last_rt_vec,
+                        prev_rt_vec,
+                        salvaged_activations,
+                        salvaged_frame_inputs,
+                    ),
+                    None,
+                    replayed_total,
                 ));
             }
         }
@@ -714,17 +859,21 @@ fn run(spec: &SystemSpec, config: &SystemConfig) -> Result<RunOutcome, SystemErr
         task_rt = new_task_rt;
         frame_rt = new_frame_rt;
     }
-    Ok(stopped(
-        StopReason::IterationLimitReached,
-        completed,
-        trace,
-        &tracks,
-        last_task_results,
-        last_frame_results,
-        last_rt_vec,
-        prev_rt_vec,
-        salvaged_activations,
-        salvaged_frame_inputs,
+    Ok((
+        stopped(
+            StopReason::IterationLimitReached,
+            completed,
+            trace,
+            &tracks,
+            last_task_results,
+            last_frame_results,
+            last_rt_vec,
+            prev_rt_vec,
+            salvaged_activations,
+            salvaged_frame_inputs,
+        ),
+        None,
+        replayed_total,
     ))
 }
 
@@ -741,10 +890,16 @@ struct Resolver<'a> {
     processed: HashMap<String, HierarchicalEventModel>,
     bus_results: HashMap<String, BTreeMap<String, TaskResult>>,
     visiting: HashSet<String>,
-    /// Every shared curve cache created this iteration, in creation
-    /// order — the engine flushes their buffered hit/miss counters at
-    /// deterministic points.
-    caches: Vec<Arc<CachedModel>>,
+    /// Every shared curve cache created this iteration, keyed
+    /// (`act:<task>` / `outer:<frame>`), in creation order — the engine
+    /// flushes their buffered hit/miss counters at deterministic points
+    /// and captures them for warm-start reuse.
+    caches: Vec<(String, Arc<CachedModel>)>,
+    /// Resources outside the damage cone of a warm-started run.
+    warm_clean: Option<&'a HashSet<String>>,
+    /// The snapshot's keyed curve caches for this iteration, forked
+    /// into clean entities' caches so memoized curve points carry over.
+    warm_caches: Option<&'a BTreeMap<String, Arc<CachedModel>>>,
 }
 
 impl<'a> Resolver<'a> {
@@ -752,6 +907,8 @@ impl<'a> Resolver<'a> {
         spec: &'a SystemSpec,
         config: &'a SystemConfig,
         prev_task_rt: &'a BTreeMap<String, ResponseTime>,
+        warm_clean: Option<&'a HashSet<String>>,
+        warm_caches: Option<&'a BTreeMap<String, Arc<CachedModel>>>,
     ) -> Self {
         Resolver {
             spec,
@@ -766,23 +923,41 @@ impl<'a> Resolver<'a> {
             bus_results: HashMap::new(),
             visiting: HashSet::new(),
             caches: Vec::new(),
+            warm_clean,
+            warm_caches,
         }
     }
 
     /// Registers a shared curve cache for the deterministic counter
-    /// flush and returns it as a model.
-    fn cache(&mut self, cached: CachedModel) -> ModelRef {
+    /// flush (and warm-start capture) and returns it as a model.
+    fn cache(&mut self, key: String, cached: CachedModel) -> ModelRef {
         let cached = Arc::new(cached);
-        self.caches.push(cached.clone());
+        self.caches.push((key, cached.clone()));
         cached
+    }
+
+    /// The snapshot's cache for `key`, but only when `resource` is
+    /// outside the damage cone — a dirty entity's memoized curve points
+    /// may describe the wrong model.
+    fn retained(&self, key: &str, resource: &str) -> Option<&Arc<CachedModel>> {
+        let clean = self.warm_clean?;
+        if !clean.contains(resource) {
+            return None;
+        }
+        self.warm_caches?.get(key)
     }
 
     /// Flushes every curve cache's buffered hit/miss counters to the
     /// recorder, in cache-creation order.
     fn flush_caches(&self) {
-        for cache in &self.caches {
+        for (_, cache) in &self.caches {
             cache.flush_recorded();
         }
+    }
+
+    /// This iteration's curve caches, keyed, for warm-start capture.
+    fn keyed_caches(&self) -> BTreeMap<String, Arc<CachedModel>> {
+        self.caches.iter().cloned().collect()
     }
 
     /// The frame-activation stream as the bus analysis sees it: the
@@ -794,11 +969,24 @@ impl<'a> Resolver<'a> {
         let outer = self.packed_hem(name)?.flatten();
         let model = match self.config.mode {
             // Busy-window iterations hammer the same η⁺/δ⁻ queries on the
-            // lazy OR-join: memoize.
-            AnalysisMode::Flat | AnalysisMode::Hierarchical => self.cache(CachedModel::recorded(
-                outer,
-                self.config.local.recorder.clone(),
-            )),
+            // lazy OR-join: memoize. On a warm start, a clean frame's
+            // cache carries the snapshot's memoized curve points over
+            // (forked onto this iteration's model so misses evaluate
+            // fresh state).
+            AnalysisMode::Flat | AnalysisMode::Hierarchical => {
+                let recorder = self.config.local.recorder.clone();
+                let cache_key = format!("outer:{name}");
+                let resource = self
+                    .frames
+                    .get(name)
+                    .map(|f| format!("bus:{}", f.bus))
+                    .unwrap_or_default();
+                let cached = match self.retained(&cache_key, &resource) {
+                    Some(prev) => prev.fork_onto(outer, recorder),
+                    None => CachedModel::recorded(outer, recorder),
+                };
+                self.cache(cache_key, cached)
+            }
             AnalysisMode::FlatSem => {
                 approx::sem_approximation(outer.as_ref(), self.config.sem_fit_horizon)?.shared()
             }
@@ -879,13 +1067,20 @@ impl<'a> Resolver<'a> {
         })?;
         let key = self.enter(format!("task:{name}"))?;
         let activation = task.activation.clone();
+        let resource = format!("cpu:{}", task.cpu);
         // Memoized: CPU busy windows evaluate the activation stream many
-        // times per fixed-point iteration.
+        // times per fixed-point iteration. On a warm start, a clean
+        // task's cache carries the snapshot's memoized curve points
+        // over. Resolution still runs either way — its side effects
+        // (packings, `packing_ops`) must match a from-scratch run.
         let resolved = self.resolve_source(&activation)?;
-        let model = self.cache(CachedModel::recorded(
-            resolved,
-            self.config.local.recorder.clone(),
-        ));
+        let recorder = self.config.local.recorder.clone();
+        let cache_key = format!("act:{name}");
+        let cached = match self.retained(&cache_key, &resource) {
+            Some(prev) => prev.fork_onto(resolved, recorder),
+            None => CachedModel::recorded(resolved, recorder),
+        };
+        let model = self.cache(cache_key, cached);
         self.visiting.remove(&key);
         self.task_activation.insert(name.to_string(), model.clone());
         Ok(model)
@@ -1022,7 +1217,7 @@ impl<'a> Resolver<'a> {
     }
 }
 
-fn validate(spec: &SystemSpec) -> Result<(), SystemError> {
+pub(crate) fn validate(spec: &SystemSpec) -> Result<(), SystemError> {
     fn check_unique<'n>(
         kind: &'static str,
         names: impl Iterator<Item = &'n str>,

@@ -253,6 +253,153 @@ impl PropagationLevels {
     }
 }
 
+/// The resource-level dependency graph **including cross-iteration
+/// edges**, the basis of the incremental engine's damage-cone
+/// computation (see `docs/INCREMENTAL.md`).
+///
+/// [`PropagationLevels`] deliberately drops task-output edges: a
+/// consumer reads the producer's *previous-iteration* response time, so
+/// no same-iteration ordering is needed. For invalidation the direction
+/// of data flow matters regardless of which iteration it crosses — if a
+/// producer's results change, every consumer's trajectory changes one
+/// iteration later. This graph therefore keeps both kinds of edges:
+///
+/// * `bus:<b> ∈ deps(R)` when an entity on `R` consumes a signal or the
+///   arrival stream of a frame on `b` (same-iteration),
+/// * `cpu:<c> ∈ deps(R)` when an entity on `R` consumes the output of a
+///   task hosted on `c` (cross-iteration).
+///
+/// Nodes are prefixed resource keys (`bus:<name>` / `cpu:<name>`), the
+/// same convention `Diagnostics` uses for entities. Only *direct* edges
+/// are stored; [`ResourceGraph::dependents_closure`] transitively closes
+/// over them.
+///
+/// # Examples
+///
+/// ```
+/// use hem_system::graph::ResourceGraph;
+/// use hem_system::SystemSpec;
+///
+/// let graph = ResourceGraph::of(&SystemSpec::new().cpu("ecu"));
+/// assert_eq!(graph.len(), 1);
+/// assert_eq!(
+///     graph.dependents_closure(["cpu:ecu".to_string()]),
+///     ["cpu:ecu".to_string()].into_iter().collect()
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceGraph {
+    /// Direct dependencies of every resource, keyed by prefixed name.
+    deps: std::collections::BTreeMap<String, BTreeSet<String>>,
+}
+
+impl ResourceGraph {
+    /// Derives the resource dependency graph of `spec`.
+    ///
+    /// Like [`PropagationLevels::of`], expects a spec that passes the
+    /// engine's validation; dangling references are ignored.
+    #[must_use]
+    pub fn of(spec: &SystemSpec) -> Self {
+        let tasks: HashMap<&str, &TaskSpec> =
+            spec.tasks.iter().map(|t| (t.name.as_str(), t)).collect();
+        let frames: HashMap<&str, &FrameSpec> =
+            spec.frames.iter().map(|f| (f.name.as_str(), f)).collect();
+        // Direct edges only: a `TaskOutput` consumer depends on the
+        // producer's CPU, a `Signal`/`FrameArrivals` consumer on the
+        // transporting frame's bus. The producer's own inputs are that
+        // resource's edges; `dependents_closure` chains them.
+        fn source_deps(
+            source: &ActivationSpec,
+            tasks: &HashMap<&str, &TaskSpec>,
+            frames: &HashMap<&str, &FrameSpec>,
+            out: &mut BTreeSet<String>,
+        ) {
+            match source {
+                ActivationSpec::External(_) => {}
+                ActivationSpec::TaskOutput(task) => {
+                    if let Some(t) = tasks.get(task.as_str()) {
+                        out.insert(format!("cpu:{}", t.cpu));
+                    }
+                }
+                ActivationSpec::Signal { frame, .. } | ActivationSpec::FrameArrivals(frame) => {
+                    if let Some(f) = frames.get(frame.as_str()) {
+                        out.insert(format!("bus:{}", f.bus));
+                    }
+                }
+                ActivationSpec::AnyOf(sources) | ActivationSpec::AllOf(sources) => {
+                    for s in sources {
+                        source_deps(s, tasks, frames, out);
+                    }
+                }
+            }
+        }
+        let mut deps = std::collections::BTreeMap::new();
+        for b in &spec.buses {
+            let mut out = BTreeSet::new();
+            for f in spec.frames.iter().filter(|f| f.bus == b.name) {
+                for s in &f.signals {
+                    source_deps(&s.source, &tasks, &frames, &mut out);
+                }
+            }
+            deps.insert(format!("bus:{}", b.name), out);
+        }
+        for c in &spec.cpus {
+            let mut out = BTreeSet::new();
+            for t in spec.tasks.iter().filter(|t| t.cpu == c.name) {
+                source_deps(&t.activation, &tasks, &frames, &mut out);
+            }
+            deps.insert(format!("cpu:{}", c.name), out);
+        }
+        ResourceGraph { deps }
+    }
+
+    /// Every resource of the graph, as prefixed keys in sorted order.
+    pub fn resources(&self) -> impl Iterator<Item = &str> {
+        self.deps.keys().map(String::as_str)
+    }
+
+    /// Number of resources.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether the graph holds no resources.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// The *damage cone* of a set of directly mutated resources: every
+    /// resource whose analysis trajectory can be affected by the
+    /// mutation — the seeds plus all transitive dependents, following
+    /// edges forward through both same- and cross-iteration
+    /// dependencies. Seeds that are not resources of this graph are
+    /// ignored.
+    #[must_use]
+    pub fn dependents_closure(&self, seeds: impl IntoIterator<Item = String>) -> BTreeSet<String> {
+        let mut dependents: HashMap<&str, Vec<&str>> = HashMap::new();
+        for (resource, deps) in &self.deps {
+            for dep in deps {
+                dependents.entry(dep).or_default().push(resource);
+            }
+        }
+        let mut cone: BTreeSet<String> = seeds
+            .into_iter()
+            .filter(|s| self.deps.contains_key(s))
+            .collect();
+        let mut frontier: Vec<String> = cone.iter().cloned().collect();
+        while let Some(resource) = frontier.pop() {
+            for &dependent in dependents.get(resource.as_str()).into_iter().flatten() {
+                if cone.insert(dependent.to_string()) {
+                    frontier.push(dependent.to_string());
+                }
+            }
+        }
+        cone
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +584,94 @@ mod tests {
         assert_eq!(levels.levels[0].buses, ["b0", "b1"]);
         // The CPU reads both buses (one via the task-output chain).
         assert_eq!(levels.levels[1].cpus, ["c"]);
+    }
+
+    fn keys(set: &BTreeSet<String>) -> Vec<&str> {
+        set.iter().map(String::as_str).collect()
+    }
+
+    #[test]
+    fn resource_graph_includes_cross_iteration_edges() {
+        // src → F0 on can0 → relay on gw → F1 on can1 → rx on sink.
+        // `PropagationLevels` has no edge gw → can1 within an iteration,
+        // but the damage cone must carry a gw mutation into can1.
+        let spec = SystemSpec::new()
+            .cpu("gw")
+            .cpu("sink")
+            .bus("can0", CanBusConfig::new(Time::new(1)))
+            .bus("can1", CanBusConfig::new(Time::new(1)))
+            .frame(frame("F0", "can0", 1, vec![("s", periodic(500))]))
+            .frame(frame(
+                "F1",
+                "can1",
+                1,
+                vec![("g", ActivationSpec::TaskOutput("relay".into()))],
+            ))
+            .task(task("relay", "gw", signal("F0", "s")))
+            .task(task("rx", "sink", signal("F1", "g")));
+        let graph = ResourceGraph::of(&spec);
+        assert_eq!(graph.len(), 4);
+        assert!(!graph.is_empty());
+        assert_eq!(
+            graph.resources().collect::<Vec<_>>(),
+            ["bus:can0", "bus:can1", "cpu:gw", "cpu:sink"]
+        );
+        // A mutation on can0 dirties everything downstream.
+        let cone = graph.dependents_closure(["bus:can0".to_string()]);
+        assert_eq!(keys(&cone), ["bus:can0", "bus:can1", "cpu:gw", "cpu:sink"]);
+        // A mutation on the gateway CPU reaches can1 and sink, not can0.
+        let cone = graph.dependents_closure(["cpu:gw".to_string()]);
+        assert_eq!(keys(&cone), ["bus:can1", "cpu:gw", "cpu:sink"]);
+        // The sink is a leaf.
+        let cone = graph.dependents_closure(["cpu:sink".to_string()]);
+        assert_eq!(keys(&cone), ["cpu:sink"]);
+        // Unknown seeds are ignored.
+        assert!(graph
+            .dependents_closure(["bus:ghost".to_string()])
+            .is_empty());
+    }
+
+    #[test]
+    fn resource_graph_isolates_independent_islands() {
+        let spec = SystemSpec::new()
+            .cpu("a")
+            .cpu("b")
+            .bus("can0", CanBusConfig::new(Time::new(1)))
+            .bus("can1", CanBusConfig::new(Time::new(1)))
+            .frame(frame("F0", "can0", 1, vec![("s", periodic(100))]))
+            .frame(frame("F1", "can1", 1, vec![("s", periodic(100))]))
+            .task(task("t0", "a", signal("F0", "s")))
+            .task(task("t1", "b", signal("F1", "s")));
+        let graph = ResourceGraph::of(&spec);
+        let cone = graph.dependents_closure(["bus:can0".to_string()]);
+        assert_eq!(keys(&cone), ["bus:can0", "cpu:a"]);
+    }
+
+    #[test]
+    fn resource_graph_closes_over_cycles() {
+        // The mutually-dependent-buses topology: the cone from either
+        // bus covers the whole strongly connected component.
+        let spec = SystemSpec::new()
+            .cpu("gw")
+            .bus("b0", CanBusConfig::new(Time::new(1)))
+            .bus("b1", CanBusConfig::new(Time::new(1)))
+            .frame(frame(
+                "F0",
+                "b0",
+                1,
+                vec![("x", ActivationSpec::TaskOutput("t1".into()))],
+            ))
+            .frame(frame(
+                "F1",
+                "b1",
+                1,
+                vec![("y", ActivationSpec::TaskOutput("t0".into()))],
+            ))
+            .task(task("t0", "gw", signal("F0", "x")))
+            .task(task("t1", "gw", signal("F1", "y")));
+        let graph = ResourceGraph::of(&spec);
+        let cone = graph.dependents_closure(["bus:b0".to_string()]);
+        assert_eq!(keys(&cone), ["bus:b0", "bus:b1", "cpu:gw"]);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod report;
 mod result;
 pub mod sensitivity;
 mod spec;
+pub mod warm;
 
 pub use diagnostics::{ConvergenceStatus, Diagnostics, StopReason};
 pub use engine::{analyze, analyze_robust, RobustAnalysis};
@@ -54,3 +55,4 @@ pub use result::{SystemConfig, SystemResults};
 pub use spec::{
     ActivationSpec, AnalysisMode, BusSpec, CpuSpec, FrameSpec, SignalSpec, SystemSpec, TaskSpec,
 };
+pub use warm::{analyze_incremental, FallbackReason, IncrementalOutcome, ReuseReport, WarmStart};

@@ -211,6 +211,22 @@ impl SystemResults {
     pub fn unpacked_signal(&self, frame: &str, signal: &str) -> Option<&ModelRef> {
         self.unpacked_signals.get(&signal_key(frame, signal))
     }
+
+    /// Every response time, keyed by prefixed entity (`task:<name>` /
+    /// `frame:<name>`) — a convenient flattened view for diffing two
+    /// runs, e.g. asserting incremental results equal from-scratch ones.
+    #[must_use]
+    pub fn response_times(&self) -> BTreeMap<String, hem_analysis::ResponseTime> {
+        self.frame_results
+            .iter()
+            .map(|(k, v)| (format!("frame:{k}"), v.response))
+            .chain(
+                self.task_results
+                    .iter()
+                    .map(|(k, v)| (format!("task:{k}"), v.response)),
+            )
+            .collect()
+    }
 }
 
 pub(crate) fn signal_key(frame: &str, signal: &str) -> String {
