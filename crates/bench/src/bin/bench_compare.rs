@@ -20,17 +20,19 @@
 //!   (the `HEM_THREADS=1` and `=4` CI legs); wall-clock, speedup, and
 //!   thread-count fields are ignored. This turns the
 //!   `docs/PARALLELISM.md` guarantee into an enforced check.
-//! * `bench_compare --report <fresh>` — prints the sweep and
-//!   incremental summaries of one profile, failing loudly when the
+//! * `bench_compare --report <fresh>` — prints the sweep, incremental,
+//!   and serving summaries of one profile, failing loudly when the
 //!   file is missing, malformed, or lacks the expected sections
 //!   (replacing the former inline-python report step that silently
-//!   assumed both).
+//!   assumed them).
 //!
-//! Deterministic vs. not: `wall_ms*` fields and the `span_us/*`
-//! histogram families measure wall time; `speedup` fields are ratios of
-//! wall times; `threads` records the CI leg. Everything else in the
-//! profile is covered by the engine's determinism guarantee and must
-//! not drift.
+//! Deterministic vs. not: `wall_ms*` / `*_ms` fields (latency
+//! percentiles included) and the `span_us/*` histogram families
+//! measure wall time; `speedup` fields are ratios of wall times;
+//! `threads` records the CI leg and `req_s` is a throughput over wall
+//! time. Everything else in the profile — including every count in the
+//! `serving` section — is covered by the engine's determinism
+//! guarantee and must not drift.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -56,11 +58,16 @@ fn classify(path: &str) -> Class {
         return Class::Informational;
     }
     let last = path.rsplit('.').next().unwrap_or(path);
-    if last.starts_with("wall_ms") {
+    if last.starts_with("wall_ms") || last.ends_with("_ms") {
+        // `wall_ms*`, `p50_ms`, `p99_ms`, ... — anything measured in
+        // wall-clock milliseconds.
         Class::Timing
     } else if last == "speedup" {
         Class::Speedup
-    } else if last == "threads" {
+    } else if last == "threads" || last == "req_s" {
+        // `req_s` is requests over wall time: pure timing residue with
+        // no one-sided "worse" direction worth gating, so it is
+        // reported but never compared.
         Class::Informational
     } else {
         Class::Exact
@@ -292,6 +299,7 @@ fn report(doc: &JsonValue) -> String {
     };
     let sweep = section("sweep");
     let incremental = section("incremental");
+    let serving = section("serving");
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -309,6 +317,17 @@ fn report(doc: &JsonValue) -> String {
         100.0 * field(incremental, "incremental", "mean_cone_fraction"),
         field(incremental, "incremental", "replayed_results"),
         field(incremental, "incremental", "full_fallbacks"),
+    );
+    let _ = writeln!(
+        out,
+        "serving: {} sessions, {} requests, p50 {:.3} ms, p99 {:.3} ms, {} recoveries, {} shed, {} stale served",
+        field(serving, "serving", "sessions"),
+        field(serving, "serving", "requests"),
+        field(serving, "serving", "p50_ms"),
+        field(serving, "serving", "p99_ms"),
+        field(serving, "serving", "recoveries"),
+        field(serving, "serving", "shed"),
+        field(serving, "serving", "stale_served"),
     );
     out
 }
@@ -418,6 +437,13 @@ mod tests {
             Class::Exact
         );
         assert_eq!(classify("incremental.mean_cone_fraction"), Class::Exact);
+        assert_eq!(classify("serving.p50_ms"), Class::Timing);
+        assert_eq!(classify("serving.p99_ms"), Class::Timing);
+        assert_eq!(classify("serving.wall_ms"), Class::Timing);
+        assert_eq!(classify("serving.req_s"), Class::Informational);
+        assert_eq!(classify("serving.recoveries"), Class::Exact);
+        assert_eq!(classify("serving.shed"), Class::Exact);
+        assert_eq!(classify("serving.stale_served"), Class::Exact);
     }
 
     #[test]
@@ -484,17 +510,22 @@ mod tests {
     }
 
     #[test]
-    fn report_renders_both_sections() {
+    fn report_renders_all_sections() {
         let doc = parse(
             r#"{"sweep":{"scenarios":38,"threads":4,"speedup":2.5},
                 "incremental":{"scenarios":17,"replicas":8,"speedup":2.3,
                                "mean_cone_fraction":0.125,"replayed_results":3136,
-                               "full_fallbacks":1}}"#,
+                               "full_fallbacks":1},
+                "serving":{"sessions":96,"requests":820,"wall_ms":150.0,
+                           "req_s":5466.7,"p50_ms":0.02,"p99_ms":1.5,
+                           "recoveries":8,"shed":16,"stale_served":8}}"#,
         )
         .unwrap();
         let text = report(&doc);
         assert!(text.contains("38 scenarios"));
         assert!(text.contains("2.30x warm speedup"));
         assert!(text.contains("mean cone 12.5%"));
+        assert!(text.contains("96 sessions"));
+        assert!(text.contains("8 recoveries, 16 shed, 8 stale served"));
     }
 }

@@ -1,0 +1,102 @@
+//! Load generator for the serving layer (`hem-server`).
+//!
+//! Drives [`hem_bench::serving::run_serving`] at fleet scale — by
+//! default 1200 event-sourced sessions through mutation rounds,
+//! injected kills with torn-WAL recovery, deterministic overload
+//! shedding, and zero-deadline degradation probes — and prints the
+//! `serving` report. Exits non-zero if the run does not demonstrate
+//! the robustness machinery (at least 1000 sessions with non-zero
+//! recoveries and shed), or if any request misbehaves (the bench
+//! panics on protocol errors).
+//!
+//! ```text
+//! cargo run --release -p hem-bench --bin load_gen -- \
+//!     [--sessions N] [--rounds N] [--analyze-every N] [--kills N] \
+//!     [--shed-capacity N] [--shed-probes N] [--stale-probes N] \
+//!     [--data-dir DIR]
+//! ```
+
+use std::path::PathBuf;
+
+use hem_bench::serving::{run_serving, ServingParams};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: load_gen [--sessions N] [--rounds N] [--analyze-every N] [--kills N] \
+         [--shed-capacity N] [--shed-probes N] [--stale-probes N] [--data-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut params = ServingParams::load();
+    let mut data_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        let number = || -> usize {
+            value.parse().unwrap_or_else(|_| {
+                eprintln!("load_gen: {flag} needs an unsigned integer, got {value:?}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--sessions" => params.sessions = number(),
+            "--rounds" => params.rounds = number().max(1),
+            "--analyze-every" => params.analyze_every = number().max(1),
+            "--kills" => params.kills = number(),
+            "--shed-capacity" => params.shed_capacity = number().max(1),
+            "--shed-probes" => params.shed_probes = number(),
+            "--stale-probes" => params.stale_probes = number(),
+            "--data-dir" => data_dir = Some(PathBuf::from(&value)),
+            _ => usage(),
+        }
+    }
+
+    let (dir, ephemeral) = match data_dir {
+        Some(dir) => (dir, false),
+        None => (
+            std::env::temp_dir().join(format!("hem-load-gen-{}", std::process::id())),
+            true,
+        ),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    eprintln!(
+        "load_gen: {} sessions, {} rounds, {} kills, queue {} (+{} overflow), {} stale probes",
+        params.sessions,
+        params.rounds,
+        params.kills,
+        params.shed_capacity,
+        params.shed_probes,
+        params.stale_probes
+    );
+    let report = run_serving(&dir, &params);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    println!("serving: {}", report.to_json());
+    println!(
+        "{} sessions, {} requests in {:.1} ms ({:.0} req/s), p50 {:.3} ms, p99 {:.3} ms",
+        report.sessions,
+        report.requests,
+        report.wall_ms,
+        report.req_s,
+        report.p50_ms,
+        report.p99_ms
+    );
+    println!(
+        "{} WAL recoveries, {} shed, {} stale served",
+        report.recoveries, report.shed, report.stale_served
+    );
+
+    // The ISSUE acceptance bar: fleet scale with the failure paths
+    // actually exercised.
+    if report.sessions < 1000 || report.recoveries == 0 || report.shed == 0 {
+        eprintln!(
+            "load_gen: robustness bar not met (need >= 1000 sessions with non-zero recoveries and shed)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -10,7 +10,9 @@
 //!   (and the `threads` value itself) and an `incremental` section with
 //!   the warm-start chain speedup over a replicated scenario grid
 //!   (cold vs. warm wall time, mean damage-cone fraction; see
-//!   `docs/INCREMENTAL.md`),
+//!   `docs/INCREMENTAL.md`) and a `serving` section with the CI-scale
+//!   serving benchmark (sessions, throughput, latency percentiles,
+//!   WAL recoveries, shed and stale counts; see `docs/SERVING.md`),
 //! * `BENCH_sim_trace.json` — a Chrome `trace_event` file of the
 //!   simulated run (open in <https://ui.perfetto.dev> or
 //!   `chrome://tracing`),
@@ -26,6 +28,7 @@ use std::time::Instant;
 use hem_bench::incremental::{run_chain_cold, run_chain_warm, scenario_chain};
 use hem_bench::paper_system::{simulation, spec, PaperParams};
 use hem_bench::parallel::{env_threads, parallel_map};
+use hem_bench::serving::{run_serving, ServingParams, ServingReport};
 use hem_obs::{json, Counter, MemoryRecorder, MetricsSnapshot};
 use hem_sim::fault::{Fault, FaultPlan, FaultTarget};
 use hem_sim::system::try_run_recorded;
@@ -226,6 +229,19 @@ fn run_incremental() -> Incremental {
     }
 }
 
+/// The CI-scale serving benchmark (see [`hem_bench::serving`]): a
+/// fleet of event-sourced sessions through mutation rounds, injected
+/// kills with torn-WAL recovery, deterministic shedding, and
+/// zero-deadline degradation. All its counts are deterministic; only
+/// the wall-clock fields measure this machine.
+fn run_serving_phase() -> ServingReport {
+    let dir = std::env::temp_dir().join(format!("hem-profile-serving-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = run_serving(&dir, &ServingParams::ci());
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
 fn out_path(file: &str) -> String {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     Path::new(&dir).join(file).to_string_lossy().into_owned()
@@ -240,6 +256,7 @@ fn main() {
     ];
     let sweep = run_sweep();
     let incremental = run_incremental();
+    let serving = run_serving_phase();
 
     let mut out = format!(
         "{{\"system\":\"paper-fig2\",\"threads\":{},\"phases\":{{",
@@ -266,7 +283,7 @@ fn main() {
         sweep.speedup()
     ));
     out.push_str(&format!(
-        ",\"incremental\":{{\"replicas\":{},\"scenarios\":{},\"wall_ms_cold\":{:.3},\"wall_ms_warm\":{:.3},\"speedup\":{:.3},\"mean_cone_fraction\":{:.6},\"replayed_results\":{},\"full_fallbacks\":{}}}}}",
+        ",\"incremental\":{{\"replicas\":{},\"scenarios\":{},\"wall_ms_cold\":{:.3},\"wall_ms_warm\":{:.3},\"speedup\":{:.3},\"mean_cone_fraction\":{:.6},\"replayed_results\":{},\"full_fallbacks\":{}}}",
         incremental.replicas,
         incremental.scenarios,
         incremental.wall_ms_cold,
@@ -276,6 +293,7 @@ fn main() {
         incremental.replayed_results,
         incremental.full_fallbacks
     ));
+    out.push_str(&format!(",\"serving\":{}}}", serving.to_json()));
     if let Err(e) = json::validate(&out) {
         eprintln!("internal error: BENCH_analysis.json is not valid JSON: {e}");
         std::process::exit(1);
@@ -322,6 +340,17 @@ fn main() {
         100.0 * incremental.mean_cone_fraction,
         incremental.replayed_results,
         incremental.full_fallbacks
+    );
+    println!(
+        "serving: {} sessions, {} requests ({:.0} req/s), p50 {:.3} ms, p99 {:.3} ms, {} recoveries, {} shed, {} stale",
+        serving.sessions,
+        serving.requests,
+        serving.req_s,
+        serving.p50_ms,
+        serving.p99_ms,
+        serving.recoveries,
+        serving.shed,
+        serving.stale_served
     );
     println!("wrote BENCH_analysis.json, BENCH_sim_trace.json, BENCH_convergence.jsonl");
 }

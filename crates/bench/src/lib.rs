@@ -22,3 +22,4 @@
 pub mod incremental;
 pub mod paper_system;
 pub mod parallel;
+pub mod serving;

@@ -1,0 +1,455 @@
+//! The serving benchmark: drives [`hem_server`] the way a fleet of
+//! clients would, including the failure modes.
+//!
+//! [`run_serving`] opens many event-sourced sessions against one
+//! [`ServerCore`], walks them through round-robin mutation rounds with
+//! periodic analyses, then exercises the robustness machinery
+//! *deterministically*:
+//!
+//! * **kill injection** — selected sessions are dropped from memory and
+//!   their WAL tails torn (the on-disk image a `kill -9` mid-append
+//!   leaves behind), then re-opened; recovery plus an idempotent resend
+//!   of the full history must land every session back on its exact
+//!   state, and each recovery is counted;
+//! * **overload shedding** — a paused bounded [`WorkQueue`] is
+//!   overfilled so exactly the overflow is shed with deterministic
+//!   retry hints, then resumed and drained;
+//! * **graceful degradation** — zero-deadline analyses against mutated
+//!   sessions must serve the last materialized result marked stale.
+//!
+//! Every count in the resulting [`ServingReport`] (sessions, requests,
+//! recoveries, shed, stale responses) is a pure function of the
+//! parameters — the CI determinism gate compares them bit-for-bit
+//! across thread legs — while the wall-clock fields (`wall_ms`,
+//! `req_s`, `p50_ms`, `p99_ms`) measure this machine. Any protocol
+//! failure panics: the bench doubles as an end-to-end correctness
+//! check at a scale the unit tests do not reach.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hem_obs::json::{self, JsonValue};
+use hem_server::{ServerCore, WorkQueue};
+
+/// Shape of one serving run. All counts in the report are determined
+/// by these parameters alone.
+#[derive(Debug, Clone)]
+pub struct ServingParams {
+    /// Concurrent sessions to open (each gets its own WAL).
+    pub sessions: usize,
+    /// Mutation rounds; every session receives one mutation per round.
+    pub rounds: usize,
+    /// Every `analyze_every`-th session is analysed after each round.
+    pub analyze_every: usize,
+    /// Sessions to crash (torn WAL tail) and recover.
+    pub kills: usize,
+    /// Bounded work-queue capacity for the overload phase.
+    pub shed_capacity: usize,
+    /// Requests submitted *beyond* capacity — exactly this many shed.
+    pub shed_probes: usize,
+    /// Zero-deadline analyses that must degrade to a stale result.
+    pub stale_probes: usize,
+}
+
+impl ServingParams {
+    /// The CI-scale run embedded in `profile_analysis`: small enough to
+    /// add little wall time, large enough to exercise every phase.
+    #[must_use]
+    pub fn ci() -> Self {
+        ServingParams {
+            sessions: 96,
+            rounds: 3,
+            analyze_every: 8,
+            kills: 8,
+            shed_capacity: 8,
+            shed_probes: 16,
+            stale_probes: 8,
+        }
+    }
+
+    /// The `load_gen` default: the ISSUE-scale run (>= 1000 sessions
+    /// with non-zero recoveries and shed).
+    #[must_use]
+    pub fn load() -> Self {
+        ServingParams {
+            sessions: 1200,
+            rounds: 3,
+            analyze_every: 16,
+            kills: 64,
+            shed_capacity: 16,
+            shed_probes: 64,
+            stale_probes: 32,
+        }
+    }
+}
+
+/// What one serving run measured.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Sessions opened.
+    pub sessions: u64,
+    /// Total requests issued (including the shed ones).
+    pub requests: u64,
+    /// Wall time of the whole run.
+    pub wall_ms: f64,
+    /// Requests per second over the whole run.
+    pub req_s: f64,
+    /// Median per-request latency (synchronous requests).
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency.
+    pub p99_ms: f64,
+    /// WAL recoveries performed (torn-tail re-opens).
+    pub recoveries: u64,
+    /// Requests shed by the bounded queue.
+    pub shed: u64,
+    /// Stale materialized results served under expired deadlines.
+    pub stale_served: u64,
+}
+
+impl ServingReport {
+    /// The `serving` section of `BENCH_analysis.json` (a JSON object,
+    /// no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sessions\":{},\"requests\":{},\"wall_ms\":{:.3},\"req_s\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\"recoveries\":{},\"shed\":{},\"stale_served\":{}}}",
+            self.sessions,
+            self.requests,
+            self.wall_ms,
+            self.req_s,
+            self.p50_ms,
+            self.p99_ms,
+            self.recoveries,
+            self.shed,
+            self.stale_served
+        )
+    }
+
+    /// A copy with every wall-clock field zeroed — the deterministic
+    /// residue the golden-file test pins down.
+    #[must_use]
+    pub fn normalized(&self) -> ServingReport {
+        ServingReport {
+            wall_ms: 0.0,
+            req_s: 0.0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
+/// The Fig. 2-shaped two-task scenario, with per-session source
+/// periods so sessions are not all byte-identical.
+#[must_use]
+pub fn scenario_for(i: usize) -> String {
+    let p0 = 400 + 20 * (i % 8);
+    let p1 = 600 + 30 * (i % 5);
+    format!(
+        "cpu cpu0\n\
+         cpu cpu1\n\
+         bus can0 bit_time=1\n\
+         bus can1 bit_time=1\n\
+         frame F0 bus=can0 type=direct payload=4 prio=1\n  \
+         signal s0 triggering periodic:{p0}\n\
+         frame F1 bus=can1 type=direct payload=4 prio=1\n  \
+         signal s1 triggering periodic:{p1}\n\
+         task t0 cpu=cpu0 cet=30 prio=1 activation=F0/s0\n\
+         task t1 cpu=cpu1 cet=40 prio=1 activation=F1/s1\n"
+    )
+}
+
+/// The deterministic mutation for session `i` in round `r`: cycles
+/// through the full event vocabulary.
+#[must_use]
+pub fn event_for(i: usize, r: usize) -> String {
+    match (i + r) % 4 {
+        0 => format!(
+            r#"{{"type":"set_task","task":"t0","wcet":{}}}"#,
+            31 + (i + r) % 7
+        ),
+        1 => format!(
+            r#"{{"type":"set_source","frame":"F0","signal":"s0","period":{},"jitter":{}}}"#,
+            380 + 10 * ((i + r) % 6),
+            5 * ((i + r) % 3)
+        ),
+        2 => format!(
+            r#"{{"type":"set_bus","bus":"can0","bit_time":{}}}"#,
+            1 + (i + r) % 2
+        ),
+        _ => format!(
+            r#"{{"type":"set_payload","frame":"F1","payload":{}}}"#,
+            1 + (i + r) % 8
+        ),
+    }
+}
+
+/// Synchronous request driver: counts requests and records latencies.
+struct Driver {
+    core: Arc<ServerCore>,
+    requests: u64,
+    latencies_ms: Vec<f64>,
+}
+
+impl Driver {
+    fn call(&mut self, line: &str) -> JsonValue {
+        let started = Instant::now();
+        let response = self.core.handle_line(line);
+        self.latencies_ms
+            .push(started.elapsed().as_secs_f64() * 1e3);
+        self.requests += 1;
+        let value = json::parse(&response).expect("server response is valid JSON");
+        assert!(
+            matches!(value.get("ok"), Some(JsonValue::Bool(true))),
+            "serving request failed\n  request: {line}\n  response: {response}"
+        );
+        value
+    }
+}
+
+fn session_name(i: usize) -> String {
+    format!("s{i}")
+}
+
+fn open_line(i: usize) -> String {
+    let mut line = format!(
+        "{{\"op\":\"open\",\"session\":\"{}\",\"scenario\":",
+        session_name(i)
+    );
+    json::write_escaped(&mut line, &scenario_for(i));
+    line.push('}');
+    line
+}
+
+fn mutate_line(i: usize, seq: u64, event: &str) -> String {
+    format!(
+        r#"{{"op":"mutate","session":"{}","seq":{seq},"event":{event}}}"#,
+        session_name(i)
+    )
+}
+
+fn expect_bool(value: &JsonValue, key: &str) -> bool {
+    match value.get(key) {
+        Some(JsonValue::Bool(b)) => *b,
+        other => panic!("response field {key:?} is not a bool: {other:?}"),
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn stats_counter(stats: &JsonValue, name: &str) -> u64 {
+    stats
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(JsonValue::as_f64)
+        .map_or(0, |n| n as u64)
+}
+
+/// Runs one full serving benchmark against `data_dir` (created if
+/// absent; WAL files are left behind for the caller to clean up).
+///
+/// # Panics
+///
+/// On any protocol failure — a failed request, a recovery that does
+/// not ack the expected duplicates, a shed count that is not exactly
+/// the overflow, or a zero-deadline analysis that is not stale. The
+/// bench is a correctness gate, not just a stopwatch.
+#[must_use]
+pub fn run_serving(data_dir: &Path, params: &ServingParams) -> ServingReport {
+    let kills = params.kills.min(params.sessions);
+    let analyze_every = params.analyze_every.max(1);
+    let started = Instant::now();
+    let core = Arc::new(ServerCore::new(data_dir, false).expect("create server core"));
+    let mut driver = Driver {
+        core: core.clone(),
+        requests: 0,
+        latencies_ms: Vec::new(),
+    };
+
+    // Phase 1: open the whole fleet.
+    for i in 0..params.sessions {
+        driver.call(&open_line(i));
+    }
+
+    // Phase 2: round-robin mutations, analysing a deterministic subset
+    // after each round (the warm-start path: round r's analysis reuses
+    // round r-1's snapshot).
+    for r in 0..params.rounds {
+        for i in 0..params.sessions {
+            driver.call(&mutate_line(i, (r + 1) as u64, &event_for(i, r)));
+        }
+        for i in (0..params.sessions).step_by(analyze_every) {
+            driver.call(&format!(
+                r#"{{"op":"analyze","session":"{}"}}"#,
+                session_name(i)
+            ));
+        }
+    }
+
+    // Phase 3: kill injection. Close (drop from memory), tear the WAL
+    // tail — the torn-write image of a kill -9 mid-append — then
+    // re-open and resend the full history idempotently.
+    let stride = (params.sessions / kills.max(1)).max(1);
+    for k in 0..kills {
+        let i = k * stride;
+        driver.call(&format!(
+            r#"{{"op":"close","session":"{}"}}"#,
+            session_name(i)
+        ));
+        let wal = data_dir.join(format!("{}.wal", session_name(i)));
+        let len = std::fs::metadata(&wal).expect("wal exists").len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .expect("open wal for tearing");
+        file.set_len(len.saturating_sub(2)).expect("tear wal tail");
+        drop(file);
+
+        let opened = driver.call(&open_line(i));
+        assert!(
+            expect_bool(&opened, "recovered") && expect_bool(&opened, "torn"),
+            "session {i}: torn-tail re-open did not report a recovery"
+        );
+        let mut duplicates = 0usize;
+        for r in 0..params.rounds {
+            let ack = driver.call(&mutate_line(i, (r + 1) as u64, &event_for(i, r)));
+            if expect_bool(&ack, "duplicate") {
+                duplicates += 1;
+            }
+        }
+        // The tear damaged exactly the last appended record.
+        assert_eq!(
+            duplicates,
+            params.rounds.saturating_sub(1),
+            "session {i}: unexpected duplicate count on idempotent resend"
+        );
+        driver.call(&format!(
+            r#"{{"op":"analyze","session":"{}"}}"#,
+            session_name(i)
+        ));
+    }
+
+    // Phase 4: overload. A paused bounded queue is overfilled: exactly
+    // the overflow is shed (with deterministic retry hints), the
+    // accepted requests all complete once draining resumes.
+    {
+        let queue = WorkQueue::new(core.clone(), params.shed_capacity, 2);
+        queue.pause();
+        let mut accepted = Vec::new();
+        let mut shed_here = 0usize;
+        for _ in 0..params.shed_capacity + params.shed_probes {
+            driver.requests += 1;
+            match queue.submit(r#"{"op":"ping"}"#.to_string()) {
+                Ok(rx) => accepted.push(rx),
+                Err(verdict) => {
+                    assert!(
+                        (25..100).contains(&verdict.retry_after_ms),
+                        "retry hint {} outside the jitter window",
+                        verdict.retry_after_ms
+                    );
+                    shed_here += 1;
+                }
+            }
+        }
+        assert_eq!(
+            shed_here, params.shed_probes,
+            "a full queue must shed exactly the overflow"
+        );
+        queue.resume();
+        for rx in accepted {
+            let response = rx.recv().expect("queue worker replies");
+            assert!(response.contains("\"ok\":true"), "ping failed: {response}");
+        }
+    }
+
+    // Phase 5: degradation. Mutate an already-analysed session, then
+    // analyse with a zero deadline: the budget expires immediately and
+    // the previous materialized result must be served, marked stale.
+    let analysed: Vec<usize> = (0..params.sessions).step_by(analyze_every).collect();
+    for &i in analysed.iter().take(params.stale_probes) {
+        driver.call(&mutate_line(
+            i,
+            (params.rounds + 1) as u64,
+            &event_for(i, params.rounds),
+        ));
+        let degraded = driver.call(&format!(
+            r#"{{"op":"analyze","session":"{}","deadline_ms":0}}"#,
+            session_name(i)
+        ));
+        assert!(
+            expect_bool(&degraded, "stale"),
+            "session {i}: zero-deadline analysis did not degrade to a stale result"
+        );
+    }
+
+    let stats = driver.call(r#"{"op":"stats"}"#);
+    let recoveries = stats_counter(&stats, "wal_recoveries");
+    let shed = stats_counter(&stats, "requests_shed");
+    let stale_served = stats_counter(&stats, "stale_served");
+    assert_eq!(
+        recoveries, kills as u64,
+        "every kill must recover via the WAL"
+    );
+
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut sorted = driver.latencies_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    ServingReport {
+        sessions: params.sessions as u64,
+        requests: driver.requests,
+        wall_ms,
+        req_s: if wall_ms > 0.0 {
+            driver.requests as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&sorted, 0.50),
+        p99_ms: percentile(&sorted, 0.99),
+        recoveries,
+        shed,
+        stale_served,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_rank_by_rounding() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_json_is_valid_and_normalization_zeroes_timings() {
+        let report = ServingReport {
+            sessions: 8,
+            requests: 47,
+            wall_ms: 12.5,
+            req_s: 3760.0,
+            p50_ms: 0.02,
+            p99_ms: 1.7,
+            recoveries: 2,
+            shed: 3,
+            stale_served: 2,
+        };
+        json::validate(&report.to_json()).expect("serving section is valid JSON");
+        let normalized = report.normalized();
+        assert_eq!(normalized.wall_ms, 0.0);
+        assert_eq!(normalized.req_s, 0.0);
+        assert_eq!(normalized.p50_ms, 0.0);
+        assert_eq!(normalized.p99_ms, 0.0);
+        assert_eq!(normalized.requests, 47);
+    }
+}

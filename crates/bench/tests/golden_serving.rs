@@ -1,0 +1,52 @@
+//! Golden-file test for the `serving` section of `BENCH_analysis.json`.
+//!
+//! Runs a tiny but complete serving benchmark (opens, mutation rounds,
+//! kill injection with torn-WAL recovery, deterministic shedding,
+//! zero-deadline degradation), zeroes the wall-clock fields, and
+//! compares the section byte-exactly against a checked-in golden file.
+//! This pins both the JSON shape consumed by `bench_compare` and every
+//! deterministic count the run produces. Regenerate after an
+//! intentional format change with
+//! `GOLDEN_REGEN=1 cargo test -p hem-bench --test golden_serving`.
+
+use std::path::PathBuf;
+
+use hem_bench::serving::{run_serving, ServingParams};
+
+fn golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mk golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; if the change is intentional run \
+         `GOLDEN_REGEN=1 cargo test -p hem-bench --test golden_serving`"
+    );
+}
+
+#[test]
+fn serving_section_matches_golden_file() {
+    let dir = std::env::temp_dir().join(format!("hem-golden-serving-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let params = ServingParams {
+        sessions: 8,
+        rounds: 2,
+        analyze_every: 4,
+        kills: 2,
+        shed_capacity: 2,
+        shed_probes: 3,
+        stale_probes: 2,
+    };
+    let report = run_serving(&dir, &params);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The wall-clock fields measure this machine; everything else is a
+    // pure function of the parameters and must not drift.
+    golden("serving_section.json", &report.normalized().to_json());
+}

@@ -45,11 +45,23 @@ pub enum Counter {
     /// (no usable snapshot, structural change, config change, or
     /// dependency cycles).
     FullFallbacks,
+    /// Sessions opened on the analysis server (monotone count of
+    /// `open` requests that created or recovered a session).
+    SessionsOpen,
+    /// Sessions rebuilt from their write-ahead log — at server startup,
+    /// after a crash, or when a poisoned session was quarantined.
+    WalRecoveries,
+    /// Requests rejected with an explicit load-shedding response
+    /// because the server's bounded work queue was full.
+    RequestsShed,
+    /// Requests answered with the last materialized (stale) result
+    /// because recomputation exceeded the request deadline.
+    StaleServed,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 15] = [
         Counter::GlobalIterations,
         Counter::BusyWindowIterations,
         Counter::CurveEvaluations,
@@ -61,6 +73,10 @@ impl Counter {
         Counter::WarmStartHits,
         Counter::ConeSize,
         Counter::FullFallbacks,
+        Counter::SessionsOpen,
+        Counter::WalRecoveries,
+        Counter::RequestsShed,
+        Counter::StaleServed,
     ];
 
     /// The stable snake_case export name.
@@ -78,6 +94,10 @@ impl Counter {
             Counter::WarmStartHits => "warm_start_hits",
             Counter::ConeSize => "cone_size",
             Counter::FullFallbacks => "full_fallbacks",
+            Counter::SessionsOpen => "sessions_open",
+            Counter::WalRecoveries => "wal_recoveries",
+            Counter::RequestsShed => "requests_shed",
+            Counter::StaleServed => "stale_served",
         }
     }
 

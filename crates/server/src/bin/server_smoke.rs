@@ -1,0 +1,285 @@
+//! End-to-end smoke test: kill -9 a live server mid-session, restart,
+//! and prove the recovered session is bit-identical to an uninterrupted
+//! one.
+//!
+//! The script (also run by the `server-smoke` CI job):
+//!
+//! 1. **Reference run** — start a server on a fresh data dir, open a
+//!    session, apply six mutations, analyze, and capture the `result`
+//!    response line.
+//! 2. **Crash run** — start a second server on another fresh dir, open
+//!    the same session, apply only the first three mutations, then
+//!    `SIGKILL` the process and tear the WAL's tail (truncate
+//!    mid-record, exactly what an interrupted `write(2)` leaves).
+//! 3. **Recovery run** — restart on the crashed dir: the open must
+//!    report a recovered, torn log. Resend *all six* mutations with
+//!    their sequence numbers — the survivors acknowledge as idempotent
+//!    duplicates, the lost tail re-applies. Analyze, capture `result`.
+//! 4. The two `result` lines must be **byte-identical**, and the
+//!    restarted server must report a WAL recovery in its stats.
+//!
+//! Exits 0 on success, 1 with a diagnostic on any deviation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use hem_obs::json::{self, JsonValue};
+
+const SCENARIO: &str = "\
+cpu cpu0
+cpu cpu1
+bus can0 bit_time=1
+bus can1 bit_time=1
+frame F0 bus=can0 type=direct payload=4 prio=1
+  signal s0 triggering periodic:500
+frame F1 bus=can1 type=direct payload=4 prio=1
+  signal s1 triggering periodic:700
+task t0 cpu=cpu0 cet=30 prio=1 activation=F0/s0
+task t1 cpu=cpu1 cet=40 prio=1 activation=F1/s1
+";
+
+/// The scripted mutations, in order; entry `i` is log seq `i + 1`.
+fn mutations() -> Vec<String> {
+    vec![
+        r#"{"type":"set_task","task":"t0","bcet":null,"wcet":35,"priority":null}"#.into(),
+        r#"{"type":"set_source","frame":"F0","signal":"s0","period":450,"jitter":10}"#.into(),
+        r#"{"type":"set_bus","bus":"can0","bit_time":2}"#.into(),
+        r#"{"type":"set_task","task":"t1","bcet":null,"wcet":45,"priority":null}"#.into(),
+        r#"{"type":"set_payload","frame":"F1","payload":6}"#.into(),
+        r#"{"type":"set_source","frame":"F1","signal":"s1","period":650,"jitter":0}"#.into(),
+    ]
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn start(data_dir: &Path) -> Result<Self, String> {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let server_bin = exe
+            .parent()
+            .ok_or("no parent dir for current exe")?
+            .join(format!("hem-server{}", std::env::consts::EXE_SUFFIX));
+        if !server_bin.exists() {
+            return Err(format!(
+                "server binary not found at {} (build the hem-server package first)",
+                server_bin.display()
+            ));
+        }
+        let mut child = Command::new(&server_bin)
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .arg("--data-dir")
+            .arg(data_dir)
+            .arg("--workers")
+            .arg("2")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", server_bin.display()))?;
+        let stdout = child.stdout.take().ok_or("no child stdout")?;
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .ok_or("server exited before announcing its address")?
+            .map_err(|e| format!("read banner: {e}"))?;
+        let addr = banner
+            .strip_prefix("LISTENING ")
+            .ok_or_else(|| format!("unexpected banner {banner:?}"))?
+            .to_string();
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines.flatten() {});
+        Ok(Server { child, addr })
+    }
+
+    fn connect(&self) -> Result<Conn, String> {
+        let stream = TcpStream::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        Ok(Conn { stream, reader })
+    }
+
+    fn kill9(&mut self) -> Result<(), String> {
+        // `Child::kill` is SIGKILL on unix: no atexit, no flush, no
+        // goodbye — the crash we claim to survive.
+        self.child.kill().map_err(|e| format!("kill: {e}"))?;
+        self.child.wait().map_err(|e| format!("wait: {e}"))?;
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn rpc(&mut self, line: &str) -> Result<String, String> {
+        writeln!(self.stream, "{line}").map_err(|e| format!("send: {e}"))?;
+        self.stream.flush().map_err(|e| format!("flush: {e}"))?;
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .map_err(|e| format!("recv: {e}"))?;
+        if response.is_empty() {
+            return Err("server hung up".into());
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    fn rpc_ok(&mut self, line: &str) -> Result<JsonValue, String> {
+        let response = self.rpc(line)?;
+        let value = json::parse(&response).map_err(|e| format!("response JSON: {e}"))?;
+        if !matches!(value.get("ok"), Some(JsonValue::Bool(true))) {
+            return Err(format!("request {line} failed: {response}"));
+        }
+        Ok(value)
+    }
+}
+
+fn open_line(session: &str) -> String {
+    let mut line = format!("{{\"op\":\"open\",\"session\":\"{session}\",\"scenario\":");
+    json::write_escaped(&mut line, SCENARIO);
+    line.push('}');
+    line
+}
+
+fn mutate_line(session: &str, seq: usize, event: &str) -> String {
+    format!("{{\"op\":\"mutate\",\"session\":\"{session}\",\"seq\":{seq},\"event\":{event}}}")
+}
+
+fn fresh_dir(tag: &str) -> Result<PathBuf, String> {
+    let dir = std::env::temp_dir().join(format!("hem-smoke-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).map_err(|e| format!("clean {}: {e}", dir.display()))?;
+    }
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+fn tear_wal_tail(data_dir: &Path, session: &str) -> Result<(), String> {
+    let path = data_dir.join(format!("{session}.wal"));
+    let len = std::fs::metadata(&path)
+        .map_err(|e| format!("stat {}: {e}", path.display()))?
+        .len();
+    if len < 3 {
+        return Err(format!(
+            "wal at {} suspiciously short ({len}b)",
+            path.display()
+        ));
+    }
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .map_err(|e| format!("open {}: {e}", path.display()))?;
+    // Chop two bytes off the last record: a torn write, not a clean
+    // record-boundary truncation.
+    file.set_len(len - 2)
+        .map_err(|e| format!("truncate {}: {e}", path.display()))?;
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let session = "smoke";
+    let events = mutations();
+
+    // 1. Reference: uninterrupted session, all six mutations.
+    let ref_dir = fresh_dir("ref")?;
+    let reference = {
+        let server = Server::start(&ref_dir)?;
+        let mut conn = server.connect()?;
+        conn.rpc_ok(&open_line(session))?;
+        for (i, event) in events.iter().enumerate() {
+            conn.rpc_ok(&mutate_line(session, i + 1, event))?;
+        }
+        conn.rpc_ok(&format!("{{\"op\":\"analyze\",\"session\":\"{session}\"}}"))?;
+        conn.rpc(&format!("{{\"op\":\"result\",\"session\":\"{session}\"}}"))?
+    };
+    println!("reference result captured ({} bytes)", reference.len());
+
+    // 2. Crash run: three mutations, then SIGKILL + a torn WAL tail.
+    let crash_dir = fresh_dir("crash")?;
+    {
+        let mut server = Server::start(&crash_dir)?;
+        let mut conn = server.connect()?;
+        conn.rpc_ok(&open_line(session))?;
+        for (i, event) in events.iter().take(3).enumerate() {
+            conn.rpc_ok(&mutate_line(session, i + 1, event))?;
+        }
+        server.kill9()?;
+    }
+    tear_wal_tail(&crash_dir, session)?;
+    println!("server killed mid-session, wal tail torn");
+
+    // 3. Recovery: restart on the crashed dir, resend everything.
+    let recovered = {
+        let server = Server::start(&crash_dir)?;
+        let mut conn = server.connect()?;
+        let open = conn.rpc_ok(&open_line(session))?;
+        if !matches!(open.get("recovered"), Some(JsonValue::Bool(true))) {
+            return Err(format!("open after crash did not recover: {open:?}"));
+        }
+        if !matches!(open.get("torn"), Some(JsonValue::Bool(true))) {
+            return Err(format!(
+                "open after crash did not report a torn tail: {open:?}"
+            ));
+        }
+        let mut duplicates = 0;
+        for (i, event) in events.iter().enumerate() {
+            let ack = conn.rpc_ok(&mutate_line(session, i + 1, event))?;
+            if matches!(ack.get("duplicate"), Some(JsonValue::Bool(true))) {
+                duplicates += 1;
+            }
+        }
+        // Seqs 1-2 survived (seq 3's record was the torn one).
+        if duplicates != 2 {
+            return Err(format!(
+                "expected 2 idempotent duplicates, saw {duplicates}"
+            ));
+        }
+        conn.rpc_ok(&format!("{{\"op\":\"analyze\",\"session\":\"{session}\"}}"))?;
+        let stats = conn.rpc_ok("{\"op\":\"stats\"}")?;
+        let recoveries = stats
+            .get("counters")
+            .and_then(|c| c.get("wal_recoveries"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        if recoveries < 1.0 {
+            return Err(format!("stats report no wal recovery: {stats:?}"));
+        }
+        conn.rpc(&format!("{{\"op\":\"result\",\"session\":\"{session}\"}}"))?
+    };
+    println!("recovered result captured ({} bytes)", recovered.len());
+
+    // 4. Bit-for-bit identity.
+    if reference != recovered {
+        return Err(format!(
+            "recovered result differs from reference\n  reference: {reference}\n  recovered: {recovered}"
+        ));
+    }
+    println!("OK: recovered result is byte-identical to the uninterrupted run");
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("server_smoke FAILED: {msg}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

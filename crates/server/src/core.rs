@@ -1,0 +1,392 @@
+//! The protocol core: one JSON request line in, one response line out.
+//!
+//! [`ServerCore::handle_line`] is the entire server logic, independent
+//! of any transport — the TCP layer, the in-process tests, and the
+//! `load_gen` bench all drive exactly this function, so what the tests
+//! pin down is what the wire serves.
+//!
+//! Robustness posture:
+//!
+//! * every request against a session runs under `catch_unwind`; a panic
+//!   **quarantines** the session (the in-memory object — possibly
+//!   mid-mutation, possibly holding a poisoned lock — is discarded) and
+//!   rebuilds it from its WAL, so one poisoned request can never take
+//!   down the server or corrupt durable state;
+//! * deadlines arrive as `deadline_ms` and become an
+//!   [`AnalysisBudget`]; an expired budget degrades to the last
+//!   materialized result with `"stale":true` rather than an error;
+//! * all failures are explicit `{"ok":false,"error":<kind>}` responses
+//!   with stable kinds — clients never have to parse prose.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use hem_analysis::AnalysisBudget;
+use hem_obs::json::{self, JsonValue};
+use hem_obs::{Counter, MemoryRecorder, RecorderHandle};
+
+use crate::event::SessionEvent;
+use crate::hash::id_hex;
+use crate::session::{valid_name, Analyzed, AppendOutcome, Session};
+
+/// Shared server state: the session map plus instrumentation.
+pub struct ServerCore {
+    data_dir: PathBuf,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    metrics: RecorderHandle,
+    recorder: Arc<MemoryRecorder>,
+    /// Enables `debug_panic`, the fault-injection op used by tests and
+    /// the smoke driver. Never on in normal serving.
+    test_ops: bool,
+    panics_isolated: AtomicU64,
+}
+
+impl std::fmt::Debug for ServerCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerCore")
+            .field("data_dir", &self.data_dir)
+            .field("test_ops", &self.test_ops)
+            .finish()
+    }
+}
+
+fn ok_prefix(op: &str) -> String {
+    format!("{{\"ok\":true,\"op\":\"{op}\"")
+}
+
+fn error_response(kind: &str, message: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    json::write_escaped(&mut out, kind);
+    out.push_str(",\"message\":");
+    json::write_escaped(&mut out, message);
+    out.push('}');
+    out
+}
+
+impl ServerCore {
+    /// Creates a core serving sessions out of `data_dir` (created if
+    /// absent).
+    ///
+    /// # Errors
+    ///
+    /// When the data directory cannot be created.
+    pub fn new(data_dir: impl Into<PathBuf>, test_ops: bool) -> std::io::Result<Self> {
+        let data_dir = data_dir.into();
+        std::fs::create_dir_all(&data_dir)?;
+        let (recorder, metrics) = MemoryRecorder::handle();
+        Ok(ServerCore {
+            data_dir,
+            sessions: Mutex::new(HashMap::new()),
+            metrics,
+            recorder,
+            test_ops,
+            panics_isolated: AtomicU64::new(0),
+        })
+    }
+
+    /// The metrics handle (shared with the queue for shed counting).
+    #[must_use]
+    pub fn metrics(&self) -> RecorderHandle {
+        self.metrics.clone()
+    }
+
+    /// Number of requests whose panic was isolated so far.
+    #[must_use]
+    pub fn panics_isolated(&self) -> u64 {
+        self.panics_isolated.load(Ordering::Relaxed)
+    }
+
+    /// Handles one request line, returning exactly one response line
+    /// (no trailing newline). Never panics: request panics are caught,
+    /// the touched session is quarantined and rebuilt from its WAL.
+    pub fn handle_line(&self, line: &str) -> String {
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return error_response("bad_request", &format!("request JSON: {e}")),
+        };
+        let Some(op) = parsed.get("op").and_then(JsonValue::as_str) else {
+            return error_response("bad_request", "request needs a string \"op\"");
+        };
+        let op = op.to_string();
+        let session_name = parsed
+            .get("session")
+            .and_then(JsonValue::as_str)
+            .map(String::from);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            self.dispatch(&op, session_name.as_deref(), &parsed)
+        }));
+        match outcome {
+            Ok(response) => response,
+            Err(_) => {
+                self.panics_isolated.fetch_add(1, Ordering::Relaxed);
+                let recovered = session_name
+                    .as_deref()
+                    .is_some_and(|name| self.quarantine_and_rebuild(name));
+                let mut out = String::from(
+                    "{\"ok\":false,\"error\":\"panic\",\"message\":\"request panicked; session quarantined\",\"recovered\":",
+                );
+                out.push_str(if recovered { "true" } else { "false" });
+                out.push('}');
+                out
+            }
+        }
+    }
+
+    /// Discards the in-memory session (whatever state the panic left it
+    /// in) and rebuilds it from its WAL. Returns whether a rebuilt
+    /// session is live again.
+    fn quarantine_and_rebuild(&self, name: &str) -> bool {
+        let mut sessions = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
+        sessions.remove(name);
+        match Session::recover(&self.data_dir, name) {
+            Ok(Some((session, _report))) => {
+                self.metrics.add(Counter::WalRecoveries, 1);
+                sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
+                true
+            }
+            Ok(None) | Err(_) => false,
+        }
+    }
+
+    fn session(&self, name: &str) -> Result<Arc<Mutex<Session>>, String> {
+        let sessions = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
+        sessions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| error_response("unknown_session", &format!("no open session {name:?}")))
+    }
+
+    fn dispatch(&self, op: &str, session_name: Option<&str>, request: &JsonValue) -> String {
+        match op {
+            "ping" => format!("{}}}", ok_prefix("ping")),
+            "stats" => self.op_stats(),
+            "open" | "mutate" | "analyze" | "result" | "close" | "debug_panic" => {
+                let Some(name) = session_name else {
+                    return error_response("bad_request", "request needs a string \"session\"");
+                };
+                if !valid_name(name) {
+                    return error_response(
+                        "bad_request",
+                        "session names are 1-64 chars of [A-Za-z0-9_-]",
+                    );
+                }
+                match op {
+                    "open" => self.op_open(name, request),
+                    "mutate" => self.op_mutate(name, request),
+                    "analyze" => self.op_analyze(name, request),
+                    "result" => self.op_result(name),
+                    "close" => self.op_close(name),
+                    "debug_panic" => self.op_debug_panic(name),
+                    _ => unreachable!("guarded above"),
+                }
+            }
+            other => error_response("bad_request", &format!("unknown op {other:?}")),
+        }
+    }
+
+    fn op_open(&self, name: &str, request: &JsonValue) -> String {
+        let Some(scenario) = request.get("scenario").and_then(JsonValue::as_str) else {
+            return error_response("bad_request", "open needs a string \"scenario\"");
+        };
+        // Hold the map lock across the open so two racing opens of the
+        // same name cannot both create WALs; opens are rare and cheap
+        // (no analysis happens here).
+        let mut sessions = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(existing) = sessions.get(name).cloned() {
+            // Already live: idempotent iff the scenario matches the
+            // log's opening entry.
+            let Ok(session) = existing.lock() else {
+                return error_response("recovering", "session is being rebuilt; retry");
+            };
+            let requested = crate::event::entry_id(
+                0,
+                &SessionEvent::Open {
+                    scenario: scenario.to_string(),
+                },
+            );
+            return if requested == session.open_id() {
+                format!(
+                    "{},\"session\":{},\"seq\":{},\"recovered\":false,\"torn\":false}}",
+                    ok_prefix("open"),
+                    json::escaped(name),
+                    session.current_seq()
+                )
+            } else {
+                error_response(
+                    "conflict",
+                    "session is already open with a different scenario",
+                )
+            };
+        }
+        match Session::open(&self.data_dir, name, scenario) {
+            Ok((session, report)) => {
+                if report.torn {
+                    self.metrics.add(Counter::WalRecoveries, 1);
+                }
+                self.metrics.add(Counter::SessionsOpen, 1);
+                let seq = session.current_seq();
+                sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
+                format!(
+                    "{},\"session\":{},\"seq\":{},\"recovered\":{},\"torn\":{}}}",
+                    ok_prefix("open"),
+                    json::escaped(name),
+                    seq,
+                    report.replayed > 0,
+                    report.torn
+                )
+            }
+            Err(e) => error_response(e.kind(), &e.to_string()),
+        }
+    }
+
+    fn op_mutate(&self, name: &str, request: &JsonValue) -> String {
+        let slot = match self.session(name) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let Some(event_json) = request.get("event") else {
+            return error_response("bad_request", "mutate needs an \"event\" object");
+        };
+        let event = match SessionEvent::from_json(event_json) {
+            Ok(e) => e,
+            Err(e) => return error_response(e.kind, &e.message),
+        };
+        if matches!(event, SessionEvent::Open { .. }) {
+            return error_response("bad_event", "open travels via the open op, not mutate");
+        }
+        let seq = match request.get("seq") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => match v.as_f64().filter(|n| n.fract() == 0.0 && *n >= 0.0) {
+                Some(n) => Some(n as u64),
+                None => {
+                    return error_response("bad_request", "\"seq\" must be a non-negative integer")
+                }
+            },
+        };
+        let Ok(mut session) = slot.lock() else {
+            return error_response("recovering", "session is being rebuilt; retry");
+        };
+        match session.append(seq, event) {
+            Ok(AppendOutcome::Applied { seq, id }) => format!(
+                "{},\"seq\":{seq},\"id\":\"{}\",\"duplicate\":false}}",
+                ok_prefix("mutate"),
+                id_hex(id)
+            ),
+            Ok(AppendOutcome::Duplicate { seq, id }) => format!(
+                "{},\"seq\":{seq},\"id\":\"{}\",\"duplicate\":true}}",
+                ok_prefix("mutate"),
+                id_hex(id)
+            ),
+            Err(e) => error_response(e.kind(), &e.to_string()),
+        }
+    }
+
+    fn op_analyze(&self, name: &str, request: &JsonValue) -> String {
+        let slot = match self.session(name) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let budget = match request.get("deadline_ms") {
+            None | Some(JsonValue::Null) => AnalysisBudget::UNLIMITED,
+            Some(v) => match v.as_f64().filter(|n| *n >= 0.0 && n.is_finite()) {
+                Some(ms) => AnalysisBudget::within(Duration::from_micros((ms * 1000.0) as u64)),
+                None => {
+                    return error_response(
+                        "bad_request",
+                        "\"deadline_ms\" must be a non-negative number",
+                    )
+                }
+            },
+        };
+        let Ok(mut session) = slot.lock() else {
+            return error_response("recovering", "session is being rebuilt; retry");
+        };
+        let current = session.current_seq();
+        match session.analyze(budget) {
+            Ok(Analyzed::Fresh { body, replayed }) => format!(
+                "{},\"seq\":{current},\"stale\":false,\"replayed\":{replayed},\"result\":{body}}}",
+                ok_prefix("analyze")
+            ),
+            Ok(Analyzed::Stale { body, seq }) => {
+                self.metrics.add(Counter::StaleServed, 1);
+                format!(
+                    "{},\"seq\":{current},\"stale\":true,\"result_seq\":{seq},\"result\":{body}}}",
+                    ok_prefix("analyze")
+                )
+            }
+            Ok(Analyzed::Partial { body }) => format!(
+                "{},\"seq\":{current},\"stale\":false,\"result\":{body}}}",
+                ok_prefix("analyze")
+            ),
+            Err(e) => error_response(e.kind(), &e.to_string()),
+        }
+    }
+
+    fn op_result(&self, name: &str) -> String {
+        let slot = match self.session(name) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let Ok(session) = slot.lock() else {
+            return error_response("recovering", "session is being rebuilt; retry");
+        };
+        match session.last_result() {
+            Some((m, stale)) => format!(
+                "{},\"seq\":{},\"stale\":{},\"result_seq\":{},\"result\":{}}}",
+                ok_prefix("result"),
+                session.current_seq(),
+                stale,
+                m.seq,
+                m.body
+            ),
+            None => error_response("no_result", "session has no materialized result yet"),
+        }
+    }
+
+    fn op_close(&self, name: &str) -> String {
+        let mut sessions = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
+        match sessions.remove(name) {
+            Some(_) => format!("{}}}", ok_prefix("close")),
+            None => error_response("unknown_session", &format!("no open session {name:?}")),
+        }
+    }
+
+    fn op_debug_panic(&self, name: &str) -> String {
+        if !self.test_ops {
+            return error_response("bad_request", "debug ops are disabled");
+        }
+        let slot = match self.session(name) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        // Panic while *holding* the session lock: the worst case the
+        // quarantine path must absorb (poisoned mutex, half-done op).
+        let _guard = slot.lock();
+        panic!("injected debug panic in session {name}");
+    }
+
+    fn op_stats(&self) -> String {
+        let sessions = {
+            let map = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
+            map.len()
+        };
+        let snapshot = self.recorder.snapshot();
+        let mut out = format!(
+            "{},\"sessions\":{sessions},\"panics_isolated\":{},\"counters\":{{",
+            ok_prefix("stats"),
+            self.panics_isolated(),
+        );
+        for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push_str("}}");
+        out
+    }
+}

@@ -1,0 +1,113 @@
+//! Content hashing for event IDs and WAL record checksums.
+//!
+//! Both hashes are chosen for their spec-stability, not speed: event IDs
+//! must be reproducible by any client (idempotent replay keys on them)
+//! and WAL checksums must be reproducible across versions (recovery
+//! reads logs written by older builds). FNV-1a and CRC-32 (IEEE) are
+//! fixed, dependency-free, and boringly portable.
+
+/// 64-bit FNV-1a over a byte string.
+///
+/// Used for deterministic content-hash event IDs: the same
+/// `(seq, canonical event JSON)` pair always hashes to the same ID, on
+/// any machine, which is what makes log replays idempotent.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over a byte
+/// string — the per-record checksum of the write-ahead log.
+///
+/// Catches every single-bit flip and all torn tails that are not an
+/// exact record-boundary truncation, which is exactly the corruption
+/// model of a `kill -9` mid-`write(2)`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Formats an event ID as the fixed-width lower-hex string used on the
+/// wire.
+///
+/// IDs travel as strings, never JSON numbers: the protocol's JSON
+/// numbers are `f64` and a 64-bit hash would silently lose precision
+/// above 2^53.
+#[must_use]
+pub fn id_hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses an event ID formatted by [`id_hex`].
+#[must_use]
+pub fn parse_id_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn crc32_catches_single_bit_flips() {
+        let payload = b"{\"seq\":3,\"event\":{\"type\":\"set_task\"}}";
+        let reference = crc32(payload);
+        let mut flipped = payload.to_vec();
+        for byte in 0..flipped.len() {
+            for bit in 0..8 {
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&flipped),
+                    reference,
+                    "flip at {byte}:{bit} undetected"
+                );
+                flipped[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn id_hex_round_trips() {
+        for id in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_id_hex(&id_hex(id)), Some(id));
+        }
+        assert_eq!(parse_id_hex("xyz"), None);
+        assert_eq!(parse_id_hex("00000000000000000"), None);
+    }
+}

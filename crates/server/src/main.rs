@@ -1,0 +1,125 @@
+//! The `hem-server` binary: analysis-as-a-service over TCP.
+//!
+//! ```text
+//! hem-server [--listen HOST:PORT] [--data-dir PATH] [--workers N]
+//!            [--queue-depth N] [--max-conns N] [--test-ops]
+//! ```
+//!
+//! Binds, prints `LISTENING <addr>` on stdout (so harnesses using
+//! `--listen 127.0.0.1:0` learn the ephemeral port), then serves until
+//! killed. Sessions live under `--data-dir` as one WAL per session;
+//! killing the process at any instant loses at most a torn tail, which
+//! the next start truncates and recovers past.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use hem_server::net::{serve, NetConfig};
+use hem_server::{ServerCore, WorkQueue};
+
+struct Options {
+    listen: String,
+    data_dir: String,
+    workers: usize,
+    queue_depth: usize,
+    max_conns: usize,
+    test_ops: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            listen: "127.0.0.1:0".into(),
+            data_dir: "hem-server-data".into(),
+            workers: 4,
+            queue_depth: 64,
+            max_conns: 256,
+            test_ops: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--data-dir" => opts.data_dir = value("--data-dir")?,
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-depth" => {
+                opts.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--max-conns" => {
+                opts.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--test-ops" => opts.test_ops = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: hem-server [--listen HOST:PORT] [--data-dir PATH] [--workers N] \
+                     [--queue-depth N] [--max-conns N] [--test-ops]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let core = match ServerCore::new(&opts.data_dir, opts.test_ops) {
+        Ok(c) => Arc::new(c),
+        Err(e) => {
+            eprintln!("cannot prepare data dir {}: {e}", opts.data_dir);
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&opts.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => {
+            // Harnesses block on this exact line to learn the port.
+            println!("LISTENING {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let queue = Arc::new(WorkQueue::new(core, opts.queue_depth, opts.workers));
+    let net = NetConfig {
+        max_connections: opts.max_conns,
+    };
+    match serve(listener, queue, net) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The TCP transport: newline-delimited JSON over accepted sockets.
+//!
+//! Deliberately thin — one thread per connection reading lines,
+//! submitting them to the bounded [`WorkQueue`], and writing exactly
+//! one response line per request, in request order. All protocol logic
+//! lives in [`ServerCore`](crate::core::ServerCore); everything here
+//! could be swapped for another transport without touching a test.
+//!
+//! The accept side is bounded too: beyond `max_connections` concurrent
+//! clients, a new connection is greeted with a single shed line and
+//! closed, mirroring the work-queue's load-shedding contract at the
+//! transport layer.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::queue::{Shed, WorkQueue};
+
+/// Transport limits.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Maximum concurrent connections before accepts are shed.
+    pub max_connections: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 256,
+        }
+    }
+}
+
+/// Serves connections from `listener` forever (until accept fails).
+///
+/// # Errors
+///
+/// Returns the first fatal accept error.
+pub fn serve(
+    listener: TcpListener,
+    queue: Arc<WorkQueue>,
+    config: NetConfig,
+) -> std::io::Result<()> {
+    let live = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let queue = queue.clone();
+        let live = live.clone();
+        if live.fetch_add(1, Ordering::SeqCst) >= config.max_connections {
+            live.fetch_sub(1, Ordering::SeqCst);
+            // Over the connection bound: one shed line, then hang up.
+            let mut w = BufWriter::new(&stream);
+            let _ = writeln!(
+                w,
+                "{}",
+                Shed {
+                    retry_after_ms: 100
+                }
+                .response()
+            );
+            let _ = w.flush();
+            continue;
+        }
+        let live_for_conn = live.clone();
+        let spawned = std::thread::Builder::new()
+            .name("hem-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(&stream, &queue);
+                live_for_conn.fetch_sub(1, Ordering::SeqCst);
+            });
+        if let Err(e) = spawned {
+            live.fetch_sub(1, Ordering::SeqCst);
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+fn handle_connection(stream: &TcpStream, queue: &WorkQueue) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match queue.submit(line) {
+            Ok(rx) => rx
+                .recv()
+                .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"internal\"}".to_string()),
+            Err(shed) => shed.response(),
+        };
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! A bounded work queue with explicit load shedding.
+//!
+//! Requests queue behind a fixed-capacity buffer drained by a fixed
+//! worker pool. A full buffer does not block and does not grow: the
+//! submit fails *immediately* with a shed verdict carrying a
+//! retry-after hint, and the caller turns that into an
+//! `{"ok":false,"shed":true,...}` response. Backpressure is therefore
+//! visible to clients instead of accumulating as unbounded memory and
+//! latency inside the server — under overload the server stays up and
+//! every accepted request still completes.
+//!
+//! The retry hints are jittered so a herd of shed clients does not
+//! retry in lockstep, but *deterministically* jittered (a hash of the
+//! shed ordinal, not a clock or RNG) so tests and benches see stable
+//! values.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use hem_obs::Counter;
+
+use crate::core::ServerCore;
+use crate::hash::fnv1a64;
+
+/// Base retry-after hint in milliseconds.
+const RETRY_BASE_MS: u64 = 25;
+/// Jitter spread added on top of the base.
+const RETRY_SPREAD_MS: u64 = 75;
+
+/// The verdict when a submit is refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Suggested client back-off in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Shed {
+    /// The response line for a shed request (no trailing newline).
+    #[must_use]
+    pub fn response(&self) -> String {
+        format!(
+            "{{\"ok\":false,\"shed\":true,\"error\":\"overloaded\",\"retry_after_ms\":{}}}",
+            self.retry_after_ms
+        )
+    }
+}
+
+struct Pending {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct QueueShared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+    paused: AtomicBool,
+    shed_ordinal: AtomicU64,
+    core: Arc<ServerCore>,
+}
+
+/// The bounded queue plus its worker pool.
+pub struct WorkQueue {
+    shared: Arc<QueueShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkQueue")
+            .field("capacity", &self.shared.capacity)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkQueue {
+    /// Spawns `workers` threads draining a queue of at most `capacity`
+    /// pending requests into `core`.
+    #[must_use]
+    pub fn new(core: Arc<ServerCore>, capacity: usize, workers: usize) -> Self {
+        let shared = Arc::new(QueueShared {
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            paused: AtomicBool::new(false),
+            shed_ordinal: AtomicU64::new(0),
+            core,
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("hem-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn server worker")
+            })
+            .collect();
+        WorkQueue { shared, workers }
+    }
+
+    /// Submits one request line. Returns the channel the response will
+    /// arrive on, or an immediate [`Shed`] verdict when the queue is
+    /// full (the shed is already counted against
+    /// [`Counter::RequestsShed`]).
+    ///
+    /// # Errors
+    ///
+    /// Sheds when the queue is at capacity.
+    pub fn submit(&self, line: String) -> Result<mpsc::Receiver<String>, Shed> {
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("queue state poisoned");
+            if state.jobs.len() >= self.shared.capacity {
+                drop(state);
+                let ordinal = self.shared.shed_ordinal.fetch_add(1, Ordering::Relaxed);
+                let jitter = fnv1a64(&ordinal.to_le_bytes()) % RETRY_SPREAD_MS;
+                self.shared.core.metrics().add(Counter::RequestsShed, 1);
+                return Err(Shed {
+                    retry_after_ms: RETRY_BASE_MS + jitter,
+                });
+            }
+            state.jobs.push_back(Pending { line, reply });
+        }
+        self.shared.available.notify_one();
+        Ok(rx)
+    }
+
+    /// Stops workers from draining the queue (submissions still land
+    /// until the buffer fills, then shed). A deterministic overload
+    /// switch for tests and the bench — real overload needs no switch.
+    pub fn pause(&self) {
+        self.shared.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes draining.
+    pub fn resume(&self) {
+        self.shared.paused.store(false, Ordering::SeqCst);
+        self.shared.available.notify_all();
+    }
+
+    /// Current queue depth (pending, unstarted requests).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("queue state poisoned")
+            .jobs
+            .len()
+    }
+}
+
+impl Drop for WorkQueue {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue state poisoned");
+            state.shutdown = true;
+        }
+        self.shared.paused.store(false, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &QueueShared) {
+    loop {
+        let pending = {
+            let mut state = shared.state.lock().expect("queue state poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if !shared.paused.load(Ordering::SeqCst) {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break job;
+                    }
+                }
+                state = shared.available.wait(state).expect("queue state poisoned");
+            }
+        };
+        // `handle_line` never panics (it isolates request panics
+        // itself), so the worker loop needs no second safety net.
+        let response = shared.core.handle_line(&pending.line);
+        // The client may have hung up; a dead receiver is fine.
+        let _ = pending.reply.send(response);
+    }
+}

@@ -1,0 +1,533 @@
+//! An event-sourced analysis session: log, spec, materialized result.
+//!
+//! A session is three views of the same truth, kept consistent in one
+//! place:
+//!
+//! 1. the **log** — the WAL-backed sequence of [`LogEntry`]s, the only
+//!    durable state;
+//! 2. the **spec** — the [`SystemSpec`] obtained by replaying the log,
+//!    mutated in place so untouched external models keep their `Arc`
+//!    identity (the handle `analyze_incremental` diffs against);
+//! 3. the **materialized result** — the rendered JSON of the last
+//!    *converged* analysis, plus the warm-start snapshot that makes the
+//!    next analysis pay only for the damage cone.
+//!
+//! Crash recovery is nothing special: reopen the WAL (torn tails are
+//! truncated), replay the entries through the same
+//! [`SessionEvent::apply`] path as live traffic, re-analyze. Because
+//! the engine is bit-for-bit deterministic and warm starts are
+//! bit-identical to cold runs, a recovered session's materialized
+//! state cannot be told apart from an uninterrupted one — the property
+//! the recovery tests pin down byte for byte.
+
+use std::path::{Path, PathBuf};
+
+use hem_analysis::AnalysisBudget;
+use hem_system::{
+    analyze_incremental, dsl, AnalysisMode, ConvergenceStatus, RobustAnalysis, StopReason,
+    SystemConfig, SystemError, SystemSpec, WarmStart,
+};
+
+use crate::event::{entry_id, EventError, LogEntry, SessionEvent};
+use crate::hash::id_hex;
+use crate::wal::{Wal, WalError};
+
+/// A session-layer failure with a stable machine-readable kind.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The write-ahead log failed.
+    Wal(WalError),
+    /// An event failed to decode or apply.
+    Event(EventError),
+    /// The opening scenario failed to parse.
+    Scenario(dsl::ParseError),
+    /// The spec itself is invalid (dangling references etc.).
+    Analysis(SystemError),
+    /// A resent event disagrees with the stored entry at its sequence
+    /// number — same position, different content.
+    Conflict {
+        /// The contested log position.
+        seq: u64,
+        /// ID already stored at that position.
+        stored: u64,
+        /// ID of the conflicting resend.
+        got: u64,
+    },
+    /// An explicit sequence number skipped ahead of the log.
+    Gap {
+        /// The next position the log will accept.
+        expected: u64,
+        /// The position the client asked for.
+        got: u64,
+    },
+    /// A recovered log is structurally unusable (e.g. does not start
+    /// with `open`).
+    Corrupt(String),
+}
+
+impl SessionError {
+    /// Stable lower-snake error kind for protocol responses.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionError::Wal(_) => "wal",
+            SessionError::Event(e) => e.kind,
+            SessionError::Scenario(_) => "bad_scenario",
+            SessionError::Analysis(_) => "bad_spec",
+            SessionError::Conflict { .. } => "conflict",
+            SessionError::Gap { .. } => "gap",
+            SessionError::Corrupt(_) => "corrupt_log",
+        }
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Wal(e) => write!(f, "{e}"),
+            SessionError::Event(e) => write!(f, "{e}"),
+            SessionError::Scenario(e) => write!(f, "scenario: {e}"),
+            SessionError::Analysis(e) => write!(f, "spec: {e}"),
+            SessionError::Conflict { seq, stored, got } => write!(
+                f,
+                "conflicting resend at seq {seq}: stored {}, got {}",
+                id_hex(*stored),
+                id_hex(*got)
+            ),
+            SessionError::Gap { expected, got } => {
+                write!(f, "sequence gap: expected {expected}, got {got}")
+            }
+            SessionError::Corrupt(msg) => write!(f, "corrupt log: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<WalError> for SessionError {
+    fn from(e: WalError) -> Self {
+        SessionError::Wal(e)
+    }
+}
+
+impl From<EventError> for SessionError {
+    fn from(e: EventError) -> Self {
+        SessionError::Event(e)
+    }
+}
+
+/// The last converged, rendered analysis of a session.
+#[derive(Debug, Clone)]
+pub struct Materialized {
+    /// Log position the result reflects (last seq applied before the
+    /// analysis ran).
+    pub seq: u64,
+    /// The deterministic result JSON body.
+    pub body: String,
+}
+
+/// How an append was absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// A new entry was written and applied.
+    Applied {
+        /// Its log position.
+        seq: u64,
+        /// Its content-hash ID.
+        id: u64,
+    },
+    /// The event was already in the log — an idempotent resend.
+    Duplicate {
+        /// The existing entry's position.
+        seq: u64,
+        /// The existing entry's ID.
+        id: u64,
+    },
+}
+
+/// What `analyze` served, per the degradation contract.
+#[derive(Debug, Clone)]
+pub enum Analyzed {
+    /// A fresh converged result; the materialized state was updated.
+    Fresh {
+        /// Rendered result body.
+        body: String,
+        /// Resources re-analysed vs. replayed from the warm snapshot.
+        replayed: u64,
+    },
+    /// The deadline expired before convergence; the last materialized
+    /// result is served instead, marked stale.
+    Stale {
+        /// The previous materialized body.
+        body: String,
+        /// Log position that body reflects (behind the current log).
+        seq: u64,
+    },
+    /// The run stopped short of convergence and no materialized result
+    /// exists to fall back on: the partial salvage, marked incomplete.
+    Partial {
+        /// Rendered partial body (`"complete":false`).
+        body: String,
+    },
+}
+
+/// How a session came back from disk.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// Entries replayed from the WAL.
+    pub replayed: usize,
+    /// Whether a torn tail was detected and truncated.
+    pub torn: bool,
+}
+
+/// One live analysis session.
+#[derive(Debug)]
+pub struct Session {
+    name: String,
+    wal: Wal,
+    entries: Vec<LogEntry>,
+    spec: SystemSpec,
+    warm: Option<WarmStart>,
+    materialized: Option<Materialized>,
+}
+
+/// The WAL path of a session inside a data directory.
+#[must_use]
+pub fn wal_path(data_dir: &Path, name: &str) -> PathBuf {
+    data_dir.join(format!("{name}.wal"))
+}
+
+/// Whether a session name is acceptable as a file stem.
+#[must_use]
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+impl Session {
+    /// Opens a session: recovers an existing WAL or starts a fresh log
+    /// whose first entry is `open` with `scenario`.
+    ///
+    /// Opening an existing session with the *same* scenario is
+    /// idempotent; a different scenario is a [`SessionError::Conflict`]
+    /// — the log, not the request, owns the topology.
+    ///
+    /// # Errors
+    ///
+    /// On WAL I/O failure, an unparsable scenario, or a scenario
+    /// conflict with an existing log.
+    pub fn open(
+        data_dir: &Path,
+        name: &str,
+        scenario: &str,
+    ) -> Result<(Self, RecoveryReport), SessionError> {
+        let recovered = Wal::open(&wal_path(data_dir, name))?;
+        if recovered.records.is_empty() {
+            let spec = dsl::parse(scenario).map_err(SessionError::Scenario)?;
+            let entry = LogEntry::new(
+                0,
+                SessionEvent::Open {
+                    scenario: scenario.to_string(),
+                },
+            );
+            let mut wal = recovered.wal;
+            wal.append(entry.canonical_json().as_bytes())?;
+            Ok((
+                Session {
+                    name: name.to_string(),
+                    wal,
+                    entries: vec![entry],
+                    spec,
+                    warm: None,
+                    materialized: None,
+                },
+                RecoveryReport {
+                    replayed: 0,
+                    torn: recovered.torn,
+                },
+            ))
+        } else {
+            let session = Self::from_recovered(name, recovered.wal, &recovered.records)?;
+            let open_id = entry_id(
+                0,
+                &SessionEvent::Open {
+                    scenario: scenario.to_string(),
+                },
+            );
+            if session.entries[0].id != open_id {
+                return Err(SessionError::Conflict {
+                    seq: 0,
+                    stored: session.entries[0].id,
+                    got: open_id,
+                });
+            }
+            let replayed = session.entries.len();
+            Ok((
+                session,
+                RecoveryReport {
+                    replayed,
+                    torn: recovered.torn,
+                },
+            ))
+        }
+    }
+
+    /// Rebuilds a session purely from its WAL, without needing the
+    /// scenario — the quarantine path after a panic, and the restart
+    /// path after a crash.
+    ///
+    /// Returns `Ok(None)` when no log exists (nothing to recover).
+    ///
+    /// # Errors
+    ///
+    /// On WAL I/O failure or a structurally unusable log.
+    pub fn recover(
+        data_dir: &Path,
+        name: &str,
+    ) -> Result<Option<(Self, RecoveryReport)>, SessionError> {
+        let path = wal_path(data_dir, name);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let recovered = Wal::open(&path)?;
+        if recovered.records.is_empty() {
+            return Ok(None);
+        }
+        let session = Self::from_recovered(name, recovered.wal, &recovered.records)?;
+        let replayed = session.entries.len();
+        Ok(Some((
+            session,
+            RecoveryReport {
+                replayed,
+                torn: recovered.torn,
+            },
+        )))
+    }
+
+    fn from_recovered(name: &str, wal: Wal, records: &[Vec<u8>]) -> Result<Self, SessionError> {
+        let mut entries = Vec::with_capacity(records.len());
+        for (i, payload) in records.iter().enumerate() {
+            let entry = LogEntry::decode(payload)?;
+            if entry.seq != i as u64 {
+                return Err(SessionError::Corrupt(format!(
+                    "entry {i} carries seq {}",
+                    entry.seq
+                )));
+            }
+            entries.push(entry);
+        }
+        let SessionEvent::Open { scenario } = &entries[0].event else {
+            return Err(SessionError::Corrupt("log does not start with open".into()));
+        };
+        let mut spec = dsl::parse(scenario).map_err(SessionError::Scenario)?;
+        for entry in &entries[1..] {
+            entry.event.apply(&mut spec)?;
+        }
+        Ok(Session {
+            name: name.to_string(),
+            wal,
+            entries,
+            spec,
+            warm: None,
+            materialized: None,
+        })
+    }
+
+    /// The session's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The position of the last applied entry.
+    #[must_use]
+    pub fn current_seq(&self) -> u64 {
+        (self.entries.len() - 1) as u64
+    }
+
+    /// The content-hash ID of the opening entry — what an `open`
+    /// request must match to count as an idempotent re-open.
+    #[must_use]
+    pub fn open_id(&self) -> u64 {
+        self.entries[0].id
+    }
+
+    /// Appends a mutation, durably (WAL first) and idempotently.
+    ///
+    /// `seq: None` assigns the next position. `seq: Some(n)` is the
+    /// replay form: `n` at or below the current position must carry the
+    /// ID already stored there (→ [`AppendOutcome::Duplicate`], a
+    /// no-op); a mismatch is a [`SessionError::Conflict`]; a position
+    /// past the next free slot is a [`SessionError::Gap`].
+    ///
+    /// # Errors
+    ///
+    /// On conflict, gap, apply failure, or WAL I/O failure.
+    pub fn append(
+        &mut self,
+        seq: Option<u64>,
+        event: SessionEvent,
+    ) -> Result<AppendOutcome, SessionError> {
+        let next = self.entries.len() as u64;
+        let at = seq.unwrap_or(next);
+        if at < next {
+            let stored = &self.entries[at as usize];
+            let got = entry_id(at, &event);
+            return if stored.id == got {
+                Ok(AppendOutcome::Duplicate {
+                    seq: at,
+                    id: stored.id,
+                })
+            } else {
+                Err(SessionError::Conflict {
+                    seq: at,
+                    stored: stored.id,
+                    got,
+                })
+            };
+        }
+        if at > next {
+            return Err(SessionError::Gap {
+                expected: next,
+                got: at,
+            });
+        }
+        // Validate against a scratch copy first: an event that fails to
+        // apply must reach neither the WAL nor the live spec.
+        let mut staged = self.spec.clone();
+        event.apply(&mut staged)?;
+        let entry = LogEntry::new(at, event);
+        self.wal.append(entry.canonical_json().as_bytes())?;
+        self.spec = staged;
+        let id = entry.id;
+        self.entries.push(entry);
+        Ok(AppendOutcome::Applied { seq: at, id })
+    }
+
+    /// Runs (or re-runs) the analysis under `budget`, per the
+    /// degradation contract: a converged run refreshes the
+    /// materialized result; an exhausted budget serves the previous
+    /// materialized result marked stale (keeping the warm snapshot for
+    /// a retry); any other incomplete stop yields the partial salvage.
+    ///
+    /// # Errors
+    ///
+    /// Only on genuine spec errors surfaced by the engine.
+    pub fn analyze(&mut self, budget: AnalysisBudget) -> Result<Analyzed, SessionError> {
+        let config = SystemConfig::new(AnalysisMode::Hierarchical)
+            .with_threads(1)
+            .with_budget(budget);
+        let outcome = analyze_incremental(&self.spec, &config, self.warm.as_ref())
+            .map_err(SessionError::Analysis)?;
+        let replayed = outcome.reuse.replayed_results;
+        if outcome.analysis.results.is_complete() {
+            self.warm = outcome.snapshot;
+            let body = render_result(&outcome.analysis);
+            self.materialized = Some(Materialized {
+                seq: self.current_seq(),
+                body: body.clone(),
+            });
+            return Ok(Analyzed::Fresh { body, replayed });
+        }
+        if outcome.analysis.diagnostics.budget_exhausted() {
+            if let Some(m) = &self.materialized {
+                return Ok(Analyzed::Stale {
+                    body: m.body.clone(),
+                    seq: m.seq,
+                });
+            }
+        }
+        Ok(Analyzed::Partial {
+            body: render_result(&outcome.analysis),
+        })
+    }
+
+    /// The last materialized result, if any, with its staleness: stale
+    /// means mutations were appended after it was computed.
+    #[must_use]
+    pub fn last_result(&self) -> Option<(&Materialized, bool)> {
+        self.materialized
+            .as_ref()
+            .map(|m| (m, m.seq < self.current_seq()))
+    }
+}
+
+fn status_name(status: Option<ConvergenceStatus>) -> String {
+    match status {
+        Some(ConvergenceStatus::Converged) => "converged".into(),
+        Some(ConvergenceStatus::Growing { streak }) => format!("growing:{streak}"),
+        Some(ConvergenceStatus::Unsettled) => "unsettled".into(),
+        Some(ConvergenceStatus::Failed) => "failed".into(),
+        None | Some(ConvergenceStatus::Unknown) => "unknown".into(),
+    }
+}
+
+fn stop_name(stop: &StopReason) -> String {
+    match stop {
+        StopReason::Converged => "converged".into(),
+        StopReason::DivergenceDetected { entity, streak } => {
+            format!("divergence:{entity}:{streak}")
+        }
+        StopReason::LocalAnalysisFailed { entity, .. } => format!("local_failed:{entity}"),
+        StopReason::BudgetExhausted => "budget_exhausted".into(),
+        StopReason::IterationLimitReached => "iteration_limit".into(),
+    }
+}
+
+/// Renders an analysis into the deterministic result body.
+///
+/// Deliberately excludes anything wall-clock (elapsed time, replay
+/// savings): two runs of the same log must render byte-identically, on
+/// any machine, warm or cold — that equality *is* the recovery
+/// guarantee the smoke test asserts.
+#[must_use]
+pub fn render_result(analysis: &RobustAnalysis) -> String {
+    use std::collections::BTreeMap;
+    let results = &analysis.results;
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"complete\":");
+    out.push_str(if results.is_complete() {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(&format!(
+        ",\"iterations\":{},\"stop\":\"{}\"",
+        results.iterations(),
+        stop_name(&analysis.diagnostics.stop)
+    ));
+    for (section, items, status_of) in [
+        ("tasks", results.tasks().collect::<BTreeMap<_, _>>(), true),
+        (
+            "frames",
+            results.frames().collect::<BTreeMap<_, _>>(),
+            false,
+        ),
+    ] {
+        out.push_str(&format!(",\"{section}\":{{"));
+        for (i, (name, r)) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let status = if status_of {
+                results.task_convergence(name)
+            } else {
+                results.frame_convergence(name)
+            };
+            hem_obs::json::write_escaped(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"r_minus\":{},\"r_plus\":{},\"busy_activations\":{},\"status\":\"{}\"}}",
+                r.response.r_minus.ticks(),
+                r.response.r_plus.ticks(),
+                r.busy_activations,
+                status_name(status)
+            ));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}

@@ -1,0 +1,341 @@
+//! Checksummed per-session write-ahead log with torn-write recovery.
+//!
+//! Every appended record is framed as
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE CRC-32 of payload][payload bytes]
+//! ```
+//!
+//! Recovery scans the file front to back and accepts the longest prefix
+//! of intact records. The first short header, impossible length, short
+//! payload, or checksum mismatch ends the scan: everything before it is
+//! the recovered log, everything from it on is a torn tail (the debris
+//! of a crash mid-write) and is truncated away before the next append.
+//! A scan never guesses — a record is either bit-exact or it and all
+//! its successors are discarded — so recovery can only produce a prefix
+//! of what was logged, never a reordered or silently altered history.
+//!
+//! The log is deliberately oblivious to what payloads *mean*; the
+//! session layer stores canonical event JSON in it and replays the
+//! recovered prefix through the same apply path as live mutations,
+//! which is what makes recovered state bit-identical to an
+//! uninterrupted run.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::hash::crc32;
+
+/// Per-record header size: length + checksum.
+const HEADER: usize = 8;
+
+/// Sanity bound on a single record. Anything larger in a length field
+/// is treated as corruption, not as a 4 GiB allocation request.
+pub const MAX_RECORD: usize = 16 * 1024 * 1024;
+
+/// An explicit WAL failure.
+///
+/// Torn tails are *not* errors — they are expected crash debris and are
+/// reported via [`Recovered::torn`]. Errors are reserved for conditions
+/// recovery cannot interpret: I/O failures and oversized appends.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The WAL file involved.
+        path: PathBuf,
+        /// The failing operation, e.g. `"open"` or `"append"`.
+        op: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// An append exceeded [`MAX_RECORD`].
+    RecordTooLarge {
+        /// Size of the rejected payload.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { path, op, source } => {
+                write!(f, "wal {op} on {}: {source}", path.display())
+            }
+            WalError::RecordTooLarge { len } => {
+                write!(
+                    f,
+                    "wal record of {len} bytes exceeds the {MAX_RECORD} byte bound"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+            WalError::RecordTooLarge { .. } => None,
+        }
+    }
+}
+
+/// Why a scan stopped before the end of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Fewer than 8 bytes remained — a header torn mid-write.
+    TornHeader,
+    /// The length field exceeds [`MAX_RECORD`] (or the remaining file),
+    /// i.e. the header bytes themselves are damaged.
+    BadLength,
+    /// The payload was shorter than its header promised.
+    TornPayload,
+    /// The payload checksum did not match.
+    ChecksumMismatch,
+}
+
+impl Corruption {
+    /// A stable lower-snake name for logs and responses.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Corruption::TornHeader => "torn_header",
+            Corruption::BadLength => "bad_length",
+            Corruption::TornPayload => "torn_payload",
+            Corruption::ChecksumMismatch => "checksum_mismatch",
+        }
+    }
+}
+
+/// The result of scanning a log image: the longest intact prefix.
+#[derive(Debug)]
+pub struct Scan {
+    /// Payloads of the intact records, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the intact prefix (the truncation point).
+    pub valid_len: u64,
+    /// What ended the scan early, if anything.
+    pub corruption: Option<Corruption>,
+}
+
+/// Scans a raw log image for the longest prefix of intact records.
+///
+/// Total: every possible byte string yields a `Scan`; corruption is
+/// data, not an error, and can never panic.
+#[must_use]
+pub fn scan(bytes: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let corruption = loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            break None;
+        }
+        if remaining < HEADER {
+            break Some(Corruption::TornHeader);
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_RECORD {
+            break Some(Corruption::BadLength);
+        }
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if remaining - HEADER < len {
+            break Some(Corruption::TornPayload);
+        }
+        let payload = &bytes[pos + HEADER..pos + HEADER + len];
+        if crc32(payload) != crc {
+            break Some(Corruption::ChecksumMismatch);
+        }
+        records.push(payload.to_vec());
+        pos += HEADER + len;
+    };
+    Scan {
+        records,
+        valid_len: pos as u64,
+        corruption,
+    }
+}
+
+/// Serializes one record exactly as [`Wal::append`] writes it.
+///
+/// # Errors
+///
+/// Rejects payloads over [`MAX_RECORD`].
+pub fn encode_record(payload: &[u8]) -> Result<Vec<u8>, WalError> {
+    if payload.len() > MAX_RECORD {
+        return Err(WalError::RecordTooLarge { len: payload.len() });
+    }
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// The outcome of opening a WAL file: the writer plus what survived.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The log, opened for appending past the intact prefix.
+    pub wal: Wal,
+    /// Payloads of the recovered records, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// `true` when a torn tail was detected (and truncated away).
+    pub torn: bool,
+}
+
+/// An append-only checksummed log file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, recovering the
+    /// longest intact prefix and truncating any torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Only on I/O failure — corruption is recovery, not an error.
+    pub fn open(path: &Path) -> Result<Recovered, WalError> {
+        let io = |op: &'static str| {
+            let path = path.to_path_buf();
+            move |source: std::io::Error| WalError::Io { path, op, source }
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io("open"))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(io("read"))?;
+        let scanned = scan(&bytes);
+        let torn = scanned.corruption.is_some();
+        if torn {
+            file.set_len(scanned.valid_len).map_err(io("truncate"))?;
+        }
+        file.seek(SeekFrom::Start(scanned.valid_len))
+            .map_err(io("seek"))?;
+        Ok(Recovered {
+            wal: Wal {
+                path: path.to_path_buf(),
+                file,
+            },
+            records: scanned.records,
+            torn,
+        })
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure or an oversized payload. A failed append leaves
+    /// at worst a torn tail, which the next [`Wal::open`] truncates.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), WalError> {
+        let framed = encode_record(payload)?;
+        let io = |op: &'static str| {
+            let path = self.path.clone();
+            move |source: std::io::Error| WalError::Io { path, op, source }
+        };
+        self.file.write_all(&framed).map_err(io("append"))?;
+        self.file.flush().map_err(io("flush"))?;
+        Ok(())
+    }
+
+    /// The file this log appends to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in payloads {
+            out.extend_from_slice(&encode_record(p).expect("bounded"));
+        }
+        out
+    }
+
+    #[test]
+    fn scan_round_trips_clean_log() {
+        let img = image(&[b"alpha", b"", b"gamma"]);
+        let s = scan(&img);
+        assert_eq!(
+            s.records,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma".to_vec()]
+        );
+        assert_eq!(s.valid_len, img.len() as u64);
+        assert_eq!(s.corruption, None);
+    }
+
+    #[test]
+    fn scan_truncates_torn_tail_to_prefix() {
+        let mut img = image(&[b"alpha", b"beta"]);
+        let full = img.len();
+        img.truncate(full - 2); // tear the last payload
+        let s = scan(&img);
+        assert_eq!(s.records, vec![b"alpha".to_vec()]);
+        assert_eq!(s.corruption, Some(Corruption::TornPayload));
+        assert_eq!(s.valid_len, image(&[b"alpha"]).len() as u64);
+    }
+
+    #[test]
+    fn scan_rejects_bit_flip_via_checksum() {
+        let mut img = image(&[b"alpha", b"beta"]);
+        let off = image(&[b"alpha"]).len() + HEADER; // first byte of "beta"
+        img[off] ^= 0x40;
+        let s = scan(&img);
+        assert_eq!(s.records, vec![b"alpha".to_vec()]);
+        assert_eq!(s.corruption, Some(Corruption::ChecksumMismatch));
+    }
+
+    #[test]
+    fn scan_treats_absurd_length_as_corruption() {
+        let mut img = image(&[b"alpha"]);
+        img.extend_from_slice(&u32::MAX.to_le_bytes());
+        img.extend_from_slice(&[0u8; 12]);
+        let s = scan(&img);
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.corruption, Some(Corruption::BadLength));
+    }
+
+    #[test]
+    fn open_append_reopen_recovers_everything() {
+        let dir = std::env::temp_dir().join(format!("hem-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mk tempdir");
+        let path = dir.join("basic.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut rec = Wal::open(&path).expect("open fresh");
+            assert!(rec.records.is_empty());
+            assert!(!rec.torn);
+            rec.wal.append(b"one").expect("append");
+            rec.wal.append(b"two").expect("append");
+        }
+        // Simulate a crash mid-write: half a record of garbage.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("reopen");
+            f.write_all(&[0x7f, 0x01, 0x02]).expect("tear");
+        }
+        let rec = Wal::open(&path).expect("recover");
+        assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(rec.torn);
+        // The torn tail must be gone from disk after recovery.
+        assert_eq!(
+            std::fs::metadata(&path).expect("stat").len(),
+            image(&[b"one", b"two"]).len() as u64
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,349 @@
+//! In-process protocol tests: everything the wire serves, without the
+//! wire.
+//!
+//! [`ServerCore::handle_line`] is the complete server logic; these
+//! tests drive it directly so failures point at protocol/session code,
+//! not sockets. The TCP path is exercised by the `server_smoke` binary
+//! and the CI smoke job.
+
+use hem_obs::json::{self, JsonValue};
+use hem_server::{ServerCore, WorkQueue};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SCENARIO: &str = "\
+cpu cpu0
+cpu cpu1
+bus can0 bit_time=1
+bus can1 bit_time=1
+frame F0 bus=can0 type=direct payload=4 prio=1
+  signal s0 triggering periodic:500
+frame F1 bus=can1 type=direct payload=4 prio=1
+  signal s1 triggering periodic:700
+task t0 cpu=cpu0 cet=30 prio=1 activation=F0/s0
+task t1 cpu=cpu1 cet=40 prio=1 activation=F1/s1
+";
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hem-proto-{}-{}-{tag}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mk tempdir");
+    dir
+}
+
+fn open_line(session: &str) -> String {
+    let mut line = format!("{{\"op\":\"open\",\"session\":\"{session}\",\"scenario\":");
+    json::write_escaped(&mut line, SCENARIO);
+    line.push('}');
+    line
+}
+
+fn get_bool(v: &JsonValue, key: &str) -> Option<bool> {
+    match v.get(key) {
+        Some(JsonValue::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+fn ok(core: &ServerCore, line: &str) -> JsonValue {
+    let response = core.handle_line(line);
+    let value = json::parse(&response).expect("response is valid JSON");
+    assert_eq!(
+        get_bool(&value, "ok"),
+        Some(true),
+        "request {line} failed: {response}"
+    );
+    value
+}
+
+fn fail(core: &ServerCore, line: &str) -> (String, JsonValue) {
+    let response = core.handle_line(line);
+    let value = json::parse(&response).expect("response is valid JSON");
+    assert_eq!(
+        get_bool(&value, "ok"),
+        Some(false),
+        "expected failure: {response}"
+    );
+    let kind = value
+        .get("error")
+        .and_then(JsonValue::as_str)
+        .expect("failures carry an error kind")
+        .to_string();
+    (kind, value)
+}
+
+#[test]
+fn open_mutate_analyze_round_trip() {
+    let dir = tempdir("round-trip");
+    let core = ServerCore::new(&dir, false).expect("core");
+    let opened = ok(&core, &open_line("s1"));
+    assert_eq!(opened.get("seq").and_then(JsonValue::as_f64), Some(0.0));
+    assert_eq!(get_bool(&opened, "recovered"), Some(false));
+
+    let ack = ok(
+        &core,
+        r#"{"op":"mutate","session":"s1","event":{"type":"set_task","task":"t0","wcet":35}}"#,
+    );
+    assert_eq!(ack.get("seq").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(get_bool(&ack, "duplicate"), Some(false));
+
+    let analyzed = ok(&core, r#"{"op":"analyze","session":"s1"}"#);
+    assert_eq!(get_bool(&analyzed, "stale"), Some(false));
+    let result = analyzed.get("result").expect("result body");
+    assert_eq!(get_bool(result, "complete"), Some(true));
+    let t0 = result
+        .get("tasks")
+        .and_then(|t| t.get("t0"))
+        .expect("t0 entry");
+    assert_eq!(
+        t0.get("status").and_then(JsonValue::as_str),
+        Some("converged")
+    );
+    assert!(
+        t0.get("r_plus")
+            .and_then(JsonValue::as_f64)
+            .expect("r_plus")
+            >= 35.0
+    );
+
+    // `result` replays the materialized body without recomputing.
+    let cached = ok(&core, r#"{"op":"result","session":"s1"}"#);
+    assert_eq!(get_bool(&cached, "stale"), Some(false));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resends_are_idempotent_and_conflicts_are_rejected() {
+    let dir = tempdir("idempotent");
+    let core = ServerCore::new(&dir, false).expect("core");
+    ok(&core, &open_line("s1"));
+
+    let event = r#"{"type":"set_bus","bus":"can0","bit_time":2}"#;
+    let first = ok(
+        &core,
+        &format!(r#"{{"op":"mutate","session":"s1","seq":1,"event":{event}}}"#),
+    );
+    let id = first
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .expect("id")
+        .to_string();
+
+    // Same (seq, event): acknowledged as a duplicate, same ID, no
+    // double-apply.
+    let resent = ok(
+        &core,
+        &format!(r#"{{"op":"mutate","session":"s1","seq":1,"event":{event}}}"#),
+    );
+    assert_eq!(get_bool(&resent, "duplicate"), Some(true));
+    assert_eq!(
+        resent.get("id").and_then(JsonValue::as_str),
+        Some(id.as_str())
+    );
+
+    // Same seq, different content: a hard conflict.
+    let (kind, _) = fail(
+        &core,
+        r#"{"op":"mutate","session":"s1","seq":1,"event":{"type":"set_bus","bus":"can0","bit_time":3}}"#,
+    );
+    assert_eq!(kind, "conflict");
+
+    // Skipping ahead is a gap, not a silent hole.
+    let (kind, _) = fail(
+        &core,
+        &format!(r#"{{"op":"mutate","session":"s1","seq":7,"event":{event}}}"#),
+    );
+    assert_eq!(kind, "gap");
+
+    // Re-opening with the same scenario is idempotent...
+    let reopened = ok(&core, &open_line("s1"));
+    assert_eq!(reopened.get("seq").and_then(JsonValue::as_f64), Some(1.0));
+    // ...but a different scenario is a conflict with the log.
+    let (kind, _) = fail(
+        &core,
+        r#"{"op":"open","session":"s1","scenario":"cpu other\n"}"#,
+    );
+    assert_eq!(kind, "conflict");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_requests_get_stable_error_kinds() {
+    let dir = tempdir("bad-requests");
+    let core = ServerCore::new(&dir, false).expect("core");
+    assert_eq!(fail(&core, "not json").0, "bad_request");
+    assert_eq!(fail(&core, r#"{"no_op":1}"#).0, "bad_request");
+    assert_eq!(fail(&core, r#"{"op":"launch_missiles"}"#).0, "bad_request");
+    assert_eq!(fail(&core, r#"{"op":"mutate"}"#).0, "bad_request");
+    assert_eq!(
+        fail(&core, r#"{"op":"open","session":"../etc","scenario":""}"#).0,
+        "bad_request"
+    );
+    assert_eq!(
+        fail(&core, r#"{"op":"mutate","session":"ghost","event":{}}"#).0,
+        "unknown_session"
+    );
+    assert_eq!(
+        fail(&core, r#"{"op":"result","session":"ghost"}"#).0,
+        "unknown_session"
+    );
+
+    ok(&core, &open_line("s1"));
+    assert_eq!(
+        fail(
+            &core,
+            r#"{"op":"mutate","session":"s1","event":{"type":"set_task","task":"nope","wcet":9}}"#
+        )
+        .0,
+        "unknown_task"
+    );
+    assert_eq!(
+        fail(
+            &core,
+            r#"{"op":"mutate","session":"s1","event":{"type":"set_task","task":"t0","wcet":-4}}"#
+        )
+        .0,
+        "bad_value"
+    );
+    assert_eq!(
+        fail(&core, r#"{"op":"result","session":"s1"}"#).0,
+        "no_result"
+    );
+    assert_eq!(
+        fail(&core, r#"{"op":"debug_panic","session":"s1"}"#).0,
+        "bad_request",
+        "debug ops must be rejected unless enabled"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_zero_serves_stale_materialized_result() {
+    let dir = tempdir("stale");
+    let core = ServerCore::new(&dir, false).expect("core");
+    ok(&core, &open_line("s1"));
+    let fresh = ok(&core, r#"{"op":"analyze","session":"s1"}"#);
+    let fresh_body = fresh.get("result").expect("body").clone();
+
+    ok(
+        &core,
+        r#"{"op":"mutate","session":"s1","event":{"type":"set_task","task":"t0","wcet":60}}"#,
+    );
+    // Zero deadline: recompute cannot finish; the previous materialized
+    // result is served, marked stale, pointing at its log position.
+    let stale = ok(&core, r#"{"op":"analyze","session":"s1","deadline_ms":0}"#);
+    assert_eq!(get_bool(&stale, "stale"), Some(true));
+    assert_eq!(
+        stale.get("result_seq").and_then(JsonValue::as_f64),
+        Some(0.0)
+    );
+    assert_eq!(stale.get("result"), Some(&fresh_body));
+
+    // A generous deadline then catches up and the staleness clears.
+    let caught_up = ok(&core, r#"{"op":"analyze","session":"s1"}"#);
+    assert_eq!(get_bool(&caught_up, "stale"), Some(false));
+    assert_ne!(caught_up.get("result"), Some(&fresh_body));
+
+    let stats = ok(&core, r#"{"op":"stats"}"#);
+    let stale_served = stats
+        .get("counters")
+        .and_then(|c| c.get("stale_served"))
+        .and_then(JsonValue::as_f64);
+    assert_eq!(stale_served, Some(1.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panic_is_isolated_and_session_rebuilt_from_wal() {
+    let dir = tempdir("quarantine");
+    let core = ServerCore::new(&dir, true).expect("core with test ops");
+    ok(&core, &open_line("s1"));
+    ok(
+        &core,
+        r#"{"op":"mutate","session":"s1","event":{"type":"set_task","task":"t0","wcet":35}}"#,
+    );
+    let before = ok(&core, r#"{"op":"analyze","session":"s1"}"#);
+
+    // Injected panic while holding the session lock: the worst case.
+    let (kind, body) = fail(&core, r#"{"op":"debug_panic","session":"s1"}"#);
+    assert_eq!(kind, "panic");
+    assert_eq!(get_bool(&body, "recovered"), Some(true));
+    assert_eq!(core.panics_isolated(), 1);
+
+    // The rebuilt session still knows its full log and analyzes to the
+    // exact same result.
+    let after = ok(&core, r#"{"op":"analyze","session":"s1"}"#);
+    assert_eq!(after.get("result"), before.get("result"));
+    assert_eq!(after.get("seq"), before.get("seq"));
+
+    let stats = ok(&core, r#"{"op":"stats"}"#);
+    let recoveries = stats
+        .get("counters")
+        .and_then(|c| c.get("wal_recoveries"))
+        .and_then(JsonValue::as_f64);
+    assert_eq!(recoveries, Some(1.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_sheds_with_deterministic_retry_hints() {
+    let dir = tempdir("shed");
+    let core = Arc::new(ServerCore::new(&dir, false).expect("core"));
+    let queue = WorkQueue::new(core.clone(), 4, 2);
+    queue.pause(); // deterministic overload: nothing drains
+
+    let mut accepted = Vec::new();
+    let mut sheds = Vec::new();
+    for _ in 0..10 {
+        match queue.submit(r#"{"op":"ping"}"#.to_string()) {
+            Ok(rx) => accepted.push(rx),
+            Err(shed) => sheds.push(shed),
+        }
+    }
+    assert_eq!(accepted.len(), 4, "exactly the queue capacity is accepted");
+    assert_eq!(sheds.len(), 6, "the overflow is shed, not buffered");
+    for shed in &sheds {
+        assert!(
+            (25..100).contains(&shed.retry_after_ms),
+            "retry hint {} outside the jitter window",
+            shed.retry_after_ms
+        );
+        let parsed = json::parse(&shed.response()).expect("shed response is JSON");
+        assert_eq!(get_bool(&parsed, "shed"), Some(true));
+    }
+    // Jitter is deterministic: a fresh identical queue sheds with the
+    // same hint sequence.
+    let queue2 = WorkQueue::new(core.clone(), 4, 2);
+    queue2.pause();
+    let mut sheds2 = Vec::new();
+    for _ in 0..10 {
+        if let Err(shed) = queue2.submit(r#"{"op":"ping"}"#.to_string()) {
+            sheds2.push(shed.retry_after_ms);
+        }
+    }
+    assert_eq!(
+        sheds.iter().map(|s| s.retry_after_ms).collect::<Vec<_>>(),
+        sheds2
+    );
+
+    // Resume: every accepted request still completes.
+    queue.resume();
+    for rx in accepted {
+        let response = rx.recv().expect("accepted request completes");
+        assert!(response.contains("\"ok\":true"), "{response}");
+    }
+    let stats = ok(&core, r#"{"op":"stats"}"#);
+    let shed_count = stats
+        .get("counters")
+        .and_then(|c| c.get("requests_shed"))
+        .and_then(JsonValue::as_f64);
+    assert_eq!(shed_count, Some(12.0), "6 sheds from each queue");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,193 @@
+//! Crash-recovery bit-identity, in process.
+//!
+//! The serving layer's central promise: a session that crashes at any
+//! point — torn WAL tail included — recovers to a materialized
+//! analysis **byte-identical** to an uninterrupted session with the
+//! same history. These tests exercise the promise without spawning
+//! processes (the `server_smoke` binary and CI job do the real
+//! `kill -9`); here the "crash" is dropping the core and damaging the
+//! WAL on disk, which reaches the same recovery code.
+
+use hem_obs::json::{self, JsonValue};
+use hem_server::ServerCore;
+use std::path::{Path, PathBuf};
+
+const SCENARIO: &str = "\
+cpu cpu0
+cpu cpu1
+bus can0 bit_time=1
+bus can1 bit_time=1
+frame F0 bus=can0 type=direct payload=4 prio=1
+  signal s0 triggering periodic:500
+frame F1 bus=can1 type=direct payload=4 prio=1
+  signal s1 triggering periodic:700
+task t0 cpu=cpu0 cet=30 prio=1 activation=F0/s0
+task t1 cpu=cpu1 cet=40 prio=1 activation=F1/s1
+";
+
+fn mutations() -> Vec<&'static str> {
+    vec![
+        r#"{"type":"set_task","task":"t0","wcet":35}"#,
+        r#"{"type":"set_source","frame":"F0","signal":"s0","period":450,"jitter":10}"#,
+        r#"{"type":"set_bus","bus":"can0","bit_time":2}"#,
+        r#"{"type":"set_task","task":"t1","wcet":45}"#,
+        r#"{"type":"set_payload","frame":"F1","payload":6}"#,
+        r#"{"type":"set_source","frame":"F1","signal":"s1","period":650,"jitter":0}"#,
+    ]
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hem-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mk tempdir");
+    dir
+}
+
+fn open_line(session: &str) -> String {
+    let mut line = format!("{{\"op\":\"open\",\"session\":\"{session}\",\"scenario\":");
+    json::write_escaped(&mut line, SCENARIO);
+    line.push('}');
+    line
+}
+
+fn ok(core: &ServerCore, line: &str) -> (String, JsonValue) {
+    let response = core.handle_line(line);
+    let value = json::parse(&response).expect("valid response JSON");
+    assert!(
+        matches!(value.get("ok"), Some(JsonValue::Bool(true))),
+        "request {line} failed: {response}"
+    );
+    (response, value)
+}
+
+/// Drives a full uninterrupted session and returns the final `result`
+/// response line.
+fn uninterrupted_reference(dir: &Path) -> String {
+    let core = ServerCore::new(dir, false).expect("core");
+    ok(&core, &open_line("s"));
+    for (i, event) in mutations().iter().enumerate() {
+        ok(
+            &core,
+            &format!(
+                r#"{{"op":"mutate","session":"s","seq":{},"event":{event}}}"#,
+                i + 1
+            ),
+        );
+    }
+    ok(&core, r#"{"op":"analyze","session":"s"}"#);
+    ok(&core, r#"{"op":"result","session":"s"}"#).0
+}
+
+#[test]
+fn torn_wal_recovery_is_bit_identical_to_uninterrupted_run() {
+    let ref_dir = tempdir("reference");
+    let reference = uninterrupted_reference(&ref_dir);
+
+    // Crash run: apply three mutations (analyzing along the way so a
+    // warm snapshot exists), then "crash" and tear the WAL tail.
+    let crash_dir = tempdir("crash");
+    {
+        let core = ServerCore::new(&crash_dir, false).expect("core");
+        ok(&core, &open_line("s"));
+        for (i, event) in mutations().iter().take(3).enumerate() {
+            ok(
+                &core,
+                &format!(
+                    r#"{{"op":"mutate","session":"s","seq":{},"event":{event}}}"#,
+                    i + 1
+                ),
+            );
+        }
+        ok(&core, r#"{"op":"analyze","session":"s"}"#);
+        // Core dropped here: the process "dies".
+    }
+    let wal = crash_dir.join("s.wal");
+    let len = std::fs::metadata(&wal).expect("wal exists").len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal)
+        .expect("open wal");
+    file.set_len(len - 2).expect("tear tail"); // torn write: seq 3's record is damaged
+    drop(file);
+
+    // Recovery run on the crashed directory.
+    let core = ServerCore::new(&crash_dir, false).expect("core");
+    let (_, opened) = ok(&core, &open_line("s"));
+    assert!(matches!(
+        opened.get("recovered"),
+        Some(JsonValue::Bool(true))
+    ));
+    assert!(matches!(opened.get("torn"), Some(JsonValue::Bool(true))));
+    // Only seqs 0..=2 survived the torn tail.
+    assert_eq!(opened.get("seq").and_then(JsonValue::as_f64), Some(2.0));
+
+    // Idempotent resend of the full history: survivors ack as
+    // duplicates, the torn-off tail re-applies.
+    let mut duplicates = 0;
+    for (i, event) in mutations().iter().enumerate() {
+        let (_, ack) = ok(
+            &core,
+            &format!(
+                r#"{{"op":"mutate","session":"s","seq":{},"event":{event}}}"#,
+                i + 1
+            ),
+        );
+        if matches!(ack.get("duplicate"), Some(JsonValue::Bool(true))) {
+            duplicates += 1;
+        }
+    }
+    assert_eq!(
+        duplicates, 2,
+        "seqs 1-2 survived, 3 was torn, 4-6 were never written"
+    );
+
+    ok(&core, r#"{"op":"analyze","session":"s"}"#);
+    let recovered = ok(&core, r#"{"op":"result","session":"s"}"#).0;
+    assert_eq!(
+        recovered, reference,
+        "recovered materialized result must be byte-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn clean_restart_recovers_without_resend() {
+    let ref_dir = tempdir("clean-ref");
+    let reference = uninterrupted_reference(&ref_dir);
+
+    // Same history, clean shutdown (no torn tail), fresh core: the
+    // session must come back purely from its WAL via open, with no
+    // resends needed, and analyze to the identical result.
+    let dir = tempdir("clean-restart");
+    {
+        let core = ServerCore::new(&dir, false).expect("core");
+        ok(&core, &open_line("s"));
+        for (i, event) in mutations().iter().enumerate() {
+            ok(
+                &core,
+                &format!(
+                    r#"{{"op":"mutate","session":"s","seq":{},"event":{event}}}"#,
+                    i + 1
+                ),
+            );
+        }
+        // No analyze before the "restart": materialization is a cache,
+        // not state.
+    }
+    let core = ServerCore::new(&dir, false).expect("core");
+    let (_, opened) = ok(&core, &open_line("s"));
+    assert!(matches!(
+        opened.get("recovered"),
+        Some(JsonValue::Bool(true))
+    ));
+    assert!(matches!(opened.get("torn"), Some(JsonValue::Bool(false))));
+    assert_eq!(opened.get("seq").and_then(JsonValue::as_f64), Some(6.0));
+    ok(&core, r#"{"op":"analyze","session":"s"}"#);
+    let recovered = ok(&core, r#"{"op":"result","session":"s"}"#).0;
+    assert_eq!(recovered, reference);
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}

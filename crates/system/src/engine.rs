@@ -292,6 +292,14 @@ fn run_iteration(
     let mut acc = IterationAccum::default();
 
     for level in &levels.levels {
+        // Deadlines hold inside an iteration too: a warm-started run
+        // replaying thousands of clean entities (or a cold run crawling
+        // through many levels) polls the budget between levels, so
+        // cancellation is cooperative at level granularity, not just
+        // between global iterations.
+        if config.local.budget.exhausted() {
+            return Err(IterationError::Budget);
+        }
         run_level(resolver, config, level, pool, warm, &mut acc)?;
     }
 
@@ -493,6 +501,10 @@ enum IterationError {
         entity: String,
         error: AnalysisError,
     },
+    /// The wall-clock budget expired between levels of an iteration
+    /// (warm-start replays included): degrade gracefully with the last
+    /// completed iteration's results.
+    Budget,
     /// A hard spec/model error: propagate.
     Hard(SystemError),
 }
@@ -699,6 +711,24 @@ pub(crate) fn run_with(
         let acc = match iteration_outcome {
             Ok(acc) => acc,
             Err(IterationError::Hard(e)) => return Err(e),
+            Err(IterationError::Budget) => {
+                return Ok((
+                    stopped(
+                        StopReason::BudgetExhausted,
+                        completed,
+                        trace,
+                        &tracks,
+                        last_task_results,
+                        last_frame_results,
+                        last_rt_vec,
+                        prev_rt_vec,
+                        salvaged_activations,
+                        salvaged_frame_inputs,
+                    ),
+                    None,
+                    replayed_total,
+                ));
+            }
             Err(IterationError::Local { entity, error }) => {
                 return Ok((
                     stopped(

@@ -69,14 +69,27 @@ impl WorkerPool {
     /// The calling thread participates: it drains the injector alongside
     /// the workers, so a pool of `n` threads really applies `n`-way
     /// parallelism (and the `threads == 1` pool degenerates to an
-    /// in-order inline loop). Panicking jobs are caught and re-thrown on
-    /// the calling thread after the batch stops being waited on.
+    /// in-order inline loop).
+    ///
+    /// # Panics
+    ///
+    /// A panicking job is caught on whichever thread ran it; the batch
+    /// still runs to completion (every job executes exactly once, no job
+    /// is left dangling in the injector), and then the payload of the
+    /// **lowest-index** panicking job is re-thrown — exactly once — on
+    /// the calling thread. The pool remains fully usable afterwards:
+    /// no lock is ever poisoned (jobs never run under the injector
+    /// mutex) and a subsequent `run_batch` on the same pool produces
+    /// deterministic results, which the panic-recovery regression tests
+    /// lock down.
     pub(crate) fn run_batch<T: Send + 'static>(
         &self,
         jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
     ) -> Vec<T> {
         let n = jobs.len();
         if self.workers.is_empty() {
+            // Inline path: the first panicking job (lowest index, since
+            // jobs run in submission order) propagates directly.
             return jobs.into_iter().map(|job| job()).collect();
         }
         let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
@@ -86,8 +99,8 @@ impl WorkerPool {
                 let tx = tx.clone();
                 injector.jobs.push_back(Box::new(move || {
                     let result = panic::catch_unwind(AssertUnwindSafe(job));
-                    // The batch may have aborted on another job's panic;
-                    // a closed channel is fine.
+                    // The receiver cannot have gone away before seeing
+                    // every result, but stay defensive about sends.
                     let _ = tx.send((index, result));
                 }));
             }
@@ -96,6 +109,24 @@ impl WorkerPool {
         self.shared.available.notify_all();
 
         let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        // The lowest-index panic payload, re-thrown once after the whole
+        // batch has drained — never mid-batch, which would leave queued
+        // jobs behind for a later batch to trip over.
+        let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        let stash =
+            |index: usize,
+             result: std::thread::Result<T>,
+             slots: &mut Vec<Option<T>>,
+             panicked: &mut Option<(usize, Box<dyn std::any::Any + Send>)>| {
+                match result {
+                    Ok(v) => slots[index] = Some(v),
+                    Err(payload) => {
+                        if panicked.as_ref().is_none_or(|(i, _)| index < *i) {
+                            *panicked = Some((index, payload));
+                        }
+                    }
+                }
+            };
         let mut received = 0usize;
         while received < n {
             // Help out: prefer running a queued job over blocking.
@@ -110,7 +141,7 @@ impl WorkerPool {
             loop {
                 match rx.try_recv() {
                     Ok((index, result)) => {
-                        slots[index] = Some(resume_on_panic(result));
+                        stash(index, result, &mut slots, &mut panicked);
                         received += 1;
                     }
                     Err(mpsc::TryRecvError::Empty) => break,
@@ -124,22 +155,18 @@ impl WorkerPool {
                 };
                 if queue_empty {
                     let (index, result) = rx.recv().expect("all senders done before batch end");
-                    slots[index] = Some(resume_on_panic(result));
+                    stash(index, result, &mut slots, &mut panicked);
                     received += 1;
                 }
             }
+        }
+        if let Some((_, payload)) = panicked {
+            panic::resume_unwind(payload);
         }
         slots
             .into_iter()
             .map(|slot| slot.expect("every job reported"))
             .collect()
-    }
-}
-
-fn resume_on_panic<T>(result: std::thread::Result<T>) -> T {
-    match result {
-        Ok(v) => v,
-        Err(payload) => panic::resume_unwind(payload),
     }
 }
 
@@ -240,5 +267,93 @@ mod tests {
         let pool = WorkerPool::new(4);
         let _ = pool.run_batch(batch(8));
         drop(pool); // must not hang
+    }
+
+    /// A batch where the jobs at `panic_at` panic with an identifying
+    /// message and the rest return `i * i`.
+    fn faulty_batch(
+        n: usize,
+        panic_at: &[usize],
+    ) -> Vec<Box<dyn FnOnce() -> usize + Send + 'static>> {
+        let panic_at = panic_at.to_vec();
+        (0..n)
+            .map(|i| {
+                let poisoned = panic_at.contains(&i);
+                Box::new(move || {
+                    if poisoned {
+                        panic!("job {i} exploded");
+                    }
+                    i * i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect()
+    }
+
+    fn payload_message(payload: &(dyn std::any::Any + Send)) -> &str {
+        payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&'static str>().copied())
+            .unwrap_or("<non-string panic payload>")
+    }
+
+    #[test]
+    fn panic_payload_rethrown_once_and_pool_stays_usable() {
+        for threads in [1usize, 4] {
+            let pool = WorkerPool::new(threads);
+            // Two panicking jobs: the lowest-index payload must win, and
+            // it must surface exactly once — as an unwind out of
+            // `run_batch`, not as a poisoned mutex on the next batch.
+            let err = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run_batch(faulty_batch(8, &[2, 5]))
+            }))
+            .expect_err("batch with panicking jobs must unwind");
+            assert_eq!(
+                payload_message(&*err),
+                "job 2 exploded",
+                "threads={threads}: lowest-index panic payload must be re-thrown"
+            );
+
+            // The same pool must still produce deterministic, in-order
+            // results on subsequent fresh batches.
+            let expected: Vec<usize> = (0..16).map(|i| i * i).collect();
+            for _ in 0..4 {
+                assert_eq!(
+                    pool.run_batch(batch(16)),
+                    expected,
+                    "threads={threads}: pool poisoned by earlier panic"
+                );
+            }
+            drop(pool); // workers must still join cleanly
+        }
+    }
+
+    #[test]
+    fn panic_mid_batch_leaves_no_job_behind() {
+        // Every non-panicking job in the faulty batch must still have
+        // run: nothing may linger in the injector to contaminate the
+        // next batch's results.
+        let pool = WorkerPool::new(4);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..32)
+            .map(|i| {
+                let ran = ran.clone();
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let err = panic::catch_unwind(AssertUnwindSafe(|| pool.run_batch(jobs)))
+            .expect_err("batch must unwind");
+        assert_eq!(payload_message(&*err), "boom");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            32,
+            "all jobs must execute exactly once even when one panics"
+        );
+        assert!(pool.run_batch(batch(4)) == vec![0, 1, 4, 9]);
     }
 }

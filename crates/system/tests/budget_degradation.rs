@@ -99,3 +99,98 @@ fn schedulable_spec_is_untouched_by_a_generous_budget() {
         "a non-binding budget must not change results"
     );
 }
+
+/// A two-island system (bus+cpu per island) whose warm-start replay has
+/// real work to skip: mutating island 0 leaves island 1 clean.
+fn two_island_spec() -> SystemSpec {
+    use hem_analysis::Priority;
+    use hem_autosar_com::{FrameType, TransferProperty};
+    use hem_can::{CanBusConfig, FrameFormat};
+    use hem_event_models::StandardEventModel;
+    use hem_system::{FrameSpec, SignalSpec};
+
+    let periodic = |p: i64| {
+        ActivationSpec::External(
+            StandardEventModel::periodic(Time::new(p))
+                .expect("valid")
+                .shared(),
+        )
+    };
+    let frame = |name: &str, bus: &str, period: i64| FrameSpec {
+        name: name.into(),
+        bus: bus.into(),
+        frame_type: FrameType::Direct,
+        payload_bytes: 4,
+        format: FrameFormat::Standard,
+        priority: Priority::new(1),
+        signals: vec![SignalSpec {
+            name: "s".into(),
+            transfer: TransferProperty::Triggering,
+            source: periodic(period),
+        }],
+    };
+    let task = |name: &str, cpu: &str, wcet: i64, frame: &str| TaskSpec {
+        name: name.into(),
+        cpu: cpu.into(),
+        bcet: Time::new(wcet),
+        wcet: Time::new(wcet),
+        priority: hem_analysis::Priority::new(1),
+        activation: ActivationSpec::Signal {
+            frame: frame.into(),
+            signal: "s".into(),
+        },
+    };
+    SystemSpec::new()
+        .cpu("cpu_a")
+        .cpu("cpu_b")
+        .bus("can0", CanBusConfig::new(Time::new(1)))
+        .bus("can1", CanBusConfig::new(Time::new(1)))
+        .frame(frame("F0", "can0", 500))
+        .frame(frame("F1", "can1", 700))
+        .task(task("t0", "cpu_a", 30, "F0"))
+        .task(task("t1", "cpu_b", 40, "F1"))
+}
+
+/// Budget expiry during a warm-start replay degrades exactly like
+/// `analyze_robust`: a graceful `BudgetExhausted` stop, no snapshot, no
+/// panic — the replay loop polls the budget cooperatively.
+#[test]
+fn warm_replay_honors_exhausted_budget() {
+    use hem_system::analyze_incremental;
+
+    let spec = two_island_spec();
+    let config = SystemConfig::new(AnalysisMode::Hierarchical);
+    let first = analyze_incremental(&spec, &config, None).expect("well-formed");
+    let snapshot = first.snapshot.expect("converged run snapshots");
+
+    // Mutate island 0 only, then replay island 1 under a budget that is
+    // already exhausted when the replay starts.
+    let mut mutated = spec.clone();
+    mutated.tasks[0].wcet = Time::new(35);
+    let strict = SystemConfig::new(AnalysisMode::Hierarchical)
+        .with_budget(AnalysisBudget::within(Duration::ZERO));
+    let r = analyze_incremental(&mutated, &strict, Some(&snapshot)).expect("well-formed");
+    assert!(
+        r.analysis.diagnostics.budget_exhausted(),
+        "expected BudgetExhausted, got {:?}",
+        r.analysis.diagnostics.stop
+    );
+    assert!(!r.analysis.results.is_complete());
+    assert!(
+        r.snapshot.is_none(),
+        "a stopped run must not produce a warm-start snapshot"
+    );
+
+    // A non-binding budget leaves the warm chain bit-identical to cold.
+    let generous = SystemConfig::new(AnalysisMode::Hierarchical)
+        .with_budget(AnalysisBudget::within(Duration::from_secs(30)));
+    let warm = analyze_incremental(&mutated, &generous, Some(&snapshot)).expect("well-formed");
+    assert!(warm.reuse.warm);
+    assert!(warm.reuse.replayed_results > 0, "island 1 should replay");
+    let cold = analyze_robust(&mutated, &config).expect("well-formed");
+    assert_eq!(
+        warm.analysis.results.response_times(),
+        cold.results.response_times()
+    );
+    assert_eq!(warm.analysis.diagnostics.trace, cold.diagnostics.trace);
+}
