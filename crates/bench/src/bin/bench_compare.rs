@@ -329,6 +329,13 @@ fn report(doc: &JsonValue) -> String {
         field(serving, "serving", "shed"),
         field(serving, "serving", "stale_served"),
     );
+    let _ = writeln!(
+        out,
+        "durability: {} checkpoints compacting {} WAL bytes, {} storage faults injected",
+        field(serving, "serving", "checkpoints"),
+        field(serving, "serving", "compacted_bytes"),
+        field(serving, "serving", "injected_faults"),
+    );
     out
 }
 
@@ -444,6 +451,9 @@ mod tests {
         assert_eq!(classify("serving.recoveries"), Class::Exact);
         assert_eq!(classify("serving.shed"), Class::Exact);
         assert_eq!(classify("serving.stale_served"), Class::Exact);
+        assert_eq!(classify("serving.checkpoints"), Class::Exact);
+        assert_eq!(classify("serving.compacted_bytes"), Class::Exact);
+        assert_eq!(classify("serving.injected_faults"), Class::Exact);
     }
 
     #[test]
@@ -518,7 +528,9 @@ mod tests {
                                "full_fallbacks":1},
                 "serving":{"sessions":96,"requests":820,"wall_ms":150.0,
                            "req_s":5466.7,"p50_ms":0.02,"p99_ms":1.5,
-                           "recoveries":8,"shed":16,"stale_served":8}}"#,
+                           "recoveries":8,"shed":16,"stale_served":8,
+                           "checkpoints":96,"compacted_bytes":50240,
+                           "injected_faults":0}}"#,
         )
         .unwrap();
         let text = report(&doc);
@@ -527,5 +539,6 @@ mod tests {
         assert!(text.contains("mean cone 12.5%"));
         assert!(text.contains("96 sessions"));
         assert!(text.contains("8 recoveries, 16 shed, 8 stale served"));
+        assert!(text.contains("96 checkpoints compacting 50240 WAL bytes"));
     }
 }

@@ -13,17 +13,29 @@
 //! cargo run --release -p hem-bench --bin load_gen -- \
 //!     [--sessions N] [--rounds N] [--analyze-every N] [--kills N] \
 //!     [--shed-capacity N] [--shed-probes N] [--stale-probes N] \
-//!     [--data-dir DIR]
+//!     [--data-dir DIR] [--chaos-seed N] [--fault-every N]
 //! ```
+//!
+//! With `--chaos-seed`, the run replaces the real disk with a seeded
+//! deterministic `ChaosStorage` that injects transient storage faults
+//! (short reads, torn writes, ENOSPC, dropped fsyncs) roughly every
+//! `--fault-every` ops (default 97); per-request retries must absorb
+//! every fault, and the run must report a non-zero injected count.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use hem_bench::serving::{run_serving, ServingParams};
+use hem_bench::serving::{run_serving_with, ServingParams};
+use hem_server::{ChaosOptions, ChaosStorage, RealStorage, Storage};
+
+/// Retry budget per request under chaos (1 = fail fast on a real disk).
+const CHAOS_ATTEMPTS: usize = 5;
 
 fn usage() -> ! {
     eprintln!(
         "usage: load_gen [--sessions N] [--rounds N] [--analyze-every N] [--kills N] \
-         [--shed-capacity N] [--shed-probes N] [--stale-probes N] [--data-dir DIR]"
+         [--shed-capacity N] [--shed-probes N] [--stale-probes N] [--data-dir DIR] \
+         [--chaos-seed N] [--fault-every N]"
     );
     std::process::exit(2);
 }
@@ -31,6 +43,8 @@ fn usage() -> ! {
 fn main() {
     let mut params = ServingParams::load();
     let mut data_dir: Option<PathBuf> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut fault_every: u64 = 97;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let Some(value) = args.next() else { usage() };
@@ -49,6 +63,8 @@ fn main() {
             "--shed-probes" => params.shed_probes = number(),
             "--stale-probes" => params.stale_probes = number(),
             "--data-dir" => data_dir = Some(PathBuf::from(&value)),
+            "--chaos-seed" => chaos_seed = Some(number() as u64),
+            "--fault-every" => fault_every = number() as u64,
             _ => usage(),
         }
     }
@@ -71,7 +87,24 @@ fn main() {
         params.shed_probes,
         params.stale_probes
     );
-    let report = run_serving(&dir, &params);
+    let (storage, attempts): (Arc<dyn Storage>, usize) = match chaos_seed {
+        Some(seed) => {
+            eprintln!(
+                "load_gen: chaos disk enabled (seed {seed}, ~1 fault per {fault_every} ops, \
+                 {CHAOS_ATTEMPTS} attempts per request)"
+            );
+            (
+                Arc::new(ChaosStorage::new(ChaosOptions {
+                    seed,
+                    crash_at_op: None,
+                    fault_every,
+                })),
+                CHAOS_ATTEMPTS,
+            )
+        }
+        None => (Arc::new(RealStorage), 1),
+    };
+    let report = run_serving_with(&dir, &params, storage, attempts);
     if ephemeral {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -90,6 +123,10 @@ fn main() {
         "{} WAL recoveries, {} shed, {} stale served",
         report.recoveries, report.shed, report.stale_served
     );
+    println!(
+        "{} checkpoints, {} bytes compacted, {} storage faults injected",
+        report.checkpoints, report.compacted_bytes, report.injected_faults
+    );
 
     // The ISSUE acceptance bar: fleet scale with the failure paths
     // actually exercised.
@@ -97,6 +134,14 @@ fn main() {
         eprintln!(
             "load_gen: robustness bar not met (need >= 1000 sessions with non-zero recoveries and shed)"
         );
+        std::process::exit(1);
+    }
+    if report.checkpoints == 0 || report.compacted_bytes == 0 {
+        eprintln!("load_gen: checkpoint path not exercised");
+        std::process::exit(1);
+    }
+    if chaos_seed.is_some() && report.injected_faults == 0 {
+        eprintln!("load_gen: chaos disk injected no faults (raise the rate or the load)");
         std::process::exit(1);
     }
 }

@@ -57,11 +57,26 @@ pub enum Counter {
     /// Requests answered with the last materialized (stale) result
     /// because recomputation exceeded the request deadline.
     StaleServed,
+    /// WAL `sync_all` calls that failed before a mutation could be
+    /// acknowledged (the append is rolled back and the client sees an
+    /// explicit error instead of a silent durability hole).
+    FsyncFailures,
+    /// Session checkpoints written: snapshot of the event log fsynced
+    /// to a temp file, atomically renamed under a generation number,
+    /// and the WAL tail truncated.
+    Checkpoints,
+    /// Bytes of WAL reclaimed by checkpoint compaction (sum of
+    /// truncated tail lengths).
+    CompactedBytes,
+    /// Storage faults injected by the deterministic chaos layer (torn
+    /// writes, short reads, dropped fsyncs, ENOSPC). Always zero on
+    /// real storage.
+    InjectedFaults,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 19] = [
         Counter::GlobalIterations,
         Counter::BusyWindowIterations,
         Counter::CurveEvaluations,
@@ -77,6 +92,10 @@ impl Counter {
         Counter::WalRecoveries,
         Counter::RequestsShed,
         Counter::StaleServed,
+        Counter::FsyncFailures,
+        Counter::Checkpoints,
+        Counter::CompactedBytes,
+        Counter::InjectedFaults,
     ];
 
     /// The stable snake_case export name.
@@ -98,6 +117,10 @@ impl Counter {
             Counter::WalRecoveries => "wal_recoveries",
             Counter::RequestsShed => "requests_shed",
             Counter::StaleServed => "stale_served",
+            Counter::FsyncFailures => "fsync_failures",
+            Counter::Checkpoints => "checkpoints",
+            Counter::CompactedBytes => "compacted_bytes",
+            Counter::InjectedFaults => "injected_faults",
         }
     }
 

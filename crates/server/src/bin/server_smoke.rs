@@ -59,6 +59,10 @@ struct Server {
 
 impl Server {
     fn start(data_dir: &Path) -> Result<Self, String> {
+        Server::start_with(data_dir, &[])
+    }
+
+    fn start_with(data_dir: &Path, extra_args: &[&str]) -> Result<Self, String> {
         let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
         let server_bin = exe
             .parent()
@@ -77,6 +81,7 @@ impl Server {
             .arg(data_dir)
             .arg("--workers")
             .arg("2")
+            .args(extra_args)
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
@@ -269,8 +274,99 @@ fn run() -> Result<(), String> {
     }
     println!("OK: recovered result is byte-identical to the uninterrupted run");
 
+    // 5. Checkpoint leg: a tiny threshold forces checkpoint+compaction
+    //    during the same six mutations. The session must end with a
+    //    smaller WAL than the checkpoint-free reference run, the same
+    //    result line, and — after a SIGKILL and restart — recover
+    //    byte-identically from checkpoint + WAL tail, acking every
+    //    resend as an idempotent duplicate.
+    let ckpt_dir = fresh_dir("ckpt")?;
+    let ckpt_args: &[&str] = &["--checkpoint-bytes", "512"];
+    let wal_len = |dir: &Path| -> Result<u64, String> {
+        let path = dir.join(format!("{session}.wal"));
+        Ok(std::fs::metadata(&path)
+            .map_err(|e| format!("stat {}: {e}", path.display()))?
+            .len())
+    };
+    {
+        let mut server = Server::start_with(&ckpt_dir, ckpt_args)?;
+        let mut conn = server.connect()?;
+        conn.rpc_ok(&open_line(session))?;
+        for (i, event) in events.iter().enumerate() {
+            conn.rpc_ok(&mutate_line(session, i + 1, event))?;
+        }
+        conn.rpc_ok(&format!("{{\"op\":\"analyze\",\"session\":\"{session}\"}}"))?;
+        let result = conn.rpc(&format!("{{\"op\":\"result\",\"session\":\"{session}\"}}"))?;
+        if result != reference {
+            return Err(format!(
+                "checkpointed result differs from reference\n  reference: {reference}\n  checkpointed: {result}"
+            ));
+        }
+        let stats = conn.rpc_ok("{\"op\":\"stats\"}")?;
+        let counter = |name: &str| {
+            stats
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0)
+        };
+        if counter("checkpoints") < 1.0 {
+            return Err(format!("stats report no checkpoints: {stats:?}"));
+        }
+        if counter("compacted_bytes") <= 0.0 {
+            return Err(format!("stats report no compacted bytes: {stats:?}"));
+        }
+        let compacted = wal_len(&ckpt_dir)?;
+        let uncompacted = wal_len(&ref_dir)?;
+        if compacted >= uncompacted {
+            return Err(format!(
+                "compaction did not shrink the wal: {compacted}b vs reference {uncompacted}b"
+            ));
+        }
+        println!(
+            "checkpoint leg: result identical, wal compacted to {compacted}b (reference {uncompacted}b)"
+        );
+        server.kill9()?;
+    }
+
+    // 6. Restart on the checkpointed dir: recovery must splice the
+    //    newest checkpoint with the WAL tail and land on the same
+    //    result, with every resend a duplicate (nothing was lost).
+    {
+        let server = Server::start_with(&ckpt_dir, ckpt_args)?;
+        let mut conn = server.connect()?;
+        let open = conn.rpc_ok(&open_line(session))?;
+        if !matches!(open.get("recovered"), Some(JsonValue::Bool(true))) {
+            return Err(format!(
+                "open after checkpointed kill did not recover: {open:?}"
+            ));
+        }
+        let mut duplicates = 0;
+        for (i, event) in events.iter().enumerate() {
+            let ack = conn.rpc_ok(&mutate_line(session, i + 1, event))?;
+            if matches!(ack.get("duplicate"), Some(JsonValue::Bool(true))) {
+                duplicates += 1;
+            }
+        }
+        if duplicates != events.len() {
+            return Err(format!(
+                "expected every resend to be a duplicate after a clean kill, saw {duplicates} of {}",
+                events.len()
+            ));
+        }
+        conn.rpc_ok(&format!("{{\"op\":\"analyze\",\"session\":\"{session}\"}}"))?;
+        let result = conn.rpc(&format!("{{\"op\":\"result\",\"session\":\"{session}\"}}"))?;
+        if result != reference {
+            return Err(format!(
+                "checkpoint recovery differs from reference\n  reference: {reference}\n  recovered: {result}"
+            ));
+        }
+        println!("OK: checkpointed session recovered byte-identically after kill -9");
+    }
+
     let _ = std::fs::remove_dir_all(&ref_dir);
     let _ = std::fs::remove_dir_all(&crash_dir);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
     Ok(())
 }
 

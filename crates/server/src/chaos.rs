@@ -1,0 +1,390 @@
+//! Crash-point enumeration: the recovery contract, machine-checked at
+//! *every* storage operation index.
+//!
+//! PR 6 proved crash recovery at a handful of hand-picked sites (a
+//! torn tail here, a `kill -9` there). This module turns that sample
+//! into an exhaustive property. A scripted session workload — open,
+//! a deterministic stream of mutations, periodic analyses, checkpoints
+//! firing as the WAL crosses its threshold — is first run fault-free
+//! on a [`ChaosStorage`] to count its storage operations, then re-run
+//! once per operation index `k`, each time with the disk armed to
+//! crash at exactly op `k`. After each crash the disk is power-cycled
+//! (durable images plus deterministic lazy-flush debris) and a fresh
+//! server recovers the session. Four invariants are asserted at every
+//! single index:
+//!
+//! 1. **valid prefix** — the recovered sequence never exceeds what the
+//!    workload submitted (no invented records);
+//! 2. **durability** — every mutation that was *acknowledged* before
+//!    the crash is present after recovery (acks imply fsync);
+//! 3. **idempotent resends** — replaying the full history produces
+//!    `duplicate` acks for exactly the surviving prefix and re-applies
+//!    exactly the lost suffix, with zero conflicts;
+//! 4. **bit-identical convergence** — after the resend, the session's
+//!    final result line equals the uninterrupted reference run's, byte
+//!    for byte.
+//!
+//! The same scripted workload is reused by the `crash_enum` binary
+//! (the CI `chaos` job) and the `crash_points` integration test.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hem_obs::json::{self, JsonValue};
+
+use crate::core::{CoreOptions, ServerCore};
+use crate::storage::{ChaosOptions, ChaosStorage, Storage};
+
+/// The scripted workload's scenario: two CPUs, two buses, enough
+/// coupling that mutations shift real response times.
+pub const SCENARIO: &str = "\
+cpu cpu0
+cpu cpu1
+bus can0 bit_time=1
+bus can1 bit_time=1
+frame F0 bus=can0 type=direct payload=4 prio=1
+  signal s0 triggering periodic:500
+frame F1 bus=can1 type=direct payload=4 prio=1
+  signal s1 triggering periodic:700
+task t0 cpu=cpu0 cet=30 prio=1 activation=F0/s0
+task t1 cpu=cpu1 cet=40 prio=1 activation=F1/s1
+";
+
+/// The session name the scripted workload drives.
+pub const SESSION: &str = "chaos";
+
+/// Shape of the scripted workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Mutations appended (seqs `1..=mutations`).
+    pub mutations: u64,
+    /// An `analyze` request is issued after every Nth mutation.
+    pub analyze_every: u64,
+    /// Checkpoint threshold handed to the server — deliberately tiny so
+    /// the workload crosses it many times and crash points land inside
+    /// every step of the checkpoint protocol.
+    pub checkpoint_bytes: u64,
+    /// Seed of the chaos disk (debris choices derive from it).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The CI-sized workload: a few hundred storage operations, every
+    /// one of them a tested crash point.
+    #[must_use]
+    pub fn standard() -> Self {
+        WorkloadSpec {
+            mutations: 64,
+            analyze_every: 8,
+            checkpoint_bytes: 700,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A smaller workload for the tier-1 test suite — still a full
+    /// enumeration, just of a shorter script.
+    #[must_use]
+    pub fn quick() -> Self {
+        WorkloadSpec {
+            mutations: 12,
+            analyze_every: 4,
+            checkpoint_bytes: 500,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The deterministic mutation event for 1-based index `i` — a cycle
+/// over every event kind, with arguments that stay inside the
+/// scenario's validity envelope.
+#[must_use]
+pub fn event_json(i: u64) -> String {
+    match i % 5 {
+        0 => format!(
+            r#"{{"type":"set_task","task":"t0","wcet":{}}}"#,
+            30 + (i % 13)
+        ),
+        1 => format!(
+            r#"{{"type":"set_task","task":"t1","wcet":{}}}"#,
+            40 + (i % 11)
+        ),
+        2 => format!(
+            r#"{{"type":"set_source","frame":"F0","signal":"s0","period":{},"jitter":{}}}"#,
+            450 + 10 * (i % 6),
+            5 * (i % 3)
+        ),
+        3 => format!(
+            r#"{{"type":"set_bus","bus":"can0","bit_time":{}}}"#,
+            1 + (i % 2)
+        ),
+        _ => format!(
+            r#"{{"type":"set_payload","frame":"F1","payload":{}}}"#,
+            1 + (i % 8)
+        ),
+    }
+}
+
+fn open_line() -> String {
+    let mut line = format!("{{\"op\":\"open\",\"session\":\"{SESSION}\",\"scenario\":");
+    json::write_escaped(&mut line, SCENARIO);
+    line.push('}');
+    line
+}
+
+fn mutate_line(i: u64) -> String {
+    format!(
+        "{{\"op\":\"mutate\",\"session\":\"{SESSION}\",\"seq\":{i},\"event\":{}}}",
+        event_json(i)
+    )
+}
+
+/// Parses a response line; `Ok` carries the parsed JSON of an
+/// `"ok":true` response, `Err` the stable error kind.
+fn parse_response(line: &str) -> Result<JsonValue, String> {
+    let value = json::parse(line).map_err(|e| format!("unparsable response {line:?}: {e}"))?;
+    if matches!(value.get("ok"), Some(JsonValue::Bool(true))) {
+        Ok(value)
+    } else {
+        Err(value
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_string())
+    }
+}
+
+fn core_for(spec: &WorkloadSpec, storage: Arc<dyn Storage>) -> std::io::Result<ServerCore> {
+    ServerCore::with_options(
+        CoreOptions::new(PathBuf::from("chaos-data"))
+            .storage(storage)
+            .checkpoint_bytes(spec.checkpoint_bytes),
+    )
+}
+
+/// What the scripted drive achieved before stopping.
+#[derive(Debug)]
+struct DriveOutcome {
+    /// Highest mutation seq acknowledged (`0` = none; the open itself
+    /// may not even have been acknowledged).
+    acked: u64,
+    /// The final `result` response line, when the drive ran to the end.
+    result: Option<String>,
+    /// The error that stopped the drive early, if any.
+    stopped_by: Option<String>,
+}
+
+/// Runs the scripted workload against `core`, stopping at the first
+/// failed request (the expected outcome when the disk crashes
+/// mid-script).
+fn drive(core: &ServerCore, spec: &WorkloadSpec) -> DriveOutcome {
+    let mut outcome = DriveOutcome {
+        acked: 0,
+        result: None,
+        stopped_by: None,
+    };
+    if let Err(kind) = parse_response(&core.handle_line(&open_line())) {
+        outcome.stopped_by = Some(kind);
+        return outcome;
+    }
+    for i in 1..=spec.mutations {
+        match parse_response(&core.handle_line(&mutate_line(i))) {
+            Ok(_) => outcome.acked = i,
+            Err(kind) => {
+                outcome.stopped_by = Some(kind);
+                return outcome;
+            }
+        }
+        if i % spec.analyze_every == 0 {
+            if let Err(kind) = parse_response(
+                &core.handle_line(&format!("{{\"op\":\"analyze\",\"session\":\"{SESSION}\"}}")),
+            ) {
+                outcome.stopped_by = Some(kind);
+                return outcome;
+            }
+        }
+    }
+    match parse_response(
+        &core.handle_line(&format!("{{\"op\":\"analyze\",\"session\":\"{SESSION}\"}}")),
+    ) {
+        Ok(_) => {}
+        Err(kind) => {
+            outcome.stopped_by = Some(kind);
+            return outcome;
+        }
+    }
+    outcome.result =
+        Some(core.handle_line(&format!("{{\"op\":\"result\",\"session\":\"{SESSION}\"}}")));
+    outcome
+}
+
+/// The fault-free reference: the workload's final result line plus the
+/// total number of storage operations it performs — the crash-point
+/// space.
+///
+/// # Errors
+///
+/// When the workload itself fails on a quiet disk (a harness bug, not
+/// a chaos finding).
+pub fn reference_run(spec: &WorkloadSpec) -> Result<(String, u64), String> {
+    let disk = ChaosStorage::new(ChaosOptions::quiet(spec.seed));
+    let storage: Arc<dyn Storage> = Arc::new(disk.clone());
+    let core = core_for(spec, storage).map_err(|e| format!("core: {e}"))?;
+    let outcome = drive(&core, spec);
+    if let Some(kind) = outcome.stopped_by {
+        return Err(format!("reference run stopped by {kind}"));
+    }
+    let result = outcome
+        .result
+        .ok_or_else(|| "reference run produced no result".to_string())?;
+    parse_response(&result).map_err(|kind| format!("reference result errored: {kind}"))?;
+    Ok((result, disk.ops()))
+}
+
+/// Aggregate of a full enumeration.
+#[derive(Debug, Default)]
+pub struct EnumerationReport {
+    /// Storage ops in the fault-free workload (the crash-point space).
+    pub total_ops: u64,
+    /// Crash points actually tested (equals the requested range).
+    pub tested: u64,
+    /// Recoveries that restored through a durable checkpoint
+    /// generation.
+    pub with_checkpoint: u64,
+    /// Recoveries where the reopened WAL had a torn tail.
+    pub torn_recoveries: u64,
+    /// Smallest recovered mutation seq across all crash points.
+    pub min_recovered: u64,
+    /// Largest recovered mutation seq across all crash points.
+    pub max_recovered: u64,
+}
+
+/// Crashes the scripted workload at exactly storage op `k`, restarts,
+/// and asserts the four recovery invariants. Returns
+/// `(recovered_seq, had_checkpoint, torn)`.
+///
+/// # Errors
+///
+/// A violated invariant, described with enough context to replay
+/// (`seed`, `k`).
+pub fn verify_crash_point(
+    spec: &WorkloadSpec,
+    k: u64,
+    reference: &str,
+) -> Result<(u64, bool, bool), String> {
+    let ctx = |msg: String| format!("crash at op {k} (seed {}): {msg}", spec.seed);
+    let disk = ChaosStorage::new(ChaosOptions {
+        seed: spec.seed,
+        crash_at_op: Some(k),
+        fault_every: 0,
+    });
+    let storage: Arc<dyn Storage> = Arc::new(disk.clone());
+    let acked = match core_for(spec, storage.clone()) {
+        Ok(core) => {
+            let outcome = drive(&core, spec);
+            if let Some(kind) = &outcome.stopped_by {
+                // The only legitimate stop is the crashed disk
+                // surfacing as a WAL error.
+                if kind != "wal" {
+                    return Err(ctx(format!("drive stopped by unexpected error {kind:?}")));
+                }
+            }
+            outcome.acked
+        }
+        // Op 0 (the data-dir creation) can itself be the crash point.
+        Err(_) => 0,
+    };
+    if !disk.crashed() {
+        return Err(ctx("disk never crashed — op index out of range".into()));
+    }
+    disk.power_cycle();
+    let had_checkpoint = storage
+        .list(&PathBuf::from("chaos-data"))
+        .ok()
+        .is_some_and(|names| {
+            names
+                .iter()
+                .any(|n| n.starts_with(&format!("{SESSION}.ckpt.")) && !n.ends_with(".tmp"))
+        });
+    let core = core_for(spec, storage).map_err(|e| ctx(format!("restart core: {e}")))?;
+    let opened = parse_response(&core.handle_line(&open_line()))
+        .map_err(|kind| ctx(format!("restart open failed: {kind}")))?;
+    let recovered_seq = opened
+        .get("seq")
+        .and_then(JsonValue::as_f64)
+        .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+        .map(|n| n as u64)
+        .ok_or_else(|| ctx("restart open response lacks a seq".into()))?;
+    let torn = matches!(opened.get("torn"), Some(JsonValue::Bool(true)));
+    // Invariant 1: a valid prefix — never records the client did not
+    // submit.
+    if recovered_seq > spec.mutations {
+        return Err(ctx(format!(
+            "recovered seq {recovered_seq} exceeds the {} submitted",
+            spec.mutations
+        )));
+    }
+    // Invariant 2: acked-and-fsynced mutations are never lost.
+    if recovered_seq < acked {
+        return Err(ctx(format!(
+            "durability violation: mutation {acked} was acknowledged but only \
+             {recovered_seq} recovered"
+        )));
+    }
+    // Invariant 3: the full resend is idempotent, duplicate-acking
+    // exactly the surviving prefix — and never conflicting, which
+    // would mean recovery invented or altered a record.
+    for i in 1..=spec.mutations {
+        let ack = parse_response(&core.handle_line(&mutate_line(i)))
+            .map_err(|kind| ctx(format!("resend of seq {i} failed: {kind}")))?;
+        let duplicate = matches!(ack.get("duplicate"), Some(JsonValue::Bool(true)));
+        if duplicate != (i <= recovered_seq) {
+            return Err(ctx(format!(
+                "resend of seq {i} acked duplicate={duplicate} but {recovered_seq} recovered"
+            )));
+        }
+    }
+    // Invariant 4: the recovered session converges bit-identically.
+    parse_response(&core.handle_line(&format!("{{\"op\":\"analyze\",\"session\":\"{SESSION}\"}}")))
+        .map_err(|kind| ctx(format!("post-recovery analyze failed: {kind}")))?;
+    let result = core.handle_line(&format!("{{\"op\":\"result\",\"session\":\"{SESSION}\"}}"));
+    if result != reference {
+        return Err(ctx(format!(
+            "recovered result diverges from the reference\n  reference: {reference}\n  recovered: {result}"
+        )));
+    }
+    Ok((recovered_seq, had_checkpoint, torn))
+}
+
+/// Enumerates crash points `range` (or every op when `None`) of the
+/// scripted workload, verifying the recovery invariants at each.
+///
+/// # Errors
+///
+/// The first violated invariant, or a reference-run failure.
+pub fn enumerate_crash_points(
+    spec: &WorkloadSpec,
+    range: Option<std::ops::Range<u64>>,
+) -> Result<EnumerationReport, String> {
+    let (reference, total_ops) = reference_run(spec)?;
+    let range = match range {
+        Some(r) => r.start.min(total_ops)..r.end.min(total_ops),
+        None => 0..total_ops,
+    };
+    let mut report = EnumerationReport {
+        total_ops,
+        min_recovered: u64::MAX,
+        ..EnumerationReport::default()
+    };
+    for k in range {
+        let (recovered, had_checkpoint, torn) = verify_crash_point(spec, k, &reference)?;
+        report.tested += 1;
+        report.with_checkpoint += u64::from(had_checkpoint);
+        report.torn_recoveries += u64::from(torn);
+        report.min_recovered = report.min_recovered.min(recovered);
+        report.max_recovered = report.max_recovered.max(recovered);
+    }
+    if report.tested == 0 {
+        report.min_recovered = 0;
+    }
+    Ok(report)
+}

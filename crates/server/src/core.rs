@@ -31,11 +31,77 @@ use hem_obs::{Counter, MemoryRecorder, RecorderHandle};
 
 use crate::event::SessionEvent;
 use crate::hash::id_hex;
-use crate::session::{valid_name, Analyzed, AppendOutcome, Session};
+use crate::session::{valid_name, Analyzed, AppendOutcome, Session, SessionEnv};
+use crate::storage::{RealStorage, Storage};
+
+/// Default WAL size that triggers a checkpoint + compaction.
+pub const DEFAULT_CHECKPOINT_BYTES: u64 = 64 * 1024;
+
+/// Construction-time knobs of a [`ServerCore`].
+#[derive(Debug, Clone)]
+pub struct CoreOptions {
+    /// Directory holding one WAL (plus checkpoints) per session.
+    pub data_dir: PathBuf,
+    /// Enables `debug_panic`, the fault-injection op used by tests and
+    /// the smoke driver. Never on in normal serving.
+    pub test_ops: bool,
+    /// Whether mutation appends `fsync` before being acknowledged.
+    /// Defaults to `true`: an acked mutation survives a power cut.
+    pub sync_appends: bool,
+    /// WAL size (bytes) that triggers a checkpoint; `0` disables.
+    pub checkpoint_bytes: u64,
+    /// The storage all durable I/O goes through. Defaults to
+    /// [`RealStorage`]; tests and the chaos harness substitute
+    /// [`ChaosStorage`](crate::storage::ChaosStorage).
+    pub storage: Arc<dyn Storage>,
+}
+
+impl CoreOptions {
+    /// Production defaults: real storage, synced appends, 64 KiB
+    /// checkpoint threshold, debug ops off.
+    #[must_use]
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        CoreOptions {
+            data_dir: data_dir.into(),
+            test_ops: false,
+            sync_appends: true,
+            checkpoint_bytes: DEFAULT_CHECKPOINT_BYTES,
+            storage: Arc::new(RealStorage),
+        }
+    }
+
+    /// Enables or disables the test-only ops (`debug_panic`).
+    #[must_use]
+    pub fn test_ops(mut self, on: bool) -> Self {
+        self.test_ops = on;
+        self
+    }
+
+    /// Sets whether appends `fsync` before acknowledging.
+    #[must_use]
+    pub fn sync_appends(mut self, on: bool) -> Self {
+        self.sync_appends = on;
+        self
+    }
+
+    /// Sets the checkpoint threshold in bytes (`0` disables).
+    #[must_use]
+    pub fn checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_bytes = bytes;
+        self
+    }
+
+    /// Substitutes the storage implementation.
+    #[must_use]
+    pub fn storage(mut self, storage: Arc<dyn Storage>) -> Self {
+        self.storage = storage;
+        self
+    }
+}
 
 /// Shared server state: the session map plus instrumentation.
 pub struct ServerCore {
-    data_dir: PathBuf,
+    env: SessionEnv,
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
     metrics: RecorderHandle,
     recorder: Arc<MemoryRecorder>,
@@ -48,7 +114,7 @@ pub struct ServerCore {
 impl std::fmt::Debug for ServerCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerCore")
-            .field("data_dir", &self.data_dir)
+            .field("data_dir", &self.env.data_dir)
             .field("test_ops", &self.test_ops)
             .finish()
     }
@@ -68,18 +134,43 @@ fn error_response(kind: &str, message: &str) -> String {
 }
 
 impl ServerCore {
-    /// Creates a core serving sessions out of `data_dir` (created if
-    /// absent).
+    /// Creates a core with production defaults serving sessions out of
+    /// `data_dir` (created if absent).
     ///
     /// # Errors
     ///
     /// When the data directory cannot be created.
     pub fn new(data_dir: impl Into<PathBuf>, test_ops: bool) -> std::io::Result<Self> {
-        let data_dir = data_dir.into();
-        std::fs::create_dir_all(&data_dir)?;
-        let (recorder, metrics) = MemoryRecorder::handle();
-        Ok(ServerCore {
+        Self::with_options(CoreOptions::new(data_dir).test_ops(test_ops))
+    }
+
+    /// Creates a core with explicit [`CoreOptions`] — the entry point
+    /// for chaos storage, alternative durability policies, and custom
+    /// checkpoint thresholds.
+    ///
+    /// # Errors
+    ///
+    /// When the data directory cannot be created.
+    pub fn with_options(options: CoreOptions) -> std::io::Result<Self> {
+        let CoreOptions {
             data_dir,
+            test_ops,
+            sync_appends,
+            checkpoint_bytes,
+            storage,
+        } = options;
+        storage.create_dir_all(&data_dir)?;
+        let (recorder, metrics) = MemoryRecorder::handle();
+        storage.attach_recorder(metrics.clone());
+        let env = SessionEnv {
+            storage,
+            data_dir,
+            sync_appends,
+            checkpoint_bytes,
+            metrics: metrics.clone(),
+        };
+        Ok(ServerCore {
+            env,
             sessions: Mutex::new(HashMap::new()),
             metrics,
             recorder,
@@ -142,7 +233,7 @@ impl ServerCore {
     fn quarantine_and_rebuild(&self, name: &str) -> bool {
         let mut sessions = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
         sessions.remove(name);
-        match Session::recover(&self.data_dir, name) {
+        match Session::recover(&self.env, name) {
             Ok(Some((session, _report))) => {
                 self.metrics.add(Counter::WalRecoveries, 1);
                 sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
@@ -222,7 +313,7 @@ impl ServerCore {
                 )
             };
         }
-        match Session::open(&self.data_dir, name, scenario) {
+        match Session::open(&self.env, name, scenario) {
             Ok((session, report)) => {
                 if report.torn {
                     self.metrics.add(Counter::WalRecoveries, 1);

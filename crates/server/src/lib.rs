@@ -29,16 +29,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod core;
 pub mod event;
 pub mod hash;
 pub mod net;
 pub mod queue;
 pub mod session;
+pub mod storage;
 pub mod wal;
 
-pub use crate::core::ServerCore;
+pub use crate::core::{CoreOptions, ServerCore};
 pub use event::{EventError, LogEntry, SessionEvent};
 pub use queue::{Shed, WorkQueue};
 pub use session::{Analyzed, AppendOutcome, Session, SessionError};
+pub use storage::{ChaosOptions, ChaosStorage, RealStorage, Storage};
 pub use wal::{Corruption, Wal, WalError};

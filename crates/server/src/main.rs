@@ -3,6 +3,7 @@
 //! ```text
 //! hem-server [--listen HOST:PORT] [--data-dir PATH] [--workers N]
 //!            [--queue-depth N] [--max-conns N] [--test-ops]
+//!            [--checkpoint-bytes N] [--no-fsync] [--write-timeout-ms N]
 //! ```
 //!
 //! Binds, prints `LISTENING <addr>` on stdout (so harnesses using
@@ -14,9 +15,11 @@
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
+use hem_server::core::DEFAULT_CHECKPOINT_BYTES;
 use hem_server::net::{serve, NetConfig};
-use hem_server::{ServerCore, WorkQueue};
+use hem_server::{CoreOptions, ServerCore, WorkQueue};
 
 struct Options {
     listen: String,
@@ -25,6 +28,9 @@ struct Options {
     queue_depth: usize,
     max_conns: usize,
     test_ops: bool,
+    checkpoint_bytes: u64,
+    no_fsync: bool,
+    write_timeout_ms: u64,
 }
 
 impl Default for Options {
@@ -36,6 +42,9 @@ impl Default for Options {
             queue_depth: 64,
             max_conns: 256,
             test_ops: false,
+            checkpoint_bytes: DEFAULT_CHECKPOINT_BYTES,
+            no_fsync: false,
+            write_timeout_ms: 5000,
         }
     }
 }
@@ -64,10 +73,22 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--max-conns: {e}"))?;
             }
             "--test-ops" => opts.test_ops = true,
+            "--checkpoint-bytes" => {
+                opts.checkpoint_bytes = value("--checkpoint-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-bytes: {e}"))?;
+            }
+            "--no-fsync" => opts.no_fsync = true,
+            "--write-timeout-ms" => {
+                opts.write_timeout_ms = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: hem-server [--listen HOST:PORT] [--data-dir PATH] [--workers N] \
-                     [--queue-depth N] [--max-conns N] [--test-ops]"
+                     [--queue-depth N] [--max-conns N] [--test-ops] [--checkpoint-bytes N] \
+                     [--no-fsync] [--write-timeout-ms N]"
                         .into(),
                 )
             }
@@ -85,7 +106,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let core = match ServerCore::new(&opts.data_dir, opts.test_ops) {
+    let core_options = CoreOptions::new(&opts.data_dir)
+        .test_ops(opts.test_ops)
+        .sync_appends(!opts.no_fsync)
+        .checkpoint_bytes(opts.checkpoint_bytes);
+    let core = match ServerCore::with_options(core_options) {
         Ok(c) => Arc::new(c),
         Err(e) => {
             eprintln!("cannot prepare data dir {}: {e}", opts.data_dir);
@@ -114,6 +139,8 @@ fn main() -> ExitCode {
     let queue = Arc::new(WorkQueue::new(core, opts.queue_depth, opts.workers));
     let net = NetConfig {
         max_connections: opts.max_conns,
+        write_timeout: (opts.write_timeout_ms > 0)
+            .then(|| Duration::from_millis(opts.write_timeout_ms)),
     };
     match serve(listener, queue, net) {
         Ok(()) => ExitCode::SUCCESS,

@@ -15,6 +15,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::queue::{Shed, WorkQueue};
 
@@ -23,12 +24,18 @@ use crate::queue::{Shed, WorkQueue};
 pub struct NetConfig {
     /// Maximum concurrent connections before accepts are shed.
     pub max_connections: usize,
+    /// Deadline on every response write. A peer that sends requests but
+    /// stops reading eventually fills both socket buffers; without a
+    /// deadline the blocked `write` wedges the connection thread (and
+    /// its slot against `max_connections`) forever. `None` disables.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {
             max_connections: 256,
+            write_timeout: Some(Duration::from_secs(5)),
         }
     }
 }
@@ -46,6 +53,11 @@ pub fn serve(
     let live = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         let stream = stream?;
+        // Applied before *any* write — including the shed greeting,
+        // which runs on the accept thread and must never wedge it.
+        if stream.set_write_timeout(config.write_timeout).is_err() {
+            continue;
+        }
         let queue = queue.clone();
         let live = live.clone();
         if live.fetch_add(1, Ordering::SeqCst) >= config.max_connections {

@@ -21,16 +21,39 @@
 //! the recovery tests pin down byte for byte.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use hem_analysis::AnalysisBudget;
+use hem_obs::{Counter, RecorderHandle};
 use hem_system::{
     analyze_incremental, dsl, AnalysisMode, ConvergenceStatus, RobustAnalysis, StopReason,
     SystemConfig, SystemError, SystemSpec, WarmStart,
 };
 
+use crate::checkpoint::{self, RecoveredLog};
 use crate::event::{entry_id, EventError, LogEntry, SessionEvent};
 use crate::hash::id_hex;
+use crate::storage::Storage;
 use crate::wal::{Wal, WalError};
+
+/// The environment a session does its I/O in: where, through what
+/// storage, and under which durability policy.
+#[derive(Debug, Clone)]
+pub struct SessionEnv {
+    /// The storage all WAL and checkpoint I/O goes through.
+    pub storage: Arc<dyn Storage>,
+    /// Directory holding one WAL (plus checkpoints) per session.
+    pub data_dir: PathBuf,
+    /// Whether appends `fsync` before the mutation is acknowledged.
+    /// On by default: an acked mutation survives a power cut.
+    pub sync_appends: bool,
+    /// WAL size (bytes) that triggers a checkpoint + compaction after
+    /// an append. `0` disables checkpointing.
+    pub checkpoint_bytes: u64,
+    /// Counter sink for durability events (fsync failures, checkpoints,
+    /// compacted bytes).
+    pub metrics: RecorderHandle,
+}
 
 /// A session-layer failure with a stable machine-readable kind.
 #[derive(Debug)]
@@ -183,12 +206,15 @@ pub struct RecoveryReport {
 /// One live analysis session.
 #[derive(Debug)]
 pub struct Session {
+    env: SessionEnv,
     name: String,
     wal: Wal,
     entries: Vec<LogEntry>,
     spec: SystemSpec,
     warm: Option<WarmStart>,
     materialized: Option<Materialized>,
+    /// Generation number the next checkpoint will be written as.
+    next_generation: u64,
 }
 
 /// The WAL path of a session inside a data directory.
@@ -220,12 +246,12 @@ impl Session {
     /// On WAL I/O failure, an unparsable scenario, or a scenario
     /// conflict with an existing log.
     pub fn open(
-        data_dir: &Path,
+        env: &SessionEnv,
         name: &str,
         scenario: &str,
     ) -> Result<(Self, RecoveryReport), SessionError> {
-        let recovered = Wal::open(&wal_path(data_dir, name))?;
-        if recovered.records.is_empty() {
+        let recovered = checkpoint::recover_log(&env.storage, &env.data_dir, name)?;
+        if recovered.entries.is_empty() {
             let spec = dsl::parse(scenario).map_err(SessionError::Scenario)?;
             let entry = LogEntry::new(
                 0,
@@ -233,24 +259,23 @@ impl Session {
                     scenario: scenario.to_string(),
                 },
             );
-            let mut wal = recovered.wal;
-            wal.append(entry.canonical_json().as_bytes())?;
-            Ok((
-                Session {
-                    name: name.to_string(),
-                    wal,
-                    entries: vec![entry],
-                    spec,
-                    warm: None,
-                    materialized: None,
-                },
-                RecoveryReport {
-                    replayed: 0,
-                    torn: recovered.torn,
-                },
-            ))
+            let torn = recovered.torn;
+            let mut session = Session {
+                env: env.clone(),
+                name: name.to_string(),
+                wal: recovered.wal,
+                entries: Vec::new(),
+                spec,
+                warm: None,
+                materialized: None,
+                next_generation: recovered.next_generation,
+            };
+            session.append_record(&entry)?;
+            session.entries.push(entry);
+            Ok((session, RecoveryReport { replayed: 0, torn }))
         } else {
-            let session = Self::from_recovered(name, recovered.wal, &recovered.records)?;
+            let torn = recovered.torn;
+            let session = Self::from_recovered(env, name, recovered)?;
             let open_id = entry_id(
                 0,
                 &SessionEvent::Open {
@@ -265,19 +290,13 @@ impl Session {
                 });
             }
             let replayed = session.entries.len();
-            Ok((
-                session,
-                RecoveryReport {
-                    replayed,
-                    torn: recovered.torn,
-                },
-            ))
+            Ok((session, RecoveryReport { replayed, torn }))
         }
     }
 
-    /// Rebuilds a session purely from its WAL, without needing the
-    /// scenario — the quarantine path after a panic, and the restart
-    /// path after a crash.
+    /// Rebuilds a session purely from its durable state (checkpoint +
+    /// WAL), without needing the scenario — the quarantine path after a
+    /// panic, and the restart path after a crash.
     ///
     /// Returns `Ok(None)` when no log exists (nothing to recover).
     ///
@@ -285,39 +304,37 @@ impl Session {
     ///
     /// On WAL I/O failure or a structurally unusable log.
     pub fn recover(
-        data_dir: &Path,
+        env: &SessionEnv,
         name: &str,
     ) -> Result<Option<(Self, RecoveryReport)>, SessionError> {
-        let path = wal_path(data_dir, name);
-        if !path.exists() {
+        let recovered = checkpoint::recover_log(&env.storage, &env.data_dir, name)?;
+        if recovered.entries.is_empty() {
             return Ok(None);
         }
-        let recovered = Wal::open(&path)?;
-        if recovered.records.is_empty() {
-            return Ok(None);
-        }
-        let session = Self::from_recovered(name, recovered.wal, &recovered.records)?;
+        let torn = recovered.torn;
+        let session = Self::from_recovered(env, name, recovered)?;
         let replayed = session.entries.len();
-        Ok(Some((
-            session,
-            RecoveryReport {
-                replayed,
-                torn: recovered.torn,
-            },
-        )))
+        Ok(Some((session, RecoveryReport { replayed, torn })))
     }
 
-    fn from_recovered(name: &str, wal: Wal, records: &[Vec<u8>]) -> Result<Self, SessionError> {
-        let mut entries = Vec::with_capacity(records.len());
-        for (i, payload) in records.iter().enumerate() {
-            let entry = LogEntry::decode(payload)?;
+    fn from_recovered(
+        env: &SessionEnv,
+        name: &str,
+        recovered: RecoveredLog,
+    ) -> Result<Self, SessionError> {
+        let RecoveredLog {
+            wal,
+            entries,
+            next_generation,
+            ..
+        } = recovered;
+        for (i, entry) in entries.iter().enumerate() {
             if entry.seq != i as u64 {
                 return Err(SessionError::Corrupt(format!(
                     "entry {i} carries seq {}",
                     entry.seq
                 )));
             }
-            entries.push(entry);
         }
         let SessionEvent::Open { scenario } = &entries[0].event else {
             return Err(SessionError::Corrupt("log does not start with open".into()));
@@ -327,13 +344,56 @@ impl Session {
             entry.event.apply(&mut spec)?;
         }
         Ok(Session {
+            env: env.clone(),
             name: name.to_string(),
             wal,
             entries,
             spec,
             warm: None,
             materialized: None,
+            next_generation,
         })
+    }
+
+    /// Appends one entry to the WAL under the session's durability
+    /// policy, counting fsync failures.
+    fn append_record(&mut self, entry: &LogEntry) -> Result<(), SessionError> {
+        let result = self
+            .wal
+            .append(entry.canonical_json().as_bytes(), self.env.sync_appends);
+        if let Err(WalError::Io { op: "sync", .. }) = &result {
+            self.env.metrics.add(Counter::FsyncFailures, 1);
+        }
+        result.map_err(SessionError::Wal)
+    }
+
+    /// Writes a checkpoint and compacts the WAL when it has outgrown
+    /// the configured threshold. Never fatal: every entry is already
+    /// durable in the WAL, so a failed checkpoint is simply retried at
+    /// the next append.
+    fn maybe_checkpoint(&mut self) {
+        if self.env.checkpoint_bytes == 0 || self.wal.len() < self.env.checkpoint_bytes {
+            return;
+        }
+        let generation = self.next_generation;
+        if checkpoint::write(
+            &self.env.storage,
+            &self.env.data_dir,
+            &self.name,
+            generation,
+            &self.entries,
+        )
+        .is_err()
+        {
+            return;
+        }
+        self.next_generation = generation + 1;
+        self.env.metrics.add(Counter::Checkpoints, 1);
+        // If the compaction truncate fails, recovery still prefers the
+        // new checkpoint and cross-checks the stale WAL overlap.
+        if let Ok(reclaimed) = self.wal.reset() {
+            self.env.metrics.add(Counter::CompactedBytes, reclaimed);
+        }
     }
 
     /// The session's name.
@@ -400,11 +460,24 @@ impl Session {
         let mut staged = self.spec.clone();
         event.apply(&mut staged)?;
         let entry = LogEntry::new(at, event);
-        self.wal.append(entry.canonical_json().as_bytes())?;
+        self.append_record(&entry)?;
         self.spec = staged;
         let id = entry.id;
         self.entries.push(entry);
+        self.maybe_checkpoint();
         Ok(AppendOutcome::Applied { seq: at, id })
+    }
+
+    /// Bytes currently in the session's WAL (post-compaction tail).
+    #[must_use]
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// The generation of the newest checkpoint written, if any.
+    #[must_use]
+    pub fn checkpoint_generation(&self) -> Option<u64> {
+        (self.next_generation > 1).then_some(self.next_generation - 1)
     }
 
     /// Runs (or re-runs) the analysis under `budget`, per the

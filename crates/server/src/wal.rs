@@ -20,12 +20,25 @@
 //! recovered prefix through the same apply path as live mutations,
 //! which is what makes recovered state bit-identical to an
 //! uninterrupted run.
+//!
+//! All I/O goes through a [`Storage`] handle, never `std::fs` directly
+//! — the same `Wal` runs over [`RealStorage`](crate::storage::RealStorage)
+//! in production and over [`ChaosStorage`](crate::storage::ChaosStorage)
+//! in the crash-point enumeration harness. Appends take an explicit
+//! `sync` flag: a synced append does not return until the record is
+//! `fsync`ed, which is what lets the server promise that an
+//! acknowledged mutation survives a power cut. A failed append (torn
+//! write, `ENOSPC`, dropped fsync) **rolls itself back** by truncating
+//! to the pre-append length, so a client retry appends the record at
+//! the same position instead of stacking a duplicate after debris; if
+//! even the rollback fails the log is poisoned and refuses further
+//! appends until reopened (the session quarantine path).
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::hash::crc32;
+use crate::storage::Storage;
 
 /// Per-record header size: length + checksum.
 const HEADER: usize = 8;
@@ -185,66 +198,139 @@ pub struct Recovered {
     pub torn: bool,
 }
 
-/// An append-only checksummed log file.
+/// An append-only checksummed log file over a [`Storage`] handle.
 #[derive(Debug)]
 pub struct Wal {
+    storage: Arc<dyn Storage>,
     path: PathBuf,
-    file: File,
+    /// Byte length of the intact record prefix currently in the file.
+    len: u64,
+    /// Set when a failed append could not be rolled back: the on-disk
+    /// tail no longer matches `len`, so further appends are refused
+    /// until the log is reopened (which re-scans and self-heals).
+    poisoned: bool,
 }
 
 impl Wal {
-    /// Opens (creating if absent) the log at `path`, recovering the
-    /// longest intact prefix and truncating any torn tail.
+    /// Opens the log at `path` (an absent file is an empty log),
+    /// recovering the longest intact prefix and truncating any torn
+    /// tail.
     ///
     /// # Errors
     ///
     /// Only on I/O failure — corruption is recovery, not an error.
-    pub fn open(path: &Path) -> Result<Recovered, WalError> {
+    pub fn open(storage: Arc<dyn Storage>, path: &Path) -> Result<Recovered, WalError> {
         let io = |op: &'static str| {
             let path = path.to_path_buf();
             move |source: std::io::Error| WalError::Io { path, op, source }
         };
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-            .map_err(io("open"))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes).map_err(io("read"))?;
+        let bytes = match storage.read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io("read")(e)),
+        };
         let scanned = scan(&bytes);
         let torn = scanned.corruption.is_some();
         if torn {
-            file.set_len(scanned.valid_len).map_err(io("truncate"))?;
+            storage
+                .truncate(path, scanned.valid_len)
+                .map_err(io("truncate"))?;
         }
-        file.seek(SeekFrom::Start(scanned.valid_len))
-            .map_err(io("seek"))?;
         Ok(Recovered {
             wal: Wal {
+                storage,
                 path: path.to_path_buf(),
-                file,
+                len: scanned.valid_len,
+                poisoned: false,
             },
             records: scanned.records,
             torn,
         })
     }
 
-    /// Appends one record and flushes it to the OS.
+    /// Appends one record; with `sync` it is `fsync`ed before this
+    /// returns, making the record crash-durable — the mode the server
+    /// uses before acknowledging a mutation.
     ///
     /// # Errors
     ///
-    /// On I/O failure or an oversized payload. A failed append leaves
-    /// at worst a torn tail, which the next [`Wal::open`] truncates.
-    pub fn append(&mut self, payload: &[u8]) -> Result<(), WalError> {
+    /// On I/O failure or an oversized payload. A failed append rolls
+    /// the file back to its pre-append length so an immediate retry
+    /// lands at the same position; if the rollback itself fails the
+    /// log is poisoned and every later append errors until reopen.
+    pub fn append(&mut self, payload: &[u8], sync: bool) -> Result<(), WalError> {
+        let path = self.path.clone();
+        let io = move |op: &'static str, source: std::io::Error| WalError::Io { path, op, source };
+        if self.poisoned {
+            return Err(io(
+                "append",
+                std::io::Error::other(
+                    "wal poisoned by an earlier failed rollback; reopen the session",
+                ),
+            ));
+        }
         let framed = encode_record(payload)?;
+        let pre = self.len;
+        if let Err(source) = self.storage.append(&self.path, &framed) {
+            self.rollback(pre);
+            return Err(io("append", source));
+        }
+        if sync {
+            if let Err(source) = self.storage.sync(&self.path) {
+                self.rollback(pre);
+                return Err(io("sync", source));
+            }
+        }
+        self.len = pre + framed.len() as u64;
+        Ok(())
+    }
+
+    /// Truncates a possibly-partial append back to `pre` bytes. On
+    /// failure the in-memory/on-disk lengths can no longer be trusted
+    /// to agree, so the log poisons itself.
+    fn rollback(&mut self, pre: u64) {
+        self.len = pre;
+        if let Err(e) = self.storage.truncate(&self.path, pre) {
+            // Nothing was ever written: a missing file *is* length 0.
+            if !(pre == 0 && e.kind() == std::io::ErrorKind::NotFound) {
+                self.poisoned = true;
+            }
+        }
+    }
+
+    /// Truncates the log to empty (the compaction step after a
+    /// checkpoint) and syncs the truncation. Returns the bytes
+    /// reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure; the log stays usable (recovery tolerates a WAL
+    /// whose truncation never happened — stale entries at or below the
+    /// checkpoint base are filtered out).
+    pub fn reset(&mut self) -> Result<u64, WalError> {
         let io = |op: &'static str| {
             let path = self.path.clone();
             move |source: std::io::Error| WalError::Io { path, op, source }
         };
-        self.file.write_all(&framed).map_err(io("append"))?;
-        self.file.flush().map_err(io("flush"))?;
-        Ok(())
+        let reclaimed = self.len;
+        self.storage
+            .truncate(&self.path, 0)
+            .map_err(io("truncate"))?;
+        self.storage.sync(&self.path).map_err(io("sync"))?;
+        self.len = 0;
+        Ok(reclaimed)
+    }
+
+    /// Byte length of the intact record prefix currently in the file.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log currently holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// The file this log appends to.
@@ -311,24 +397,22 @@ mod tests {
 
     #[test]
     fn open_append_reopen_recovers_everything() {
+        use crate::storage::RealStorage;
+        let storage: std::sync::Arc<dyn Storage> = std::sync::Arc::new(RealStorage);
         let dir = std::env::temp_dir().join(format!("hem-wal-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("mk tempdir");
         let path = dir.join("basic.wal");
         let _ = std::fs::remove_file(&path);
         {
-            let mut rec = Wal::open(&path).expect("open fresh");
+            let mut rec = Wal::open(storage.clone(), &path).expect("open fresh");
             assert!(rec.records.is_empty());
             assert!(!rec.torn);
-            rec.wal.append(b"one").expect("append");
-            rec.wal.append(b"two").expect("append");
+            rec.wal.append(b"one", true).expect("append");
+            rec.wal.append(b"two", true).expect("append");
         }
         // Simulate a crash mid-write: half a record of garbage.
-        {
-            use std::io::Write as _;
-            let mut f = OpenOptions::new().append(true).open(&path).expect("reopen");
-            f.write_all(&[0x7f, 0x01, 0x02]).expect("tear");
-        }
-        let rec = Wal::open(&path).expect("recover");
+        storage.append(&path, &[0x7f, 0x01, 0x02]).expect("tear");
+        let rec = Wal::open(storage.clone(), &path).expect("recover");
         assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec()]);
         assert!(rec.torn);
         // The torn tail must be gone from disk after recovery.
@@ -336,6 +420,44 @@ mod tests {
             std::fs::metadata(&path).expect("stat").len(),
             image(&[b"one", b"two"]).len() as u64
         );
+        assert_eq!(rec.wal.len(), image(&[b"one", b"two"]).len() as u64);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_so_retries_do_not_stack_debris() {
+        use crate::storage::{ChaosOptions, ChaosStorage};
+        let disk = ChaosStorage::new(ChaosOptions::quiet(21));
+        let storage: std::sync::Arc<dyn Storage> = std::sync::Arc::new(disk.clone());
+        let path = std::path::Path::new("d/roll.wal");
+        let mut rec = Wal::open(storage.clone(), path).expect("open");
+        rec.wal.append(b"keep", true).expect("append");
+        let pre = rec.wal.len();
+        // Fault the next append op: a torn write must be rolled back.
+        disk.set_crash_at_op(Some(disk.ops()));
+        assert!(rec.wal.append(b"lost", true).is_err());
+        disk.power_cycle();
+        // The wal object is against a crashed-then-rebooted disk; a
+        // reopen (the quarantine path) must see exactly the synced
+        // prefix, with no debris from the failed append.
+        let rec2 = Wal::open(storage, path).expect("reopen");
+        assert_eq!(rec2.records, vec![b"keep".to_vec()]);
+        assert_eq!(rec2.wal.len(), pre);
+    }
+
+    #[test]
+    fn reset_compacts_to_empty() {
+        use crate::storage::{ChaosOptions, ChaosStorage};
+        let disk = ChaosStorage::new(ChaosOptions::quiet(2));
+        let storage: std::sync::Arc<dyn Storage> = std::sync::Arc::new(disk);
+        let path = std::path::Path::new("d/c.wal");
+        let mut rec = Wal::open(storage.clone(), path).expect("open");
+        rec.wal.append(b"a", true).expect("append");
+        rec.wal.append(b"bb", true).expect("append");
+        let reclaimed = rec.wal.reset().expect("reset");
+        assert_eq!(reclaimed, (HEADER * 2 + 3) as u64);
+        assert!(rec.wal.is_empty());
+        let rec2 = Wal::open(storage, path).expect("reopen");
+        assert!(rec2.records.is_empty());
     }
 }

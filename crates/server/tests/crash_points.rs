@@ -1,0 +1,59 @@
+//! Full crash-point enumeration of the scripted chaos workload.
+//!
+//! Every storage operation index of the workload is a tested crash
+//! point: the disk crashes there, power-cycles into its durable image
+//! plus deterministic debris, and a fresh server must recover a valid
+//! prefix, keep every acknowledged mutation, absorb a full resend
+//! idempotently, and converge to the bit-identical reference result.
+//! The CI `chaos` job runs the larger `standard()` script via the
+//! `crash_enum` binary; this tier-1 test enumerates the `quick()`
+//! script completely.
+
+use hem_server::chaos::{enumerate_crash_points, reference_run, WorkloadSpec};
+
+#[test]
+fn every_crash_point_of_the_quick_workload_recovers() {
+    let spec = WorkloadSpec::quick();
+    let report = enumerate_crash_points(&spec, None).expect("all crash points must recover");
+    assert_eq!(
+        report.tested, report.total_ops,
+        "enumeration covers every op"
+    );
+    assert!(
+        report.total_ops > 50,
+        "the quick workload must still exercise a substantial op space, got {}",
+        report.total_ops
+    );
+    assert!(
+        report.with_checkpoint > 0,
+        "some crash points must recover through a durable checkpoint"
+    );
+    assert!(
+        report.torn_recoveries > 0,
+        "some crash points must exercise torn-tail truncation"
+    );
+    assert_eq!(
+        report.max_recovered, spec.mutations,
+        "late crash points recover the full history"
+    );
+    assert_eq!(
+        report.min_recovered, 0,
+        "early crash points recover an empty session"
+    );
+}
+
+#[test]
+fn reference_run_checkpoints_and_compacts() {
+    // The workload must actually cross the checkpoint threshold —
+    // otherwise the enumeration never lands inside the checkpoint
+    // protocol and "passes" vacuously.
+    let spec = WorkloadSpec::quick();
+    let (_, total_ops) = reference_run(&spec).expect("reference");
+    // open (read+list+append+sync) + mutations (append+sync each) +
+    // analyses (no storage ops): anything beyond ~2 ops per mutation
+    // is checkpoint traffic.
+    assert!(
+        total_ops > 2 * spec.mutations + 8,
+        "expected checkpoint traffic beyond bare appends, got {total_ops} ops"
+    );
+}
