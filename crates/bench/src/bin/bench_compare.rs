@@ -27,18 +27,26 @@
 //!   assumed them).
 //!
 //! Deterministic vs. not: `wall_ms*` / `*_ms` fields (latency
-//! percentiles included) and the `span_us/*` histogram families
-//! measure wall time; `speedup` fields are ratios of wall times;
-//! `threads` records the CI leg and `req_s` is a throughput over wall
-//! time. Everything else in the profile — including every count in the
-//! `serving` section — is covered by the engine's determinism
-//! guarantee and must not drift.
+//! percentiles included) and the `span_us/*`, `queue_wait_us/*`, and
+//! `service_us/*` histogram families measure wall time; `speedup`
+//! fields are ratios of wall times; `threads` records the CI leg and
+//! `req_s` is a throughput over wall time. `obs.overhead_pct` is a
+//! ratio of wall times gated against an **absolute** ceiling
+//! ([`OBS_OVERHEAD_LIMIT_PCT`]) rather than the baseline, so serving
+//! telemetry can never silently grow past its budget. Everything else
+//! in the profile — including every count in the `serving` section and
+//! `obs.spans` / `obs.dump_bytes` — is covered by the engine's
+//! determinism guarantee and must not drift.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use hem_obs::json::{parse, JsonValue};
+
+/// Absolute ceiling on `obs.overhead_pct`: serving telemetry may cost
+/// at most this much wall time relative to a no-op recorder.
+const OBS_OVERHEAD_LIMIT_PCT: f64 = 5.0;
 
 /// How a flattened profile field is compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,12 +57,18 @@ enum Class {
     Timing,
     /// Wall-clock ratio: smaller is worse, tolerance applies.
     Speedup,
+    /// Wall-clock ratio gated against an absolute ceiling, independent
+    /// of the baseline (which only documents the last measurement).
+    Bounded,
     /// Environment description (thread counts): never compared.
     Informational,
 }
 
 fn classify(path: &str) -> Class {
-    if path.contains("span_us/") {
+    if path.contains("span_us/") || path.contains("queue_wait_us/") || path.contains("service_us/")
+    {
+        // Wall-clock histogram families (engine spans plus the serving
+        // latency split): reported, never compared.
         return Class::Informational;
     }
     let last = path.rsplit('.').next().unwrap_or(path);
@@ -64,6 +78,8 @@ fn classify(path: &str) -> Class {
         Class::Timing
     } else if last == "speedup" {
         Class::Speedup
+    } else if last == "overhead_pct" {
+        Class::Bounded
     } else if last == "threads" || last == "req_s" {
         // `req_s` is requests over wall time: pure timing residue with
         // no one-sided "worse" direction worth gating, so it is
@@ -158,6 +174,31 @@ fn compare(
         if class == Class::Informational {
             continue;
         }
+        if class == Class::Bounded {
+            // Gated against an absolute ceiling, not the baseline: the
+            // baseline value only documents the last measurement. A
+            // ratio of two wall times, so the cross-leg gate skips it.
+            if cross {
+                continue;
+            }
+            match f {
+                Some(Leaf::Number(value)) if *value > OBS_OVERHEAD_LIMIT_PCT => {
+                    push(
+                        format!("above the absolute {OBS_OVERHEAD_LIMIT_PCT}% ceiling"),
+                        true,
+                    );
+                }
+                Some(Leaf::Number(_)) => {
+                    push(
+                        format!("within the {OBS_OVERHEAD_LIMIT_PCT}% ceiling"),
+                        false,
+                    );
+                }
+                Some(Leaf::Text(_)) => push("not a number".into(), true),
+                None => push("missing in fresh profile".into(), true),
+            }
+            continue;
+        }
         let (Some(f), Some(b)) = (f, b) else {
             let side = if f.is_none() { "fresh" } else { "baseline" };
             push(format!("missing in {side} profile"), true);
@@ -209,7 +250,7 @@ fn compare(
                     push(delta_note(*b, *f), false);
                 }
             }
-            Class::Informational => unreachable!("filtered above"),
+            Class::Bounded | Class::Informational => unreachable!("filtered above"),
         }
     }
     rows
@@ -336,6 +377,14 @@ fn report(doc: &JsonValue) -> String {
         field(serving, "serving", "compacted_bytes"),
         field(serving, "serving", "injected_faults"),
     );
+    let obs = section("obs");
+    let _ = writeln!(
+        out,
+        "telemetry: {:.2}% overhead vs no-op recorder (bound {OBS_OVERHEAD_LIMIT_PCT}%), {} trace spans, {} flight-dump bytes",
+        field(obs, "obs", "overhead_pct"),
+        field(obs, "obs", "spans"),
+        field(obs, "obs", "dump_bytes"),
+    );
     out
 }
 
@@ -454,6 +503,32 @@ mod tests {
         assert_eq!(classify("serving.checkpoints"), Class::Exact);
         assert_eq!(classify("serving.compacted_bytes"), Class::Exact);
         assert_eq!(classify("serving.injected_faults"), Class::Exact);
+        assert_eq!(classify("obs.overhead_pct"), Class::Bounded);
+        assert_eq!(classify("obs.spans"), Class::Exact);
+        assert_eq!(classify("obs.dump_bytes"), Class::Exact);
+        assert_eq!(
+            classify("serving.histograms.queue_wait_us/mutate.p99"),
+            Class::Informational
+        );
+        assert_eq!(
+            classify("serving.histograms.service_us/analyze.mean"),
+            Class::Informational
+        );
+    }
+
+    #[test]
+    fn overhead_is_gated_against_the_absolute_ceiling() {
+        // Below the ceiling passes even when far above the baseline…
+        let base = doc(r#"{"obs":{"overhead_pct":0.4}}"#);
+        let grown = doc(r#"{"obs":{"overhead_pct":4.9}}"#);
+        assert!(!compare(&grown, &base, 0.3, 0.0, false)[0].failed);
+        // …and above the ceiling fails even when below the baseline.
+        let high_base = doc(r#"{"obs":{"overhead_pct":9.0}}"#);
+        let still_high = doc(r#"{"obs":{"overhead_pct":5.1}}"#);
+        let rows = compare(&still_high, &high_base, 0.3, 0.0, false);
+        assert!(rows[0].failed && rows[0].note.contains("ceiling"));
+        // A wall-time ratio: the cross-leg determinism gate skips it.
+        assert!(compare(&grown, &base, 0.0, 0.0, true).is_empty());
     }
 
     #[test]
@@ -530,7 +605,8 @@ mod tests {
                            "req_s":5466.7,"p50_ms":0.02,"p99_ms":1.5,
                            "recoveries":8,"shed":16,"stale_served":8,
                            "checkpoints":96,"compacted_bytes":50240,
-                           "injected_faults":0}}"#,
+                           "injected_faults":0},
+                "obs":{"overhead_pct":1.25,"spans":420,"dump_bytes":8192}}"#,
         )
         .unwrap();
         let text = report(&doc);
@@ -540,5 +616,7 @@ mod tests {
         assert!(text.contains("96 sessions"));
         assert!(text.contains("8 recoveries, 16 shed, 8 stale served"));
         assert!(text.contains("96 checkpoints compacting 50240 WAL bytes"));
+        assert!(text.contains("telemetry: 1.25% overhead"));
+        assert!(text.contains("420 trace spans, 8192 flight-dump bytes"));
     }
 }

@@ -13,7 +13,8 @@
 //! cargo run --release -p hem-bench --bin load_gen -- \
 //!     [--sessions N] [--rounds N] [--analyze-every N] [--kills N] \
 //!     [--shed-capacity N] [--shed-probes N] [--stale-probes N] \
-//!     [--data-dir DIR] [--chaos-seed N] [--fault-every N]
+//!     [--data-dir DIR] [--chaos-seed N] [--fault-every N] \
+//!     [--trace-out PATH] [--artifacts DIR]
 //! ```
 //!
 //! With `--chaos-seed`, the run replaces the real disk with a seeded
@@ -21,12 +22,17 @@
 //! (short reads, torn writes, ENOSPC, dropped fsyncs) roughly every
 //! `--fault-every` ops (default 97); per-request retries must absorb
 //! every fault, and the run must report a non-zero injected count.
+//!
+//! `--trace-out` makes the core export its Perfetto-loadable request
+//! trace; `--artifacts DIR` copies the flight-recorder dump (and the
+//! trace, when enabled) out of the run's storage — including the
+//! in-memory chaos disk — onto the real filesystem for CI upload.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use hem_bench::serving::{run_serving_with, ServingParams};
-use hem_server::{ChaosOptions, ChaosStorage, RealStorage, Storage};
+use hem_bench::serving::{run_serving_traced, ServingParams};
+use hem_server::{ChaosOptions, ChaosStorage, RealStorage, Storage, FLIGHT_FILE};
 
 /// Retry budget per request under chaos (1 = fail fast on a real disk).
 const CHAOS_ATTEMPTS: usize = 5;
@@ -35,9 +41,45 @@ fn usage() -> ! {
     eprintln!(
         "usage: load_gen [--sessions N] [--rounds N] [--analyze-every N] [--kills N] \
          [--shed-capacity N] [--shed-probes N] [--stale-probes N] [--data-dir DIR] \
-         [--chaos-seed N] [--fault-every N]"
+         [--chaos-seed N] [--fault-every N] [--trace-out PATH] [--artifacts DIR]"
     );
     std::process::exit(2);
+}
+
+/// Copies a file out of the run's storage backend (possibly the
+/// in-memory chaos disk) onto the real filesystem, retrying past
+/// injected transient read faults. Best-effort: a missing file is
+/// reported, not fatal — under chaos the final telemetry write itself
+/// may have been the faulted op.
+fn export_artifact(storage: &Arc<dyn Storage>, src: &Path, out_dir: &Path, attempts: usize) {
+    let mut last_err = String::new();
+    for _ in 0..attempts.max(1) {
+        match storage.read(src) {
+            Ok(bytes) => {
+                let name = src.file_name().unwrap_or_else(|| src.as_os_str());
+                let dst = out_dir.join(name);
+                match std::fs::write(&dst, &bytes) {
+                    Ok(()) => {
+                        eprintln!(
+                            "load_gen: exported {} ({} bytes)",
+                            dst.display(),
+                            bytes.len()
+                        );
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("load_gen: cannot write {}: {e}", dst.display());
+                        return;
+                    }
+                }
+            }
+            Err(e) => last_err = e.to_string(),
+        }
+    }
+    eprintln!(
+        "load_gen: artifact {} not exported: {last_err}",
+        src.display()
+    );
 }
 
 fn main() {
@@ -45,6 +87,8 @@ fn main() {
     let mut data_dir: Option<PathBuf> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut fault_every: u64 = 97;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut artifacts: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let Some(value) = args.next() else { usage() };
@@ -65,6 +109,8 @@ fn main() {
             "--data-dir" => data_dir = Some(PathBuf::from(&value)),
             "--chaos-seed" => chaos_seed = Some(number() as u64),
             "--fault-every" => fault_every = number() as u64,
+            "--trace-out" => trace_out = Some(PathBuf::from(&value)),
+            "--artifacts" => artifacts = Some(PathBuf::from(&value)),
             _ => usage(),
         }
     }
@@ -104,7 +150,23 @@ fn main() {
         }
         None => (Arc::new(RealStorage), 1),
     };
-    let report = run_serving_with(&dir, &params, storage, attempts);
+    let report = run_serving_traced(
+        &dir,
+        &params,
+        storage.clone(),
+        attempts,
+        trace_out.as_deref(),
+    );
+    if let Some(out_dir) = &artifacts {
+        if let Err(e) = std::fs::create_dir_all(out_dir) {
+            eprintln!("load_gen: cannot create {}: {e}", out_dir.display());
+        } else {
+            export_artifact(&storage, &dir.join(FLIGHT_FILE), out_dir, attempts);
+            if let Some(trace) = &trace_out {
+                export_artifact(&storage, trace, out_dir, attempts);
+            }
+        }
+    }
     if ephemeral {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -127,6 +189,8 @@ fn main() {
         "{} checkpoints, {} bytes compacted, {} storage faults injected",
         report.checkpoints, report.compacted_bytes, report.injected_faults
     );
+    println!("--- metrics exposition ---");
+    print!("{}", report.exposition);
 
     // The ISSUE acceptance bar: fleet scale with the failure paths
     // actually exercised.
@@ -142,6 +206,10 @@ fn main() {
     }
     if chaos_seed.is_some() && report.injected_faults == 0 {
         eprintln!("load_gen: chaos disk injected no faults (raise the rate or the load)");
+        std::process::exit(1);
+    }
+    if !report.exposition.contains("service_us") {
+        eprintln!("load_gen: metrics exposition missing the service-latency histograms");
         std::process::exit(1);
     }
 }

@@ -12,7 +12,10 @@
 //!   (cold vs. warm wall time, mean damage-cone fraction; see
 //!   `docs/INCREMENTAL.md`) and a `serving` section with the CI-scale
 //!   serving benchmark (sessions, throughput, latency percentiles,
-//!   WAL recoveries, shed and stale counts; see `docs/SERVING.md`),
+//!   WAL recoveries, shed and stale counts; see `docs/SERVING.md`) and
+//!   an `obs` section with the serving-telemetry overhead probe
+//!   (instrumented vs no-op recorder, trace span and flight-dump
+//!   totals; see `docs/OBSERVABILITY.md`),
 //! * `BENCH_sim_trace.json` — a Chrome `trace_event` file of the
 //!   simulated run (open in <https://ui.perfetto.dev> or
 //!   `chrome://tracing`),
@@ -26,6 +29,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use hem_bench::incremental::{run_chain_cold, run_chain_warm, scenario_chain};
+use hem_bench::obs::{run_obs_overhead, ObsReport};
 use hem_bench::paper_system::{simulation, spec, PaperParams};
 use hem_bench::parallel::{env_threads, parallel_map};
 use hem_bench::serving::{run_serving, ServingParams, ServingReport};
@@ -242,6 +246,16 @@ fn run_serving_phase() -> ServingReport {
     report
 }
 
+/// The telemetry-overhead probe (see [`hem_bench::obs`]): the scripted
+/// serving workload with full telemetry vs a no-op recorder.
+fn run_obs_phase() -> ObsReport {
+    let dir = std::env::temp_dir().join(format!("hem-profile-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = run_obs_overhead(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
 fn out_path(file: &str) -> String {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     Path::new(&dir).join(file).to_string_lossy().into_owned()
@@ -257,6 +271,7 @@ fn main() {
     let sweep = run_sweep();
     let incremental = run_incremental();
     let serving = run_serving_phase();
+    let obs = run_obs_phase();
 
     let mut out = format!(
         "{{\"system\":\"paper-fig2\",\"threads\":{},\"phases\":{{",
@@ -293,7 +308,8 @@ fn main() {
         incremental.replayed_results,
         incremental.full_fallbacks
     ));
-    out.push_str(&format!(",\"serving\":{}}}", serving.to_json()));
+    out.push_str(&format!(",\"serving\":{}", serving.to_json()));
+    out.push_str(&format!(",\"obs\":{}}}", obs.to_json()));
     if let Err(e) = json::validate(&out) {
         eprintln!("internal error: BENCH_analysis.json is not valid JSON: {e}");
         std::process::exit(1);
@@ -351,6 +367,10 @@ fn main() {
         serving.recoveries,
         serving.shed,
         serving.stale_served
+    );
+    println!(
+        "obs overhead: {:.2}% vs noop recorder, {} trace spans, {} flight-dump bytes",
+        obs.overhead_pct, obs.spans, obs.dump_bytes
     );
     println!("wrote BENCH_analysis.json, BENCH_sim_trace.json, BENCH_convergence.jsonl");
 }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod incremental;
+pub mod obs;
 pub mod paper_system;
 pub mod parallel;
 pub mod serving;

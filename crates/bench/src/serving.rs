@@ -126,6 +126,10 @@ pub struct ServingReport {
     pub compacted_bytes: u64,
     /// Storage faults injected by a chaos run (0 on a real disk).
     pub injected_faults: u64,
+    /// The server's Prometheus-style text exposition, scraped via the
+    /// `metrics` op at the end of the run. Not part of [`Self::to_json`]
+    /// (it contains wall-clock histograms); `load_gen` prints it.
+    pub exposition: String,
 }
 
 impl ServingReport {
@@ -159,6 +163,7 @@ impl ServingReport {
             req_s: 0.0,
             p50_ms: 0.0,
             p99_ms: 0.0,
+            exposition: String::new(),
             ..self.clone()
         }
     }
@@ -319,13 +324,35 @@ pub fn run_serving_with(
     storage: Arc<dyn Storage>,
     max_attempts: usize,
 ) -> ServingReport {
+    run_serving_traced(data_dir, params, storage, max_attempts, None)
+}
+
+/// [`run_serving_with`] plus an optional trace file: when `trace_out`
+/// is set the core exports its Perfetto-loadable request trace there
+/// (through the same storage backend it serves from, so a chaos run
+/// keeps the file on the modeled disk).
+///
+/// # Panics
+///
+/// As [`run_serving`], after `max_attempts` failures of any request.
+#[must_use]
+pub fn run_serving_traced(
+    data_dir: &Path,
+    params: &ServingParams,
+    storage: Arc<dyn Storage>,
+    max_attempts: usize,
+    trace_out: Option<&Path>,
+) -> ServingReport {
     let kills = params.kills.min(params.sessions);
     let analyze_every = params.analyze_every.max(1);
     let started = Instant::now();
-    let options = CoreOptions::new(data_dir)
+    let mut options = CoreOptions::new(data_dir)
         .sync_appends(false)
         .checkpoint_bytes(SERVING_CHECKPOINT_BYTES)
         .storage(storage.clone());
+    if let Some(path) = trace_out {
+        options = options.trace_out(path);
+    }
     let core = Arc::new(ServerCore::with_options(options).expect("create server core"));
     let mut driver = Driver {
         core: core.clone(),
@@ -471,6 +498,14 @@ pub fn run_serving_with(
         );
     }
 
+    // Scrape the live metrics the way a monitoring agent would.
+    let scraped = driver.call(r#"{"op":"metrics"}"#);
+    let exposition = scraped
+        .get("exposition")
+        .and_then(JsonValue::as_str)
+        .expect("metrics op returns a text exposition")
+        .to_string();
+
     let stats = driver.call(r#"{"op":"stats"}"#);
     let recoveries = stats_counter(&stats, "wal_recoveries");
     let shed = stats_counter(&stats, "requests_shed");
@@ -525,6 +560,7 @@ pub fn run_serving_with(
         checkpoints,
         compacted_bytes,
         injected_faults,
+        exposition,
     }
 }
 
@@ -556,6 +592,7 @@ mod tests {
             checkpoints: 8,
             compacted_bytes: 4096,
             injected_faults: 0,
+            exposition: "# TYPE requests_shed counter\nrequests_shed 3\n".to_string(),
         };
         json::validate(&report.to_json()).expect("serving section is valid JSON");
         let normalized = report.normalized();
@@ -563,6 +600,7 @@ mod tests {
         assert_eq!(normalized.req_s, 0.0);
         assert_eq!(normalized.p50_ms, 0.0);
         assert_eq!(normalized.p99_ms, 0.0);
+        assert!(normalized.exposition.is_empty());
         assert_eq!(normalized.requests, 47);
     }
 }

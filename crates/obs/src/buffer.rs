@@ -3,7 +3,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::metrics::{Counter, HistogramData};
+use crate::metrics::{Counter, Gauge, HistogramData};
 use crate::recorder::{Recorder, RecorderHandle};
 use crate::trace_event::TraceEvent;
 
@@ -13,6 +13,9 @@ struct BufferState {
     /// a drain can replay both without double-counting (the target's
     /// `add_labeled` bumps its own unlabeled total again).
     counters: [u64; Counter::ALL.len()],
+    /// Gauge writes in recording order; replay preserves the order so
+    /// the target ends at the buffer's last-written level.
+    gauges: Vec<(Gauge, u64)>,
     labeled: Vec<(Counter, String, u64)>,
     histograms: Vec<(&'static str, HistogramData)>,
     events: Vec<TraceEvent>,
@@ -90,6 +93,9 @@ impl BufferedRecorder {
                 raw.add(c, total);
             }
         }
+        for (g, value) in state.gauges {
+            raw.set_gauge(g, value);
+        }
         for (c, label, by) in state.labeled {
             raw.add_labeled(c, &label, by);
         }
@@ -122,6 +128,11 @@ impl Recorder for BufferedRecorder {
     fn add_labeled(&self, counter: Counter, label: &str, by: u64) {
         let mut state = self.state.lock().expect("buffer poisoned");
         state.labeled.push((counter, label.to_string(), by));
+    }
+
+    fn set_gauge(&self, gauge: Gauge, value: u64) {
+        let mut state = self.state.lock().expect("buffer poisoned");
+        state.gauges.push((gauge, value));
     }
 
     fn observe(&self, histogram: &'static str, value: u64) {
@@ -183,6 +194,16 @@ mod tests {
             direct.chrome_trace().to_json(),
             buffered_sink.chrome_trace().to_json()
         );
+    }
+
+    #[test]
+    fn buffered_gauges_replay_in_order() {
+        let (sink, sink_handle) = MemoryRecorder::handle();
+        let (buf, buf_handle) = BufferedRecorder::handle();
+        buf_handle.set_gauge(Gauge::QueueDepth, 9);
+        buf_handle.set_gauge(Gauge::QueueDepth, 4);
+        buf.drain_into(&sink_handle);
+        assert_eq!(sink.snapshot().gauge(Gauge::QueueDepth), 4);
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod trace_event;
 
 pub use buffer::BufferedRecorder;
 pub use convergence::{ConvergenceTrace, IterationSnapshot, RtBound};
-pub use metrics::{Counter, HistogramData, MetricsSnapshot};
+pub use metrics::{Counter, Gauge, HistogramData, MetricsSnapshot};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, RecorderHandle, Span};
 pub use trace_event::{ArgValue, ChromeTrace, Phase, TraceEvent};
 

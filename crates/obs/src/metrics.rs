@@ -72,11 +72,15 @@ pub enum Counter {
     /// writes, short reads, dropped fsyncs, ENOSPC). Always zero on
     /// real storage.
     InjectedFaults,
+    /// TCP connections accepted by the serving layer (connections that
+    /// were greeted with a shed notice still count — they were
+    /// accepted before being turned away).
+    ConnectionsAccepted,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 20] = [
         Counter::GlobalIterations,
         Counter::BusyWindowIterations,
         Counter::CurveEvaluations,
@@ -96,6 +100,7 @@ impl Counter {
         Counter::Checkpoints,
         Counter::CompactedBytes,
         Counter::InjectedFaults,
+        Counter::ConnectionsAccepted,
     ];
 
     /// The stable snake_case export name.
@@ -121,6 +126,7 @@ impl Counter {
             Counter::Checkpoints => "checkpoints",
             Counter::CompactedBytes => "compacted_bytes",
             Counter::InjectedFaults => "injected_faults",
+            Counter::ConnectionsAccepted => "connections_accepted",
         }
     }
 
@@ -129,6 +135,55 @@ impl Counter {
             .iter()
             .position(|c| *c == self)
             .expect("listed")
+    }
+}
+
+/// The typed gauges of the serving layer.
+///
+/// Unlike [`Counter`]s, gauges are point-in-time levels that can go
+/// down as well as up (queue depth) or are overwritten wholesale on
+/// each refresh (WAL bytes). Each has a stable snake_case export name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Gauge {
+    /// Sessions currently open on the analysis server.
+    SessionsLive,
+    /// Requests currently waiting in the server's bounded work queue.
+    QueueDepth,
+    /// Total bytes across all live session write-ahead logs.
+    WalBytes,
+    /// Highest checkpoint generation written by any live session (0
+    /// before the first checkpoint).
+    CheckpointGeneration,
+    /// Requests handled since the server core was constructed — a
+    /// logical uptime clock that advances once per request, so it is
+    /// deterministic where a wall clock would not be.
+    UptimeTicks,
+}
+
+impl Gauge {
+    /// Every gauge, in export order.
+    pub const ALL: [Gauge; 5] = [
+        Gauge::SessionsLive,
+        Gauge::QueueDepth,
+        Gauge::WalBytes,
+        Gauge::CheckpointGeneration,
+        Gauge::UptimeTicks,
+    ];
+
+    /// The stable snake_case export name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::SessionsLive => "sessions_live",
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::WalBytes => "wal_bytes",
+            Gauge::CheckpointGeneration => "checkpoint_generation",
+            Gauge::UptimeTicks => "uptime_ticks",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        Gauge::ALL.iter().position(|g| *g == self).expect("listed")
     }
 }
 
@@ -190,6 +245,46 @@ impl HistogramData {
         }
     }
 
+    /// An upper estimate of the `q`-quantile sample (`0.0 < q <= 1.0`).
+    ///
+    /// Exact for the edge cases tooling hits constantly: an empty
+    /// histogram reports 0, a single sample reports that sample, and a
+    /// histogram whose samples are all equal reports that value. For
+    /// the general case the estimate is the lower bound of the bucket
+    /// holding the rank-`ceil(q * count)` sample, clamped to
+    /// `[min, max]` — always a real, finite `u64`, never NaN.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if self.count == 1 || self.min == self.max {
+            return self.min;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                return lower.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median sample (see [`HistogramData::percentile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// The 99th-percentile sample (see [`HistogramData::percentile`]).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
     /// Folds another histogram into this one.
     ///
     /// Bucket counts, totals, and extrema combine commutatively, so
@@ -223,6 +318,8 @@ pub struct MetricsSnapshot {
     /// Totals of each typed counter (export name → value), zero
     /// counters included so consumers see a stable key set.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Current levels of each typed gauge (export name → value).
+    pub gauges: BTreeMap<&'static str, u64>,
     /// Labeled counter breakdowns: (export name, label) → value, e.g.
     /// busy-window iterations per task.
     pub labeled: BTreeMap<(&'static str, String), u64>,
@@ -238,6 +335,12 @@ impl MetricsSnapshot {
         self.counters.get(c.name()).copied().unwrap_or(0)
     }
 
+    /// The current level of a typed gauge (0 when never set).
+    #[must_use]
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges.get(g.name()).copied().unwrap_or(0)
+    }
+
     /// The labeled sub-total of a typed counter.
     #[must_use]
     pub fn labeled_counter(&self, c: Counter, label: &str) -> u64 {
@@ -248,10 +351,14 @@ impl MetricsSnapshot {
     }
 
     /// Folds another snapshot into this one (counters and labeled
-    /// breakdowns add, histograms merge bucket-wise).
+    /// breakdowns add, histograms merge bucket-wise, gauges take the
+    /// other snapshot's value — it is the more recent level).
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, value) in &other.counters {
             *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name, *value);
         }
         for (key, value) in &other.labeled {
             *self.labeled.entry(key.clone()).or_insert(0) += value;
@@ -268,14 +375,20 @@ impl MetricsSnapshot {
     ///
     /// ```json
     /// {"type":"counter","name":"cache_hits","value":123}
+    /// {"type":"gauge","name":"queue_depth","value":3}
     /// {"type":"counter","name":"busy_window_iterations","label":"T1","value":7}
-    /// {"type":"histogram","name":"span_us/global_iteration","count":4,"sum":912,"min":101,"max":458,"mean":228.0}
+    /// {"type":"histogram","name":"span_us/global_iteration","count":4,"sum":912,"min":101,"max":458,"mean":228.0,"p50":128,"p99":458}
     /// ```
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
             out.push_str("{\"type\":\"counter\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(",\"value\":{value}}}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
             write_escaped(&mut out, name);
             out.push_str(&format!(",\"value\":{value}}}\n"));
         }
@@ -290,25 +403,35 @@ impl MetricsSnapshot {
             out.push_str("{\"type\":\"histogram\",\"name\":");
             write_escaped(&mut out, name);
             out.push_str(&format!(
-                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3}}}\n",
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{}}}\n",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.p50(),
+                h.p99()
             ));
         }
         out
     }
 
     /// Serializes the snapshot as one JSON object (counters nested
-    /// under `"counters"`, labeled breakdowns under `"labeled"`,
-    /// histogram summaries under `"histograms"`). Used by the
-    /// `BENCH_analysis.json` profile format.
+    /// under `"counters"`, gauges under `"gauges"`, labeled breakdowns
+    /// under `"labeled"`, histogram summaries under `"histograms"`).
+    /// Used by the `BENCH_analysis.json` profile format.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            out.push_str(&format!(":{value}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -332,15 +455,86 @@ impl MetricsSnapshot {
             }
             write_escaped(&mut out, name);
             out.push_str(&format!(
-                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3}}}",
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{}}}",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.p50(),
+                h.p99()
             ));
         }
         out.push_str("}}");
+        out
+    }
+
+    /// Serializes the snapshot in the Prometheus text exposition
+    /// format (version 0.0.4): counters and gauges as single samples
+    /// with `# TYPE` headers, labeled counter breakdowns as extra
+    /// samples of the parent family, and histograms as summaries with
+    /// `quantile` samples plus `_sum`/`_count`.
+    ///
+    /// Metric names are sanitized to `[a-zA-Z0-9_:]` (every other byte
+    /// becomes `_`), label values are escaped per the exposition
+    /// format. Output order follows the snapshot's sorted maps, so the
+    /// text is deterministic.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        fn escape_label(value: &str) -> String {
+            let mut out = String::with_capacity(value.len());
+            for c in value.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    other => out.push(other),
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let metric = sanitize(name);
+            out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+            for ((labeled_name, label), labeled_value) in &self.labeled {
+                if labeled_name == name {
+                    out.push_str(&format!(
+                        "{metric}{{label=\"{}\"}} {labeled_value}\n",
+                        escape_label(label)
+                    ));
+                }
+            }
+        }
+        for (name, value) in &self.gauges {
+            let metric = sanitize(name);
+            out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let metric = sanitize(name);
+            out.push_str(&format!(
+                "# TYPE {metric} summary\n\
+                 {metric}{{quantile=\"0.5\"}} {}\n\
+                 {metric}{{quantile=\"0.99\"}} {}\n\
+                 {metric}_sum {}\n\
+                 {metric}_count {}\n",
+                h.p50(),
+                h.p99(),
+                h.sum,
+                h.count
+            ));
+        }
         out
     }
 }
@@ -382,6 +576,87 @@ mod tests {
     #[test]
     fn empty_histogram_mean_is_zero() {
         assert_eq!(HistogramData::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn gauge_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = Gauge::ALL.iter().map(|g| g.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Gauge::ALL.len());
+        assert_eq!(Gauge::QueueDepth.name(), "queue_depth");
+        assert_eq!(Gauge::QueueDepth.index(), 1);
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_empty_and_single_sample() {
+        let empty = HistogramData::default();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+        let mut one = HistogramData::default();
+        one.record(37);
+        assert_eq!(one.p50(), 37);
+        assert_eq!(one.p99(), 37);
+        let mut same = HistogramData::default();
+        same.record(9);
+        same.record(9);
+        same.record(9);
+        assert_eq!(same.p50(), 9);
+        assert_eq!(same.p99(), 9);
+    }
+
+    #[test]
+    fn percentiles_walk_buckets_and_stay_in_range() {
+        let mut h = HistogramData::default();
+        for v in [1u64, 2, 2, 3, 7, 31] {
+            h.record(v);
+        }
+        // rank ceil(0.5*6)=3 lands in bucket [2,4) → lower bound 2.
+        assert_eq!(h.p50(), 2);
+        // rank 6 lands in bucket [16,32) → lower bound 16, within [1,31].
+        assert_eq!(h.p99(), 16);
+        // Estimates never escape the observed range, even for q=1.0.
+        assert!(h.percentile(1.0) <= h.max);
+        assert!(h.percentile(0.01) >= h.min);
+        // Large samples do not overflow the bucket lower-bound shift.
+        let mut big = HistogramData::default();
+        big.record(0);
+        big.record(u64::MAX);
+        assert!(big.p99() <= u64::MAX);
+    }
+
+    #[test]
+    fn percentile_fields_in_exports_are_finite_json() {
+        // Empty histograms must not smuggle NaN into the JSON output.
+        let mut s = MetricsSnapshot::default();
+        s.histograms
+            .insert("span_us/empty", HistogramData::default());
+        let json_out = s.to_json();
+        json::validate(&json_out).expect("valid JSON");
+        assert!(!json_out.contains("NaN"));
+        assert!(json_out.contains("\"p50\":0,\"p99\":0"));
+        json::validate_jsonl(&s.to_jsonl()).expect("valid JSONL");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_deterministic_and_escaped() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert(Counter::CacheHits.name(), 12);
+        s.gauges.insert(Gauge::QueueDepth.name(), 3);
+        s.labeled
+            .insert((Counter::CacheHits.name(), "frame \"F1\"".into()), 5);
+        let mut h = HistogramData::default();
+        h.record(4);
+        s.histograms.insert("service_us/analyze", h);
+        let text = s.to_prometheus();
+        assert_eq!(text, s.to_prometheus());
+        assert!(text.contains("# TYPE cache_hits counter\ncache_hits 12\n"));
+        assert!(text.contains("cache_hits{label=\"frame \\\"F1\\\"\"} 5\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 3\n"));
+        // The histogram name's '/' is sanitized for Prometheus.
+        assert!(text.contains("# TYPE service_us_analyze summary\n"));
+        assert!(text.contains("service_us_analyze{quantile=\"0.5\"} 4\n"));
+        assert!(text.contains("service_us_analyze_sum 4\nservice_us_analyze_count 1\n"));
     }
 
     #[test]

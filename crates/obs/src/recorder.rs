@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::metrics::{Counter, HistogramData, MetricsSnapshot};
+use crate::metrics::{Counter, Gauge, HistogramData, MetricsSnapshot};
 use crate::trace_event::{ChromeTrace, TraceEvent};
 
 /// A sink for observability signals.
@@ -34,6 +34,11 @@ pub trait Recorder: Send + Sync + fmt::Debug {
     /// both).
     fn add_labeled(&self, counter: Counter, label: &str, by: u64) {
         let _ = (counter, label, by);
+    }
+
+    /// Sets a typed gauge to an absolute level (last write wins).
+    fn set_gauge(&self, gauge: Gauge, value: u64) {
+        let _ = (gauge, value);
     }
 
     /// Records one sample into the named histogram.
@@ -113,6 +118,13 @@ impl RecorderHandle {
     pub fn add_labeled(&self, counter: Counter, label: &str, by: u64) {
         if self.0.enabled() {
             self.0.add_labeled(counter, label, by);
+        }
+    }
+
+    /// Sets a typed gauge to an absolute level.
+    pub fn set_gauge(&self, gauge: Gauge, value: u64) {
+        if self.0.enabled() {
+            self.0.set_gauge(gauge, value);
         }
     }
 
@@ -198,10 +210,15 @@ impl Drop for Span<'_> {
 #[derive(Debug, Default)]
 struct MemoryState {
     counters: [u64; Counter::ALL.len()],
+    gauges: [u64; Gauge::ALL.len()],
     labeled: std::collections::BTreeMap<(usize, String), u64>,
     histograms: std::collections::BTreeMap<&'static str, HistogramData>,
+    // Span durations keyed by raw span name; folded into `histograms`
+    // under `span_us/<name>` at snapshot time. Keeping the raw key
+    // here means the hot complete_span path takes exactly one lock —
+    // the name-interning registry is only consulted when exporting.
+    span_durs: std::collections::BTreeMap<&'static str, HistogramData>,
     events: Vec<TraceEvent>,
-    span_names: std::collections::BTreeMap<&'static str, &'static str>,
 }
 
 /// An in-memory [`Recorder`] backing the exporters.
@@ -210,9 +227,17 @@ struct MemoryState {
 /// [`MemoryRecorder::snapshot`] and [`MemoryRecorder::chrome_trace`]
 /// copy the collected state out for export. Wall-clock spans are
 /// timestamped relative to the recorder's construction instant.
+///
+/// When no trace sink will ever export the events, construct with
+/// [`MemoryRecorder::metrics_only`]: counters, gauges, and histograms
+/// (including `span_us/*`) are still collected, but [`Recorder::emit`]
+/// and the trace-event half of [`Recorder::complete_span`] become
+/// no-ops — the event buffer neither grows nor allocates, which keeps
+/// always-on telemetry cheap on long-running servers.
 #[derive(Debug)]
 pub struct MemoryRecorder {
     epoch: Instant,
+    collect_events: bool,
     state: Mutex<MemoryState>,
 }
 
@@ -222,7 +247,18 @@ impl MemoryRecorder {
     pub fn new() -> Self {
         MemoryRecorder {
             epoch: Instant::now(),
+            collect_events: true,
             state: Mutex::new(MemoryState::default()),
+        }
+    }
+
+    /// An empty recorder that collects metrics but discards trace
+    /// events (see the type docs).
+    #[must_use]
+    pub fn metrics_only() -> Self {
+        MemoryRecorder {
+            collect_events: false,
+            ..MemoryRecorder::new()
         }
     }
 
@@ -235,6 +271,15 @@ impl MemoryRecorder {
         (rec, handle)
     }
 
+    /// [`MemoryRecorder::handle`], but metrics-only (trace events are
+    /// discarded).
+    #[must_use]
+    pub fn metrics_only_handle() -> (Arc<MemoryRecorder>, RecorderHandle) {
+        let rec = Arc::new(MemoryRecorder::metrics_only());
+        let handle = RecorderHandle::new(rec.clone());
+        (rec, handle)
+    }
+
     /// Copies out all counters and histograms.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -243,12 +288,24 @@ impl MemoryRecorder {
         for c in Counter::ALL {
             snap.counters.insert(c.name(), state.counters[c.index()]);
         }
+        for g in Gauge::ALL {
+            snap.gauges.insert(g.name(), state.gauges[g.index()]);
+        }
         for ((idx, label), value) in &state.labeled {
             snap.labeled
                 .insert((Counter::ALL[*idx].name(), label.clone()), *value);
         }
         for (name, h) in &state.histograms {
             snap.histograms.insert(name, h.clone());
+        }
+        // Spans recorded directly land here; spans drained out of a
+        // BufferedRecorder arrive pre-prefixed via merge_histogram, so
+        // fold rather than overwrite.
+        for (name, h) in &state.span_durs {
+            snap.histograms
+                .entry(span_histogram(name))
+                .or_default()
+                .merge(h);
         }
         snap
     }
@@ -290,12 +347,20 @@ impl Recorder for MemoryRecorder {
             .or_insert(0) += by;
     }
 
+    fn set_gauge(&self, gauge: Gauge, value: u64) {
+        let mut state = self.state.lock().expect("recorder poisoned");
+        state.gauges[gauge.index()] = value;
+    }
+
     fn observe(&self, histogram: &'static str, value: u64) {
         let mut state = self.state.lock().expect("recorder poisoned");
         state.histograms.entry(histogram).or_default().record(value);
     }
 
     fn emit(&self, event: TraceEvent) {
+        if !self.collect_events {
+            return;
+        }
         let mut state = self.state.lock().expect("recorder poisoned");
         state.events.push(event);
     }
@@ -304,15 +369,12 @@ impl Recorder for MemoryRecorder {
         let ts_us = start.saturating_duration_since(self.epoch).as_micros() as u64;
         let dur_us = dur.as_micros() as u64;
         let mut state = self.state.lock().expect("recorder poisoned");
-        state.span_names.entry(name).or_insert(cat);
-        state
-            .histograms
-            .entry(span_histogram(name))
-            .or_default()
-            .record(dur_us);
-        state
-            .events
-            .push(TraceEvent::complete(name, cat, ts_us, dur_us, 0));
+        state.span_durs.entry(name).or_default().record(dur_us);
+        if self.collect_events {
+            state
+                .events
+                .push(TraceEvent::complete(name, cat, ts_us, dur_us, 0));
+        }
     }
 
     fn merge_histogram(&self, histogram: &'static str, data: &HistogramData) {
@@ -365,6 +427,20 @@ mod tests {
     }
 
     #[test]
+    fn gauges_are_last_write_wins() {
+        let (rec, h) = MemoryRecorder::handle();
+        h.set_gauge(Gauge::QueueDepth, 7);
+        h.set_gauge(Gauge::QueueDepth, 2);
+        h.set_gauge(Gauge::SessionsLive, 4);
+        let snap = rec.snapshot();
+        assert_eq!(snap.gauge(Gauge::QueueDepth), 2);
+        assert_eq!(snap.gauge(Gauge::SessionsLive), 4);
+        // Unset gauges still export (stable key set), at zero.
+        assert_eq!(snap.gauge(Gauge::WalBytes), 0);
+        assert_eq!(snap.gauges.len(), Gauge::ALL.len());
+    }
+
+    #[test]
     fn spans_record_events_and_histograms() {
         let (rec, h) = MemoryRecorder::handle();
         {
@@ -379,6 +455,24 @@ mod tests {
         let hist = &snap.histograms["span_us/global_iteration"];
         assert_eq!(hist.count, 1);
         assert!(hist.max >= 1_000);
+    }
+
+    #[test]
+    fn metrics_only_keeps_histograms_but_drops_events() {
+        let (rec, h) = MemoryRecorder::metrics_only_handle();
+        assert!(h.enabled());
+        h.add(Counter::CacheHits, 3);
+        h.emit(TraceEvent::instant("dropped", "c", 1, 1));
+        {
+            let _span = h.span("global_iteration", "engine");
+        }
+        assert_eq!(rec.chrome_trace().len(), 0, "no trace events collected");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(Counter::CacheHits), 3);
+        assert_eq!(
+            snap.histograms["span_us/global_iteration"].count, 1,
+            "span histograms still recorded"
+        );
     }
 
     #[test]

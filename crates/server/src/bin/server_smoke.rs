@@ -194,6 +194,74 @@ fn tear_wal_tail(data_dir: &Path, session: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks the telemetry a SIGKILLed-then-recovered server left in its
+/// data dir: a `wal_recovery` flight dump whose final record is the
+/// recovering `open` at the recovered WAL tail seq, plus a valid
+/// Chrome/Perfetto trace. With `HEM_SMOKE_ARTIFACTS` set, copies both
+/// files there for CI upload.
+fn verify_crash_telemetry(
+    crash_dir: &Path,
+    trace_path: &Path,
+    recovered_seq: u64,
+) -> Result<(), String> {
+    let flight_path = crash_dir.join(hem_server::FLIGHT_FILE);
+    let dump = std::fs::read_to_string(&flight_path)
+        .map_err(|e| format!("read flight dump {}: {e}", flight_path.display()))?;
+    let mut lines = dump.lines();
+    let header_line = lines.next().ok_or("flight dump is empty")?;
+    let header = json::parse(header_line).map_err(|e| format!("flight header JSON: {e}"))?;
+    if header.get("reason").and_then(JsonValue::as_str) != Some("wal_recovery") {
+        return Err(format!(
+            "flight dump header is not a wal_recovery dump: {header_line}"
+        ));
+    }
+    let records: Vec<JsonValue> = lines
+        .map(|line| json::parse(line).map_err(|e| format!("flight record JSON: {e}")))
+        .collect::<Result<_, _>>()?;
+    let last = records.last().ok_or("flight dump has no records")?;
+    let field = |name: &str| last.get(name).and_then(JsonValue::as_str).unwrap_or("");
+    if field("op") != "open" || field("outcome") != "ok_recovered" {
+        return Err(format!(
+            "flight dump's last record is not the recovering open: {last:?}"
+        ));
+    }
+    let last_seq = last.get("seq").and_then(JsonValue::as_f64).unwrap_or(-1.0) as i64;
+    if last_seq != recovered_seq as i64 {
+        return Err(format!(
+            "flight dump's last record acked seq {last_seq}, recovered WAL tail is {recovered_seq}"
+        ));
+    }
+    let trace_text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("read trace {}: {e}", trace_path.display()))?;
+    let trace = json::parse(&trace_text).map_err(|e| format!("trace JSON: {e}"))?;
+    let events = match trace.get("traceEvents") {
+        Some(JsonValue::Array(events)) if !events.is_empty() => events,
+        other => return Err(format!("trace has no traceEvents: {other:?}")),
+    };
+    println!(
+        "OK: flight dump ends on the recovering open at seq {recovered_seq} ({} record(s)), trace holds {} event(s)",
+        records.len(),
+        events.len()
+    );
+    if let Ok(out_dir) = std::env::var("HEM_SMOKE_ARTIFACTS") {
+        if !out_dir.is_empty() {
+            let out_dir = PathBuf::from(out_dir);
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| format!("mkdir {}: {e}", out_dir.display()))?;
+            for (src, name) in [
+                (&flight_path, "flight.jsonl"),
+                (&trace_path.to_path_buf(), "trace.json"),
+            ] {
+                std::fs::copy(src, out_dir.join(name)).map_err(|e| {
+                    format!("copy {} into {}: {e}", src.display(), out_dir.display())
+                })?;
+            }
+            println!("telemetry artifacts copied to {}", out_dir.display());
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let session = "smoke";
     let events = mutations();
@@ -226,9 +294,15 @@ fn run() -> Result<(), String> {
     tear_wal_tail(&crash_dir, session)?;
     println!("server killed mid-session, wal tail torn");
 
-    // 3. Recovery: restart on the crashed dir, resend everything.
-    let recovered = {
-        let server = Server::start(&crash_dir)?;
+    // 3. Recovery: restart on the crashed dir (with request tracing
+    //    on), resend everything. The recovery open makes the server
+    //    dump its flight recorder and trace to the data dir — and this
+    //    server too dies by SIGKILL (the `Drop` kill), so those files
+    //    are exactly what a post-mortem of the crashed box would find.
+    let trace_path = crash_dir.join("trace.json");
+    let trace_arg = trace_path.display().to_string();
+    let (recovered, recovered_seq) = {
+        let server = Server::start_with(&crash_dir, &["--trace-out", &trace_arg])?;
         let mut conn = server.connect()?;
         let open = conn.rpc_ok(&open_line(session))?;
         if !matches!(open.get("recovered"), Some(JsonValue::Bool(true))) {
@@ -239,6 +313,11 @@ fn run() -> Result<(), String> {
                 "open after crash did not report a torn tail: {open:?}"
             ));
         }
+        let recovered_seq = open
+            .get("seq")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("recovery open carries no seq: {open:?}"))?
+            as u64;
         let mut duplicates = 0;
         for (i, event) in events.iter().enumerate() {
             let ack = conn.rpc_ok(&mutate_line(session, i + 1, event))?;
@@ -262,7 +341,8 @@ fn run() -> Result<(), String> {
         if recoveries < 1.0 {
             return Err(format!("stats report no wal recovery: {stats:?}"));
         }
-        conn.rpc(&format!("{{\"op\":\"result\",\"session\":\"{session}\"}}"))?
+        let result = conn.rpc(&format!("{{\"op\":\"result\",\"session\":\"{session}\"}}"))?;
+        (result, recovered_seq)
     };
     println!("recovered result captured ({} bytes)", recovered.len());
 
@@ -273,6 +353,12 @@ fn run() -> Result<(), String> {
         ));
     }
     println!("OK: recovered result is byte-identical to the uninterrupted run");
+
+    // 4b. Post-mortem telemetry: the WAL-recovery flight dump's last
+    //     record must be the recovering open, acknowledging exactly
+    //     the seq the recovered WAL tail reached, and the trace must
+    //     be a loadable Chrome/Perfetto JSON document.
+    verify_crash_telemetry(&crash_dir, &trace_path, recovered_seq)?;
 
     // 5. Checkpoint leg: a tiny threshold forces checkpoint+compaction
     //    during the same six mutations. The session must end with a

@@ -130,6 +130,7 @@ pub fn write(
     generation: u64,
     entries: &[LogEntry],
 ) -> Result<u64, WalError> {
+    let _span = crate::trace::span("checkpoint_io");
     let image = encode_image(generation, entries)?;
     let tmp = tmp_path(data_dir, name);
     let target = generation_path(data_dir, name, generation);

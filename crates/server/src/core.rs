@@ -23,16 +23,18 @@ use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hem_analysis::AnalysisBudget;
 use hem_obs::json::{self, JsonValue};
-use hem_obs::{Counter, MemoryRecorder, RecorderHandle};
+use hem_obs::{Counter, Gauge, MemoryRecorder, RecorderHandle, TraceEvent};
 
 use crate::event::SessionEvent;
+use crate::flight::{FlightRecord, FlightRecorder, FLIGHT_FILE};
 use crate::hash::id_hex;
 use crate::session::{valid_name, Analyzed, AppendOutcome, Session, SessionEnv};
 use crate::storage::{RealStorage, Storage};
+use crate::trace;
 
 /// Default WAL size that triggers a checkpoint + compaction.
 pub const DEFAULT_CHECKPOINT_BYTES: u64 = 64 * 1024;
@@ -54,6 +56,15 @@ pub struct CoreOptions {
     /// [`RealStorage`]; tests and the chaos harness substitute
     /// [`ChaosStorage`](crate::storage::ChaosStorage).
     pub storage: Arc<dyn Storage>,
+    /// Master switch for serving telemetry (request scopes, latency
+    /// histograms, the flight recorder). On by default; the overhead
+    /// bench turns it off to measure the instrumented path against a
+    /// true no-op baseline.
+    pub observe: bool,
+    /// Where the Chrome/Perfetto trace is exported on every flight
+    /// dump. `None` (the default) keeps trace-event emission off
+    /// entirely; spans still tick the logical clock for flight records.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl CoreOptions {
@@ -67,6 +78,8 @@ impl CoreOptions {
             sync_appends: true,
             checkpoint_bytes: DEFAULT_CHECKPOINT_BYTES,
             storage: Arc::new(RealStorage),
+            observe: true,
+            trace_out: None,
         }
     }
 
@@ -97,6 +110,20 @@ impl CoreOptions {
         self.storage = storage;
         self
     }
+
+    /// Enables or disables serving telemetry (on by default).
+    #[must_use]
+    pub fn observe(mut self, on: bool) -> Self {
+        self.observe = on;
+        self
+    }
+
+    /// Sets the trace export path (enables trace-event emission).
+    #[must_use]
+    pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_out = Some(path.into());
+        self
+    }
 }
 
 /// Shared server state: the session map plus instrumentation.
@@ -109,6 +136,14 @@ pub struct ServerCore {
     /// the smoke driver. Never on in normal serving.
     test_ops: bool,
     panics_isolated: AtomicU64,
+    flight: FlightRecorder,
+    /// Server-wide logical clock the per-request tick traces are
+    /// spliced onto, so the exported trace is one consistent timeline.
+    trace_clock: AtomicU64,
+    /// Requests handled so far — the deterministic "uptime" unit.
+    uptime_ticks: AtomicU64,
+    observe: bool,
+    trace_out: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for ServerCore {
@@ -131,6 +166,89 @@ fn error_response(kind: &str, message: &str) -> String {
     json::write_escaped(&mut out, message);
     out.push('}');
     out
+}
+
+/// A parsed request line's addressing fields.
+struct Request {
+    op: String,
+    session: Option<String>,
+    parsed: JsonValue,
+}
+
+/// The op as a `'static` name, for span/histogram/flight labels.
+/// Unknown ops become `"?"` so labels stay a closed set.
+fn op_static(op: &str) -> &'static str {
+    match op {
+        "ping" => "ping",
+        "stats" => "stats",
+        "metrics" => "metrics",
+        "debug_dump" => "debug_dump",
+        "open" => "open",
+        "mutate" => "mutate",
+        "analyze" => "analyze",
+        "result" => "result",
+        "close" => "close",
+        "debug_panic" => "debug_panic",
+        _ => "?",
+    }
+}
+
+/// Histogram name for queue wait of `op`. Only the serving-relevant
+/// ops get their own series; the rest pool under `other`.
+fn queue_wait_histogram(op: &'static str) -> &'static str {
+    match op {
+        "open" => "queue_wait_us/open",
+        "mutate" => "queue_wait_us/mutate",
+        "analyze" => "queue_wait_us/analyze",
+        "result" => "queue_wait_us/result",
+        _ => "queue_wait_us/other",
+    }
+}
+
+/// Histogram name for service time of `op` (queue wait excluded).
+fn service_histogram(op: &'static str) -> &'static str {
+    match op {
+        "open" => "service_us/open",
+        "mutate" => "service_us/mutate",
+        "analyze" => "service_us/analyze",
+        "result" => "service_us/result",
+        _ => "service_us/other",
+    }
+}
+
+/// Derives the flight-record outcome tag from the response line. The
+/// protocol's responses are shaped by this module, so substring checks
+/// against the stable markers are exact, not heuristic.
+fn outcome_of(op: &'static str, response: &str) -> String {
+    if response.starts_with("{\"ok\":true") {
+        if response.contains("\"duplicate\":true") {
+            return "ok_duplicate".to_string();
+        }
+        if response.contains("\"stale\":true") {
+            return "ok_stale".to_string();
+        }
+        if op == "open" && response.contains("\"recovered\":true") {
+            return "ok_recovered".to_string();
+        }
+        return "ok".to_string();
+    }
+    let kind = response
+        .split("\"error\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or("unknown");
+    if kind == "panic" {
+        "panic".to_string()
+    } else {
+        format!("error:{kind}")
+    }
+}
+
+/// The `"seq"` the response acknowledged, if it carries one.
+fn response_seq(response: &str) -> Option<u64> {
+    let rest = response.split("\"seq\":").nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 impl ServerCore {
@@ -158,10 +276,31 @@ impl ServerCore {
             sync_appends,
             checkpoint_bytes,
             storage,
+            observe,
+            trace_out,
         } = options;
         storage.create_dir_all(&data_dir)?;
-        let (recorder, metrics) = MemoryRecorder::handle();
+        // Without a trace sink the collected events could never be
+        // exported, so don't pay for collecting them: the metrics-only
+        // recorder keeps every counter/gauge/histogram (including
+        // span_us/*) but drops the per-span trace events.
+        let (recorder, real_metrics) = if trace_out.is_some() {
+            MemoryRecorder::handle()
+        } else {
+            MemoryRecorder::metrics_only_handle()
+        };
+        // With telemetry off every record call must reduce to one
+        // branch, so the core keeps a noop handle; the recorder still
+        // exists (stats reads it) but nothing ever reaches it.
+        let metrics = if observe {
+            real_metrics
+        } else {
+            RecorderHandle::noop()
+        };
         storage.attach_recorder(metrics.clone());
+        if trace_out.is_some() {
+            metrics.emit(TraceEvent::thread_name(trace::REQUEST_LANE, "requests"));
+        }
         let env = SessionEnv {
             storage,
             data_dir,
@@ -176,6 +315,11 @@ impl ServerCore {
             recorder,
             test_ops,
             panics_isolated: AtomicU64::new(0),
+            flight: FlightRecorder::new(),
+            trace_clock: AtomicU64::new(0),
+            uptime_ticks: AtomicU64::new(0),
+            observe,
+            trace_out,
         })
     }
 
@@ -195,26 +339,117 @@ impl ServerCore {
     /// (no trailing newline). Never panics: request panics are caught,
     /// the touched session is quarantined and rebuilt from its WAL.
     pub fn handle_line(&self, line: &str) -> String {
-        let parsed = match json::parse(line) {
-            Ok(v) => v,
-            Err(e) => return error_response("bad_request", &format!("request JSON: {e}")),
+        self.handle_line_timed(line, None)
+    }
+
+    /// [`ServerCore::handle_line`] with the time the request spent
+    /// waiting in the work queue, which lands in the per-op
+    /// `queue_wait_us/...` histograms (service time is measured here).
+    pub fn handle_line_timed(&self, line: &str, queue_wait: Option<Duration>) -> String {
+        let request = Self::parse_request(line);
+        if !self.observe {
+            return match request {
+                Ok(req) => self.dispatch_guarded(&req),
+                Err(resp) => resp,
+            };
+        }
+        let (op_name, session, req_seq) = match &request {
+            Ok(req) => (
+                op_static(&req.op),
+                req.session.clone(),
+                req.parsed
+                    .get("seq")
+                    .and_then(JsonValue::as_f64)
+                    .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                    .map_or(0, |n| n as u64),
+            ),
+            Err(_) => ("?", None, 0),
         };
+        let id = trace::trace_id(session.as_deref(), req_seq);
+        trace::begin_request(id, op_name, self.trace_out.is_some());
+        let started = Instant::now();
+        let response = match request {
+            Ok(req) => self.dispatch_guarded(&req),
+            Err(resp) => resp,
+        };
+        let service = started.elapsed();
+        let collected = trace::finish_request()
+            .unwrap_or_else(|| unreachable!("begin_request installed a scope on this thread"));
+        if let Some(wait) = queue_wait {
+            self.metrics
+                .observe(queue_wait_histogram(op_name), wait.as_micros() as u64);
+        }
+        self.metrics
+            .observe(service_histogram(op_name), service.as_micros() as u64);
+        let up = self.uptime_ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.set_gauge(Gauge::UptimeTicks, up);
+        if self.trace_out.is_some() {
+            // Claim a contiguous tick range on the server-wide clock,
+            // then splice the request-local spans into it.
+            let base = self
+                .trace_clock
+                .fetch_add(collected.ticks, Ordering::Relaxed);
+            for event in &collected.events {
+                let mut event = event.clone();
+                event.ts_us += base;
+                self.metrics.emit(event);
+            }
+        }
+        let outcome = outcome_of(op_name, &response);
+        let panicked = outcome == "panic";
+        let recovered_open = op_name == "open" && response.contains("\"recovered\":true");
+        self.flight.push(FlightRecord {
+            ordinal: 0, // assigned by the ring
+            trace_id: id,
+            op: op_name.to_string(),
+            session,
+            outcome,
+            seq: response_seq(&response),
+            ticks: collected.ticks,
+            wal_bytes: collected.wal_bytes,
+            ckpt_gen: collected.ckpt_gen,
+        });
+        if panicked {
+            self.write_flight_dump("panic");
+        } else if recovered_open {
+            self.write_flight_dump("wal_recovery");
+        }
+        response
+    }
+
+    /// Splits a request line into its addressing fields, or the error
+    /// response to send back.
+    fn parse_request(line: &str) -> Result<Request, String> {
+        let parsed = json::parse(line)
+            .map_err(|e| error_response("bad_request", &format!("request JSON: {e}")))?;
         let Some(op) = parsed.get("op").and_then(JsonValue::as_str) else {
-            return error_response("bad_request", "request needs a string \"op\"");
+            return Err(error_response(
+                "bad_request",
+                "request needs a string \"op\"",
+            ));
         };
         let op = op.to_string();
-        let session_name = parsed
+        let session = parsed
             .get("session")
             .and_then(JsonValue::as_str)
             .map(String::from);
+        Ok(Request {
+            op,
+            session,
+            parsed,
+        })
+    }
+
+    fn dispatch_guarded(&self, request: &Request) -> String {
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            self.dispatch(&op, session_name.as_deref(), &parsed)
+            self.dispatch(&request.op, request.session.as_deref(), &request.parsed)
         }));
         match outcome {
             Ok(response) => response,
             Err(_) => {
                 self.panics_isolated.fetch_add(1, Ordering::Relaxed);
-                let recovered = session_name
+                let recovered = request
+                    .session
                     .as_deref()
                     .is_some_and(|name| self.quarantine_and_rebuild(name));
                 let mut out = String::from(
@@ -255,6 +490,8 @@ impl ServerCore {
         match op {
             "ping" => format!("{}}}", ok_prefix("ping")),
             "stats" => self.op_stats(),
+            "metrics" => self.op_metrics(),
+            "debug_dump" => self.op_debug_dump(),
             "open" | "mutate" | "analyze" | "result" | "close" | "debug_panic" => {
                 let Some(name) = session_name else {
                     return error_response("bad_request", "request needs a string \"session\"");
@@ -461,15 +698,19 @@ impl ServerCore {
     }
 
     fn op_stats(&self) -> String {
+        self.refresh_gauges();
         let sessions = {
             let map = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
             map.len()
         };
         let snapshot = self.recorder.snapshot();
         let mut out = format!(
-            "{},\"sessions\":{sessions},\"panics_isolated\":{},\"counters\":{{",
+            "{},\"sessions\":{sessions},\"panics_isolated\":{},\"uptime_ticks\":{},\"queue_depth\":{},\"checkpoint_generation\":{},\"counters\":{{",
             ok_prefix("stats"),
             self.panics_isolated(),
+            self.uptime_ticks.load(Ordering::Relaxed),
+            snapshot.gauge(Gauge::QueueDepth),
+            snapshot.gauge(Gauge::CheckpointGeneration),
         );
         for (i, (name, value)) in snapshot.counters.iter().enumerate() {
             if i > 0 {
@@ -479,5 +720,99 @@ impl ServerCore {
         }
         out.push_str("}}");
         out
+    }
+
+    fn op_metrics(&self) -> String {
+        self.refresh_gauges();
+        let snapshot = self.recorder.snapshot();
+        let mut out = format!(
+            "{},\"snapshot\":{},\"exposition\":",
+            ok_prefix("metrics"),
+            snapshot.to_json()
+        );
+        json::write_escaped(&mut out, &snapshot.to_prometheus());
+        out.push('}');
+        out
+    }
+
+    fn op_debug_dump(&self) -> String {
+        let records = self.flight.snapshot();
+        let mut out = format!(
+            "{},\"recorded\":{},\"records\":[",
+            ok_prefix("debug_dump"),
+            self.flight.recorded()
+        );
+        for (i, record) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&record.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Recomputes the session-derived gauges from the live map; the
+    /// queue-depth gauge is owned by the work queue and left alone.
+    fn refresh_gauges(&self) {
+        if !self.observe {
+            return;
+        }
+        let (live, wal_bytes, ckpt_gen) = {
+            let map = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
+            let mut wal_bytes = 0u64;
+            let mut ckpt_gen = 0u64;
+            for slot in map.values() {
+                if let Ok(session) = slot.lock() {
+                    wal_bytes += session.wal_bytes();
+                    ckpt_gen = ckpt_gen.max(session.checkpoint_generation().unwrap_or(0));
+                }
+            }
+            (map.len() as u64, wal_bytes, ckpt_gen)
+        };
+        self.metrics.set_gauge(Gauge::SessionsLive, live);
+        self.metrics.set_gauge(Gauge::WalBytes, wal_bytes);
+        self.metrics
+            .set_gauge(Gauge::CheckpointGeneration, ckpt_gen);
+        self.metrics.set_gauge(
+            Gauge::UptimeTicks,
+            self.uptime_ticks.load(Ordering::Relaxed),
+        );
+    }
+
+    /// Dumps the flight ring (and the trace, when tracing) to durable
+    /// storage. Best-effort by design: a dump is forensic output, so
+    /// storage failures are swallowed rather than turned into request
+    /// errors — on chaos storage a crashed disk simply keeps the
+    /// previous dump.
+    pub fn write_flight_dump(&self, reason: &str) {
+        if !self.observe {
+            return;
+        }
+        let dump = self.flight.render_dump(reason);
+        let path = self.env.data_dir.join(FLIGHT_FILE);
+        let _ = self.env.storage.write(&path, dump.as_bytes());
+        if let Some(trace_path) = &self.trace_out {
+            let trace_json = self.recorder.chrome_trace().to_json();
+            let _ = self.env.storage.write(trace_path, trace_json.as_bytes());
+        }
+    }
+
+    /// The Chrome trace collected so far, as Perfetto-loadable JSON.
+    #[must_use]
+    pub fn trace_json(&self) -> String {
+        self.recorder.chrome_trace().to_json()
+    }
+
+    /// The flight recorder (tests assert on its contents directly).
+    #[must_use]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+}
+
+impl Drop for ServerCore {
+    fn drop(&mut self) {
+        self.write_flight_dump("shutdown");
     }
 }

@@ -21,10 +21,17 @@
 //!   the session instead of taking down the server, [`core`]);
 //! * overload is explicit: a bounded queue ([`queue`]) sheds with
 //!   retry-after hints, and per-request deadlines degrade to the last
-//!   materialized result with a staleness marker rather than failing.
+//!   materialized result with a staleness marker rather than failing;
+//! * serving is observable end to end: every request carries a
+//!   deterministic trace id through a logical-tick span tree
+//!   ([`trace`], exported Perfetto-loadable via `--trace-out`), live
+//!   gauges and latency histograms are scraped with the `metrics` op,
+//!   and a bounded **flight recorder** ([`flight`]) dumps the recent
+//!   request history on panic, WAL recovery, and shutdown.
 //!
 //! The wire protocol (newline-delimited JSON over TCP, [`net`]) is
-//! documented in `docs/SERVING.md`.
+//! documented in `docs/SERVING.md`; the telemetry is documented in
+//! `docs/OBSERVABILITY.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,15 +40,18 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod core;
 pub mod event;
+pub mod flight;
 pub mod hash;
 pub mod net;
 pub mod queue;
 pub mod session;
 pub mod storage;
+pub mod trace;
 pub mod wal;
 
 pub use crate::core::{CoreOptions, ServerCore};
 pub use event::{EventError, LogEntry, SessionEvent};
+pub use flight::{FlightRecord, FlightRecorder, FLIGHT_FILE};
 pub use queue::{Shed, WorkQueue};
 pub use session::{Analyzed, AppendOutcome, Session, SessionError};
 pub use storage::{ChaosOptions, ChaosStorage, RealStorage, Storage};

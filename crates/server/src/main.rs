@@ -4,6 +4,7 @@
 //! hem-server [--listen HOST:PORT] [--data-dir PATH] [--workers N]
 //!            [--queue-depth N] [--max-conns N] [--test-ops]
 //!            [--checkpoint-bytes N] [--no-fsync] [--write-timeout-ms N]
+//!            [--trace-out PATH]
 //! ```
 //!
 //! Binds, prints `LISTENING <addr>` on stdout (so harnesses using
@@ -31,6 +32,7 @@ struct Options {
     checkpoint_bytes: u64,
     no_fsync: bool,
     write_timeout_ms: u64,
+    trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -45,6 +47,7 @@ impl Default for Options {
             checkpoint_bytes: DEFAULT_CHECKPOINT_BYTES,
             no_fsync: false,
             write_timeout_ms: 5000,
+            trace_out: None,
         }
     }
 }
@@ -84,11 +87,12 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--write-timeout-ms: {e}"))?;
             }
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: hem-server [--listen HOST:PORT] [--data-dir PATH] [--workers N] \
                      [--queue-depth N] [--max-conns N] [--test-ops] [--checkpoint-bytes N] \
-                     [--no-fsync] [--write-timeout-ms N]"
+                     [--no-fsync] [--write-timeout-ms N] [--trace-out PATH]"
                         .into(),
                 )
             }
@@ -106,10 +110,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let core_options = CoreOptions::new(&opts.data_dir)
+    let mut core_options = CoreOptions::new(&opts.data_dir)
         .test_ops(opts.test_ops)
         .sync_appends(!opts.no_fsync)
         .checkpoint_bytes(opts.checkpoint_bytes);
+    if let Some(path) = &opts.trace_out {
+        core_options = core_options.trace_out(path);
+    }
     let core = match ServerCore::with_options(core_options) {
         Ok(c) => Arc::new(c),
         Err(e) => {

@@ -17,6 +17,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use hem_obs::Counter;
+
 use crate::queue::{Shed, WorkQueue};
 
 /// Transport limits.
@@ -53,6 +55,7 @@ pub fn serve(
     let live = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         let stream = stream?;
+        queue.metrics().add(Counter::ConnectionsAccepted, 1);
         // Applied before *any* write — including the shed greeting,
         // which runs on the accept thread and must never wedge it.
         if stream.set_write_timeout(config.write_timeout).is_err() {

@@ -18,8 +18,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use hem_obs::Counter;
+use hem_obs::{Counter, Gauge, RecorderHandle};
 
 use crate::core::ServerCore;
 use crate::hash::fnv1a64;
@@ -50,6 +51,7 @@ impl Shed {
 struct Pending {
     line: String,
     reply: mpsc::Sender<String>,
+    enqueued: Instant,
 }
 
 #[derive(Default)]
@@ -128,10 +130,27 @@ impl WorkQueue {
                     retry_after_ms: RETRY_BASE_MS + jitter,
                 });
             }
-            state.jobs.push_back(Pending { line, reply });
+            state.jobs.push_back(Pending {
+                line,
+                reply,
+                enqueued: Instant::now(),
+            });
+            let depth = state.jobs.len() as u64;
+            drop(state);
+            self.shared
+                .core
+                .metrics()
+                .set_gauge(Gauge::QueueDepth, depth);
         }
         self.shared.available.notify_one();
         Ok(rx)
+    }
+
+    /// The core's metrics handle (the transport layer counts accepted
+    /// connections against it).
+    #[must_use]
+    pub fn metrics(&self) -> RecorderHandle {
+        self.shared.core.metrics()
     }
 
     /// Stops workers from draining the queue (submissions still land
@@ -175,7 +194,7 @@ impl Drop for WorkQueue {
 
 fn worker_loop(shared: &QueueShared) {
     loop {
-        let pending = {
+        let (pending, depth) = {
             let mut state = shared.state.lock().expect("queue state poisoned");
             loop {
                 if state.shutdown {
@@ -183,15 +202,19 @@ fn worker_loop(shared: &QueueShared) {
                 }
                 if !shared.paused.load(Ordering::SeqCst) {
                     if let Some(job) = state.jobs.pop_front() {
-                        break job;
+                        break (job, state.jobs.len() as u64);
                     }
                 }
                 state = shared.available.wait(state).expect("queue state poisoned");
             }
         };
-        // `handle_line` never panics (it isolates request panics
+        shared.core.metrics().set_gauge(Gauge::QueueDepth, depth);
+        let queue_wait = pending.enqueued.elapsed();
+        // `handle_line_timed` never panics (it isolates request panics
         // itself), so the worker loop needs no second safety net.
-        let response = shared.core.handle_line(&pending.line);
+        let response = shared
+            .core
+            .handle_line_timed(&pending.line, Some(queue_wait));
         // The client may have hung up; a dead receiver is fine.
         let _ = pending.reply.send(response);
     }

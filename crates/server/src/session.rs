@@ -358,11 +358,16 @@ impl Session {
     /// Appends one entry to the WAL under the session's durability
     /// policy, counting fsync failures.
     fn append_record(&mut self, entry: &LogEntry) -> Result<(), SessionError> {
+        let _span = crate::trace::span("wal_append");
+        let pre = self.wal.len();
         let result = self
             .wal
             .append(entry.canonical_json().as_bytes(), self.env.sync_appends);
         if let Err(WalError::Io { op: "sync", .. }) = &result {
             self.env.metrics.add(Counter::FsyncFailures, 1);
+        }
+        if result.is_ok() {
+            crate::trace::note_wal_bytes(self.wal.len().saturating_sub(pre));
         }
         result.map_err(SessionError::Wal)
     }
@@ -375,6 +380,7 @@ impl Session {
         if self.env.checkpoint_bytes == 0 || self.wal.len() < self.env.checkpoint_bytes {
             return;
         }
+        let _span = crate::trace::span("checkpoint_write");
         let generation = self.next_generation;
         if checkpoint::write(
             &self.env.storage,
@@ -387,6 +393,7 @@ impl Session {
         {
             return;
         }
+        crate::trace::note_ckpt_gen(generation);
         self.next_generation = generation + 1;
         self.env.metrics.add(Counter::Checkpoints, 1);
         // If the compaction truncate fails, recovery still prefers the
@@ -490,6 +497,7 @@ impl Session {
     ///
     /// Only on genuine spec errors surfaced by the engine.
     pub fn analyze(&mut self, budget: AnalysisBudget) -> Result<Analyzed, SessionError> {
+        let _span = crate::trace::span("engine_analyze");
         let config = SystemConfig::new(AnalysisMode::Hierarchical)
             .with_threads(1)
             .with_budget(budget);

@@ -259,6 +259,7 @@ impl Wal {
     /// lands at the same position; if the rollback itself fails the
     /// log is poisoned and every later append errors until reopen.
     pub fn append(&mut self, payload: &[u8], sync: bool) -> Result<(), WalError> {
+        let _span = crate::trace::span("wal_io");
         let path = self.path.clone();
         let io = move |op: &'static str, source: std::io::Error| WalError::Io { path, op, source };
         if self.poisoned {
@@ -308,6 +309,7 @@ impl Wal {
     /// whose truncation never happened — stale entries at or below the
     /// checkpoint base are filtered out).
     pub fn reset(&mut self) -> Result<u64, WalError> {
+        let _span = crate::trace::span("wal_reset");
         let io = |op: &'static str| {
             let path = self.path.clone();
             move |source: std::io::Error| WalError::Io { path, op, source }
