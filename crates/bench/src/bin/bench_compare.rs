@@ -48,6 +48,13 @@ use hem_obs::json::{parse, JsonValue};
 /// at most this much wall time relative to a no-op recorder.
 const OBS_OVERHEAD_LIMIT_PCT: f64 = 5.0;
 
+/// Absolute floor on `analytic.speedup`: the closed-form curve layer
+/// must keep the replicated-grid profile at least this much faster
+/// than the generic path (see `docs/CURVES.md`). Gated against the
+/// floor rather than the baseline so a lucky baseline measurement can
+/// never ratchet the requirement above what the layer promises.
+const ANALYTIC_SPEEDUP_FLOOR: f64 = 3.0;
+
 /// How a flattened profile field is compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Class {
@@ -60,6 +67,9 @@ enum Class {
     /// Wall-clock ratio gated against an absolute ceiling, independent
     /// of the baseline (which only documents the last measurement).
     Bounded,
+    /// Wall-clock ratio gated against an absolute floor
+    /// ([`ANALYTIC_SPEEDUP_FLOOR`]), independent of the baseline.
+    Floored,
     /// Environment description (thread counts): never compared.
     Informational,
 }
@@ -69,6 +79,16 @@ fn classify(path: &str) -> Class {
     {
         // Wall-clock histogram families (engine spans plus the serving
         // latency split): reported, never compared.
+        return Class::Informational;
+    }
+    if path == "analytic.speedup" {
+        // The headline fast-path speedup carries an absolute promise.
+        return Class::Floored;
+    }
+    if path == "analytic.hit_rate_pct" || path == "analytic.fig2.speedup" {
+        // The hit rate is pinned exactly by the `lifts` / `fallbacks`
+        // counts next to it, and the bare Fig. 2 ratio is an
+        // Amdahl-capped micro-measurement: both reported, never gated.
         return Class::Informational;
     }
     let last = path.rsplit('.').next().unwrap_or(path);
@@ -147,6 +167,18 @@ struct Delta {
     failed: bool,
 }
 
+/// Downgrades a field to [`Class::Informational`] when its path
+/// contains any of the `--ignore` substrings (e.g. `--ignore cache_`
+/// for the CI analytic-vs-generic differential leg, where the lifted
+/// path legitimately does less cache work).
+fn effective_class(path: &str, ignores: &[String]) -> Class {
+    if ignores.iter().any(|s| path.contains(s.as_str())) {
+        Class::Informational
+    } else {
+        classify(path)
+    }
+}
+
 /// Compares two flattened profiles. `cross` switches from the
 /// regression rules to the determinism rules.
 fn compare(
@@ -155,11 +187,12 @@ fn compare(
     tolerance: f64,
     slack_ms: f64,
     cross: bool,
+    ignores: &[String],
 ) -> Vec<Delta> {
     let mut rows = Vec::new();
     let keys: std::collections::BTreeSet<&String> = fresh.keys().chain(baseline.keys()).collect();
     for key in keys {
-        let class = classify(key);
+        let class = effective_class(key, ignores);
         let f = fresh.get(key.as_str());
         let b = baseline.get(key.as_str());
         let mut push = |note: String, failed: bool| {
@@ -174,28 +207,38 @@ fn compare(
         if class == Class::Informational {
             continue;
         }
-        if class == Class::Bounded {
-            // Gated against an absolute ceiling, not the baseline: the
+        if class == Class::Bounded || class == Class::Floored {
+            // Gated against an absolute bound, not the baseline: the
             // baseline value only documents the last measurement. A
             // ratio of two wall times, so the cross-leg gate skips it.
             if cross {
                 continue;
             }
-            match f {
-                Some(Leaf::Number(value)) if *value > OBS_OVERHEAD_LIMIT_PCT => {
+            match (class, f) {
+                (Class::Bounded, Some(Leaf::Number(value))) if *value > OBS_OVERHEAD_LIMIT_PCT => {
                     push(
                         format!("above the absolute {OBS_OVERHEAD_LIMIT_PCT}% ceiling"),
                         true,
                     );
                 }
-                Some(Leaf::Number(_)) => {
+                (Class::Bounded, Some(Leaf::Number(_))) => {
                     push(
                         format!("within the {OBS_OVERHEAD_LIMIT_PCT}% ceiling"),
                         false,
                     );
                 }
-                Some(Leaf::Text(_)) => push("not a number".into(), true),
-                None => push("missing in fresh profile".into(), true),
+                (Class::Floored, Some(Leaf::Number(value))) if *value < ANALYTIC_SPEEDUP_FLOOR => {
+                    push(
+                        format!("below the absolute {ANALYTIC_SPEEDUP_FLOOR}x floor"),
+                        true,
+                    );
+                }
+                (Class::Floored, Some(Leaf::Number(_))) => {
+                    push(format!("above the {ANALYTIC_SPEEDUP_FLOOR}x floor"), false);
+                }
+                (_, Some(Leaf::Text(_))) => push("not a number".into(), true),
+                (_, None) => push("missing in fresh profile".into(), true),
+                (_, _) => unreachable!("bounded/floored arms cover all shapes"),
             }
             continue;
         }
@@ -250,7 +293,9 @@ fn compare(
                     push(delta_note(*b, *f), false);
                 }
             }
-            Class::Bounded | Class::Informational => unreachable!("filtered above"),
+            Class::Bounded | Class::Floored | Class::Informational => {
+                unreachable!("filtered above")
+            }
         }
     }
     rows
@@ -359,6 +404,20 @@ fn report(doc: &JsonValue) -> String {
         field(incremental, "incremental", "replayed_results"),
         field(incremental, "incremental", "full_fallbacks"),
     );
+    let analytic = section("analytic");
+    let _ = writeln!(
+        out,
+        "analytic fast path: {:.2}x on the replicated grid (floor {ANALYTIC_SPEEDUP_FLOOR}x), {:.2}x on the Fig. 2 grid, {} lift(s), {} fallback(s), {:.1}% hit rate",
+        field(analytic, "analytic", "speedup"),
+        analytic
+            .get("fig2")
+            .and_then(|f| f.get("speedup"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| die("profile field `analytic.fig2.speedup` is missing")),
+        field(analytic, "analytic", "lifts"),
+        field(analytic, "analytic", "fallbacks"),
+        field(analytic, "analytic", "hit_rate_pct"),
+    );
     let _ = writeln!(
         out,
         "serving: {} sessions, {} requests, p50 {:.3} ms, p99 {:.3} ms, {} recoveries, {} shed, {} stale served",
@@ -407,7 +466,26 @@ fn append_step_summary(markdown: &str) {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--ignore <substring>` is repeatable and position-independent:
+    // any field whose flattened path contains one of the substrings is
+    // downgraded to Informational (reported, never gated). The CI
+    // analytic differential leg relies on this to diff the generic
+    // against the lifted profile while excusing the cache-work
+    // counters the fast path legitimately eliminates.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut ignores: Vec<String> = Vec::new();
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--ignore" {
+            match it.next() {
+                Some(pattern) if !pattern.is_empty() => ignores.push(pattern),
+                _ => die("--ignore requires a non-empty substring"),
+            }
+        } else {
+            args.push(arg);
+        }
+    }
     match args.as_slice() {
         [flag, path] if flag == "--report" => {
             print!("{}", report(&load(path)));
@@ -418,8 +496,11 @@ fn main() -> ExitCode {
             let mut right = BTreeMap::new();
             flatten(&load(a), String::new(), &mut left);
             flatten(&load(b), String::new(), &mut right);
-            let checked = left.keys().filter(|k| classify(k) == Class::Exact).count();
-            let rows = compare(&left, &right, 0.0, 0.0, true);
+            let checked = left
+                .keys()
+                .filter(|k| effective_class(k, &ignores) == Class::Exact)
+                .count();
+            let rows = compare(&left, &right, 0.0, 0.0, true, &ignores);
             let failures: Vec<&Delta> = rows.iter().filter(|r| r.failed).collect();
             let table = markdown_table("Cross-leg determinism", &rows, checked);
             print!("{table}");
@@ -441,8 +522,11 @@ fn main() -> ExitCode {
             let mut baseline = BTreeMap::new();
             flatten(&fresh_doc, String::new(), &mut fresh);
             flatten(&load(baseline_path), String::new(), &mut baseline);
-            let checked = fresh.keys().filter(|k| classify(k) == Class::Exact).count();
-            let rows = compare(&fresh, &baseline, tolerance(), slack_ms(), false);
+            let checked = fresh
+                .keys()
+                .filter(|k| effective_class(k, &ignores) == Class::Exact)
+                .count();
+            let rows = compare(&fresh, &baseline, tolerance(), slack_ms(), false, &ignores);
             let failures = rows.iter().filter(|r| r.failed).count();
             let table = markdown_table("Benchmark regression gate", &rows, checked);
             print!("{table}");
@@ -460,7 +544,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: bench_compare <fresh.json> <baseline.json>\n       bench_compare --cross <a.json> <b.json>\n       bench_compare --report <fresh.json>"
+                "usage: bench_compare [--ignore <substring>]... <fresh.json> <baseline.json>\n       bench_compare [--ignore <substring>]... --cross <a.json> <b.json>\n       bench_compare --report <fresh.json>"
             );
             ExitCode::from(2)
         }
@@ -514,6 +598,60 @@ mod tests {
             classify("serving.histograms.service_us/analyze.mean"),
             Class::Informational
         );
+        assert_eq!(classify("analytic.speedup"), Class::Floored);
+        assert_eq!(classify("analytic.hit_rate_pct"), Class::Informational);
+        assert_eq!(classify("analytic.fig2.speedup"), Class::Informational);
+        assert_eq!(classify("analytic.fig2.wall_ms_generic"), Class::Timing);
+        assert_eq!(classify("analytic.lifts"), Class::Exact);
+        assert_eq!(classify("analytic.fallbacks"), Class::Exact);
+        assert_eq!(classify("analytic.scenarios"), Class::Exact);
+    }
+
+    #[test]
+    fn analytic_speedup_is_gated_against_the_absolute_floor() {
+        // Above the floor passes even when far below the baseline…
+        let base = doc(r#"{"analytic":{"speedup":9.0}}"#);
+        let slower = doc(r#"{"analytic":{"speedup":3.1}}"#);
+        assert!(!compare(&slower, &base, 0.3, 0.0, false, &[])[0].failed);
+        // …and below the floor fails even when above the baseline.
+        let low_base = doc(r#"{"analytic":{"speedup":2.0}}"#);
+        let still_low = doc(r#"{"analytic":{"speedup":2.9}}"#);
+        let rows = compare(&still_low, &low_base, 0.3, 0.0, false, &[]);
+        assert!(rows[0].failed && rows[0].note.contains("floor"));
+        // A wall-time ratio: the cross-leg determinism gate skips it.
+        assert!(compare(&slower, &base, 0.0, 0.0, true, &[]).is_empty());
+    }
+
+    #[test]
+    fn ignored_substrings_downgrade_fields_to_informational() {
+        let a = doc(r#"{"counters":{"cache_hits":7,"packing_ops":3}}"#);
+        let b = doc(r#"{"counters":{"cache_hits":9,"packing_ops":3}}"#);
+        // Without the flag the differing counter fails both gates…
+        assert!(compare(&a, &b, 0.3, 0.0, false, &[])
+            .iter()
+            .any(|r| r.failed));
+        assert!(compare(&a, &b, 0.0, 0.0, true, &[])
+            .iter()
+            .any(|r| r.failed));
+        // …with it the field is skipped entirely, while others stay gated.
+        let ignores = vec!["cache_".to_string()];
+        assert!(compare(&a, &b, 0.3, 0.0, false, &ignores)
+            .iter()
+            .all(|r| !r.failed));
+        assert!(compare(&a, &b, 0.0, 0.0, true, &ignores)
+            .iter()
+            .all(|r| !r.failed));
+        let c = doc(r#"{"counters":{"cache_hits":9,"packing_ops":4}}"#);
+        assert!(compare(&a, &c, 0.0, 0.0, true, &ignores)
+            .iter()
+            .any(|r| r.path == "counters.packing_ops" && r.failed));
+        // The floored headline is also ignorable (the differential leg
+        // runs with the fast path disabled, where no speedup exists).
+        let no_speedup = doc(r#"{"analytic":{"speedup":1.0}}"#);
+        let ignores = vec!["analytic".to_string()];
+        assert!(compare(&no_speedup, &no_speedup, 0.3, 0.0, false, &ignores)
+            .iter()
+            .all(|r| !r.failed));
     }
 
     #[test]
@@ -521,21 +659,21 @@ mod tests {
         // Below the ceiling passes even when far above the baseline…
         let base = doc(r#"{"obs":{"overhead_pct":0.4}}"#);
         let grown = doc(r#"{"obs":{"overhead_pct":4.9}}"#);
-        assert!(!compare(&grown, &base, 0.3, 0.0, false)[0].failed);
+        assert!(!compare(&grown, &base, 0.3, 0.0, false, &[])[0].failed);
         // …and above the ceiling fails even when below the baseline.
         let high_base = doc(r#"{"obs":{"overhead_pct":9.0}}"#);
         let still_high = doc(r#"{"obs":{"overhead_pct":5.1}}"#);
-        let rows = compare(&still_high, &high_base, 0.3, 0.0, false);
+        let rows = compare(&still_high, &high_base, 0.3, 0.0, false, &[]);
         assert!(rows[0].failed && rows[0].note.contains("ceiling"));
         // A wall-time ratio: the cross-leg determinism gate skips it.
-        assert!(compare(&grown, &base, 0.0, 0.0, true).is_empty());
+        assert!(compare(&grown, &base, 0.0, 0.0, true, &[]).is_empty());
     }
 
     #[test]
     fn exact_fields_must_match() {
         let a = doc(r#"{"x":{"iterations":5},"wall_ms":100}"#);
         let b = doc(r#"{"x":{"iterations":6},"wall_ms":100}"#);
-        let rows = compare(&a, &b, 0.3, 0.0, false);
+        let rows = compare(&a, &b, 0.3, 0.0, false, &[]);
         assert!(rows.iter().any(|r| r.path == "x.iterations" && r.failed));
     }
 
@@ -545,9 +683,9 @@ mod tests {
         let slower_ok = doc(r#"{"wall_ms":125}"#);
         let slower_bad = doc(r#"{"wall_ms":131}"#);
         let faster = doc(r#"{"wall_ms":10}"#);
-        assert!(!compare(&slower_ok, &base, 0.3, 0.0, false)[0].failed);
-        assert!(compare(&slower_bad, &base, 0.3, 0.0, false)[0].failed);
-        assert!(!compare(&faster, &base, 0.3, 0.0, false)[0].failed);
+        assert!(!compare(&slower_ok, &base, 0.3, 0.0, false, &[])[0].failed);
+        assert!(compare(&slower_bad, &base, 0.3, 0.0, false, &[])[0].failed);
+        assert!(!compare(&faster, &base, 0.3, 0.0, false, &[])[0].failed);
     }
 
     #[test]
@@ -555,12 +693,12 @@ mod tests {
         // 0.1 ms → 0.3 ms is 3x but far below the absolute slack.
         let base = doc(r#"{"wall_ms":0.1}"#);
         let noisy = doc(r#"{"wall_ms":0.3}"#);
-        assert!(compare(&noisy, &base, 0.3, 0.0, false)[0].failed);
-        assert!(!compare(&noisy, &base, 0.3, 25.0, false)[0].failed);
+        assert!(compare(&noisy, &base, 0.3, 0.0, false, &[])[0].failed);
+        assert!(!compare(&noisy, &base, 0.3, 25.0, false, &[])[0].failed);
         // The slack does not hide a real multi-second regression.
         let big = doc(r#"{"wall_ms":1000}"#);
         let regressed = doc(r#"{"wall_ms":1500}"#);
-        assert!(compare(&regressed, &big, 0.3, 25.0, false)[0].failed);
+        assert!(compare(&regressed, &big, 0.3, 25.0, false, &[])[0].failed);
     }
 
     #[test]
@@ -568,19 +706,21 @@ mod tests {
         // Floor at tolerance 0.3 is 2.6 / 1.3² ≈ 1.538: a ratio of two
         // timings each within tolerance may drift by the compound.
         let base = doc(r#"{"speedup":2.6}"#);
-        assert!(!compare(&doc(r#"{"speedup":2.1}"#), &base, 0.3, 0.0, false)[0].failed);
-        assert!(!compare(&doc(r#"{"speedup":1.6}"#), &base, 0.3, 0.0, false)[0].failed);
-        assert!(compare(&doc(r#"{"speedup":1.5}"#), &base, 0.3, 0.0, false)[0].failed);
-        assert!(!compare(&doc(r#"{"speedup":9.0}"#), &base, 0.3, 0.0, false)[0].failed);
+        assert!(!compare(&doc(r#"{"speedup":2.1}"#), &base, 0.3, 0.0, false, &[])[0].failed);
+        assert!(!compare(&doc(r#"{"speedup":1.6}"#), &base, 0.3, 0.0, false, &[])[0].failed);
+        assert!(compare(&doc(r#"{"speedup":1.5}"#), &base, 0.3, 0.0, false, &[])[0].failed);
+        assert!(!compare(&doc(r#"{"speedup":9.0}"#), &base, 0.3, 0.0, false, &[])[0].failed);
     }
 
     #[test]
     fn cross_mode_ignores_wall_time_but_not_counters() {
         let a = doc(r#"{"wall_ms":100,"speedup":2.0,"threads":1,"counters":{"cache_hits":7}}"#);
         let b = doc(r#"{"wall_ms":900,"speedup":0.5,"threads":4,"counters":{"cache_hits":7}}"#);
-        assert!(compare(&a, &b, 0.0, 0.0, true).iter().all(|r| !r.failed));
+        assert!(compare(&a, &b, 0.0, 0.0, true, &[])
+            .iter()
+            .all(|r| !r.failed));
         let c = doc(r#"{"wall_ms":900,"speedup":0.5,"threads":4,"counters":{"cache_hits":8}}"#);
-        let rows = compare(&a, &c, 0.0, 0.0, true);
+        let rows = compare(&a, &c, 0.0, 0.0, true, &[]);
         assert!(rows
             .iter()
             .any(|r| r.path == "counters.cache_hits" && r.failed));
@@ -590,7 +730,7 @@ mod tests {
     fn missing_fields_fail_loudly() {
         let a = doc(r#"{"counters":{"cache_hits":7}}"#);
         let b = doc(r#"{"counters":{}}"#);
-        let rows = compare(&a, &b, 0.3, 0.0, false);
+        let rows = compare(&a, &b, 0.3, 0.0, false, &[]);
         assert!(rows.iter().any(|r| r.failed && r.note.contains("missing")));
     }
 
@@ -606,11 +746,18 @@ mod tests {
                            "recoveries":8,"shed":16,"stale_served":8,
                            "checkpoints":96,"compacted_bytes":50240,
                            "injected_faults":0},
+                "analytic":{"scenarios":41,"lifts":1052,"fallbacks":0,
+                            "hit_rate_pct":100.0,"wall_ms_generic":23.5,
+                            "wall_ms_analytic":6.3,"speedup":3.73,
+                            "fig2":{"scenarios":38,"wall_ms_generic":2.5,
+                                    "wall_ms_analytic":2.3,"speedup":1.09}},
                 "obs":{"overhead_pct":1.25,"spans":420,"dump_bytes":8192}}"#,
         )
         .unwrap();
         let text = report(&doc);
         assert!(text.contains("38 scenarios"));
+        assert!(text.contains("3.73x on the replicated grid"));
+        assert!(text.contains("1052 lift(s), 0 fallback(s), 100.0% hit rate"));
         assert!(text.contains("2.30x warm speedup"));
         assert!(text.contains("mean cone 12.5%"));
         assert!(text.contains("96 sessions"));

@@ -28,7 +28,7 @@
 use std::path::Path;
 use std::time::Instant;
 
-use hem_bench::incremental::{run_chain_cold, run_chain_warm, scenario_chain};
+use hem_bench::incremental::{replicated_spec, run_chain_cold, run_chain_warm, scenario_chain};
 use hem_bench::obs::{run_obs_overhead, ObsReport};
 use hem_bench::paper_system::{simulation, spec, PaperParams};
 use hem_bench::parallel::{env_threads, parallel_map};
@@ -233,6 +233,151 @@ fn run_incremental() -> Incremental {
     }
 }
 
+/// The analytic fast-path probe, run with the closed-form curve layer
+/// pinned off and then pinned on (immune to `HEM_ANALYTIC`, so the
+/// deterministic fields of this section are identical on every CI
+/// leg). Response times are asserted identical between the passes; the
+/// lift / fallback tallies come from the enabled passes. Two profiles
+/// (see `docs/CURVES.md`):
+///
+/// * the **replicated grid** — 2/4/8 glued copies of the Fig. 2 system,
+///   where query work on composed hierarchies (bus OR-joins, unpacked
+///   signal chains) dominates. This is the headline `speedup`, gated by
+///   `bench_compare` against an absolute ≥3x floor.
+/// * the **Fig. 2 scenario grid** — 38 parameter variants of the bare
+///   3-task paper system, reported under `fig2`. Its leaf models answer
+///   `δ±` in closed form even on the generic path, so the whole-run
+///   ratio is Amdahl-capped near 1x and only tracked informationally.
+struct Analytic {
+    scenarios: usize,
+    lifts: u64,
+    fallbacks: u64,
+    wall_ms_generic: f64,
+    wall_ms_analytic: f64,
+    fig2_scenarios: usize,
+    fig2_wall_ms_generic: f64,
+    fig2_wall_ms_analytic: f64,
+}
+
+impl Analytic {
+    fn hit_rate_pct(&self) -> f64 {
+        let total = self.lifts + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.lifts as f64 / total as f64
+        }
+    }
+
+    fn speedup(&self) -> f64 {
+        ratio(self.wall_ms_generic, self.wall_ms_analytic)
+    }
+
+    fn fig2_speedup(&self) -> f64 {
+        ratio(self.fig2_wall_ms_generic, self.fig2_wall_ms_analytic)
+    }
+}
+
+fn ratio(generic_ms: f64, analytic_ms: f64) -> f64 {
+    if analytic_ms > 0.0 {
+        generic_ms / analytic_ms
+    } else {
+        1.0
+    }
+}
+
+/// Analyses every spec with the analytic layer pinned to `analytic`,
+/// asserting convergence. Returns the wall time, the response times of
+/// every run (for the off-vs-on equality assertion), and the lift /
+/// fallback totals.
+type ResponseTimes = std::collections::BTreeMap<String, hem_analysis::ResponseTime>;
+
+fn analytic_pass(
+    specs: &[hem_system::SystemSpec],
+    analytic: bool,
+) -> (f64, Vec<ResponseTimes>, u64, u64) {
+    let (recorder, handle) = MemoryRecorder::handle();
+    let config = SystemConfig::new(AnalysisMode::Hierarchical)
+        .with_threads(1)
+        .with_recorder(handle)
+        .with_analytic(Some(analytic));
+    let started = Instant::now();
+    let mut results = Vec::new();
+    for system in specs {
+        let robust = analyze_robust(system, &config).unwrap_or_else(|e| {
+            eprintln!("analytic probe failed: {e}");
+            std::process::exit(1);
+        });
+        results.push(robust.results.response_times());
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let snapshot = recorder.snapshot();
+    (
+        wall_ms,
+        results,
+        snapshot.counter(Counter::AnalyticLifts),
+        snapshot.counter(Counter::AnalyticFallbacks),
+    )
+}
+
+/// Both passes over `specs`, keeping the *faster of two rounds* per leg
+/// (both legs run back-to-back in-process, so one timer-noise spike
+/// cannot fabricate or destroy a speedup) and asserting the off/on
+/// response times bit-identical.
+fn analytic_profile(name: &str, specs: &[hem_system::SystemSpec]) -> (f64, f64, u64, u64) {
+    let mut generic_ms = f64::INFINITY;
+    let mut analytic_ms = f64::INFINITY;
+    let (mut lifts, mut fallbacks) = (0, 0);
+    for _ in 0..2 {
+        let (g_ms, generic, _, _) = analytic_pass(specs, false);
+        let (a_ms, fast, l, f) = analytic_pass(specs, true);
+        if generic != fast {
+            eprintln!("internal error: analytic fast path diverged from generic results ({name})");
+            std::process::exit(1);
+        }
+        generic_ms = generic_ms.min(g_ms);
+        analytic_ms = analytic_ms.min(a_ms);
+        (lifts, fallbacks) = (l, f);
+    }
+    (generic_ms, analytic_ms, lifts, fallbacks)
+}
+
+fn run_analytic() -> Analytic {
+    // Headline profile: the replicated grid (the incremental bench's
+    // scale ladder — N glued copies of the Fig. 2 system).
+    let grid: Vec<hem_system::SystemSpec> = [4usize, 8, 12]
+        .iter()
+        .map(|&replicas| replicated_spec(replicas, &PaperParams::default()))
+        .collect();
+    let (wall_ms_generic, wall_ms_analytic, grid_lifts, grid_fallbacks) =
+        analytic_profile("replicated grid", &grid);
+
+    // Informational profile: the bare Fig. 2 parameter sweep.
+    let mut fig2 = Vec::new();
+    for cpu_scale in [1, 10] {
+        for s3_period in (300..=1200).step_by(50) {
+            fig2.push(spec(&PaperParams {
+                s3_period,
+                cpu_scale,
+                ..PaperParams::default()
+            }));
+        }
+    }
+    let (fig2_wall_ms_generic, fig2_wall_ms_analytic, fig2_lifts, fig2_fallbacks) =
+        analytic_profile("Fig. 2 grid", &fig2);
+
+    Analytic {
+        scenarios: grid.len() + fig2.len(),
+        lifts: grid_lifts + fig2_lifts,
+        fallbacks: grid_fallbacks + fig2_fallbacks,
+        wall_ms_generic,
+        wall_ms_analytic,
+        fig2_scenarios: fig2.len(),
+        fig2_wall_ms_generic,
+        fig2_wall_ms_analytic,
+    }
+}
+
 /// The CI-scale serving benchmark (see [`hem_bench::serving`]): a
 /// fleet of event-sourced sessions through mutation rounds, injected
 /// kills with torn-WAL recovery, deterministic shedding, and
@@ -270,6 +415,7 @@ fn main() {
     ];
     let sweep = run_sweep();
     let incremental = run_incremental();
+    let analytic = run_analytic();
     let serving = run_serving_phase();
     let obs = run_obs_phase();
 
@@ -307,6 +453,20 @@ fn main() {
         incremental.mean_cone_fraction,
         incremental.replayed_results,
         incremental.full_fallbacks
+    ));
+    out.push_str(&format!(
+        ",\"analytic\":{{\"scenarios\":{},\"lifts\":{},\"fallbacks\":{},\"hit_rate_pct\":{:.3},\"wall_ms_generic\":{:.3},\"wall_ms_analytic\":{:.3},\"speedup\":{:.3},\"fig2\":{{\"scenarios\":{},\"wall_ms_generic\":{:.3},\"wall_ms_analytic\":{:.3},\"speedup\":{:.3}}}}}",
+        analytic.scenarios,
+        analytic.lifts,
+        analytic.fallbacks,
+        analytic.hit_rate_pct(),
+        analytic.wall_ms_generic,
+        analytic.wall_ms_analytic,
+        analytic.speedup(),
+        analytic.fig2_scenarios,
+        analytic.fig2_wall_ms_generic,
+        analytic.fig2_wall_ms_analytic,
+        analytic.fig2_speedup()
     ));
     out.push_str(&format!(",\"serving\":{}", serving.to_json()));
     out.push_str(&format!(",\"obs\":{}}}", obs.to_json()));
@@ -356,6 +516,19 @@ fn main() {
         100.0 * incremental.mean_cone_fraction,
         incremental.replayed_results,
         incremental.full_fallbacks
+    );
+    println!(
+        "analytic fast path: replicated grid {:.3} ms generic, {:.3} ms analytic ({:.2}x); Fig. 2 grid ({} scenarios) {:.3} ms generic, {:.3} ms analytic ({:.2}x); {} lift(s), {} fallback(s), {:.1}% hit rate",
+        analytic.wall_ms_generic,
+        analytic.wall_ms_analytic,
+        analytic.speedup(),
+        analytic.fig2_scenarios,
+        analytic.fig2_wall_ms_generic,
+        analytic.fig2_wall_ms_analytic,
+        analytic.fig2_speedup(),
+        analytic.lifts,
+        analytic.fallbacks,
+        analytic.hit_rate_pct()
     );
     println!(
         "serving: {} sessions, {} requests ({:.0} req/s), p50 {:.3} ms, p99 {:.3} ms, {} recoveries, {} shed, {} stale",

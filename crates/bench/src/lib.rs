@@ -23,4 +23,5 @@ pub mod incremental;
 pub mod obs;
 pub mod paper_system;
 pub mod parallel;
+pub mod scenarios;
 pub mod serving;

@@ -7,8 +7,18 @@ use hem_obs::{Counter, MemoryRecorder, MetricsSnapshot};
 use hem_system::{analyze_robust, AnalysisMode, SystemConfig};
 
 fn recorded_run(mode: AnalysisMode) -> (MetricsSnapshot, u64) {
+    // Pinned to the generic memoized path: this suite instruments the
+    // curve caches, which the analytic fast path legitimately bypasses
+    // (lifted models answer in O(1) and skip the cache wrapper — see
+    // docs/CURVES.md). The fast-path counters get their own test below.
+    recorded_run_with(mode, false)
+}
+
+fn recorded_run_with(mode: AnalysisMode, analytic: bool) -> (MetricsSnapshot, u64) {
     let (recorder, handle) = MemoryRecorder::handle();
-    let config = SystemConfig::new(mode).with_recorder(handle);
+    let config = SystemConfig::new(mode)
+        .with_recorder(handle)
+        .with_analytic(Some(analytic));
     let robust = analyze_robust(&spec(&PaperParams::default()), &config).expect("well-formed");
     assert!(robust.diagnostics.converged(), "paper system converges");
     (recorder.snapshot(), robust.diagnostics.iterations)
@@ -33,6 +43,30 @@ fn fig2_fixed_point_hits_the_event_model_caches() {
         assert_eq!(snap.counter(Counter::GlobalIterations), iterations);
         assert!(snap.counter(Counter::BusyWindowIterations) > 0);
         assert!(snap.counter(Counter::PackingOps) > 0);
+    }
+}
+
+#[test]
+fn fig2_fast_path_lifts_every_model() {
+    for mode in [AnalysisMode::Flat, AnalysisMode::Hierarchical] {
+        let (snap, _) = recorded_run_with(mode, true);
+        // Every Fig. 2 model family has a closed-form lift, so the fast
+        // path covers the whole system and no model touches the
+        // memoized cache wrapper.
+        assert!(
+            snap.counter(Counter::AnalyticLifts) > 0,
+            "{mode:?}: resolved models must lift"
+        );
+        assert_eq!(
+            snap.counter(Counter::AnalyticFallbacks),
+            0,
+            "{mode:?}: the paper system lifts completely"
+        );
+        assert_eq!(
+            snap.counter(Counter::CacheHits) + snap.counter(Counter::CacheMisses),
+            0,
+            "{mode:?}: lifted models bypass the curve caches"
+        );
     }
 }
 

@@ -1,7 +1,9 @@
 //! The pack constructor `Ω_pa` (paper Def. 8).
 
 use hem_event_models::ops::OrJoin;
-use hem_event_models::{EventModel, EventModelExt, ModelError, ModelRef};
+use hem_event_models::{
+    AnalyticCurve, EventModel, EventModelExt, ModelError, ModelRef, PlusCombine,
+};
 use hem_time::{Time, TimeBound};
 
 use crate::hem::{Constructor, HierarchicalEventModel, HierarchicalStreamConstructor, InnerStream};
@@ -190,6 +192,27 @@ impl EventModel for PendingInner {
             TimeBound::Infinite
         }
     }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        // Eq. (7) is a pointwise max of the frame curve and the signal
+        // curve shifted down by one full frame gap; eq. (8) makes δ⁺
+        // unconditionally infinite. Both shapes are `max_shifted` forms.
+        let frames = self.frames.analytic()?;
+        match frames.delta_plus(2) {
+            // Unbounded frame gap: only the frame spacing bounds δ⁻.
+            TimeBound::Infinite => {
+                AnalyticCurve::max_shifted(&[(&frames, Time::ZERO)], None, PlusCombine::Infinite)
+            }
+            TimeBound::Finite(gap) => {
+                let signal = self.signal.analytic()?;
+                AnalyticCurve::max_shifted(
+                    &[(&signal, -gap), (&frames, Time::ZERO)],
+                    None,
+                    PlusCombine::Infinite,
+                )
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +308,64 @@ mod tests {
         assert_eq!(pc.inputs().len(), 2);
         assert_eq!(pc.inputs()[0].role, StreamRole::Triggering);
         assert_eq!(pc.inputs()[1].role, StreamRole::Pending);
+    }
+
+    /// Asserts the analytic lift matches the generic model point-for-point
+    /// over all five characteristic functions.
+    fn assert_analytic_equiv(model: &dyn EventModel) {
+        let a = model.analytic().expect("model should lift");
+        for n in 0..=64u64 {
+            assert_eq!(a.delta_min(n), model.delta_min(n), "δ⁻({n})");
+            assert_eq!(a.delta_plus(n), model.delta_plus(n), "δ⁺({n})");
+        }
+        for t in (0..=2_000i64).step_by(37) {
+            let dt = Time::new(t);
+            assert_eq!(a.eta_plus(dt), model.eta_plus(dt), "η⁺({t})");
+            assert_eq!(a.eta_minus(dt), model.eta_minus(dt), "η⁻({t})");
+        }
+        assert_eq!(a.max_simultaneous(), model.max_simultaneous());
+    }
+
+    #[test]
+    fn pending_analytic_lift_matches_generic() {
+        // Signal slower than frames, faster than frames, and equal-rate.
+        for (sig, frame) in [(450i64, 100i64), (30, 100), (100, 100)] {
+            let p = PendingInner::new(periodic(sig), periodic(frame));
+            assert_analytic_equiv(&p);
+        }
+    }
+
+    #[test]
+    fn pending_analytic_lift_with_jittery_frames() {
+        let frames = StandardEventModel::new(Time::new(100), Time::new(250), Time::new(5))
+            .unwrap()
+            .shared();
+        let p = PendingInner::new(periodic(450), frames);
+        assert_analytic_equiv(&p);
+    }
+
+    #[test]
+    fn pending_analytic_lift_with_sporadic_frames() {
+        use hem_event_models::SporadicModel;
+        let frames = SporadicModel::new(Time::new(50)).unwrap().shared();
+        let p = PendingInner::new(periodic(450), frames);
+        assert_analytic_equiv(&p);
+    }
+
+    #[test]
+    fn pack_inner_streams_all_lift() {
+        let hem = PackConstructor::new(vec![
+            PackInput::triggering("timer", periodic(100)),
+            PackInput::triggering("b", periodic(300)),
+            PackInput::pending("s", periodic(450)),
+        ])
+        .unwrap()
+        .construct()
+        .unwrap();
+        assert_analytic_equiv(hem.outer().as_ref());
+        for inner in hem.inners() {
+            assert_analytic_equiv(inner.model.as_ref());
+        }
     }
 
     #[test]

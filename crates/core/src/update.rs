@@ -1,6 +1,6 @@
 //! The inner update function `B_Θτ,C_pa` (paper Def. 9).
 
-use hem_event_models::{EventModel, ModelError, ModelRef};
+use hem_event_models::{AnalyticCurve, EventModel, ModelError, ModelRef, PlusCombine};
 use hem_time::{Time, TimeBound};
 
 /// An inner stream adapted after the outer stream was processed by `Θ_τ`
@@ -103,6 +103,23 @@ impl EventModel for InnerUpdated {
         // the analogous guard in `OutputModel::delta_plus`).
         (self.inner.delta_plus(n) + self.shift()).max(self.delta_min(n).into())
     }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        // Def. 9 is a pointwise max of the shifted inner curve and the
+        // serialization floor (n−1)·r⁻, with the δ⁺ side floored by the
+        // resulting δ⁻ — exactly the `max_shifted` closed form.
+        let inner = self.inner.analytic()?;
+        let shift = self.shift();
+        AnalyticCurve::max_shifted(
+            &[(&inner, -shift)],
+            Some(self.r_minus),
+            PlusCombine::Max {
+                terms: &[(&inner, shift)],
+                floor: None,
+                include_min: true,
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +169,53 @@ mod tests {
         assert!(InnerUpdated::new(periodic(100), Time::new(5), Time::new(1), 1).is_err());
         assert!(InnerUpdated::new(periodic(100), Time::new(-1), Time::new(1), 1).is_err());
         assert!(InnerUpdated::new(periodic(100), Time::ZERO, Time::new(1), 0).is_err());
+    }
+
+    /// Asserts the analytic lift matches the generic model point-for-point
+    /// over all five characteristic functions.
+    fn assert_analytic_equiv(model: &dyn EventModel) {
+        let a = model.analytic().expect("model should lift");
+        for n in 0..=64u64 {
+            assert_eq!(a.delta_min(n), model.delta_min(n), "δ⁻({n})");
+            assert_eq!(a.delta_plus(n), model.delta_plus(n), "δ⁺({n})");
+        }
+        for t in (0..=2_000i64).step_by(37) {
+            let dt = Time::new(t);
+            assert_eq!(a.eta_plus(dt), model.eta_plus(dt), "η⁺({t})");
+            assert_eq!(a.eta_minus(dt), model.eta_minus(dt), "η⁻({t})");
+        }
+        assert_eq!(a.max_simultaneous(), model.max_simultaneous());
+    }
+
+    #[test]
+    fn analytic_lift_matches_generic() {
+        // Jitter-dominated, floor-dominated, and mixed regimes.
+        for (p, rm, rp, k) in [
+            (250i64, 8i64, 40i64, 1u64),
+            (250, 8, 40, 3),
+            (10, 15, 60, 1),
+            (100, 20, 20, 1),
+            (100, 0, 350, 2),
+        ] {
+            let u = InnerUpdated::new(periodic(p), Time::new(rm), Time::new(rp), k).unwrap();
+            assert_analytic_equiv(&u);
+        }
+    }
+
+    #[test]
+    fn analytic_lift_of_sporadic_inner() {
+        let sp = SporadicModel::new(Time::new(100)).unwrap().shared();
+        let u = InnerUpdated::new(sp, Time::new(5), Time::new(20), 2).unwrap();
+        assert_analytic_equiv(&u);
+    }
+
+    #[test]
+    fn analytic_lift_with_jittery_inner() {
+        let inner = StandardEventModel::new(Time::new(200), Time::new(500), Time::new(15))
+            .unwrap()
+            .shared();
+        let u = InnerUpdated::new(inner, Time::new(10), Time::new(70), 2).unwrap();
+        assert_analytic_equiv(&u);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use hem_time::{Time, TimeBound};
 
-use crate::{EventModel, ModelError};
+use crate::{AnalyticCurve, EventModel, ModelError};
 
 /// A deterministic periodic burst pattern: every `period`, a burst of
 /// `burst` events spaced `inner_distance` apart.
@@ -126,6 +126,10 @@ impl EventModel for PeriodicBurstModel {
         } else {
             1
         }
+    }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        AnalyticCurve::periodic_burst(self)
     }
 }
 

@@ -234,6 +234,15 @@ impl EventModel for CachedModel {
     fn eta_minus(&self, dt: Time) -> u64 {
         memoized!(self, eta_minus, dt, dt.ticks() as u64)
     }
+
+    // An analytic lift sees through the cache: the wrapped model's curve
+    // (if any) IS the cached model's curve, since memoization never
+    // changes values. Exposing it lets the engine swap the inner model
+    // for its lift while keeping this cache — and its key/counter
+    // traffic — exactly in place.
+    fn analytic(&self) -> Option<crate::AnalyticCurve> {
+        self.inner.analytic()
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use hem_time::{Time, TimeBound};
 
-use crate::{EventModel, ModelError};
+use crate::{AnalyticCurve, EventModel, ModelError};
 
 /// An event model given by explicit δ-curve prefixes plus a periodic
 /// extension.
@@ -174,6 +174,10 @@ impl EventModel for CurveModel {
             n,
             TimeBound::saturating_add,
         )
+    }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        AnalyticCurve::from_curve_model(self)
     }
 }
 

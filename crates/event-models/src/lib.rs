@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod approx;
 mod burst;
 mod cache;
@@ -66,6 +67,7 @@ mod trace;
 use std::fmt::Debug;
 use std::sync::Arc;
 
+pub use analytic::{AnalyticCurve, PlusCombine};
 pub use burst::PeriodicBurstModel;
 pub use cache::CachedModel;
 pub use curve::{CurveBuilder, CurveModel};
@@ -133,6 +135,17 @@ pub trait EventModel: Debug + Send + Sync {
     fn max_simultaneous(&self) -> u64 {
         convert::max_simultaneous_from_delta_min(&|n| self.delta_min(n))
     }
+
+    /// Closed-form lift of this model, if its shape admits one.
+    ///
+    /// Returns an [`AnalyticCurve`] that is bit-for-bit equal to this
+    /// model on all four characteristic functions, or `None` when the
+    /// model's shape has no (cheap) closed form — callers must then use
+    /// the generic lazy path. See the [`analytic`] module docs for the
+    /// fallback taxonomy.
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        None
+    }
 }
 
 impl EventModel for Arc<dyn EventModel> {
@@ -150,6 +163,9 @@ impl EventModel for Arc<dyn EventModel> {
     }
     fn max_simultaneous(&self) -> u64 {
         self.as_ref().max_simultaneous()
+    }
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        self.as_ref().analytic()
     }
 }
 

@@ -2,7 +2,7 @@
 
 use hem_time::{Time, TimeBound};
 
-use crate::{EventModel, ModelError, ModelRef};
+use crate::{AnalyticCurve, EventModel, ModelError, ModelRef};
 
 /// The AND-combination of several event streams.
 ///
@@ -73,6 +73,15 @@ impl EventModel for AndJoin {
             .map(|m| m.delta_plus(n))
             .max()
             .expect("non-empty inputs")
+    }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        let children: Vec<AnalyticCurve> = self
+            .inputs
+            .iter()
+            .map(|m| m.analytic())
+            .collect::<Option<_>>()?;
+        AnalyticCurve::and_join(&children)
     }
 }
 

@@ -106,6 +106,12 @@ impl EventModel for AdditiveClosure {
         }
         memo[n as usize]
     }
+
+    // The closure's fixed point has no general closed form (its
+    // periodicity onset depends on the whole convolution structure), so
+    // it deliberately stays on the generic memoized path: `analytic()`
+    // keeps the default `None`. Closures only sit on the hot path when
+    // `tighten_inner` is enabled, which is off by default.
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use hem_time::{Time, TimeBound};
 
-use crate::{convert, EventModel, ModelError, ModelRef};
+use crate::{convert, AnalyticCurve, EventModel, ModelError, ModelRef};
 
 /// The OR-combination of several event streams.
 ///
@@ -94,6 +94,15 @@ impl EventModel for OrJoin {
 
     fn eta_minus(&self, dt: Time) -> u64 {
         self.inputs.iter().map(|m| m.eta_minus(dt)).sum()
+    }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        let children: Vec<AnalyticCurve> = self
+            .inputs
+            .iter()
+            .map(|m| m.analytic())
+            .collect::<Option<_>>()?;
+        AnalyticCurve::or_join(&children)
     }
 }
 

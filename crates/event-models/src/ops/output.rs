@@ -4,7 +4,7 @@ use std::sync::Mutex;
 
 use hem_time::{Time, TimeBound};
 
-use crate::{EventModel, ModelError, ModelRef};
+use crate::{AnalyticCurve, EventModel, ModelError, ModelRef};
 
 /// The output event stream of a task with response times `[r⁻, r⁺]`.
 ///
@@ -117,6 +117,10 @@ impl EventModel for OutputModel {
         // model internally consistent even for response intervals that
         // the input rate cannot actually sustain.
         (self.input.delta_plus(n) + self.response_jitter()).max(self.delta_min(n).into())
+    }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        self.input.analytic()?.output(self.r_minus, self.r_plus)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use hem_time::{Time, TimeBound};
 
-use crate::{EventModel, ModelError, ModelRef};
+use crate::{AnalyticCurve, EventModel, ModelError, ModelRef};
 
 /// A greedy shaper that enforces a minimum distance `d` between events.
 ///
@@ -74,6 +74,10 @@ impl EventModel for DminShaper {
         self.input
             .delta_plus(n)
             .max(TimeBound::Finite(self.dmin * (n as i64 - 1)))
+    }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        self.input.analytic()?.shaped(self.dmin)
     }
 }
 

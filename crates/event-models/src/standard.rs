@@ -2,7 +2,7 @@
 
 use hem_time::{div_ceil, div_floor, Time, TimeBound};
 
-use crate::{EventModel, ModelError};
+use crate::{AnalyticCurve, EventModel, ModelError};
 
 /// The classic *standard event model* (SEM) of SymTA/S-style CPA.
 ///
@@ -201,6 +201,10 @@ impl EventModel for StandardEventModel {
             div_floor(self.jitter.ticks(), self.period.ticks()) as u64 + 1
         }
     }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        AnalyticCurve::periodic_jitter(self.period, self.jitter, self.dmin)
+    }
 }
 
 /// A sporadic stream: a minimum inter-arrival distance and no arrival
@@ -277,6 +281,10 @@ impl EventModel for SporadicModel {
 
     fn max_simultaneous(&self) -> u64 {
         1
+    }
+
+    fn analytic(&self) -> Option<AnalyticCurve> {
+        AnalyticCurve::sporadic(self.dmin)
     }
 }
 

@@ -120,6 +120,10 @@ impl EventModel for TraceModel {
     fn delta_plus(&self, n: u64) -> TimeBound {
         self.curve.delta_plus(n)
     }
+
+    fn analytic(&self) -> Option<crate::AnalyticCurve> {
+        self.curve.analytic()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,284 @@
+//! Differential property suite for the analytic curve layer.
+//!
+//! Every model family with a closed-form lift promises *exactness*: the
+//! [`AnalyticCurve`] returned by [`EventModel::analytic`] answers all
+//! five characteristic functions — `δ⁻`, `δ⁺`, `η⁺`, `η⁻`, and
+//! `max_simultaneous` — with exactly the values of the generic
+//! (memoized / recursive) model it was lifted from. This suite drives
+//! random parameters through each family, random OR-trees, and random
+//! propagated-output chains and compares point-for-point.
+
+use proptest::prelude::*;
+
+use hem_event_models::ops::{AndJoin, DminShaper, OrJoin, OutputModel};
+use hem_event_models::{
+    AnalyticCurve, EventModel, EventModelExt, ModelRef, PeriodicBurstModel, SporadicModel,
+    StandardEventModel,
+};
+use hem_time::Time;
+
+/// Compares the lift against the generic model on all five functions.
+///
+/// A `None` lift is a legal fallback (caps overrun, LCM blowup — see
+/// the taxonomy in `docs/CURVES.md`) and trivially satisfies the
+/// property: the engine then stays on the generic path. Whenever a
+/// curve *is* produced it must be exact. `δ±` are checked on a dense
+/// low range plus a sparse high range (to cross the periodic-extension
+/// onset several times over); `η±` on a grid of window widths derived
+/// from the model's own `δ` values (the interesting breakpoints) plus
+/// fixed offsets around them.
+fn assert_equiv(model: &dyn EventModel, context: &str) {
+    let Some(analytic) = model.analytic() else {
+        return;
+    };
+    for n in 0..=96u64 {
+        assert_eq!(
+            analytic.delta_min(n),
+            model.delta_min(n),
+            "{context}: δ⁻({n})"
+        );
+        assert_eq!(
+            analytic.delta_plus(n),
+            model.delta_plus(n),
+            "{context}: δ⁺({n})"
+        );
+    }
+    for n in [128u64, 257, 513, 1025] {
+        assert_eq!(
+            analytic.delta_min(n),
+            model.delta_min(n),
+            "{context}: δ⁻({n})"
+        );
+        assert_eq!(
+            analytic.delta_plus(n),
+            model.delta_plus(n),
+            "{context}: δ⁺({n})"
+        );
+    }
+    let mut windows: Vec<Time> = vec![Time::ZERO, Time::ONE];
+    for n in [2u64, 3, 5, 9, 17, 33] {
+        let d = model.delta_min(n);
+        windows.extend([d - Time::ONE, d, d + Time::ONE]);
+        if let Some(p) = model.delta_plus(n).as_finite() {
+            windows.extend([p - Time::ONE, p, p + Time::ONE]);
+        }
+    }
+    for dt in windows {
+        assert_eq!(
+            analytic.eta_plus(dt),
+            model.eta_plus(dt),
+            "{context}: η⁺({dt})"
+        );
+        assert_eq!(
+            analytic.eta_minus(dt),
+            model.eta_minus(dt),
+            "{context}: η⁻({dt})"
+        );
+    }
+    assert_eq!(
+        analytic.max_simultaneous(),
+        model.max_simultaneous(),
+        "{context}: max_simultaneous"
+    );
+}
+
+/// A liftable leaf model from coarse random parameters.
+fn leaf(kind: u8, period: i64, jitter: i64, dmin: i64, burst: u64) -> ModelRef {
+    match kind % 4 {
+        0 => StandardEventModel::new(
+            Time::new(period),
+            Time::new(jitter),
+            Time::new(dmin.min(period)),
+        )
+        .expect("valid SEM")
+        .shared(),
+        1 => SporadicModel::new(Time::new(dmin.max(1)))
+            .expect("valid")
+            .shared(),
+        2 => {
+            let b = 2 + burst % 6;
+            // (b − 1) · d < P keeps the burst model valid.
+            let d = (period / b as i64).max(1) - 1;
+            if d < 1 {
+                StandardEventModel::periodic(Time::new(period))
+                    .expect("valid")
+                    .shared()
+            } else {
+                PeriodicBurstModel::new(Time::new(period), b, Time::new(d))
+                    .expect("valid burst")
+                    .shared()
+            }
+        }
+        _ => StandardEventModel::periodic(Time::new(period))
+            .expect("valid")
+            .shared(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn standard_event_models_lift_exactly(
+        period in 1i64..5_000,
+        jitter in 0i64..20_000,
+        dmin in 0i64..5_000,
+    ) {
+        let m = StandardEventModel::new(
+            Time::new(period),
+            Time::new(jitter),
+            Time::new(dmin.min(period)),
+        ).expect("valid");
+        assert_equiv(&m, &format!("SEM(P={period}, J={jitter}, d={dmin})"));
+    }
+
+    #[test]
+    fn burst_models_lift_exactly(
+        period in 10i64..10_000,
+        burst in 2u64..10,
+        gap in 1i64..14,
+    ) {
+        // Keep (b − 1) · d < P.
+        prop_assume!((burst as i64 - 1) * gap < period);
+        let m = PeriodicBurstModel::new(Time::new(period), burst, Time::new(gap))
+            .expect("valid");
+        assert_equiv(&m, &format!("Burst(P={period}, b={burst}, d={gap})"));
+    }
+
+    #[test]
+    fn sporadic_models_lift_exactly(dmin in 1i64..10_000) {
+        let m = SporadicModel::new(Time::new(dmin)).expect("valid");
+        assert_equiv(&m, &format!("Sporadic(d={dmin})"));
+    }
+
+    #[test]
+    fn or_trees_lift_exactly(
+        kinds in prop::collection::vec(0u8..4, 1..4),
+        periods in prop::collection::vec(1i64..3_000, 4),
+        jitters in prop::collection::vec(0i64..6_000, 4),
+        nest in any::<bool>(),
+    ) {
+        let leaves: Vec<ModelRef> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| leaf(k, periods[i], jitters[i], 1 + periods[i] / 2, k as u64))
+            .collect();
+        let or: ModelRef = OrJoin::new(leaves.clone()).expect("non-empty").shared();
+        let model: ModelRef = if nest && leaves.len() > 1 {
+            // One extra OR level: OR(OR(leaves), leaf0).
+            OrJoin::new(vec![or, leaves[0].clone()]).expect("non-empty").shared()
+        } else {
+            or
+        };
+        assert_equiv(model.as_ref(), &format!("OR-tree({kinds:?})"));
+    }
+
+    #[test]
+    fn and_joins_lift_exactly(
+        kinds in prop::collection::vec(0u8..4, 2..4),
+        periods in prop::collection::vec(1i64..3_000, 4),
+        jitters in prop::collection::vec(0i64..6_000, 4),
+    ) {
+        let leaves: Vec<ModelRef> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| leaf(k, periods[i], jitters[i], 1 + periods[i] / 2, k as u64))
+            .collect();
+        let m = AndJoin::new(leaves).expect("non-empty");
+        assert_equiv(&m, &format!("AND({kinds:?})"));
+    }
+
+    #[test]
+    fn propagated_outputs_lift_exactly(
+        kind in 0u8..4,
+        period in 20i64..4_000,
+        jitter in 0i64..8_000,
+        r_minus in 0i64..500,
+        r_jitter in 0i64..2_000,
+        chain in 1usize..=3,
+    ) {
+        // A task chain: each stage's output feeds the next stage.
+        let mut model = leaf(kind, period, jitter, 1 + period / 2, kind as u64);
+        for stage in 0..chain {
+            let rm = Time::new(r_minus + stage as i64 * 13);
+            let rp = rm + Time::new(r_jitter / (stage as i64 + 1));
+            model = OutputModel::new(model, rm, rp).expect("valid response interval").shared();
+        }
+        assert_equiv(model.as_ref(), &format!("Output^{chain}(kind={kind})"));
+    }
+
+    #[test]
+    fn shaped_streams_lift_exactly(
+        kind in 0u8..4,
+        period in 10i64..3_000,
+        jitter in 0i64..9_000,
+        dmin in 0i64..800,
+    ) {
+        let m = DminShaper::new(
+            leaf(kind, period, jitter, 1 + period / 3, kind as u64),
+            Time::new(dmin),
+        ).expect("valid");
+        assert_equiv(&m, &format!("Shaper(kind={kind}, d={dmin})"));
+    }
+
+    #[test]
+    fn mixed_pipelines_lift_exactly(
+        periods in prop::collection::vec(50i64..2_000, 2),
+        jitter in 0i64..4_000,
+        r_minus in 1i64..200,
+        shape in 0i64..300,
+    ) {
+        // OR of two sources → task output → shaper: the composite shape
+        // the engine actually builds for gateway topologies.
+        let a = StandardEventModel::periodic_with_jitter(
+            Time::new(periods[0]), Time::new(jitter),
+        ).expect("valid").shared();
+        let b = SporadicModel::new(Time::new(periods[1])).expect("valid").shared();
+        let or = OrJoin::new(vec![a, b]).expect("non-empty").shared();
+        let out = OutputModel::new(or, Time::new(r_minus), Time::new(r_minus * 2))
+            .expect("valid")
+            .shared();
+        let m = DminShaper::new(out, Time::new(shape)).expect("valid");
+        assert_equiv(&m, "OR→Θ→shaper pipeline");
+    }
+}
+
+/// Guard against the fast path silently never engaging: the shapes the
+/// paper's systems are built from must produce a lift, not a fallback.
+#[test]
+fn common_shapes_do_lift() {
+    let sem = StandardEventModel::periodic_with_jitter(Time::new(2_500), Time::new(400))
+        .expect("valid")
+        .shared();
+    let sporadic = SporadicModel::new(Time::new(900)).expect("valid").shared();
+    let burst = PeriodicBurstModel::new(Time::new(4_000), 3, Time::new(200))
+        .expect("valid")
+        .shared();
+    for m in [&sem, &sporadic, &burst] {
+        assert!(m.analytic().is_some(), "leaf must lift");
+    }
+    let or: ModelRef = OrJoin::new(vec![sem.clone(), sporadic, burst])
+        .expect("non-empty")
+        .shared();
+    assert!(or.analytic().is_some(), "OR of paper shapes must lift");
+    let out = OutputModel::new(or, Time::new(40), Time::new(140))
+        .expect("valid")
+        .shared();
+    assert!(out.analytic().is_some(), "propagated output must lift");
+    let shaped = DminShaper::new(out, Time::new(25)).expect("valid");
+    assert!(shaped.analytic().is_some(), "shaped stream must lift");
+}
+
+/// The lift of a lift is the identity — `AnalyticCurve::analytic`
+/// returns an equal curve, so repeated engine iterations cannot drift.
+#[test]
+fn analytic_lift_is_idempotent() {
+    let m =
+        StandardEventModel::new(Time::new(700), Time::new(1_900), Time::new(45)).expect("valid");
+    let first: AnalyticCurve = m.analytic().expect("lifts");
+    let second: AnalyticCurve = first.analytic().expect("re-lifts");
+    for n in 0..=200u64 {
+        assert_eq!(first.delta_min(n), second.delta_min(n));
+        assert_eq!(first.delta_plus(n), second.delta_plus(n));
+    }
+}

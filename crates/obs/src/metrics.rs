@@ -76,11 +76,18 @@ pub enum Counter {
     /// were greeted with a shed notice still count — they were
     /// accepted before being turned away).
     ConnectionsAccepted,
+    /// Resolved event models the engine replaced with a closed-form
+    /// analytic curve (one per model per sequential resolution; see
+    /// `docs/CURVES.md`).
+    AnalyticLifts,
+    /// Resolved event models with no exact analytic lift that stayed on
+    /// the generic memoized path while the fast path was enabled.
+    AnalyticFallbacks,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 22] = [
         Counter::GlobalIterations,
         Counter::BusyWindowIterations,
         Counter::CurveEvaluations,
@@ -101,6 +108,8 @@ impl Counter {
         Counter::CompactedBytes,
         Counter::InjectedFaults,
         Counter::ConnectionsAccepted,
+        Counter::AnalyticLifts,
+        Counter::AnalyticFallbacks,
     ];
 
     /// The stable snake_case export name.
@@ -127,6 +136,8 @@ impl Counter {
             Counter::CompactedBytes => "compacted_bytes",
             Counter::InjectedFaults => "injected_faults",
             Counter::ConnectionsAccepted => "connections_accepted",
+            Counter::AnalyticLifts => "analytic_lifts",
+            Counter::AnalyticFallbacks => "analytic_fallbacks",
         }
     }
 

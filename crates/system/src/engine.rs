@@ -930,6 +930,9 @@ struct Resolver<'a> {
     /// The snapshot's keyed curve caches for this iteration, forked
     /// into clean entities' caches so memoized curve points carry over.
     warm_caches: Option<&'a BTreeMap<String, Arc<CachedModel>>>,
+    /// Whether resolved models are swapped for closed-form analytic
+    /// curves (resolved once per iteration from the config).
+    analytic: bool,
 }
 
 impl<'a> Resolver<'a> {
@@ -955,6 +958,33 @@ impl<'a> Resolver<'a> {
             caches: Vec::new(),
             warm_clean,
             warm_caches,
+            analytic: config.analytic_enabled(),
+        }
+    }
+
+    /// Swaps `model` for its closed-form analytic curve when an exact
+    /// lift exists (see `docs/CURVES.md`). Results are bit-for-bit
+    /// identical either way — the lift only changes how queries are
+    /// answered. Runs during sequential resolution, so the lift /
+    /// fallback tallies are deterministic at every thread count. The
+    /// returned flag says whether the swap happened, so call sites can
+    /// skip the memoizing cache wrapper: a curve already answers every
+    /// query with an O(1) head lookup, and a hash-and-lock layer on top
+    /// of that only costs time.
+    fn analytic_lift(&self, model: ModelRef) -> (ModelRef, bool) {
+        if !self.analytic {
+            return (model, false);
+        }
+        let recorder = &self.config.local.recorder;
+        match model.analytic() {
+            Some(curve) => {
+                recorder.add(Counter::AnalyticLifts, 1);
+                (curve.shared(), true)
+            }
+            None => {
+                recorder.add(Counter::AnalyticFallbacks, 1);
+                (model, false)
+            }
         }
     }
 
@@ -997,12 +1027,15 @@ impl<'a> Resolver<'a> {
             return Ok(m.clone());
         }
         let outer = self.packed_hem(name)?.flatten();
+        let (outer, lifted) = self.analytic_lift(outer);
         let model = match self.config.mode {
-            // Busy-window iterations hammer the same η⁺/δ⁻ queries on the
-            // lazy OR-join: memoize. On a warm start, a clean frame's
-            // cache carries the snapshot's memoized curve points over
-            // (forked onto this iteration's model so misses evaluate
-            // fresh state).
+            // Lifted streams skip the cache: every query is already an
+            // O(1) lookup. Busy-window iterations hammer the same
+            // η⁺/δ⁻ queries on the lazy OR-join: memoize. On a warm
+            // start, a clean frame's cache carries the snapshot's
+            // memoized curve points over (forked onto this iteration's
+            // model so misses evaluate fresh state).
+            AnalysisMode::Flat | AnalysisMode::Hierarchical if lifted => outer,
             AnalysisMode::Flat | AnalysisMode::Hierarchical => {
                 let recorder = self.config.local.recorder.clone();
                 let cache_key = format!("outer:{name}");
@@ -1104,13 +1137,20 @@ impl<'a> Resolver<'a> {
         // over. Resolution still runs either way — its side effects
         // (packings, `packing_ops`) must match a from-scratch run.
         let resolved = self.resolve_source(&activation)?;
-        let recorder = self.config.local.recorder.clone();
-        let cache_key = format!("act:{name}");
-        let cached = match self.retained(&cache_key, &resource) {
-            Some(prev) => prev.fork_onto(resolved, recorder),
-            None => CachedModel::recorded(resolved, recorder),
+        let (resolved, lifted) = self.analytic_lift(resolved);
+        let model = if lifted {
+            // O(1) curve queries: a memoizing wrapper would only add
+            // hash-and-lock overhead on top of a head lookup.
+            resolved
+        } else {
+            let recorder = self.config.local.recorder.clone();
+            let cache_key = format!("act:{name}");
+            let cached = match self.retained(&cache_key, &resource) {
+                Some(prev) => prev.fork_onto(resolved, recorder),
+                None => CachedModel::recorded(resolved, recorder),
+            };
+            self.cache(cache_key, cached)
         };
-        let model = self.cache(cache_key, cached);
         self.visiting.remove(&key);
         self.task_activation.insert(name.to_string(), model.clone());
         Ok(model)

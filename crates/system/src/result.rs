@@ -42,6 +42,14 @@ pub struct SystemConfig {
     /// value: every thread count produces identical results,
     /// diagnostics, and recorder counters (see `docs/PARALLELISM.md`).
     pub threads: usize,
+    /// Replace resolved event models with closed-form
+    /// [`AnalyticCurve`](hem_event_models::AnalyticCurve) fast paths
+    /// where an exact lift exists (see `docs/CURVES.md`). `None` (the
+    /// default) resolves from the `HEM_ANALYTIC` environment variable,
+    /// falling back to enabled. Results are bit-for-bit identical either
+    /// way; the flag only trades query speed, so it does not participate
+    /// in warm-start compatibility.
+    pub analytic: Option<bool>,
 }
 
 impl SystemConfig {
@@ -56,6 +64,7 @@ impl SystemConfig {
             tighten_inner: false,
             divergence_streak: 12,
             threads: 0,
+            analytic: None,
         }
     }
 
@@ -79,6 +88,32 @@ impl SystemConfig {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or(1)
+    }
+
+    /// This configuration with the analytic fast path pinned on or off
+    /// (`None` = resolve from `HEM_ANALYTIC`, default enabled).
+    #[must_use]
+    pub fn with_analytic(mut self, analytic: Option<bool>) -> Self {
+        self.analytic = analytic;
+        self
+    }
+
+    /// Whether the analytic fast path is in effect: the explicit
+    /// `analytic` setting when present, otherwise the `HEM_ANALYTIC`
+    /// environment variable (`0` / `false` / `off` disable), otherwise
+    /// enabled.
+    #[must_use]
+    pub fn analytic_enabled(&self) -> bool {
+        if let Some(flag) = self.analytic {
+            return flag;
+        }
+        match std::env::var("HEM_ANALYTIC") {
+            Ok(v) => !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "0" | "false" | "off"
+            ),
+            Err(_) => true,
+        }
     }
 
     /// This configuration with the given wall-clock budget applied to

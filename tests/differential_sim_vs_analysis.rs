@@ -337,3 +337,85 @@ fn bursty_literal_variants_stay_within_bounds() {
         });
     }
 }
+
+/// Builds the external traces a corpus scenario's simulation needs:
+/// one trace per `periodic:` signal source (keyed `frame/signal`) and
+/// per `periodic:`-activated task (keyed `task:<name>`). Jittered
+/// traces are admissible instances of the declared models by
+/// construction.
+fn corpus_traces(
+    scenario: &hem_system::dsl::Scenario,
+    horizon: Time,
+    seed: u64,
+) -> std::collections::BTreeMap<String, Vec<Time>> {
+    use hem_system::dsl::SourceDecl;
+    let mut traces = std::collections::BTreeMap::new();
+    let mut salt = 0u64;
+    let mut add = |key: String, period: i64, jitter: i64, salt: u64| {
+        traces.insert(
+            key,
+            trace::periodic_with_jitter(Time::new(period), Time::new(jitter), horizon, seed ^ salt),
+        );
+    };
+    for frame in &scenario.frames {
+        for signal in &frame.signals {
+            if let SourceDecl::Periodic { period, jitter } = signal.source {
+                salt += 1;
+                add(
+                    format!("{}/{}", frame.name, signal.name),
+                    period,
+                    jitter,
+                    salt,
+                );
+            }
+        }
+    }
+    for task in &scenario.tasks {
+        if let SourceDecl::Periodic { period, jitter } = task.activation {
+            salt += 1;
+            add(format!("task:{}", task.name), period, jitter, salt);
+        }
+    }
+    traces
+}
+
+/// Every corpus scenario, simulated from its declared sources under an
+/// empty fault plan, stays within both the flat and the hierarchical
+/// analytic envelope — the directory-iterating counterpart of the
+/// Fig. 2 variant grids above.
+#[test]
+fn corpus_simulations_stay_within_analysis_bounds() {
+    use hem_sim::fault::FaultPlan;
+    use hem_sim::from_spec::simulate_spec_under_faults;
+
+    // Long enough that even the slowest corpus source (period 60000)
+    // fires.
+    let horizon = Time::new(100_000);
+    for entry in hem_bench::scenarios::corpus() {
+        let spec = entry.scenario.to_spec();
+        let traces = corpus_traces(&entry.scenario, horizon, 0x5EED);
+        let plan = FaultPlan::new(7); // no faults: plain worst-case run
+        let report = simulate_spec_under_faults(&spec, &traces, horizon, &plan)
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", entry.name));
+        for mode in [AnalysisMode::Flat, AnalysisMode::Hierarchical] {
+            let bounds = analyze(&spec, &SystemConfig::new(mode))
+                .unwrap_or_else(|e| panic!("{}: {mode:?} analysis failed: {e}", entry.name));
+            for (frame, &observed) in &report.frame_worst_response {
+                let bound = bounds.frame(frame).expect("frame analysed").response.r_plus;
+                assert!(
+                    observed <= bound,
+                    "{}: {mode:?}: frame {frame} observed {observed} exceeds bound {bound}",
+                    entry.name
+                );
+            }
+            for (task, &observed) in &report.task_worst_response {
+                let bound = bounds.task(task).expect("task analysed").response.r_plus;
+                assert!(
+                    observed <= bound,
+                    "{}: {mode:?}: task {task} observed {observed} exceeds bound {bound}",
+                    entry.name
+                );
+            }
+        }
+    }
+}

@@ -128,3 +128,31 @@ proptest! {
         prop_assert_eq!(text, reparsed.render());
     }
 }
+
+/// Named regression triaged from `dsl_roundtrip.proptest-regressions`:
+/// a scenario that is nothing but one task with `bcet = 0 ≠ wcet`
+/// (forcing the split `bcet=`/`wcet=` rendering), priority 0, and a
+/// jittery periodic activation — no cpus, buses, or frames declared.
+#[test]
+fn regression_lone_task_with_zero_bcet_roundtrips() {
+    let s = Scenario {
+        cpus: vec![],
+        buses: vec![],
+        frames: vec![],
+        tasks: vec![TaskDecl {
+            name: "a".into(),
+            cpu: "a".into(),
+            bcet: 0,
+            wcet: 1,
+            prio: 0,
+            activation: SourceDecl::Periodic {
+                period: 1,
+                jitter: 1,
+            },
+        }],
+    };
+    let text = s.render();
+    let reparsed = parse_scenario(&text).expect("rendered scenario parses");
+    assert_eq!(s, reparsed, "round-trip mismatch; rendered:\n{text}");
+    assert_eq!(text, reparsed.render(), "render not canonical");
+}

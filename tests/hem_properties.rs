@@ -232,3 +232,47 @@ fn flatten_discards_inner_structure() {
         assert_eq!(flat.delta_min(n), hem.outer().delta_min(n));
     }
 }
+
+/// Named regression triaged from `hem_properties.proptest-regressions`:
+/// shrunk case `signals = [{379, triggering}, {669, triggering},
+/// {200, pending}], r_minus = 90, extra = 0`. The pending signal is
+/// written faster than either trigger, and the point response interval
+/// [90, 90] makes the serialization floor `r⁻·(n−1)` bind exactly.
+#[test]
+fn regression_process_and_unpack_with_fast_pending_signal() {
+    let signals = [
+        SignalCfg {
+            period: 379,
+            pending: false,
+        },
+        SignalCfg {
+            period: 669,
+            pending: false,
+        },
+        SignalCfg {
+            period: 200,
+            pending: true,
+        },
+    ];
+    let hem = build_hem(&signals);
+    let (rm, rp) = (Time::new(90), Time::new(90));
+    let after = hem.process(rm, rp).expect("valid interval");
+    assert_eq!(after.inners().len(), hem.inners().len());
+    check_consistency(after.outer().as_ref(), 10).expect("outer consistent");
+    for (i, inner) in after.inners().iter().enumerate() {
+        check_consistency(inner.model.as_ref(), 10).expect("inner consistent");
+        // Serialization floor (Def. 9 second term).
+        for n in 2u64..8 {
+            assert!(
+                inner.model.delta_min(n) >= rm * (n as i64 - 1),
+                "signal {i}: serialization floor violated at n = {n}"
+            );
+        }
+        // Ψ_pa: unpack(i) = L(i).
+        let unpacked = after.unpack(i).expect("in range");
+        assert_eq!(unpacked.delta_min(4), inner.model.delta_min(4));
+    }
+    for (a, b) in hem.inners().iter().zip(after.inners()) {
+        assert_eq!(&a.name, &b.name);
+    }
+}

@@ -254,3 +254,98 @@ fn or_join_nests_associatively_in_eta() {
         assert_eq!(left.delta_plus(n), right.delta_plus(n), "n = {n}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Named regressions triaged from `model_properties.proptest-regressions`.
+// The shrunk cases proptest once recorded are pinned as deterministic
+// tests so they run on every CI leg, not only when proptest replays its
+// seed file.
+
+/// Shrunk case `m = SEM{P=1, J=0, dmin=0}, r_minus = 5, extra = 0`: a
+/// point response interval [5, 5] on the fastest possible input, where
+/// the output model's window extension `rp - rm` collapses to zero.
+#[test]
+fn regression_output_model_point_interval_on_unit_period() {
+    let m = StandardEventModel::new(Time::new(1), Time::new(0), Time::new(0)).expect("valid");
+    let (rm, rp) = (Time::new(5), Time::new(5));
+    let out = OutputModel::new(m.shared(), rm, rp).expect("valid interval");
+    check_consistency(&out, 25).expect("consistent");
+    for dt in [50i64, 500, 2_000] {
+        let dt = Time::new(dt);
+        assert!(
+            out.eta_plus(dt) <= m.eta_plus(dt + (rp - rm)),
+            "output admits more than input at Δt = {dt}"
+        );
+    }
+}
+
+/// Shrunk case `m = SEM{P=1, J=0, dmin=2}, dt = 2`, recorded before
+/// `dmin ≤ period` became a constructor invariant; the surviving
+/// boundary is `dmin == period`, where the d_min line and the periodic
+/// term of δ⁻ coincide.
+#[test]
+fn regression_eta_delta_duality_at_dmin_boundary() {
+    let m = StandardEventModel::new(Time::new(1), Time::new(0), Time::new(1)).expect("valid");
+    for dt in 0i64..=10 {
+        let dt = Time::new(dt);
+        assert_eq!(
+            m.eta_plus(dt),
+            convert::eta_plus_from_delta_min(&|n| m.delta_min(n), dt),
+            "η⁺ closed form diverges at Δt = {dt}"
+        );
+        assert_eq!(
+            m.eta_minus(dt),
+            convert::eta_minus_from_delta_plus(&|n| m.delta_plus(n), dt),
+            "η⁻ closed form diverges at Δt = {dt}"
+        );
+        assert!(m.eta_minus(dt) <= m.eta_plus(dt));
+    }
+}
+
+/// Shrunk case `a = SEM{1, 0, 2}, b = SEM{1, 0, 0}` (same pre-invariant
+/// vintage as above, pinned at `dmin == period`): joining a
+/// distance-dominated unit-period model with a free one.
+#[test]
+fn regression_joins_of_unit_period_extremes() {
+    let a = StandardEventModel::new(Time::new(1), Time::new(0), Time::new(1)).expect("valid");
+    let b = StandardEventModel::new(Time::new(1), Time::new(0), Time::new(0)).expect("valid");
+    let or = OrJoin::new(vec![a.shared(), b.shared()]).expect("non-empty");
+    check_consistency(&or, 15).expect("consistent");
+    check_super_additivity(&or, 15).expect("super-additive");
+    for n in 2u64..10 {
+        let reference_min = (0..=n)
+            .map(|ka| a.delta_min(ka).max(b.delta_min(n - ka)))
+            .min()
+            .expect("non-empty");
+        assert_eq!(or.delta_min(n), reference_min, "δ⁻({n})");
+        let reference_plus = (0..=(n - 2))
+            .map(|ka| a.delta_plus(ka + 2).min(b.delta_plus(n - ka)))
+            .max()
+            .expect("non-empty");
+        assert_eq!(or.delta_plus(n), reference_plus, "δ⁺({n})");
+    }
+    let and = AndJoin::new(vec![a.shared(), b.shared()]).expect("non-empty");
+    check_consistency(&and, 15).expect("consistent");
+}
+
+/// Shrunk case `m = SEM{P=1, J=9, dmin=0}, prefix = 8`: the jitter head
+/// (J / (P − dmin) = 9 steps) exceeds the requested sampling prefix, so
+/// the curve's periodic extension must take over inside the irregular
+/// region.
+#[test]
+fn regression_curve_sampling_with_jitter_dominated_head() {
+    use hem_repro::event_models::CurveModel;
+    let m = StandardEventModel::new(Time::new(1), Time::new(9), Time::new(0)).expect("valid");
+    let head = (m.jitter().ticks() / (m.period() - m.dmin()).ticks()) as u64;
+    let prefix = 8 + head;
+    let curve = CurveModel::sample(&m, prefix, 1, m.period()).expect("samples");
+    for n in 0..=(prefix * 2) {
+        assert_eq!(curve.delta_min(n), m.delta_min(n), "δ⁻({n})");
+        assert_eq!(curve.delta_plus(n), m.delta_plus(n), "δ⁺({n})");
+    }
+    for dt in (0..6_000).step_by(173) {
+        let dt = Time::new(dt);
+        assert_eq!(curve.eta_plus(dt), m.eta_plus(dt));
+        assert_eq!(curve.eta_minus(dt), m.eta_minus(dt));
+    }
+}

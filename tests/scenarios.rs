@@ -1,14 +1,75 @@
-//! The shipped scenario files parse and reproduce their golden numbers.
+//! Every shipped scenario file parses, renders canonically, analyzes
+//! in all three modes, and the original two fixtures still reproduce
+//! their golden numbers.
+//!
+//! The corpus is discovered at runtime via
+//! [`hem_bench::scenarios::corpus`], so new `.hem` files under
+//! `crates/bench/scenarios/` join these gates without editing this
+//! test.
 
-use hem_repro::system::{analyze, dsl, report, AnalysisMode, SystemConfig};
+use hem_bench::scenarios::corpus;
+use hem_repro::system::dsl::parse_scenario;
+use hem_repro::system::{analyze, report, AnalysisMode, SystemConfig};
 use hem_repro::time::Time;
 
-const PAPER: &str = include_str!("../crates/bench/scenarios/paper.hem");
-const GATEWAY: &str = include_str!("../crates/bench/scenarios/gateway.hem");
+#[test]
+fn corpus_is_large_enough() {
+    let n = corpus().len();
+    assert!(n >= 50, "scenario corpus shrank to {n} files (need ≥ 50)");
+}
+
+#[test]
+fn every_scenario_roundtrips_through_the_dsl() {
+    for entry in corpus() {
+        let rendered = entry.scenario.render();
+        let reparsed = parse_scenario(&rendered)
+            .unwrap_or_else(|e| panic!("{}: rendered text fails to parse: {e}", entry.name));
+        assert_eq!(
+            entry.scenario, reparsed,
+            "{}: parse ∘ render is not the identity",
+            entry.name
+        );
+        // The canonical form is a fixed point of render.
+        assert_eq!(
+            rendered,
+            reparsed.render(),
+            "{}: render is not idempotent",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn every_scenario_analyzes_in_every_mode() {
+    for entry in corpus() {
+        let spec = entry.scenario.to_spec();
+        for mode in [
+            AnalysisMode::Flat,
+            AnalysisMode::FlatSem,
+            AnalysisMode::Hierarchical,
+        ] {
+            let results = analyze(&spec, &SystemConfig::new(mode))
+                .unwrap_or_else(|e| panic!("{}: {mode:?} analysis failed: {e}", entry.name));
+            assert!(
+                results.is_complete(),
+                "{}: {mode:?} results incomplete",
+                entry.name
+            );
+        }
+    }
+}
+
+/// Fetches one corpus entry by name.
+fn entry(name: &str) -> hem_bench::scenarios::CorpusEntry {
+    corpus()
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("scenario `{name}` missing from corpus"))
+}
 
 #[test]
 fn paper_scenario_reproduces_table3() {
-    let spec = dsl::parse(PAPER).expect("parses");
+    let spec = entry("paper").scenario.to_spec();
     let hier = analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("converges");
     let flat = analyze(&spec, &SystemConfig::new(AnalysisMode::Flat)).expect("converges");
     for (task, flat_r, hem_r) in [("T1", 401, 240), ("T2", 1041, 560), ("T3", 1841, 960)] {
@@ -25,7 +86,7 @@ fn paper_scenario_reproduces_table3() {
 
 #[test]
 fn gateway_scenario_analyses_and_renders() {
-    let spec = dsl::parse(GATEWAY).expect("parses");
+    let spec = entry("gateway").scenario.to_spec();
     let results =
         analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)).expect("converges");
     // Chain hops appear in the report.
@@ -46,8 +107,8 @@ fn gateway_scenario_analyses_and_renders() {
 
 #[test]
 fn scenario_errors_are_line_addressed() {
-    let broken = PAPER.replace("task T2", "tsak T2");
-    let e = dsl::parse(&broken).expect_err("must fail");
+    let broken = entry("paper").text.replace("task T2", "tsak T2");
+    let e = hem_repro::system::dsl::parse(&broken).expect_err("must fail");
     assert!(e.to_string().contains("unknown directive"));
     assert!(
         e.line > 10,
