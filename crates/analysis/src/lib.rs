@@ -45,6 +45,7 @@ mod busy_window;
 mod config;
 pub mod dbf;
 mod error;
+pub mod necessary;
 pub mod resource;
 pub mod rr;
 pub mod service;

@@ -1,0 +1,359 @@
+//! Cheap **necessary** schedulability tests for pruning candidate
+//! configurations before a full busy-window fixed point runs.
+//!
+//! A necessary test looks at a candidate's per-resource load — each
+//! task or frame reduced to its WCET, an *optimistic* activation model
+//! (a source-level stream whose `η` curves never exceed the propagated
+//! stream the full analysis would use), and an optional deadline — and
+//! may reject the candidate outright. The contract is one-sided:
+//!
+//! > **A rejection implies the full analysis also finds the candidate
+//! > infeasible** (a deadline miss or divergence). An admission means
+//! > nothing; the full fixed point must still run.
+//!
+//! The contract holds *because* the supplied activations are optimistic
+//! and the tests only certify lower bounds on demand: whatever demand a
+//! test exhibits, the full analysis sees at least as much. The
+//! exploration engine (`hem-system`'s `explore` module) builds the
+//! loads and property tests the contract against the real engine
+//! (`crates/system/tests/explore_soundness.rs`).
+//!
+//! Three tests are provided, in increasing cost:
+//!
+//! * [`UtilizationBound`] — a lower bound on long-run utilization via
+//!   `η⁻` exceeds the resource capacity.
+//! * [`EtaLoad`] — an activation burst of some task alone overruns its
+//!   deadline: `n·C > δ⁻(n) + D` for some burst length `n`.
+//! * [`EdfDbf`] — the processor-demand criterion fails on a preemptive
+//!   resource; since EDF is optimal there, no priority assignment can
+//!   succeed either.
+
+use hem_event_models::EventModel;
+use hem_event_models::ModelRef;
+use hem_time::Time;
+
+use crate::assignment::Scheduling;
+use crate::dbf::{edf_schedulable, EdfTask, EdfVerdict};
+use crate::AnalysisConfig;
+
+/// Strict slack added to the unit-capacity comparison so that loads at
+/// *exactly* 1.0 are never pruned (they may still converge).
+const UTILIZATION_MARGIN: f64 = 1e-9;
+
+/// Longest self-burst examined by [`EtaLoad`].
+const MAX_BURST: u64 = 64;
+
+/// One task (or frame) of a candidate load, reduced to the fields the
+/// necessary tests consume.
+///
+/// `input` must be **optimistic**: a stream whose `η⁺`/`η⁻` curves are
+/// pointwise no larger than those of the activation the full analysis
+/// will derive (e.g. the raw external source, before propagation adds
+/// jitter). A task whose activation cannot be bounded this way should
+/// simply be omitted — missing demand only weakens the tests, never
+/// breaks the contract.
+///
+/// A task may appear several times under the same `name` when its
+/// activation is a union of several source streams (an OR-join): each
+/// *component* is individually optimistic, and long-run rates add up
+/// across components.
+#[derive(Debug, Clone)]
+pub struct LoadTask {
+    /// Entity name (task or frame); repeated entries are components of
+    /// one OR-joined activation.
+    pub name: String,
+    /// Worst-case execution (or transmission) time.
+    pub wcet: Time,
+    /// Relative deadline, if this entity has one.
+    pub deadline: Option<Time>,
+    /// Optimistic activation stream of this component.
+    pub input: ModelRef,
+}
+
+/// The load a candidate configuration places on one resource.
+#[derive(Debug)]
+pub struct ResourceLoad<'a> {
+    /// Resource name, used in diagnostics only.
+    pub resource: &'a str,
+    /// Scheduling policy of the resource ([`EdfDbf`] only applies to
+    /// [`Scheduling::Preemptive`] resources).
+    pub scheduling: Scheduling,
+    /// The demand components, see [`LoadTask`].
+    pub tasks: &'a [LoadTask],
+    /// Limits for any fixed-point iteration a test may run.
+    pub config: &'a AnalysisConfig,
+    /// Horizon over which [`UtilizationBound`] estimates long-run
+    /// rates; larger is tighter but slower. Must be positive.
+    pub horizon: Time,
+}
+
+/// A cheap test that can prove a candidate load infeasible.
+pub trait NecessaryTest {
+    /// Short identifier used in prune diagnostics (`utilization_bound`,
+    /// `eta_load`, `edf_dbf`).
+    fn name(&self) -> &'static str;
+
+    /// `false` rejects the load: the full analysis is guaranteed to
+    /// find it infeasible. `true` means "cannot tell".
+    fn admits(&self, load: &ResourceLoad<'_>) -> bool;
+}
+
+/// Rejects when a lower bound on the long-run utilization exceeds 1.
+///
+/// `η⁻(H)/H` never exceeds the long-run rate of a stream (`η⁻` is
+/// super-additive), so `Σ C·η⁻(H)/H > 1` proves true demand outruns
+/// the resource; every busy window then grows without bound and the
+/// full analysis diverges. Components of an OR-join sum, which is
+/// exact for unions of streams.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UtilizationBound;
+
+impl NecessaryTest for UtilizationBound {
+    fn name(&self) -> &'static str {
+        "utilization_bound"
+    }
+
+    fn admits(&self, load: &ResourceLoad<'_>) -> bool {
+        let horizon = load.horizon.ticks().max(1) as f64;
+        let lower: f64 = load
+            .tasks
+            .iter()
+            .map(|t| t.wcet.ticks().max(0) as f64 * t.input.eta_minus(load.horizon) as f64)
+            .sum::<f64>()
+            / horizon;
+        lower <= 1.0 + UTILIZATION_MARGIN
+    }
+}
+
+/// Rejects when a self-burst of one task alone overruns its deadline.
+///
+/// `n` activations of a task can arrive within `δ⁻(n)`; they are
+/// processed in arrival order, so even on an otherwise idle resource
+/// the last one completes no earlier than `n·C` after the first
+/// arrival, while its deadline expires at `δ⁻(n) + D`. A rejection
+/// needs no assumption about other tasks, so it holds under every
+/// priority order and policy. `n = 1` degenerates to `C > D`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EtaLoad;
+
+impl NecessaryTest for EtaLoad {
+    fn name(&self) -> &'static str {
+        "eta_load"
+    }
+
+    fn admits(&self, load: &ResourceLoad<'_>) -> bool {
+        for task in load.tasks {
+            let Some(deadline) = task.deadline else {
+                continue;
+            };
+            let c = task.wcet.ticks().max(0);
+            if c == 0 {
+                continue;
+            }
+            for n in 1..=MAX_BURST {
+                let spread = task.input.delta_min(n);
+                if n as i64 * c > spread.ticks().saturating_add(deadline.ticks()) {
+                    return false;
+                }
+                // Once the burst spreads past n·C the backlog drains
+                // and longer bursts cannot get tighter.
+                if spread.ticks() >= n as i64 * c {
+                    break;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Rejects when the processor-demand criterion fails on a preemptive
+/// resource.
+///
+/// EDF is optimal on a dedicated preemptive resource: if the demand
+/// bound function overruns supply for the deadline-constrained subset,
+/// no priority assignment schedules it either. Non-preemptive
+/// resources and tasks without deadlines are ignored, and an analysis
+/// breakdown (`Err`) admits — only a definite
+/// [`EdfVerdict::Overload`] rejects.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdfDbf;
+
+impl NecessaryTest for EdfDbf {
+    fn name(&self) -> &'static str {
+        "edf_dbf"
+    }
+
+    fn admits(&self, load: &ResourceLoad<'_>) -> bool {
+        if load.scheduling != Scheduling::Preemptive {
+            return true;
+        }
+        // One component per task: extra components would overstate the
+        // union's burst demand, which a necessary test must not do.
+        let mut seen: Vec<&str> = Vec::new();
+        let mut set: Vec<EdfTask> = Vec::new();
+        for task in load.tasks {
+            let Some(deadline) = task.deadline else {
+                continue;
+            };
+            if task.wcet.ticks() < 1 || seen.contains(&task.name.as_str()) {
+                continue;
+            }
+            if deadline < task.wcet {
+                // Response ≥ C > D: infeasible without any demand
+                // argument (also keeps `EdfTask::new` panic-free).
+                return false;
+            }
+            seen.push(&task.name);
+            set.push(EdfTask::new(
+                &task.name,
+                task.wcet,
+                deadline,
+                task.input.clone(),
+            ));
+        }
+        if set.is_empty() {
+            return true;
+        }
+        match edf_schedulable(&set, load.config) {
+            Ok(EdfVerdict::Overload { .. }) => false,
+            Ok(EdfVerdict::Schedulable { .. }) | Err(_) => true,
+        }
+    }
+}
+
+/// The standard battery, cheapest first.
+#[must_use]
+pub fn standard_tests() -> Vec<Box<dyn NecessaryTest>> {
+    vec![
+        Box::new(UtilizationBound),
+        Box::new(EtaLoad),
+        Box::new(EdfDbf),
+    ]
+}
+
+/// Runs the standard battery and returns the name of the first test
+/// that rejects the load, or `None` when every test admits it.
+#[must_use]
+pub fn rejection(load: &ResourceLoad<'_>) -> Option<&'static str> {
+    standard_tests()
+        .iter()
+        .find(|test| !test.admits(load))
+        .map(|test| test.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use hem_event_models::{EventModelExt, StandardEventModel};
+
+    use super::*;
+
+    fn periodic(period: i64) -> ModelRef {
+        StandardEventModel::periodic(Time::new(period))
+            .expect("valid period")
+            .shared()
+    }
+
+    fn jittery(period: i64, jitter: i64) -> ModelRef {
+        StandardEventModel::periodic_with_jitter(Time::new(period), Time::new(jitter))
+            .expect("valid source")
+            .shared()
+    }
+
+    fn task(name: &str, wcet: i64, deadline: Option<i64>, input: ModelRef) -> LoadTask {
+        LoadTask {
+            name: name.into(),
+            wcet: Time::new(wcet),
+            deadline: deadline.map(Time::new),
+            input,
+        }
+    }
+
+    fn load<'a>(
+        tasks: &'a [LoadTask],
+        scheduling: Scheduling,
+        config: &'a AnalysisConfig,
+    ) -> ResourceLoad<'a> {
+        ResourceLoad {
+            resource: "r",
+            scheduling,
+            tasks,
+            config,
+            horizon: Time::new(1_000_000),
+        }
+    }
+
+    #[test]
+    fn overload_is_rejected_by_the_utilization_bound() {
+        let config = AnalysisConfig::default();
+        let tasks = vec![
+            task("a", 6, Some(10), periodic(10)),
+            task("b", 6, Some(10), periodic(10)),
+        ];
+        let l = load(&tasks, Scheduling::Preemptive, &config);
+        assert!(!UtilizationBound.admits(&l));
+        assert_eq!(rejection(&l), Some("utilization_bound"));
+    }
+
+    #[test]
+    fn full_utilization_is_not_pruned() {
+        // Exactly 1.0 may still converge; only strict overload prunes.
+        let config = AnalysisConfig::default();
+        let tasks = vec![task("a", 10, None, periodic(10))];
+        let l = load(&tasks, Scheduling::Preemptive, &config);
+        assert!(UtilizationBound.admits(&l));
+    }
+
+    #[test]
+    fn deadline_below_wcet_is_rejected_by_eta_load() {
+        let config = AnalysisConfig::default();
+        let tasks = vec![task("a", 5, Some(4), periodic(100))];
+        let l = load(&tasks, Scheduling::NonPreemptive, &config);
+        assert!(!EtaLoad.admits(&l));
+        assert_eq!(rejection(&l), Some("eta_load"));
+    }
+
+    #[test]
+    fn burst_demand_past_the_deadline_is_rejected_by_eta_load() {
+        // Jitter 150 on period 100 lets two activations coincide:
+        // 2·40 = 80 > δ⁻(2) + D = 0 + 70.
+        let config = AnalysisConfig::default();
+        let tasks = vec![task("a", 40, Some(70), jittery(100, 150))];
+        let l = load(&tasks, Scheduling::Preemptive, &config);
+        assert!(!EtaLoad.admits(&l));
+    }
+
+    #[test]
+    fn edf_overload_is_rejected_on_preemptive_resources_only() {
+        // Utilization 0.6 and per-task bursts fine, but both deadlines
+        // land at 4 with 6 units of demand released at 0.
+        let config = AnalysisConfig::default();
+        let tasks = vec![
+            task("a", 3, Some(4), periodic(10)),
+            task("b", 3, Some(4), periodic(10)),
+        ];
+        let l = load(&tasks, Scheduling::Preemptive, &config);
+        assert!(UtilizationBound.admits(&l));
+        assert!(EtaLoad.admits(&l));
+        assert!(!EdfDbf.admits(&l));
+        assert_eq!(rejection(&l), Some("edf_dbf"));
+
+        let np = load(&tasks, Scheduling::NonPreemptive, &config);
+        assert!(EdfDbf.admits(&np));
+        assert_eq!(rejection(&np), None);
+    }
+
+    #[test]
+    fn a_comfortable_load_passes_every_test() {
+        let config = AnalysisConfig::default();
+        let tasks = vec![
+            task("a", 10, Some(100), periodic(100)),
+            task("b", 20, Some(200), periodic(200)),
+            task("c", 5, None, jittery(300, 50)),
+        ];
+        let l = load(&tasks, Scheduling::Preemptive, &config);
+        assert_eq!(rejection(&l), None);
+        for test in standard_tests() {
+            assert!(test.admits(&l), "{} rejected a feasible load", test.name());
+        }
+    }
+}

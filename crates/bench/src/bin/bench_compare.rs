@@ -33,7 +33,10 @@
 //! `req_s` is a throughput over wall time. `obs.overhead_pct` is a
 //! ratio of wall times gated against an **absolute** ceiling
 //! ([`OBS_OVERHEAD_LIMIT_PCT`]) rather than the baseline, so serving
-//! telemetry can never silently grow past its budget. Everything else
+//! telemetry can never silently grow past its budget; likewise
+//! `explore.pruned_pct` is gated against the absolute
+//! [`EXPLORE_PRUNED_FLOOR_PCT`] floor and `explore.configs_per_s` is
+//! throughput over wall time (reported only). Everything else
 //! in the profile — including every count in the `serving` section and
 //! `obs.spans` / `obs.dump_bytes` — is covered by the engine's
 //! determinism guarantee and must not drift.
@@ -55,6 +58,24 @@ const OBS_OVERHEAD_LIMIT_PCT: f64 = 5.0;
 /// never ratchet the requirement above what the layer promises.
 const ANALYTIC_SPEEDUP_FLOOR: f64 = 3.0;
 
+/// Absolute floor on `explore.pruned_pct`: the exploration benchmark's
+/// necessary tests must keep eliminating at least half the candidate
+/// space before any fixed point runs (see `docs/EXPLORATION.md`).
+/// `pruned_pct` is a ratio of two deterministic counts, so unlike the
+/// speedup floors a failure here means the pruning logic itself — not
+/// the machine — changed; the counts next to it are gated exactly.
+const EXPLORE_PRUNED_FLOOR_PCT: f64 = 50.0;
+
+/// The absolute floor (and its display unit) a [`Class::Floored`]
+/// field is gated against.
+fn floor_for(path: &str) -> (f64, &str) {
+    if path.contains("pruned_pct") {
+        (EXPLORE_PRUNED_FLOOR_PCT, "%")
+    } else {
+        (ANALYTIC_SPEEDUP_FLOOR, "x")
+    }
+}
+
 /// How a flattened profile field is compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Class {
@@ -67,8 +88,9 @@ enum Class {
     /// Wall-clock ratio gated against an absolute ceiling, independent
     /// of the baseline (which only documents the last measurement).
     Bounded,
-    /// Wall-clock ratio gated against an absolute floor
-    /// ([`ANALYTIC_SPEEDUP_FLOOR`]), independent of the baseline.
+    /// Ratio gated against an absolute floor ([`floor_for`] picks
+    /// [`ANALYTIC_SPEEDUP_FLOOR`] or [`EXPLORE_PRUNED_FLOOR_PCT`] by
+    /// path), independent of the baseline.
     Floored,
     /// Environment description (thread counts): never compared.
     Informational,
@@ -84,6 +106,17 @@ fn classify(path: &str) -> Class {
     if path == "analytic.speedup" {
         // The headline fast-path speedup carries an absolute promise.
         return Class::Floored;
+    }
+    if path == "explore.pruned_pct" {
+        // The exploration pruning rate carries an absolute promise;
+        // being a ratio of two exactly-gated counts it is also
+        // deterministic, but the floor is the contract worth stating.
+        return Class::Floored;
+    }
+    if path == "explore.configs_per_s" {
+        // Candidate throughput is deterministic work over wall time:
+        // reported, never compared (the counts pin the work exactly).
+        return Class::Informational;
     }
     if path == "analytic.hit_rate_pct" || path == "analytic.fig2.speedup" {
         // The hit rate is pinned exactly by the `lifts` / `fallbacks`
@@ -209,8 +242,9 @@ fn compare(
         }
         if class == Class::Bounded || class == Class::Floored {
             // Gated against an absolute bound, not the baseline: the
-            // baseline value only documents the last measurement. A
-            // ratio of two wall times, so the cross-leg gate skips it.
+            // baseline value only documents the last measurement. The
+            // cross-leg gate skips these ratios and compares the exact
+            // counts and timings they derive from instead.
             if cross {
                 continue;
             }
@@ -227,14 +261,13 @@ fn compare(
                         false,
                     );
                 }
-                (Class::Floored, Some(Leaf::Number(value))) if *value < ANALYTIC_SPEEDUP_FLOOR => {
-                    push(
-                        format!("below the absolute {ANALYTIC_SPEEDUP_FLOOR}x floor"),
-                        true,
-                    );
-                }
-                (Class::Floored, Some(Leaf::Number(_))) => {
-                    push(format!("above the {ANALYTIC_SPEEDUP_FLOOR}x floor"), false);
+                (Class::Floored, Some(Leaf::Number(value))) => {
+                    let (floor, unit) = floor_for(key);
+                    if *value < floor {
+                        push(format!("below the absolute {floor}{unit} floor"), true);
+                    } else {
+                        push(format!("above the {floor}{unit} floor"), false);
+                    }
                 }
                 (_, Some(Leaf::Text(_))) => push("not a number".into(), true),
                 (_, None) => push("missing in fresh profile".into(), true),
@@ -417,6 +450,17 @@ fn report(doc: &JsonValue) -> String {
         field(analytic, "analytic", "lifts"),
         field(analytic, "analytic", "fallbacks"),
         field(analytic, "analytic", "hit_rate_pct"),
+    );
+    let explore = section("explore");
+    let _ = writeln!(
+        out,
+        "exploration: {} candidate(s), {} pruned ({:.1}%, floor {EXPLORE_PRUNED_FLOOR_PCT}%), {} feasible, {:.0} configs/s, mean cone {:.1}%",
+        field(explore, "explore", "configs"),
+        field(explore, "explore", "pruned"),
+        field(explore, "explore", "pruned_pct"),
+        field(explore, "explore", "feasible"),
+        field(explore, "explore", "configs_per_s"),
+        100.0 * field(explore, "explore", "mean_cone_fraction"),
     );
     let _ = writeln!(
         out,
@@ -605,6 +649,29 @@ mod tests {
         assert_eq!(classify("analytic.lifts"), Class::Exact);
         assert_eq!(classify("analytic.fallbacks"), Class::Exact);
         assert_eq!(classify("analytic.scenarios"), Class::Exact);
+        assert_eq!(classify("explore.pruned_pct"), Class::Floored);
+        assert_eq!(classify("explore.configs_per_s"), Class::Informational);
+        assert_eq!(classify("explore.wall_ms"), Class::Timing);
+        assert_eq!(classify("explore.configs"), Class::Exact);
+        assert_eq!(classify("explore.feasible"), Class::Exact);
+        assert_eq!(classify("explore.pruned"), Class::Exact);
+        assert_eq!(classify("explore.mean_cone_fraction"), Class::Exact);
+    }
+
+    #[test]
+    fn explore_pruning_is_gated_against_its_own_floor() {
+        // Above the 50% floor passes even when far below the baseline…
+        let base = doc(r#"{"explore":{"pruned_pct":90.0}}"#);
+        let lower = doc(r#"{"explore":{"pruned_pct":50.0}}"#);
+        assert!(!compare(&lower, &base, 0.3, 0.0, false, &[])[0].failed);
+        // …and below it fails even when above the baseline, with the
+        // percent floor in the note rather than the speedup one.
+        let low_base = doc(r#"{"explore":{"pruned_pct":30.0}}"#);
+        let still_low = doc(r#"{"explore":{"pruned_pct":49.9}}"#);
+        let rows = compare(&still_low, &low_base, 0.3, 0.0, false, &[]);
+        assert!(rows[0].failed && rows[0].note.contains("50% floor"));
+        // Derived from exactly-gated counts: the cross leg skips it.
+        assert!(compare(&lower, &base, 0.0, 0.0, true, &[]).is_empty());
     }
 
     #[test]
@@ -751,6 +818,9 @@ mod tests {
                             "wall_ms_analytic":6.3,"speedup":3.73,
                             "fig2":{"scenarios":38,"wall_ms_generic":2.5,
                                     "wall_ms_analytic":2.3,"speedup":1.09}},
+                "explore":{"configs":897,"feasible":189,"pruned":588,
+                           "pruned_pct":65.552,"configs_per_s":30800.7,
+                           "mean_cone_fraction":0.994898,"wall_ms":29.1},
                 "obs":{"overhead_pct":1.25,"spans":420,"dump_bytes":8192}}"#,
         )
         .unwrap();
@@ -758,6 +828,8 @@ mod tests {
         assert!(text.contains("38 scenarios"));
         assert!(text.contains("3.73x on the replicated grid"));
         assert!(text.contains("1052 lift(s), 0 fallback(s), 100.0% hit rate"));
+        assert!(text.contains("897 candidate(s), 588 pruned (65.6%, floor 50%)"));
+        assert!(text.contains("189 feasible, 30801 configs/s, mean cone 99.5%"));
         assert!(text.contains("2.30x warm speedup"));
         assert!(text.contains("mean cone 12.5%"));
         assert!(text.contains("96 sessions"));

@@ -1,10 +1,13 @@
 //! Ext-H: design-space exploration — which signals should share a frame?
 //!
-//! Enumerates every partition of the paper's four signals into frames
-//! (15 set partitions), analyses each configuration hierarchically, and
-//! prints the trade-off between bus load, per-task WCRTs and end-to-end
-//! latencies. This exercises the library as the design tool the paper
-//! positions CPA to be.
+//! A thin driver over [`mod@hem_system::explore`]: the exploration engine
+//! enumerates every partition of the paper's four signals into frames
+//! (15 restricted-growth partitions of the packing axis), analyses
+//! each configuration hierarchically, and this binary prints the
+//! trade-off between per-task WCRTs and end-to-end latencies. This
+//! exercises the library as the design tool the paper positions CPA
+//! to be; `hem explore` (the `run_scenario` verb) runs the same search
+//! on any scenario file.
 //!
 //! Run with `cargo run -p hem-bench --bin optimize_packing --release`.
 
@@ -12,10 +15,11 @@ use hem_analysis::Priority;
 use hem_autosar_com::{FrameType, TransferProperty};
 use hem_can::{CanBusConfig, FrameFormat};
 use hem_event_models::{EventModelExt, StandardEventModel};
-use hem_system::path::{analyze_path, signal_paths};
+use hem_system::explore::{
+    explore, ExploreProblem, Objective, PackingSpace, PrioritySpace, Verdict,
+};
 use hem_system::{
-    analyze, ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec,
-    TaskSpec,
+    ActivationSpec, AnalysisMode, FrameSpec, SignalSpec, SystemConfig, SystemSpec, TaskSpec,
 };
 use hem_time::Time;
 
@@ -27,71 +31,38 @@ const SIGNALS: [(&str, i64, bool, i64); 4] = [
     ("s4", 4000, false, 0),
 ];
 
-/// All partitions of `n` items (restricted-growth strings).
-fn partitions(n: usize) -> Vec<Vec<usize>> {
-    let mut out = Vec::new();
-    let mut rgs = vec![0usize; n];
-    loop {
-        out.push(rgs.clone());
-        // Next restricted-growth string.
-        let mut i = n;
-        loop {
-            if i == 1 {
-                return out;
-            }
-            i -= 1;
-            let max_prev = rgs[..i].iter().copied().max().unwrap_or(0);
-            if rgs[i] <= max_prev {
-                rgs[i] += 1;
-                for r in rgs.iter_mut().skip(i + 1) {
-                    *r = 0;
-                }
-                break;
-            }
-        }
-    }
-}
-
-fn build_spec(assignment: &[usize]) -> Option<SystemSpec> {
-    let groups = assignment.iter().copied().max().unwrap_or(0) + 1;
+/// The base system: all four signals on one frame. The exploration
+/// engine's packing axis repartitions them; the receiver tasks follow
+/// their signal to whatever frame carries it.
+fn base_spec() -> SystemSpec {
     let mut spec = SystemSpec::new()
         .cpu("cpu1")
         .bus("can", CanBusConfig::new(Time::new(1)));
-    for g in 0..groups {
-        let members: Vec<usize> = (0..SIGNALS.len()).filter(|&i| assignment[i] == g).collect();
-        // A direct frame needs a triggering member.
-        if members.iter().all(|&i| SIGNALS[i].2) {
-            return None;
-        }
-        let signals = members
-            .iter()
-            .map(|&i| {
-                let (name, period, pending, _) = SIGNALS[i];
-                SignalSpec {
-                    name: name.into(),
-                    transfer: if pending {
-                        TransferProperty::Pending
-                    } else {
-                        TransferProperty::Triggering
-                    },
-                    source: ActivationSpec::External(
-                        StandardEventModel::periodic(Time::new(period))
-                            .expect("positive period")
-                            .shared(),
-                    ),
-                }
-            })
-            .collect();
-        spec = spec.frame(FrameSpec {
-            name: format!("F{g}"),
-            bus: "can".into(),
-            frame_type: FrameType::Direct,
-            payload_bytes: members.len() as u8,
-            format: FrameFormat::Standard,
-            priority: Priority::new(g as u32 + 1),
-            signals,
-        });
-    }
+    let signals = SIGNALS
+        .iter()
+        .map(|(name, period, pending, _)| SignalSpec {
+            name: (*name).into(),
+            transfer: if *pending {
+                TransferProperty::Pending
+            } else {
+                TransferProperty::Triggering
+            },
+            source: ActivationSpec::External(
+                StandardEventModel::periodic(Time::new(*period))
+                    .expect("positive period")
+                    .shared(),
+            ),
+        })
+        .collect();
+    spec = spec.frame(FrameSpec {
+        name: "can_g0".into(),
+        bus: "can".into(),
+        frame_type: FrameType::Direct,
+        payload_bytes: SIGNALS.len() as u8,
+        format: FrameFormat::Standard,
+        priority: Priority::new(1),
+        signals,
+    });
     for (i, (name, _, _, cet)) in SIGNALS.iter().enumerate() {
         if *cet == 0 {
             continue;
@@ -103,82 +74,71 @@ fn build_spec(assignment: &[usize]) -> Option<SystemSpec> {
             wcet: Time::new(*cet),
             priority: Priority::new(i as u32 + 1),
             activation: ActivationSpec::Signal {
-                frame: format!("F{}", assignment[i]),
+                frame: "can_g0".into(),
                 signal: (*name).into(),
             },
         });
     }
-    Some(spec)
-}
-
-fn label(assignment: &[usize]) -> String {
-    let groups = assignment.iter().copied().max().unwrap_or(0) + 1;
-    (0..groups)
-        .map(|g| {
-            let names: Vec<&str> = (0..SIGNALS.len())
-                .filter(|&i| assignment[i] == g)
-                .map(|i| SIGNALS[i].0)
-                .collect();
-            format!("{{{}}}", names.join(","))
-        })
-        .collect::<Vec<_>>()
-        .join(" ")
+    spec
 }
 
 fn main() {
+    let mut problem = ExploreProblem::new(base_spec());
+    problem.packing = PackingSpace::Partitions {
+        bus: "can".into(),
+        widths: Some(vec![1; SIGNALS.len()]),
+    };
+    problem.priorities = PrioritySpace::declared_only();
+    problem.objective = Objective::WorstPathLatency;
+    // The table is the point: print every partition, including the
+    // overloaded ones the necessary tests would skip.
+    problem.use_necessary_tests = false;
+
+    let outcome =
+        explore(&problem, &SystemConfig::new(AnalysisMode::Hierarchical)).unwrap_or_else(|e| {
+            eprintln!("exploration failed: {e}");
+            std::process::exit(1);
+        });
+
     println!("Packing exploration — all partitions of {{s1, s2, s3, s4}} into direct frames");
     println!();
     println!(
         "{:<28} {:>7} {:>9} {:>11} {:>12}",
         "frames", "#frames", "worst R+", "worst lat.", "verdict"
     );
-    let mut best: Option<(Time, String)> = None;
-    for assignment in partitions(SIGNALS.len()) {
-        let Some(spec) = build_spec(&assignment) else {
-            println!(
-                "{:<28} {:>7} — pending-only frame never sends",
-                label(&assignment),
-                "-"
-            );
-            continue;
-        };
-        let frames = assignment.iter().copied().max().unwrap_or(0) + 1;
-        match analyze(&spec, &SystemConfig::new(AnalysisMode::Hierarchical)) {
-            Ok(results) => {
-                let worst_r = results
-                    .tasks()
-                    .map(|(_, r)| r.response.r_plus)
-                    .max()
-                    .unwrap_or(Time::ZERO);
-                let worst_lat = signal_paths(&spec)
-                    .iter()
-                    .filter_map(|p| analyze_path(&spec, &results, p).ok())
-                    .map(|l| l.total())
-                    .max()
-                    .unwrap_or(Time::ZERO);
-                let line = label(&assignment);
-                if best.as_ref().is_none_or(|(b, _)| worst_lat < *b) {
-                    best = Some((worst_lat, line.clone()));
-                }
+    for report in &outcome.reports {
+        let packing = report.config.packing.as_ref().expect("packing axis is on");
+        let line = packing.label();
+        let frames = packing.groups.len();
+        match &report.verdict {
+            Verdict::InvalidPacking(_) => {
+                println!("{line:<28} {:>7} — pending-only frame never sends", "-");
+            }
+            Verdict::Feasible { score } => {
+                let worst_r = report.worst_task_response.unwrap_or(Time::ZERO);
                 println!(
-                    "{:<28} {:>7} {:>9} {:>11} {:>12}",
-                    line, frames, worst_r, worst_lat, "ok"
+                    "{line:<28} {frames:>7} {worst_r:>9} {score:>11} {:>12}",
+                    "ok"
                 );
             }
-            Err(_) => {
+            Verdict::Infeasible { .. } | Verdict::Pruned(_) => {
                 println!(
-                    "{:<28} {:>7} {:>9} {:>11} {:>12}",
-                    label(&assignment),
-                    frames,
-                    "-",
-                    "-",
-                    "diverges"
+                    "{line:<28} {frames:>7} {:>9} {:>11} {:>12}",
+                    "-", "-", "diverges"
                 );
             }
         }
     }
-    if let Some((lat, line)) = best {
-        println!();
-        println!("lowest worst-case latency: {lat} with {line}");
+    if let Some(best) = outcome.best_report() {
+        if let Verdict::Feasible { score } = &best.verdict {
+            let line = best
+                .config
+                .packing
+                .as_ref()
+                .expect("packing axis is on")
+                .label();
+            println!();
+            println!("lowest worst-case latency: {score} with {line}");
+        }
     }
 }

@@ -28,6 +28,7 @@
 use std::path::Path;
 use std::time::Instant;
 
+use hem_bench::explore::{run_explore, ExploreReport};
 use hem_bench::incremental::{replicated_spec, run_chain_cold, run_chain_warm, scenario_chain};
 use hem_bench::obs::{run_obs_overhead, ObsReport};
 use hem_bench::paper_system::{simulation, spec, PaperParams};
@@ -378,6 +379,16 @@ fn run_analytic() -> Analytic {
     }
 }
 
+/// The design-space exploration benchmark (see [`hem_bench::explore`]):
+/// `hem explore` over the 10x-scaled Fig. 2 family widened with
+/// overloaded period mutations, searched at `HEM_THREADS` workers.
+/// Every count is deterministic in seed and thread count and joins the
+/// `--cross` diff; `pruned_pct` is gated against an absolute ≥50%
+/// floor (see `docs/EXPLORATION.md`).
+fn run_explore_phase() -> ExploreReport {
+    run_explore(env_threads())
+}
+
 /// The CI-scale serving benchmark (see [`hem_bench::serving`]): a
 /// fleet of event-sourced sessions through mutation rounds, injected
 /// kills with torn-WAL recovery, deterministic shedding, and
@@ -416,6 +427,7 @@ fn main() {
     let sweep = run_sweep();
     let incremental = run_incremental();
     let analytic = run_analytic();
+    let explore = run_explore_phase();
     let serving = run_serving_phase();
     let obs = run_obs_phase();
 
@@ -468,6 +480,7 @@ fn main() {
         analytic.fig2_wall_ms_analytic,
         analytic.fig2_speedup()
     ));
+    out.push_str(&format!(",\"explore\":{}", explore.to_json()));
     out.push_str(&format!(",\"serving\":{}", serving.to_json()));
     out.push_str(&format!(",\"obs\":{}}}", obs.to_json()));
     if let Err(e) = json::validate(&out) {
@@ -529,6 +542,16 @@ fn main() {
         analytic.lifts,
         analytic.fallbacks,
         analytic.hit_rate_pct()
+    );
+    println!(
+        "explore: {} configs in {:.3} ms ({:.0} configs/s), {} pruned ({:.1}%), {} feasible, mean cone {:.1}%",
+        explore.configs,
+        explore.wall_ms,
+        explore.configs_per_s(),
+        explore.pruned,
+        explore.pruned_pct,
+        explore.feasible,
+        100.0 * explore.mean_cone_fraction
     );
     println!(
         "serving: {} sessions, {} requests ({:.0} req/s), p50 {:.3} ms, p99 {:.3} ms, {} recoveries, {} shed, {} stale",

@@ -1,23 +1,41 @@
-//! Analyse a textual scenario file (see `hem_system::dsl` for the
-//! format; examples in `crates/bench/scenarios/`).
+//! Analyse or explore a textual scenario file (see `hem_system::dsl`
+//! for the format; examples in `crates/bench/scenarios/`).
 //!
 //! ```sh
 //! cargo run -p hem-bench --bin run_scenario -- crates/bench/scenarios/paper.hem
 //! cargo run -p hem-bench --bin run_scenario -- crates/bench/scenarios/gateway.hem flat
+//! cargo run -p hem-bench --bin run_scenario -- explore crates/bench/scenarios/fig2_tight10x.hem
 //! ```
 //!
-//! The optional second argument selects the analysis mode
-//! (`hierarchical` default, `flat`, `flatsem`).
+//! Plain mode analyses the handed-in configuration; the optional
+//! second argument selects the analysis mode (`hierarchical` default,
+//! `flat`, `flatsem`).
+//!
+//! The `explore` verb searches the scenario's design space — signal
+//! packings, priority permutations — for a configuration that meets
+//! every `deadline=` annotation (implicit deadline = the activation's
+//! periodic source period), exactly as described in
+//! `docs/EXPLORATION.md`. An optional numeric argument seeds the
+//! randomized priority orders (default 0) and `--out <file>` writes a
+//! small JSON summary (for CI artifacts). Exits non-zero when no
+//! feasible configuration exists in the searched space.
 
+use hem_system::explore::{explore, ExploreProblem, Verdict};
 use hem_system::{analyze, dsl, report, AnalysisMode, SystemConfig};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: run_scenario <scenario file> [hierarchical|flat|flatsem]");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("explore") {
+        run_explore(&args[1..]);
+        return;
+    }
+    let Some(path) = args.first() else {
+        eprintln!(
+            "usage: run_scenario <scenario file> [hierarchical|flat|flatsem]\n       run_scenario explore <scenario file> [seed] [--out <json file>]"
+        );
         std::process::exit(2);
     };
-    let mode = match args.next().as_deref() {
+    let mode = match args.get(1).map(String::as_str) {
         None | Some("hierarchical") => AnalysisMode::Hierarchical,
         Some("flat") => AnalysisMode::Flat,
         Some("flatsem") => AnalysisMode::FlatSem,
@@ -26,14 +44,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read `{path}`: {e}");
-            std::process::exit(1);
-        }
-    };
-    let spec = match dsl::parse(&text) {
+    let spec = match dsl::parse(&read(path)) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{path}:{e}");
@@ -46,5 +57,150 @@ fn main() {
             eprintln!("analysis failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_explore(args: &[String]) {
+    let mut path = None;
+    let mut seed = 0u64;
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                let Some(file) = args.get(i + 1) else {
+                    eprintln!("--out needs a file argument");
+                    std::process::exit(2);
+                };
+                out = Some(file.clone());
+                i += 2;
+            }
+            arg => {
+                if path.is_none() {
+                    path = Some(arg.to_string());
+                } else if let Ok(s) = arg.parse::<u64>() {
+                    seed = s;
+                } else {
+                    eprintln!("unexpected argument `{arg}`");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: run_scenario explore <scenario file> [seed] [--out <json file>]");
+        std::process::exit(2);
+    };
+    let scenario = match dsl::parse_scenario(&read(&path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            std::process::exit(1);
+        }
+    };
+    let problem = ExploreProblem::from_scenario(&scenario, seed);
+    let config = SystemConfig::new(AnalysisMode::Hierarchical);
+    let outcome = match explore(&problem, &config) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("design-space exploration of {path} (seed {seed})");
+    println!(
+        "deadlines: {}",
+        if problem.deadlines.is_empty() {
+            "none (every converging configuration is feasible)".to_string()
+        } else {
+            problem
+                .deadlines
+                .iter()
+                .map(|(t, d)| format!("{t}≤{d}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+    println!(
+        "candidates: {} visited, {} pruned ({:.1}%), {} feasible, {} warm hit(s)",
+        outcome.visited,
+        outcome.pruned,
+        outcome.pruned_pct(),
+        outcome.feasible,
+        outcome.warm_hits
+    );
+    match outcome.default_index {
+        Some(i) => match &outcome.reports[i].verdict {
+            Verdict::Feasible { score } => {
+                println!("default configuration: feasible (objective {score})");
+            }
+            Verdict::Infeasible {
+                miss: Some((task, r, d)),
+                ..
+            } => {
+                println!("default configuration: infeasible ({task} r+ {r} > deadline {d})");
+            }
+            Verdict::Infeasible { .. } => {
+                println!("default configuration: infeasible (analysis diverges)");
+            }
+            other => println!("default configuration: {other:?}"),
+        },
+        None => println!("default configuration: not visited (candidate cap reached)"),
+    }
+    if let Some(best) = outcome.best_report() {
+        if let Verdict::Feasible { score } = &best.verdict {
+            println!("best configuration (objective {score}):");
+        }
+        if let Some(packing) = &best.config.packing {
+            println!("  packing[{}]: {}", packing.bus, packing.label());
+        }
+        for (site, period) in &best.config.periods {
+            println!("  period[{site}]: {period}");
+        }
+        for (resource, order) in &best.config.orders {
+            println!("  priorities[{resource}]: {}", order.join(" > "));
+        }
+    }
+    let found = outcome.best.is_some();
+    println!(
+        "feasible configuration found: {}",
+        if found { "yes" } else { "no" }
+    );
+
+    if let Some(file) = out {
+        let best_packing = outcome
+            .best_report()
+            .and_then(|r| r.config.packing.as_ref())
+            .map(|p| p.label())
+            .unwrap_or_default();
+        let mut json = format!(
+            "{{\"scenario\":\"{path}\",\"seed\":{seed},\"visited\":{},\"pruned\":{},\"pruned_pct\":{:.3},\"feasible\":{},\"warm_hits\":{},\"found\":{found},\"best_packing\":",
+            outcome.visited,
+            outcome.pruned,
+            outcome.pruned_pct(),
+            outcome.feasible,
+            outcome.warm_hits,
+        );
+        hem_obs::json::write_escaped(&mut json, &best_packing);
+        json.push('}');
+        if let Err(e) = std::fs::write(&file, json) {
+            eprintln!("cannot write `{file}`: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !found {
+        std::process::exit(1);
     }
 }

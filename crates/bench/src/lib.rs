@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explore;
 pub mod incremental;
 pub mod obs;
 pub mod paper_system;

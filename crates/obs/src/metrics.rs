@@ -83,11 +83,21 @@ pub enum Counter {
     /// Resolved event models with no exact analytic lift that stayed on
     /// the generic memoized path while the fast path was enabled.
     AnalyticFallbacks,
+    /// Candidate configurations enumerated by the exploration engine
+    /// (every candidate counts, including pruned and invalid ones; see
+    /// `docs/EXPLORATION.md`).
+    CandidatesVisited,
+    /// Candidates rejected by a cheap necessary test before any fixed
+    /// point ran.
+    CandidatesPruned,
+    /// Analyzed candidates whose fixed point reused the warm-start
+    /// snapshot of the previous candidate in the visit order.
+    ExploreWarmHits,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::GlobalIterations,
         Counter::BusyWindowIterations,
         Counter::CurveEvaluations,
@@ -110,6 +120,9 @@ impl Counter {
         Counter::ConnectionsAccepted,
         Counter::AnalyticLifts,
         Counter::AnalyticFallbacks,
+        Counter::CandidatesVisited,
+        Counter::CandidatesPruned,
+        Counter::ExploreWarmHits,
     ];
 
     /// The stable snake_case export name.
@@ -138,6 +151,9 @@ impl Counter {
             Counter::ConnectionsAccepted => "connections_accepted",
             Counter::AnalyticLifts => "analytic_lifts",
             Counter::AnalyticFallbacks => "analytic_fallbacks",
+            Counter::CandidatesVisited => "candidates_visited",
+            Counter::CandidatesPruned => "candidates_pruned",
+            Counter::ExploreWarmHits => "explore_warm_hits",
         }
     }
 

@@ -31,7 +31,9 @@
 //!   indented `signal` lines:
 //!   `signal <name> triggering|pending <source>`
 //! * `task <name> cpu=<cpu> cet=<c>` (or `bcet=<c> wcet=<c>`)
-//!   `prio=<n> activation=<source>`
+//!   `prio=<n> [deadline=<d>] activation=<source>` — the optional
+//!   relative deadline is an annotation for design-space exploration
+//!   (see `docs/EXPLORATION.md`); the analysis itself never reads it
 //! * sources: `periodic:<P>` / `periodic:<P>:<J>` (external, with
 //!   optional jitter), `output:<task>` (a task's output stream),
 //!   `<frame>/<signal>` (a transported signal; tasks only),
@@ -141,6 +143,10 @@ pub struct TaskDecl {
     pub wcet: i64,
     /// Priority on the CPU.
     pub prio: u32,
+    /// Optional relative deadline in ticks — an exploration annotation
+    /// (`hem explore` certifies `r⁺ ≤ deadline`); plain analysis
+    /// ignores it.
+    pub deadline: Option<i64>,
     /// Activation source.
     pub activation: SourceDecl,
 }
@@ -249,9 +255,13 @@ impl Scenario {
             let _ = writeln!(out);
         }
         for t in &self.tasks {
+            let deadline = t
+                .deadline
+                .map(|d| format!(" deadline={d}"))
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
-                "task {} cpu={} bcet={} wcet={} prio={} activation={}",
+                "task {} cpu={} bcet={} wcet={} prio={}{deadline} activation={}",
                 t.name,
                 t.cpu,
                 t.bcet,
@@ -499,12 +509,25 @@ fn parse_task(rest: &[&str], line: usize) -> Result<TaskDecl, ParseError> {
     let activation_word = get(&kv, "activation", line)?;
     let activation = parse_source(&[activation_word], line, true)?;
     let prio = get_int(&kv, "prio", line)?;
+    let deadline = match lookup(&kv, "deadline") {
+        Some(d) => {
+            let d: i64 = d
+                .parse()
+                .map_err(|_| err(line, "`deadline` must be an integer"))?;
+            if d < 1 {
+                return Err(err(line, "`deadline` must be positive"));
+            }
+            Some(d)
+        }
+        None => None,
+    };
     Ok(TaskDecl {
         name: (*name).into(),
         cpu: get(&kv, "cpu", line)?.into(),
         bcet,
         wcet,
         prio: u32::try_from(prio).map_err(|_| err(line, "prio must be non-negative"))?,
+        deadline,
         activation,
     })
 }

@@ -39,6 +39,7 @@ pub mod diagnostics;
 pub mod dsl;
 mod engine;
 mod error;
+pub mod explore;
 pub mod graph;
 pub mod path;
 mod pool;
@@ -51,6 +52,10 @@ pub mod warm;
 pub use diagnostics::{ConvergenceStatus, Diagnostics, StopReason};
 pub use engine::{analyze, analyze_robust, RobustAnalysis};
 pub use error::SystemError;
+pub use explore::{
+    explore, CandidateConfig, CandidateReport, ExploreOutcome, ExploreProblem, Objective, Packing,
+    PackingSpace, PeriodChoice, PeriodSite, PrioritySpace, Verdict,
+};
 pub use result::{SystemConfig, SystemResults};
 pub use spec::{
     ActivationSpec, AnalysisMode, BusSpec, CpuSpec, FrameSpec, SignalSpec, SystemSpec, TaskSpec,

@@ -85,16 +85,20 @@ fn task_decl() -> impl Strategy<Value = TaskDecl> {
         0i64..1_000,
         1i64..1_000,
         0u32..1000,
+        prop_oneof![Just(None), (1i64..100_000).prop_map(Some)],
         source(true),
     )
-        .prop_map(|(name, cpu, b, extra, prio, activation)| TaskDecl {
-            name,
-            cpu,
-            bcet: b.min(b + extra),
-            wcet: b + extra,
-            prio,
-            activation,
-        })
+        .prop_map(
+            |(name, cpu, b, extra, prio, deadline, activation)| TaskDecl {
+                name,
+                cpu,
+                bcet: b.min(b + extra),
+                wcet: b + extra,
+                prio,
+                deadline,
+                activation,
+            },
+        )
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {
@@ -145,6 +149,7 @@ fn regression_lone_task_with_zero_bcet_roundtrips() {
             bcet: 0,
             wcet: 1,
             prio: 0,
+            deadline: None,
             activation: SourceDecl::Periodic {
                 period: 1,
                 jitter: 1,
